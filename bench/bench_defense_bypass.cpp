@@ -1,0 +1,177 @@
+// Sec. II/III reproduction: RowHammer mitigations observe the activation
+// stream, so they stop the hammering pattern — and are structurally blind
+// to RowPress's single long activation ("CounterBypass", Algorithm 2).
+//
+// For each defense we run the same double-sided RowHammer and RowPress
+// attacks through the command path with the defense attached, and report
+// alarms, NRRs, and surviving bit-flips.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "defense/graphene.h"
+#include "defense/hydra.h"
+#include "defense/mac_counter.h"
+#include "defense/para.h"
+#include "defense/trr.h"
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+#include "exp/experiment.h"
+
+using namespace rowpress;
+
+namespace {
+
+dram::DeviceConfig bench_chip() {
+  dram::DeviceConfig cfg = exp::default_chip_config();
+  cfg.geometry.num_banks = 1;
+  cfg.geometry.rows_per_bank = 64;
+  // Lower, denser thresholds so the undefended chip flips within a short
+  // command-path run (the defense comparison is about *relative* outcomes).
+  cfg.cells.rh_density = 0.01;
+  cfg.cells.rh_log_median = 9.5;
+  cfg.cells.rh_log_sigma = 0.6;
+  cfg.cells.rh_min_threshold = 4000;
+  cfg.cells.rp_density = 0.02;
+  return cfg;
+}
+
+constexpr int kRows = 64;
+
+struct Row {
+  std::string defense;
+  std::size_t rh_flips = 0;
+  std::int64_t rh_alarms = 0;
+  std::int64_t rh_nrrs = 0;
+  std::size_t rp_flips = 0;
+  std::int64_t rp_alarms = 0;
+  std::int64_t rp_nrrs = 0;
+};
+
+template <typename MakeDefense>
+Row evaluate(const std::string& name, MakeDefense make) {
+  Row row;
+  row.defense = name;
+  constexpr std::int64_t kHammers = 120000;
+  {
+    dram::Device dev(bench_chip());
+    dram::MemoryController ctrl(dev);
+    auto defense = make();
+    if (defense) ctrl.attach_defense(defense.get());
+    dram::RowHammerAttacker attacker({.hammer_count = kHammers});
+    row.rh_flips = attacker.run(ctrl, 0, 20).flip_count();
+    if (defense) {
+      row.rh_alarms = defense->stats().alarms;
+      row.rh_nrrs = defense->stats().nrrs_issued;
+    }
+  }
+  {
+    dram::Device dev(bench_chip());
+    dram::MemoryController ctrl(dev);
+    auto defense = make();
+    if (defense) ctrl.attach_defense(defense.get());
+    dram::RowPressAttacker attacker({.open_ns = 64.0e6});
+    row.rp_flips = attacker.run(ctrl, 0, 20).flip_count();
+    if (defense) {
+      row.rp_alarms = defense->stats().alarms;
+      row.rp_nrrs = defense->stats().nrrs_issued;
+    }
+  }
+  return row;
+}
+
+// A thin adapter so evaluate() can also run the no-defense baseline.
+struct StatsOnly {
+  defense::DefenseStats s;
+  const defense::DefenseStats& stats() const { return s; }
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Defense bypass: RowHammer mitigations vs RowPress (Sec. II/III) "
+      "===\nAttacks: double-sided RowHammer (120K hammers/aggressor) and a\n"
+      "single 64 ms RowPress activation, identical data patterns.\n\n");
+
+  std::vector<Row> rows;
+  rows.push_back(evaluate("(none)", []() {
+    return std::unique_ptr<defense::MacCounterDefense>();
+  }));
+  rows.push_back(evaluate("MAC+NRR (T=2K)", []() {
+    return std::make_unique<defense::MacCounterDefense>(2000, kRows);
+  }));
+  rows.push_back(evaluate("TRR (16-entry, T=2K)", []() {
+    return std::make_unique<defense::TrrDefense>(16, 2000, kRows);
+  }));
+  rows.push_back(evaluate("Graphene (MG, T=2K)", []() {
+    return std::make_unique<defense::GrapheneDefense>(16, 2000, 64.0e6,
+                                                      kRows);
+  }));
+  rows.push_back(evaluate("PARA (p=0.01)", []() {
+    return std::make_unique<defense::ParaDefense>(0.01, kRows);
+  }));
+  rows.push_back(evaluate("Hydra (2-level, T=2K)", []() {
+    return std::make_unique<defense::HydraDefense>(16, 0.5, 2000, kRows);
+  }));
+
+  Table table({"defense", "RH flips", "RH alarms", "RH NRRs", "RP flips",
+               "RP alarms", "RP NRRs", "verdict"});
+  for (const auto& r : rows) {
+    const bool blocks_rh = r.rh_flips == 0;
+    const bool blocks_rp = r.rp_flips == 0;
+    std::string verdict;
+    if (r.defense == "(none)")
+      verdict = "baseline";
+    else if (blocks_rh && !blocks_rp)
+      verdict = "bypassed by RowPress";
+    else if (blocks_rh && blocks_rp)
+      verdict = "blocks both";
+    else
+      verdict = "ineffective";
+    table.add_row({r.defense, std::to_string(r.rh_flips),
+                   std::to_string(r.rh_alarms), std::to_string(r.rh_nrrs),
+                   std::to_string(r.rp_flips), std::to_string(r.rp_alarms),
+                   std::to_string(r.rp_nrrs), verdict});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nPaper claim (Sec. III): activation-counting mitigations \"will have\n"
+      "no effect against RowPress\" — every defense above that stops the\n"
+      "hammering pattern raises zero alarms against the single-ACT press.\n");
+
+  // --- System-level knob the paper mentions: increasing refresh rates. ---
+  std::printf(
+      "\n=== Increased refresh rates (system-level mitigation) ===\n"
+      "Auto-refresh enabled; tREFW scaled down; the press is bounded by the\n"
+      "shortened window, the hammer runs as a burst between refreshes.\n\n");
+  Table rt({"refresh rate", "tREFW", "RH flips (burst)", "RP flips"});
+  for (const int factor : {1, 2, 4, 8}) {
+    dram::DeviceConfig cfg = bench_chip();
+    cfg.timing.trefw_ns /= factor;
+    std::size_t rh_flips = 0, rp_flips = 0;
+    {
+      dram::Device dev(cfg);
+      dram::MemoryController ctrl(dev, /*refresh_enabled=*/true);
+      dram::RowHammerAttacker attacker({.hammer_count = 120000});
+      rh_flips = attacker.run(ctrl, 0, 20).flip_count();
+    }
+    {
+      dram::Device dev(cfg);
+      dram::MemoryController ctrl(dev, /*refresh_enabled=*/true);
+      dram::RowPressAttacker attacker({.open_ns = cfg.timing.trefw_ns});
+      rp_flips = attacker.run(ctrl, 0, 20).flip_count();
+    }
+    rt.add_row({factor == 1 ? "1x (baseline)" : std::to_string(factor) + "x",
+                Table::fmt(cfg.timing.trefw_ns / 1e6, 0) + " ms",
+                std::to_string(rh_flips), std::to_string(rp_flips)});
+  }
+  rt.print(std::cout);
+  std::printf(
+      "\nReading: a burst hammer finishes between refreshes, and a press\n"
+      "bounded by the shortened window still reaches most RowPress cells —\n"
+      "raising the refresh rate alone does not close either channel.\n");
+  return 0;
+}

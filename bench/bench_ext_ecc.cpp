@@ -1,0 +1,169 @@
+// Extension bench: does rank-level SECDED actually stop the attack?
+//
+// The paper assumes ECC absent (Sec. IV), citing prior work that ECC
+// cannot protect large models.  Here we test it: deploy ResNet-20's weight
+// image behind a (72,64) SECDED rank, inject the profile-aware RowPress
+// flips physically, and measure the deployed accuracy after a patrol
+// scrub.  Then we run the ECC-aware variant (3 co-located flips per word,
+// silently miscorrected) and show corruption that survives scrubbing.
+#include <cstdio>
+#include <iostream>
+
+#include "attack/bfa.h"
+#include "attack/ecc_aware.h"
+#include "attack/mapping.h"
+#include "attack/profile_aware_bfa.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "ecc/secded.h"
+#include "exp/experiment.h"
+
+using namespace rowpress;
+
+namespace {
+
+double deployed_accuracy(const models::ModelSpec& spec,
+                         const nn::ModelState& state,
+                         const data::SplitDataset& data,
+                         const std::vector<std::uint8_t>& image) {
+  Rng rng(1);
+  auto model = spec.factory(rng);
+  nn::restore_state(*model, state);
+  nn::QuantizedModel qm(*model);
+  qm.load_weight_image(image);
+  return exp::evaluate_accuracy(*model, data.test);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Extension: the attack vs rank-level SECDED ECC ===\n\n");
+
+  dram::Device chip(exp::default_chip_config());
+  const auto profiles =
+      exp::build_or_load_profiles(chip, bench::cache_dir(), true);
+
+  const auto zoo = models::model_zoo();
+  const auto& spec = models::find_model(zoo, "ResNet-20");
+  const auto data = models::make_dataset(spec.dataset);
+  const auto prepared = exp::prepare_trained_model(
+      spec, data, bench::cache_dir(), /*seed=*/1, /*verbose=*/true);
+
+  // Deploy behind ECC: data at a fixed row-aligned base, check bytes in a
+  // separate region of the same chip.
+  Rng rng(13);
+  auto victim = spec.factory(rng);
+  nn::restore_state(*victim, prepared.state);
+  nn::QuantizedModel qmodel(*victim);
+  const std::int64_t image_bytes_raw = qmodel.total_weight_bytes();
+  const std::int64_t image_bytes = (image_bytes_raw + 7) / 8 * 8;
+  const std::int64_t data_base = 0;
+  const std::int64_t check_base =
+      (image_bytes / chip.geometry().row_bytes + 2) *
+      chip.geometry().row_bytes;
+  attack::WeightDramMapping mapping(chip.geometry(), image_bytes_raw,
+                                    data_base);
+  auto image = qmodel.pack_weight_image();
+  std::vector<std::uint8_t> padded = image;
+  padded.resize(static_cast<std::size_t>(image_bytes), 0);
+  ecc::EccMemory ecc_rank(chip, data_base, image_bytes, check_base);
+  ecc_rank.write(padded);
+
+  std::printf("weight image: %lld bytes (%lld ECC words), checks at byte "
+              "%lld\n\n",
+              static_cast<long long>(image_bytes_raw),
+              static_cast<long long>(image_bytes / 8),
+              static_cast<long long>(check_base));
+
+  const auto feasible = mapping.feasible_bits(qmodel, profiles.rowpress);
+
+  // --- Phase 1: the paper's attack, now with ECC scrubbing. ---
+  attack::BfaConfig cfg;
+  attack::ProgressiveBitFlipAttack bfa(cfg, rng);
+  const auto search =
+      bfa.run_profile_aware(qmodel, feasible, data.test, data.test);
+
+  dram::MemoryController ctrl(chip);
+  attack::PhysicalBitFlipper flipper(ctrl);
+  for (const auto& flip : search.flips) {
+    const std::int64_t target =
+        mapping.linear_bit_for(qmodel.image_bit_offset(flip.ref));
+    (void)flipper.flip_via_rowpress(target, 64.0e6);
+  }
+
+  ecc::EccMemory::ScrubStats scrub;
+  auto scrubbed = ecc_rank.scrubbed_read(&scrub);
+  scrubbed.resize(image.size());
+  const double acc_no_ecc_attack = search.accuracy_after;
+  const double acc_after_scrub =
+      deployed_accuracy(spec, prepared.state, data, scrubbed);
+
+  Table t1({"quantity", "value"});
+  t1.add_row({"clean accuracy",
+              Table::fmt(100.0 * prepared.stats.test_accuracy, 2) + " %"});
+  t1.add_row({"flips selected / injected", std::to_string(search.num_flips())});
+  t1.add_row({"accuracy if no ECC (search view)",
+              Table::fmt(100.0 * acc_no_ecc_attack, 2) + " %"});
+  t1.add_row({"ECC words corrected by scrub",
+              std::to_string(scrub.words_corrected)});
+  t1.add_row({"ECC words flagged uncorrectable",
+              std::to_string(scrub.words_detected)});
+  t1.add_row({"deployed accuracy after scrub",
+              Table::fmt(100.0 * acc_after_scrub, 2) + " %"});
+  t1.print(std::cout);
+  std::printf(
+      "\nReading: the standard attack spreads flips across words, so SECDED\n"
+      "corrects most of them and the deployed model largely survives.\n\n");
+
+  // --- Phase 2: the ECC-aware word-granular attack. ---
+  auto victim2 = spec.factory(rng);
+  nn::restore_state(*victim2, prepared.state);
+  nn::QuantizedModel qmodel2(*victim2);
+  ecc_rank.write(padded);  // restore the clean deployment
+  chip.clear_flip_logs();
+
+  attack::EccAwareConfig ecc_cfg;
+  attack::EccAwareAttack ecc_attack(ecc_cfg, rng);
+  const auto feasible2 = mapping.feasible_bits(qmodel2, profiles.rowpress);
+  const auto word_attack =
+      ecc_attack.run(qmodel2, feasible2, data.test, data.test);
+
+  for (const auto& flip : word_attack.flips) {
+    const std::int64_t target =
+        mapping.linear_bit_for(qmodel2.image_bit_offset(flip.ref));
+    (void)flipper.flip_via_rowpress(target, 64.0e6);
+  }
+  ecc::EccMemory::ScrubStats scrub2;
+  auto scrubbed2 = ecc_rank.scrubbed_read(&scrub2);
+  scrubbed2.resize(image.size());
+  const double acc_word_attack =
+      deployed_accuracy(spec, prepared.state, data, scrubbed2);
+
+  Table t2({"quantity", "value"});
+  t2.add_row({"exploitable words (>=3 co-located vulnerable bits)",
+              std::to_string(word_attack.exploitable_words)});
+  t2.add_row({"words attacked (3 flips each)",
+              std::to_string(word_attack.words_attacked)});
+  t2.add_row({"search-view accuracy (flips assumed to stick)",
+              Table::fmt(100.0 * word_attack.accuracy_after, 2) + " %"});
+  t2.add_row({"total bit-flips",
+              std::to_string(word_attack.flips.size())});
+  t2.add_row({"ECC words corrected (incl. silent miscorrections)",
+              std::to_string(scrub2.words_corrected)});
+  t2.add_row({"ECC words flagged uncorrectable",
+              std::to_string(scrub2.words_detected)});
+  t2.add_row({"deployed accuracy after scrub",
+              Table::fmt(100.0 * acc_word_attack, 2) + " %"});
+  t2.print(std::cout);
+  std::printf(
+      "\nReading: grouping >=3 RowPress flips inside one ECC word makes the\n"
+      "decoder mis-correct them silently, so corruption *can* survive the\n"
+      "scrub — the silent-corruption surface is real (see exploitable-word\n"
+      "count).  At this model scale the co-located candidates are mostly\n"
+      "low-significance bits, so SECDED still blunts the attack\n"
+      "substantially compared to the unprotected case; ECC raises the bar\n"
+      "rather than closing the channel, which is why the paper (and the\n"
+      "BFA literature it follows) evaluates with ECC disabled.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Extension bench: the *stealth* half of the paper's conclusion — "a
+// stealthier attack with noticeably higher efficacy".
+//
+// For the same victim (ResNet-20) we take the bit-flips selected by the
+// profile-aware search under each profile and physically inject them on the
+// simulated chip with a Graphene tracker attached (a deployed RowHammer
+// mitigation watching the ACT stream).  We report, per fault model:
+// number of flips, total activations, simulated attack time, and how many
+// mitigation alarms the injection raised.
+#include <cstdio>
+#include <algorithm>
+#include <iostream>
+
+#include "attack/bfa.h"
+#include "attack/mapping.h"
+#include "attack/profile_aware_bfa.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "defense/graphene.h"
+#include "exp/experiment.h"
+
+using namespace rowpress;
+
+namespace {
+
+struct InjectionReport {
+  int flips_requested = 0;
+  int flips_landed = 0;
+  std::int64_t activations = 0;
+  double time_ms = 0.0;
+  std::int64_t alarms = 0;
+  int collateral = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Extension: stealth & cost of physically injecting the attack "
+      "===\n\n");
+
+  dram::Device chip(exp::default_chip_config());
+  const auto profiles =
+      exp::build_or_load_profiles(chip, bench::cache_dir(), true);
+
+  const auto zoo = models::model_zoo();
+  const auto& spec = models::find_model(zoo, "ResNet-20");
+  const auto data = models::make_dataset(spec.dataset);
+  const auto prepared = exp::prepare_trained_model(
+      spec, data, bench::cache_dir(), /*seed=*/1, /*verbose=*/true);
+
+  Table table({"profile", "#flips", "landed (sampled)", "ACTs (extrapolated)", "attack time",
+               "alarms (extrapolated)", "collateral flips"});
+
+  const std::int64_t hammers_per_side = 680000;  // one tREFW worth, split
+  for (const auto* prof : {&profiles.rowhammer, &profiles.rowpress}) {
+    // Fresh deployment per fault model.
+    Rng rng(11);
+    Rng init_rng = rng.fork();
+    auto model = spec.factory(init_rng);
+    nn::restore_state(*model, prepared.state);
+    nn::QuantizedModel qmodel(*model);
+    attack::WeightDramMapping mapping(chip.geometry(),
+                                      qmodel.total_weight_bytes(), rng);
+    dram::Device dev(exp::default_chip_config());  // same chip instance seed
+    dev.write_bytes(mapping.base_byte(), qmodel.pack_weight_image());
+
+    auto feasible = mapping.feasible_bits(qmodel, *prof);
+    attack::BfaConfig cfg;
+    attack::ProgressiveBitFlipAttack bfa(cfg, rng);
+    const auto search =
+        bfa.run_profile_aware(qmodel, feasible, data.test, data.test);
+
+    defense::GrapheneDefense graphene(16, 2000, 64.0e6,
+                                      dev.geometry().rows_per_bank);
+    dram::MemoryController ctrl(dev);
+    ctrl.attach_defense(&graphene);
+    attack::PhysicalBitFlipper flipper(ctrl);
+
+    InjectionReport rep;
+    rep.flips_requested = search.num_flips();
+    const bool is_press = prof == &profiles.rowpress;
+    // Command-path RowHammer injection costs ~1.4 M simulated ACTs per
+    // flip; we physically inject a sample of the selected flips and
+    // extrapolate the totals linearly (per-flip cost is constant by
+    // construction: the attacker always spends one full hammer/press
+    // budget per target).
+    constexpr int kInjectSample = 12;
+    int injected_count = 0;
+    for (const auto& flip : search.flips) {
+      if (injected_count++ >= kInjectSample) break;
+      const std::int64_t target =
+          mapping.linear_bit_for(qmodel.image_bit_offset(flip.ref));
+      const auto outcome =
+          is_press ? flipper.flip_via_rowpress(target, 64.0e6)
+                   : flipper.flip_via_rowhammer(target, hammers_per_side);
+      rep.flips_landed += outcome.target_flipped;
+      rep.activations += outcome.activations;
+      rep.time_ms += outcome.elapsed_ns / 1e6;
+      rep.collateral += outcome.collateral_flips;
+    }
+    rep.alarms = graphene.stats().alarms;
+    const int sampled = std::min(kInjectSample, rep.flips_requested);
+    const double scale =
+        sampled > 0 ? static_cast<double>(rep.flips_requested) / sampled : 0.0;
+
+    table.add_row(
+        {prof->mechanism_name(), std::to_string(rep.flips_requested),
+         std::to_string(rep.flips_landed) + "/" + std::to_string(sampled),
+         Table::fmt(static_cast<double>(rep.activations) * scale, 0),
+         Table::fmt(rep.time_ms * scale, 1) + " ms",
+         Table::fmt(static_cast<double>(rep.alarms) * scale, 0),
+         std::to_string(rep.collateral)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading: RowHammer needs ~1.4 M activations *per flip* and trips\n"
+      "the tracker constantly (each alarm refreshes the victims, so on a\n"
+      "mitigated system those flips would not even land); RowPress issues\n"
+      "ONE activation per flip, raises zero alarms, and needs fewer flips\n"
+      "to begin with — the paper's \"stealthier attack with noticeably\n"
+      "higher efficacy\".\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Fig. 3 reproduction: the command timing of a RowHammer vs a RowPress
+// attack on row 0x99, rendered from the *simulated* controller timeline
+// (not a drawing): every command of the two traces is executed and its
+// actual issue time printed, exactly as the rig's trace would play out.
+//
+//   (a) RowHammer: N x { ACT, Sleep(S), PRE } on the aggressors — many
+//       short activations; if HC reaches the MAC, the controller slots an
+//       NRR (shown with a MAC-armed defense attached).
+//   (b) RowPress: one { ACT, Sleep(T), PRE } — a single long activation.
+#include <cstdio>
+#include <vector>
+
+#include "defense/mac_counter.h"
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+#include "exp/experiment.h"
+
+using namespace rowpress;
+
+namespace {
+
+void run_and_trace(dram::MemoryController& ctrl,
+                   const dram::CommandTrace& trace, int max_lines) {
+  int shown = 0;
+  for (const auto& c : trace.commands()) {
+    const double before = ctrl.now_ns();
+    ctrl.execute(c);
+    if (shown >= max_lines) continue;
+    ++shown;
+    const char* name = "?";
+    switch (c.kind) {
+      case dram::CommandKind::kAct: name = "ACT"; break;
+      case dram::CommandKind::kPre: name = "PRE"; break;
+      case dram::CommandKind::kSleep: name = "SLP"; break;
+      case dram::CommandKind::kRead: name = "RD "; break;
+      case dram::CommandKind::kWrite: name = "WR "; break;
+      case dram::CommandKind::kRef: name = "REF"; break;
+      case dram::CommandKind::kNrr: name = "NRR"; break;
+    }
+    if (c.kind == dram::CommandKind::kAct ||
+        c.kind == dram::CommandKind::kNrr)
+      std::printf("  t=%10.1f ns  %s row 0x%02x\n", before, name, c.row);
+    else
+      std::printf("  t=%10.1f ns  %s\n", before, name);
+  }
+  if (static_cast<int>(trace.size()) > max_lines)
+    std::printf("  ... (%zu more commands, ending at t=%.1f ns)\n",
+                trace.size() - static_cast<std::size_t>(max_lines),
+                ctrl.now_ns());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 3: timing of (a) RowHammer & (b) RowPress on row 0x99 "
+      "===\n");
+  dram::DeviceConfig cfg = exp::default_chip_config();
+  const auto& t = cfg.timing;
+  std::printf(
+      "tCK=%.4f ns  tRAS=%.1f ns  tRP=%.1f ns  Sleep(S)=%.1f ns  "
+      "tREFW=%.0f ms\n",
+      t.tck_ns, t.tras_ns(), t.trp_ns(), t.hammer_sleep_ns(),
+      t.trefw_ns / 1e6);
+
+  {
+    std::printf(
+        "\n--- (a) RowHammer: N x {ACT, Sleep(S), PRE} on rows 0x98/0x9a, "
+        "MAC defense armed (T_MAC=4) ---\n");
+    dram::Device dev(cfg);
+    dram::MemoryController ctrl(dev);
+    defense::MacCounterDefense mac(4, cfg.geometry.rows_per_bank);
+    ctrl.attach_defense(&mac);
+    dram::CommandTrace trace;
+    trace.append_hammer(0, {0x98, 0x9a}, 5, t.hammer_sleep_ns());
+    run_and_trace(ctrl, trace, 18);
+    std::printf(
+        "  MAC alarms: %lld -> NRR issued for rows 0x97/0x99/0x9b (F flag "
+        "set when HC reaches T_MAC)\n",
+        static_cast<long long>(mac.stats().alarms));
+  }
+
+  {
+    std::printf(
+        "\n--- (b) RowPress: ONE {ACT, Sleep(T), PRE} on row 0x99, same "
+        "defense armed ---\n");
+    dram::Device dev(cfg);
+    dram::MemoryController ctrl(dev);
+    defense::MacCounterDefense mac(4, cfg.geometry.rows_per_bank);
+    ctrl.attach_defense(&mac);
+    dram::CommandTrace trace;
+    trace.append_press(0, 0x99, /*open_ns=*/30.0e6);  // T = 30 ms
+    run_and_trace(ctrl, trace, 6);
+    std::printf(
+        "  MAC alarms: %lld (one activation never reaches any counter "
+        "threshold)\n",
+        static_cast<long long>(mac.stats().alarms));
+  }
+
+  std::printf(
+      "\nShape vs paper Fig. 3: (a) a dense ACT/PRE comb with per-row "
+      "hammer\ncounts feeding the MAC; (b) a single ACT whose open window "
+      "covers the\nwhole timeline — nothing for an activation counter to "
+      "count.\n");
+  return 0;
+}

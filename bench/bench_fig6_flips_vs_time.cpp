@@ -1,0 +1,65 @@
+// Fig. 6 reproduction: bit-flips induced by double-sided RowHammer (as a
+// function of hammer count) vs. RowPress (as a function of cycle count),
+// both mapped onto a common wall-clock axis via the paper's Sec. VII-A
+// conversion (tCK @ 2400 MHz, HC = T/tREF * 1.36 M).
+//
+// Expected shape: both series grow with time; RowPress dominates for the
+// whole observation window, ending up ~20x higher (Takeaway 1).
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+#include "exp/experiment.h"
+
+using namespace rowpress;
+
+int main() {
+  std::printf(
+      "=== Fig. 6: double-sided RowHammer vs RowPress, flips over time ===\n"
+      "Chip: simulated Samsung-like DDR4-2400 (see DESIGN.md calibration)\n\n");
+
+  dram::DeviceConfig cfg = exp::default_chip_config();
+  cfg.geometry.num_banks = 1;  // Fig. 6 profiles one bank region
+  const dram::TimingParams timing = cfg.timing;
+
+  Table table({"time (ms)", "cycles (M)", "hammer count (K)",
+               "RH bit-flips", "RP bit-flips", "RP/RH"});
+
+  const double fractions[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                              0.6,  0.7, 0.8, 0.9, 1.0};
+  double final_ratio = 0.0;
+  for (const double frac : fractions) {
+    const double budget_ns = frac * timing.trefw_ns;  // up to one tREFW
+    const auto hc = static_cast<std::int64_t>(
+        timing.equivalent_hammer_count(budget_ns));
+
+    // Fresh devices per point so each budget is an independent experiment.
+    dram::Device dev_rh(cfg), dev_rp(cfg);
+    std::size_t rh_flips = 0, rp_flips = 0;
+    for (int victim = 4; victim < cfg.geometry.rows_per_bank - 4;
+         victim += 4) {
+      dram::RowHammerAttacker rh({.hammer_count = hc / 2});
+      rh_flips += rh.run_fast(dev_rh, 0, victim).flip_count();
+      dram::RowPressAttacker rp({.open_ns = budget_ns});
+      rp_flips += rp.run_fast(dev_rp, 0, victim).flip_count();
+    }
+    const double ratio =
+        rh_flips > 0 ? static_cast<double>(rp_flips) / rh_flips : 0.0;
+    if (rh_flips > 0) final_ratio = ratio;
+    table.add_row({Table::fmt(budget_ns / 1e6, 1),
+                   Table::fmt(timing.ns_to_cycles(budget_ns) / 1e6, 0),
+                   Table::fmt(static_cast<double>(hc) / 1e3, 0),
+                   std::to_string(rh_flips), std::to_string(rp_flips),
+                   rh_flips > 0 ? Table::fmt(ratio, 1) + "x" : "inf"});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nPaper Takeaway 1: \"RowPress produces 20x more bit-flips than\n"
+      "RowHammer\" at an equal attack-time budget.  Measured end-of-window\n"
+      "ratio: %.1fx.\n",
+      final_ratio);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the infrastructure itself: the
+// DRAM command path, the bulk profiling fast path, quantized model
+// inference, and one BFA search iteration.  These are performance
+// regression guards for the simulator, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "attack/bfa.h"
+#include "data/vision_synth.h"
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+#include "exp/experiment.h"
+#include "models/resnet.h"
+#include "nn/loss.h"
+#include "profile/profiler.h"
+
+using namespace rowpress;
+
+namespace {
+
+dram::DeviceConfig micro_chip() {
+  dram::DeviceConfig cfg;
+  cfg.geometry.num_banks = 1;
+  cfg.geometry.rows_per_bank = 128;
+  cfg.geometry.row_bytes = 1024;
+  return cfg;
+}
+
+void BM_DramActPreCycle(benchmark::State& state) {
+  dram::Device dev(micro_chip());
+  dram::MemoryController ctrl(dev);
+  for (auto _ : state) {
+    ctrl.execute(dram::Command::act(0, 10));
+    ctrl.execute(dram::Command::pre(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramActPreCycle);
+
+void BM_DramHammerTrace(benchmark::State& state) {
+  dram::Device dev(micro_chip());
+  dram::MemoryController ctrl(dev);
+  const auto n = state.range(0);
+  for (auto _ : state) ctrl.hammer(0, {10, 12}, n);
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_DramHammerTrace)->Arg(1000)->Arg(10000);
+
+void BM_DramBulkActivate(benchmark::State& state) {
+  dram::Device dev(micro_chip());
+  for (auto _ : state)
+    dev.bank(0).bulk_activate(10, state.range(0), dev.timing().tras_ns(),
+                              0.0);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DramBulkActivate)->Arg(100000);
+
+void BM_RowHammerProfilingPerRow(benchmark::State& state) {
+  dram::Device dev(micro_chip());
+  const dram::RowHammerAttacker attacker({.hammer_count = 680000});
+  int victim = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacker.run_fast(dev, 0, victim));
+    victim = 2 + (victim - 1) % (micro_chip().geometry.rows_per_bank - 4);
+  }
+}
+BENCHMARK(BM_RowHammerProfilingPerRow);
+
+void BM_RowPressProfilingPerRow(benchmark::State& state) {
+  dram::Device dev(micro_chip());
+  const dram::RowPressAttacker attacker({.open_ns = 64.0e6});
+  int target = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacker.run_fast(dev, 0, target));
+    target = 2 + (target - 1) % (micro_chip().geometry.rows_per_bank - 4);
+  }
+}
+BENCHMARK(BM_RowPressProfilingPerRow);
+
+struct NnFixture {
+  NnFixture() : rng(1) {
+    model = models::make_resnet_cifar(20, 1, 10, 8, rng);
+    model->set_training(false);
+    data::VisionSynthConfig cfg;
+    cfg.train_per_class = 8;
+    cfg.test_per_class = 8;
+    ds = data::make_vision_dataset(cfg);
+    batch = data::gather_inputs(ds.test, {0, 1, 2, 3, 4, 5, 6, 7});
+    labels = data::gather_labels(ds.test, {0, 1, 2, 3, 4, 5, 6, 7});
+  }
+  Rng rng;
+  std::unique_ptr<nn::Module> model;
+  data::SplitDataset ds;
+  nn::Tensor batch;
+  std::vector<int> labels;
+};
+
+void BM_ResNet20ForwardBatch8(benchmark::State& state) {
+  NnFixture f;
+  for (auto _ : state) benchmark::DoNotOptimize(f.model->forward(f.batch));
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ResNet20ForwardBatch8);
+
+void BM_ResNet20ForwardBackwardBatch8(benchmark::State& state) {
+  NnFixture f;
+  nn::CrossEntropyLoss ce;
+  for (auto _ : state) {
+    f.model->zero_grad();
+    const nn::Tensor logits = f.model->forward(f.batch);
+    ce.forward(logits, f.labels);
+    benchmark::DoNotOptimize(f.model->backward(ce.backward()));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ResNet20ForwardBackwardBatch8);
+
+void BM_QuantizeResNet20(benchmark::State& state) {
+  NnFixture f;
+  for (auto _ : state) {
+    nn::QuantizedModel qm(*f.model);
+    benchmark::DoNotOptimize(qm.total_weight_bytes());
+  }
+}
+BENCHMARK(BM_QuantizeResNet20);
+
+void BM_BfaIterationResNet20(benchmark::State& state) {
+  NnFixture f;
+  nn::QuantizedModel qm(*f.model);
+  Rng rng(2);
+  attack::BfaConfig cfg;
+  cfg.max_flips = 1;
+  cfg.attack_batch_size = 8;
+  cfg.eval_samples = 64;
+  for (auto _ : state) {
+    attack::ProgressiveBitFlipAttack bfa(cfg, rng);
+    benchmark::DoNotOptimize(
+        bfa.run_unconstrained(qm, f.ds.test, f.ds.test));
+  }
+}
+BENCHMARK(BM_BfaIterationResNet20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// Shared plumbing for the paper-reproduction bench harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace rowpress::bench {
+
+/// Number of attack repetitions (the paper averages 3 runs).  Override with
+/// RP_SEEDS=n; RP_QUICK=1 forces 1.
+inline int num_seeds() {
+  if (const char* quick = std::getenv("RP_QUICK"); quick && quick[0] == '1')
+    return 1;
+  if (const char* s = std::getenv("RP_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 3;
+}
+
+/// Directory for cached trained models / profiles (override: RP_CACHE_DIR).
+inline std::string cache_dir() {
+  if (const char* s = std::getenv("RP_CACHE_DIR")) return s;
+  return "artifacts";
+}
+
+}  // namespace rowpress::bench

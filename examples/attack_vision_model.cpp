@@ -1,0 +1,94 @@
+// End-to-end vision attack, including the *physical* fault injection the
+// Table-I benches abstract away:
+//
+//   profile chip -> train + quantize DeiT-T -> write its weight image into
+//   simulated DRAM -> profile-aware search picks weight bits -> each bit is
+//   physically flipped by pressing the adjacent row (Algorithm 2) ->
+//   read the corrupted image back -> measure the deployed model's accuracy.
+//
+// This demonstrates the whole MLaaS threat-model pipeline of Sec. IV/VI,
+// and also surfaces *collateral* flips — unintended corruption in rows
+// adjacent to the pressed rows.
+#include <cstdio>
+
+#include "attack/bfa.h"
+#include "attack/profile_aware_bfa.h"
+#include "common/bitutil.h"
+#include "exp/experiment.h"
+#include "models/zoo.h"
+
+using namespace rowpress;
+
+int main() {
+  dram::Device chip(exp::default_chip_config());
+  const auto profiles = exp::build_or_load_profiles(chip, "artifacts");
+  std::printf("RowPress profile: %zu vulnerable bits\n",
+              profiles.rowpress.size());
+
+  // Victim: DeiT-T on the ImageNet stand-in.
+  const auto zoo = models::model_zoo();
+  const auto& spec = models::find_model(zoo, "DeiT-T");
+  const auto data = models::make_dataset(spec.dataset);
+  auto prepared = exp::prepare_trained_model(spec, data, "artifacts", 1,
+                                             /*verbose=*/true);
+  std::printf("%s: %.2f%% accuracy before attack\n", spec.name.c_str(),
+              100.0 * prepared.stats.test_accuracy);
+
+  // Deploy: quantize and write the int8 weight image into DRAM.
+  Rng rng(7);
+  nn::QuantizedModel qmodel(*prepared.model);
+  attack::WeightDramMapping mapping(chip.geometry(),
+                                    qmodel.total_weight_bytes(), rng);
+  const auto clean_image = qmodel.pack_weight_image();
+  chip.write_bytes(mapping.base_byte(), clean_image);
+  std::printf("weight image: %lld bytes at DRAM byte offset %lld\n",
+              static_cast<long long>(qmodel.total_weight_bytes()),
+              static_cast<long long>(mapping.base_byte()));
+
+  // Search: profile-aware BFA over the bits that landed on C_rp cells.
+  auto feasible = mapping.feasible_bits(qmodel, profiles.rowpress);
+  std::printf("feasible weight bits on RowPress-vulnerable cells: %zu\n",
+              feasible.size());
+  attack::BfaConfig bfa_cfg;
+  attack::ProgressiveBitFlipAttack bfa(bfa_cfg, rng);
+  const auto search =
+      bfa.run_profile_aware(qmodel, feasible, data.test, data.test);
+  std::printf("search selected %d bit-flips (simulated accuracy %.2f%%)\n",
+              search.num_flips(), 100.0 * search.accuracy_after);
+
+  // Inject: one RowPress attack per selected bit, on the physical chip.
+  dram::MemoryController controller(chip);
+  attack::PhysicalBitFlipper flipper(controller);
+  int flipped = 0, collateral = 0;
+  double attack_time_ms = 0.0;
+  for (const auto& flip : search.flips) {
+    const std::int64_t target =
+        mapping.linear_bit_for(qmodel.image_bit_offset(flip.ref));
+    const auto outcome = flipper.flip_via_rowpress(target, 64.0e6);
+    flipped += outcome.target_flipped;
+    collateral += outcome.collateral_flips;
+    attack_time_ms += outcome.elapsed_ns / 1e6;
+  }
+  std::printf(
+      "physically injected %d/%d targeted flips in %.1f ms of DRAM time\n"
+      "(+%d collateral flips in neighbouring rows)\n",
+      flipped, search.num_flips(), attack_time_ms, collateral);
+
+  // Verify: pull the corrupted image back into a clean deployment copy.
+  const auto corrupted =
+      chip.read_bytes(mapping.base_byte(), qmodel.total_weight_bytes());
+  std::printf("weight image Hamming distance after attack: %zu bits\n",
+              hamming_distance(clean_image, corrupted));
+
+  auto deploy_rng = Rng(1);
+  auto fresh = spec.factory(deploy_rng);
+  nn::restore_state(*fresh, prepared.state);
+  nn::QuantizedModel deployed(*fresh);
+  deployed.load_weight_image(corrupted);
+  const double final_acc = exp::evaluate_accuracy(*fresh, data.test);
+  std::printf(
+      "deployed accuracy after physical attack: %.2f%% (random guess "
+      "%.1f%%)\n",
+      100.0 * final_acc, 100.0 * data.test.random_guess_accuracy());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Evaluating an in-DRAM mitigation with the library: attach a defense to
+// the memory controller, run both fault models through the command path,
+// and inspect what the defense saw.  Also shows how to plug in a custom
+// DefenseObserver — here a *duration-aware* monitor of the kind the
+// paper's conclusion calls for.
+#include <cstdio>
+
+#include "defense/graphene.h"
+#include "defense/para.h"
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+#include "exp/experiment.h"
+
+using namespace rowpress;
+
+namespace {
+
+/// A custom observer that flags *open duration* rather than activation
+/// count.  Counter defenses are structurally blind to RowPress; this one
+/// detects every press.  (Detection only: by the time PRE closes the row
+/// the charge has already leaked, so an NRR cannot undo the flip — a real
+/// mitigation must cap tON or refresh victims during the opening, which is
+/// a DRAM-internal capability outside the observer interface.)
+class OpenWindowMonitor final : public dram::DefenseObserver {
+ public:
+  explicit OpenWindowMonitor(double max_open_ns)
+      : max_open_ns_(max_open_ns) {}
+
+  const char* name() const override { return "OpenWindowMonitor"; }
+
+  std::vector<dram::NrrRequest> on_activate(int, int, double) override {
+    return {};
+  }
+
+  std::vector<dram::NrrRequest> on_precharge(int, int, double open_ns,
+                                             double) override {
+    if (open_ns > max_open_ns_) ++alarms_;
+    return {};
+  }
+
+  void on_refresh(int, int) override {}
+
+  std::int64_t alarms() const { return alarms_; }
+
+ private:
+  double max_open_ns_;
+  std::int64_t alarms_ = 0;
+};
+
+dram::DeviceConfig chip_config() {
+  dram::DeviceConfig cfg = exp::default_chip_config();
+  cfg.geometry.num_banks = 1;
+  cfg.geometry.rows_per_bank = 64;
+  cfg.cells.rh_density = 0.01;
+  cfg.cells.rh_log_median = 9.5;
+  cfg.cells.rh_min_threshold = 4000;
+  return cfg;
+}
+
+struct CaseResult {
+  std::size_t rh_flips = 0;
+  std::size_t rp_flips = 0;
+};
+
+CaseResult run_case(const char* label, dram::DefenseObserver* defense) {
+  dram::Device dev(chip_config());
+  dram::MemoryController ctrl(dev);
+  if (defense) ctrl.attach_defense(defense);
+  dram::RowHammerAttacker hammer({.hammer_count = 120000});
+  const auto rh = hammer.run(ctrl, 0, 20);
+  dram::RowPressAttacker press({.open_ns = 64.0e6});
+  const auto rp = press.run(ctrl, 0, 30);
+  std::printf("%-28s RowHammer flips: %4zu   RowPress flips: %4zu\n", label,
+              rh.flip_count(), rp.flip_count());
+  return {rh.flip_count(), rp.flip_count()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Evaluating defenses against both fault models ===\n\n");
+
+  run_case("no defense", nullptr);
+
+  defense::GrapheneDefense graphene(16, 2000, 64.0e6, 64);
+  run_case("Graphene (counter-based)", &graphene);
+  std::printf("  Graphene alarms: %lld — all raised by the RowHammer trace;"
+              "\n  the single-ACT press is invisible to it.\n\n",
+              static_cast<long long>(graphene.stats().alarms));
+
+  defense::ParaDefense para(0.02, 64);
+  run_case("PARA (p=0.02)", &para);
+  std::printf("  PARA victim refreshes: %lld — sampling happens per ACT,\n"
+              "  so the one press gets at most one coin toss.\n\n",
+              static_cast<long long>(para.stats().nrrs_issued));
+
+  OpenWindowMonitor monitor(/*max_open_ns=*/10000.0);
+  run_case("OpenWindowMonitor (custom)", &monitor);
+  std::printf(
+      "  OpenWindowMonitor alarms: %lld — duration-awareness *detects* the\n"
+      "  press that every counter misses.\n",
+      static_cast<long long>(monitor.alarms()));
+
+  std::printf(
+      "\nConclusion mirror of the paper (Sec. III / VIII): activation-\n"
+      "counting mitigations stop RowHammer but raise no alarm for RowPress;\n"
+      "effective protection needs tON-aware mechanisms inside the DRAM.\n");
+  return 0;
+}

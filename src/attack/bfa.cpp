@@ -1,0 +1,237 @@
+#include "attack/bfa.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace rowpress::attack {
+namespace {
+
+/// Loss of the model on a fixed batch (forward only).
+double batch_loss(nn::Module& model, const nn::Tensor& inputs,
+                  const std::vector<int>& labels) {
+  nn::CrossEntropyLoss ce;
+  return ce.forward(model.forward(inputs), labels);
+}
+
+/// Accuracy over a sample subset, batched.
+double subset_accuracy(nn::Module& model, const data::Dataset& ds,
+                       const std::vector<int>& indices) {
+  constexpr int kBatch = 128;
+  int correct_total = 0;
+  for (std::size_t off = 0; off < indices.size(); off += kBatch) {
+    const std::size_t end = std::min(indices.size(), off + kBatch);
+    const std::vector<int> chunk(indices.begin() + static_cast<std::ptrdiff_t>(off),
+                                 indices.begin() + static_cast<std::ptrdiff_t>(end));
+    const nn::Tensor logits = model.forward(data::gather_inputs(ds, chunk));
+    const auto labels = data::gather_labels(ds, chunk);
+    correct_total += static_cast<int>(
+        nn::accuracy(logits, labels) * static_cast<double>(chunk.size()) + 0.5);
+  }
+  return static_cast<double>(correct_total) / static_cast<double>(indices.size());
+}
+
+/// Signed dequantized-weight change from flipping bit `b` of code `w`.
+float flip_delta(std::int8_t w, int b, float scale) {
+  return static_cast<float>(int8_flip_delta(w, b)) * scale;
+}
+
+/// True if the physical cell direction allows flipping the current bit.
+bool direction_allows(bool current_bit, dram::FlipDirection dir) {
+  return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
+}
+
+}  // namespace
+
+std::vector<std::optional<ProgressiveBitFlipAttack::Candidate>>
+ProgressiveBitFlipAttack::intra_layer_search(
+    const nn::QuantizedModel& qmodel,
+    const std::vector<FeasibleBit>* feasible,
+    const std::vector<bool>* feasible_used) const {
+  const auto& qparams = qmodel.qparams();
+  std::vector<std::optional<Candidate>> best(qparams.size());
+
+  if (feasible == nullptr) {
+    // Unconstrained BFA: consider every bit of every attackable weight.
+    for (std::size_t l = 0; l < qparams.size(); ++l) {
+      const auto& qp = qparams[l];
+      Candidate cand;
+      cand.score = 0.0;
+      for (std::int64_t i = 0; i < qp.num_weights(); ++i) {
+        const float g = qp.param->grad[i];
+        if (g == 0.0f) continue;
+        const std::int8_t code = qp.qr.q[static_cast<std::size_t>(i)];
+        for (int b = 0; b < 8; ++b) {
+          const double score =
+              static_cast<double>(g) * flip_delta(code, b, qp.qr.scale);
+          if (score > cand.score) {
+            cand.score = score;
+            cand.ref = {static_cast<int>(l), i, b};
+          }
+        }
+      }
+      if (cand.score > 0.0) best[l] = cand;
+    }
+    return best;
+  }
+
+  // Profile-aware: only feasible bits whose physical direction matches the
+  // current bit value (Algorithm 3 step 2 + directionality constraint).
+  for (std::size_t fi = 0; fi < feasible->size(); ++fi) {
+    if ((*feasible_used)[fi]) continue;
+    const FeasibleBit& fb = (*feasible)[fi];
+    const auto& qp = qparams[static_cast<std::size_t>(fb.ref.param_index)];
+    const std::int8_t code =
+        qp.qr.q[static_cast<std::size_t>(fb.ref.weight_index)];
+    if (!direction_allows(int8_bit(code, fb.ref.bit), fb.direction)) continue;
+    const float g = qp.param->grad[fb.ref.weight_index];
+    const double score =
+        static_cast<double>(g) * flip_delta(code, fb.ref.bit, qp.qr.scale);
+    if (score <= 0.0) continue;
+    auto& slot = best[static_cast<std::size_t>(fb.ref.param_index)];
+    if (!slot || score > slot->score) {
+      Candidate cand;
+      cand.ref = fb.ref;
+      cand.score = score;
+      slot = cand;
+    }
+  }
+  return best;
+}
+
+AttackResult ProgressiveBitFlipAttack::run_unconstrained(
+    nn::QuantizedModel& qmodel, const data::Dataset& attack_data,
+    const data::Dataset& eval_data) {
+  return run_impl(qmodel, nullptr, attack_data, eval_data);
+}
+
+AttackResult ProgressiveBitFlipAttack::run_profile_aware(
+    nn::QuantizedModel& qmodel, std::vector<FeasibleBit> feasible,
+    const data::Dataset& attack_data, const data::Dataset& eval_data) {
+  // run_impl reads `feasible` through a pointer; keep it alive here.
+  return run_impl(qmodel, &feasible, attack_data, eval_data);
+}
+
+AttackResult ProgressiveBitFlipAttack::run_impl(
+    nn::QuantizedModel& qmodel, const std::vector<FeasibleBit>* feasible,
+    const data::Dataset& attack_data, const data::Dataset& eval_data) {
+  nn::Module& model = qmodel.model();
+  model.set_training(false);
+
+  // Attack batches: random mini-batches of inputs (the attacker's x, y).
+  // A fresh batch is drawn every iteration so the search cannot saturate
+  // on one batch's loss surface.
+  auto draw_batch = [&]() {
+    std::vector<int> idx;
+    idx.reserve(static_cast<std::size_t>(config_.attack_batch_size));
+    for (int i = 0; i < config_.attack_batch_size; ++i)
+      idx.push_back(static_cast<int>(
+          rng_->uniform_u64(static_cast<std::uint64_t>(attack_data.size()))));
+    return idx;
+  };
+
+  // Fixed, class-balanced evaluation subset for the per-flip accuracy
+  // trace (strided so ordered-by-class datasets stay stratified).
+  const int n_eval = std::min(config_.eval_samples, eval_data.size());
+  std::vector<int> eval_idx(static_cast<std::size_t>(n_eval));
+  for (int i = 0; i < n_eval; ++i)
+    eval_idx[static_cast<std::size_t>(i)] =
+        static_cast<int>(static_cast<std::int64_t>(i) * eval_data.size() /
+                         n_eval);
+
+  AttackResult result;
+  result.candidate_pool_size =
+      feasible ? static_cast<std::int64_t>(feasible->size())
+               : qmodel.total_weight_bytes() * 8;
+  result.accuracy_before = subset_accuracy(model, eval_data, eval_idx);
+  result.accuracy_after = result.accuracy_before;
+
+  const double target = eval_data.random_guess_accuracy() +
+                        config_.accuracy_margin;
+  if (result.accuracy_before <= target) {
+    result.objective_reached = true;
+    return result;
+  }
+
+  std::vector<bool> used(feasible ? feasible->size() : 0, false);
+  nn::CrossEntropyLoss ce;
+
+  int barren_rounds = 0;
+  while (static_cast<int>(result.flips.size()) < config_.max_flips) {
+    const auto batch_idx = draw_batch();
+    const nn::Tensor batch_inputs =
+        data::gather_inputs(attack_data, batch_idx);
+    const std::vector<int> batch_labels =
+        data::gather_labels(attack_data, batch_idx);
+
+    // Gradients of the attack objective w.r.t. the quantized weights.
+    model.zero_grad();
+    const nn::Tensor logits = model.forward(batch_inputs);
+    ce.forward(logits, batch_labels);
+    model.backward(ce.backward());
+
+    auto candidates = intra_layer_search(qmodel, feasible,
+                                         feasible ? &used : nullptr);
+
+    // Rank layers by predicted score, keep the strongest few.
+    std::vector<int> order;
+    for (std::size_t l = 0; l < candidates.size(); ++l)
+      if (candidates[l]) order.push_back(static_cast<int>(l));
+    if (order.empty()) {
+      // No loss-increasing candidate on this batch; a few redraws may
+      // still find one before we declare the pool exhausted.
+      if (++barren_rounds >= 3) break;
+      continue;
+    }
+    barren_rounds = 0;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return candidates[static_cast<std::size_t>(a)]->score >
+             candidates[static_cast<std::size_t>(b)]->score;
+    });
+    if (static_cast<int>(order.size()) > config_.max_layer_trials)
+      order.resize(static_cast<std::size_t>(config_.max_layer_trials));
+
+    // Inter-layer search: try each layer's candidate, keep the max loss.
+    double best_loss = -1.0;
+    int best_layer = -1;
+    for (const int l : order) {
+      const auto& cand = *candidates[static_cast<std::size_t>(l)];
+      qmodel.apply_bit_flip(cand.ref);
+      const double loss = batch_loss(model, batch_inputs, batch_labels);
+      qmodel.apply_bit_flip(cand.ref);  // restore (XOR is self-inverse)
+      if (loss > best_loss) {
+        best_loss = loss;
+        best_layer = l;
+      }
+    }
+    RP_ASSERT(best_layer >= 0, "inter-layer search found no layer");
+
+    // Commit the elected flip; physically the cell can flip only once.
+    const auto& cand = *candidates[static_cast<std::size_t>(best_layer)];
+    FlipRecord rec;
+    rec.ref = cand.ref;
+    rec.weight_delta = qmodel.apply_bit_flip(cand.ref);
+    rec.loss_after = best_loss;
+    if (feasible) {
+      for (std::size_t fi = 0; fi < feasible->size(); ++fi) {
+        if (!used[fi] && (*feasible)[fi].ref == cand.ref) {
+          used[fi] = true;
+          break;
+        }
+      }
+    }
+    rec.accuracy_after = subset_accuracy(model, eval_data, eval_idx);
+    result.accuracy_after = rec.accuracy_after;
+    result.flips.push_back(rec);
+
+    if (rec.accuracy_after <= target) {
+      result.objective_reached = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rowpress::attack

@@ -1,0 +1,103 @@
+// Progressive bit-flip attack (BFA, Rakin et al. ICCV'19) — the search
+// algorithm the paper adopts and constrains with DRAM profiles (Sec. VI-B,
+// Algorithm 3).
+//
+// Each iteration:
+//   1. compute dL/dW on the attack batch (eval-mode backward);
+//   2. intra-layer search: in every layer, among the *allowed* candidate
+//      bits, pick the one with the largest loss-increasing gradient score
+//      |∂L/∂w · Δw|;
+//   3. inter-layer search: tentatively apply each layer's candidate,
+//      measure the batch loss, restore; elect the layer with maximum loss;
+//   4. commit that flip (irreversibly — a disturbed cell cannot be flipped
+//      back by the attacker).
+// The attack stops when test accuracy falls to random-guess level (the
+// objective of eqn. 1/2) or a flip budget is exhausted.
+//
+// The candidate set is pluggable: the unconstrained variant may flip any
+// weight bit; the DRAM-profile-aware variant only bits that map onto
+// vulnerable cells whose physical flip direction matches (C_rh / C_rp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/mapping.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/quant/qmodel.h"
+
+namespace rowpress::attack {
+
+struct BfaConfig {
+  int attack_batch_size = 32;
+  /// Stop once eval accuracy <= random_guess + margin.
+  double accuracy_margin = 0.005;
+  int max_flips = 300;
+  /// Inter-layer search tries at most this many top-scoring layers per
+  /// iteration (the full BFA tries every layer; bounding it keeps deep
+  /// ResNet-101 runs tractable without changing which flip wins in
+  /// practice).
+  int max_layer_trials = 6;
+  /// Samples used for the per-iteration accuracy check (strided over the
+  /// eval set so class-ordered datasets stay stratified).
+  int eval_samples = 256;
+};
+
+struct FlipRecord {
+  nn::WeightBitRef ref;
+  float weight_delta = 0.0f;       ///< change in the dequantized weight
+  double loss_after = 0.0;         ///< attack-batch loss after the flip
+  double accuracy_after = 0.0;     ///< eval accuracy after the flip
+};
+
+struct AttackResult {
+  bool objective_reached = false;
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;   ///< eval accuracy at stop
+  std::vector<FlipRecord> flips;
+  std::int64_t candidate_pool_size = 0;  ///< |{B_cl}| at attack start
+
+  int num_flips() const { return static_cast<int>(flips.size()); }
+};
+
+class ProgressiveBitFlipAttack {
+ public:
+  ProgressiveBitFlipAttack(BfaConfig config, Rng& rng)
+      : config_(config), rng_(&rng) {}
+
+  /// Unconstrained BFA: any bit of any attackable weight may flip.
+  AttackResult run_unconstrained(nn::QuantizedModel& qmodel,
+                                 const data::Dataset& attack_data,
+                                 const data::Dataset& eval_data);
+
+  /// DRAM-profile-aware BFA (Algorithm 3): candidates restricted to
+  /// `feasible` (profile ∩ weight image) with matching flip direction.
+  AttackResult run_profile_aware(nn::QuantizedModel& qmodel,
+                                 std::vector<FeasibleBit> feasible,
+                                 const data::Dataset& attack_data,
+                                 const data::Dataset& eval_data);
+
+ private:
+  struct Candidate {
+    nn::WeightBitRef ref;
+    double score = 0.0;  ///< predicted loss increase, grad * delta
+  };
+
+  AttackResult run_impl(nn::QuantizedModel& qmodel,
+                        const std::vector<FeasibleBit>* feasible,
+                        const data::Dataset& attack_data,
+                        const data::Dataset& eval_data);
+
+  /// Best loss-increasing candidate per layer given current gradients.
+  std::vector<std::optional<Candidate>> intra_layer_search(
+      const nn::QuantizedModel& qmodel,
+      const std::vector<FeasibleBit>* feasible,
+      const std::vector<bool>* feasible_used) const;
+
+  BfaConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace rowpress::attack

@@ -1,0 +1,185 @@
+#include "attack/ecc_aware.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "nn/loss.h"
+
+namespace rowpress::attack {
+namespace {
+
+bool direction_allows(bool current_bit, dram::FlipDirection dir) {
+  return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
+}
+
+double batch_loss(nn::Module& model, const nn::Tensor& inputs,
+                  const std::vector<int>& labels) {
+  nn::CrossEntropyLoss ce;
+  return ce.forward(model.forward(inputs), labels);
+}
+
+double subset_accuracy(nn::Module& model, const data::Dataset& ds,
+                       const std::vector<int>& indices) {
+  constexpr int kBatch = 128;
+  int correct = 0;
+  for (std::size_t off = 0; off < indices.size(); off += kBatch) {
+    const std::size_t end = std::min(indices.size(), off + kBatch);
+    const std::vector<int> chunk(
+        indices.begin() + static_cast<std::ptrdiff_t>(off),
+        indices.begin() + static_cast<std::ptrdiff_t>(end));
+    const nn::Tensor logits = model.forward(data::gather_inputs(ds, chunk));
+    correct += static_cast<int>(
+        nn::accuracy(logits, data::gather_labels(ds, chunk)) *
+            static_cast<double>(chunk.size()) +
+        0.5);
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(indices.size());
+}
+
+}  // namespace
+
+EccAttackResult EccAwareAttack::run(nn::QuantizedModel& qmodel,
+                                    const std::vector<FeasibleBit>& feasible,
+                                    const data::Dataset& attack_data,
+                                    const data::Dataset& eval_data) {
+  nn::Module& model = qmodel.model();
+  model.set_training(false);
+
+  // Group candidates by their 64-bit ECC word inside the weight image.
+  std::map<std::int64_t, std::vector<int>> by_word;
+  for (std::size_t i = 0; i < feasible.size(); ++i) {
+    const std::int64_t image_bit =
+        qmodel.image_bit_offset(feasible[i].ref);
+    by_word[image_bit / 64].push_back(static_cast<int>(i));
+  }
+  // Only words that can host a full silent-corruption group matter.
+  std::vector<std::pair<std::int64_t, std::vector<int>>> words;
+  for (auto& [w, idx] : by_word)
+    if (static_cast<int>(idx.size()) >= config_.bits_per_word)
+      words.emplace_back(w, idx);
+
+  EccAttackResult result;
+  result.exploitable_words = static_cast<std::int64_t>(words.size());
+
+  const int n_eval = std::min(config_.eval_samples, eval_data.size());
+  std::vector<int> eval_idx(static_cast<std::size_t>(n_eval));
+  for (int i = 0; i < n_eval; ++i)
+    eval_idx[static_cast<std::size_t>(i)] = static_cast<int>(
+        static_cast<std::int64_t>(i) * eval_data.size() / n_eval);
+
+  result.accuracy_before = subset_accuracy(model, eval_data, eval_idx);
+  result.accuracy_after = result.accuracy_before;
+  const double target =
+      eval_data.random_guess_accuracy() + config_.accuracy_margin;
+  if (result.accuracy_before <= target) {
+    result.objective_reached = true;
+    return result;
+  }
+  if (words.empty()) return result;
+
+  std::vector<bool> word_used(words.size(), false);
+  nn::CrossEntropyLoss ce;
+  int barren_rounds = 0;
+
+  while (result.words_attacked < config_.max_words) {
+    // Fresh attack batch + gradients.
+    std::vector<int> batch_idx;
+    batch_idx.reserve(static_cast<std::size_t>(config_.attack_batch_size));
+    for (int i = 0; i < config_.attack_batch_size; ++i)
+      batch_idx.push_back(static_cast<int>(rng_->uniform_u64(
+          static_cast<std::uint64_t>(attack_data.size()))));
+    const nn::Tensor inputs = data::gather_inputs(attack_data, batch_idx);
+    const auto labels = data::gather_labels(attack_data, batch_idx);
+    model.zero_grad();
+    const nn::Tensor logits = model.forward(inputs);
+    ce.forward(logits, labels);
+    model.backward(ce.backward());
+
+    // Score each unused word: take its bits_per_word best direction-
+    // compatible candidates by grad*delta; the group score is their sum.
+    struct WordPlan {
+      int word_index = -1;
+      double score = 0.0;
+      std::vector<nn::WeightBitRef> refs;
+    };
+    std::vector<WordPlan> plans;
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      if (word_used[wi]) continue;
+      std::vector<std::pair<double, nn::WeightBitRef>> scored;
+      for (const int fi : words[wi].second) {
+        const FeasibleBit& fb = feasible[static_cast<std::size_t>(fi)];
+        const auto& qp =
+            qmodel.qparams()[static_cast<std::size_t>(fb.ref.param_index)];
+        const std::int8_t code =
+            qp.qr.q[static_cast<std::size_t>(fb.ref.weight_index)];
+        if (!direction_allows(int8_bit(code, fb.ref.bit), fb.direction))
+          continue;
+        const double delta =
+            static_cast<double>(int8_flip_delta(code, fb.ref.bit)) *
+            qp.qr.scale;
+        const double score =
+            static_cast<double>(qp.param->grad[fb.ref.weight_index]) * delta;
+        scored.emplace_back(score, fb.ref);
+      }
+      if (static_cast<int>(scored.size()) < config_.bits_per_word) continue;
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      WordPlan plan;
+      plan.word_index = static_cast<int>(wi);
+      for (int k = 0; k < config_.bits_per_word; ++k) {
+        plan.score += scored[static_cast<std::size_t>(k)].first;
+        plan.refs.push_back(scored[static_cast<std::size_t>(k)].second);
+      }
+      if (plan.score > 0.0) plans.push_back(std::move(plan));
+    }
+    if (plans.empty()) {
+      if (++barren_rounds >= 3) break;
+      continue;
+    }
+    barren_rounds = 0;
+    std::sort(plans.begin(), plans.end(),
+              [](const WordPlan& a, const WordPlan& b) {
+                return a.score > b.score;
+              });
+    if (static_cast<int>(plans.size()) > config_.max_word_trials)
+      plans.resize(static_cast<std::size_t>(config_.max_word_trials));
+
+    // Tentatively apply each word group, keep the max-loss one.
+    double best_loss = -1.0;
+    const WordPlan* best = nullptr;
+    for (const auto& plan : plans) {
+      for (const auto& ref : plan.refs) qmodel.apply_bit_flip(ref);
+      const double loss = batch_loss(model, inputs, labels);
+      for (const auto& ref : plan.refs) qmodel.apply_bit_flip(ref);
+      if (loss > best_loss) {
+        best_loss = loss;
+        best = &plan;
+      }
+    }
+    RP_ASSERT(best != nullptr, "ecc-aware word trial found nothing");
+
+    for (const auto& ref : best->refs) {
+      FlipRecord rec;
+      rec.ref = ref;
+      rec.weight_delta = qmodel.apply_bit_flip(ref);
+      rec.loss_after = best_loss;
+      result.flips.push_back(rec);
+    }
+    word_used[static_cast<std::size_t>(best->word_index)] = true;
+    ++result.words_attacked;
+
+    result.accuracy_after = subset_accuracy(model, eval_data, eval_idx);
+    result.flips.back().accuracy_after = result.accuracy_after;
+    if (result.accuracy_after <= target) {
+      result.objective_reached = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rowpress::attack

@@ -1,0 +1,55 @@
+// ECC-aware profile attack — extension beyond the paper's threat model.
+//
+// The paper assumes no rank-level ECC (Sec. IV).  With SECDED attached,
+// any single flipped bit per 64-bit word is scrubbed away and any pair is
+// detected; but *three* flips in one word alias to a correctable syndrome
+// and silently corrupt the word (see ecc/secded.h).  This attack therefore
+// restricts the search to ECC words that contain at least
+// `bits_per_word` direction-compatible vulnerable cells and commits whole
+// words (3 flips at a time), producing corruption that survives scrubbing.
+#pragma once
+
+#include <vector>
+
+#include "attack/bfa.h"
+
+namespace rowpress::attack {
+
+struct EccAwareConfig {
+  int attack_batch_size = 32;
+  double accuracy_margin = 0.005;
+  int max_words = 150;        ///< word commits (each = bits_per_word flips)
+  int max_word_trials = 6;    ///< tentative word evaluations per iteration
+  int bits_per_word = 3;      ///< SECDED needs >=3 to miscorrect silently
+  int eval_samples = 256;
+};
+
+struct EccAttackResult {
+  bool objective_reached = false;
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  int words_attacked = 0;
+  std::vector<FlipRecord> flips;  ///< individual bit flips, in commit order
+  /// Number of ECC words that had >= bits_per_word usable candidates at
+  /// attack start (the feasible "silent corruption" surface).
+  std::int64_t exploitable_words = 0;
+};
+
+class EccAwareAttack {
+ public:
+  EccAwareAttack(EccAwareConfig config, Rng& rng)
+      : config_(config), rng_(&rng) {}
+
+  /// Runs the word-granular search.  `feasible` is the same profile ∩
+  /// weight-image candidate list the plain profile-aware attack uses.
+  EccAttackResult run(nn::QuantizedModel& qmodel,
+                      const std::vector<FeasibleBit>& feasible,
+                      const data::Dataset& attack_data,
+                      const data::Dataset& eval_data);
+
+ private:
+  EccAwareConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace rowpress::attack

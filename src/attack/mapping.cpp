@@ -1,0 +1,65 @@
+#include "attack/mapping.h"
+
+#include "common/check.h"
+
+namespace rowpress::attack {
+
+WeightDramMapping::WeightDramMapping(const dram::Geometry& geom,
+                                     std::int64_t image_bytes, Rng& rng)
+    : geom_(geom), image_bytes_(image_bytes) {
+  RP_REQUIRE(image_bytes > 0, "weight image must be non-empty");
+  RP_REQUIRE(image_bytes <= geom.total_bytes(),
+             "weight image does not fit in the device");
+  const std::int64_t max_row_start =
+      (geom.total_bytes() - image_bytes) / geom.row_bytes;
+  base_byte_ = static_cast<std::int64_t>(rng.uniform_u64(
+                   static_cast<std::uint64_t>(max_row_start + 1))) *
+               geom.row_bytes;
+}
+
+WeightDramMapping::WeightDramMapping(const dram::Geometry& geom,
+                                     std::int64_t image_bytes,
+                                     std::int64_t base_byte)
+    : geom_(geom), image_bytes_(image_bytes), base_byte_(base_byte) {
+  RP_REQUIRE(image_bytes > 0, "weight image must be non-empty");
+  RP_REQUIRE(base_byte >= 0 && base_byte + image_bytes <= geom.total_bytes(),
+             "weight image placement outside the device");
+}
+
+std::int64_t WeightDramMapping::linear_bit_for(std::int64_t image_bit) const {
+  RP_REQUIRE(image_bit >= 0 && image_bit < image_bytes_ * 8,
+             "image bit out of range");
+  return base_byte_ * 8 + image_bit;
+}
+
+std::int64_t WeightDramMapping::image_bit_for(std::int64_t linear_bit) const {
+  RP_REQUIRE(contains_linear_bit(linear_bit),
+             "linear bit outside the weight image");
+  return linear_bit - base_byte_ * 8;
+}
+
+bool WeightDramMapping::contains_linear_bit(std::int64_t linear_bit) const {
+  return linear_bit >= base_byte_ * 8 &&
+         linear_bit < (base_byte_ + image_bytes_) * 8;
+}
+
+std::vector<FeasibleBit> WeightDramMapping::feasible_bits(
+    const nn::QuantizedModel& qmodel,
+    const profile::BitFlipProfile& prof) const {
+  RP_REQUIRE(qmodel.total_weight_bytes() == image_bytes_,
+             "mapping was built for a different weight image size");
+  std::vector<FeasibleBit> out;
+  const auto in_range =
+      prof.bits_in_range(base_byte_ * 8, (base_byte_ + image_bytes_) * 8);
+  out.reserve(in_range.size());
+  for (const auto& vb : in_range) {
+    FeasibleBit fb;
+    fb.linear_bit = vb.linear_bit;
+    fb.direction = vb.direction;
+    fb.ref = qmodel.bit_ref_from_image_offset(image_bit_for(vb.linear_bit));
+    out.push_back(fb);
+  }
+  return out;
+}
+
+}  // namespace rowpress::attack

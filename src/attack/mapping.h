@@ -1,0 +1,58 @@
+// Weight <-> DRAM mapping (Sec. VI): the deployed model's packed int8
+// weight image occupies a contiguous byte range of the (simulated) chip.
+// The attacker does not choose or alter this mapping — it only knows it
+// (via the reverse-engineered addressing scheme of the threat model) and
+// exploits whichever weight bits happen to land on vulnerable cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/device.h"
+#include "nn/quant/qmodel.h"
+#include "profile/bitflip_profile.h"
+
+namespace rowpress::attack {
+
+/// One weight bit that maps onto a vulnerable DRAM cell from a profile.
+struct FeasibleBit {
+  nn::WeightBitRef ref;
+  dram::FlipDirection direction = dram::FlipDirection::kOneToZero;
+  std::int64_t linear_bit = 0;  ///< DRAM linear bit address
+};
+
+class WeightDramMapping {
+ public:
+  /// Places a weight image of `image_bytes` at a row-aligned offset chosen
+  /// by `rng` (models the OS page allocation the attacker cannot control —
+  /// the random "mapping of weights to vulnerable bit-cells" the paper
+  /// averages over).
+  WeightDramMapping(const dram::Geometry& geom, std::int64_t image_bytes,
+                    Rng& rng);
+
+  /// Fixed placement at `base_byte` (must be within the device).
+  WeightDramMapping(const dram::Geometry& geom, std::int64_t image_bytes,
+                    std::int64_t base_byte);
+
+  std::int64_t base_byte() const { return base_byte_; }
+  std::int64_t image_bytes() const { return image_bytes_; }
+
+  std::int64_t linear_bit_for(std::int64_t image_bit) const;
+  std::int64_t image_bit_for(std::int64_t linear_bit) const;
+  bool contains_linear_bit(std::int64_t linear_bit) const;
+
+  /// Intersects a DRAM bit-flip profile with the weight image: every
+  /// profile cell inside the image becomes a candidate weight bit
+  /// ({B_cl} selection of Algorithm 3, step 2).
+  std::vector<FeasibleBit> feasible_bits(
+      const nn::QuantizedModel& qmodel,
+      const profile::BitFlipProfile& prof) const;
+
+ private:
+  dram::Geometry geom_;
+  std::int64_t image_bytes_;
+  std::int64_t base_byte_;
+};
+
+}  // namespace rowpress::attack

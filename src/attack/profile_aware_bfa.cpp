@@ -1,0 +1,101 @@
+#include "attack/profile_aware_bfa.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace rowpress::attack {
+namespace {
+
+std::vector<std::uint8_t> copy_row(const dram::Device& device, int bank,
+                                   int row) {
+  const auto span = device.bank(bank).row_data(row);
+  return std::vector<std::uint8_t>(span.begin(), span.end());
+}
+
+}  // namespace
+
+PhysicalFlipOutcome PhysicalBitFlipper::flip_via_rowhammer(
+    std::int64_t linear_bit, std::int64_t hammer_count) {
+  return run_attack(linear_bit, /*use_press=*/false, hammer_count, 0.0);
+}
+
+PhysicalFlipOutcome PhysicalBitFlipper::flip_via_rowpress(
+    std::int64_t linear_bit, double press_ns) {
+  return run_attack(linear_bit, /*use_press=*/true, 0, press_ns);
+}
+
+PhysicalFlipOutcome PhysicalBitFlipper::run_attack(std::int64_t linear_bit,
+                                                   bool use_press,
+                                                   std::int64_t hammer_count,
+                                                   double press_ns) {
+  dram::Device& device = controller_->device();
+  const dram::CellAddress target = device.address_map().cell_address(linear_bit);
+  const int rows_per_bank = device.geometry().rows_per_bank;
+  RP_REQUIRE(rows_per_bank >= 2, "device too small to have neighbours");
+
+  // Aggressor rows adjacent to the victim row (edge rows have only one
+  // neighbour; pressing a single neighbour suffices for RowPress, and
+  // RowHammer degrades to single-sided there).
+  std::vector<int> aggressors;
+  if (use_press) {
+    aggressors = {target.row > 0 ? target.row - 1 : target.row + 1};
+  } else {
+    if (target.row > 0) aggressors.push_back(target.row - 1);
+    if (target.row + 1 < rows_per_bank) aggressors.push_back(target.row + 1);
+  }
+
+  // Snapshot the 5-row neighbourhood for collateral accounting.
+  const int lo = std::max(0, target.row - 2);
+  const int hi = std::min(rows_per_bank - 1, target.row + 2);
+  std::vector<std::vector<std::uint8_t>> before;
+  for (int r = lo; r <= hi; ++r)
+    before.push_back(copy_row(device, target.bank, r));
+
+  // Write the crafted pattern: victim data with only the target bit
+  // inverted, so exactly one cell sees a differential.
+  const auto victim_data = copy_row(device, target.bank, target.row);
+  std::vector<std::uint8_t> pattern = victim_data;
+  flip_bit(pattern, static_cast<std::size_t>(target.bit));
+  std::vector<std::vector<std::uint8_t>> saved_aggressors;
+  for (const int a : aggressors) {
+    saved_aggressors.push_back(copy_row(device, target.bank, a));
+    device.bank(target.bank).write_row(a, pattern);
+  }
+
+  PhysicalFlipOutcome outcome;
+  const double t0 = controller_->now_ns();
+  const std::int64_t acts0 = controller_->stats().acts;
+  if (use_press) {
+    controller_->press(target.bank, aggressors.front(), press_ns);
+  } else {
+    controller_->hammer(target.bank, aggressors, hammer_count);
+  }
+  outcome.elapsed_ns = controller_->now_ns() - t0;
+  outcome.activations = controller_->stats().acts - acts0;
+
+  // Restore the aggressor rows (attacker-controlled pages).
+  for (std::size_t i = 0; i < aggressors.size(); ++i)
+    device.bank(target.bank).write_row(aggressors[i], saved_aggressors[i]);
+
+  // Did the target flip?  Count collateral elsewhere in the neighbourhood.
+  const bool target_before = get_bit(victim_data,
+                                     static_cast<std::size_t>(target.bit));
+  outcome.target_flipped =
+      device.get_bit(linear_bit) != target_before;
+  for (int r = lo; r <= hi; ++r) {
+    const bool is_aggressor =
+        std::find(aggressors.begin(), aggressors.end(), r) != aggressors.end();
+    if (is_aggressor) continue;  // restored above
+    const auto now = copy_row(device, target.bank, r);
+    const auto& old = before[static_cast<std::size_t>(r - lo)];
+    std::size_t diffs = hamming_distance(old, now);
+    if (r == target.row && outcome.target_flipped) --diffs;
+    outcome.collateral_flips += static_cast<int>(diffs);
+  }
+  return outcome;
+}
+
+}  // namespace rowpress::attack

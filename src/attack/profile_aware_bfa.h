@@ -1,0 +1,52 @@
+// Physical execution of selected bit-flips on the simulated chip — the
+// last stage of the end-to-end pipeline: after the profile-aware search
+// picks a weight bit, the attacker must actually hammer (Algorithm 1) or
+// press (Algorithm 2) the rows adjacent to the cell holding it.
+//
+// Per the threat model (Sec. IV), the attacker controls the data pattern in
+// the adjacent rows ("fast and precise multi-bit-flip techniques that
+// ensure the correct hammering patterns"): we write the victim row's data
+// with only the target bit inverted into the aggressor row(s), so only the
+// target cell sees a differential pattern, then restore the aggressor rows.
+// Any unintended flips that still occur in neighbouring rows are reported
+// as collateral.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/mapping.h"
+#include "dram/controller.h"
+
+namespace rowpress::attack {
+
+struct PhysicalFlipOutcome {
+  bool target_flipped = false;
+  int collateral_flips = 0;   ///< unintended flips in rows r-2..r+2
+  double elapsed_ns = 0.0;    ///< simulated attack time
+  std::int64_t activations = 0;
+};
+
+class PhysicalBitFlipper {
+ public:
+  explicit PhysicalBitFlipper(dram::MemoryController& controller)
+      : controller_(&controller) {}
+
+  /// Double-sided RowHammer on the rows adjacent to the target cell.
+  /// `hammer_count` is per aggressor row.
+  PhysicalFlipOutcome flip_via_rowhammer(std::int64_t linear_bit,
+                                         std::int64_t hammer_count);
+
+  /// RowPress: keep one row adjacent to the target cell open for
+  /// `press_ns` (a single activation).
+  PhysicalFlipOutcome flip_via_rowpress(std::int64_t linear_bit,
+                                        double press_ns);
+
+ private:
+  struct Neighborhood;
+  PhysicalFlipOutcome run_attack(std::int64_t linear_bit, bool use_press,
+                                 std::int64_t hammer_count, double press_ns);
+
+  dram::MemoryController* controller_;
+};
+
+}  // namespace rowpress::attack

@@ -1,0 +1,42 @@
+#include "attack/runner.h"
+
+#include "attack/mapping.h"
+#include "nn/quant/qmodel.h"
+
+namespace rowpress::attack {
+
+AttackResult run_profile_attack(const models::ModelSpec& spec,
+                                const nn::ModelState& trained,
+                                const data::SplitDataset& data,
+                                const profile::BitFlipProfile& prof,
+                                const dram::Geometry& geom,
+                                const AttackRunSetup& setup) {
+  Rng rng(setup.seed);
+  Rng init_rng = rng.fork();
+  auto model = spec.factory(init_rng);
+  nn::restore_state(*model, trained);
+
+  nn::QuantizedModel qmodel(*model);
+  WeightDramMapping mapping(geom, qmodel.total_weight_bytes(), rng);
+  auto feasible = mapping.feasible_bits(qmodel, prof);
+
+  ProgressiveBitFlipAttack bfa(setup.bfa, rng);
+  return bfa.run_profile_aware(qmodel, std::move(feasible), data.test,
+                               data.test);
+}
+
+AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
+                                      const nn::ModelState& trained,
+                                      const data::SplitDataset& data,
+                                      const AttackRunSetup& setup) {
+  Rng rng(setup.seed);
+  Rng init_rng = rng.fork();
+  auto model = spec.factory(init_rng);
+  nn::restore_state(*model, trained);
+
+  nn::QuantizedModel qmodel(*model);
+  ProgressiveBitFlipAttack bfa(setup.bfa, rng);
+  return bfa.run_unconstrained(qmodel, data.test, data.test);
+}
+
+}  // namespace rowpress::attack

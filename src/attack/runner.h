@@ -1,0 +1,38 @@
+// Single-attack-run orchestration: trained model state -> fresh quantized
+// copy -> random DRAM placement -> (profile-aware) BFA.  Used by the
+// Table-I / Fig.-7 benches and the examples; each run is deterministic in
+// its seed, and the paper's averaging over "random attack initialization"
+// (batch selection, weight-to-cell mapping) corresponds to varying it.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/bfa.h"
+#include "data/dataset.h"
+#include "dram/address.h"
+#include "nn/serialize.h"
+#include "models/zoo.h"
+#include "profile/bitflip_profile.h"
+
+namespace rowpress::attack {
+
+struct AttackRunSetup {
+  BfaConfig bfa;
+  std::uint64_t seed = 1;
+};
+
+/// DRAM-profile-aware attack (Algorithm 3) with the given profile.
+AttackResult run_profile_attack(const models::ModelSpec& spec,
+                                const nn::ModelState& trained,
+                                const data::SplitDataset& data,
+                                const profile::BitFlipProfile& prof,
+                                const dram::Geometry& geom,
+                                const AttackRunSetup& setup);
+
+/// Unconstrained BFA baseline (no DRAM profile restriction).
+AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
+                                      const nn::ModelState& trained,
+                                      const data::SplitDataset& data,
+                                      const AttackRunSetup& setup);
+
+}  // namespace rowpress::attack

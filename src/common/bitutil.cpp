@@ -1,0 +1,78 @@
+#include "common/bitutil.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace rowpress {
+
+bool get_bit(std::span<const std::uint8_t> bytes, std::size_t bit_index) {
+  RP_REQUIRE(bit_index / 8 < bytes.size(), "bit index out of range");
+  return (bytes[bit_index / 8] >> (bit_index % 8)) & 1u;
+}
+
+void set_bit(std::span<std::uint8_t> bytes, std::size_t bit_index,
+             bool value) {
+  RP_REQUIRE(bit_index / 8 < bytes.size(), "bit index out of range");
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit_index % 8));
+  if (value)
+    bytes[bit_index / 8] |= mask;
+  else
+    bytes[bit_index / 8] &= static_cast<std::uint8_t>(~mask);
+}
+
+bool flip_bit(std::span<std::uint8_t> bytes, std::size_t bit_index) {
+  RP_REQUIRE(bit_index / 8 < bytes.size(), "bit index out of range");
+  bytes[bit_index / 8] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+  return get_bit(bytes, bit_index);
+}
+
+std::size_t popcount(std::span<const std::uint8_t> bytes) {
+  std::size_t n = 0;
+  for (const auto b : bytes) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  RP_REQUIRE(a.size() == b.size(), "hamming_distance needs equal sizes");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    n += static_cast<std::size_t>(std::popcount(
+        static_cast<std::uint8_t>(a[i] ^ b[i])));
+  return n;
+}
+
+bool int8_bit(std::int8_t w, int b) {
+  RP_REQUIRE(b >= 0 && b < 8, "int8 bit index in [0,8)");
+  return (static_cast<std::uint8_t>(w) >> b) & 1u;
+}
+
+std::int8_t int8_flip_bit(std::int8_t w, int b) {
+  RP_REQUIRE(b >= 0 && b < 8, "int8 bit index in [0,8)");
+  return static_cast<std::int8_t>(static_cast<std::uint8_t>(w) ^
+                                  static_cast<std::uint8_t>(1u << b));
+}
+
+int int8_flip_delta(std::int8_t w, int b) {
+  const int before = w;
+  const int after = int8_flip_bit(w, b);
+  return after - before;
+}
+
+std::vector<std::uint8_t> pack_bits(const std::vector<bool>& bits) {
+  std::vector<std::uint8_t> out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return out;
+}
+
+std::vector<bool> unpack_bits(std::span<const std::uint8_t> bytes,
+                              std::size_t nbits) {
+  RP_REQUIRE(nbits <= bytes.size() * 8, "unpack_bits: nbits too large");
+  std::vector<bool> out(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) out[i] = get_bit(bytes, i);
+  return out;
+}
+
+}  // namespace rowpress

@@ -1,0 +1,45 @@
+// Bit-level helpers shared by the DRAM model (cell addressing within a row
+// buffer) and the quantized-weight attack code (2's-complement bit flips).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rowpress {
+
+/// Reads bit `bit_index` (0 = LSB of byte 0) from a byte buffer.
+bool get_bit(std::span<const std::uint8_t> bytes, std::size_t bit_index);
+
+/// Writes bit `bit_index` in a byte buffer.
+void set_bit(std::span<std::uint8_t> bytes, std::size_t bit_index, bool value);
+
+/// Flips bit `bit_index`, returning the new value.
+bool flip_bit(std::span<std::uint8_t> bytes, std::size_t bit_index);
+
+/// Number of set bits in the buffer.
+std::size_t popcount(std::span<const std::uint8_t> bytes);
+
+/// Number of bit positions where the two equal-length buffers differ.
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+/// Returns bit `b` (0 = LSB ... 7 = sign) of a 2's-complement int8 weight.
+bool int8_bit(std::int8_t w, int b);
+
+/// Returns `w` with bit `b` flipped, as 2's-complement int8.
+std::int8_t int8_flip_bit(std::int8_t w, int b);
+
+/// Signed value change caused by flipping bit `b` of `w`:
+/// +2^b if the bit was 0 (for b<7), -2^b if it was 1; the sign bit (b=7)
+/// contributes -128/+128 respectively.
+int int8_flip_delta(std::int8_t w, int b);
+
+/// Packs a vector of bools into bytes (LSB-first).
+std::vector<std::uint8_t> pack_bits(const std::vector<bool>& bits);
+
+/// Unpacks `nbits` bits from a byte buffer (LSB-first).
+std::vector<bool> unpack_bits(std::span<const std::uint8_t> bytes,
+                              std::size_t nbits);
+
+}  // namespace rowpress

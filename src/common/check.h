@@ -1,0 +1,37 @@
+// Lightweight contract checks used across the library.
+//
+// RP_REQUIRE is for precondition violations by callers of the public API;
+// RP_ASSERT is for internal invariants.  Both throw std::logic_error so
+// misuse is observable in tests rather than silently corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rowpress {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace rowpress
+
+#define RP_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rowpress::contract_failure("precondition", #cond, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (0)
+
+#define RP_ASSERT(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rowpress::contract_failure("invariant", #cond, __FILE__, __LINE__,  \
+                                   (msg));                                  \
+  } while (0)

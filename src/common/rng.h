@@ -1,0 +1,66 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the simulator (cell vulnerability maps,
+// synthetic datasets, weight initialization, attack batch selection) draw
+// from Rng instances seeded explicitly, so every experiment is exactly
+// reproducible from its seed.  The generator is xoshiro256** with splitmix64
+// seeding — fast, high quality, and independent of libstdc++'s unspecified
+// distribution implementations (we implement our own distributions so that
+// results are bit-identical across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rowpress {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Fork an independent stream (for per-subsystem seeding).
+  Rng fork();
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rowpress

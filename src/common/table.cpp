@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rowpress {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RP_REQUIRE(cells.size() == headers_.size(),
+             "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-');
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 != row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace rowpress

@@ -1,0 +1,36 @@
+// Minimal console table / CSV writer used by the benchmark harnesses to
+// print paper-style tables (Table I) and figure series (Fig. 6/7) in a form
+// that is easy to eyeball and to post-process.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rowpress {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rowpress

@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rowpress::data {
+
+nn::Tensor gather_inputs(const Dataset& ds, const std::vector<int>& indices) {
+  RP_REQUIRE(!indices.empty(), "cannot gather an empty batch");
+  const std::int64_t row = ds.inputs.numel() / ds.size();
+  std::vector<int> shape = ds.inputs.shape();
+  shape[0] = static_cast<int>(indices.size());
+  nn::Tensor out(shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    RP_REQUIRE(indices[i] >= 0 && indices[i] < ds.size(),
+               "batch index out of range");
+    const float* src = ds.inputs.data() + static_cast<std::int64_t>(indices[i]) * row;
+    float* dst = out.data() + static_cast<std::int64_t>(i) * row;
+    std::copy(src, src + row, dst);
+  }
+  return out;
+}
+
+std::vector<int> gather_labels(const Dataset& ds,
+                               const std::vector<int>& indices) {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (const int i : indices) {
+    RP_REQUIRE(i >= 0 && i < ds.size(), "batch index out of range");
+    out.push_back(ds.labels[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Batcher::Batcher(int dataset_size, int batch_size, Rng& rng)
+    : n_(dataset_size), batch_(batch_size), rng_(&rng),
+      order_(static_cast<std::size_t>(dataset_size)) {
+  RP_REQUIRE(dataset_size > 0 && batch_size > 0, "bad batcher config");
+  std::iota(order_.begin(), order_.end(), 0);
+  rng_->shuffle(order_);
+}
+
+std::vector<int> Batcher::next() {
+  if (cursor_ >= n_) {
+    rng_->shuffle(order_);
+    cursor_ = 0;
+  }
+  const int end = std::min(cursor_ + batch_, n_);
+  std::vector<int> out(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  return out;
+}
+
+int Batcher::batches_per_epoch() const { return (n_ + batch_ - 1) / batch_; }
+
+}  // namespace rowpress::data

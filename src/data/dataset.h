@@ -1,0 +1,55 @@
+// In-memory classification datasets and batching.
+//
+// The paper evaluates on CIFAR-10, ImageNet and Google Speech Commands —
+// none of which are available offline — so src/data provides procedurally
+// generated stand-ins with the same *roles*: a 10-class small-image set, a
+// many-class "large-scale" image set, and a 35-class raw-waveform set (see
+// DESIGN.md §2 for why this preserves the attack comparison).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace rowpress::data {
+
+struct Dataset {
+  std::string name;
+  nn::Tensor inputs;        ///< [N, C, H, W] images or [N, 1, L] waveforms
+  std::vector<int> labels;  ///< N class indices
+  int num_classes = 0;
+
+  int size() const { return inputs.empty() ? 0 : inputs.dim(0); }
+  double random_guess_accuracy() const { return 1.0 / num_classes; }
+};
+
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+
+/// Copies the rows at `indices` into a contiguous batch tensor.
+nn::Tensor gather_inputs(const Dataset& ds, const std::vector<int>& indices);
+std::vector<int> gather_labels(const Dataset& ds,
+                               const std::vector<int>& indices);
+
+/// Yields shuffled mini-batch index lists, one epoch at a time.
+class Batcher {
+ public:
+  Batcher(int dataset_size, int batch_size, Rng& rng);
+
+  /// Next batch of indices; reshuffles and wraps at epoch end.
+  std::vector<int> next();
+
+  int batches_per_epoch() const;
+
+ private:
+  int n_, batch_;
+  Rng* rng_;
+  std::vector<int> order_;
+  int cursor_ = 0;
+};
+
+}  // namespace rowpress::data

@@ -1,0 +1,26 @@
+// Procedural raw-waveform dataset — the Google Speech Commands stand-in
+// for the M11 model.  Each of the 35 classes is a characteristic
+// two-formant tone pair with a class-specific amplitude envelope; samples
+// add phase/frequency jitter and noise, so classification requires learning
+// spectral structure from the raw waveform (what M11 does).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace rowpress::data {
+
+struct SpeechSynthConfig {
+  int num_classes = 35;  ///< Speech Commands has 35 keywords (1/35 = 2.86 %)
+  int length = 256;
+  int train_per_class = 90;
+  int test_per_class = 30;
+  double noise_std = 0.25;
+  double freq_jitter = 0.02;
+  std::uint64_t seed = 7;
+};
+
+SplitDataset make_speech_dataset(const SpeechSynthConfig& config = {});
+
+}  // namespace rowpress::data

@@ -1,0 +1,114 @@
+#include "data/vision_synth.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rowpress::data {
+namespace {
+
+/// Class template over an enlarged canvas so samples can be shifted.
+std::vector<float> make_template(int canvas, std::uint64_t class_seed) {
+  Rng rng(class_seed);
+  std::vector<float> t(static_cast<std::size_t>(canvas) * canvas, 0.0f);
+
+  // 3 oriented gratings with class-specific frequency/phase/orientation.
+  for (int g = 0; g < 3; ++g) {
+    const double theta = rng.uniform(0.0, std::numbers::pi);
+    const double freq = rng.uniform(0.5, 1.8);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double amp = rng.uniform(0.4, 1.0);
+    const double cx = std::cos(theta) * freq, sy = std::sin(theta) * freq;
+    for (int i = 0; i < canvas; ++i)
+      for (int j = 0; j < canvas; ++j)
+        t[static_cast<std::size_t>(i) * canvas + j] += static_cast<float>(
+            amp * std::sin(cx * i + sy * j + phase));
+  }
+  // 2 Gaussian blobs.
+  for (int b = 0; b < 2; ++b) {
+    const double bx = rng.uniform(2.0, canvas - 2.0);
+    const double by = rng.uniform(2.0, canvas - 2.0);
+    const double sigma = rng.uniform(1.0, 2.5);
+    const double amp = rng.uniform(-1.5, 1.5);
+    for (int i = 0; i < canvas; ++i)
+      for (int j = 0; j < canvas; ++j) {
+        const double d2 = (i - by) * (i - by) + (j - bx) * (j - bx);
+        t[static_cast<std::size_t>(i) * canvas + j] +=
+            static_cast<float>(amp * std::exp(-d2 / (2.0 * sigma * sigma)));
+      }
+  }
+  return t;
+}
+
+Dataset make_split(const VisionSynthConfig& cfg,
+                   const std::vector<std::vector<float>>& templates,
+                   int per_class, Rng& rng, const char* split_name) {
+  const int s = cfg.image_size;
+  const int canvas = s + 2 * cfg.max_shift;
+  const int n = per_class * cfg.num_classes;
+
+  Dataset ds;
+  ds.name = std::string("vision") + std::to_string(cfg.num_classes) + "-" +
+            split_name;
+  ds.num_classes = cfg.num_classes;
+  ds.inputs = nn::Tensor({n, 1, s, s});
+  ds.labels.resize(static_cast<std::size_t>(n));
+
+  int idx = 0;
+  for (int c = 0; c < cfg.num_classes; ++c) {
+    for (int k = 0; k < per_class; ++k, ++idx) {
+      const int dx = static_cast<int>(
+          rng.uniform_int(0, 2 * cfg.max_shift));
+      const int dy = static_cast<int>(
+          rng.uniform_int(0, 2 * cfg.max_shift));
+      const float gain = static_cast<float>(
+          1.0 + rng.uniform(-cfg.gain_jitter, cfg.gain_jitter));
+      const auto& tmpl = templates[static_cast<std::size_t>(c)];
+      for (int i = 0; i < s; ++i)
+        for (int j = 0; j < s; ++j) {
+          const float v =
+              tmpl[static_cast<std::size_t>(i + dy) * canvas + (j + dx)];
+          ds.inputs.at4(idx, 0, i, j) =
+              gain * v +
+              static_cast<float>(rng.normal(0.0, cfg.noise_std));
+        }
+      ds.labels[static_cast<std::size_t>(idx)] = c;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+VisionSynthConfig vision10_config() { return VisionSynthConfig{}; }
+
+VisionSynthConfig vision50_config() {
+  VisionSynthConfig cfg;
+  cfg.num_classes = 50;
+  cfg.train_per_class = 60;
+  cfg.test_per_class = 30;
+  cfg.seed = 1337;
+  return cfg;
+}
+
+SplitDataset make_vision_dataset(const VisionSynthConfig& cfg) {
+  RP_REQUIRE(cfg.num_classes > 1 && cfg.image_size > 4, "bad vision config");
+  Rng seed_rng(cfg.seed);
+  const int canvas = cfg.image_size + 2 * cfg.max_shift;
+  std::vector<std::vector<float>> templates;
+  templates.reserve(static_cast<std::size_t>(cfg.num_classes));
+  for (int c = 0; c < cfg.num_classes; ++c)
+    templates.push_back(make_template(canvas, seed_rng.next_u64()));
+
+  Rng train_rng(cfg.seed ^ 0xA11CEULL);
+  Rng test_rng(cfg.seed ^ 0xB0BULL);
+  SplitDataset out;
+  out.train =
+      make_split(cfg, templates, cfg.train_per_class, train_rng, "train");
+  out.test = make_split(cfg, templates, cfg.test_per_class, test_rng, "test");
+  return out;
+}
+
+}  // namespace rowpress::data

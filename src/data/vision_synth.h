@@ -1,0 +1,36 @@
+// Procedural vision datasets.
+//
+// Each class is defined by a random low-frequency template (a sum of
+// oriented sinusoidal gratings plus Gaussian blobs, drawn from a
+// class-seeded RNG); samples are jittered instances of the template
+// (random shift, per-sample gain, additive noise).  Classes are well
+// separated but not trivially so — small CNNs reach accuracies in the same
+// band the paper reports for CIFAR-10 / ImageNet models.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace rowpress::data {
+
+struct VisionSynthConfig {
+  int num_classes = 10;
+  int image_size = 12;     ///< square, single channel
+  int train_per_class = 200;
+  int test_per_class = 80;
+  int max_shift = 2;       ///< random translation in pixels
+  double noise_std = 0.9;
+  double gain_jitter = 0.25;  ///< per-sample multiplicative jitter
+  std::uint64_t seed = 42;
+};
+
+/// CIFAR-10 stand-in: 10 classes of 12x12 images.
+VisionSynthConfig vision10_config();
+
+/// ImageNet stand-in: many classes ("large-scale"), same resolution.
+VisionSynthConfig vision50_config();
+
+SplitDataset make_vision_dataset(const VisionSynthConfig& config);
+
+}  // namespace rowpress::data

@@ -1,0 +1,27 @@
+// Shared bookkeeping for in-DRAM RowHammer mitigations (Sec. II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/controller.h"
+
+namespace rowpress::defense {
+
+struct DefenseStats {
+  std::int64_t observed_acts = 0;
+  std::int64_t alarms = 0;        ///< times the trigger condition fired
+  std::int64_t nrrs_issued = 0;   ///< victim-row refreshes requested
+};
+
+/// Neighbour rows of `row` within a bank of `rows_per_bank` rows — the
+/// victims an aggressor-focused defense must refresh (NRR targets).
+inline std::vector<dram::NrrRequest> neighbor_nrrs(int bank, int row,
+                                                   int rows_per_bank) {
+  std::vector<dram::NrrRequest> out;
+  if (row - 1 >= 0) out.push_back({bank, row - 1});
+  if (row + 1 < rows_per_bank) out.push_back({bank, row + 1});
+  return out;
+}
+
+}  // namespace rowpress::defense

@@ -1,0 +1,67 @@
+#include "defense/graphene.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rowpress::defense {
+
+GrapheneDefense::GrapheneDefense(int num_counters, std::int64_t threshold,
+                                 double window_ns, int rows_per_bank)
+    : num_counters_(num_counters), threshold_(threshold),
+      window_ns_(window_ns), rows_per_bank_(rows_per_bank) {
+  RP_REQUIRE(num_counters > 0, "Graphene needs at least one counter");
+  RP_REQUIRE(threshold > 0, "Graphene threshold must be positive");
+  RP_REQUIRE(window_ns > 0, "Graphene window must be positive");
+}
+
+std::vector<dram::NrrRequest> GrapheneDefense::on_activate(int bank, int row,
+                                                           double time_ns) {
+  ++stats_.observed_acts;
+  if (static_cast<std::size_t>(bank) >= banks_.size())
+    banks_.resize(static_cast<std::size_t>(bank) + 1);
+  BankState& st = banks_[static_cast<std::size_t>(bank)];
+
+  // Window reset (Graphene resets its table every tREFW).
+  if (time_ns - st.window_start_ns >= window_ns_) {
+    st.counters.clear();
+    st.spillover = 0;
+    st.window_start_ns = time_ns;
+  }
+
+  // Misra–Gries update.
+  auto it = st.counters.find(row);
+  if (it != st.counters.end()) {
+    ++it->second;
+  } else if (static_cast<int>(st.counters.size()) < num_counters_) {
+    it = st.counters.emplace(row, st.spillover + 1).first;
+  } else {
+    // Decrement-all step: drop counters that fall to the spillover level.
+    ++st.spillover;
+    for (auto cit = st.counters.begin(); cit != st.counters.end();) {
+      if (cit->second <= st.spillover)
+        cit = st.counters.erase(cit);
+      else
+        ++cit;
+    }
+    return {};
+  }
+
+  if (it->second >= threshold_) {
+    it->second = st.spillover;  // reset to baseline after mitigation
+    ++stats_.alarms;
+    auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
+    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    return nrrs;
+  }
+  return {};
+}
+
+std::vector<dram::NrrRequest> GrapheneDefense::on_precharge(int, int, double,
+                                                            double) {
+  return {};
+}
+
+void GrapheneDefense::on_refresh(int, int) {}
+
+}  // namespace rowpress::defense

@@ -1,0 +1,53 @@
+// Graphene (Park et al., MICRO'20): Misra–Gries frequent-item counting over
+// the activation stream.  Guarantees that any row activated more than the
+// threshold T within an observation window is tracked and its neighbours
+// refreshed — the strongest published counter-based guarantee, which is
+// exactly why it is the interesting baseline for RowPress bypass.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/defense_stats.h"
+#include "dram/controller.h"
+
+namespace rowpress::defense {
+
+class GrapheneDefense final : public dram::DefenseObserver {
+ public:
+  /// @param num_counters  Misra–Gries table size per bank.
+  /// @param threshold     estimated-count value that triggers NRRs.
+  /// @param window_ns     observation window (counters reset periodically,
+  ///                      typically once per tREFW).
+  /// @param rows_per_bank geometry for NRR targets.
+  GrapheneDefense(int num_counters, std::int64_t threshold, double window_ns,
+                  int rows_per_bank);
+
+  const char* name() const override { return "Graphene"; }
+
+  std::vector<dram::NrrRequest> on_activate(int bank, int row,
+                                            double time_ns) override;
+  std::vector<dram::NrrRequest> on_precharge(int bank, int row,
+                                             double open_ns,
+                                             double time_ns) override;
+  void on_refresh(int bank, int row) override;
+
+  const DefenseStats& stats() const { return stats_; }
+
+ private:
+  struct BankState {
+    std::unordered_map<int, std::int64_t> counters;  // row -> estimate
+    std::int64_t spillover = 0;  // Misra–Gries decrement pool
+    double window_start_ns = 0.0;
+  };
+
+  int num_counters_;
+  std::int64_t threshold_;
+  double window_ns_;
+  int rows_per_bank_;
+  std::vector<BankState> banks_;
+  DefenseStats stats_;
+};
+
+}  // namespace rowpress::defense

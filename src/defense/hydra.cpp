@@ -1,0 +1,60 @@
+#include "defense/hydra.h"
+
+#include "common/check.h"
+
+namespace rowpress::defense {
+
+HydraDefense::HydraDefense(int rows_per_group, double group_fraction,
+                           std::int64_t threshold, int rows_per_bank)
+    : rows_per_group_(rows_per_group), group_fraction_(group_fraction),
+      threshold_(threshold), rows_per_bank_(rows_per_bank) {
+  RP_REQUIRE(rows_per_group > 0, "rows_per_group must be positive");
+  RP_REQUIRE(group_fraction > 0.0 && group_fraction <= 1.0,
+             "group_fraction in (0, 1]");
+  RP_REQUIRE(threshold > 0, "threshold must be positive");
+}
+
+std::vector<dram::NrrRequest> HydraDefense::on_activate(int bank, int row,
+                                                        double) {
+  ++stats_.observed_acts;
+  const std::int64_t gkey = group_key(bank, row);
+  const std::int64_t rkey = row_key(bank, row);
+
+  auto promoted = row_counters_.find(gkey);
+  if (promoted == row_counters_.end()) {
+    std::int64_t& g = group_counters_[gkey];
+    ++g;
+    if (static_cast<double>(g) <
+        group_fraction_ * static_cast<double>(threshold_))
+      return {};
+    // Promote: per-row counters start at the group's count — a safe upper
+    // bound on what any row in the group may have accumulated.
+    promoted = row_counters_.emplace(gkey,
+                                     std::unordered_map<std::int64_t,
+                                                        std::int64_t>())
+                   .first;
+    const int first = (row / rows_per_group_) * rows_per_group_;
+    for (int r = first;
+         r < first + rows_per_group_ && r < rows_per_bank_; ++r)
+      promoted->second[row_key(bank, r)] = g;
+  }
+
+  std::int64_t& c = promoted->second[rkey];
+  if (++c >= threshold_) {
+    c = 0;
+    ++stats_.alarms;
+    auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
+    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    return nrrs;
+  }
+  return {};
+}
+
+std::vector<dram::NrrRequest> HydraDefense::on_precharge(int, int, double,
+                                                         double) {
+  return {};
+}
+
+void HydraDefense::on_refresh(int, int) {}
+
+}  // namespace rowpress::defense

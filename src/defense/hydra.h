@@ -1,0 +1,66 @@
+// Hydra (Qureshi et al., ISCA'22): hybrid two-level activation tracking.
+// A small table of *group* counters covers many rows each; only when a
+// group counter crosses a fraction of the threshold does the tracker
+// allocate per-row counters for that group (initialized to the group
+// count, a conservative upper bound).  A per-row counter reaching the
+// threshold triggers NRRs for the row's neighbours.
+//
+// Like every activation-counting scheme, Hydra is structurally blind to
+// RowPress's single long activation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/defense_stats.h"
+#include "dram/controller.h"
+
+namespace rowpress::defense {
+
+class HydraDefense final : public dram::DefenseObserver {
+ public:
+  /// @param rows_per_group  rows sharing one group counter (Hydra uses 128)
+  /// @param group_fraction  fraction of `threshold` at which a group is
+  ///                        promoted to per-row tracking (Hydra uses 4/5
+  ///                        of the row threshold; smaller = earlier).
+  /// @param threshold       per-row activation count that triggers NRRs
+  /// @param rows_per_bank   geometry for NRR targets
+  HydraDefense(int rows_per_group, double group_fraction,
+               std::int64_t threshold, int rows_per_bank);
+
+  const char* name() const override { return "Hydra"; }
+
+  std::vector<dram::NrrRequest> on_activate(int bank, int row,
+                                            double time_ns) override;
+  std::vector<dram::NrrRequest> on_precharge(int bank, int row,
+                                             double open_ns,
+                                             double time_ns) override;
+  void on_refresh(int bank, int row) override;
+
+  const DefenseStats& stats() const { return stats_; }
+  /// Number of groups currently promoted to per-row tracking (for the
+  /// storage-overhead story Hydra is about).
+  std::size_t promoted_groups() const { return row_counters_.size(); }
+
+ private:
+  std::int64_t group_key(int bank, int row) const {
+    return static_cast<std::int64_t>(bank) * (rows_per_bank_ / rows_per_group_ + 1) +
+           row / rows_per_group_;
+  }
+  std::int64_t row_key(int bank, int row) const {
+    return static_cast<std::int64_t>(bank) * rows_per_bank_ + row;
+  }
+
+  int rows_per_group_;
+  double group_fraction_;
+  std::int64_t threshold_;
+  int rows_per_bank_;
+  std::unordered_map<std::int64_t, std::int64_t> group_counters_;
+  /// group key -> per-row counters (allocated on promotion)
+  std::unordered_map<std::int64_t, std::unordered_map<std::int64_t, std::int64_t>>
+      row_counters_;
+  DefenseStats stats_;
+};
+
+}  // namespace rowpress::defense

@@ -1,0 +1,49 @@
+// JEDEC-style MAC (Maximum Activation Count) tracking with Nearby Row
+// Refresh (Sec. II): a per-row activation counter; when a row's count since
+// its victims were last refreshed reaches T_MAC, the controller issues NRRs
+// to the adjacent rows and the counter resets.
+//
+// This is the idealized (fully-provisioned, per-row SRAM counter) variant —
+// the strongest possible counter-based defense.  RowPress bypasses it by
+// construction: the attack issues a single ACT (Sec. V-B "CounterBypass").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "defense/defense_stats.h"
+#include "dram/controller.h"
+
+namespace rowpress::defense {
+
+class MacCounterDefense final : public dram::DefenseObserver {
+ public:
+  /// @param t_mac        activation-count threshold (e.g. JEDEC 1M; real
+  ///                     deployments and research proposals use far lower).
+  /// @param rows_per_bank geometry needed to compute NRR targets.
+  MacCounterDefense(std::int64_t t_mac, int rows_per_bank);
+
+  const char* name() const override { return "MAC+NRR"; }
+
+  std::vector<dram::NrrRequest> on_activate(int bank, int row,
+                                            double time_ns) override;
+  std::vector<dram::NrrRequest> on_precharge(int bank, int row,
+                                             double open_ns,
+                                             double time_ns) override;
+  void on_refresh(int bank, int row) override;
+
+  const DefenseStats& stats() const { return stats_; }
+  std::int64_t count(int bank, int row) const;
+
+ private:
+  std::int64_t key(int bank, int row) const {
+    return static_cast<std::int64_t>(bank) * rows_per_bank_ + row;
+  }
+
+  std::int64_t t_mac_;
+  int rows_per_bank_;
+  std::unordered_map<std::int64_t, std::int64_t> counts_;
+  DefenseStats stats_;
+};
+
+}  // namespace rowpress::defense

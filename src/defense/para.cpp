@@ -1,0 +1,35 @@
+#include "defense/para.h"
+
+#include "common/check.h"
+
+namespace rowpress::defense {
+
+ParaDefense::ParaDefense(double probability, int rows_per_bank,
+                         std::uint64_t seed)
+    : probability_(probability), rows_per_bank_(rows_per_bank), rng_(seed) {
+  RP_REQUIRE(probability >= 0.0 && probability <= 1.0,
+             "PARA probability in [0,1]");
+}
+
+std::vector<dram::NrrRequest> ParaDefense::on_activate(int bank, int row,
+                                                       double) {
+  ++stats_.observed_acts;
+  std::vector<dram::NrrRequest> out;
+  for (const auto& nrr : neighbor_nrrs(bank, row, rows_per_bank_)) {
+    if (rng_.bernoulli(probability_)) out.push_back(nrr);
+  }
+  if (!out.empty()) {
+    ++stats_.alarms;
+    stats_.nrrs_issued += static_cast<std::int64_t>(out.size());
+  }
+  return out;
+}
+
+std::vector<dram::NrrRequest> ParaDefense::on_precharge(int, int, double,
+                                                        double) {
+  return {};
+}
+
+void ParaDefense::on_refresh(int, int) {}
+
+}  // namespace rowpress::defense

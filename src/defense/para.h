@@ -1,0 +1,39 @@
+// PARA / PRA (Kim et al.): probabilistic adjacent-row refresh.  On every
+// ACT, with probability p each neighbour of the activated row is refreshed.
+// Stateless, so it cannot be out-tricked by access patterns — but it only
+// fires per-ACT, so a RowPress attack consisting of a single long ACT gets
+// at most one (rarely sampled) chance to be mitigated.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "defense/defense_stats.h"
+#include "dram/controller.h"
+
+namespace rowpress::defense {
+
+class ParaDefense final : public dram::DefenseObserver {
+ public:
+  ParaDefense(double probability, int rows_per_bank,
+              std::uint64_t seed = 0xBADA55u);
+
+  const char* name() const override { return "PARA"; }
+
+  std::vector<dram::NrrRequest> on_activate(int bank, int row,
+                                            double time_ns) override;
+  std::vector<dram::NrrRequest> on_precharge(int bank, int row,
+                                             double open_ns,
+                                             double time_ns) override;
+  void on_refresh(int bank, int row) override;
+
+  const DefenseStats& stats() const { return stats_; }
+
+ private:
+  double probability_;
+  int rows_per_bank_;
+  Rng rng_;
+  DefenseStats stats_;
+};
+
+}  // namespace rowpress::defense

@@ -1,0 +1,59 @@
+#include "defense/trr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rowpress::defense {
+
+TrrDefense::TrrDefense(int table_size, std::int64_t act_threshold,
+                       int rows_per_bank)
+    : table_size_(table_size), act_threshold_(act_threshold),
+      rows_per_bank_(rows_per_bank) {
+  RP_REQUIRE(table_size > 0, "TRR table must have at least one entry");
+  RP_REQUIRE(act_threshold > 0, "TRR threshold must be positive");
+}
+
+std::vector<dram::NrrRequest> TrrDefense::on_activate(int bank, int row,
+                                                      double) {
+  ++stats_.observed_acts;
+  if (static_cast<std::size_t>(bank) >= tables_.size())
+    tables_.resize(static_cast<std::size_t>(bank) + 1);
+  auto& table = tables_[static_cast<std::size_t>(bank)].entries;
+
+  // Track: bump an existing entry, fill an empty slot, or displace the
+  // coldest entry (the sampling behaviour that TRRespass exploits — here it
+  // is irrelevant because our traces hammer few rows).
+  auto it = std::find_if(table.begin(), table.end(),
+                         [&](const Entry& e) { return e.row == row; });
+  if (it == table.end()) {
+    if (static_cast<int>(table.size()) < table_size_) {
+      table.push_back(Entry{row, 0});
+      it = table.end() - 1;
+    } else {
+      it = std::min_element(table.begin(), table.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return a.count < b.count;
+                            });
+      it->row = row;
+      it->count = 0;
+    }
+  }
+  if (++it->count >= act_threshold_) {
+    it->count = 0;
+    ++stats_.alarms;
+    auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
+    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    return nrrs;
+  }
+  return {};
+}
+
+std::vector<dram::NrrRequest> TrrDefense::on_precharge(int, int, double,
+                                                       double) {
+  return {};
+}
+
+void TrrDefense::on_refresh(int, int) {}
+
+}  // namespace rowpress::defense

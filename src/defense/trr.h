@@ -1,0 +1,50 @@
+// Target Row Refresh (TRR) sampler, modelled after the in-DRAM trackers
+// reverse-engineered by TRRespass / U-TRR (Sec. II): a small table of
+// aggressor candidates is maintained from the ACT stream; when the refresh
+// logic runs, the neighbours of the hottest tracked rows receive NRRs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "defense/defense_stats.h"
+#include "dram/controller.h"
+
+namespace rowpress::defense {
+
+class TrrDefense final : public dram::DefenseObserver {
+ public:
+  /// @param table_size     number of aggressor candidates tracked per bank
+  ///                       (real TRR tables are tiny, 1-16 entries).
+  /// @param act_threshold  tracked-count at which a TRR event fires.
+  /// @param rows_per_bank  geometry for NRR targets.
+  TrrDefense(int table_size, std::int64_t act_threshold, int rows_per_bank);
+
+  const char* name() const override { return "TRR"; }
+
+  std::vector<dram::NrrRequest> on_activate(int bank, int row,
+                                            double time_ns) override;
+  std::vector<dram::NrrRequest> on_precharge(int bank, int row,
+                                             double open_ns,
+                                             double time_ns) override;
+  void on_refresh(int bank, int row) override;
+
+  const DefenseStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    int row = -1;
+    std::int64_t count = 0;
+  };
+  struct BankTable {
+    std::vector<Entry> entries;
+  };
+
+  int table_size_;
+  std::int64_t act_threshold_;
+  int rows_per_bank_;
+  std::vector<BankTable> tables_;
+  DefenseStats stats_;
+};
+
+}  // namespace rowpress::defense

@@ -1,0 +1,52 @@
+#include "dram/address.h"
+
+#include <sstream>
+
+namespace rowpress::dram {
+
+ByteAddress AddressMap::byte_address(std::int64_t linear) const {
+  RP_REQUIRE(linear >= 0 && linear < geom_.total_bytes(),
+             "linear byte address out of range");
+  ByteAddress a;
+  a.bank = static_cast<int>(linear / geom_.bytes_per_bank());
+  const std::int64_t in_bank = linear % geom_.bytes_per_bank();
+  a.row = static_cast<int>(in_bank / geom_.row_bytes);
+  a.col = static_cast<int>(in_bank % geom_.row_bytes);
+  return a;
+}
+
+std::int64_t AddressMap::linear_address(const ByteAddress& a) const {
+  RP_REQUIRE(a.bank >= 0 && a.bank < geom_.num_banks, "bank out of range");
+  RP_REQUIRE(a.row >= 0 && a.row < geom_.rows_per_bank, "row out of range");
+  RP_REQUIRE(a.col >= 0 && a.col < geom_.row_bytes, "col out of range");
+  return a.bank * geom_.bytes_per_bank() +
+         static_cast<std::int64_t>(a.row) * geom_.row_bytes + a.col;
+}
+
+CellAddress AddressMap::cell_address(std::int64_t linear_bit) const {
+  RP_REQUIRE(linear_bit >= 0 && linear_bit < geom_.total_bits(),
+             "linear bit address out of range");
+  const ByteAddress b = byte_address(linear_bit / 8);
+  CellAddress c;
+  c.bank = b.bank;
+  c.row = b.row;
+  c.bit = static_cast<std::int64_t>(b.col) * 8 + (linear_bit % 8);
+  return c;
+}
+
+std::int64_t AddressMap::linear_bit(const CellAddress& c) const {
+  RP_REQUIRE(c.bit >= 0 && c.bit < geom_.row_bits(), "cell bit out of range");
+  ByteAddress b;
+  b.bank = c.bank;
+  b.row = c.row;
+  b.col = static_cast<int>(c.bit / 8);
+  return linear_address(b) * 8 + (c.bit % 8);
+}
+
+std::string AddressMap::to_string(const CellAddress& c) const {
+  std::ostringstream os;
+  os << "bank" << c.bank << ".row" << c.row << ".bit" << c.bit;
+  return os.str();
+}
+
+}  // namespace rowpress::dram

@@ -1,0 +1,83 @@
+// DRAM geometry and address mapping.
+//
+// A cell is identified by (bank, row, bit).  Byte-granular linear addresses
+// (as seen by the attacker through /proc/pagemap-style reverse engineering,
+// Sec. IV threat model) map onto cells row-major: consecutive bytes fill a
+// row, consecutive rows fill a bank.  The mapping is deliberately simple and
+// invertible — the paper assumes the attacker has reverse-engineered the
+// physical mapping (DRAMA [46]), so the interesting behaviour is downstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace rowpress::dram {
+
+struct Geometry {
+  int num_banks = 4;
+  int rows_per_bank = 512;
+  int row_bytes = 1024;  ///< 8192 bits per row (typical x8 DDR4 row slice)
+
+  std::int64_t row_bits() const { return static_cast<std::int64_t>(row_bytes) * 8; }
+  std::int64_t bytes_per_bank() const {
+    return static_cast<std::int64_t>(rows_per_bank) * row_bytes;
+  }
+  std::int64_t total_bytes() const { return bytes_per_bank() * num_banks; }
+  std::int64_t total_bits() const { return total_bytes() * 8; }
+};
+
+/// Physical location of a single bit cell.
+struct CellAddress {
+  int bank = 0;
+  int row = 0;
+  std::int64_t bit = 0;  ///< bit index within the row, [0, row_bits)
+
+  bool operator==(const CellAddress&) const = default;
+};
+
+/// Physical location of a byte.
+struct ByteAddress {
+  int bank = 0;
+  int row = 0;
+  int col = 0;  ///< byte offset within the row
+
+  bool operator==(const ByteAddress&) const = default;
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(Geometry geom) : geom_(geom) {
+    RP_REQUIRE(geom.num_banks > 0 && geom.rows_per_bank > 0 &&
+                   geom.row_bytes > 0,
+               "geometry must be positive");
+  }
+
+  const Geometry& geometry() const { return geom_; }
+
+  /// Linear byte address -> physical byte location.
+  ByteAddress byte_address(std::int64_t linear) const;
+
+  /// Physical byte location -> linear byte address.
+  std::int64_t linear_address(const ByteAddress& a) const;
+
+  /// Linear *bit* address -> physical cell.
+  CellAddress cell_address(std::int64_t linear_bit) const;
+
+  /// Physical cell -> linear bit address.
+  std::int64_t linear_bit(const CellAddress& c) const;
+
+  /// Page-frame-number / offset view of a linear byte address (4 KiB pages),
+  /// matching how the paper identifies vulnerable locations (Sec. VI).
+  std::pair<std::int64_t, int> page_frame(std::int64_t linear) const {
+    return {linear / 4096, static_cast<int>(linear % 4096)};
+  }
+
+  std::string to_string(const CellAddress& c) const;
+
+ private:
+  Geometry geom_;
+};
+
+}  // namespace rowpress::dram

@@ -1,0 +1,158 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace rowpress::dram {
+
+Bank::Bank(int bank_id, const Geometry& geom, const TimingParams& timing,
+           CellModel* cells)
+    : id_(bank_id), geom_(geom), timing_(timing), cells_(cells),
+      rows_(static_cast<std::size_t>(geom.rows_per_bank),
+            std::vector<std::uint8_t>(static_cast<std::size_t>(geom.row_bytes),
+                                      0)),
+      act_counts_(static_cast<std::size_t>(geom.rows_per_bank), 0) {
+  RP_REQUIRE(cells != nullptr, "bank needs a cell model");
+}
+
+void Bank::activate(int row, double time_ns) {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  RP_REQUIRE(!open_row_, "ACT issued to a bank with an open row");
+  open_row_ = row;
+  open_since_ns_ = time_ns;
+  ++act_counts_[static_cast<std::size_t>(row)];
+  ++total_acts_;
+}
+
+double Bank::precharge(double time_ns) {
+  RP_REQUIRE(open_row_, "PRE issued to a precharged bank");
+  const int row = *open_row_;
+  double open_ns = time_ns - open_since_ns_;
+  // The row must stay open at least tRAS; a controller issuing PRE earlier
+  // would stall until tRAS elapses, so we clamp.
+  open_ns = std::max(open_ns, timing_.tras_ns());
+  disturb_neighbors(row, /*act_count=*/1, open_ns, time_ns);
+  open_row_.reset();
+  return open_ns;
+}
+
+void Bank::bulk_activate(int row, std::int64_t count, double open_ns,
+                         double time_ns) {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  RP_REQUIRE(!open_row_, "bulk ACT issued to a bank with an open row");
+  RP_REQUIRE(count >= 0, "activation count must be non-negative");
+  if (count == 0) return;
+  const double effective_open = std::max(open_ns, timing_.tras_ns());
+  act_counts_[static_cast<std::size_t>(row)] += count;
+  total_acts_ += count;
+  disturb_neighbors(row, count, effective_open, time_ns);
+}
+
+std::span<const std::uint8_t> Bank::row_data(int row) const {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  return rows_[static_cast<std::size_t>(row)];
+}
+
+void Bank::write_row(int row, std::span<const std::uint8_t> data) {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  RP_REQUIRE(data.size() == static_cast<std::size_t>(geom_.row_bytes),
+             "row write must cover the full row");
+  std::copy(data.begin(), data.end(),
+            rows_[static_cast<std::size_t>(row)].begin());
+}
+
+void Bank::fill_row(int row, std::uint8_t byte) {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  std::fill(rows_[static_cast<std::size_t>(row)].begin(),
+            rows_[static_cast<std::size_t>(row)].end(), byte);
+}
+
+void Bank::refresh_row(int row) {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  cells_->reset_row_disturbance(id_, row);
+}
+
+void Bank::refresh_all() {
+  for (auto& [pos, cell] : cells_->bank_cells(id_)) cell.reset_disturbance();
+}
+
+std::int64_t Bank::activation_count(int row) const {
+  RP_REQUIRE(row >= 0 && row < geom_.rows_per_bank, "row out of range");
+  return act_counts_[static_cast<std::size_t>(row)];
+}
+
+void Bank::disturb_neighbors(int aggressor_row, std::int64_t act_count,
+                             double open_ns_each, double time_ns) {
+  if (aggressor_row > 0)
+    disturb_row(aggressor_row - 1, aggressor_row, act_count, open_ns_each,
+                time_ns);
+  if (aggressor_row + 1 < geom_.rows_per_bank)
+    disturb_row(aggressor_row + 1, aggressor_row, act_count, open_ns_each,
+                time_ns);
+}
+
+void Bank::disturb_row(int victim_row, int aggressor_row,
+                       std::int64_t act_count, double open_ns_each,
+                       double time_ns) {
+  // Press damage only accrues past a short onset: a nominal-tRAS activation
+  // is harmless through the RowPress mechanism.
+  const double press_per_act =
+      std::max(0.0, open_ns_each - cells_->params().press_onset_ns);
+
+  auto& map = cells_->bank_cells(id_);
+  const auto row_cells = cells_->cells_in_row(id_, victim_row);
+  auto& victim_data = rows_[static_cast<std::size_t>(victim_row)];
+  const auto& aggressor_data = rows_[static_cast<std::size_t>(aggressor_row)];
+
+  for (const auto& [bit, cell_const] : row_cells) {
+    auto it = map.find(static_cast<std::int64_t>(victim_row) *
+                           geom_.row_bits() + bit);
+    RP_ASSERT(it != map.end(), "row index out of sync");
+    VulnerableCell& cell = it->second;
+
+    Mechanism crossed = Mechanism::kRowHammer;
+    bool over_threshold = false;
+    if (cell.rowhammer_susceptible()) {
+      cell.hammer_accum = static_cast<std::uint32_t>(std::min<std::int64_t>(
+          static_cast<std::int64_t>(cell.hammer_accum) + act_count,
+          0x7fffffff));
+      if (cell.hammer_accum >= cell.hc_threshold) {
+        over_threshold = true;
+        crossed = Mechanism::kRowHammer;
+      }
+    }
+    if (cell.rowpress_susceptible() && press_per_act > 0.0) {
+      cell.press_accum_ns += press_per_act * static_cast<double>(act_count);
+      if (!over_threshold && cell.press_accum_ns >= cell.press_threshold_ns) {
+        over_threshold = true;
+        crossed = Mechanism::kRowPress;
+      }
+    }
+    if (!over_threshold) continue;
+
+    // The cell has lost enough charge margin to flip, but a flip manifests
+    // only if (a) the stored bit can move in this cell's direction, and
+    // (b) the bit differs from the aggressor row's bit in the same column
+    // (pattern dependence, Sec. V).
+    const bool stored = get_bit(victim_data, static_cast<std::size_t>(bit));
+    const bool flips_to = (cell.direction == FlipDirection::kZeroToOne);
+    if (stored == flips_to) continue;  // already at the direction's target
+    const bool aggressor_bit =
+        get_bit(aggressor_data, static_cast<std::size_t>(bit));
+    if (stored == aggressor_bit) continue;  // same data: no differential
+
+    set_bit(victim_data, static_cast<std::size_t>(bit), flips_to);
+    flip_log_.push_back(FlipEvent{
+        .bank = id_,
+        .row = victim_row,
+        .bit = bit,
+        .direction = cell.direction,
+        .cause = crossed,
+        .time_ns = time_ns,
+    });
+  }
+}
+
+}  // namespace rowpress::dram

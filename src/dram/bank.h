@@ -1,0 +1,91 @@
+// One DRAM bank: row storage, the open-row state machine, and the read-
+// disturbance physics (applied to the neighbours of whichever row is open).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dram/cell_model.h"
+#include "dram/timing.h"
+
+namespace rowpress::dram {
+
+/// A bit-flip that actually occurred in storage.
+struct FlipEvent {
+  int bank = 0;
+  int row = 0;
+  std::int64_t bit = 0;
+  FlipDirection direction = FlipDirection::kOneToZero;
+  Mechanism cause = Mechanism::kRowHammer;  ///< which accumulator crossed
+  double time_ns = 0.0;
+};
+
+class Bank {
+ public:
+  Bank(int bank_id, const Geometry& geom, const TimingParams& timing,
+       CellModel* cells);
+
+  int id() const { return id_; }
+
+  bool is_open() const { return open_row_.has_value(); }
+  std::optional<int> open_row() const { return open_row_; }
+  /// Timestamp of the last ACT; meaningful only while a row is open.
+  double open_since_ns() const { return open_since_ns_; }
+
+  /// Opens a row.  Requires the bank to be precharged.
+  void activate(int row, double time_ns);
+
+  /// Closes the open row, applying disturbance to its neighbours in
+  /// proportion to how long it stayed open.  Requires an open row.
+  /// Returns the open duration in ns.
+  double precharge(double time_ns);
+
+  /// Fast path equivalent to `count` x {activate(row); precharge after
+  /// open_ns}: accumulates disturbance in bulk.  Requires the bank to be
+  /// precharged.  Produces the same storage state and flip set as the
+  /// command-by-command loop (property-tested).
+  void bulk_activate(int row, std::int64_t count, double open_ns,
+                     double time_ns);
+
+  /// Row data access.  Reads require the row to be open (or use
+  /// read_row_direct for host-side inspection).
+  std::span<const std::uint8_t> row_data(int row) const;
+  void write_row(int row, std::span<const std::uint8_t> data);
+  void fill_row(int row, std::uint8_t byte);
+
+  /// Refreshes one row: restores full charge, i.e. clears the accumulated
+  /// disturbance of every cell in the row.  Does NOT undo flips that have
+  /// already happened — a flipped cell was *restored wrong* (Sec. V).
+  void refresh_row(int row);
+
+  /// Refreshes every row in the bank.
+  void refresh_all();
+
+  const std::vector<FlipEvent>& flip_log() const { return flip_log_; }
+  void clear_flip_log() { flip_log_.clear(); }
+
+  std::int64_t activation_count(int row) const;
+  std::int64_t total_activations() const { return total_acts_; }
+
+ private:
+  void disturb_neighbors(int aggressor_row, std::int64_t act_count,
+                         double open_ns_each, double time_ns);
+  void disturb_row(int victim_row, int aggressor_row, std::int64_t act_count,
+                   double open_ns_each, double time_ns);
+
+  int id_;
+  Geometry geom_;
+  TimingParams timing_;
+  CellModel* cells_;  ///< not owned; shared across banks via Device
+
+  std::vector<std::vector<std::uint8_t>> rows_;
+  std::optional<int> open_row_;
+  double open_since_ns_ = 0.0;
+  std::vector<std::int64_t> act_counts_;
+  std::int64_t total_acts_ = 0;
+  std::vector<FlipEvent> flip_log_;
+};
+
+}  // namespace rowpress::dram

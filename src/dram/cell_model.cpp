@@ -1,0 +1,188 @@
+#include "dram/cell_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rowpress::dram {
+namespace {
+
+// Expected number of vulnerable cells for a given density, sampled with a
+// normal approximation to the binomial so chip instances vary realistically
+// around the calibration target.
+std::int64_t sample_count(Rng& rng, std::int64_t bits, double density) {
+  const double mean = static_cast<double>(bits) * density;
+  const double sd = std::sqrt(mean * (1.0 - density));
+  const double n = std::round(rng.normal(mean, sd));
+  return std::max<std::int64_t>(0, static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+CellModel::CellModel(const Geometry& geom, const CellModelParams& params,
+                     std::uint64_t seed)
+    : geom_(geom), params_(params), banks_(geom.num_banks),
+      row_index_(geom.num_banks) {
+  RP_REQUIRE(params.rh_density >= 0 && params.rh_density < 0.5,
+             "rh_density out of range");
+  RP_REQUIRE(params.rp_density >= 0 && params.rp_density < 0.5,
+             "rp_density out of range");
+  Rng rng(seed);
+  const std::int64_t bank_bits =
+      static_cast<std::int64_t>(geom.rows_per_bank) * geom.row_bits();
+
+  for (int b = 0; b < geom.num_banks; ++b) {
+    Rng bank_rng = rng.fork();
+    auto& map = banks_[b];
+
+    auto place_cells = [&](std::int64_t count, Mechanism mech) {
+      for (std::int64_t i = 0; i < count; ++i) {
+        // Sample a fresh unoccupied position (the two vulnerable
+        // populations are disjoint by construction; dual-vulnerable cells
+        // come only from the calibrated both_fraction, matching the
+        // paper's <0.5 % overlap).
+        std::int64_t pos = static_cast<std::int64_t>(bank_rng.uniform_u64(
+            static_cast<std::uint64_t>(bank_bits)));
+        for (int attempt = 0; attempt < 16 && map.contains(pos); ++attempt)
+          pos = static_cast<std::int64_t>(bank_rng.uniform_u64(
+              static_cast<std::uint64_t>(bank_bits)));
+        if (map.contains(pos)) continue;  // astronomically unlikely
+        VulnerableCell cell;
+        cell.mechanism = mech;
+        if (bank_rng.bernoulli(params.both_fraction))
+          cell.mechanism = Mechanism::kBoth;
+
+        const bool needs_rh = cell.mechanism != Mechanism::kRowPress;
+        const bool needs_rp = cell.mechanism != Mechanism::kRowHammer;
+        if (needs_rh) {
+          const double t =
+              bank_rng.lognormal(params.rh_log_median, params.rh_log_sigma);
+          cell.hc_threshold = std::max<std::uint32_t>(
+              params.rh_min_threshold, static_cast<std::uint32_t>(
+                  std::min(t, 4.0e9)));
+        }
+        if (needs_rp) {
+          const double t =
+              bank_rng.lognormal(params.rp_log_median, params.rp_log_sigma);
+          cell.press_threshold_ns = std::max(params.rp_min_threshold_ns, t);
+        }
+        // Directionality: the dominant direction depends on the mechanism;
+        // kBoth cells inherit the direction of their primary mechanism.
+        const bool primary_rp = (mech == Mechanism::kRowPress);
+        const double p_dominant = primary_rp
+                                      ? params.rp_zero_to_one_fraction
+                                      : params.rh_one_to_zero_fraction;
+        const FlipDirection dominant = primary_rp
+                                           ? FlipDirection::kZeroToOne
+                                           : FlipDirection::kOneToZero;
+        const FlipDirection other = primary_rp ? FlipDirection::kOneToZero
+                                               : FlipDirection::kZeroToOne;
+        cell.direction = bank_rng.bernoulli(p_dominant) ? dominant : other;
+
+        map.emplace(pos, cell);
+      }
+    };
+
+    place_cells(sample_count(bank_rng, bank_bits, params.rh_density),
+                Mechanism::kRowHammer);
+    place_cells(sample_count(bank_rng, bank_bits, params.rp_density),
+                Mechanism::kRowPress);
+
+    // Any kBoth cell must carry both thresholds; synthesize missing ones.
+    for (auto& [pos, cell] : map) {
+      if (cell.mechanism == Mechanism::kBoth) {
+        if (cell.hc_threshold == 0)
+          cell.hc_threshold = std::max<std::uint32_t>(
+              params.rh_min_threshold,
+              static_cast<std::uint32_t>(bank_rng.lognormal(
+                  params.rh_log_median, params.rh_log_sigma)));
+        if (cell.press_threshold_ns == 0.0)
+          cell.press_threshold_ns =
+              std::max(params.rp_min_threshold_ns,
+                       bank_rng.lognormal(params.rp_log_median,
+                                          params.rp_log_sigma));
+      }
+    }
+
+    // Build the row index.
+    auto& idx = row_index_[b];
+    for (const auto& [pos, cell] : map) {
+      const int row = static_cast<int>(pos / geom.row_bits());
+      idx[row].push_back(pos % geom.row_bits());
+    }
+    for (auto& [row, bits] : idx) std::sort(bits.begin(), bits.end());
+  }
+}
+
+const CellModel::BankMap& CellModel::bank_cells(int bank) const {
+  RP_REQUIRE(bank >= 0 && bank < geom_.num_banks, "bank out of range");
+  return banks_[static_cast<std::size_t>(bank)];
+}
+
+CellModel::BankMap& CellModel::bank_cells(int bank) {
+  RP_REQUIRE(bank >= 0 && bank < geom_.num_banks, "bank out of range");
+  return banks_[static_cast<std::size_t>(bank)];
+}
+
+const VulnerableCell* CellModel::find(const CellAddress& addr) const {
+  const auto& map = bank_cells(addr.bank);
+  const auto it = map.find(static_cast<std::int64_t>(addr.row) *
+                               geom_.row_bits() + addr.bit);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+VulnerableCell* CellModel::find(const CellAddress& addr) {
+  auto& map = bank_cells(addr.bank);
+  const auto it = map.find(static_cast<std::int64_t>(addr.row) *
+                               geom_.row_bits() + addr.bit);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::int64_t, const VulnerableCell*>>
+CellModel::cells_in_row(int bank, int row) const {
+  RP_REQUIRE(bank >= 0 && bank < geom_.num_banks, "bank out of range");
+  std::vector<std::pair<std::int64_t, const VulnerableCell*>> out;
+  const auto& idx = row_index_[static_cast<std::size_t>(bank)];
+  const auto it = idx.find(row);
+  if (it == idx.end()) return out;
+  const auto& map = banks_[static_cast<std::size_t>(bank)];
+  out.reserve(it->second.size());
+  for (const std::int64_t bit : it->second) {
+    const auto cit =
+        map.find(static_cast<std::int64_t>(row) * geom_.row_bits() + bit);
+    RP_ASSERT(cit != map.end(), "row index out of sync with cell map");
+    out.emplace_back(bit, &cit->second);
+  }
+  return out;
+}
+
+void CellModel::reset_row_disturbance(int bank, int row) {
+  RP_REQUIRE(bank >= 0 && bank < geom_.num_banks, "bank out of range");
+  auto& idx = row_index_[static_cast<std::size_t>(bank)];
+  const auto it = idx.find(row);
+  if (it == idx.end()) return;
+  auto& map = banks_[static_cast<std::size_t>(bank)];
+  for (const std::int64_t bit : it->second) {
+    const auto cit =
+        map.find(static_cast<std::int64_t>(row) * geom_.row_bits() + bit);
+    RP_ASSERT(cit != map.end(), "row index out of sync with cell map");
+    cit->second.reset_disturbance();
+  }
+}
+
+CellModel::Stats CellModel::stats() const {
+  Stats s;
+  for (const auto& bank : banks_) {
+    for (const auto& [pos, cell] : bank) {
+      switch (cell.mechanism) {
+        case Mechanism::kRowHammer: ++s.rh_only; break;
+        case Mechanism::kRowPress: ++s.rp_only; break;
+        case Mechanism::kBoth: ++s.both; break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace rowpress::dram

@@ -1,0 +1,53 @@
+#include "dram/command_trace.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rowpress::dram {
+
+void CommandTrace::append_hammer(int bank, const std::vector<int>& aggressors,
+                                 std::int64_t n, double sleep_ns) {
+  RP_REQUIRE(!aggressors.empty(), "hammer needs at least one aggressor row");
+  RP_REQUIRE(n >= 0, "hammer count must be non-negative");
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (const int row : aggressors) {
+      push(Command::act(bank, row));
+      push(Command::sleep(sleep_ns));
+      push(Command::pre(bank));
+    }
+  }
+}
+
+void CommandTrace::append_press(int bank, int row, double open_ns) {
+  RP_REQUIRE(open_ns >= 0.0, "press duration must be non-negative");
+  push(Command::act(bank, row));
+  push(Command::sleep(open_ns));
+  push(Command::pre(bank));
+}
+
+std::string CommandTrace::to_string(std::size_t max_commands) const {
+  std::ostringstream os;
+  const std::size_t n = std::min(max_commands, commands_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Command& c = commands_[i];
+    switch (c.kind) {
+      case CommandKind::kAct: os << "ACT b" << c.bank << " r" << c.row; break;
+      case CommandKind::kPre: os << "PRE b" << c.bank; break;
+      case CommandKind::kRead: os << "RD  b" << c.bank << " r" << c.row; break;
+      case CommandKind::kWrite:
+        os << "WR  b" << c.bank << " r" << c.row << " fill=0x" << std::hex
+           << static_cast<int>(c.fill) << std::dec;
+        break;
+      case CommandKind::kSleep: os << "SLP " << c.sleep_ns << "ns"; break;
+      case CommandKind::kRef: os << "REF"; break;
+      case CommandKind::kNrr: os << "NRR b" << c.bank << " r" << c.row; break;
+    }
+    os << '\n';
+  }
+  if (commands_.size() > n)
+    os << "... (" << (commands_.size() - n) << " more)\n";
+  return os.str();
+}
+
+}  // namespace rowpress::dram

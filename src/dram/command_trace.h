@@ -1,0 +1,79 @@
+// DDR4 command traces.
+//
+// The paper's rig (DRAM-Bender on an Alveo U200, Fig. 5) drives the module
+// with host-generated command traces; this is the software equivalent.  A
+// trace is a flat sequence of commands that the MemoryController executes
+// against the simulated Device, with builder helpers that mirror the
+// paper's Algorithm 1 (RowHammer) and Algorithm 2 (RowPress) inner loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rowpress::dram {
+
+enum class CommandKind : std::uint8_t {
+  kAct,    ///< open a row
+  kPre,    ///< close the open row
+  kRead,   ///< read a row (implicitly opens it if needed)
+  kWrite,  ///< fill a row with a byte pattern (implicitly opens it)
+  kSleep,  ///< advance time (the paper's Sleep(S) / Sleep(T))
+  kRef,    ///< refresh all rows
+  kNrr,    ///< Nearby Row Refresh of one row (defense-issued)
+};
+
+struct Command {
+  CommandKind kind = CommandKind::kAct;
+  int bank = 0;
+  int row = 0;
+  std::uint8_t fill = 0;      ///< kWrite payload
+  double sleep_ns = 0.0;      ///< kSleep duration
+
+  static Command act(int bank, int row) {
+    return {CommandKind::kAct, bank, row, 0, 0.0};
+  }
+  static Command pre(int bank) { return {CommandKind::kPre, bank, 0, 0, 0.0}; }
+  static Command read(int bank, int row) {
+    return {CommandKind::kRead, bank, row, 0, 0.0};
+  }
+  static Command write(int bank, int row, std::uint8_t fill) {
+    return {CommandKind::kWrite, bank, row, fill, 0.0};
+  }
+  static Command sleep(double ns) {
+    return {CommandKind::kSleep, 0, 0, 0, ns};
+  }
+  static Command ref() { return {CommandKind::kRef, 0, 0, 0, 0.0}; }
+  static Command nrr(int bank, int row) {
+    return {CommandKind::kNrr, bank, row, 0, 0.0};
+  }
+};
+
+class CommandTrace {
+ public:
+  CommandTrace() = default;
+
+  void push(Command c) { commands_.push_back(c); }
+  const std::vector<Command>& commands() const { return commands_; }
+  std::size_t size() const { return commands_.size(); }
+  bool empty() const { return commands_.empty(); }
+  void clear() { commands_.clear(); }
+
+  /// Algorithm 1 inner loop: `n` iterations of {ACT, Sleep(S), PRE} on each
+  /// aggressor row in `aggressors` (interleaved, as in a double-sided
+  /// hammer).
+  void append_hammer(int bank, const std::vector<int>& aggressors,
+                     std::int64_t n, double sleep_ns);
+
+  /// Algorithm 2 inner loop: one {ACT, Sleep(T), PRE} on `row` — a single
+  /// long activation ("press") of duration ~T.
+  void append_press(int bank, int row, double open_ns);
+
+  /// Human-readable dump (for debugging / trace inspection).
+  std::string to_string(std::size_t max_commands = 32) const;
+
+ private:
+  std::vector<Command> commands_;
+};
+
+}  // namespace rowpress::dram

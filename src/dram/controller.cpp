@@ -1,0 +1,157 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rowpress::dram {
+namespace {
+constexpr double kReadWriteOverheadCk = 4.0;
+constexpr double kNrrCostNs = 180.0;
+}  // namespace
+
+MemoryController::MemoryController(Device& device, bool refresh_enabled)
+    : device_(device), refresh_enabled_(refresh_enabled) {
+  const auto& g = device_.geometry();
+  next_refresh_ns_ = device_.timing().trefw_ns / g.rows_per_bank;
+}
+
+void MemoryController::attach_defense(DefenseObserver* defense) {
+  RP_REQUIRE(defense != nullptr, "defense must not be null");
+  defenses_.push_back(defense);
+}
+
+void MemoryController::advance_time(double delta_ns) {
+  RP_REQUIRE(delta_ns >= 0.0, "time cannot move backwards");
+  time_ns_ += delta_ns;
+  maybe_refresh();
+}
+
+void MemoryController::maybe_refresh() {
+  if (!refresh_enabled_) return;
+  const auto& g = device_.geometry();
+  const double per_row_interval =
+      device_.timing().trefw_ns / static_cast<double>(g.rows_per_bank);
+  while (time_ns_ >= next_refresh_ns_) {
+    const int row = refresh_cursor_;
+    for (int b = 0; b < device_.num_banks(); ++b) {
+      device_.bank(b).refresh_row(row);
+      for (auto* d : defenses_) d->on_refresh(b, row);
+    }
+    ++stats_.refs;
+    refresh_cursor_ = (refresh_cursor_ + 1) % g.rows_per_bank;
+    next_refresh_ns_ += per_row_interval;
+  }
+}
+
+void MemoryController::run_nrrs(const std::vector<NrrRequest>& requests) {
+  for (const auto& r : requests) {
+    device_.bank(r.bank).refresh_row(r.row);
+    for (auto* d : defenses_) d->on_refresh(r.bank, r.row);
+    ++stats_.nrrs;
+    ++stats_.defense_nrrs;
+    time_ns_ += kNrrCostNs;
+  }
+}
+
+void MemoryController::do_activate(int bank, int row) {
+  device_.bank(bank).activate(row, time_ns_);
+  ++stats_.acts;
+  for (auto* d : defenses_) run_nrrs(d->on_activate(bank, row, time_ns_));
+}
+
+void MemoryController::do_precharge(int bank) {
+  Bank& b = device_.bank(bank);
+  RP_REQUIRE(b.is_open(), "PRE issued to a precharged bank");
+  const int row = *b.open_row();
+  // Enforce tRAS: if the trace issues PRE too early the controller stalls.
+  const double min_close = b.open_since_ns() + device_.timing().tras_ns();
+  if (time_ns_ < min_close) advance_time(min_close - time_ns_);
+  const double open_ns = b.precharge(time_ns_);
+  ++stats_.pres;
+  advance_time(device_.timing().trp_ns());
+  for (auto* d : defenses_)
+    run_nrrs(d->on_precharge(bank, row, open_ns, time_ns_));
+}
+
+void MemoryController::execute(const Command& c) {
+  switch (c.kind) {
+    case CommandKind::kAct:
+      do_activate(c.bank, c.row);
+      break;
+    case CommandKind::kPre:
+      do_precharge(c.bank);
+      break;
+    case CommandKind::kRead: {
+      Bank& b = device_.bank(c.bank);
+      if (b.open_row() != std::optional<int>(c.row)) {
+        if (b.is_open()) do_precharge(c.bank);
+        do_activate(c.bank, c.row);
+      }
+      ++stats_.reads;
+      advance_time(kReadWriteOverheadCk * device_.timing().tck_ns);
+      break;
+    }
+    case CommandKind::kWrite: {
+      Bank& b = device_.bank(c.bank);
+      if (b.open_row() != std::optional<int>(c.row)) {
+        if (b.is_open()) do_precharge(c.bank);
+        do_activate(c.bank, c.row);
+      }
+      b.fill_row(c.row, c.fill);
+      ++stats_.writes;
+      advance_time(kReadWriteOverheadCk * device_.timing().tck_ns);
+      break;
+    }
+    case CommandKind::kSleep:
+      advance_time(c.sleep_ns);
+      break;
+    case CommandKind::kRef:
+      device_.refresh_all();
+      for (auto* d : defenses_)
+        for (int b = 0; b < device_.num_banks(); ++b)
+          for (int r = 0; r < device_.geometry().rows_per_bank; ++r)
+            d->on_refresh(b, r);
+      ++stats_.refs;
+      advance_time(350.0);
+      break;
+    case CommandKind::kNrr:
+      device_.bank(c.bank).refresh_row(c.row);
+      for (auto* d : defenses_) d->on_refresh(c.bank, c.row);
+      ++stats_.nrrs;
+      advance_time(kNrrCostNs);
+      break;
+  }
+}
+
+void MemoryController::execute(const CommandTrace& trace) {
+  for (const auto& c : trace.commands()) execute(c);
+}
+
+void MemoryController::hammer(int bank, const std::vector<int>& aggressors,
+                              std::int64_t n) {
+  CommandTrace t;
+  t.append_hammer(bank, aggressors, n, device_.timing().hammer_sleep_ns());
+  execute(t);
+}
+
+void MemoryController::press(int bank, int row, double open_ns) {
+  CommandTrace t;
+  t.append_press(bank, row, open_ns);
+  execute(t);
+}
+
+std::vector<std::uint8_t> MemoryController::read_row(int bank, int row) {
+  execute(Command::read(bank, row));
+  const auto data = device_.bank(bank).row_data(row);
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  execute(Command::pre(bank));
+  return out;
+}
+
+void MemoryController::write_row_fill(int bank, int row, std::uint8_t fill) {
+  execute(Command::write(bank, row, fill));
+  execute(Command::pre(bank));
+}
+
+}  // namespace rowpress::dram

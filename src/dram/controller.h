@@ -1,0 +1,110 @@
+// Memory controller: executes command traces against the Device, keeps the
+// timeline, schedules periodic refresh, and hosts in-DRAM defense observers
+// (TRR / counter-based MAC trackers, Sec. II) which may inject Nearby Row
+// Refresh (NRR) commands in response to the activation stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/command_trace.h"
+#include "dram/device.h"
+
+namespace rowpress::dram {
+
+/// A defense's request to refresh a potential victim row.
+struct NrrRequest {
+  int bank = 0;
+  int row = 0;
+};
+
+/// Observer interface for in-DRAM mitigation mechanisms.  Implementations
+/// live in src/defense.  The controller calls these on every row command;
+/// any returned NRR requests are executed immediately.
+class DefenseObserver {
+ public:
+  virtual ~DefenseObserver() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called when a row is activated.
+  virtual std::vector<NrrRequest> on_activate(int bank, int row,
+                                              double time_ns) = 0;
+
+  /// Called when the open row is closed; open_ns is how long it was open.
+  virtual std::vector<NrrRequest> on_precharge(int bank, int row,
+                                               double open_ns,
+                                               double time_ns) = 0;
+
+  /// Called when a row (or the whole device) is refreshed, so trackers can
+  /// reset their per-row state.
+  virtual void on_refresh(int bank, int row) = 0;
+};
+
+struct ControllerStats {
+  std::int64_t acts = 0;
+  std::int64_t pres = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t refs = 0;
+  std::int64_t nrrs = 0;           ///< NRRs executed (trace + defense)
+  std::int64_t defense_nrrs = 0;   ///< NRRs injected by defenses
+};
+
+class MemoryController {
+ public:
+  explicit MemoryController(Device& device, bool refresh_enabled = false);
+
+  Device& device() { return device_; }
+  const Device& device() const { return device_; }
+
+  double now_ns() const { return time_ns_; }
+  const ControllerStats& stats() const { return stats_; }
+
+  /// Periodic refresh emulation: when enabled, rows are refreshed
+  /// round-robin such that every row is refreshed once per tREFW.  The
+  /// paper disables this for profiling ("DRAM refresh is disabled").
+  void set_refresh_enabled(bool enabled) { refresh_enabled_ = enabled; }
+  bool refresh_enabled() const { return refresh_enabled_; }
+
+  /// Registers a defense; not owned.
+  void attach_defense(DefenseObserver* defense);
+  void detach_all_defenses() { defenses_.clear(); }
+
+  void execute(const Command& c);
+  void execute(const CommandTrace& trace);
+
+  /// Convenience wrappers -----------------------------------------------
+
+  /// Double-sided hammer: n interleaved {ACT, Sleep(S), PRE} rounds on each
+  /// aggressor (Algorithm 1 lines 9-12).
+  void hammer(int bank, const std::vector<int>& aggressors, std::int64_t n);
+
+  /// One long activation of `row` held open for `open_ns` (Algorithm 2
+  /// lines 6-9).
+  void press(int bank, int row, double open_ns);
+
+  /// Reads a full row through the command path (ACT + RD + PRE).
+  std::vector<std::uint8_t> read_row(int bank, int row);
+
+  /// Fills a row through the command path (ACT + WR + PRE).
+  void write_row_fill(int bank, int row, std::uint8_t fill);
+
+ private:
+  void do_activate(int bank, int row);
+  void do_precharge(int bank);
+  void advance_time(double delta_ns);
+  void maybe_refresh();
+  void run_nrrs(const std::vector<NrrRequest>& requests);
+
+  Device& device_;
+  bool refresh_enabled_;
+  double time_ns_ = 0.0;
+  double next_refresh_ns_ = 0.0;
+  int refresh_cursor_ = 0;
+  std::vector<DefenseObserver*> defenses_;
+  ControllerStats stats_;
+};
+
+}  // namespace rowpress::dram

@@ -1,0 +1,101 @@
+#include "dram/device.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace rowpress::dram {
+
+Device::Device(const DeviceConfig& config)
+    : config_(config), addr_map_(config.geometry),
+      cells_(std::make_unique<CellModel>(config.geometry, config.cells,
+                                         config.seed)) {
+  banks_.reserve(static_cast<std::size_t>(config.geometry.num_banks));
+  for (int b = 0; b < config.geometry.num_banks; ++b)
+    banks_.emplace_back(b, config.geometry, config.timing, cells_.get());
+}
+
+Bank& Device::bank(int b) {
+  RP_REQUIRE(b >= 0 && b < num_banks(), "bank out of range");
+  return banks_[static_cast<std::size_t>(b)];
+}
+
+const Bank& Device::bank(int b) const {
+  RP_REQUIRE(b >= 0 && b < num_banks(), "bank out of range");
+  return banks_[static_cast<std::size_t>(b)];
+}
+
+void Device::write_bytes(std::int64_t linear,
+                         std::span<const std::uint8_t> data) {
+  RP_REQUIRE(linear >= 0 &&
+                 linear + static_cast<std::int64_t>(data.size()) <=
+                     config_.geometry.total_bytes(),
+             "write outside device");
+  std::int64_t offset = 0;
+  while (offset < static_cast<std::int64_t>(data.size())) {
+    const ByteAddress a = addr_map_.byte_address(linear + offset);
+    const std::int64_t room = config_.geometry.row_bytes - a.col;
+    const std::int64_t n =
+        std::min<std::int64_t>(room,
+                               static_cast<std::int64_t>(data.size()) - offset);
+    auto row = banks_[static_cast<std::size_t>(a.bank)].row_data(a.row);
+    std::vector<std::uint8_t> updated(row.begin(), row.end());
+    std::copy_n(data.begin() + offset, n, updated.begin() + a.col);
+    banks_[static_cast<std::size_t>(a.bank)].write_row(a.row, updated);
+    offset += n;
+  }
+}
+
+std::vector<std::uint8_t> Device::read_bytes(std::int64_t linear,
+                                             std::int64_t count) const {
+  RP_REQUIRE(linear >= 0 && count >= 0 &&
+                 linear + count <= config_.geometry.total_bytes(),
+             "read outside device");
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::int64_t offset = 0;
+  while (offset < count) {
+    const ByteAddress a = addr_map_.byte_address(linear + offset);
+    const std::int64_t room = config_.geometry.row_bytes - a.col;
+    const std::int64_t n = std::min<std::int64_t>(room, count - offset);
+    const auto row = banks_[static_cast<std::size_t>(a.bank)].row_data(a.row);
+    out.insert(out.end(), row.begin() + a.col, row.begin() + a.col + n);
+    offset += n;
+  }
+  return out;
+}
+
+bool Device::get_bit(std::int64_t linear_bit) const {
+  const CellAddress c = addr_map_.cell_address(linear_bit);
+  return rowpress::get_bit(
+      banks_[static_cast<std::size_t>(c.bank)].row_data(c.row),
+      static_cast<std::size_t>(c.bit));
+}
+
+void Device::set_bit(std::int64_t linear_bit, bool value) {
+  const CellAddress c = addr_map_.cell_address(linear_bit);
+  auto row = banks_[static_cast<std::size_t>(c.bank)].row_data(c.row);
+  std::vector<std::uint8_t> updated(row.begin(), row.end());
+  rowpress::set_bit(updated, static_cast<std::size_t>(c.bit), value);
+  banks_[static_cast<std::size_t>(c.bank)].write_row(c.row, updated);
+}
+
+void Device::refresh_all() {
+  for (auto& b : banks_) b.refresh_all();
+}
+
+std::vector<FlipEvent> Device::collect_flips() const {
+  std::vector<FlipEvent> out;
+  for (const auto& b : banks_) {
+    const auto& log = b.flip_log();
+    out.insert(out.end(), log.begin(), log.end());
+  }
+  return out;
+}
+
+void Device::clear_flip_logs() {
+  for (auto& b : banks_) b.clear_flip_log();
+}
+
+}  // namespace rowpress::dram

@@ -1,0 +1,61 @@
+// Whole-device model: the simulated stand-in for the paper's Samsung
+// DDR4-2400 chip (host-side byte access + per-bank command interface).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dram/address.h"
+#include "dram/bank.h"
+#include "dram/cell_model.h"
+#include "dram/timing.h"
+
+namespace rowpress::dram {
+
+struct DeviceConfig {
+  Geometry geometry;
+  TimingParams timing;
+  CellModelParams cells;
+  std::uint64_t seed = 0xD12A3u;  ///< per-chip manufacturing variation
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& config);
+
+  const Geometry& geometry() const { return config_.geometry; }
+  const TimingParams& timing() const { return config_.timing; }
+  const AddressMap& address_map() const { return addr_map_; }
+  const CellModel& cell_model() const { return *cells_; }
+
+  Bank& bank(int b);
+  const Bank& bank(int b) const;
+  int num_banks() const { return config_.geometry.num_banks; }
+
+  /// Host-side bulk data access through the linear address space (models
+  /// the PCIe read-back / write path of the DRAM-Bender rig, Fig. 5).
+  void write_bytes(std::int64_t linear, std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> read_bytes(std::int64_t linear,
+                                       std::int64_t count) const;
+
+  bool get_bit(std::int64_t linear_bit) const;
+  void set_bit(std::int64_t linear_bit, bool value);
+
+  /// Refreshes every row of every bank (one full tREFW worth of REF).
+  void refresh_all();
+
+  /// Flip events across all banks since the last clear, time-ordered per
+  /// bank (concatenated in bank order).
+  std::vector<FlipEvent> collect_flips() const;
+  void clear_flip_logs();
+
+ private:
+  DeviceConfig config_;
+  AddressMap addr_map_;
+  std::unique_ptr<CellModel> cells_;
+  std::vector<Bank> banks_;
+};
+
+}  // namespace rowpress::dram

@@ -1,0 +1,78 @@
+#include "dram/fault/rowhammer.h"
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace rowpress::dram {
+
+std::vector<int> RowHammerAttacker::aggressor_rows(const Device& device,
+                                                   int victim) const {
+  std::vector<int> rows;
+  if (config_.double_sided && victim - 1 >= 0) rows.push_back(victim - 1);
+  if (victim + 1 < device.geometry().rows_per_bank)
+    rows.push_back(victim + 1);
+  RP_REQUIRE(!rows.empty(), "victim row has no neighbours to hammer");
+  return rows;
+}
+
+FaultInjectionResult RowHammerAttacker::detect(Device& device, int bank,
+                                               int victim) const {
+  FaultInjectionResult result;
+  const auto data = device.bank(bank).row_data(victim);
+  const std::int64_t bits = device.geometry().row_bits();
+  for (std::int64_t i = 0; i < bits; ++i) {
+    const bool expected = (config_.victim_pattern >> (i % 8)) & 1u;
+    const bool actual = get_bit(data, static_cast<std::size_t>(i));
+    if (actual != expected)
+      result.flips.push_back(DetectedFlip{bank, victim, i, actual});
+  }
+  return result;
+}
+
+FaultInjectionResult RowHammerAttacker::run(MemoryController& controller,
+                                            int bank, int victim) const {
+  Device& device = controller.device();
+  const auto aggressors = aggressor_rows(device, victim);
+
+  // Lines 5-8: load the data patterns.
+  controller.write_row_fill(bank, victim, config_.victim_pattern);
+  for (const int a : aggressors)
+    controller.write_row_fill(bank, a, config_.aggressor_pattern);
+
+  // Lines 9-12: keep hammering rows X±1.
+  const double start_ns = controller.now_ns();
+  const std::int64_t acts_before = controller.stats().acts;
+  controller.hammer(bank, aggressors, config_.hammer_count);
+  // Attack accounting excludes the read-back phase (lines 13-18).
+  const double elapsed = controller.now_ns() - start_ns;
+  const std::int64_t acts = controller.stats().acts - acts_before;
+
+  (void)controller.read_row(bank, victim);
+  FaultInjectionResult result = detect(device, bank, victim);
+  result.elapsed_ns = elapsed;
+  result.activations = acts;
+  return result;
+}
+
+FaultInjectionResult RowHammerAttacker::run_fast(Device& device, int bank,
+                                                 int victim) const {
+  const auto aggressors = aggressor_rows(device, victim);
+  Bank& b = device.bank(bank);
+  b.fill_row(victim, config_.victim_pattern);
+  for (const int a : aggressors) b.fill_row(a, config_.aggressor_pattern);
+
+  const double open_ns = device.timing().tras_ns();
+  for (const int a : aggressors)
+    b.bulk_activate(a, config_.hammer_count, open_ns, /*time_ns=*/0.0);
+
+  FaultInjectionResult result = detect(device, bank, victim);
+  result.elapsed_ns =
+      static_cast<double>(config_.hammer_count) *
+      static_cast<double>(aggressors.size()) *
+      (device.timing().tras_ns() + device.timing().trp_ns());
+  result.activations =
+      config_.hammer_count * static_cast<std::int64_t>(aggressors.size());
+  return result;
+}
+
+}  // namespace rowpress::dram

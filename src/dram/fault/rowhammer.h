@@ -1,0 +1,66 @@
+// Algorithm 1: double-sided RowHammer fault injection.
+//
+// Writes an inverse data pattern into the victim row vs. the two aggressor
+// rows (the ideal all-bits-differ case of Sec. V-A), issues N interleaved
+// {ACT, Sleep(S), PRE} rounds on the aggressors, then reads the victim back
+// and reports every flipped bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/controller.h"
+
+namespace rowpress::dram {
+
+/// A bit found flipped when reading the chip back (host-side view).
+struct DetectedFlip {
+  int bank = 0;
+  int row = 0;
+  std::int64_t bit = 0;
+  bool became = false;  ///< value after the flip
+};
+
+struct FaultInjectionResult {
+  std::vector<DetectedFlip> flips;
+  double elapsed_ns = 0.0;        ///< controller time consumed by the attack
+  std::int64_t activations = 0;   ///< ACTs issued by the attack
+
+  std::size_t flip_count() const { return flips.size(); }
+};
+
+struct RowHammerConfig {
+  std::uint8_t aggressor_pattern = 0xFF;
+  std::uint8_t victim_pattern = 0x00;
+  /// Hammer count per aggressor row (the paper's N).
+  std::int64_t hammer_count = 100000;
+  /// If false, only row X+1 is hammered (single-sided).
+  bool double_sided = true;
+};
+
+class RowHammerAttacker {
+ public:
+  explicit RowHammerAttacker(RowHammerConfig config = {})
+      : config_(config) {}
+
+  const RowHammerConfig& config() const { return config_; }
+
+  /// Full command-path attack on victim row `victim` of `bank` (aggressors
+  /// are victim±1).  Goes through the controller, so any attached defense
+  /// observes every ACT.  Detects flips by reading the victim back.
+  FaultInjectionResult run(MemoryController& controller, int bank,
+                           int victim) const;
+
+  /// Fast path for whole-chip profiling: identical physics via
+  /// Bank::bulk_activate, bypassing per-command execution (and therefore
+  /// any defense).  Property-tested equivalent to run() without defenses.
+  FaultInjectionResult run_fast(Device& device, int bank, int victim) const;
+
+ private:
+  std::vector<int> aggressor_rows(const Device& device, int victim) const;
+  FaultInjectionResult detect(Device& device, int bank, int victim) const;
+
+  RowHammerConfig config_;
+};
+
+}  // namespace rowpress::dram

@@ -1,0 +1,79 @@
+#include "dram/fault/rowpress.h"
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace rowpress::dram {
+namespace {
+
+std::vector<int> pattern_rows(const Device& device, int target) {
+  std::vector<int> rows;
+  if (target - 1 >= 0) rows.push_back(target - 1);
+  if (target + 1 < device.geometry().rows_per_bank) rows.push_back(target + 1);
+  RP_REQUIRE(!rows.empty(), "pressed row has no neighbours to monitor");
+  return rows;
+}
+
+}  // namespace
+
+FaultInjectionResult RowPressAttacker::detect(Device& device, int bank,
+                                              int target) const {
+  FaultInjectionResult result;
+  const std::int64_t bits = device.geometry().row_bits();
+  for (const int row : pattern_rows(device, target)) {
+    const auto data = device.bank(bank).row_data(row);
+    for (std::int64_t i = 0; i < bits; ++i) {
+      const bool expected = (config_.pattern_row_pattern >> (i % 8)) & 1u;
+      const bool actual = get_bit(data, static_cast<std::size_t>(i));
+      if (actual != expected)
+        result.flips.push_back(DetectedFlip{bank, row, i, actual});
+    }
+  }
+  return result;
+}
+
+FaultInjectionResult RowPressAttacker::run(MemoryController& controller,
+                                           int bank, int target) const {
+  Device& device = controller.device();
+  const auto monitored = pattern_rows(device, target);
+
+  // Lines 3-5: load the data patterns (pattern rows 0xFF, victim row 0x00).
+  for (const int r : monitored)
+    controller.write_row_fill(bank, r, config_.pattern_row_pattern);
+  controller.write_row_fill(bank, target, config_.aggressor_pattern);
+
+  // Lines 6-9: activate row X once and keep it open for T.
+  const double start_ns = controller.now_ns();
+  const std::int64_t acts_before = controller.stats().acts;
+  for (std::int64_t i = 0; i < config_.press_count; ++i)
+    controller.press(bank, target, config_.open_ns);
+  // Attack accounting excludes the read-back phase (lines 10-15).
+  const double elapsed = controller.now_ns() - start_ns;
+  const std::int64_t acts = controller.stats().acts - acts_before;
+
+  for (const int r : monitored) (void)controller.read_row(bank, r);
+  FaultInjectionResult result = detect(device, bank, target);
+  result.elapsed_ns = elapsed;
+  result.activations = acts;
+  return result;
+}
+
+FaultInjectionResult RowPressAttacker::run_fast(Device& device, int bank,
+                                                int target) const {
+  const auto monitored = pattern_rows(device, target);
+  Bank& b = device.bank(bank);
+  for (const int r : monitored)
+    b.fill_row(r, config_.pattern_row_pattern);
+  b.fill_row(target, config_.aggressor_pattern);
+
+  b.bulk_activate(target, config_.press_count, config_.open_ns,
+                  /*time_ns=*/0.0);
+
+  FaultInjectionResult result = detect(device, bank, target);
+  result.elapsed_ns = static_cast<double>(config_.press_count) *
+                      (config_.open_ns + device.timing().trp_ns());
+  result.activations = config_.press_count;
+  return result;
+}
+
+}  // namespace rowpress::dram

@@ -1,0 +1,47 @@
+// Algorithm 2: RowPress fault injection ("CounterBypass").
+//
+// Follows the paper's variant of RowPress (Sec. V-B): the row under attack
+// (row X) is itself kept open for a long window T, and its neighbours — the
+// "pattern rows" X±1 — are the rows monitored for bit-flips.  Only a single
+// ACT is involved, so activation-counting defenses see nothing anomalous.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/controller.h"
+#include "dram/fault/rowhammer.h"  // FaultInjectionResult / DetectedFlip
+
+namespace rowpress::dram {
+
+struct RowPressConfig {
+  std::uint8_t pattern_row_pattern = 0xFF;  ///< written to rows X±1
+  std::uint8_t aggressor_pattern = 0x00;    ///< written to the pressed row X
+  /// Open-window duration T in ns.  The paper notes T must not exceed the
+  /// refresh limit; with refresh disabled longer values are allowed but a
+  /// single press is conventionally bounded by tREFW = 64 ms.
+  double open_ns = 64.0e6;
+  /// Number of consecutive presses (each {ACT, Sleep(T), PRE}).
+  std::int64_t press_count = 1;
+};
+
+class RowPressAttacker {
+ public:
+  explicit RowPressAttacker(RowPressConfig config = {}) : config_(config) {}
+
+  const RowPressConfig& config() const { return config_; }
+
+  /// Full command-path attack pressing row `target`; flips are detected in
+  /// the pattern rows target±1.
+  FaultInjectionResult run(MemoryController& controller, int bank,
+                           int target) const;
+
+  /// Bulk-physics fast path for whole-chip profiling (no defenses).
+  FaultInjectionResult run_fast(Device& device, int bank, int target) const;
+
+ private:
+  FaultInjectionResult detect(Device& device, int bank, int target) const;
+
+  RowPressConfig config_;
+};
+
+}  // namespace rowpress::dram

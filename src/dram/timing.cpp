@@ -1,0 +1,7 @@
+#include "dram/timing.h"
+
+namespace rowpress::dram {
+
+TimingParams ddr4_2400() { return TimingParams{}; }
+
+}  // namespace rowpress::dram

@@ -1,0 +1,68 @@
+// DDR4 timing bookkeeping.
+//
+// The simulator is command-level, not cycle-accurate: commands carry
+// timestamps in nanoseconds and TimingParams supplies the constraints and
+// conversions the paper uses (Sec. II "DRAM Timing Parameters" and the
+// Sec. VII-A "fair evaluation" time<->hammer-count conversion).
+#pragma once
+
+#include <cstdint>
+
+namespace rowpress::dram {
+
+struct TimingParams {
+  // DDR4-2400: the paper computes tCK = 1 / 2400 MHz for its conversions;
+  // we follow the paper's convention.
+  double tck_ns = 1000.0 / 2400.0;  ///< clock period used for conversions
+
+  // Core row timings, in clock cycles.  Chosen so one hammer iteration
+  // (ACT + Sleep(5) + PRE = 113 tCK ~= 47 ns) times the paper's maximum
+  // hammer count (1.36 M, Sec. VII-A) fills exactly one 64 ms refresh
+  // window — i.e. the command-level timeline is consistent with the
+  // paper's own time<->HC conversion.
+  int tras_ck = 80;  ///< ACT -> PRE minimum (row active time)
+  int trp_ck = 28;   ///< PRE -> next ACT (row precharge time)
+
+  // The paper's Algorithm 1 inserts an explicit Sleep(S) of 5 tCK between
+  // ACT and PRE on top of tRAS.
+  int hammer_sleep_ck = 5;
+
+  // Refresh.
+  double trefw_ns = 64.0e6;  ///< refresh window tREFW = 64 ms
+  double trefi_ns = 7800.0;  ///< average refresh interval tREFI = 7.8 us
+
+  /// Maximum hammer count achievable within one refresh window.  The paper
+  /// (citing Blaster) uses ~1.36 M for DDR4-2400.
+  double max_hc_per_trefw = 1.36e6;
+
+  double tras_ns() const { return tras_ck * tck_ns; }
+  double trp_ns() const { return trp_ck * tck_ns; }
+  double hammer_sleep_ns() const { return hammer_sleep_ck * tck_ns; }
+
+  /// Duration of one full hammer iteration: ACT + Sleep(S) + PRE.
+  double hammer_period_ns() const {
+    return tras_ns() + hammer_sleep_ns() + trp_ns();
+  }
+
+  /// Converts a cycle count at this clock into nanoseconds
+  /// (Sec. VII-A: 100 M cycles at 2400 MHz ~= 41.67 ms).
+  double cycles_to_ns(double cycles) const { return cycles * tck_ns; }
+
+  double ns_to_cycles(double ns) const { return ns / tck_ns; }
+
+  /// The paper's fair-evaluation conversion: the hammer count equivalent to
+  /// an attack duration T, HC = (T / tREF) * HCmax.
+  double equivalent_hammer_count(double duration_ns) const {
+    return duration_ns / trefw_ns * max_hc_per_trefw;
+  }
+
+  /// Inverse of equivalent_hammer_count.
+  double hammer_count_duration_ns(double hc) const {
+    return hc / max_hc_per_trefw * trefw_ns;
+  }
+};
+
+/// DDR4-2400 defaults as used throughout the paper's experiments.
+TimingParams ddr4_2400();
+
+}  // namespace rowpress::dram

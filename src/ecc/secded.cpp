@@ -1,0 +1,184 @@
+#include "ecc/secded.h"
+
+#include <array>
+#include <bit>
+
+#include "common/check.h"
+
+namespace rowpress::ecc {
+namespace {
+
+// Hamming layout over positions 1..71: check bits at the powers of two,
+// data bits at the 64 remaining positions.  The 8th check bit is the
+// overall parity across the whole 72-bit codeword.
+constexpr bool is_power_of_two(int p) { return (p & (p - 1)) == 0; }
+
+struct Layout {
+  std::array<int, 64> pos_of_data{};   // data bit i -> position 1..71
+  std::array<int, 72> data_of_pos{};   // position -> data index, or -1
+  constexpr Layout() {
+    for (auto& v : data_of_pos) v = -1;
+    int i = 0;
+    for (int p = 1; p <= 71; ++p) {
+      if (is_power_of_two(p)) continue;
+      pos_of_data[static_cast<std::size_t>(i)] = p;
+      data_of_pos[static_cast<std::size_t>(p)] = i;
+      ++i;
+    }
+  }
+};
+
+constexpr Layout kLayout{};
+
+/// The 7 Hamming check bits implied by a data word.
+std::uint8_t hamming_checks(std::uint64_t data) {
+  std::uint8_t checks = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (!((data >> i) & 1u)) continue;
+    checks = static_cast<std::uint8_t>(
+        checks ^ kLayout.pos_of_data[static_cast<std::size_t>(i)]);
+  }
+  return checks;  // bit k of `checks` = check bit at position 2^k
+}
+
+int parity_of(std::uint64_t data, std::uint8_t check) {
+  return (std::popcount(data) + std::popcount(check)) & 1;
+}
+
+}  // namespace
+
+std::uint8_t Secded7264::encode(std::uint64_t data) {
+  const std::uint8_t hamming = hamming_checks(data) & 0x7F;
+  // Bit 7 is the overall parity, making the full 72-bit codeword even.
+  const int p = parity_of(data, hamming);
+  return static_cast<std::uint8_t>(hamming | (p << 7));
+}
+
+DecodeResult Secded7264::decode(std::uint64_t data, std::uint8_t check) {
+  DecodeResult r;
+  r.data = data;
+  const std::uint8_t received_hamming = check & 0x7F;
+  const std::uint8_t syndrome =
+      static_cast<std::uint8_t>((hamming_checks(data) ^ received_hamming) &
+                                0x7F);
+  const int parity_err = parity_of(data, check);  // even codeword -> 0
+
+  if (syndrome == 0 && parity_err == 0) {
+    r.status = DecodeStatus::kClean;
+    return r;
+  }
+  if (syndrome == 0 && parity_err == 1) {
+    // The overall parity bit itself flipped; data is intact.
+    r.status = DecodeStatus::kCorrected;
+    r.corrected_position = 72;
+    return r;
+  }
+  if (parity_err == 1) {
+    // Odd number of flips with a nonzero syndrome: treat as a single-bit
+    // error at the syndrome position (a >=3-bit error aliases here and is
+    // silently miscorrected — SECDED's inherent limit).
+    r.status = DecodeStatus::kCorrected;
+    r.corrected_position = syndrome;
+    const int data_idx = syndrome <= 71
+                             ? kLayout.data_of_pos[static_cast<std::size_t>(
+                                   syndrome)]
+                             : -1;
+    if (data_idx >= 0) r.data = data ^ (std::uint64_t{1} << data_idx);
+    // Otherwise a check bit flipped; the data is intact.
+    return r;
+  }
+  // Nonzero syndrome with even parity: an even-sized (>=2) error.
+  r.status = DecodeStatus::kDetectedDouble;
+  return r;
+}
+
+EccMemory::EccMemory(dram::Device& device, std::int64_t data_base,
+                     std::int64_t data_bytes, std::int64_t check_base)
+    : device_(&device), data_base_(data_base), data_bytes_(data_bytes),
+      check_base_(check_base) {
+  RP_REQUIRE(data_bytes > 0 && data_bytes % 8 == 0,
+             "ECC region must be a multiple of 8 bytes");
+  const std::int64_t check_bytes = data_bytes / 8;
+  RP_REQUIRE(data_base >= 0 &&
+                 data_base + data_bytes <= device.geometry().total_bytes(),
+             "ECC data region outside device");
+  RP_REQUIRE(check_base >= 0 &&
+                 check_base + check_bytes <= device.geometry().total_bytes(),
+             "ECC check region outside device");
+  const bool overlap = check_base < data_base + data_bytes &&
+                       data_base < check_base + check_bytes;
+  RP_REQUIRE(!overlap, "ECC check region overlaps the data region");
+}
+
+namespace {
+
+std::uint64_t load_word(const std::vector<std::uint8_t>& bytes,
+                        std::int64_t word) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(
+             word * 8 + i)])
+         << (8 * i);
+  return v;
+}
+
+void store_word(std::vector<std::uint8_t>& bytes, std::int64_t word,
+                std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes[static_cast<std::size_t>(word * 8 + i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+void EccMemory::write(std::span<const std::uint8_t> data) {
+  RP_REQUIRE(static_cast<std::int64_t>(data.size()) == data_bytes_,
+             "ECC write must cover the whole region");
+  device_->write_bytes(data_base_, data);
+  std::vector<std::uint8_t> checks(static_cast<std::size_t>(num_words()));
+  std::vector<std::uint8_t> buf(data.begin(), data.end());
+  for (std::int64_t w = 0; w < num_words(); ++w)
+    checks[static_cast<std::size_t>(w)] =
+        Secded7264::encode(load_word(buf, w));
+  device_->write_bytes(check_base_, checks);
+}
+
+std::vector<std::uint8_t> EccMemory::scrubbed_read(ScrubStats* stats) {
+  std::vector<std::uint8_t> data =
+      device_->read_bytes(data_base_, data_bytes_);
+  const std::vector<std::uint8_t> checks =
+      device_->read_bytes(check_base_, num_words());
+
+  ScrubStats local;
+  bool repaired = false;
+  for (std::int64_t w = 0; w < num_words(); ++w) {
+    const auto r = Secded7264::decode(load_word(data, w),
+                                      checks[static_cast<std::size_t>(w)]);
+    switch (r.status) {
+      case DecodeStatus::kClean:
+        ++local.words_clean;
+        break;
+      case DecodeStatus::kCorrected:
+        ++local.words_corrected;
+        store_word(data, w, r.data);
+        repaired = true;
+        break;
+      case DecodeStatus::kDetectedDouble:
+        ++local.words_detected;
+        break;
+    }
+  }
+  if (repaired) {
+    // Patrol scrub: write corrected data (and re-encoded checks) back.
+    device_->write_bytes(data_base_, data);
+    std::vector<std::uint8_t> fresh(static_cast<std::size_t>(num_words()));
+    for (std::int64_t w = 0; w < num_words(); ++w)
+      fresh[static_cast<std::size_t>(w)] =
+          Secded7264::encode(load_word(data, w));
+    device_->write_bytes(check_base_, fresh);
+  }
+  if (stats) *stats = local;
+  return data;
+}
+
+}  // namespace rowpress::ecc

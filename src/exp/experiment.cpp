@@ -1,0 +1,138 @@
+#include "exp/experiment.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "profile/profiler.h"
+
+namespace rowpress::exp {
+
+TrainStats train_classifier(nn::Module& model, const data::SplitDataset& data,
+                            const models::TrainRecipe& recipe, Rng& rng,
+                            bool verbose) {
+  model.set_training(true);
+  nn::Adam opt(model.parameters(), recipe.lr, 0.9, 0.999, 1e-8,
+               recipe.weight_decay);
+  nn::CrossEntropyLoss ce;
+  data::Batcher batcher(data.train.size(), recipe.batch_size, rng);
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < recipe.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    const int nb = batcher.batches_per_epoch();
+    for (int b = 0; b < nb; ++b) {
+      const auto idx = batcher.next();
+      const nn::Tensor inputs = data::gather_inputs(data.train, idx);
+      const auto labels = data::gather_labels(data.train, idx);
+      opt.zero_grad();
+      const nn::Tensor logits = model.forward(inputs);
+      epoch_loss += ce.forward(logits, labels);
+      model.backward(ce.backward());
+      opt.step();
+    }
+    stats.final_train_loss = epoch_loss / nb;
+    if (verbose)
+      std::printf("  epoch %d/%d  loss %.4f\n", epoch + 1, recipe.epochs,
+                  stats.final_train_loss);
+  }
+  model.set_training(false);
+  stats.train_accuracy = evaluate_accuracy(model, data.train);
+  stats.test_accuracy = evaluate_accuracy(model, data.test);
+  return stats;
+}
+
+double evaluate_accuracy(nn::Module& model, const data::Dataset& ds,
+                         int batch_size, int max_samples) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  const int n = max_samples < 0 ? ds.size() : std::min(max_samples, ds.size());
+  RP_REQUIRE(n > 0, "empty evaluation set");
+  int correct = 0;
+  for (int off = 0; off < n; off += batch_size) {
+    const int end = std::min(n, off + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(end - off));
+    std::iota(idx.begin(), idx.end(), off);
+    const nn::Tensor logits = model.forward(data::gather_inputs(ds, idx));
+    const auto labels = data::gather_labels(ds, idx);
+    correct += static_cast<int>(
+        nn::accuracy(logits, labels) * static_cast<double>(idx.size()) + 0.5);
+  }
+  model.set_training(was_training);
+  return static_cast<double>(correct) / n;
+}
+
+PreparedModel prepare_trained_model(const models::ModelSpec& spec,
+                                    const data::SplitDataset& data,
+                                    const std::string& cache_dir,
+                                    std::uint64_t seed, bool verbose) {
+  PreparedModel out;
+  Rng rng(seed ^ std::hash<std::string>{}(spec.name));
+  out.model = spec.factory(rng);
+
+  const std::string path =
+      cache_dir + "/" + spec.name + "_seed" + std::to_string(seed) + ".rpms";
+  nn::ModelState cached;
+  if (!cache_dir.empty() && nn::load_state(cached, path)) {
+    nn::restore_state(*out.model, cached);
+    out.model->set_training(false);
+    out.state = std::move(cached);
+    out.stats.test_accuracy = evaluate_accuracy(*out.model, data.test);
+    out.from_cache = true;
+    return out;
+  }
+
+  if (verbose) std::printf("training %s ...\n", spec.name.c_str());
+  out.stats = train_classifier(*out.model, data, spec.recipe, rng, verbose);
+  out.state = nn::snapshot_state(*out.model);
+  if (!cache_dir.empty()) nn::save_state(out.state, path);
+  return out;
+}
+
+ProfilePair build_or_load_profiles(dram::Device& device,
+                                   const std::string& cache_dir,
+                                   bool verbose) {
+  ProfilePair out;
+  const std::string tag = std::to_string(device.geometry().num_banks) + "x" +
+                          std::to_string(device.geometry().rows_per_bank);
+  const std::string rh_path = cache_dir + "/profile_rh_" + tag + ".txt";
+  const std::string rp_path = cache_dir + "/profile_rp_" + tag + ".txt";
+
+  if (!cache_dir.empty()) {
+    std::ifstream rh(rh_path), rp(rp_path);
+    if (rh.good() && rp.good()) {
+      out.rowhammer = profile::BitFlipProfile::load(rh, "RowHammer");
+      out.rowpress = profile::BitFlipProfile::load(rp, "RowPress");
+      if (!out.rowhammer.empty() && !out.rowpress.empty()) return out;
+    }
+  }
+
+  if (verbose) std::printf("profiling chip under RowHammer & RowPress ...\n");
+  profile::Profiler profiler;
+  out.rowhammer = profiler.profile_rowhammer(device);
+  out.rowpress = profiler.profile_rowpress(device);
+
+  if (!cache_dir.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    std::ofstream rh(rh_path), rp(rp_path);
+    out.rowhammer.save(rh);
+    out.rowpress.save(rp);
+  }
+  return out;
+}
+
+dram::DeviceConfig default_chip_config() {
+  dram::DeviceConfig cfg;
+  cfg.geometry.num_banks = 4;
+  cfg.geometry.rows_per_bank = 512;
+  cfg.geometry.row_bytes = 1024;
+  return cfg;
+}
+
+std::string default_cache_dir() { return "artifacts"; }
+
+}  // namespace rowpress::exp

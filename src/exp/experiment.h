@@ -1,0 +1,63 @@
+// Experiment plumbing shared by the benchmark harnesses and examples:
+// training loops, evaluation, and disk caching of trained models and DRAM
+// profiles (so repeated bench runs don't retrain/reprofile).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "dram/device.h"
+#include "models/zoo.h"
+#include "nn/module.h"
+#include "nn/serialize.h"
+#include "profile/bitflip_profile.h"
+
+namespace rowpress::exp {
+
+struct TrainStats {
+  double final_train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Adam training loop for a classifier.
+TrainStats train_classifier(nn::Module& model, const data::SplitDataset& data,
+                            const models::TrainRecipe& recipe, Rng& rng,
+                            bool verbose = false);
+
+/// Top-1 accuracy over (a prefix of) a dataset, batched.
+double evaluate_accuracy(nn::Module& model, const data::Dataset& ds,
+                         int batch_size = 128, int max_samples = -1);
+
+/// Builds and trains (or loads from `cache_dir`) the model for a zoo spec.
+/// Returns the model plus its trained state (for building fresh attack
+/// copies).  Deterministic given `seed`.
+struct PreparedModel {
+  std::unique_ptr<nn::Module> model;
+  nn::ModelState state;
+  TrainStats stats;
+  bool from_cache = false;
+};
+PreparedModel prepare_trained_model(const models::ModelSpec& spec,
+                                    const data::SplitDataset& data,
+                                    const std::string& cache_dir,
+                                    std::uint64_t seed, bool verbose = false);
+
+/// Profiles the device under both fault models, cached as text files in
+/// `cache_dir` (keyed by device geometry).
+struct ProfilePair {
+  profile::BitFlipProfile rowhammer;
+  profile::BitFlipProfile rowpress;
+};
+ProfilePair build_or_load_profiles(dram::Device& device,
+                                   const std::string& cache_dir,
+                                   bool verbose = false);
+
+/// The standard simulated chip used across benches/examples.
+dram::DeviceConfig default_chip_config();
+
+/// Default on-disk cache directory (created on demand).
+std::string default_cache_dir();
+
+}  // namespace rowpress::exp

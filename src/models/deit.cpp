@@ -1,0 +1,40 @@
+#include "models/deit.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+
+namespace rowpress::models {
+
+std::unique_ptr<nn::Module> make_deit(DeitSize size, int in_channels,
+                                      int image_size, int num_classes,
+                                      Rng& rng) {
+  int dim = 0, heads = 0, depth = 0;
+  switch (size) {
+    case DeitSize::kTiny: dim = 32; heads = 4; depth = 3; break;
+    case DeitSize::kSmall: dim = 48; heads = 6; depth = 4; break;
+    case DeitSize::kBase: dim = 64; heads = 8; depth = 5; break;
+  }
+  constexpr int kPatch = 4;
+  constexpr int kMlpRatio = 2;
+  RP_REQUIRE(image_size % kPatch == 0, "image size must be patch-divisible");
+  const int tokens_per_side = image_size / kPatch;
+  const int num_tokens = tokens_per_side * tokens_per_side;
+
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::PatchEmbed>(in_channels, dim, kPatch, rng, "patch");
+  net->emplace<nn::PositionalEmbedding>(num_tokens, dim, rng, "pos");
+  for (int b = 0; b < depth; ++b)
+    net->add(nn::make_transformer_block(dim, heads, kMlpRatio, rng,
+                                        "block" + std::to_string(b)));
+  net->emplace<nn::LayerNorm>(dim, rng, 1e-5, "norm");
+  net->emplace<nn::MeanTokens>();
+  net->emplace<nn::Linear>(dim, num_classes, rng, true, "head");
+  return net;
+}
+
+}  // namespace rowpress::models

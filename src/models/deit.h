@@ -1,0 +1,20 @@
+// DeiT-style vision transformers (Touvron et al.), scaled down: patch
+// embedding, learned positional embedding, pre-norm encoder blocks, mean
+// pooling head.  DeiT-T/S/B differ in embed dim, head count and depth, as
+// in the original family.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace rowpress::models {
+
+enum class DeitSize { kTiny, kSmall, kBase };
+
+std::unique_ptr<nn::Module> make_deit(DeitSize size, int in_channels,
+                                      int image_size, int num_classes,
+                                      Rng& rng);
+
+}  // namespace rowpress::models

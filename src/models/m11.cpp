@@ -1,0 +1,59 @@
+#include "models/m11.h"
+
+#include <string>
+
+#include "nn/activation.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+
+namespace rowpress::models {
+namespace {
+
+using nn::BatchNorm;
+using nn::Conv1d;
+using nn::MaxPool1d;
+using nn::ReLU;
+using rowpress::Rng;
+using nn::Sequential;
+
+void add_conv_bn_relu(Sequential& net, int cin, int cout, int k, int stride,
+                      Rng& rng, const std::string& prefix) {
+  net.emplace<Conv1d>(cin, cout, k, stride, k / 2, rng, false,
+                      prefix + ".conv");
+  net.emplace<BatchNorm>(cout, rng, 0.1, 1e-5, prefix + ".bn");
+  net.emplace<ReLU>();
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Module> make_m11(int num_classes, Rng& rng) {
+  // 10 conv layers + 1 linear head = 11 weight layers, like the original
+  // M11 (conv counts per group: 1-2-2-3-2).
+  auto net = std::make_unique<Sequential>();
+  add_conv_bn_relu(*net, 1, 12, 9, 2, rng, "g0.l0");    // L/2
+  net->emplace<MaxPool1d>(2, 2);                        // L/4
+
+  add_conv_bn_relu(*net, 12, 12, 3, 1, rng, "g1.l0");
+  add_conv_bn_relu(*net, 12, 12, 3, 1, rng, "g1.l1");
+  net->emplace<MaxPool1d>(2, 2);                        // L/8
+
+  add_conv_bn_relu(*net, 12, 24, 3, 1, rng, "g2.l0");
+  add_conv_bn_relu(*net, 24, 24, 3, 1, rng, "g2.l1");
+  net->emplace<MaxPool1d>(2, 2);                        // L/16
+
+  add_conv_bn_relu(*net, 24, 48, 3, 1, rng, "g3.l0");
+  add_conv_bn_relu(*net, 48, 48, 3, 1, rng, "g3.l1");
+  add_conv_bn_relu(*net, 48, 48, 3, 1, rng, "g3.l2");
+  net->emplace<MaxPool1d>(2, 2);                        // L/32
+
+  add_conv_bn_relu(*net, 48, 96, 3, 1, rng, "g4.l0");
+  add_conv_bn_relu(*net, 96, 96, 3, 1, rng, "g4.l1");
+
+  net->emplace<nn::GlobalAvgPool>();
+  net->emplace<nn::Linear>(96, num_classes, rng, true, "head");
+  return net;
+}
+
+}  // namespace rowpress::models

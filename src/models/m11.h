@@ -1,0 +1,15 @@
+// M11 analogue (Dai et al., "Very deep CNNs for raw waveforms"): an
+// 11-weight-layer 1-D CNN over raw waveforms with downsampling pools and a
+// global-average-pool head, scaled to the synthetic speech-command dataset.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace rowpress::models {
+
+std::unique_ptr<nn::Module> make_m11(int num_classes, Rng& rng);
+
+}  // namespace rowpress::models

@@ -1,0 +1,169 @@
+#include "models/resnet.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+
+namespace rowpress::models {
+namespace {
+
+using nn::BatchNorm;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::Module;
+using nn::ReLU;
+using nn::Residual;
+using rowpress::Rng;
+using nn::Sequential;
+
+std::unique_ptr<Module> basic_block(int cin, int cout, int stride, Rng& rng,
+                                    const std::string& prefix) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(cin, cout, 3, stride, 1, rng, false,
+                        prefix + ".conv1");
+  body->emplace<BatchNorm>(cout, rng, 0.1, 1e-5, prefix + ".bn1");
+  body->emplace<ReLU>();
+  body->emplace<Conv2d>(cout, cout, 3, 1, 1, rng, false, prefix + ".conv2");
+  body->emplace<BatchNorm>(cout, rng, 0.1, 1e-5, prefix + ".bn2");
+
+  std::unique_ptr<Module> shortcut;
+  if (stride != 1 || cin != cout) {
+    auto sc = std::make_unique<Sequential>();
+    sc->emplace<Conv2d>(cin, cout, 1, stride, 0, rng, false,
+                        prefix + ".downsample");
+    sc->emplace<BatchNorm>(cout, rng, 0.1, 1e-5, prefix + ".dsbn");
+    shortcut = std::move(sc);
+  }
+
+  auto block = std::make_unique<Sequential>();
+  block->add(std::make_unique<Residual>(std::move(body), std::move(shortcut)));
+  block->emplace<ReLU>();
+  return block;
+}
+
+std::unique_ptr<Module> bottleneck_block(int cin, int width, int expansion,
+                                         int stride, Rng& rng,
+                                         const std::string& prefix) {
+  const int cout = width * expansion;
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(cin, width, 1, 1, 0, rng, false, prefix + ".conv1");
+  body->emplace<BatchNorm>(width, rng, 0.1, 1e-5, prefix + ".bn1");
+  body->emplace<ReLU>();
+  body->emplace<Conv2d>(width, width, 3, stride, 1, rng, false,
+                        prefix + ".conv2");
+  body->emplace<BatchNorm>(width, rng, 0.1, 1e-5, prefix + ".bn2");
+  body->emplace<ReLU>();
+  body->emplace<Conv2d>(width, cout, 1, 1, 0, rng, false, prefix + ".conv3");
+  body->emplace<BatchNorm>(cout, rng, 0.1, 1e-5, prefix + ".bn3", 0.0f);
+
+  std::unique_ptr<Module> shortcut;
+  if (stride != 1 || cin != cout) {
+    auto sc = std::make_unique<Sequential>();
+    sc->emplace<Conv2d>(cin, cout, 1, stride, 0, rng, false,
+                        prefix + ".downsample");
+    sc->emplace<BatchNorm>(cout, rng, 0.1, 1e-5, prefix + ".dsbn");
+    shortcut = std::move(sc);
+  }
+
+  auto block = std::make_unique<Sequential>();
+  block->add(std::make_unique<Residual>(std::move(body), std::move(shortcut)));
+  block->emplace<ReLU>();
+  return block;
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Module> make_resnet_cifar(int depth, int in_channels,
+                                              int num_classes, int base_width,
+                                              Rng& rng) {
+  RP_REQUIRE(depth == 20 || depth == 32 || depth == 44,
+             "CIFAR ResNet depth must be 20/32/44");
+  const int n = (depth - 2) / 6;
+  const int w1 = base_width, w2 = 2 * base_width, w3 = 4 * base_width;
+
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(in_channels, w1, 3, 1, 1, rng, false, "stem.conv");
+  net->emplace<BatchNorm>(w1, rng, 0.1, 1e-5, "stem.bn");
+  net->emplace<ReLU>();
+
+  int cin = w1;
+  const int widths[3] = {w1, w2, w3};
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int b = 0; b < n; ++b) {
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string prefix =
+          "stage" + std::to_string(stage) + ".block" + std::to_string(b);
+      net->add(basic_block(cin, widths[stage], stride, rng, prefix));
+      cin = widths[stage];
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(cin, num_classes, rng, true, "head");
+  return net;
+}
+
+std::unique_ptr<nn::Module> make_resnet34(int in_channels, int num_classes,
+                                          int base_width, Rng& rng) {
+  const int counts[4] = {3, 4, 6, 3};
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(in_channels, base_width, 3, 1, 1, rng, false,
+                       "stem.conv");
+  net->emplace<BatchNorm>(base_width, rng, 0.1, 1e-5, "stem.bn");
+  net->emplace<ReLU>();
+
+  int cin = base_width;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int width = base_width << std::min(stage, 2);  // cap growth at 4x
+    for (int b = 0; b < counts[stage]; ++b) {
+      const int stride = (stage > 0 && b == 0 && stage < 3) ? 2 : 1;
+      const std::string prefix =
+          "stage" + std::to_string(stage) + ".block" + std::to_string(b);
+      net->add(basic_block(cin, width, stride, rng, prefix));
+      cin = width;
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(cin, num_classes, rng, true, "head");
+  return net;
+}
+
+std::unique_ptr<nn::Module> make_resnet_bottleneck(int depth, int in_channels,
+                                                   int num_classes,
+                                                   int base_width,
+                                                   Rng& rng) {
+  RP_REQUIRE(depth == 50 || depth == 101,
+             "bottleneck ResNet depth must be 50 or 101");
+  const int stage3 = depth == 50 ? 6 : 23;
+  const int counts[4] = {3, 4, stage3, 3};
+  constexpr int kExpansion = 4;
+
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(in_channels, base_width, 3, 1, 1, rng, false,
+                       "stem.conv");
+  net->emplace<BatchNorm>(base_width, rng, 0.1, 1e-5, "stem.bn");
+  net->emplace<ReLU>();
+
+  int cin = base_width;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int width = base_width << std::min(stage, 2);
+    for (int b = 0; b < counts[stage]; ++b) {
+      const int stride = (stage > 0 && b == 0 && stage < 3) ? 2 : 1;
+      const std::string prefix =
+          "stage" + std::to_string(stage) + ".block" + std::to_string(b);
+      net->add(bottleneck_block(cin, width, kExpansion, stride, rng, prefix));
+      cin = width * kExpansion;
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(cin, num_classes, rng, true, "head");
+  return net;
+}
+
+}  // namespace rowpress::models

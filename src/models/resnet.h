@@ -1,0 +1,31 @@
+// ResNet family (He et al.) scaled to the synthetic datasets:
+//  - CIFAR-style ResNet-20/32/44: 3 stages of basic blocks.
+//  - ImageNet-style ResNet-34 (basic) and ResNet-50/101 (bottleneck).
+// Topology (depth pattern, residual structure, downsampling points) follows
+// the originals; widths are scaled down (see DESIGN.md §2).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace rowpress::models {
+
+/// CIFAR-style ResNet: 6n+2 layers (n blocks per stage).  depth must be one
+/// of 20, 32, 44 (n = 3, 5, 7).
+std::unique_ptr<nn::Module> make_resnet_cifar(int depth, int in_channels,
+                                              int num_classes, int base_width,
+                                              Rng& rng);
+
+/// ImageNet-style ResNet-34: 4 stages of basic blocks [3,4,6,3].
+std::unique_ptr<nn::Module> make_resnet34(int in_channels, int num_classes,
+                                          int base_width, Rng& rng);
+
+/// ImageNet-style bottleneck ResNet: depth 50 -> [3,4,6,3], 101 -> [3,4,23,3].
+std::unique_ptr<nn::Module> make_resnet_bottleneck(int depth, int in_channels,
+                                                   int num_classes,
+                                                   int base_width,
+                                                   Rng& rng);
+
+}  // namespace rowpress::models

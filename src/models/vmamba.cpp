@@ -1,0 +1,39 @@
+#include "models/vmamba.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "nn/attention.h"  // PatchEmbed, PositionalEmbedding
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+#include "nn/ssm.h"
+
+namespace rowpress::models {
+
+std::unique_ptr<nn::Module> make_vmamba_tiny(int in_channels, int image_size,
+                                             int num_classes, Rng& rng) {
+  constexpr int kPatch = 4;
+  constexpr int kDim = 56;
+  constexpr int kDepth = 4;
+  RP_REQUIRE(image_size % kPatch == 0, "image size must be patch-divisible");
+  const int tokens_per_side = image_size / kPatch;
+  const int num_tokens = tokens_per_side * tokens_per_side;
+
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::PatchEmbed>(in_channels, kDim, kPatch, rng, "patch");
+  net->emplace<nn::PositionalEmbedding>(num_tokens, kDim, rng, "pos");
+  for (int b = 0; b < kDepth; ++b) {
+    const std::string prefix = "scan" + std::to_string(b);
+    auto body = std::make_unique<nn::Sequential>();
+    body->emplace<nn::LayerNorm>(kDim, rng, 1e-5, prefix + ".ln");
+    body->emplace<nn::SelectiveScan>(kDim, rng, prefix + ".ssm");
+    net->add(std::make_unique<nn::Residual>(std::move(body)));
+  }
+  net->emplace<nn::LayerNorm>(kDim, rng, 1e-5, "norm");
+  net->emplace<nn::MeanTokens>();
+  net->emplace<nn::Linear>(kDim, num_classes, rng, true, "head");
+  return net;
+}
+
+}  // namespace rowpress::models

@@ -1,0 +1,16 @@
+// VMamba-T analogue (Liu et al.): patch embedding followed by gated
+// selective-scan blocks over the flattened patch sequence, mean pooled into
+// a linear head.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace rowpress::models {
+
+std::unique_ptr<nn::Module> make_vmamba_tiny(int in_channels, int image_size,
+                                             int num_classes, Rng& rng);
+
+}  // namespace rowpress::models

@@ -1,0 +1,149 @@
+#include "models/zoo.h"
+
+#include "common/check.h"
+#include "data/speech_synth.h"
+#include "data/vision_synth.h"
+#include "models/deit.h"
+#include "models/m11.h"
+#include "models/resnet.h"
+#include "models/vmamba.h"
+
+namespace rowpress::models {
+namespace {
+
+constexpr int kImageSize = 12;
+constexpr int kImageChannels = 1;
+
+}  // namespace
+
+int num_classes(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kVision10: return 10;
+    case DatasetKind::kVision50: return 50;
+    case DatasetKind::kSpeech35: return 35;
+  }
+  RP_ASSERT(false, "unknown dataset kind");
+  return 0;
+}
+
+data::SplitDataset make_dataset(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kVision10:
+      return data::make_vision_dataset(data::vision10_config());
+    case DatasetKind::kVision50:
+      return data::make_vision_dataset(data::vision50_config());
+    case DatasetKind::kSpeech35:
+      return data::make_speech_dataset();
+  }
+  RP_ASSERT(false, "unknown dataset kind");
+  return {};
+}
+
+std::vector<ModelSpec> model_zoo() {
+  std::vector<ModelSpec> zoo;
+
+  auto add = [&](std::string name, std::string paper_dataset,
+                 DatasetKind kind,
+                 std::function<std::unique_ptr<nn::Module>(Rng&)> factory,
+                 TrainRecipe recipe, double paper_acc, double paper_rg,
+                 int paper_rh, int paper_rp) {
+    ModelSpec spec;
+    spec.name = std::move(name);
+    spec.paper_dataset = std::move(paper_dataset);
+    spec.dataset = kind;
+    spec.factory = std::move(factory);
+    spec.recipe = recipe;
+    spec.paper_acc_before = paper_acc;
+    spec.paper_random_guess = paper_rg;
+    spec.paper_flips_rowhammer = paper_rh;
+    spec.paper_flips_rowpress = paper_rp;
+    zoo.push_back(std::move(spec));
+  };
+
+  const TrainRecipe cnn_recipe{.epochs = 6, .batch_size = 32, .lr = 1.5e-3,
+                               .weight_decay = 1e-4};
+  const TrainRecipe big_recipe{.epochs = 8, .batch_size = 32, .lr = 1.5e-3,
+                               .weight_decay = 1e-4};
+  const TrainRecipe vit_recipe{.epochs = 10, .batch_size = 32, .lr = 2e-3,
+                               .weight_decay = 5e-5};
+  const TrainRecipe bottleneck_recipe{.epochs = 10, .batch_size = 32,
+                                      .lr = 1e-3, .weight_decay = 1e-4};
+
+  const int v10 = num_classes(DatasetKind::kVision10);
+  const int v50 = num_classes(DatasetKind::kVision50);
+  const int s35 = num_classes(DatasetKind::kSpeech35);
+
+  // CIFAR-10 rows.
+  add("ResNet-20", "CIFAR-10", DatasetKind::kVision10,
+      [v10](Rng& rng) {
+        return make_resnet_cifar(20, kImageChannels, v10, 8, rng);
+      },
+      cnn_recipe, 92.42, 10.0, 36, 8);
+  add("ResNet-32", "CIFAR-10", DatasetKind::kVision10,
+      [v10](Rng& rng) {
+        return make_resnet_cifar(32, kImageChannels, v10, 8, rng);
+      },
+      cnn_recipe, 93.44, 10.0, 60, 11);
+  add("ResNet-44", "CIFAR-10", DatasetKind::kVision10,
+      [v10](Rng& rng) {
+        return make_resnet_cifar(44, kImageChannels, v10, 8, rng);
+      },
+      cnn_recipe, 93.90, 10.0, 53, 14);
+
+  // ImageNet rows.
+  add("ResNet-34", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_resnet34(kImageChannels, v50, 8, rng);
+      },
+      big_recipe, 73.12, 0.1, 35, 11);
+  add("ResNet-50", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_resnet_bottleneck(50, kImageChannels, v50, 6, rng);
+      },
+      bottleneck_recipe, 75.84, 0.1, 26, 10);
+  add("ResNet-101", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_resnet_bottleneck(101, kImageChannels, v50, 6, rng);
+      },
+      bottleneck_recipe, 77.20, 0.1, 30, 11);
+  add("DeiT-T", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_deit(DeitSize::kTiny, kImageChannels, kImageSize, v50,
+                         rng);
+      },
+      vit_recipe, 71.95, 0.1, 143, 45);
+  add("DeiT-S", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_deit(DeitSize::kSmall, kImageChannels, kImageSize, v50,
+                         rng);
+      },
+      vit_recipe, 79.63, 0.1, 56, 24);
+  add("DeiT-B", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_deit(DeitSize::kBase, kImageChannels, kImageSize, v50,
+                         rng);
+      },
+      vit_recipe, 81.70, 0.1, 47, 13);
+  add("VMamba-T", "ImageNet", DatasetKind::kVision50,
+      [v50](Rng& rng) {
+        return make_vmamba_tiny(kImageChannels, kImageSize, v50, rng);
+      },
+      vit_recipe, 81.82, 0.1, 79, 24);
+
+  // Speech row.
+  add("M11", "Google Speech Command", DatasetKind::kSpeech35,
+      [s35](Rng& rng) { return make_m11(s35, rng); }, big_recipe, 93.20,
+      2.86, 68, 19);
+
+  return zoo;
+}
+
+const ModelSpec& find_model(const std::vector<ModelSpec>& zoo,
+                            const std::string& name) {
+  for (const auto& spec : zoo)
+    if (spec.name == name) return spec;
+  RP_REQUIRE(false, "unknown model name: " + name);
+  return zoo.front();  // unreachable
+}
+
+}  // namespace rowpress::models

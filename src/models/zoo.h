@@ -1,0 +1,52 @@
+// The Table-I model zoo: all eleven architectures the paper evaluates,
+// bound to their dataset stand-ins and training recipes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace rowpress::models {
+
+enum class DatasetKind { kVision10, kVision50, kSpeech35 };
+
+struct TrainRecipe {
+  int epochs = 6;
+  int batch_size = 32;
+  double lr = 1.5e-3;
+  double weight_decay = 1e-4;
+};
+
+struct ModelSpec {
+  std::string name;          ///< e.g. "ResNet-20"
+  std::string paper_dataset; ///< dataset named in Table I
+  DatasetKind dataset = DatasetKind::kVision10;
+  std::function<std::unique_ptr<nn::Module>(Rng&)> factory;
+  TrainRecipe recipe;
+
+  // Paper Table-I reference values (for EXPERIMENTS.md comparison).
+  double paper_acc_before = 0.0;
+  double paper_random_guess = 0.0;
+  int paper_flips_rowhammer = 0;
+  int paper_flips_rowpress = 0;
+};
+
+/// All eleven Table-I rows, in paper order.
+std::vector<ModelSpec> model_zoo();
+
+/// Zoo entry by name; throws if unknown.
+const ModelSpec& find_model(const std::vector<ModelSpec>& zoo,
+                            const std::string& name);
+
+/// The dataset stand-in for a kind (built fresh; deterministic by seed).
+data::SplitDataset make_dataset(DatasetKind kind);
+
+/// Number of classes per dataset kind.
+int num_classes(DatasetKind kind);
+
+}  // namespace rowpress::models

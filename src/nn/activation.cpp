@@ -1,0 +1,86 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace rowpress::nn {
+namespace {
+constexpr float kSqrt2OverPi = 0.7978845608f;
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g(cached_input_.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i)
+    g[i] = cached_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  return g;
+}
+
+Tensor GELU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x[i];
+    const float t = std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v));
+    y[i] = 0.5f * v * (1.0f + t);
+  }
+  return y;
+}
+
+Tensor GELU::backward(const Tensor& grad_out) {
+  Tensor g(cached_input_.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float v = cached_input_[i];
+    const float u = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * v * v);
+    const float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    g[i] = grad_out[i] * d;
+  }
+  return g;
+}
+
+Tensor SiLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float s = 1.0f / (1.0f + std::exp(-x[i]));
+    y[i] = x[i] * s;
+  }
+  return y;
+}
+
+Tensor SiLU::backward(const Tensor& grad_out) {
+  Tensor g(cached_input_.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float v = cached_input_[i];
+    const float s = 1.0f / (1.0f + std::exp(-v));
+    g[i] = grad_out[i] * (s + v * s * (1.0f - s));
+  }
+  return g;
+}
+
+void softmax_lastdim(Tensor& t) {
+  const int d = t.dim(t.ndim() - 1);
+  const std::int64_t rows = t.numel() / d;
+  float* p = t.data();
+  for (std::int64_t r = 0; r < rows; ++r, p += d) {
+    float mx = p[0];
+    for (int j = 1; j < d; ++j) mx = std::max(mx, p[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      p[j] = std::exp(p[j] - mx);
+      sum += p[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < d; ++j) p[j] *= inv;
+  }
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,43 @@
+// Pointwise activations: ReLU (CNNs), GELU (transformer MLPs), SiLU
+// (VMamba gating).
+#pragma once
+
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+class ReLU final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class GELU final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GELU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class SiLU final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "SiLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Row-wise softmax over the last dimension (free function used by the
+/// attention module and the loss).
+void softmax_lastdim(Tensor& t);
+
+}  // namespace rowpress::nn

@@ -1,0 +1,233 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/norm.h"
+
+namespace rowpress::nn {
+
+PatchEmbed::PatchEmbed(int in_channels, int embed_dim, int patch, Rng& rng,
+                       std::string name_prefix)
+    : proj_(in_channels, embed_dim, patch, patch, /*pad=*/0, rng,
+            /*bias=*/true, name_prefix + ".proj"),
+      embed_dim_(embed_dim) {}
+
+Tensor PatchEmbed::forward(const Tensor& x) {
+  const Tensor feat = proj_.forward(x);  // [N, D, h, w]
+  const int n = feat.dim(0), d = feat.dim(1);
+  cached_h_ = feat.dim(2);
+  cached_w_ = feat.dim(3);
+  const int t = cached_h_ * cached_w_;
+  Tensor tokens({n, t, d});
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < d; ++c)
+      for (int i = 0; i < cached_h_; ++i)
+        for (int j = 0; j < cached_w_; ++j)
+          tokens.at3(b, i * cached_w_ + j, c) = feat.at4(b, c, i, j);
+  return tokens;
+}
+
+Tensor PatchEmbed::backward(const Tensor& grad_out) {
+  const int n = grad_out.dim(0), d = grad_out.dim(2);
+  Tensor g({n, d, cached_h_, cached_w_});
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < d; ++c)
+      for (int i = 0; i < cached_h_; ++i)
+        for (int j = 0; j < cached_w_; ++j)
+          g.at4(b, c, i, j) = grad_out.at3(b, i * cached_w_ + j, c);
+  return proj_.backward(g);
+}
+
+PositionalEmbedding::PositionalEmbedding(int num_tokens, int dim, Rng& rng,
+                                         std::string name_prefix)
+    : embed_(name_prefix + ".embed",
+             Tensor::randn({num_tokens, dim}, rng, 0.02f),
+             /*attack=*/false) {}
+
+Tensor PositionalEmbedding::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 3, "positional embedding input must be [N,T,D]");
+  RP_REQUIRE(x.dim(1) == embed_.value.dim(0) && x.dim(2) == embed_.value.dim(1),
+             "positional embedding shape mismatch");
+  Tensor y = x;
+  const int n = x.dim(0), t = x.dim(1), d = x.dim(2);
+  for (int b = 0; b < n; ++b)
+    for (int tt = 0; tt < t; ++tt)
+      for (int j = 0; j < d; ++j) y.at3(b, tt, j) += embed_.value.at2(tt, j);
+  return y;
+}
+
+Tensor PositionalEmbedding::backward(const Tensor& grad_out) {
+  const int n = grad_out.dim(0), t = grad_out.dim(1), d = grad_out.dim(2);
+  for (int b = 0; b < n; ++b)
+    for (int tt = 0; tt < t; ++tt)
+      for (int j = 0; j < d; ++j)
+        embed_.grad.at2(tt, j) += grad_out.at3(b, tt, j);
+  return grad_out;
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int num_heads,
+                                               Rng& rng,
+                                               std::string name_prefix)
+    : dim_(dim), heads_(num_heads), head_dim_(dim / num_heads),
+      qkv_(dim, 3 * dim, rng, /*bias=*/true, name_prefix + ".qkv"),
+      proj_(dim, dim, rng, /*bias=*/true, name_prefix + ".proj") {
+  RP_REQUIRE(dim % num_heads == 0, "dim must be divisible by num_heads");
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 3 && x.dim(2) == dim_, "attention input [N,T,D]");
+  const int n = x.dim(0), t = x.dim(1);
+  cached_n_ = n;
+  cached_t_ = t;
+
+  const Tensor qkv = qkv_.forward(x);  // [N,T,3D]
+  cached_q_ = Tensor({n, heads_, t, head_dim_});
+  cached_k_ = Tensor({n, heads_, t, head_dim_});
+  cached_v_ = Tensor({n, heads_, t, head_dim_});
+  for (int b = 0; b < n; ++b)
+    for (int tt = 0; tt < t; ++tt)
+      for (int h = 0; h < heads_; ++h)
+        for (int e = 0; e < head_dim_; ++e) {
+          const int base = h * head_dim_ + e;
+          cached_q_.at4(b, h, tt, e) = qkv.at3(b, tt, base);
+          cached_k_.at4(b, h, tt, e) = qkv.at3(b, tt, dim_ + base);
+          cached_v_.at4(b, h, tt, e) = qkv.at3(b, tt, 2 * dim_ + base);
+        }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  cached_attn_ = Tensor({n, heads_, t, t});
+  for (int b = 0; b < n; ++b) {
+    for (int h = 0; h < heads_; ++h) {
+      float* scores = cached_attn_.data() +
+                      ((static_cast<std::int64_t>(b) * heads_ + h) * t) * t;
+      const float* q = cached_q_.data() +
+                       ((static_cast<std::int64_t>(b) * heads_ + h) * t) *
+                           head_dim_;
+      const float* k = cached_k_.data() +
+                       ((static_cast<std::int64_t>(b) * heads_ + h) * t) *
+                           head_dim_;
+      matmul_bt_accumulate(q, k, scores, t, head_dim_, t);
+      for (int i = 0; i < t * t; ++i) scores[i] *= scale;
+    }
+  }
+  softmax_lastdim(cached_attn_);
+
+  Tensor merged({n, t, dim_});
+  for (int b = 0; b < n; ++b) {
+    for (int h = 0; h < heads_; ++h) {
+      const float* attn = cached_attn_.data() +
+                          ((static_cast<std::int64_t>(b) * heads_ + h) * t) * t;
+      const float* v = cached_v_.data() +
+                       ((static_cast<std::int64_t>(b) * heads_ + h) * t) *
+                           head_dim_;
+      // out[t, dh] = attn[t,t] * v[t,dh], written into the head's slice.
+      std::vector<float> out(static_cast<std::size_t>(t) * head_dim_, 0.0f);
+      matmul_accumulate(attn, v, out.data(), t, t, head_dim_);
+      for (int tt = 0; tt < t; ++tt)
+        for (int e = 0; e < head_dim_; ++e)
+          merged.at3(b, tt, h * head_dim_ + e) =
+              out[static_cast<std::size_t>(tt) * head_dim_ + e];
+    }
+  }
+  return proj_.forward(merged);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  const int n = cached_n_, t = cached_t_;
+  const Tensor g_merged = proj_.backward(grad_out);  // [N,T,D]
+
+  Tensor g_qkv({n, t, 3 * dim_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  for (int b = 0; b < n; ++b) {
+    for (int h = 0; h < heads_; ++h) {
+      const std::int64_t mat_off =
+          (static_cast<std::int64_t>(b) * heads_ + h) * t;
+      const float* attn = cached_attn_.data() + mat_off * t;
+      const float* q = cached_q_.data() + mat_off * head_dim_;
+      const float* k = cached_k_.data() + mat_off * head_dim_;
+      const float* v = cached_v_.data() + mat_off * head_dim_;
+
+      // Slice dOut for this head: [t, dh].
+      std::vector<float> g_out(static_cast<std::size_t>(t) * head_dim_);
+      for (int tt = 0; tt < t; ++tt)
+        for (int e = 0; e < head_dim_; ++e)
+          g_out[static_cast<std::size_t>(tt) * head_dim_ + e] =
+              g_merged.at3(b, tt, h * head_dim_ + e);
+
+      // dV = attn^T * dOut
+      std::vector<float> g_v(static_cast<std::size_t>(t) * head_dim_, 0.0f);
+      matmul_at_accumulate(attn, g_out.data(), g_v.data(), t, t, head_dim_);
+
+      // dAttn = dOut * V^T
+      std::vector<float> g_attn(static_cast<std::size_t>(t) * t, 0.0f);
+      matmul_bt_accumulate(g_out.data(), v, g_attn.data(), t, head_dim_, t);
+
+      // Softmax backward per row: dS = P .* (dP - sum(dP .* P)).
+      std::vector<float> g_scores(static_cast<std::size_t>(t) * t);
+      for (int i = 0; i < t; ++i) {
+        const float* prow = attn + static_cast<std::size_t>(i) * t;
+        const float* gprow = g_attn.data() + static_cast<std::size_t>(i) * t;
+        float dot = 0.0f;
+        for (int j = 0; j < t; ++j) dot += prow[j] * gprow[j];
+        float* gsrow = g_scores.data() + static_cast<std::size_t>(i) * t;
+        for (int j = 0; j < t; ++j)
+          gsrow[j] = prow[j] * (gprow[j] - dot) * scale;
+      }
+
+      // dQ = dScores * K ;  dK = dScores^T * Q
+      std::vector<float> g_q(static_cast<std::size_t>(t) * head_dim_, 0.0f);
+      std::vector<float> g_k(static_cast<std::size_t>(t) * head_dim_, 0.0f);
+      matmul_accumulate(g_scores.data(), k, g_q.data(), t, t, head_dim_);
+      matmul_at_accumulate(g_scores.data(), q, g_k.data(), t, t, head_dim_);
+
+      for (int tt = 0; tt < t; ++tt)
+        for (int e = 0; e < head_dim_; ++e) {
+          const int base = h * head_dim_ + e;
+          const std::size_t i = static_cast<std::size_t>(tt) * head_dim_ + e;
+          g_qkv.at3(b, tt, base) = g_q[i];
+          g_qkv.at3(b, tt, dim_ + base) = g_k[i];
+          g_qkv.at3(b, tt, 2 * dim_ + base) = g_v[i];
+        }
+    }
+  }
+  return qkv_.backward(g_qkv);
+}
+
+std::vector<Param*> MultiHeadSelfAttention::parameters() {
+  std::vector<Param*> out = qkv_.parameters();
+  const auto ps = proj_.parameters();
+  out.insert(out.end(), ps.begin(), ps.end());
+  return out;
+}
+
+void MultiHeadSelfAttention::set_training(bool training) {
+  Module::set_training(training);
+  qkv_.set_training(training);
+  proj_.set_training(training);
+}
+
+std::unique_ptr<Module> make_transformer_block(int dim, int heads,
+                                               int mlp_ratio, Rng& rng,
+                                               const std::string& prefix) {
+  auto attn_body = std::make_unique<Sequential>();
+  attn_body->emplace<LayerNorm>(dim, rng, 1e-5, prefix + ".ln1");
+  attn_body->emplace<MultiHeadSelfAttention>(dim, heads, rng,
+                                             prefix + ".attn");
+
+  auto mlp_body = std::make_unique<Sequential>();
+  mlp_body->emplace<LayerNorm>(dim, rng, 1e-5, prefix + ".ln2");
+  mlp_body->emplace<Linear>(dim, dim * mlp_ratio, rng, true,
+                            prefix + ".mlp.fc1");
+  mlp_body->emplace<GELU>();
+  mlp_body->emplace<Linear>(dim * mlp_ratio, dim, rng, true,
+                            prefix + ".mlp.fc2");
+
+  auto block = std::make_unique<Sequential>();
+  block->add(std::make_unique<Residual>(std::move(attn_body)));
+  block->add(std::make_unique<Residual>(std::move(mlp_body)));
+  return block;
+}
+
+}  // namespace rowpress::nn

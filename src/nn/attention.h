@@ -1,0 +1,75 @@
+// Transformer building blocks for the DeiT-style models: patch embedding,
+// learned positional embedding, and multi-head self-attention.  Blocks are
+// assembled with Sequential/Residual in src/models/deit.cpp.
+#pragma once
+
+#include <memory>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+/// [N,C,H,W] -> non-overlapping patches -> tokens [N, T, D] via a strided
+/// convolution (exactly ViT/DeiT's patchify).
+class PatchEmbed final : public Module {
+ public:
+  PatchEmbed(int in_channels, int embed_dim, int patch, Rng& rng,
+             std::string name_prefix = "patch");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override { return proj_.parameters(); }
+  std::string name() const override { return "PatchEmbed"; }
+
+ private:
+  Conv2d proj_;
+  int embed_dim_;
+  int cached_h_ = 0, cached_w_ = 0;
+};
+
+/// Adds a learned positional embedding [T, D] to tokens [N, T, D].
+class PositionalEmbedding final : public Module {
+ public:
+  PositionalEmbedding(int num_tokens, int dim, Rng& rng,
+                      std::string name_prefix = "pos");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override { return {&embed_}; }
+  std::string name() const override { return "PositionalEmbedding"; }
+
+ private:
+  Param embed_;
+};
+
+/// Standard multi-head self-attention on [N, T, D].
+class MultiHeadSelfAttention final : public Module {
+ public:
+  MultiHeadSelfAttention(int dim, int num_heads, Rng& rng,
+                         std::string name_prefix = "attn");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "MultiHeadSelfAttention"; }
+
+ private:
+  int dim_, heads_, head_dim_;
+  Linear qkv_;
+  Linear proj_;
+  // forward cache
+  Tensor cached_q_, cached_k_, cached_v_;  ///< [N,H,T,dh] each
+  Tensor cached_attn_;                     ///< [N,H,T,T] post-softmax
+  int cached_n_ = 0, cached_t_ = 0;
+};
+
+/// Builds one pre-norm transformer encoder block:
+///   x += MHA(LN(x));  x += MLP(LN(x))
+std::unique_ptr<Module> make_transformer_block(int dim, int heads,
+                                               int mlp_ratio, Rng& rng,
+                                               const std::string& prefix);
+
+}  // namespace rowpress::nn

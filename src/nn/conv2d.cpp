@@ -1,0 +1,144 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+namespace rowpress::nn {
+namespace {
+
+// im2col: expands input [Cin,H,W] into a matrix [Cin*k*k, OH*OW] so the
+// convolution becomes one GEMM per sample.  Out-of-bounds taps are zero.
+void im2col(const float* x, int cin, int h, int w, int k, int stride, int pad,
+            int oh, int ow, float* col) {
+  for (int ci = 0; ci < cin; ++ci) {
+    const float* plane = x + static_cast<std::size_t>(ci) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj) {
+        float* crow = col + ((static_cast<std::size_t>(ci) * k + ki) * k + kj) *
+                                (static_cast<std::size_t>(oh) * ow);
+        for (int i = 0; i < oh; ++i) {
+          const int hi = i * stride - pad + ki;
+          if (hi < 0 || hi >= h) {
+            for (int j = 0; j < ow; ++j) crow[i * ow + j] = 0.0f;
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(hi) * w;
+          for (int j = 0; j < ow; ++j) {
+            const int wj = j * stride - pad + kj;
+            crow[i * ow + j] = (wj >= 0 && wj < w) ? src[wj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// col2im: scatter-adds a [Cin*k*k, OH*OW] gradient matrix back to [Cin,H,W].
+void col2im(const float* col, int cin, int h, int w, int k, int stride,
+            int pad, int oh, int ow, float* x) {
+  for (int ci = 0; ci < cin; ++ci) {
+    float* plane = x + static_cast<std::size_t>(ci) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj) {
+        const float* crow =
+            col + ((static_cast<std::size_t>(ci) * k + ki) * k + kj) *
+                      (static_cast<std::size_t>(oh) * ow);
+        for (int i = 0; i < oh; ++i) {
+          const int hi = i * stride - pad + ki;
+          if (hi < 0 || hi >= h) continue;
+          float* dst = plane + static_cast<std::size_t>(hi) * w;
+          for (int j = 0; j < ow; ++j) {
+            const int wj = j * stride - pad + kj;
+            if (wj >= 0 && wj < w) dst[wj] += crow[i * ow + j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng& rng, bool bias, std::string name_prefix)
+    : cin_(in_channels), cout_(out_channels), k_(kernel), stride_(stride),
+      pad_(pad), has_bias_(bias),
+      weight_(name_prefix + ".weight",
+              Tensor::randn({out_channels, in_channels, kernel, kernel}, rng,
+                            std::sqrt(2.0f / static_cast<float>(
+                                                 in_channels * kernel * kernel))),
+              /*attack=*/true),
+      bias_(name_prefix + ".bias", Tensor::zeros({out_channels}),
+            /*attack=*/false) {
+  RP_REQUIRE(kernel > 0 && stride > 0 && pad >= 0, "bad conv hyperparams");
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 4 && x.dim(1) == cin_,
+             "conv2d input must be [N, Cin, H, W]");
+  cached_input_ = x;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h), ow = out_size(w);
+  RP_REQUIRE(oh > 0 && ow > 0, "conv2d output would be empty");
+  const int patch = cin_ * k_ * k_;
+  const int spatial = oh * ow;
+
+  Tensor y({n, cout_, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(patch) * spatial);
+  for (int b = 0; b < n; ++b) {
+    im2col(x.data() + static_cast<std::size_t>(b) * cin_ * h * w, cin_, h, w,
+           k_, stride_, pad_, oh, ow, col.data());
+    float* out = y.data() + static_cast<std::size_t>(b) * cout_ * spatial;
+    if (has_bias_) {
+      for (int co = 0; co < cout_; ++co)
+        for (int s = 0; s < spatial; ++s)
+          out[static_cast<std::size_t>(co) * spatial + s] = bias_.value[co];
+    }
+    // y[cout, spatial] += W[cout, patch] * col[patch, spatial]
+    matmul_accumulate(weight_.value.data(), col.data(), out, cout_, patch,
+                      spatial);
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int patch = cin_ * k_ * k_;
+  const int spatial = oh * ow;
+
+  Tensor grad_in(x.shape());
+  std::vector<float> col(static_cast<std::size_t>(patch) * spatial);
+  std::vector<float> gcol(static_cast<std::size_t>(patch) * spatial);
+  for (int b = 0; b < n; ++b) {
+    const float* g =
+        grad_out.data() + static_cast<std::size_t>(b) * cout_ * spatial;
+    // dW[cout, patch] += g[cout, spatial] * col^T (col as [patch, spatial]).
+    im2col(x.data() + static_cast<std::size_t>(b) * cin_ * h * w, cin_, h, w,
+           k_, stride_, pad_, oh, ow, col.data());
+    matmul_bt_accumulate(g, col.data(), weight_.grad.data(), cout_, spatial,
+                         patch);
+    if (has_bias_) {
+      for (int co = 0; co < cout_; ++co) {
+        float acc = 0.0f;
+        for (int s = 0; s < spatial; ++s)
+          acc += g[static_cast<std::size_t>(co) * spatial + s];
+        bias_.grad[co] += acc;
+      }
+    }
+    // dcol[patch, spatial] = W^T[patch, cout] * g[cout, spatial]
+    std::fill(gcol.begin(), gcol.end(), 0.0f);
+    matmul_at_accumulate(weight_.value.data(), g, gcol.data(), cout_, patch,
+                         spatial);
+    col2im(gcol.data(), cin_, h, w, k_, stride_, pad_, oh, ow,
+           grad_in.data() + static_cast<std::size_t>(b) * cin_ * h * w);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace rowpress::nn

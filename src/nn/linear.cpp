@@ -1,0 +1,66 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace rowpress::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng, bool bias,
+               std::string name_prefix)
+    : in_(in_features), out_(out_features), has_bias_(bias),
+      weight_(name_prefix + ".weight",
+              Tensor::randn({out_features, in_features}, rng,
+                            std::sqrt(2.0f / static_cast<float>(in_features))),
+              /*attack=*/true),
+      bias_(name_prefix + ".bias", Tensor::zeros({out_features}),
+            /*attack=*/false) {
+  RP_REQUIRE(in_features > 0 && out_features > 0,
+             "linear dimensions must be positive");
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() >= 2, "linear input needs at least 2 dims");
+  RP_REQUIRE(x.dim(x.ndim() - 1) == in_,
+             "linear input feature dim mismatch");
+  const int rows = static_cast<int>(x.numel() / in_);
+  cached_input_ = x.reshaped({rows, in_});
+  cached_out_shape_ = x.shape();
+  cached_out_shape_.back() = out_;
+
+  Tensor y({rows, out_});
+  if (has_bias_) {
+    for (int i = 0; i < rows; ++i)
+      for (int j = 0; j < out_; ++j) y.at2(i, j) = bias_.value[j];
+  }
+  // y[rows,out] += x[rows,in] * W^T  (W: [out,in])
+  matmul_bt_accumulate(cached_input_.data(), weight_.value.data(), y.data(),
+                       rows, in_, out_);
+  return y.reshaped(cached_out_shape_);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const int rows = cached_input_.dim(0);
+  const Tensor g = grad_out.reshaped({rows, out_});
+
+  // dW[out,in] += g^T[out,rows] * x[rows,in]
+  matmul_at_accumulate(g.data(), cached_input_.data(), weight_.grad.data(),
+                       rows, out_, in_);
+  if (has_bias_) {
+    for (int i = 0; i < rows; ++i)
+      for (int j = 0; j < out_; ++j) bias_.grad[j] += g.at2(i, j);
+  }
+
+  // dx[rows,in] = g[rows,out] * W[out,in]
+  Tensor grad_in({rows, in_});
+  matmul_accumulate(g.data(), weight_.value.data(), grad_in.data(), rows,
+                    out_, in_);
+  std::vector<int> in_shape = cached_out_shape_;
+  in_shape.back() = in_;
+  return grad_in.reshaped(in_shape);
+}
+
+std::vector<Param*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace rowpress::nn

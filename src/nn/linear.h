@@ -1,0 +1,34 @@
+// Fully-connected layer: y = x W^T + b, x: [N, in], W: [out, in].
+// Also usable on token tensors [N, T, D] (leading dims folded into rows).
+#pragma once
+
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+class Linear final : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng, bool bias = true,
+         std::string name_prefix = "linear");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override { return "Linear"; }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  int in_;
+  int out_;
+  bool has_bias_;
+  Param weight_;  ///< [out, in]
+  Param bias_;    ///< [out]
+  Tensor cached_input_;
+  std::vector<int> cached_out_shape_;
+};
+
+}  // namespace rowpress::nn

@@ -1,0 +1,58 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "nn/activation.h"
+
+namespace rowpress::nn {
+
+double CrossEntropyLoss::forward(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  RP_REQUIRE(logits.ndim() == 2, "cross-entropy expects [N, C] logits");
+  const int n = logits.dim(0), c = logits.dim(1);
+  RP_REQUIRE(static_cast<std::size_t>(n) == labels.size(),
+             "labels size must match batch");
+
+  cached_probs_ = logits;
+  softmax_lastdim(cached_probs_);
+  cached_labels_ = labels;
+
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    RP_REQUIRE(labels[static_cast<std::size_t>(i)] >= 0 &&
+                   labels[static_cast<std::size_t>(i)] < c,
+               "label out of range");
+    const double p =
+        cached_probs_.at2(i, labels[static_cast<std::size_t>(i)]);
+    loss -= std::log(std::max(p, 1e-12));
+  }
+  return loss / n;
+}
+
+Tensor CrossEntropyLoss::backward() const {
+  const int n = cached_probs_.dim(0), c = cached_probs_.dim(1);
+  Tensor g = cached_probs_;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    g.at2(i, cached_labels_[static_cast<std::size_t>(i)]) -= 1.0f;
+    for (int j = 0; j < c; ++j) g.at2(i, j) *= inv;
+  }
+  return g;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  RP_REQUIRE(logits.ndim() == 2, "accuracy expects [N, C] logits");
+  const int n = logits.dim(0), c = logits.dim(1);
+  RP_REQUIRE(static_cast<std::size_t>(n) == labels.size(),
+             "labels size must match batch");
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (logits.at2(i, j) > logits.at2(i, best)) best = j;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,27 @@
+// Cross-entropy loss over logits — the objective both training and the
+// attack maximize/minimize (eqn. 1 of the paper uses cross-entropy L).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rowpress::nn {
+
+class CrossEntropyLoss {
+ public:
+  /// logits: [N, C]; labels: N class indices.  Returns mean loss.
+  double forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits, [N, C].
+  Tensor backward() const;
+
+ private:
+  Tensor cached_probs_;
+  std::vector<int> cached_labels_;
+};
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace rowpress::nn

@@ -1,0 +1,133 @@
+// Module system: layers with explicit forward/backward, named parameters,
+// and train/eval modes.  The backward pass is module-local (each module
+// caches what it needs during forward), which keeps the library small while
+// supporting the architectures in the paper's zoo (ResNets, DeiT-style
+// transformers, a VMamba-style scan model, and the M11 1-D CNN).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rowpress::nn {
+
+/// A learnable parameter: value + accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// True for conv/linear weight matrices — the tensors the BFA attack
+  /// targets (biases and norm affine parameters are not attacked, matching
+  /// the BFA literature).
+  bool attackable = false;
+
+  Param() = default;
+  Param(std::string n, Tensor v, bool attack)
+      : name(std::move(n)), value(std::move(v)),
+        grad(Tensor::zeros(value.shape())), attackable(attack) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes outputs; caches anything backward() needs.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input).  Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Parameters owned by this module (recursively for containers).
+  virtual std::vector<Param*> parameters() { return {}; }
+
+  /// Non-learnable persistent state (BatchNorm running statistics),
+  /// recursively for containers.  Needed to snapshot/serialize models.
+  virtual std::vector<Tensor*> buffers() { return {}; }
+
+  /// Train/eval mode (affects BatchNorm statistics).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Param* p : parameters()) p->zero_grad();
+  }
+
+  std::int64_t num_parameters() {
+    std::int64_t n = 0;
+    for (Param* p : parameters()) n += p->value.numel();
+    return n;
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+/// Runs children in order.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Module> m) {
+    children_.push_back(std::move(m));
+    return *this;
+  }
+
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    children_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+  std::vector<Tensor*> buffers() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return children_.size(); }
+  Module& child(std::size_t i) { return *children_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+/// y = x + body(x), with an optional projection on the skip path (used for
+/// strided / channel-changing residual blocks).
+class Residual final : public Module {
+ public:
+  explicit Residual(std::unique_ptr<Module> body,
+                    std::unique_ptr<Module> shortcut = nullptr)
+      : body_(std::move(body)), shortcut_(std::move(shortcut)) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+  std::vector<Tensor*> buffers() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "Residual"; }
+
+ private:
+  std::unique_ptr<Module> body_;
+  std::unique_ptr<Module> shortcut_;  ///< nullptr = identity skip
+};
+
+/// Collapses all non-batch dimensions: [N, ...] -> [N, D].
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace rowpress::nn

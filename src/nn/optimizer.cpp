@@ -1,0 +1,60 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace rowpress::nn {
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] +
+                      static_cast<float>(weight_decay_) * p.value[j];
+      vel[j] = static_cast<float>(momentum_) * vel[j] + g;
+      p.value[j] -= static_cast<float>(lr_) * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const double g = p.grad[j] + weight_decay_ * p.value[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * g * g);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p.value[j] -=
+          static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,53 @@
+// Optimizers for training the synthetic model zoo: SGD with momentum and
+// Adam.  Both operate on the Param lists exposed by modules.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace rowpress::nn

@@ -1,0 +1,192 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace rowpress::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride) : k_(kernel), stride_(stride) {
+  RP_REQUIRE(kernel > 0 && stride > 0, "bad pooling hyperparams");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 4, "maxpool2d input must be [N,C,H,W]");
+  cached_input_ = x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = (h - k_) / stride_ + 1, ow = (w - k_) / stride_ + 1;
+  RP_REQUIRE(oh > 0 && ow > 0, "maxpool2d output would be empty");
+
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  std::int64_t out_i = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j, ++out_i) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (int ki = 0; ki < k_; ++ki) {
+            for (int kj = 0; kj < k_; ++kj) {
+              const int hi = i * stride_ + ki, wj = j * stride_ + kj;
+              const std::int64_t idx =
+                  ((static_cast<std::int64_t>(b) * c + ch) * h + hi) * w + wj;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[out_i] = best;
+          argmax_[static_cast<std::size_t>(out_i)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor g(cached_input_.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    g[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  return g;
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride) : k_(kernel), stride_(stride) {
+  RP_REQUIRE(kernel > 0 && stride > 0, "bad pooling hyperparams");
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 4, "avgpool2d input must be [N,C,H,W]");
+  cached_shape_ = x.shape();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = (h - k_) / stride_ + 1, ow = (w - k_) / stride_ + 1;
+  RP_REQUIRE(oh > 0 && ow > 0, "avgpool2d output would be empty");
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+
+  Tensor y({n, c, oh, ow});
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int i = 0; i < oh; ++i)
+        for (int j = 0; j < ow; ++j) {
+          float acc = 0.0f;
+          for (int ki = 0; ki < k_; ++ki)
+            for (int kj = 0; kj < k_; ++kj)
+              acc += x.at4(b, ch, i * stride_ + ki, j * stride_ + kj);
+          y.at4(b, ch, i, j) = acc * inv;
+        }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  Tensor g(cached_shape_);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (int b = 0; b < grad_out.dim(0); ++b)
+    for (int ch = 0; ch < grad_out.dim(1); ++ch)
+      for (int i = 0; i < oh; ++i)
+        for (int j = 0; j < ow; ++j) {
+          const float v = grad_out.at4(b, ch, i, j) * inv;
+          for (int ki = 0; ki < k_; ++ki)
+            for (int kj = 0; kj < k_; ++kj)
+              g.at4(b, ch, i * stride_ + ki, j * stride_ + kj) += v;
+        }
+  return g;
+}
+
+MaxPool1d::MaxPool1d(int kernel, int stride) : k_(kernel), stride_(stride) {
+  RP_REQUIRE(kernel > 0 && stride > 0, "bad pooling hyperparams");
+}
+
+Tensor MaxPool1d::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 3, "maxpool1d input must be [N,C,L]");
+  cached_input_ = x;
+  const int n = x.dim(0), c = x.dim(1), len = x.dim(2);
+  const int ol = (len - k_) / stride_ + 1;
+  RP_REQUIRE(ol > 0, "maxpool1d output would be empty");
+
+  Tensor y({n, c, ol});
+  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  std::int64_t out_i = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int i = 0; i < ol; ++i, ++out_i) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = 0;
+        for (int ki = 0; ki < k_; ++ki) {
+          const std::int64_t idx =
+              (static_cast<std::int64_t>(b) * c + ch) * len + i * stride_ + ki;
+          if (x[idx] > best) {
+            best = x[idx];
+            best_idx = idx;
+          }
+        }
+        y[out_i] = best;
+        argmax_[static_cast<std::size_t>(out_i)] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool1d::backward(const Tensor& grad_out) {
+  Tensor g(cached_input_.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    g[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  return g;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() >= 3, "global pool input must be [N,C,spatial...]");
+  cached_shape_ = x.shape();
+  const int n = x.dim(0), c = x.dim(1);
+  const int inner = static_cast<int>(x.numel() / (static_cast<std::int64_t>(n) * c));
+  const float inv = 1.0f / static_cast<float>(inner);
+
+  Tensor y({n, c});
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      const std::int64_t base = (static_cast<std::int64_t>(b) * c + ch) * inner;
+      for (int s = 0; s < inner; ++s) acc += x[base + s];
+      y.at2(b, ch) = acc * inv;
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor g(cached_shape_);
+  const int n = cached_shape_[0], c = cached_shape_[1];
+  const int inner = static_cast<int>(g.numel() / (static_cast<std::int64_t>(n) * c));
+  const float inv = 1.0f / static_cast<float>(inner);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const float v = grad_out.at2(b, ch) * inv;
+      const std::int64_t base = (static_cast<std::int64_t>(b) * c + ch) * inner;
+      for (int s = 0; s < inner; ++s) g[base + s] = v;
+    }
+  return g;
+}
+
+Tensor MeanTokens::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 3, "mean-tokens input must be [N,T,D]");
+  cached_shape_ = x.shape();
+  const int n = x.dim(0), t = x.dim(1), d = x.dim(2);
+  const float inv = 1.0f / static_cast<float>(t);
+  Tensor y({n, d});
+  for (int b = 0; b < n; ++b)
+    for (int tt = 0; tt < t; ++tt)
+      for (int j = 0; j < d; ++j) y.at2(b, j) += x.at3(b, tt, j) * inv;
+  return y;
+}
+
+Tensor MeanTokens::backward(const Tensor& grad_out) {
+  const int n = cached_shape_[0], t = cached_shape_[1], d = cached_shape_[2];
+  const float inv = 1.0f / static_cast<float>(t);
+  Tensor g(cached_shape_);
+  for (int b = 0; b < n; ++b)
+    for (int tt = 0; tt < t; ++tt)
+      for (int j = 0; j < d; ++j) g.at3(b, tt, j) = grad_out.at2(b, j) * inv;
+  return g;
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,70 @@
+// Pooling layers: max / average 2-D pooling, 1-D max pooling (M11), and
+// global average pooling heads.
+#pragma once
+
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(int kernel, int stride);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  int k_, stride_;
+  Tensor cached_input_;
+  std::vector<std::int64_t> argmax_;  ///< flat input index per output element
+};
+
+class AvgPool2d final : public Module {
+ public:
+  AvgPool2d(int kernel, int stride);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  int k_, stride_;
+  std::vector<int> cached_shape_;
+};
+
+class MaxPool1d final : public Module {
+ public:
+  MaxPool1d(int kernel, int stride);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool1d"; }
+
+ private:
+  int k_, stride_;
+  Tensor cached_input_;
+  std::vector<std::int64_t> argmax_;
+};
+
+/// [N,C,H,W] -> [N,C] or [N,C,L] -> [N,C]: mean over spatial dims.
+class GlobalAvgPool final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// [N,T,D] -> [N,D]: mean over the token dimension (transformer / SSM
+/// classification head).
+class MeanTokens final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MeanTokens"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace rowpress::nn

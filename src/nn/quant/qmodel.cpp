@@ -1,0 +1,107 @@
+#include "nn/quant/qmodel.h"
+
+namespace rowpress::nn {
+
+QuantizedModel::QuantizedModel(Module& model) : model_(model) {
+  std::int64_t offset = 0;
+  for (Param* p : model.parameters()) {
+    if (!p->attackable) continue;
+    QuantizedParam qp;
+    qp.param = p;
+    qp.qr = quantize_symmetric(p->value);
+    qp.byte_offset = offset;
+    offset += qp.num_weights();
+    dequantize_into(qp.qr, p->value);
+    qparams_.push_back(std::move(qp));
+  }
+  total_bytes_ = offset;
+  RP_REQUIRE(total_bytes_ > 0, "model has no attackable weights");
+}
+
+const QuantizedParam& QuantizedModel::qparam(int i) const {
+  RP_REQUIRE(i >= 0 && static_cast<std::size_t>(i) < qparams_.size(),
+             "qparam index out of range");
+  return qparams_[static_cast<std::size_t>(i)];
+}
+
+std::int8_t QuantizedModel::weight_code(int param_index,
+                                        std::int64_t weight_index) const {
+  const QuantizedParam& qp = qparam(param_index);
+  RP_REQUIRE(weight_index >= 0 && weight_index < qp.num_weights(),
+             "weight index out of range");
+  return qp.qr.q[static_cast<std::size_t>(weight_index)];
+}
+
+bool QuantizedModel::get_bit(const WeightBitRef& ref) const {
+  return int8_bit(weight_code(ref.param_index, ref.weight_index), ref.bit);
+}
+
+float QuantizedModel::apply_bit_flip(const WeightBitRef& ref) {
+  QuantizedParam& qp = qparams_[static_cast<std::size_t>(ref.param_index)];
+  RP_REQUIRE(ref.weight_index >= 0 && ref.weight_index < qp.num_weights(),
+             "weight index out of range");
+  std::int8_t& code = qp.qr.q[static_cast<std::size_t>(ref.weight_index)];
+  const float before = static_cast<float>(code) * qp.qr.scale;
+  code = int8_flip_bit(code, ref.bit);
+  const float after = static_cast<float>(code) * qp.qr.scale;
+  qp.param->value[ref.weight_index] = after;
+  ++flips_applied_;
+  return after - before;
+}
+
+std::int64_t QuantizedModel::image_bit_offset(const WeightBitRef& ref) const {
+  const QuantizedParam& qp = qparam(ref.param_index);
+  RP_REQUIRE(ref.weight_index >= 0 && ref.weight_index < qp.num_weights(),
+             "weight index out of range");
+  RP_REQUIRE(ref.bit >= 0 && ref.bit < 8, "bit index out of range");
+  return (qp.byte_offset + ref.weight_index) * 8 + ref.bit;
+}
+
+WeightBitRef QuantizedModel::bit_ref_from_image_offset(
+    std::int64_t image_bit) const {
+  RP_REQUIRE(image_bit >= 0 && image_bit < total_bytes_ * 8,
+             "image bit offset out of range");
+  const std::int64_t byte = image_bit / 8;
+  // Binary search over byte_offset ranges (qparams_ is offset-sorted).
+  int lo = 0, hi = static_cast<int>(qparams_.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (qparams_[static_cast<std::size_t>(mid)].byte_offset <= byte)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  WeightBitRef ref;
+  ref.param_index = lo;
+  ref.weight_index = byte - qparams_[static_cast<std::size_t>(lo)].byte_offset;
+  ref.bit = static_cast<int>(image_bit % 8);
+  return ref;
+}
+
+std::vector<std::uint8_t> QuantizedModel::pack_weight_image() const {
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(total_bytes_));
+  for (const auto& qp : qparams_) {
+    for (std::int64_t i = 0; i < qp.num_weights(); ++i)
+      image[static_cast<std::size_t>(qp.byte_offset + i)] =
+          static_cast<std::uint8_t>(qp.qr.q[static_cast<std::size_t>(i)]);
+  }
+  return image;
+}
+
+void QuantizedModel::load_weight_image(
+    const std::vector<std::uint8_t>& image) {
+  RP_REQUIRE(static_cast<std::int64_t>(image.size()) == total_bytes_,
+             "weight image size mismatch");
+  for (auto& qp : qparams_) {
+    for (std::int64_t i = 0; i < qp.num_weights(); ++i) {
+      const auto code = static_cast<std::int8_t>(
+          image[static_cast<std::size_t>(qp.byte_offset + i)]);
+      if (code != qp.qr.q[static_cast<std::size_t>(i)]) {
+        qp.qr.q[static_cast<std::size_t>(i)] = code;
+        qp.param->value[i] = static_cast<float>(code) * qp.qr.scale;
+      }
+    }
+  }
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,95 @@
+// QuantizedModel: binds a float model to its int8 weight codes.
+//
+// After construction every attackable Param holds dequantized values (so
+// forward/backward run on exactly what the deployed quantized network
+// computes), while the int8 codes — the bytes that physically sit in DRAM —
+// are kept here.  Bit flips are applied to the codes and immediately
+// reflected in the float view, mirroring how a DRAM flip corrupts the
+// weight the next time it is read.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "nn/module.h"
+#include "nn/quant/quantizer.h"
+
+namespace rowpress::nn {
+
+struct QuantizedParam {
+  Param* param = nullptr;
+  QuantizationResult qr;
+  /// Byte offset of this tensor inside the packed weight image (the model's
+  /// contiguous layout in DRAM).
+  std::int64_t byte_offset = 0;
+
+  std::int64_t num_weights() const {
+    return static_cast<std::int64_t>(qr.q.size());
+  }
+};
+
+/// Identifies one bit of one weight.
+struct WeightBitRef {
+  int param_index = 0;
+  std::int64_t weight_index = 0;
+  int bit = 0;  ///< 0 = LSB ... 7 = sign bit
+
+  bool operator==(const WeightBitRef&) const = default;
+};
+
+class QuantizedModel {
+ public:
+  /// Quantizes every attackable parameter of `model` in place.  The model
+  /// must outlive this object.
+  explicit QuantizedModel(Module& model);
+
+  Module& model() { return model_; }
+  const Module& model() const { return model_; }
+
+  const std::vector<QuantizedParam>& qparams() const { return qparams_; }
+  std::size_t num_qparams() const { return qparams_.size(); }
+
+  /// Total size of the packed int8 weight image in bytes.
+  std::int64_t total_weight_bytes() const { return total_bytes_; }
+
+  /// Current int8 code of a weight.
+  std::int8_t weight_code(int param_index, std::int64_t weight_index) const;
+
+  /// Current value of one bit of one weight.
+  bool get_bit(const WeightBitRef& ref) const;
+
+  /// Flips one bit: updates the int8 code and the float view.  Returns the
+  /// signed change in the dequantized weight value.
+  float apply_bit_flip(const WeightBitRef& ref);
+
+  /// Maps a weight bit to its bit offset inside the packed weight image
+  /// (byte_offset*8 + weight_index*8 + bit).
+  std::int64_t image_bit_offset(const WeightBitRef& ref) const;
+
+  /// Inverse of image_bit_offset.
+  WeightBitRef bit_ref_from_image_offset(std::int64_t image_bit) const;
+
+  /// Serializes all int8 codes into the packed byte image (what gets
+  /// written to DRAM).
+  std::vector<std::uint8_t> pack_weight_image() const;
+
+  /// Overwrites codes (and the float view) from a byte image — used to pull
+  /// corrupted weights back from the DRAM simulator after physical fault
+  /// injection.
+  void load_weight_image(const std::vector<std::uint8_t>& image);
+
+  /// Number of bit-flips applied since construction (or last reset).
+  std::int64_t flips_applied() const { return flips_applied_; }
+  void reset_flip_counter() { flips_applied_ = 0; }
+
+ private:
+  const QuantizedParam& qparam(int i) const;
+
+  Module& model_;
+  std::vector<QuantizedParam> qparams_;
+  std::int64_t total_bytes_ = 0;
+  std::int64_t flips_applied_ = 0;
+};
+
+}  // namespace rowpress::nn

@@ -1,0 +1,29 @@
+#include "nn/quant/quantizer.h"
+
+#include <cmath>
+
+namespace rowpress::nn {
+
+QuantizationResult quantize_symmetric(const Tensor& w) {
+  QuantizationResult qr;
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    max_abs = std::max(max_abs, std::fabs(w[i]));
+  qr.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  qr.q.resize(static_cast<std::size_t>(w.numel()));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const float scaled = std::round(w[i] / qr.scale);
+    const float clamped = std::min(127.0f, std::max(-127.0f, scaled));
+    qr.q[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(clamped);
+  }
+  return qr;
+}
+
+void dequantize_into(const QuantizationResult& qr, Tensor& w) {
+  RP_REQUIRE(static_cast<std::int64_t>(qr.q.size()) == w.numel(),
+             "quantization result size mismatch");
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(qr.q[static_cast<std::size_t>(i)]) * qr.scale;
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,27 @@
+// 8-bit post-training quantization, following the BFA setup the paper
+// adopts ([9], [42]): per-tensor symmetric linear quantization of every
+// attackable weight tensor; the deployed model computes with the
+// dequantized values w_q * scale, and the int8 codes are what live in DRAM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+struct QuantizationResult {
+  std::vector<std::int8_t> q;  ///< 2's-complement codes, one per weight
+  float scale = 1.0f;          ///< dequant: w = q * scale
+};
+
+/// Quantizes one tensor: scale = max|w| / 127, q = round(w/scale) clamped
+/// to [-127, 127].  (Bit-flips can later produce -128; dequantization
+/// handles the full int8 range.)
+QuantizationResult quantize_symmetric(const Tensor& w);
+
+/// Writes q * scale back into `w`.
+void dequantize_into(const QuantizationResult& qr, Tensor& w);
+
+}  // namespace rowpress::nn

@@ -1,0 +1,101 @@
+#include "nn/serialize.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace rowpress::nn {
+namespace {
+
+void write_tensor(std::ofstream& os, const Tensor& t) {
+  const std::int32_t ndim = t.ndim();
+  os.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+  for (int i = 0; i < ndim; ++i) {
+    const std::int32_t d = t.dim(i);
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+bool read_tensor(std::ifstream& is, Tensor& t) {
+  std::int32_t ndim = 0;
+  if (!is.read(reinterpret_cast<char*>(&ndim), sizeof(ndim))) return false;
+  if (ndim <= 0 || ndim > 8) return false;
+  std::vector<int> shape(static_cast<std::size_t>(ndim));
+  for (auto& d : shape) {
+    std::int32_t v = 0;
+    if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) return false;
+    if (v <= 0) return false;
+    d = v;
+  }
+  t = Tensor(shape);
+  return static_cast<bool>(
+      is.read(reinterpret_cast<char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float))));
+}
+
+constexpr std::uint32_t kStateMagic = 0x52504d53;  // "RPMS"
+
+}  // namespace
+
+ModelState snapshot_state(Module& model) {
+  ModelState st;
+  for (Param* p : model.parameters()) st.params.push_back(p->value);
+  for (Tensor* b : model.buffers()) st.buffers.push_back(*b);
+  return st;
+}
+
+void restore_state(Module& model, const ModelState& state) {
+  const auto params = model.parameters();
+  const auto buffers = model.buffers();
+  RP_REQUIRE(params.size() == state.params.size(),
+             "model/state parameter count mismatch");
+  RP_REQUIRE(buffers.size() == state.buffers.size(),
+             "model/state buffer count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    RP_REQUIRE(params[i]->value.numel() == state.params[i].numel(),
+               "parameter shape mismatch in restore_state");
+    params[i]->value = state.params[i];
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    RP_REQUIRE(buffers[i]->numel() == state.buffers[i].numel(),
+               "buffer shape mismatch in restore_state");
+    *buffers[i] = state.buffers[i];
+  }
+}
+
+void save_state(const ModelState& state, const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path, std::ios::binary);
+  RP_REQUIRE(os.good(), "cannot open state file for writing: " + path);
+  os.write(reinterpret_cast<const char*>(&kStateMagic), sizeof(kStateMagic));
+  const std::uint32_t np = static_cast<std::uint32_t>(state.params.size());
+  const std::uint32_t nb = static_cast<std::uint32_t>(state.buffers.size());
+  os.write(reinterpret_cast<const char*>(&np), sizeof(np));
+  os.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
+  for (const auto& t : state.params) write_tensor(os, t);
+  for (const auto& t : state.buffers) write_tensor(os, t);
+}
+
+bool load_state(ModelState& state, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  std::uint32_t magic = 0, np = 0, nb = 0;
+  if (!is.read(reinterpret_cast<char*>(&magic), sizeof(magic)) ||
+      magic != kStateMagic)
+    return false;
+  if (!is.read(reinterpret_cast<char*>(&np), sizeof(np))) return false;
+  if (!is.read(reinterpret_cast<char*>(&nb), sizeof(nb))) return false;
+  state.params.assign(np, Tensor());
+  state.buffers.assign(nb, Tensor());
+  for (auto& t : state.params)
+    if (!read_tensor(is, t)) return false;
+  for (auto& t : state.buffers)
+    if (!read_tensor(is, t)) return false;
+  return true;
+}
+
+}  // namespace rowpress::nn

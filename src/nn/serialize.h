@@ -1,0 +1,27 @@
+// Model state snapshot / restore / binary (de)serialization.  A ModelState
+// carries parameter values plus persistent buffers (BatchNorm running
+// statistics) — everything needed to rebuild a trained model from its
+// factory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+struct ModelState {
+  std::vector<Tensor> params;
+  std::vector<Tensor> buffers;
+};
+
+ModelState snapshot_state(Module& model);
+void restore_state(Module& model, const ModelState& state);
+
+/// Binary serialization.  save_state creates parent directories.
+void save_state(const ModelState& state, const std::string& path);
+/// Returns false (leaving `state` unspecified) on missing/corrupt files.
+bool load_state(ModelState& state, const std::string& path);
+
+}  // namespace rowpress::nn

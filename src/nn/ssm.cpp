@@ -1,0 +1,100 @@
+#include "nn/ssm.h"
+
+#include <cmath>
+
+namespace rowpress::nn {
+namespace {
+inline float sigmoidf(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+inline float siluf(float v) { return v * sigmoidf(v); }
+inline float silu_grad(float v) {
+  const float s = sigmoidf(v);
+  return s + v * s * (1.0f - s);
+}
+}  // namespace
+
+SelectiveScan::SelectiveScan(int dim, Rng& rng, std::string name_prefix)
+    : dim_(dim),
+      in_proj_(dim, dim, rng, /*bias=*/true, name_prefix + ".in"),
+      gate_proj_(dim, dim, rng, /*bias=*/true, name_prefix + ".gate"),
+      out_proj_(dim, dim, rng, /*bias=*/true, name_prefix + ".out"),
+      a_logit_(name_prefix + ".a_logit", Tensor::full({dim}, 1.5f),
+               /*attack=*/false) {}
+
+Tensor SelectiveScan::forward(const Tensor& x) {
+  RP_REQUIRE(x.ndim() == 3 && x.dim(2) == dim_, "scan input must be [N,T,D]");
+  const int n = x.dim(0), t = x.dim(1);
+
+  cached_u_ = in_proj_.forward(x);
+  cached_g_raw_ = gate_proj_.forward(x);
+  cached_h_ = Tensor({n, t, dim_});
+
+  for (int b = 0; b < n; ++b) {
+    for (int j = 0; j < dim_; ++j) {
+      const float a = sigmoidf(a_logit_.value[j]);
+      float h = 0.0f;
+      for (int tt = 0; tt < t; ++tt) {
+        h = a * h + (1.0f - a) * cached_u_.at3(b, tt, j);
+        cached_h_.at3(b, tt, j) = h;
+      }
+    }
+  }
+
+  Tensor gated({n, t, dim_});
+  for (std::int64_t i = 0; i < gated.numel(); ++i)
+    gated[i] = cached_h_[i] * siluf(cached_g_raw_[i]);
+  return out_proj_.forward(gated);
+}
+
+Tensor SelectiveScan::backward(const Tensor& grad_out) {
+  const int n = cached_h_.dim(0), t = cached_h_.dim(1);
+  const Tensor g_gated = out_proj_.backward(grad_out);  // [N,T,D]
+
+  Tensor g_h({n, t, dim_});
+  Tensor g_graw({n, t, dim_});
+  for (std::int64_t i = 0; i < g_h.numel(); ++i) {
+    g_h[i] = g_gated[i] * siluf(cached_g_raw_[i]);
+    g_graw[i] = g_gated[i] * cached_h_[i] * silu_grad(cached_g_raw_[i]);
+  }
+
+  // Reverse scan: dh_t += a * dh_{t+1};  du_t = (1-a) * dh_t;
+  // da accumulates dh_t * (h_{t-1} - u_t).
+  Tensor g_u({n, t, dim_});
+  for (int b = 0; b < n; ++b) {
+    for (int j = 0; j < dim_; ++j) {
+      const float al = a_logit_.value[j];
+      const float a = sigmoidf(al);
+      const float da_dlogit = a * (1.0f - a);
+      float carry = 0.0f;
+      double da = 0.0;
+      for (int tt = t - 1; tt >= 0; --tt) {
+        const float dh = g_h.at3(b, tt, j) + carry;
+        const float h_prev = tt > 0 ? cached_h_.at3(b, tt - 1, j) : 0.0f;
+        da += static_cast<double>(dh) * (h_prev - cached_u_.at3(b, tt, j));
+        g_u.at3(b, tt, j) = (1.0f - a) * dh;
+        carry = a * dh;
+      }
+      a_logit_.grad[j] += static_cast<float>(da) * da_dlogit;
+    }
+  }
+
+  Tensor grad_in = in_proj_.backward(g_u);
+  grad_in.add_(gate_proj_.backward(g_graw));
+  return grad_in;
+}
+
+std::vector<Param*> SelectiveScan::parameters() {
+  std::vector<Param*> out = in_proj_.parameters();
+  for (Param* p : gate_proj_.parameters()) out.push_back(p);
+  for (Param* p : out_proj_.parameters()) out.push_back(p);
+  out.push_back(&a_logit_);
+  return out;
+}
+
+void SelectiveScan::set_training(bool training) {
+  Module::set_training(training);
+  in_proj_.set_training(training);
+  gate_proj_.set_training(training);
+  out_proj_.set_training(training);
+}
+
+}  // namespace rowpress::nn

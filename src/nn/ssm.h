@@ -1,0 +1,43 @@
+// Simplified selective state-space (VMamba-style) block: a gated linear
+// recurrence over the token sequence.
+//
+//   u = W_in x               (input projection)
+//   g = SiLU(W_gate x)       (data-dependent gate)
+//   h_t = a ⊙ h_{t-1} + (1-a) ⊙ u_t,  a = sigmoid(a_logit) per channel
+//   y = W_out (h ⊙ g)
+//
+// This keeps VMamba's essential computational structure — a learned
+// per-channel decaying scan over the flattened 2-D patch sequence with
+// multiplicative gating — at a size the BFA comparison needs, without the
+// full selective-scan machinery.
+#pragma once
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace rowpress::nn {
+
+class SelectiveScan final : public Module {
+ public:
+  SelectiveScan(int dim, Rng& rng, std::string name_prefix = "scan");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "SelectiveScan"; }
+
+ private:
+  int dim_;
+  Linear in_proj_;
+  Linear gate_proj_;
+  Linear out_proj_;
+  Param a_logit_;  ///< [dim] decay logits
+
+  // forward cache
+  Tensor cached_u_;       ///< [N,T,D]
+  Tensor cached_g_raw_;   ///< pre-SiLU gate
+  Tensor cached_h_;       ///< [N,T,D] scan states
+};
+
+}  // namespace rowpress::nn

@@ -1,0 +1,113 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace rowpress::nn {
+namespace {
+
+std::int64_t shape_numel(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (const int d : shape) {
+    RP_REQUIRE(d > 0, "tensor dimensions must be positive");
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  RP_REQUIRE(i >= 0 && i < ndim(), "dimension index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  RP_REQUIRE(shape_numel(new_shape) == numel(),
+             "reshape must preserve element count");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::add_(const Tensor& other, float alpha) {
+  RP_REQUIRE(numel() == other.numel(), "add_ needs matching element counts");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale_(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << shape_[i];
+    if (i + 1 != shape_.size()) os << 'x';
+  }
+  os << ']';
+  return os.str();
+}
+
+void matmul_accumulate(const float* a, const float* b, float* c, int m, int k,
+                       int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+void matmul_at_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    const float* brow = b + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace rowpress::nn

@@ -1,0 +1,105 @@
+// Dense float tensor used by the NN substrate.
+//
+// Deliberately minimal: row-major contiguous storage, explicit shapes, and
+// the handful of indexing helpers the layer kernels need.  All layers treat
+// dimension 0 as the batch dimension.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rowpress::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::vector<int> shape, float fill);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+  /// Gaussian init with the given std (He/Xavier handled by callers).
+  static Tensor randn(std::vector<int> shape, Rng& rng, float stddev = 1.0f);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // Multi-dim accessors (checked in debug via RP_ASSERT-free fast path).
+  float& at2(int i, int j) { return data_[idx2(i, j)]; }
+  float at2(int i, int j) const { return data_[idx2(i, j)]; }
+  float& at3(int i, int j, int k) { return data_[idx3(i, j, k)]; }
+  float at3(int i, int j, int k) const { return data_[idx3(i, j, k)]; }
+  float& at4(int n, int c, int h, int w) { return data_[idx4(n, c, h, w)]; }
+  float at4(int n, int c, int h, int w) const { return data_[idx4(n, c, h, w)]; }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Reinterprets the buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  /// Elementwise helpers used by optimizers / residual adds.
+  void add_(const Tensor& other, float alpha = 1.0f);
+  void scale_(float alpha);
+
+  std::string shape_string() const;
+
+  /// True iff shapes match exactly.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::size_t idx2(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(shape_[1]) +
+           static_cast<std::size_t>(j);
+  }
+  std::size_t idx3(int i, int j, int k) const {
+    return (static_cast<std::size_t>(i) * static_cast<std::size_t>(shape_[1]) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(shape_[2]) +
+           static_cast<std::size_t>(k);
+  }
+  std::size_t idx4(int n, int c, int h, int w) const {
+    return ((static_cast<std::size_t>(n) * static_cast<std::size_t>(shape_[1]) +
+             static_cast<std::size_t>(c)) *
+                static_cast<std::size_t>(shape_[2]) +
+            static_cast<std::size_t>(h)) *
+               static_cast<std::size_t>(shape_[3]) +
+           static_cast<std::size_t>(w);
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// C[M,N] += A[M,K] * B[K,N].  The single shared GEMM kernel (i-k-j order,
+/// auto-vectorizable inner loop) that conv/linear/attention build on.
+void matmul_accumulate(const float* a, const float* b, float* c, int m, int k,
+                       int n);
+
+/// C[M,N] += A[M,K] * B^T where B is [N,K].
+void matmul_bt_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+/// C[K,N] += A^T * B where A is [M,K], B is [M,N].
+void matmul_at_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+}  // namespace rowpress::nn

@@ -1,0 +1,91 @@
+#include "profile/bitflip_profile.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace rowpress::profile {
+
+void BitFlipProfile::add(std::int64_t linear_bit,
+                         dram::FlipDirection direction) {
+  bits_.emplace(linear_bit, direction);
+}
+
+std::optional<dram::FlipDirection> BitFlipProfile::lookup(
+    std::int64_t linear_bit) const {
+  const auto it = bits_.find(linear_bit);
+  if (it == bits_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<VulnerableBit> BitFlipProfile::sorted_bits() const {
+  std::vector<VulnerableBit> out;
+  out.reserve(bits_.size());
+  for (const auto& [addr, dir] : bits_)
+    out.push_back(VulnerableBit{addr, dir});
+  std::sort(out.begin(), out.end(),
+            [](const VulnerableBit& a, const VulnerableBit& b) {
+              return a.linear_bit < b.linear_bit;
+            });
+  return out;
+}
+
+std::vector<VulnerableBit> BitFlipProfile::bits_in_range(
+    std::int64_t begin_bit, std::int64_t end_bit) const {
+  std::vector<VulnerableBit> out;
+  for (const auto& [addr, dir] : bits_) {
+    if (addr >= begin_bit && addr < end_bit)
+      out.push_back(VulnerableBit{addr, dir});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VulnerableBit& a, const VulnerableBit& b) {
+              return a.linear_bit < b.linear_bit;
+            });
+  return out;
+}
+
+BitFlipProfile::DirectionStats BitFlipProfile::direction_stats() const {
+  DirectionStats s;
+  for (const auto& [addr, dir] : bits_) {
+    if (dir == dram::FlipDirection::kOneToZero)
+      ++s.one_to_zero;
+    else
+      ++s.zero_to_one;
+  }
+  return s;
+}
+
+std::size_t BitFlipProfile::overlap(const BitFlipProfile& other) const {
+  const auto& small = bits_.size() <= other.bits_.size() ? bits_ : other.bits_;
+  const auto& large = bits_.size() <= other.bits_.size() ? other.bits_ : bits_;
+  std::size_t n = 0;
+  for (const auto& [addr, dir] : small)
+    if (large.contains(addr)) ++n;
+  return n;
+}
+
+void BitFlipProfile::save(std::ostream& os) const {
+  for (const auto& vb : sorted_bits()) {
+    os << vb.linear_bit << ' '
+       << (vb.direction == dram::FlipDirection::kOneToZero ? "1to0" : "0to1")
+       << '\n';
+  }
+}
+
+BitFlipProfile BitFlipProfile::load(std::istream& is,
+                                    std::string mechanism_name) {
+  BitFlipProfile p(std::move(mechanism_name));
+  std::int64_t addr = 0;
+  std::string dir;
+  while (is >> addr >> dir) {
+    RP_REQUIRE(dir == "1to0" || dir == "0to1",
+               "profile stream has an invalid direction token");
+    p.add(addr, dir == "1to0" ? dram::FlipDirection::kOneToZero
+                              : dram::FlipDirection::kZeroToOne);
+  }
+  return p;
+}
+
+}  // namespace rowpress::profile

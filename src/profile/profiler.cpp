@@ -1,0 +1,109 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+
+namespace rowpress::profile {
+namespace {
+
+// Resets the disturbance accumulators of rows [row-2, row+2] so one victim's
+// profiling pass cannot contaminate the next (hammering X±1 also disturbs
+// X±2).
+void reset_neighborhood(dram::Device& device, int bank, int row) {
+  const int last = device.geometry().rows_per_bank - 1;
+  for (int r = std::max(0, row - 2); r <= std::min(last, row + 2); ++r)
+    device.bank(bank).refresh_row(r);
+}
+
+}  // namespace
+
+std::pair<int, int> Profiler::row_range(const dram::Device& device) const {
+  const int last_valid = device.geometry().rows_per_bank - 2;
+  int first = config_.first_row < 0 ? 1 : std::max(1, config_.first_row);
+  int last = config_.last_row < 0 ? last_valid
+                                  : std::min(last_valid, config_.last_row);
+  RP_REQUIRE(first <= last, "profiler row range is empty");
+  return {first, last};
+}
+
+BitFlipProfile Profiler::profile_rowhammer(dram::Device& device) {
+  BitFlipProfile profile("RowHammer");
+  const auto [first, last] = row_range(device);
+  const std::int64_t per_aggressor = config_.rh_total_hammers / 2;
+  double time_ns = 0.0;
+
+  // Two polarity passes discover both flip directions (an all-0 victim can
+  // only reveal 0->1 flips and vice versa).
+  const dram::RowHammerConfig passes[2] = {
+      {.aggressor_pattern = 0xFF,
+       .victim_pattern = 0x00,
+       .hammer_count = per_aggressor,
+       .double_sided = true},
+      {.aggressor_pattern = 0x00,
+       .victim_pattern = 0xFF,
+       .hammer_count = per_aggressor,
+       .double_sided = true},
+  };
+
+  for (int bank = 0; bank < device.num_banks(); ++bank) {
+    for (int victim = first; victim <= last; ++victim) {
+      for (const auto& cfg : passes) {
+        const dram::RowHammerAttacker attacker(cfg);
+        const auto result = attacker.run_fast(device, bank, victim);
+        for (const auto& flip : result.flips) {
+          const dram::CellAddress cell{flip.bank, flip.row, flip.bit};
+          profile.add(device.address_map().linear_bit(cell),
+                      flip.became ? dram::FlipDirection::kZeroToOne
+                                  : dram::FlipDirection::kOneToZero);
+        }
+        time_ns += result.elapsed_ns;
+        reset_neighborhood(device, bank, victim);
+      }
+    }
+  }
+  device.clear_flip_logs();
+  info_.rh_profiling_time_ns = time_ns;
+  return profile;
+}
+
+BitFlipProfile Profiler::profile_rowpress(dram::Device& device) {
+  BitFlipProfile profile("RowPress");
+  const auto [first, last] = row_range(device);
+  double time_ns = 0.0;
+
+  const dram::RowPressConfig passes[2] = {
+      {.pattern_row_pattern = 0xFF,
+       .aggressor_pattern = 0x00,
+       .open_ns = config_.rp_press_ns,
+       .press_count = config_.rp_presses_per_row},
+      {.pattern_row_pattern = 0x00,
+       .aggressor_pattern = 0xFF,
+       .open_ns = config_.rp_press_ns,
+       .press_count = config_.rp_presses_per_row},
+  };
+
+  for (int bank = 0; bank < device.num_banks(); ++bank) {
+    for (int target = first; target <= last; ++target) {
+      for (const auto& cfg : passes) {
+        const dram::RowPressAttacker attacker(cfg);
+        const auto result = attacker.run_fast(device, bank, target);
+        for (const auto& flip : result.flips) {
+          const dram::CellAddress cell{flip.bank, flip.row, flip.bit};
+          profile.add(device.address_map().linear_bit(cell),
+                      flip.became ? dram::FlipDirection::kZeroToOne
+                                  : dram::FlipDirection::kOneToZero);
+        }
+        time_ns += result.elapsed_ns;
+        reset_neighborhood(device, bank, target);
+      }
+    }
+  }
+  device.clear_flip_logs();
+  info_.rp_profiling_time_ns = time_ns;
+  return profile;
+}
+
+}  // namespace rowpress::profile

@@ -1,0 +1,59 @@
+// Whole-chip DRAM profiling (the attacker's first step, Sec. VI): sweep
+// every row under the RowHammer and RowPress fault-injection models, with
+// both data-pattern polarities, and record every cell observed to flip —
+// producing C_rh and C_rp.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/device.h"
+#include "profile/bitflip_profile.h"
+
+namespace rowpress::profile {
+
+struct ProfilerConfig {
+  /// Total adjacent activations budget per victim row for RowHammer
+  /// profiling — bounded by what fits in one refresh window (Sec. VII-A:
+  /// ~1.36 M hammers per tREFW).  Split across the two aggressors.
+  std::int64_t rh_total_hammers = 1360000;
+
+  /// Open-window duration per press for RowPress profiling; bounded by
+  /// tREFW (Sec. V-B: "T cannot exceed the limitation imposed by the
+  /// refresh time").
+  double rp_press_ns = 64.0e6;
+  std::int64_t rp_presses_per_row = 1;
+
+  /// Restrict profiling to a row range per bank; -1 means all rows.
+  int first_row = -1;
+  int last_row = -1;
+};
+
+struct ProfileRunInfo {
+  /// Wall-clock the real rig would need (simulated timeline), per model.
+  double rh_profiling_time_ns = 0.0;
+  double rp_profiling_time_ns = 0.0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(ProfilerConfig config = {}) : config_(config) {}
+
+  const ProfilerConfig& config() const { return config_; }
+  const ProfileRunInfo& last_run_info() const { return info_; }
+
+  /// Profiles the device under double-sided RowHammer (Algorithm 1 with
+  /// both data-pattern polarities).  Leaves the device with cleared
+  /// disturbance accumulators and cleared flip logs.
+  BitFlipProfile profile_rowhammer(dram::Device& device);
+
+  /// Profiles the device under RowPress (Algorithm 2, both polarities).
+  BitFlipProfile profile_rowpress(dram::Device& device);
+
+ private:
+  std::pair<int, int> row_range(const dram::Device& device) const;
+
+  ProfilerConfig config_;
+  ProfileRunInfo info_;
+};
+
+}  // namespace rowpress::profile

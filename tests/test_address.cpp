@@ -1,0 +1,80 @@
+#include "dram/address.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rowpress::dram {
+namespace {
+
+Geometry small_geom() {
+  Geometry g;
+  g.num_banks = 3;
+  g.rows_per_bank = 16;
+  g.row_bytes = 32;
+  return g;
+}
+
+TEST(AddressMap, GeometryDerivedSizes) {
+  const Geometry g = small_geom();
+  EXPECT_EQ(g.row_bits(), 256);
+  EXPECT_EQ(g.bytes_per_bank(), 512);
+  EXPECT_EQ(g.total_bytes(), 1536);
+  EXPECT_EQ(g.total_bits(), 12288);
+}
+
+TEST(AddressMap, ByteAddressLayoutIsRowMajor) {
+  AddressMap m(small_geom());
+  const ByteAddress a0 = m.byte_address(0);
+  EXPECT_EQ(a0, (ByteAddress{0, 0, 0}));
+  const ByteAddress a = m.byte_address(32);  // second row of bank 0
+  EXPECT_EQ(a, (ByteAddress{0, 1, 0}));
+  const ByteAddress b = m.byte_address(512);  // first byte of bank 1
+  EXPECT_EQ(b, (ByteAddress{1, 0, 0}));
+}
+
+TEST(AddressMap, RoundtripLinearByteCell) {
+  AddressMap m(small_geom());
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto lin = static_cast<std::int64_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(small_geom().total_bytes())));
+    EXPECT_EQ(m.linear_address(m.byte_address(lin)), lin);
+    const auto bit = static_cast<std::int64_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(small_geom().total_bits())));
+    EXPECT_EQ(m.linear_bit(m.cell_address(bit)), bit);
+  }
+}
+
+TEST(AddressMap, CellBitWithinRow) {
+  AddressMap m(small_geom());
+  const CellAddress c = m.cell_address(256 + 9);  // row 1 of bank 0, bit 9
+  EXPECT_EQ(c.bank, 0);
+  EXPECT_EQ(c.row, 1);
+  EXPECT_EQ(c.bit, 9);
+}
+
+TEST(AddressMap, PageFrameView) {
+  AddressMap m(small_geom());
+  const auto [pfn, off] = m.page_frame(100);
+  EXPECT_EQ(pfn, 0);
+  EXPECT_EQ(off, 100);
+}
+
+TEST(AddressMap, OutOfRangeThrows) {
+  AddressMap m(small_geom());
+  EXPECT_THROW(m.byte_address(-1), std::logic_error);
+  EXPECT_THROW(m.byte_address(small_geom().total_bytes()), std::logic_error);
+  EXPECT_THROW(m.cell_address(small_geom().total_bits()), std::logic_error);
+  EXPECT_THROW(m.linear_address(ByteAddress{3, 0, 0}), std::logic_error);
+  EXPECT_THROW(m.linear_address(ByteAddress{0, 16, 0}), std::logic_error);
+  EXPECT_THROW(m.linear_address(ByteAddress{0, 0, 32}), std::logic_error);
+}
+
+TEST(AddressMap, ToStringFormat) {
+  AddressMap m(small_geom());
+  EXPECT_EQ(m.to_string(CellAddress{1, 2, 3}), "bank1.row2.bit3");
+}
+
+}  // namespace
+}  // namespace rowpress::dram

@@ -1,0 +1,215 @@
+#include "dram/bank.h"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "dram/device.h"
+#include "test_util.h"
+
+namespace rowpress::dram {
+namespace {
+
+using testutil::dense_device_config;
+
+/// Finds a vulnerable cell of the requested mechanism/direction in an
+/// interior row of bank 0.
+std::optional<CellAddress> find_cell(const Device& dev, Mechanism mech,
+                                     FlipDirection dir) {
+  const auto& geom = dev.geometry();
+  for (const auto& [pos, cell] : dev.cell_model().bank_cells(0)) {
+    if (cell.mechanism != mech || cell.direction != dir) continue;
+    const int row = static_cast<int>(pos / geom.row_bits());
+    if (row < 2 || row > geom.rows_per_bank - 3) continue;
+    return CellAddress{0, row, pos % geom.row_bits()};
+  }
+  return std::nullopt;
+}
+
+std::uint32_t threshold_of(const Device& dev, const CellAddress& c) {
+  const auto* cell = dev.cell_model().find(c);
+  EXPECT_NE(cell, nullptr);
+  return cell->hc_threshold;
+}
+
+TEST(Bank, ActPreStateMachine) {
+  Device dev(dense_device_config());
+  Bank& b = dev.bank(0);
+  EXPECT_FALSE(b.is_open());
+  b.activate(5, 0.0);
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.open_row(), std::optional<int>(5));
+  EXPECT_THROW(b.activate(6, 1.0), std::logic_error);
+  const double open_ns = b.precharge(100.0);
+  EXPECT_GE(open_ns, dev.timing().tras_ns());
+  EXPECT_FALSE(b.is_open());
+  EXPECT_THROW(b.precharge(200.0), std::logic_error);
+}
+
+TEST(Bank, PrechargeClampsToTras) {
+  Device dev(dense_device_config());
+  Bank& b = dev.bank(0);
+  b.activate(5, 0.0);
+  // PRE "issued" immediately: the open duration is still at least tRAS.
+  EXPECT_DOUBLE_EQ(b.precharge(0.0), dev.timing().tras_ns());
+}
+
+TEST(Bank, ActivationCounting) {
+  Device dev(dense_device_config());
+  Bank& b = dev.bank(0);
+  for (int i = 0; i < 3; ++i) {
+    b.activate(7, i * 100.0);
+    b.precharge(i * 100.0 + 50.0);
+  }
+  b.bulk_activate(9, 10, dev.timing().tras_ns(), 1000.0);
+  EXPECT_EQ(b.activation_count(7), 3);
+  EXPECT_EQ(b.activation_count(9), 10);
+  EXPECT_EQ(b.total_activations(), 13);
+}
+
+TEST(Bank, NoFlipsWithoutDataDifferential) {
+  // Sec. V: bit-flips occur only when the victim's bits differ from the
+  // adjacent rows'.  Identical data -> no flips no matter the hammer count.
+  Device dev(dense_device_config());
+  Bank& b = dev.bank(0);
+  for (int r = 0; r < dev.geometry().rows_per_bank; ++r) b.fill_row(r, 0xAA);
+  b.bulk_activate(10, 2'000'000, dev.timing().tras_ns(), 0.0);
+  EXPECT_TRUE(b.flip_log().empty());
+}
+
+TEST(Bank, RowHammerFlipRespectsThresholdAndDirection) {
+  Device dev(dense_device_config());
+  const auto cell = find_cell(dev, Mechanism::kRowHammer,
+                              FlipDirection::kOneToZero);
+  ASSERT_TRUE(cell.has_value());
+  const std::uint32_t threshold = threshold_of(dev, *cell);
+  Bank& b = dev.bank(0);
+
+  // Victim stores 1 (can fall to 0), aggressors store 0 (differential).
+  b.fill_row(cell->row, 0xFF);
+  b.fill_row(cell->row - 1, 0x00);
+  b.fill_row(cell->row + 1, 0x00);
+
+  // Just below threshold: no flip.
+  b.bulk_activate(cell->row - 1, threshold - 1, dev.timing().tras_ns(), 0.0);
+  EXPECT_TRUE(get_bit(b.row_data(cell->row),
+                      static_cast<std::size_t>(cell->bit)));
+  // One more adjacent activation crosses it.
+  b.bulk_activate(cell->row + 1, 1, dev.timing().tras_ns(), 0.0);
+  EXPECT_FALSE(get_bit(b.row_data(cell->row),
+                       static_cast<std::size_t>(cell->bit)));
+  ASSERT_FALSE(b.flip_log().empty());
+  EXPECT_EQ(b.flip_log().back().cause, Mechanism::kRowHammer);
+  EXPECT_EQ(b.flip_log().back().row, cell->row);
+}
+
+TEST(Bank, OneToZeroCellCannotFlipAZero) {
+  Device dev(dense_device_config());
+  const auto cell = find_cell(dev, Mechanism::kRowHammer,
+                              FlipDirection::kOneToZero);
+  ASSERT_TRUE(cell.has_value());
+  Bank& b = dev.bank(0);
+  b.fill_row(cell->row, 0x00);      // already at the direction target
+  b.fill_row(cell->row - 1, 0xFF);  // differential exists
+  b.fill_row(cell->row + 1, 0xFF);
+  b.bulk_activate(cell->row - 1, 4'000'000, dev.timing().tras_ns(), 0.0);
+  EXPECT_FALSE(get_bit(b.row_data(cell->row),
+                       static_cast<std::size_t>(cell->bit)));
+}
+
+TEST(Bank, RowPressNeedsLongOpenWindow) {
+  Device dev(dense_device_config());
+  const auto cell = find_cell(dev, Mechanism::kRowPress,
+                              FlipDirection::kZeroToOne);
+  ASSERT_TRUE(cell.has_value());
+  Bank& b = dev.bank(0);
+  b.fill_row(cell->row, 0x00);      // can rise to 1
+  b.fill_row(cell->row - 1, 0xFF);  // pressed row, differential
+
+  // Millions of nominal-tRAS activations: no RowPress damage (below the
+  // press onset) and the cell is not RowHammer-susceptible.
+  b.bulk_activate(cell->row - 1, 4'000'000, dev.timing().tras_ns(), 0.0);
+  EXPECT_FALSE(get_bit(b.row_data(cell->row),
+                       static_cast<std::size_t>(cell->bit)));
+
+  // One long press crosses the accumulated-open-time threshold.
+  b.bulk_activate(cell->row - 1, 1, 64.0e6, 0.0);
+  EXPECT_TRUE(get_bit(b.row_data(cell->row),
+                      static_cast<std::size_t>(cell->bit)));
+  EXPECT_EQ(b.flip_log().back().cause, Mechanism::kRowPress);
+}
+
+TEST(Bank, BulkActivateEquivalentToCommandLoop) {
+  // The profiling fast path must produce exactly the same storage state as
+  // issuing each ACT/PRE individually.
+  const auto cfg = dense_device_config(7);
+  Device looped(cfg), bulk(cfg);
+  const int aggressor = 12;
+  const std::int64_t n = 9000;
+
+  for (Device* d : {&looped, &bulk}) {
+    Bank& b = d->bank(0);
+    b.fill_row(aggressor - 1, 0xFF);
+    b.fill_row(aggressor, 0x00);
+    b.fill_row(aggressor + 1, 0xFF);
+  }
+  {
+    Bank& b = looped.bank(0);
+    double t = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      b.activate(aggressor, t);
+      t += looped.timing().tras_ns();
+      b.precharge(t);
+      t += looped.timing().trp_ns();
+    }
+  }
+  bulk.bank(0).bulk_activate(aggressor, n, bulk.timing().tras_ns(), 0.0);
+
+  for (int r = aggressor - 1; r <= aggressor + 1; ++r) {
+    const auto a = looped.bank(0).row_data(r);
+    const auto c = bulk.bank(0).row_data(r);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), c.begin(), c.end()))
+        << "row " << r;
+  }
+  EXPECT_EQ(looped.bank(0).flip_log().size(), bulk.bank(0).flip_log().size());
+}
+
+TEST(Bank, RefreshResetsDisturbanceButNotFlips) {
+  Device dev(dense_device_config());
+  const auto cell = find_cell(dev, Mechanism::kRowHammer,
+                              FlipDirection::kOneToZero);
+  ASSERT_TRUE(cell.has_value());
+  const std::uint32_t threshold = threshold_of(dev, *cell);
+  Bank& b = dev.bank(0);
+  b.fill_row(cell->row, 0xFF);
+  b.fill_row(cell->row - 1, 0x00);
+  b.fill_row(cell->row + 1, 0x00);
+
+  // Split the hammering across a refresh: no flip.
+  b.bulk_activate(cell->row - 1, threshold - 1, dev.timing().tras_ns(), 0.0);
+  b.refresh_row(cell->row);
+  b.bulk_activate(cell->row - 1, threshold - 1, dev.timing().tras_ns(), 0.0);
+  EXPECT_TRUE(get_bit(b.row_data(cell->row),
+                      static_cast<std::size_t>(cell->bit)));
+
+  // Push it over; then a refresh must NOT restore the flipped bit.
+  b.bulk_activate(cell->row - 1, threshold, dev.timing().tras_ns(), 0.0);
+  ASSERT_FALSE(get_bit(b.row_data(cell->row),
+                       static_cast<std::size_t>(cell->bit)));
+  b.refresh_row(cell->row);
+  EXPECT_FALSE(get_bit(b.row_data(cell->row),
+                       static_cast<std::size_t>(cell->bit)));
+}
+
+TEST(Bank, RowWriteValidation) {
+  Device dev(dense_device_config());
+  Bank& b = dev.bank(0);
+  std::vector<std::uint8_t> short_row(10, 0);
+  EXPECT_THROW(b.write_row(0, short_row), std::logic_error);
+  EXPECT_THROW(b.fill_row(-1, 0), std::logic_error);
+  EXPECT_THROW(b.row_data(dev.geometry().rows_per_bank), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rowpress::dram

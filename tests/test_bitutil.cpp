@@ -1,0 +1,77 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+namespace rowpress {
+namespace {
+
+TEST(BitUtil, GetSetFlip) {
+  std::vector<std::uint8_t> buf(4, 0);
+  EXPECT_FALSE(get_bit(buf, 13));
+  set_bit(buf, 13, true);
+  EXPECT_TRUE(get_bit(buf, 13));
+  EXPECT_EQ(buf[1], 0x20);
+  EXPECT_FALSE(flip_bit(buf, 13));
+  EXPECT_FALSE(get_bit(buf, 13));
+  EXPECT_TRUE(flip_bit(buf, 31));
+  EXPECT_EQ(buf[3], 0x80);
+}
+
+TEST(BitUtil, OutOfRangeThrows) {
+  std::vector<std::uint8_t> buf(2, 0);
+  EXPECT_THROW(get_bit(buf, 16), std::logic_error);
+  EXPECT_THROW(set_bit(buf, 16, true), std::logic_error);
+  EXPECT_THROW(flip_bit(buf, 99), std::logic_error);
+}
+
+TEST(BitUtil, Popcount) {
+  std::vector<std::uint8_t> buf = {0xFF, 0x0F, 0x00, 0x01};
+  EXPECT_EQ(popcount(buf), 13u);
+}
+
+TEST(BitUtil, HammingDistance) {
+  std::vector<std::uint8_t> a = {0xFF, 0x00};
+  std::vector<std::uint8_t> b = {0x0F, 0x01};
+  EXPECT_EQ(hamming_distance(a, b), 5u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+  std::vector<std::uint8_t> c = {0x00};
+  EXPECT_THROW(hamming_distance(a, c), std::logic_error);
+}
+
+TEST(BitUtil, PackUnpackRoundtrip) {
+  std::vector<bool> bits = {true, false, true, true, false, false, true,
+                            false, true, true, true};
+  const auto bytes = pack_bits(bits);
+  EXPECT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(unpack_bits(bytes, bits.size()), bits);
+}
+
+// Property sweep over every int8 code and bit position.
+class Int8BitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Int8BitProperty, FlipDeltaMatchesValueChange) {
+  const int bit = GetParam();
+  for (int code = -128; code <= 127; ++code) {
+    const auto w = static_cast<std::int8_t>(code);
+    const std::int8_t flipped = int8_flip_bit(w, bit);
+    EXPECT_EQ(int8_flip_delta(w, bit),
+              static_cast<int>(flipped) - static_cast<int>(w));
+    // Flipping twice restores the code.
+    EXPECT_EQ(int8_flip_bit(flipped, bit), w);
+    // The bit really toggled.
+    EXPECT_NE(int8_bit(w, bit), int8_bit(flipped, bit));
+    // Magnitude of the change is exactly 2^bit.
+    EXPECT_EQ(std::abs(int8_flip_delta(w, bit)), 1 << bit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Int8BitProperty, ::testing::Range(0, 8));
+
+TEST(BitUtil, SignBitFlipSemantics) {
+  EXPECT_EQ(int8_flip_delta(std::int8_t{0}, 7), -128);
+  EXPECT_EQ(int8_flip_delta(std::int8_t{-128}, 7), 128);
+  EXPECT_EQ(int8_flip_bit(std::int8_t{127}, 7), std::int8_t{-1});
+}
+
+}  // namespace
+}  // namespace rowpress

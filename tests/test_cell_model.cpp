@@ -1,0 +1,132 @@
+#include "dram/cell_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rowpress::dram {
+namespace {
+
+Geometry geom() {
+  Geometry g;
+  g.num_banks = 2;
+  g.rows_per_bank = 256;
+  g.row_bytes = 512;
+  return g;
+}
+
+TEST(CellModel, DensitiesNearCalibration) {
+  const CellModelParams p;  // library defaults
+  CellModel cm(geom(), p, 11);
+  const auto st = cm.stats();
+  const double bits = static_cast<double>(geom().total_bits());
+  EXPECT_NEAR((st.rh_only + st.both) / bits, p.rh_density,
+              0.25 * p.rh_density);
+  EXPECT_NEAR((st.rp_only + st.both) / bits, p.rp_density,
+              0.25 * p.rp_density);
+}
+
+TEST(CellModel, OverlapBelowHalfPercentOfUnion) {
+  // Paper Sec. II: RowHammer- and RowPress-vulnerable cells overlap <0.5 %.
+  CellModel cm(geom(), CellModelParams{}, 12);
+  const auto st = cm.stats();
+  EXPECT_LT(st.overlap_fraction(), 0.005);
+  EXPECT_GT(st.both, 0);  // but the overlap is not empty
+}
+
+TEST(CellModel, OppositeDominantDirectionality) {
+  CellModel cm(geom(), CellModelParams{}, 13);
+  std::int64_t rh_1to0 = 0, rh_total = 0, rp_0to1 = 0, rp_total = 0;
+  for (int b = 0; b < geom().num_banks; ++b) {
+    for (const auto& [pos, cell] : cm.bank_cells(b)) {
+      if (cell.mechanism == Mechanism::kRowHammer) {
+        ++rh_total;
+        rh_1to0 += cell.direction == FlipDirection::kOneToZero;
+      } else if (cell.mechanism == Mechanism::kRowPress) {
+        ++rp_total;
+        rp_0to1 += cell.direction == FlipDirection::kZeroToOne;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(rh_1to0) / rh_total, 0.8, 0.05);
+  EXPECT_NEAR(static_cast<double>(rp_0to1) / rp_total, 0.8, 0.05);
+}
+
+TEST(CellModel, DeterministicBySeed) {
+  CellModel a(geom(), CellModelParams{}, 42);
+  CellModel b(geom(), CellModelParams{}, 42);
+  CellModel c(geom(), CellModelParams{}, 43);
+  EXPECT_EQ(a.stats().total(), b.stats().total());
+  ASSERT_FALSE(a.bank_cells(0).empty());
+  const auto& [pos, cell] = *a.bank_cells(0).begin();
+  const auto* other = b.find(CellAddress{0, static_cast<int>(pos / geom().row_bits()),
+                                         pos % geom().row_bits()});
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->hc_threshold, cell.hc_threshold);
+  EXPECT_NE(a.stats().total(), 0);
+  EXPECT_NE(a.stats().total(), c.stats().total());  // different chip instance
+}
+
+TEST(CellModel, ThresholdsRespectMinimums) {
+  const CellModelParams p;
+  CellModel cm(geom(), p, 14);
+  for (int b = 0; b < geom().num_banks; ++b) {
+    for (const auto& [pos, cell] : cm.bank_cells(b)) {
+      if (cell.rowhammer_susceptible()) {
+        EXPECT_GE(cell.hc_threshold, p.rh_min_threshold);
+      }
+      if (cell.rowpress_susceptible()) {
+        EXPECT_GE(cell.press_threshold_ns, p.rp_min_threshold_ns);
+      }
+    }
+  }
+}
+
+TEST(CellModel, BothCellsCarryBothThresholds) {
+  CellModel cm(geom(), CellModelParams{}, 15);
+  for (int b = 0; b < geom().num_banks; ++b) {
+    for (const auto& [pos, cell] : cm.bank_cells(b)) {
+      if (cell.mechanism == Mechanism::kBoth) {
+        EXPECT_GT(cell.hc_threshold, 0u);
+        EXPECT_GT(cell.press_threshold_ns, 0.0);
+      }
+    }
+  }
+}
+
+TEST(CellModel, CellsInRowMatchesMap) {
+  CellModel cm(geom(), CellModelParams{}, 16);
+  std::int64_t via_rows = 0;
+  for (int b = 0; b < geom().num_banks; ++b)
+    for (int r = 0; r < geom().rows_per_bank; ++r) {
+      const auto cells = cm.cells_in_row(b, r);
+      via_rows += static_cast<std::int64_t>(cells.size());
+      for (const auto& [bit, cell] : cells) {
+        EXPECT_GE(bit, 0);
+        EXPECT_LT(bit, geom().row_bits());
+        EXPECT_EQ(cm.find(CellAddress{b, r, bit}), cell);
+      }
+    }
+  EXPECT_EQ(via_rows, cm.stats().total());
+}
+
+TEST(CellModel, ResetRowDisturbanceClearsAccumulators) {
+  CellModel cm(geom(), CellModelParams{}, 17);
+  ASSERT_FALSE(cm.bank_cells(0).empty());
+  auto& [pos, cell] = *cm.bank_cells(0).begin();
+  const int row = static_cast<int>(pos / geom().row_bits());
+  cell.hammer_accum = 500;
+  cell.press_accum_ns = 1e6;
+  cm.reset_row_disturbance(0, row);
+  EXPECT_EQ(cell.hammer_accum, 0u);
+  EXPECT_EQ(cell.press_accum_ns, 0.0);
+}
+
+TEST(CellModel, RejectsInsaneDensities) {
+  CellModelParams p;
+  p.rh_density = 0.9;
+  EXPECT_THROW(CellModel(geom(), p, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rowpress::dram

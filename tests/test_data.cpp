@@ -1,0 +1,136 @@
+#include "data/speech_synth.h"
+#include "data/vision_synth.h"
+
+#include <gtest/gtest.h>
+
+namespace rowpress::data {
+namespace {
+
+TEST(VisionSynth, ShapesSizesAndLabels) {
+  VisionSynthConfig cfg;
+  cfg.num_classes = 5;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 8;
+  const SplitDataset ds = make_vision_dataset(cfg);
+  EXPECT_EQ(ds.train.size(), 100);
+  EXPECT_EQ(ds.test.size(), 40);
+  EXPECT_EQ(ds.train.inputs.shape(),
+            (std::vector<int>{100, 1, cfg.image_size, cfg.image_size}));
+  EXPECT_EQ(ds.train.num_classes, 5);
+  EXPECT_NEAR(ds.train.random_guess_accuracy(), 0.2, 1e-12);
+  for (const int label : ds.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+}
+
+TEST(VisionSynth, DeterministicBySeedDistinctAcrossSeeds) {
+  const SplitDataset a = make_vision_dataset(vision10_config());
+  const SplitDataset b = make_vision_dataset(vision10_config());
+  ASSERT_EQ(a.train.inputs.numel(), b.train.inputs.numel());
+  for (std::int64_t i = 0; i < 1000; ++i)
+    EXPECT_EQ(a.train.inputs[i], b.train.inputs[i]);
+
+  VisionSynthConfig other = vision10_config();
+  other.seed = 999;
+  const SplitDataset c = make_vision_dataset(other);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < 1000; ++i)
+    if (a.train.inputs[i] != c.train.inputs[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(VisionSynth, ClassesAreLearnableByNearestCentroid) {
+  // A trivial nearest-centroid classifier must beat chance by a wide
+  // margin, otherwise the dataset cannot play ImageNet's role.
+  const SplitDataset ds = make_vision_dataset(vision10_config());
+  const int classes = ds.train.num_classes;
+  const std::int64_t dim = ds.train.inputs.numel() / ds.train.size();
+  std::vector<std::vector<double>> centroid(
+      static_cast<std::size_t>(classes),
+      std::vector<double>(static_cast<std::size_t>(dim), 0.0));
+  std::vector<int> counts(static_cast<std::size_t>(classes), 0);
+  for (int i = 0; i < ds.train.size(); ++i) {
+    const int c = ds.train.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(c)];
+    for (std::int64_t j = 0; j < dim; ++j)
+      centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] +=
+          ds.train.inputs[i * dim + j];
+  }
+  for (int c = 0; c < classes; ++c)
+    for (std::int64_t j = 0; j < dim; ++j)
+      centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] /=
+          counts[static_cast<std::size_t>(c)];
+
+  int correct = 0;
+  for (int i = 0; i < ds.test.size(); ++i) {
+    int best = 0;
+    double best_d = 1e300;
+    for (int c = 0; c < classes; ++c) {
+      double d = 0.0;
+      for (std::int64_t j = 0; j < dim; ++j) {
+        const double diff =
+            ds.test.inputs[i * dim + j] -
+            centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        d += diff * diff;
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    correct += best == ds.test.labels[static_cast<std::size_t>(i)];
+  }
+  const double acc = static_cast<double>(correct) / ds.test.size();
+  EXPECT_GT(acc, 3.0 * ds.test.random_guess_accuracy());
+}
+
+TEST(SpeechSynth, ShapesAndPaperClassCount) {
+  const SplitDataset ds = make_speech_dataset();
+  EXPECT_EQ(ds.train.num_classes, 35);  // 1/35 = 2.86 % random guess
+  EXPECT_NEAR(ds.train.random_guess_accuracy() * 100.0, 2.86, 0.01);
+  EXPECT_EQ(ds.train.inputs.ndim(), 3);
+  EXPECT_EQ(ds.train.inputs.dim(1), 1);
+  EXPECT_EQ(ds.train.inputs.dim(2), 256);
+  EXPECT_EQ(ds.train.size(), 35 * 90);
+  EXPECT_EQ(ds.test.size(), 35 * 30);
+}
+
+TEST(SpeechSynth, WaveformsBoundedAndNonDegenerate) {
+  const SplitDataset ds = make_speech_dataset();
+  double max_abs = 0.0;
+  for (std::int64_t i = 0; i < ds.train.inputs.numel(); ++i)
+    max_abs = std::max(max_abs,
+                       static_cast<double>(std::abs(ds.train.inputs[i])));
+  EXPECT_GT(max_abs, 0.5);
+  EXPECT_LT(max_abs, 10.0);
+}
+
+TEST(Batcher, CoversEveryIndexOncePerEpoch) {
+  Rng rng(5);
+  Batcher b(25, 8, rng);
+  EXPECT_EQ(b.batches_per_epoch(), 4);
+  std::vector<int> seen(25, 0);
+  for (int i = 0; i < 4; ++i)
+    for (const int idx : b.next()) ++seen[static_cast<std::size_t>(idx)];
+  for (const int s : seen) EXPECT_EQ(s, 1);
+  // Next epoch reshuffles and starts over.
+  EXPECT_EQ(b.next().size(), 8u);
+}
+
+TEST(GatherHelpers, CopyRowsAndValidate) {
+  const SplitDataset ds = make_vision_dataset(vision10_config());
+  const std::vector<int> idx = {3, 0, 7};
+  const nn::Tensor batch = gather_inputs(ds.train, idx);
+  EXPECT_EQ(batch.dim(0), 3);
+  const std::int64_t row = ds.train.inputs.numel() / ds.train.size();
+  for (std::int64_t j = 0; j < row; ++j)
+    EXPECT_EQ(batch[j], ds.train.inputs[3 * row + j]);
+  const auto labels = gather_labels(ds.train, idx);
+  EXPECT_EQ(labels[1], ds.train.labels[0]);
+  EXPECT_THROW(gather_inputs(ds.train, {-1}), std::logic_error);
+  EXPECT_THROW(gather_labels(ds.train, {ds.train.size()}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rowpress::data

@@ -1,0 +1,191 @@
+#include "defense/graphene.h"
+#include "defense/hydra.h"
+#include "defense/mac_counter.h"
+#include "defense/para.h"
+#include "defense/trr.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+#include "test_util.h"
+
+namespace rowpress::defense {
+namespace {
+
+using dram::Device;
+using dram::MemoryController;
+using dram::RowHammerAttacker;
+using dram::RowPressAttacker;
+using testutil::dense_device_config;
+
+constexpr int kRows = 64;
+
+template <typename Defense>
+std::size_t hammer_flips_under(Defense& defense, std::uint64_t seed,
+                               std::int64_t hammer_count = 60000) {
+  Device dev(dense_device_config(seed));
+  MemoryController ctrl(dev);
+  ctrl.attach_defense(&defense);
+  RowHammerAttacker attacker({.hammer_count = hammer_count});
+  return attacker.run(ctrl, 0, 20).flip_count();
+}
+
+template <typename Defense>
+std::size_t press_flips_under(Defense& defense, std::uint64_t seed) {
+  Device dev(dense_device_config(seed));
+  MemoryController ctrl(dev);
+  ctrl.attach_defense(&defense);
+  RowPressAttacker attacker({.open_ns = 64.0e6});
+  return attacker.run(ctrl, 0, 20).flip_count();
+}
+
+TEST(MacCounter, BlocksRowHammer) {
+  MacCounterDefense none_needed(1 << 30, kRows);  // effectively disabled
+  EXPECT_GT(hammer_flips_under(none_needed, 31), 0u);
+
+  MacCounterDefense defense(256, kRows);
+  EXPECT_EQ(hammer_flips_under(defense, 31), 0u);
+  EXPECT_GT(defense.stats().alarms, 0);
+  EXPECT_GT(defense.stats().nrrs_issued, 0);
+}
+
+TEST(MacCounter, CannotSeeRowPress) {
+  // Sec. III: RowPress's single activation never reaches any counter
+  // threshold, so the defense stays silent and the flips go through.
+  MacCounterDefense defense(256, kRows);
+  EXPECT_GT(press_flips_under(defense, 32), 0u);
+  EXPECT_EQ(defense.stats().alarms, 0);
+  // The whole attack is a handful of ACTs (pattern writes, one press, the
+  // read-back) — nothing a counter could ever trigger on.
+  EXPECT_LE(defense.stats().observed_acts, 8);
+}
+
+TEST(MacCounter, CountsPerRow) {
+  MacCounterDefense defense(1000, kRows);
+  for (int i = 0; i < 5; ++i) (void)defense.on_activate(0, 7, 0.0);
+  (void)defense.on_activate(1, 7, 0.0);
+  EXPECT_EQ(defense.count(0, 7), 5);
+  EXPECT_EQ(defense.count(1, 7), 1);
+  EXPECT_EQ(defense.count(0, 8), 0);
+}
+
+TEST(Trr, BlocksRowHammerButNotRowPress) {
+  TrrDefense defense(4, 256, kRows);
+  EXPECT_EQ(hammer_flips_under(defense, 33), 0u);
+  EXPECT_GT(defense.stats().alarms, 0);
+
+  TrrDefense fresh(4, 256, kRows);
+  EXPECT_GT(press_flips_under(fresh, 34), 0u);
+  EXPECT_EQ(fresh.stats().alarms, 0);
+}
+
+TEST(Trr, TracksHottestRowsInSmallTable) {
+  TrrDefense defense(3, 10, kRows);
+  // Rows 3 and 5 are hot; row 7 appears once and must not trigger.
+  std::vector<dram::NrrRequest> nrrs;
+  for (int i = 0; i < 9; ++i) {
+    (void)defense.on_activate(0, 3, 0.0);
+    (void)defense.on_activate(0, 5, 0.0);
+  }
+  (void)defense.on_activate(0, 7, 0.0);
+  EXPECT_EQ(defense.stats().alarms, 0);
+  nrrs = defense.on_activate(0, 3, 0.0);  // 10th hit fires
+  ASSERT_EQ(nrrs.size(), 2u);
+  EXPECT_EQ(nrrs[0].row, 2);
+  EXPECT_EQ(nrrs[1].row, 4);
+}
+
+TEST(Graphene, MisraGriesGuaranteeBlocksRowHammer) {
+  GrapheneDefense defense(8, 256, 64.0e6, kRows);
+  EXPECT_EQ(hammer_flips_under(defense, 35), 0u);
+  EXPECT_GT(defense.stats().alarms, 0);
+}
+
+TEST(Graphene, CannotSeeRowPress) {
+  GrapheneDefense defense(8, 256, 64.0e6, kRows);
+  EXPECT_GT(press_flips_under(defense, 36), 0u);
+  EXPECT_EQ(defense.stats().alarms, 0);
+}
+
+TEST(Graphene, SurvivesDecoyRowsViaSpillover) {
+  // Many one-off decoy activations must not evict a persistently hot row's
+  // count below detection (the Misra–Gries guarantee).
+  GrapheneDefense defense(4, 50, 1e12, kRows);
+  std::int64_t alarms_before = defense.stats().alarms;
+  int decoy = 0;
+  for (int i = 0; i < 49; ++i) {
+    (void)defense.on_activate(0, 10, 0.0);
+    // 5 distinct decoys between every hot-row hit.
+    for (int d = 0; d < 5; ++d)
+      (void)defense.on_activate(0, 12 + (decoy++ % 40), 0.0);
+  }
+  (void)defense.on_activate(0, 10, 0.0);
+  EXPECT_GT(defense.stats().alarms, alarms_before);
+}
+
+TEST(Para, ProbabilisticallyBlocksRowHammer) {
+  ParaDefense defense(0.02, kRows, 77);
+  // With p=0.02 the victim is refreshed every ~25 adjacent ACTs on
+  // average; a quiet run of 1000 ACTs (the minimum cell threshold) has
+  // probability ~e^-40.
+  EXPECT_EQ(hammer_flips_under(defense, 37), 0u);
+  EXPECT_GT(defense.stats().nrrs_issued, 0);
+}
+
+TEST(Para, AlmostSurelyMissesRowPress) {
+  // PARA samples on ACT, before the long open window does its damage, so
+  // the press goes through regardless of the coin.
+  ParaDefense defense(0.02, kRows, 78);
+  EXPECT_GT(press_flips_under(defense, 38), 0u);
+}
+
+TEST(Para, ProbabilityOneRefreshesEveryNeighbor) {
+  ParaDefense defense(1.0, kRows, 79);
+  const auto nrrs = defense.on_activate(0, 5, 0.0);
+  EXPECT_EQ(nrrs.size(), 2u);
+}
+
+TEST(Hydra, BlocksRowHammerButNotRowPress) {
+  HydraDefense defense(16, 0.5, 256, kRows);
+  EXPECT_EQ(hammer_flips_under(defense, 41), 0u);
+  EXPECT_GT(defense.stats().alarms, 0);
+  EXPECT_GT(defense.promoted_groups(), 0u);
+
+  HydraDefense fresh(16, 0.5, 256, kRows);
+  EXPECT_GT(press_flips_under(fresh, 42), 0u);
+  EXPECT_EQ(fresh.stats().alarms, 0);
+  EXPECT_EQ(fresh.promoted_groups(), 0u);  // a single ACT promotes nothing
+}
+
+TEST(Hydra, GroupPromotionIsLazy) {
+  HydraDefense defense(8, 0.5, 100, kRows);
+  // 49 activations of one row: below the 50-ACT promotion point.
+  for (int i = 0; i < 49; ++i) (void)defense.on_activate(0, 10, 0.0);
+  EXPECT_EQ(defense.promoted_groups(), 0u);
+  // The 50th promotes the whole 8-row group.
+  (void)defense.on_activate(0, 10, 0.0);
+  EXPECT_EQ(defense.promoted_groups(), 1u);
+  EXPECT_EQ(defense.stats().alarms, 0);
+}
+
+TEST(Hydra, PromotedCountersStartConservative) {
+  HydraDefense defense(8, 0.5, 100, kRows);
+  for (int i = 0; i < 50; ++i) (void)defense.on_activate(0, 10, 0.0);
+  ASSERT_EQ(defense.promoted_groups(), 1u);
+  // After promotion at count 50, 50 more ACTs on a *sibling* row must also
+  // alarm (its counter inherited the group upper bound).
+  std::vector<dram::NrrRequest> nrrs;
+  for (int i = 0; i < 50 && nrrs.empty(); ++i)
+    nrrs = defense.on_activate(0, 11, 0.0);
+  EXPECT_FALSE(nrrs.empty());
+}
+
+TEST(DefenseStats, NeighborNrrsAtEdges) {
+  EXPECT_EQ(neighbor_nrrs(0, 0, kRows).size(), 1u);
+  EXPECT_EQ(neighbor_nrrs(0, kRows - 1, kRows).size(), 1u);
+  EXPECT_EQ(neighbor_nrrs(0, 5, kRows).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rowpress::defense

@@ -1,0 +1,183 @@
+#include "ecc/secded.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace rowpress::ecc {
+namespace {
+
+TEST(Secded, CleanRoundtrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    const std::uint8_t check = Secded7264::encode(data);
+    const auto r = Secded7264::decode(data, check);
+    EXPECT_EQ(r.status, DecodeStatus::kClean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+// Property: every possible single-bit error — any of the 64 data bits or
+// any of the 8 check bits — is corrected back to the original data.
+class SecdedSingleError : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecdedSingleError, IsCorrected) {
+  const int bit = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bit) + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t data = rng.next_u64();
+    const std::uint8_t check = Secded7264::encode(data);
+    std::uint64_t bad_data = data;
+    std::uint8_t bad_check = check;
+    if (bit < 64)
+      bad_data ^= std::uint64_t{1} << bit;
+    else
+      bad_check = static_cast<std::uint8_t>(bad_check ^ (1u << (bit - 64)));
+    const auto r = Secded7264::decode(bad_data, bad_check);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "bit " << bit;
+    EXPECT_EQ(r.data, data) << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleError,
+                         ::testing::Range(0, 72));
+
+TEST(Secded, DoubleErrorsAreDetectedNotMiscorrected) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t data = rng.next_u64();
+    const std::uint8_t check = Secded7264::encode(data);
+    const int b1 = static_cast<int>(rng.uniform_u64(64));
+    int b2 = static_cast<int>(rng.uniform_u64(64));
+    while (b2 == b1) b2 = static_cast<int>(rng.uniform_u64(64));
+    const std::uint64_t bad =
+        data ^ (std::uint64_t{1} << b1) ^ (std::uint64_t{1} << b2);
+    const auto r = Secded7264::decode(bad, check);
+    EXPECT_EQ(r.status, DecodeStatus::kDetectedDouble);
+  }
+}
+
+TEST(Secded, TripleErrorsAliasToSilentMiscorrection) {
+  // The classic SECDED failure mode the ECC-bypass attack exploits: three
+  // flips have odd parity and a nonzero syndrome, so the decoder "corrects"
+  // something and reports success while the data stays wrong.
+  Rng rng(6);
+  int miscorrected = 0, trials = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t data = rng.next_u64();
+    const std::uint8_t check = Secded7264::encode(data);
+    int bits[3];
+    bits[0] = static_cast<int>(rng.uniform_u64(64));
+    do {
+      bits[1] = static_cast<int>(rng.uniform_u64(64));
+    } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<int>(rng.uniform_u64(64));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    std::uint64_t bad = data;
+    for (const int b : bits) bad ^= std::uint64_t{1} << b;
+    const auto r = Secded7264::decode(bad, check);
+    ++trials;
+    if (r.status == DecodeStatus::kCorrected && r.data != data)
+      ++miscorrected;
+  }
+  // The vast majority of triples must pass as "corrected" but wrong.
+  EXPECT_GT(miscorrected, trials * 8 / 10);
+}
+
+TEST(EccMemory, WriteScrubRoundtripAndValidation) {
+  dram::Device dev(testutil::small_device_config(31));
+  EccMemory mem(dev, /*data_base=*/0, /*data_bytes=*/1024,
+                /*check_base=*/4096);
+  Rng rng(2);
+  std::vector<std::uint8_t> data(1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  mem.write(data);
+
+  EccMemory::ScrubStats stats;
+  EXPECT_EQ(mem.scrubbed_read(&stats), data);
+  EXPECT_EQ(stats.words_clean, 128);
+  EXPECT_EQ(stats.words_corrected, 0);
+
+  EXPECT_THROW(EccMemory(dev, 0, 7, 4096), std::logic_error);
+  EXPECT_THROW(EccMemory(dev, 0, 1024, 512), std::logic_error);  // overlap
+}
+
+TEST(EccMemory, SingleFlipPerWordIsScrubbedAway) {
+  dram::Device dev(testutil::small_device_config(32));
+  EccMemory mem(dev, 0, 1024, 4096);
+  std::vector<std::uint8_t> data(1024, 0xA5);
+  mem.write(data);
+
+  // Attacker-style corruption: one bit in each of 5 different words.
+  for (const std::int64_t word : {0, 17, 40, 77, 127})
+    dev.set_bit(word * 64 + 5, false);
+
+  EccMemory::ScrubStats stats;
+  const auto read = mem.scrubbed_read(&stats);
+  EXPECT_EQ(read, data);  // fully repaired
+  EXPECT_EQ(stats.words_corrected, 5);
+  EXPECT_EQ(stats.words_detected, 0);
+
+  // The scrub also repaired DRAM itself.
+  EccMemory::ScrubStats again;
+  (void)mem.scrubbed_read(&again);
+  EXPECT_EQ(again.words_corrected, 0);
+  EXPECT_EQ(again.words_clean, 128);
+}
+
+TEST(EccMemory, DoubleFlipInOneWordIsDetected) {
+  dram::Device dev(testutil::small_device_config(33));
+  EccMemory mem(dev, 0, 1024, 4096);
+  std::vector<std::uint8_t> data(1024, 0x00);
+  mem.write(data);
+  dev.set_bit(3 * 64 + 10, true);
+  dev.set_bit(3 * 64 + 50, true);
+
+  EccMemory::ScrubStats stats;
+  (void)mem.scrubbed_read(&stats);
+  EXPECT_EQ(stats.words_detected, 1);
+  EXPECT_EQ(stats.words_corrected, 0);
+}
+
+TEST(EccMemory, TripleFlipSlipsThroughSilently) {
+  dram::Device dev(testutil::small_device_config(34));
+  EccMemory mem(dev, 0, 1024, 4096);
+  std::vector<std::uint8_t> data(1024, 0x00);
+  mem.write(data);
+  dev.set_bit(9 * 64 + 1, true);
+  dev.set_bit(9 * 64 + 22, true);
+  dev.set_bit(9 * 64 + 47, true);
+
+  EccMemory::ScrubStats stats;
+  const auto read = mem.scrubbed_read(&stats);
+  EXPECT_EQ(stats.words_detected, 0);
+  // The word decodes as "corrected" but its content is NOT the original.
+  bool corrupted = false;
+  for (int i = 0; i < 8; ++i)
+    if (read[static_cast<std::size_t>(9 * 8 + i)] != 0) corrupted = true;
+  EXPECT_TRUE(corrupted);
+  EXPECT_EQ(stats.words_corrected, 1);
+}
+
+TEST(EccMemory, CheckRegionIsAlsoAttackable) {
+  // Flipping a stored check bit is corrected like any single error; the
+  // data survives.
+  dram::Device dev(testutil::small_device_config(35));
+  EccMemory mem(dev, 0, 1024, 4096);
+  std::vector<std::uint8_t> data(1024, 0x3C);
+  mem.write(data);
+  // Flip bit 3 of word 12's stored check byte (invert whatever is there).
+  const std::int64_t check_bit = 4096 * 8 + 12 * 8 + 3;
+  dev.set_bit(check_bit, !dev.get_bit(check_bit));
+
+  EccMemory::ScrubStats stats;
+  EXPECT_EQ(mem.scrubbed_read(&stats), data);
+  EXPECT_EQ(stats.words_corrected, 1);
+}
+
+}  // namespace
+}  // namespace rowpress::ecc

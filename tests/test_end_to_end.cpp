@@ -1,0 +1,143 @@
+// Integration test of the paper's full pipeline on a small scale:
+// profile the chip -> train + quantize a model -> map its weight image into
+// DRAM -> run the DRAM-profile-aware search -> physically inject the chosen
+// flips with RowPress -> read the image back and confirm the deployed model
+// really is broken.
+#include <gtest/gtest.h>
+
+#include "attack/bfa.h"
+#include "attack/profile_aware_bfa.h"
+#include "attack/runner.h"
+#include "data/vision_synth.h"
+#include "exp/experiment.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "models/resnet.h"
+#include "profile/profiler.h"
+#include "test_util.h"
+
+namespace rowpress {
+namespace {
+
+TEST(EndToEnd, ProfileSearchInjectVerify) {
+  // A denser-than-default chip keeps this test quick while exercising the
+  // identical code path as the paper-scale benches.
+  dram::DeviceConfig chip_cfg = testutil::small_device_config(321);
+  chip_cfg.geometry.rows_per_bank = 128;
+  chip_cfg.cells.rh_density = 0.004;
+  chip_cfg.cells.rp_density = 0.012;
+  dram::Device device(chip_cfg);
+
+  // 1. Profile (attacker's step one, Sec. VI).
+  profile::Profiler profiler;
+  const auto c_rp = profiler.profile_rowpress(device);
+  ASSERT_GT(c_rp.size(), 100u);
+
+  // 2. Train + quantize the victim model.
+  data::VisionSynthConfig data_cfg;
+  data_cfg.num_classes = 4;
+  data_cfg.train_per_class = 60;
+  data_cfg.test_per_class = 25;
+  const auto data = data::make_vision_dataset(data_cfg);
+  Rng rng(5);
+  // A deep victim (the attack exploits deep-cascade amplification).
+  auto model_ptr = models::make_resnet_cifar(20, 1, 4, 6, rng);
+  nn::Module& model = *model_ptr;
+  models::TrainRecipe recipe{.epochs = 3, .batch_size = 32, .lr = 2e-3,
+                             .weight_decay = 1e-4};
+  const auto stats = exp::train_classifier(model, data, recipe, rng);
+  ASSERT_GT(stats.test_accuracy, 0.6);
+  const nn::ModelState trained = nn::snapshot_state(model);
+  nn::QuantizedModel qmodel(model);
+
+  // 3. Deploy: write the weight image into DRAM.
+  attack::WeightDramMapping mapping(device.geometry(),
+                                    qmodel.total_weight_bytes(), rng);
+  const auto image = qmodel.pack_weight_image();
+  device.write_bytes(mapping.base_byte(), image);
+
+  // 4. Profile-aware search for vulnerable weight bits.
+  auto feasible = mapping.feasible_bits(qmodel, c_rp);
+  ASSERT_GT(feasible.size(), 10u);
+  attack::BfaConfig bfa_cfg;
+  bfa_cfg.max_flips = 40;
+  attack::ProgressiveBitFlipAttack bfa(bfa_cfg, rng);
+  const auto search = bfa.run_profile_aware(qmodel, feasible, data.test,
+                                            data.test);
+  ASSERT_GT(search.num_flips(), 0);
+
+  // 5. Physically inject each selected flip with RowPress on the device
+  // image (the search already mutated the in-memory qmodel; the device
+  // still holds the clean image).
+  dram::MemoryController ctrl(device);
+  attack::PhysicalBitFlipper flipper(ctrl);
+  for (const auto& flip : search.flips) {
+    const std::int64_t linear_bit =
+        mapping.linear_bit_for(qmodel.image_bit_offset(flip.ref));
+    const auto outcome = flipper.flip_via_rowpress(linear_bit, 64.0e6);
+    EXPECT_EQ(outcome.activations, 1);
+  }
+  // The profile is sound, so every selected cell must end up corrupted on
+  // hardware — flipped either by its own injection or pre-empted by a
+  // collateral flip from an earlier one (both corrupt the weight).
+  int corrupted_targets = 0;
+  for (const auto& flip : search.flips) {
+    const std::int64_t linear_bit =
+        mapping.linear_bit_for(qmodel.image_bit_offset(flip.ref));
+    const std::int64_t image_bit = mapping.image_bit_for(linear_bit);
+    const bool clean_bit = get_bit(image, static_cast<std::size_t>(image_bit));
+    corrupted_targets += device.get_bit(linear_bit) != clean_bit;
+  }
+  EXPECT_EQ(corrupted_targets, search.num_flips());
+
+  // 6. Read the corrupted image back into a freshly quantized model copy
+  // (what the victim inference service now computes with) and confirm the
+  // deployed accuracy collapsed.
+  const auto corrupted = device.read_bytes(mapping.base_byte(),
+                                           qmodel.total_weight_bytes());
+  EXPECT_GT(hamming_distance(image, corrupted), 0u);
+
+  nn::restore_state(model, trained);
+  nn::QuantizedModel deployed(model);  // identical deterministic quantization
+  EXPECT_EQ(deployed.pack_weight_image(), image);
+  deployed.load_weight_image(corrupted);
+  const double deployed_acc = exp::evaluate_accuracy(model, data.test);
+  EXPECT_LT(deployed_acc, stats.test_accuracy - 0.2);
+}
+
+TEST(EndToEnd, RunnerProducesPaperShapedComparison) {
+  // RowPress profile needs fewer flips than the RowHammer profile on the
+  // same trained model — Table I's qualitative claim, at test scale.
+  dram::DeviceConfig chip_cfg = testutil::small_device_config(77);
+  chip_cfg.geometry.rows_per_bank = 256;
+  dram::Device device(chip_cfg);
+  profile::Profiler profiler;
+  const auto c_rh = profiler.profile_rowhammer(device);
+  const auto c_rp = profiler.profile_rowpress(device);
+  ASSERT_GT(c_rp.size(), c_rh.size());
+
+  const auto zoo = models::model_zoo();
+  models::ModelSpec spec = models::find_model(zoo, "ResNet-20");
+  spec.recipe.epochs = 3;
+  const auto data = models::make_dataset(spec.dataset);
+  const auto prepared = exp::prepare_trained_model(spec, data, "", 3);
+  ASSERT_GT(prepared.stats.test_accuracy, 0.5);
+
+  attack::AttackRunSetup setup;
+  setup.seed = 9;
+  setup.bfa.max_flips = 80;
+  setup.bfa.eval_samples = 250;
+  const auto rh_result = attack::run_profile_attack(
+      spec, prepared.state, data, c_rh, device.geometry(), setup);
+  const auto rp_result = attack::run_profile_attack(
+      spec, prepared.state, data, c_rp, device.geometry(), setup);
+
+  EXPECT_TRUE(rp_result.objective_reached);
+  EXPECT_GT(rp_result.candidate_pool_size, rh_result.candidate_pool_size);
+  const int rh_flips =
+      rh_result.objective_reached ? rh_result.num_flips() : setup.bfa.max_flips;
+  EXPECT_LE(rp_result.num_flips(), rh_flips);
+}
+
+}  // namespace
+}  // namespace rowpress

@@ -1,0 +1,163 @@
+#include "exp/experiment.h"
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/vision_synth.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "test_util.h"
+
+namespace rowpress::exp {
+namespace {
+
+struct TempDir {
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("rp_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+data::SplitDataset tiny_vision() {
+  data::VisionSynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 60;
+  cfg.test_per_class = 25;
+  return data::make_vision_dataset(cfg);
+}
+
+std::unique_ptr<nn::Sequential> tiny_mlp(Rng& rng, int classes) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(144, 24, rng, true, "fc1");
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Linear>(24, classes, rng, true, "fc2");
+  return net;
+}
+
+TEST(Experiment, TrainClassifierBeatsChanceByALot) {
+  const auto data = tiny_vision();
+  Rng rng(1);
+  auto net = tiny_mlp(rng, 4);
+  models::TrainRecipe recipe{.epochs = 4, .batch_size = 32, .lr = 2e-3,
+                             .weight_decay = 1e-4};
+  const TrainStats stats = train_classifier(*net, data, recipe, rng);
+  EXPECT_GT(stats.test_accuracy, 0.6);
+  EXPECT_GT(stats.train_accuracy, stats.test_accuracy - 0.2);
+  EXPECT_LT(stats.final_train_loss, 1.2);
+}
+
+TEST(Experiment, EvaluateAccuracyPrefixAndBounds) {
+  const auto data = tiny_vision();
+  Rng rng(2);
+  auto net = tiny_mlp(rng, 4);
+  const double acc_full = evaluate_accuracy(*net, data.test);
+  const double acc_50 = evaluate_accuracy(*net, data.test, 16, 50);
+  EXPECT_GE(acc_full, 0.0);
+  EXPECT_LE(acc_full, 1.0);
+  EXPECT_GE(acc_50, 0.0);
+  EXPECT_LE(acc_50, 1.0);
+}
+
+TEST(Experiment, SnapshotRestoreRoundtripIncludesBuffers) {
+  Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(6, 6, rng, true, "fc");
+  net.emplace<nn::BatchNorm>(6, rng, 0.1, 1e-5, "bn");
+  net.set_training(true);
+  // Mutate buffers by running a forward pass.
+  net.forward(nn::Tensor::randn({8, 6}, rng));
+  const nn::ModelState st = nn::snapshot_state(net);
+  ASSERT_EQ(st.buffers.size(), 2u);
+
+  // Scramble everything, restore, verify.
+  for (nn::Param* p : net.parameters()) p->value.fill(7.0f);
+  for (nn::Tensor* b : net.buffers()) b->fill(9.0f);
+  nn::restore_state(net, st);
+  const nn::ModelState st2 = nn::snapshot_state(net);
+  for (std::size_t i = 0; i < st.params.size(); ++i)
+    for (std::int64_t j = 0; j < st.params[i].numel(); ++j)
+      EXPECT_EQ(st.params[i][j], st2.params[i][j]);
+  for (std::size_t i = 0; i < st.buffers.size(); ++i)
+    for (std::int64_t j = 0; j < st.buffers[i].numel(); ++j)
+      EXPECT_EQ(st.buffers[i][j], st2.buffers[i][j]);
+}
+
+TEST(Experiment, SaveLoadStateFileRoundtrip) {
+  TempDir tmp;
+  Rng rng(4);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(5, 3, rng, true, "fc");
+  const nn::ModelState st = nn::snapshot_state(net);
+  const std::string path = (tmp.path / "model.rpms").string();
+  nn::save_state(st, path);
+
+  nn::ModelState loaded;
+  ASSERT_TRUE(nn::load_state(loaded, path));
+  ASSERT_EQ(loaded.params.size(), st.params.size());
+  for (std::size_t i = 0; i < st.params.size(); ++i) {
+    ASSERT_EQ(loaded.params[i].shape(), st.params[i].shape());
+    for (std::int64_t j = 0; j < st.params[i].numel(); ++j)
+      EXPECT_EQ(loaded.params[i][j], st.params[i][j]);
+  }
+  // Missing and corrupt files are rejected, not crashed on.
+  EXPECT_FALSE(nn::load_state(loaded, (tmp.path / "nope.rpms").string()));
+  std::ofstream bad(tmp.path / "bad.rpms", std::ios::binary);
+  bad << "not a model";
+  bad.close();
+  EXPECT_FALSE(nn::load_state(loaded, (tmp.path / "bad.rpms").string()));
+}
+
+TEST(Experiment, PrepareTrainedModelUsesCache) {
+  TempDir tmp;
+  const auto zoo = models::model_zoo();
+  const auto& spec = models::find_model(zoo, "ResNet-20");
+  // Swap in a cheap recipe for the test.
+  models::ModelSpec quick = spec;
+  quick.recipe.epochs = 1;
+  const auto data = models::make_dataset(quick.dataset);
+
+  const PreparedModel first =
+      prepare_trained_model(quick, data, tmp.path.string(), 7);
+  EXPECT_FALSE(first.from_cache);
+  const PreparedModel second =
+      prepare_trained_model(quick, data, tmp.path.string(), 7);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_NEAR(first.stats.test_accuracy, second.stats.test_accuracy, 1e-9);
+
+  // A different seed trains fresh.
+  const PreparedModel third =
+      prepare_trained_model(quick, data, tmp.path.string(), 8);
+  EXPECT_FALSE(third.from_cache);
+}
+
+TEST(Experiment, ProfileCacheRoundtrip) {
+  TempDir tmp;
+  dram::Device dev(testutil::dense_device_config(61));
+  const ProfilePair fresh =
+      build_or_load_profiles(dev, tmp.path.string());
+  ASSERT_GT(fresh.rowhammer.size(), 0u);
+  ASSERT_GT(fresh.rowpress.size(), 0u);
+
+  dram::Device dev2(testutil::dense_device_config(61));
+  const ProfilePair cached =
+      build_or_load_profiles(dev2, tmp.path.string());
+  EXPECT_EQ(cached.rowhammer.size(), fresh.rowhammer.size());
+  EXPECT_EQ(cached.rowpress.overlap(fresh.rowpress), fresh.rowpress.size());
+}
+
+TEST(Experiment, DefaultChipConfigIsTableISized) {
+  const auto cfg = default_chip_config();
+  EXPECT_GE(cfg.geometry.total_bytes(), 1 << 20);
+  EXPECT_EQ(cfg.geometry.row_bytes, 1024);
+}
+
+}  // namespace
+}  // namespace rowpress::exp

@@ -1,0 +1,141 @@
+#include "dram/fault/rowhammer.h"
+#include "dram/fault/rowpress.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rowpress::dram {
+namespace {
+
+using testutil::dense_device_config;
+
+TEST(RowHammer, HighHammerCountInducesFlipsLowDoesNot) {
+  Device dev_low(dense_device_config(5)), dev_high(dense_device_config(5));
+  MemoryController ctrl_low(dev_low), ctrl_high(dev_high);
+
+  RowHammerAttacker weak({.hammer_count = 100});
+  RowHammerAttacker strong({.hammer_count = 60000});
+  const auto weak_result = weak.run(ctrl_low, 0, 20);
+  const auto strong_result = strong.run(ctrl_high, 0, 20);
+
+  EXPECT_EQ(weak_result.flip_count(), 0u);
+  EXPECT_GT(strong_result.flip_count(), 0u);
+  EXPECT_EQ(strong_result.activations, 2 * 60000);
+  EXPECT_GT(strong_result.elapsed_ns, 0.0);
+}
+
+TEST(RowHammer, FlipsMatchVictimPatternPolarity) {
+  Device dev(dense_device_config(6));
+  MemoryController ctrl(dev);
+  // Victim all 0s: detected flips must all read back 1 (0 -> 1).
+  RowHammerAttacker attacker({.aggressor_pattern = 0xFF,
+                              .victim_pattern = 0x00,
+                              .hammer_count = 120000});
+  const auto result = attacker.run(ctrl, 0, 30);
+  ASSERT_GT(result.flip_count(), 0u);
+  for (const auto& f : result.flips) {
+    EXPECT_TRUE(f.became);
+    EXPECT_EQ(f.row, 30);
+  }
+}
+
+TEST(RowHammer, FastPathMatchesCommandPath) {
+  const auto cfg = dense_device_config(7);
+  Device cmd_dev(cfg), fast_dev(cfg);
+  MemoryController ctrl(cmd_dev);
+  RowHammerAttacker attacker({.hammer_count = 30000});
+  const auto cmd_result = attacker.run(ctrl, 0, 22);
+  const auto fast_result = attacker.run_fast(fast_dev, 0, 22);
+  ASSERT_GT(cmd_result.flip_count(), 0u);
+  ASSERT_EQ(cmd_result.flip_count(), fast_result.flip_count());
+  for (std::size_t i = 0; i < cmd_result.flips.size(); ++i) {
+    EXPECT_EQ(cmd_result.flips[i].bit, fast_result.flips[i].bit);
+    EXPECT_EQ(cmd_result.flips[i].became, fast_result.flips[i].became);
+  }
+}
+
+TEST(RowHammer, SingleSidedWeakerThanDoubleSided) {
+  const auto cfg = dense_device_config(8);
+  Device d1(cfg), d2(cfg);
+  RowHammerAttacker single({.hammer_count = 8000, .double_sided = false});
+  RowHammerAttacker dbl({.hammer_count = 8000, .double_sided = true});
+  const auto r1 = single.run_fast(d1, 0, 25);
+  const auto r2 = dbl.run_fast(d2, 0, 25);
+  EXPECT_LE(r1.flip_count(), r2.flip_count());
+  EXPECT_EQ(r1.activations, 8000);
+  EXPECT_EQ(r2.activations, 16000);
+}
+
+TEST(RowPress, SingleLongActivationFlips) {
+  Device dev(dense_device_config(9));
+  MemoryController ctrl(dev);
+  RowPressAttacker attacker({.open_ns = 64.0e6});
+  const auto result = attacker.run(ctrl, 0, 20);
+  EXPECT_GT(result.flip_count(), 0u);
+  EXPECT_EQ(result.activations, 1);  // the defining property of RowPress
+  for (const auto& f : result.flips)
+    EXPECT_TRUE(f.row == 19 || f.row == 21);  // pattern rows X±1
+}
+
+TEST(RowPress, NominalTrasOpenCausesNothing) {
+  Device dev(dense_device_config(10));
+  MemoryController ctrl(dev);
+  RowPressAttacker attacker(
+      {.open_ns = dev.timing().tras_ns(), .press_count = 1});
+  const auto result = attacker.run(ctrl, 0, 20);
+  EXPECT_EQ(result.flip_count(), 0u);
+}
+
+TEST(RowPress, RepeatedPressesAccumulate) {
+  // 16 presses of 200 us reach cells a single 200 us press cannot.
+  const auto cfg = dense_device_config(11);
+  Device d1(cfg), d16(cfg);
+  RowPressAttacker once({.open_ns = 0.2e6, .press_count = 1});
+  RowPressAttacker many({.open_ns = 0.2e6, .press_count = 16});
+  const auto r1 = once.run_fast(d1, 0, 30);
+  const auto r16 = many.run_fast(d16, 0, 30);
+  EXPECT_GT(r16.flip_count(), r1.flip_count());
+}
+
+TEST(RowPress, FastPathMatchesCommandPath) {
+  const auto cfg = dense_device_config(12);
+  Device cmd_dev(cfg), fast_dev(cfg);
+  MemoryController ctrl(cmd_dev);
+  RowPressAttacker attacker({.open_ns = 32.0e6});
+  const auto cmd_result = attacker.run(ctrl, 0, 40);
+  const auto fast_result = attacker.run_fast(fast_dev, 0, 40);
+  ASSERT_GT(cmd_result.flip_count(), 0u);
+  ASSERT_EQ(cmd_result.flip_count(), fast_result.flip_count());
+}
+
+TEST(RowPress, EdgeRowHasSingleNeighbour) {
+  Device dev(dense_device_config(13));
+  RowPressAttacker attacker({.open_ns = 64.0e6});
+  const auto result = attacker.run_fast(dev, 0, 0);  // top edge
+  for (const auto& f : result.flips) EXPECT_EQ(f.row, 1);
+}
+
+TEST(FairComparison, RowPressOutflipsRowHammerAtEqualTime) {
+  // Takeaway 1, on the library's *default* calibration: at an equal time
+  // budget RowPress produces far more flips than RowHammer.
+  dram::DeviceConfig cfg;  // library-default cell model
+  cfg.geometry.num_banks = 1;
+  cfg.geometry.rows_per_bank = 128;
+  Device drh(cfg), drp(cfg);
+  const double budget_ns = 64.0e6;
+  const auto hc =
+      static_cast<std::int64_t>(cfg.timing.equivalent_hammer_count(budget_ns));
+
+  std::size_t rh_flips = 0, rp_flips = 0;
+  for (int victim = 4; victim < 124; victim += 4) {
+    RowHammerAttacker rh({.hammer_count = hc / 2});
+    rh_flips += rh.run_fast(drh, 0, victim).flip_count();
+    RowPressAttacker rp({.open_ns = budget_ns});
+    rp_flips += rp.run_fast(drp, 0, victim).flip_count();
+  }
+  EXPECT_GT(rp_flips, 5 * rh_flips);
+}
+
+}  // namespace
+}  // namespace rowpress::dram

@@ -1,0 +1,106 @@
+#include "attack/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "profile/profiler.h"
+#include "test_util.h"
+
+namespace rowpress::attack {
+namespace {
+
+using testutil::small_device_config;
+
+dram::Geometry geom() { return small_device_config().geometry; }
+
+TEST(WeightDramMapping, RandomPlacementIsRowAlignedAndInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    WeightDramMapping m(geom(), 1000, rng);
+    EXPECT_EQ(m.base_byte() % geom().row_bytes, 0);
+    EXPECT_GE(m.base_byte(), 0);
+    EXPECT_LE(m.base_byte() + m.image_bytes(), geom().total_bytes());
+  }
+}
+
+TEST(WeightDramMapping, FixedPlacementValidation) {
+  WeightDramMapping m(geom(), 100, std::int64_t{256});
+  EXPECT_EQ(m.base_byte(), 256);
+  EXPECT_THROW(WeightDramMapping(geom(), 100, std::int64_t{-1}),
+               std::logic_error);
+  EXPECT_THROW(
+      WeightDramMapping(geom(), 100, geom().total_bytes() - 50),
+      std::logic_error);
+  EXPECT_THROW(WeightDramMapping(geom(), geom().total_bytes() + 1,
+                                 std::int64_t{0}),
+               std::logic_error);
+}
+
+TEST(WeightDramMapping, BitAddressRoundtrip) {
+  WeightDramMapping m(geom(), 512, std::int64_t{1024});
+  for (const std::int64_t image_bit : {0L, 100L, 512L * 8 - 1}) {
+    const std::int64_t lin = m.linear_bit_for(image_bit);
+    EXPECT_TRUE(m.contains_linear_bit(lin));
+    EXPECT_EQ(m.image_bit_for(lin), image_bit);
+  }
+  EXPECT_FALSE(m.contains_linear_bit(1024 * 8 - 1));
+  EXPECT_FALSE(m.contains_linear_bit((1024 + 512) * 8));
+  EXPECT_THROW(m.linear_bit_for(512 * 8), std::logic_error);
+  EXPECT_THROW(m.image_bit_for(0), std::logic_error);
+}
+
+TEST(WeightDramMapping, FeasibleBitsIntersectProfileWithImage) {
+  Rng rng(2);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(16, 16, rng, false, "fc");
+  nn::QuantizedModel qm(net);
+  ASSERT_EQ(qm.total_weight_bytes(), 256);
+
+  WeightDramMapping m(geom(), 256, std::int64_t{512});
+  profile::BitFlipProfile prof("RowPress");
+  // One inside the image, one before, one after.
+  prof.add(512 * 8 + 100, dram::FlipDirection::kZeroToOne);
+  prof.add(100, dram::FlipDirection::kOneToZero);
+  prof.add((512 + 256) * 8 + 5, dram::FlipDirection::kOneToZero);
+
+  const auto feasible = m.feasible_bits(qm, prof);
+  ASSERT_EQ(feasible.size(), 1u);
+  EXPECT_EQ(feasible[0].linear_bit, 512 * 8 + 100);
+  EXPECT_EQ(feasible[0].direction, dram::FlipDirection::kZeroToOne);
+  EXPECT_EQ(feasible[0].ref.param_index, 0);
+  EXPECT_EQ(feasible[0].ref.weight_index, 100 / 8);
+  EXPECT_EQ(feasible[0].ref.bit, 100 % 8);
+}
+
+TEST(WeightDramMapping, FeasibleBitsRejectWrongImageSize) {
+  Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 4, rng, false, "fc");
+  nn::QuantizedModel qm(net);
+  WeightDramMapping m(geom(), 999, std::int64_t{0});
+  profile::BitFlipProfile prof("x");
+  EXPECT_THROW(m.feasible_bits(qm, prof), std::logic_error);
+}
+
+TEST(WeightDramMapping, DenseProfileYieldsExpectedCandidateVolume) {
+  // With the library-default cell model, a weight image should pick up
+  // roughly density * image_bits candidates from the RowPress profile.
+  dram::Device dev(testutil::small_device_config(77));
+  profile::Profiler profiler;
+  const auto rp = profiler.profile_rowpress(dev);
+
+  Rng rng(4);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(64, 64, rng, false, "fc");  // 4096-byte image
+  nn::QuantizedModel qm(net);
+  WeightDramMapping m(dev.geometry(), qm.total_weight_bytes(), rng);
+  const auto feasible = m.feasible_bits(qm, rp);
+  const double density = static_cast<double>(feasible.size()) /
+                         static_cast<double>(qm.total_weight_bytes() * 8);
+  EXPECT_GT(density, 0.003);
+  EXPECT_LT(density, 0.05);
+}
+
+}  // namespace
+}  // namespace rowpress::attack

@@ -1,0 +1,126 @@
+#include "models/zoo.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "models/deit.h"
+#include "models/m11.h"
+#include "models/resnet.h"
+#include "models/vmamba.h"
+
+namespace rowpress::models {
+namespace {
+
+TEST(Zoo, HasAllElevenPaperRows) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 11u);
+  const std::vector<std::string> expected = {
+      "ResNet-20", "ResNet-32", "ResNet-44", "ResNet-34",
+      "ResNet-50", "ResNet-101", "DeiT-T",   "DeiT-S",
+      "DeiT-B",    "VMamba-T",   "M11"};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(zoo[i].name, expected[i]);
+  EXPECT_EQ(zoo[0].paper_dataset, "CIFAR-10");
+  EXPECT_EQ(zoo[10].paper_dataset, "Google Speech Command");
+  // Table-I reference numbers present for the comparison report.
+  for (const auto& spec : zoo) {
+    EXPECT_GT(spec.paper_flips_rowhammer, 0);
+    EXPECT_GT(spec.paper_flips_rowpress, 0);
+    EXPECT_LT(spec.paper_flips_rowpress, spec.paper_flips_rowhammer)
+        << spec.name;
+  }
+}
+
+TEST(Zoo, FindModelByName) {
+  const auto zoo = model_zoo();
+  EXPECT_EQ(find_model(zoo, "DeiT-B").paper_flips_rowpress, 13);
+  EXPECT_THROW(find_model(zoo, "AlexNet"), std::logic_error);
+}
+
+TEST(Zoo, DatasetsMatchKinds) {
+  EXPECT_EQ(num_classes(DatasetKind::kVision10), 10);
+  EXPECT_EQ(num_classes(DatasetKind::kVision50), 50);
+  EXPECT_EQ(num_classes(DatasetKind::kSpeech35), 35);
+  const auto ds = make_dataset(DatasetKind::kSpeech35);
+  EXPECT_EQ(ds.train.num_classes, 35);
+}
+
+// Every zoo model must build, run forward with the right output arity, and
+// expose attackable weights.
+class ZooForward : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooForward, BuildsAndClassifies) {
+  const auto zoo = model_zoo();
+  const ModelSpec& spec = zoo[static_cast<std::size_t>(GetParam())];
+  Rng rng(1);
+  auto model = spec.factory(rng);
+  ASSERT_NE(model, nullptr);
+  EXPECT_GT(model->num_parameters(), 1000);
+
+  const auto ds = make_dataset(spec.dataset);
+  const nn::Tensor batch = data::gather_inputs(ds.test, {0, 1, 2});
+  model->set_training(false);
+  const nn::Tensor logits = model->forward(batch);
+  ASSERT_EQ(logits.ndim(), 2);
+  EXPECT_EQ(logits.dim(0), 3);
+  EXPECT_EQ(logits.dim(1), ds.test.num_classes);
+  for (std::int64_t i = 0; i < logits.numel(); ++i)
+    EXPECT_TRUE(std::isfinite(logits[i]));
+
+  int attackable = 0;
+  for (nn::Param* p : model->parameters()) attackable += p->attackable;
+  EXPECT_GT(attackable, 3) << "needs conv/linear weights to attack";
+
+  // Backward must run end-to-end (gradients for BFA).
+  nn::Tensor g(logits.shape(), 1.0f / 3.0f);
+  model->zero_grad();
+  model->forward(batch);
+  (void)model->backward(g);
+  bool any_grad = false;
+  for (nn::Param* p : model->parameters())
+    for (std::int64_t i = 0; i < p->grad.numel() && !any_grad; ++i)
+      if (p->grad[i] != 0.0f) any_grad = true;
+  EXPECT_TRUE(any_grad);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooForward, ::testing::Range(0, 11));
+
+TEST(Models, DepthOrderingHoldsWithinFamilies) {
+  Rng rng(2);
+  auto r20 = make_resnet_cifar(20, 1, 10, 8, rng);
+  auto r32 = make_resnet_cifar(32, 1, 10, 8, rng);
+  auto r44 = make_resnet_cifar(44, 1, 10, 8, rng);
+  EXPECT_LT(r20->num_parameters(), r32->num_parameters());
+  EXPECT_LT(r32->num_parameters(), r44->num_parameters());
+
+  auto r50 = make_resnet_bottleneck(50, 1, 50, 6, rng);
+  auto r101 = make_resnet_bottleneck(101, 1, 50, 6, rng);
+  EXPECT_LT(r50->num_parameters(), r101->num_parameters());
+
+  auto dt = make_deit(DeitSize::kTiny, 1, 12, 50, rng);
+  auto dsmall = make_deit(DeitSize::kSmall, 1, 12, 50, rng);
+  auto db = make_deit(DeitSize::kBase, 1, 12, 50, rng);
+  EXPECT_LT(dt->num_parameters(), dsmall->num_parameters());
+  EXPECT_LT(dsmall->num_parameters(), db->num_parameters());
+}
+
+TEST(Models, InvalidConfigsRejected) {
+  Rng rng(3);
+  EXPECT_THROW(make_resnet_cifar(21, 1, 10, 8, rng), std::logic_error);
+  EXPECT_THROW(make_resnet_bottleneck(34, 1, 10, 8, rng), std::logic_error);
+  EXPECT_THROW(make_deit(DeitSize::kTiny, 1, 13, 10, rng), std::logic_error);
+}
+
+TEST(Models, ParamNamesAreUnique) {
+  Rng rng(4);
+  auto model = make_resnet_cifar(20, 1, 10, 8, rng);
+  std::set<std::string> names;
+  for (nn::Param* p : model->parameters()) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate: " << p->name;
+  }
+}
+
+}  // namespace
+}  // namespace rowpress::models

@@ -1,0 +1,150 @@
+#include "nn/quant/qmodel.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "test_util.h"
+
+namespace rowpress::nn {
+namespace {
+
+TEST(Quantizer, RoundtripErrorBoundedByHalfScale) {
+  Rng rng(1);
+  const Tensor w = Tensor::randn({50, 20}, rng, 0.1f);
+  const QuantizationResult qr = quantize_symmetric(w);
+  Tensor deq = w;
+  dequantize_into(qr, deq);
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    EXPECT_LE(std::abs(deq[i] - w[i]), qr.scale * 0.5f + 1e-7f);
+}
+
+TEST(Quantizer, ScaleMapsMaxAbsTo127) {
+  Tensor w({3});
+  w[0] = -0.254f;
+  w[1] = 0.1f;
+  w[2] = 0.0f;
+  const QuantizationResult qr = quantize_symmetric(w);
+  EXPECT_NEAR(qr.scale, 0.254f / 127.0f, 1e-7);
+  EXPECT_EQ(qr.q[0], -127);
+  EXPECT_EQ(qr.q[2], 0);
+}
+
+TEST(Quantizer, AllZeroTensorHasUnitScale) {
+  const QuantizationResult qr = quantize_symmetric(Tensor({4}));
+  EXPECT_EQ(qr.scale, 1.0f);
+  for (const auto q : qr.q) EXPECT_EQ(q, 0);
+}
+
+class QModelTest : public ::testing::Test {
+ protected:
+  QModelTest() : rng_(3) {
+    net_.emplace<Linear>(8, 16, rng_, true, "fc1");
+    net_.emplace<ReLU>();
+    net_.emplace<Linear>(16, 4, rng_, true, "fc2");
+  }
+  Rng rng_;
+  Sequential net_;
+};
+
+TEST_F(QModelTest, QuantizesOnlyAttackableParams) {
+  QuantizedModel qm(net_);
+  EXPECT_EQ(qm.num_qparams(), 2u);  // two weight matrices, no biases
+  EXPECT_EQ(qm.total_weight_bytes(), 8 * 16 + 16 * 4);
+  // Float view now equals dequantized codes exactly.
+  const auto& qp = qm.qparams()[0];
+  for (std::int64_t i = 0; i < qp.num_weights(); ++i)
+    EXPECT_FLOAT_EQ(qp.param->value[i],
+                    static_cast<float>(qp.qr.q[static_cast<std::size_t>(i)]) *
+                        qp.qr.scale);
+}
+
+TEST_F(QModelTest, BitFlipUpdatesCodeAndFloatView) {
+  QuantizedModel qm(net_);
+  const WeightBitRef ref{0, 5, 6};
+  const std::int8_t code_before = qm.weight_code(0, 5);
+  const float value_before = qm.qparams()[0].param->value[5];
+  const float delta = qm.apply_bit_flip(ref);
+  EXPECT_NE(qm.weight_code(0, 5), code_before);
+  EXPECT_FLOAT_EQ(qm.qparams()[0].param->value[5], value_before + delta);
+  EXPECT_EQ(std::abs(static_cast<int>(qm.weight_code(0, 5)) - code_before),
+            64);  // bit 6
+  EXPECT_EQ(qm.flips_applied(), 1);
+  // XOR is self-inverse.
+  qm.apply_bit_flip(ref);
+  EXPECT_EQ(qm.weight_code(0, 5), code_before);
+  EXPECT_FLOAT_EQ(qm.qparams()[0].param->value[5], value_before);
+}
+
+TEST_F(QModelTest, GetBitMatchesCode) {
+  QuantizedModel qm(net_);
+  for (int b = 0; b < 8; ++b) {
+    const WeightBitRef ref{1, 7, b};
+    EXPECT_EQ(qm.get_bit(ref), int8_bit(qm.weight_code(1, 7), b));
+  }
+}
+
+TEST_F(QModelTest, ImageOffsetRoundtrip) {
+  QuantizedModel qm(net_);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t bit = static_cast<std::int64_t>(rng.uniform_u64(
+        static_cast<std::uint64_t>(qm.total_weight_bytes() * 8)));
+    const WeightBitRef ref = qm.bit_ref_from_image_offset(bit);
+    EXPECT_EQ(qm.image_bit_offset(ref), bit);
+  }
+  // Layer boundary: last bit of param 0 vs first bit of param 1.
+  const std::int64_t boundary = 8LL * 8 * 16;
+  EXPECT_EQ(qm.bit_ref_from_image_offset(boundary - 1).param_index, 0);
+  EXPECT_EQ(qm.bit_ref_from_image_offset(boundary).param_index, 1);
+  EXPECT_EQ(qm.bit_ref_from_image_offset(boundary).weight_index, 0);
+}
+
+TEST_F(QModelTest, PackLoadWeightImageRoundtrip) {
+  QuantizedModel qm(net_);
+  const auto image = qm.pack_weight_image();
+  EXPECT_EQ(static_cast<std::int64_t>(image.size()), qm.total_weight_bytes());
+
+  // Corrupt two bytes, load, and confirm codes + float view follow.
+  auto corrupted = image;
+  corrupted[3] ^= 0x80;
+  corrupted[200] ^= 0x01;
+  qm.load_weight_image(corrupted);
+  EXPECT_EQ(qm.pack_weight_image(), corrupted);
+  const auto& qp0 = qm.qparams()[0];
+  EXPECT_FLOAT_EQ(qp0.param->value[3],
+                  static_cast<float>(static_cast<std::int8_t>(corrupted[3])) *
+                      qp0.qr.scale);
+
+  // Restoring the original image restores the model exactly.
+  qm.load_weight_image(image);
+  EXPECT_EQ(qm.pack_weight_image(), image);
+}
+
+TEST_F(QModelTest, QuantizedForwardStaysClose) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn({6, 8}, rng);
+  net_.set_training(false);
+  const Tensor before = net_.forward(x);
+  QuantizedModel qm(net_);
+  const Tensor after = net_.forward(x);
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < before.numel(); ++i)
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::abs(before[i] - after[i])));
+  EXPECT_LT(max_diff, 0.15);  // 8-bit quantization noise, not corruption
+  EXPECT_GT(max_diff, 0.0);
+}
+
+TEST_F(QModelTest, RangeValidation) {
+  QuantizedModel qm(net_);
+  EXPECT_THROW(qm.weight_code(2, 0), std::logic_error);
+  EXPECT_THROW(qm.weight_code(0, 8 * 16), std::logic_error);
+  EXPECT_THROW(qm.image_bit_offset(WeightBitRef{0, 0, 8}), std::logic_error);
+  EXPECT_THROW(qm.bit_ref_from_image_offset(-1), std::logic_error);
+  std::vector<std::uint8_t> wrong_size(10);
+  EXPECT_THROW(qm.load_weight_image(wrong_size), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rowpress::nn

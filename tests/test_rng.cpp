@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rowpress {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool any_diff = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next_u64() != c.next_u64()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64CoversRangeWithoutBias) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, UniformU64RequiresPositiveRange) {
+  Rng rng(10);
+  EXPECT_THROW(rng.uniform_u64(0), std::logic_error);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianMatchesMuLog) {
+  Rng rng(13);
+  const int n = 50001;
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.lognormal(3.0, 0.5);
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(std::log(v[n / 2]), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(55), b(55);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Fork result differs from the parent's continued stream.
+  EXPECT_NE(a.next_u64(), Rng(55).next_u64());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(16);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace rowpress

@@ -1,0 +1,45 @@
+#include "common/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rowpress {
+namespace {
+
+TEST(Table, PrintsAlignedColumnsWithHeaderRule) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("|-------|"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  EXPECT_THROW(Table({}), std::logic_error);
+}
+
+TEST(Table, FmtTrimsTrailingZeros) {
+  EXPECT_EQ(Table::fmt(1.5, 3), "1.5");
+  EXPECT_EQ(Table::fmt(2.0, 2), "2");
+  EXPECT_EQ(Table::fmt(0.126, 2), "0.13");
+  EXPECT_EQ(Table::fmt(-3.10, 2), "-3.1");
+}
+
+}  // namespace
+}  // namespace rowpress

@@ -1,0 +1,131 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace rowpress::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.shape_string(), "[2x3x4]");
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+  EXPECT_THROW(Tensor({2, 0}), std::logic_error);
+  EXPECT_THROW(t.dim(3), std::logic_error);
+}
+
+TEST(Tensor, IndexersAgreeWithFlatLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 7.0f);
+  Tensor u({3, 4});
+  u.at2(2, 1) = 5.0f;
+  EXPECT_EQ(u[9], 5.0f);
+  Tensor v({2, 3, 4});
+  v.at3(1, 2, 3) = 3.0f;
+  EXPECT_EQ(v[23], 3.0f);
+}
+
+TEST(Tensor, FillScaleAdd) {
+  Tensor a({4}, 2.0f);
+  Tensor b({4}, 3.0f);
+  a.add_(b, 2.0f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], 8.0f);
+  a.scale_(0.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], 4.0f);
+  a.zero();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], 0.0f);
+  Tensor c({5});
+  EXPECT_THROW(a.add_(c), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  for (std::int64_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped({5, 5}), std::logic_error);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sum2 += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / t.numel();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / t.numel() - mean * mean, 4.0, 0.15);
+}
+
+// Matmul kernels vs a naive reference, across shapes.
+struct MatmulShape {
+  int m, k, n;
+};
+
+class MatmulTest : public ::testing::TestWithParam<MatmulShape> {};
+
+TEST_P(MatmulTest, AllThreeKernelsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(7);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  std::vector<float> ref(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk)
+        acc += a[static_cast<std::size_t>(i) * k + kk] *
+               b[static_cast<std::size_t>(kk) * n + j];
+      ref[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+
+  std::vector<float> c1(ref.size(), 0.0f);
+  matmul_accumulate(a.data(), b.data(), c1.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c1[i], ref[i], 1e-4);
+
+  // B^T variant: build bt as [n, k].
+  std::vector<float> bt(static_cast<std::size_t>(n) * k);
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j)
+      bt[static_cast<std::size_t>(j) * k + kk] =
+          b[static_cast<std::size_t>(kk) * n + j];
+  std::vector<float> c2(ref.size(), 0.0f);
+  matmul_bt_accumulate(a.data(), bt.data(), c2.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c2[i], ref[i], 1e-4);
+
+  // A^T variant: C[k,n] = A^T[k,m] * B'[m,n]; reuse a as [m,k], use random
+  // rhs of shape [m,n].
+  std::vector<float> rhs(static_cast<std::size_t>(m) * n);
+  for (auto& v : rhs) v = static_cast<float>(rng.normal());
+  std::vector<float> ref3(static_cast<std::size_t>(k) * n, 0.0f);
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < m; ++i)
+        acc += a[static_cast<std::size_t>(i) * k + kk] *
+               rhs[static_cast<std::size_t>(i) * n + j];
+      ref3[static_cast<std::size_t>(kk) * n + j] = acc;
+    }
+  std::vector<float> c3(ref3.size(), 0.0f);
+  matmul_at_accumulate(a.data(), rhs.data(), c3.data(), m, k, n);
+  for (std::size_t i = 0; i < ref3.size(); ++i)
+    EXPECT_NEAR(c3[i], ref3[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulTest,
+    ::testing::Values(MatmulShape{1, 1, 1}, MatmulShape{3, 5, 2},
+                      MatmulShape{8, 8, 8}, MatmulShape{16, 3, 9},
+                      MatmulShape{2, 32, 7}, MatmulShape{31, 17, 13}));
+
+}  // namespace
+}  // namespace rowpress::nn
