@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_defense_bypass.cpp" "bench/CMakeFiles/bench_defense_bypass.dir/bench_defense_bypass.cpp.o" "gcc" "bench/CMakeFiles/bench_defense_bypass.dir/bench_defense_bypass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_bypass.dir/bench_defense_bypass.cpp.o"
+  "CMakeFiles/bench_defense_bypass.dir/bench_defense_bypass.cpp.o.d"
+  "bench_defense_bypass"
+  "bench_defense_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ecc.dir/bench_ext_ecc.cpp.o"
+  "CMakeFiles/bench_ext_ecc.dir/bench_ext_ecc.cpp.o.d"
+  "bench_ext_ecc"
+  "bench_ext_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stealth.dir/bench_ext_stealth.cpp.o"
+  "CMakeFiles/bench_ext_stealth.dir/bench_ext_stealth.cpp.o.d"
+  "bench_ext_stealth"
+  "bench_ext_stealth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stealth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_vision_model.dir/attack_vision_model.cpp.o"
+  "CMakeFiles/attack_vision_model.dir/attack_vision_model.cpp.o.d"
+  "attack_vision_model"
+  "attack_vision_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_vision_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_attack.dir/speech_attack.cpp.o"
+  "CMakeFiles/speech_attack.dir/speech_attack.cpp.o.d"
+  "speech_attack"
+  "speech_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/bfa.cpp" "src/CMakeFiles/rp_attack.dir/attack/bfa.cpp.o" "gcc" "src/CMakeFiles/rp_attack.dir/attack/bfa.cpp.o.d"
+  "/root/repo/src/attack/ecc_aware.cpp" "src/CMakeFiles/rp_attack.dir/attack/ecc_aware.cpp.o" "gcc" "src/CMakeFiles/rp_attack.dir/attack/ecc_aware.cpp.o.d"
+  "/root/repo/src/attack/mapping.cpp" "src/CMakeFiles/rp_attack.dir/attack/mapping.cpp.o" "gcc" "src/CMakeFiles/rp_attack.dir/attack/mapping.cpp.o.d"
+  "/root/repo/src/attack/profile_aware_bfa.cpp" "src/CMakeFiles/rp_attack.dir/attack/profile_aware_bfa.cpp.o" "gcc" "src/CMakeFiles/rp_attack.dir/attack/profile_aware_bfa.cpp.o.d"
+  "/root/repo/src/attack/runner.cpp" "src/CMakeFiles/rp_attack.dir/attack/runner.cpp.o" "gcc" "src/CMakeFiles/rp_attack.dir/attack/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_attack.dir/attack/bfa.cpp.o"
+  "CMakeFiles/rp_attack.dir/attack/bfa.cpp.o.d"
+  "CMakeFiles/rp_attack.dir/attack/ecc_aware.cpp.o"
+  "CMakeFiles/rp_attack.dir/attack/ecc_aware.cpp.o.d"
+  "CMakeFiles/rp_attack.dir/attack/mapping.cpp.o"
+  "CMakeFiles/rp_attack.dir/attack/mapping.cpp.o.d"
+  "CMakeFiles/rp_attack.dir/attack/profile_aware_bfa.cpp.o"
+  "CMakeFiles/rp_attack.dir/attack/profile_aware_bfa.cpp.o.d"
+  "CMakeFiles/rp_attack.dir/attack/runner.cpp.o"
+  "CMakeFiles/rp_attack.dir/attack/runner.cpp.o.d"
+  "librp_attack.a"
+  "librp_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

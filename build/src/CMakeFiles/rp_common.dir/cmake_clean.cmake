@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_common.dir/common/bitutil.cpp.o"
+  "CMakeFiles/rp_common.dir/common/bitutil.cpp.o.d"
+  "CMakeFiles/rp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/rp_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/rp_common.dir/common/table.cpp.o"
+  "CMakeFiles/rp_common.dir/common/table.cpp.o.d"
+  "librp_common.a"
+  "librp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/rp_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/rp_data.dir/data/speech_synth.cpp.o"
+  "CMakeFiles/rp_data.dir/data/speech_synth.cpp.o.d"
+  "CMakeFiles/rp_data.dir/data/vision_synth.cpp.o"
+  "CMakeFiles/rp_data.dir/data/vision_synth.cpp.o.d"
+  "librp_data.a"
+  "librp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/graphene.cpp" "src/CMakeFiles/rp_defense.dir/defense/graphene.cpp.o" "gcc" "src/CMakeFiles/rp_defense.dir/defense/graphene.cpp.o.d"
+  "/root/repo/src/defense/hydra.cpp" "src/CMakeFiles/rp_defense.dir/defense/hydra.cpp.o" "gcc" "src/CMakeFiles/rp_defense.dir/defense/hydra.cpp.o.d"
+  "/root/repo/src/defense/mac_counter.cpp" "src/CMakeFiles/rp_defense.dir/defense/mac_counter.cpp.o" "gcc" "src/CMakeFiles/rp_defense.dir/defense/mac_counter.cpp.o.d"
+  "/root/repo/src/defense/para.cpp" "src/CMakeFiles/rp_defense.dir/defense/para.cpp.o" "gcc" "src/CMakeFiles/rp_defense.dir/defense/para.cpp.o.d"
+  "/root/repo/src/defense/trr.cpp" "src/CMakeFiles/rp_defense.dir/defense/trr.cpp.o" "gcc" "src/CMakeFiles/rp_defense.dir/defense/trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_defense.dir/defense/graphene.cpp.o"
+  "CMakeFiles/rp_defense.dir/defense/graphene.cpp.o.d"
+  "CMakeFiles/rp_defense.dir/defense/hydra.cpp.o"
+  "CMakeFiles/rp_defense.dir/defense/hydra.cpp.o.d"
+  "CMakeFiles/rp_defense.dir/defense/mac_counter.cpp.o"
+  "CMakeFiles/rp_defense.dir/defense/mac_counter.cpp.o.d"
+  "CMakeFiles/rp_defense.dir/defense/para.cpp.o"
+  "CMakeFiles/rp_defense.dir/defense/para.cpp.o.d"
+  "CMakeFiles/rp_defense.dir/defense/trr.cpp.o"
+  "CMakeFiles/rp_defense.dir/defense/trr.cpp.o.d"
+  "librp_defense.a"
+  "librp_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address.cpp" "src/CMakeFiles/rp_dram.dir/dram/address.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/address.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/rp_dram.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/cell_model.cpp" "src/CMakeFiles/rp_dram.dir/dram/cell_model.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/cell_model.cpp.o.d"
+  "/root/repo/src/dram/command_trace.cpp" "src/CMakeFiles/rp_dram.dir/dram/command_trace.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/command_trace.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/CMakeFiles/rp_dram.dir/dram/controller.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/device.cpp" "src/CMakeFiles/rp_dram.dir/dram/device.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/device.cpp.o.d"
+  "/root/repo/src/dram/fault/rowhammer.cpp" "src/CMakeFiles/rp_dram.dir/dram/fault/rowhammer.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/fault/rowhammer.cpp.o.d"
+  "/root/repo/src/dram/fault/rowpress.cpp" "src/CMakeFiles/rp_dram.dir/dram/fault/rowpress.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/fault/rowpress.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/CMakeFiles/rp_dram.dir/dram/timing.cpp.o" "gcc" "src/CMakeFiles/rp_dram.dir/dram/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_dram.dir/dram/address.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/address.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/cell_model.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/cell_model.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/command_trace.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/command_trace.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/controller.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/controller.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/device.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/device.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/fault/rowhammer.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/fault/rowhammer.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/fault/rowpress.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/fault/rowpress.cpp.o.d"
+  "CMakeFiles/rp_dram.dir/dram/timing.cpp.o"
+  "CMakeFiles/rp_dram.dir/dram/timing.cpp.o.d"
+  "librp_dram.a"
+  "librp_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

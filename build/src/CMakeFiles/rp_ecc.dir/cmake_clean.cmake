@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_ecc.dir/ecc/secded.cpp.o"
+  "CMakeFiles/rp_ecc.dir/ecc/secded.cpp.o.d"
+  "librp_ecc.a"
+  "librp_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

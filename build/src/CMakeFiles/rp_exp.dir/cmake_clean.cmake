@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_exp.dir/exp/experiment.cpp.o"
+  "CMakeFiles/rp_exp.dir/exp/experiment.cpp.o.d"
+  "librp_exp.a"
+  "librp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

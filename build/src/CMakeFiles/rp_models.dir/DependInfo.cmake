@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/deit.cpp" "src/CMakeFiles/rp_models.dir/models/deit.cpp.o" "gcc" "src/CMakeFiles/rp_models.dir/models/deit.cpp.o.d"
+  "/root/repo/src/models/m11.cpp" "src/CMakeFiles/rp_models.dir/models/m11.cpp.o" "gcc" "src/CMakeFiles/rp_models.dir/models/m11.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/rp_models.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/rp_models.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/vmamba.cpp" "src/CMakeFiles/rp_models.dir/models/vmamba.cpp.o" "gcc" "src/CMakeFiles/rp_models.dir/models/vmamba.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/CMakeFiles/rp_models.dir/models/zoo.cpp.o" "gcc" "src/CMakeFiles/rp_models.dir/models/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

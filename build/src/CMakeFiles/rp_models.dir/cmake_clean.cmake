@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_models.dir/models/deit.cpp.o"
+  "CMakeFiles/rp_models.dir/models/deit.cpp.o.d"
+  "CMakeFiles/rp_models.dir/models/m11.cpp.o"
+  "CMakeFiles/rp_models.dir/models/m11.cpp.o.d"
+  "CMakeFiles/rp_models.dir/models/resnet.cpp.o"
+  "CMakeFiles/rp_models.dir/models/resnet.cpp.o.d"
+  "CMakeFiles/rp_models.dir/models/vmamba.cpp.o"
+  "CMakeFiles/rp_models.dir/models/vmamba.cpp.o.d"
+  "CMakeFiles/rp_models.dir/models/zoo.cpp.o"
+  "CMakeFiles/rp_models.dir/models/zoo.cpp.o.d"
+  "librp_models.a"
+  "librp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

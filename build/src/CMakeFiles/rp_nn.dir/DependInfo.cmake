@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/rp_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/rp_nn.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/CMakeFiles/rp_nn.dir/nn/conv1d.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/rp_nn.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/rp_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/rp_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/rp_nn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/CMakeFiles/rp_nn.dir/nn/norm.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/rp_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/rp_nn.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/quant/qmodel.cpp" "src/CMakeFiles/rp_nn.dir/nn/quant/qmodel.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/quant/qmodel.cpp.o.d"
+  "/root/repo/src/nn/quant/quantizer.cpp" "src/CMakeFiles/rp_nn.dir/nn/quant/quantizer.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/quant/quantizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/rp_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/ssm.cpp" "src/CMakeFiles/rp_nn.dir/nn/ssm.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/ssm.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/rp_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/rp_nn.dir/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

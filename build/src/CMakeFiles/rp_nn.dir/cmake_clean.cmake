@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/attention.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/attention.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/conv1d.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/conv1d.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/conv2d.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/conv2d.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/module.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/module.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/norm.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/norm.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/pooling.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/pooling.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/quant/qmodel.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/quant/qmodel.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/quant/quantizer.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/quant/quantizer.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/ssm.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/ssm.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/rp_nn.dir/nn/tensor.cpp.o.d"
+  "librp_nn.a"
+  "librp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/bitflip_profile.cpp" "src/CMakeFiles/rp_profile.dir/profile/bitflip_profile.cpp.o" "gcc" "src/CMakeFiles/rp_profile.dir/profile/bitflip_profile.cpp.o.d"
+  "/root/repo/src/profile/profiler.cpp" "src/CMakeFiles/rp_profile.dir/profile/profiler.cpp.o" "gcc" "src/CMakeFiles/rp_profile.dir/profile/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

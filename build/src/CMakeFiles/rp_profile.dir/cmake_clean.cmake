@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_profile.dir/profile/bitflip_profile.cpp.o"
+  "CMakeFiles/rp_profile.dir/profile/bitflip_profile.cpp.o.d"
+  "CMakeFiles/rp_profile.dir/profile/profiler.cpp.o"
+  "CMakeFiles/rp_profile.dir/profile/profiler.cpp.o.d"
+  "librp_profile.a"
+  "librp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_test_util.dir/test_util.cpp.o"
+  "CMakeFiles/rp_test_util.dir/test_util.cpp.o.d"
+  "librp_test_util.a"
+  "librp_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfa.dir/test_bfa.cpp.o"
+  "CMakeFiles/test_bfa.dir/test_bfa.cpp.o.d"
+  "test_bfa"
+  "test_bfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_controller.dir/test_device_controller.cpp.o"
+  "CMakeFiles/test_device_controller.dir/test_device_controller.cpp.o.d"
+  "test_device_controller"
+  "test_device_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_attack.dir/test_ecc_attack.cpp.o"
+  "CMakeFiles/test_ecc_attack.dir/test_ecc_attack.cpp.o.d"
+  "test_ecc_attack"
+  "test_ecc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

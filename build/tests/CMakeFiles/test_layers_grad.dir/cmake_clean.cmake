@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layers_grad.dir/test_layers_grad.cpp.o"
+  "CMakeFiles/test_layers_grad.dir/test_layers_grad.cpp.o.d"
+  "test_layers_grad"
+  "test_layers_grad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layers_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical_flip.dir/test_physical_flip.cpp.o"
+  "CMakeFiles/test_physical_flip.dir/test_physical_flip.cpp.o.d"
+  "test_physical_flip"
+  "test_physical_flip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical_flip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
