@@ -6,25 +6,29 @@
 // profile is both larger and qualitatively more damaging per flip), with
 // the largest gap on DeiT-B and a small gap on VMamba-T (paper Sec.
 // VII-C2).
+//
+// Runs through the campaign runtime (journal: <cache>/campaigns/fig7.jsonl,
+// RP_WORKERS parallel workers); the per-flip accuracy curve of every trial
+// is journaled, so a resumed run redraws the figure without re-attacking.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "attack/runner.h"
 #include "bench_util.h"
 #include "common/table.h"
 #include "exp/experiment.h"
+#include "runtime/campaign.h"
 
 using namespace rowpress;
 
 namespace {
 
 // Accuracy at flip counts 0..max, padded with the final value.
-std::vector<double> curve_of(const attack::AttackResult& r, int max_flips) {
+std::vector<double> curve_of(const runtime::TrialResult& r, int max_flips) {
   std::vector<double> curve;
   curve.push_back(r.accuracy_before);
-  for (const auto& f : r.flips) curve.push_back(f.accuracy_after);
+  for (const double acc : r.accuracy_curve) curve.push_back(acc);
   while (static_cast<int>(curve.size()) <= max_flips)
     curve.push_back(curve.back());
   return curve;
@@ -49,39 +53,47 @@ int main() {
       "=== Fig. 7: accuracy evolution vs number of bit-flips (RH vs RP) "
       "===\n\n");
 
-  dram::Device device(exp::default_chip_config());
-  const auto profiles =
-      exp::build_or_load_profiles(device, bench::cache_dir(), true);
+  runtime::CampaignSpec spec;
+  spec.name = "fig7";
+  spec.models = {"ResNet-20", "DeiT-B", "VMamba-T", "M11"};
+  spec.profiles = {runtime::AttackProfile::kRowHammer,
+                   runtime::AttackProfile::kRowPress};
+  spec.seeds_per_cell = 1;
+  spec.campaign_seed = 2024;  // the pre-runtime bench's fixed attack seed
+  spec.model_seed = 1;
+  spec.device = exp::default_chip_config();
+  spec.cache_dir = bench::cache_dir();
+  spec.journal_dir = bench::journal_dir();
+  spec.workers = bench::num_workers();
+  spec.progress_interval_s = 15.0;
+  spec.verbose = true;
 
-  const std::vector<std::string> picks = {"ResNet-20", "DeiT-B", "VMamba-T",
-                                          "M11"};
+  const auto campaign = runtime::run_campaign(spec);
+  std::printf("%d trial(s) executed, %d resumed from %s\n",
+              campaign.executed, campaign.skipped,
+              campaign.journal.c_str());
+
   const auto zoo = models::model_zoo();
+  for (const auto& name : spec.models) {
+    const auto& mspec = models::find_model(zoo, name);
+    const runtime::TrialResult* rh = nullptr;
+    const runtime::TrialResult* rp = nullptr;
+    for (const auto& r : campaign.results) {
+      if (r.trial.model != name) continue;
+      if (r.trial.profile == runtime::AttackProfile::kRowHammer) rh = &r;
+      if (r.trial.profile == runtime::AttackProfile::kRowPress) rp = &r;
+    }
 
-  for (const auto& name : picks) {
-    const auto& spec = models::find_model(zoo, name);
-    const auto data = models::make_dataset(spec.dataset);
-    const auto prepared = exp::prepare_trained_model(
-        spec, data, bench::cache_dir(), /*seed=*/1, /*verbose=*/true);
-
-    attack::AttackRunSetup setup;
-    setup.seed = 2024;
-    const auto rh = attack::run_profile_attack(
-        spec, prepared.state, data, profiles.rowhammer, device.geometry(),
-        setup);
-    const auto rp = attack::run_profile_attack(
-        spec, prepared.state, data, profiles.rowpress, device.geometry(),
-        setup);
-
-    const int span = std::max(rh.num_flips(), rp.num_flips());
-    const auto rh_curve = curve_of(rh, span);
-    const auto rp_curve = curve_of(rp, span);
+    const int span = std::max(rh->flips, rp->flips);
+    const auto rh_curve = curve_of(*rh, span);
+    const auto rp_curve = curve_of(*rp, span);
 
     std::printf("\n--- %s (%s): acc before %.2f%%, random guess %.2f%% ---\n",
-                spec.name.c_str(), spec.paper_dataset.c_str(),
-                100.0 * rh.accuracy_before, spec.paper_random_guess);
+                mspec.name.c_str(), mspec.paper_dataset.c_str(),
+                100.0 * rh->accuracy_before, mspec.paper_random_guess);
     std::printf("flips:        0 -> %d\n", span);
-    print_sparkline("RH accuracy", rh_curve, rh.accuracy_before);
-    print_sparkline("RP accuracy", rp_curve, rp.accuracy_before);
+    print_sparkline("RH accuracy", rh_curve, rh->accuracy_before);
+    print_sparkline("RP accuracy", rp_curve, rp->accuracy_before);
 
     Table table({"#flips", "RH acc (%)", "RP acc (%)"});
     for (int i = 0; i <= span; i += std::max(1, span / 12)) {
@@ -91,10 +103,10 @@ int main() {
     }
     table.print(std::cout);
     std::printf("flips to objective: RH %s, RP %d  (paper: RH %d, RP %d)\n",
-                rh.objective_reached ? std::to_string(rh.num_flips()).c_str()
-                                     : "not reached",
-                rp.num_flips(), spec.paper_flips_rowhammer,
-                spec.paper_flips_rowpress);
+                rh->objective_reached ? std::to_string(rh->flips).c_str()
+                                      : "not reached",
+                rp->flips, mspec.paper_flips_rowhammer,
+                mspec.paper_flips_rowpress);
   }
 
   std::printf(

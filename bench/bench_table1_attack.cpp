@@ -8,15 +8,23 @@
 // several times fewer flips everywhere, transformers resist more than
 // CNNs, and every model is breakable.
 //
+// Runs through the campaign runtime: the 11 models x {RH, RP} x RP_SEEDS
+// grid executes on RP_WORKERS parallel workers (default: one per hardware
+// thread), every finished trial is journaled to
+// <cache>/campaigns/table1.jsonl, and an interrupted run resumes without
+// re-running completed trials.  Per-trial results depend only on the
+// campaign seed and grid position, never on worker count.
+//
 // Runs `RP_SEEDS` (default 3) seeds per cell, like the paper's 3-run
 // average.  Set RP_QUICK=1 for a single-seed smoke run.
 #include <cstdio>
 #include <iostream>
+#include <map>
 
-#include "attack/runner.h"
 #include "bench_util.h"
 #include "common/table.h"
 #include "exp/experiment.h"
+#include "runtime/campaign.h"
 
 using namespace rowpress;
 
@@ -25,28 +33,18 @@ namespace {
 struct CellResult {
   double acc_after = 0.0;
   double flips = 0.0;
+  int n = 0;
   bool all_reached = true;
-};
 
-CellResult attack_cell(const models::ModelSpec& spec,
-                       const nn::ModelState& state,
-                       const data::SplitDataset& data,
-                       const profile::BitFlipProfile& prof,
-                       const dram::Geometry& geom, int seeds) {
-  CellResult out;
-  for (int s = 0; s < seeds; ++s) {
-    attack::AttackRunSetup setup;
-    setup.seed = 1000 + static_cast<std::uint64_t>(s);
-    const auto r =
-        attack::run_profile_attack(spec, state, data, prof, geom, setup);
-    out.acc_after += r.accuracy_after;
-    out.flips += r.num_flips();
-    out.all_reached = out.all_reached && r.objective_reached;
+  void absorb(const runtime::TrialResult& r) {
+    acc_after += r.accuracy_after;
+    flips += r.flips;
+    all_reached = all_reached && r.objective_reached;
+    ++n;
   }
-  out.acc_after /= seeds;
-  out.flips /= seeds;
-  return out;
-}
+  double mean_acc() const { return acc_after / n; }
+  double mean_flips() const { return flips / n; }
+};
 
 }  // namespace
 
@@ -54,14 +52,36 @@ int main() {
   const int seeds = bench::num_seeds();
   std::printf(
       "=== Table I: RowHammer vs RowPress profile-aware attacks on 11 DNNs "
-      "===\n(averaged over %d seed(s); models cached in %s/)\n\n",
-      seeds, bench::cache_dir().c_str());
+      "===\n(averaged over %d seed(s); models cached in %s/; journal in "
+      "%s/)\n\n",
+      seeds, bench::cache_dir().c_str(), bench::journal_dir().c_str());
 
-  dram::Device device(exp::default_chip_config());
-  const auto profiles =
-      exp::build_or_load_profiles(device, bench::cache_dir(), true);
-  std::printf("profiles: |C_rh| = %zu, |C_rp| = %zu\n\n",
-              profiles.rowhammer.size(), profiles.rowpress.size());
+  runtime::CampaignSpec spec;
+  spec.name = "table1";
+  spec.profiles = {runtime::AttackProfile::kRowHammer,
+                   runtime::AttackProfile::kRowPress};
+  spec.seeds_per_cell = seeds;
+  spec.campaign_seed = 1000;  // the pre-runtime bench seeded trials at 1000+s
+  spec.model_seed = 1;
+  spec.device = exp::default_chip_config();
+  spec.cache_dir = bench::cache_dir();
+  spec.journal_dir = bench::journal_dir();
+  spec.workers = bench::num_workers();
+  spec.progress_interval_s = 15.0;
+  spec.verbose = true;
+
+  const auto zoo = models::model_zoo();
+  for (const auto& s : zoo) spec.models.push_back(s.name);
+
+  const auto campaign = runtime::run_campaign(spec);
+  std::printf("\n%d trial(s) executed, %d resumed from %s\n\n",
+              campaign.executed, campaign.skipped,
+              campaign.journal.c_str());
+
+  // Aggregate the grid back into Table-I cells.
+  std::map<std::pair<std::string, runtime::AttackProfile>, CellResult> cells;
+  for (const auto& r : campaign.results)
+    cells[{r.trial.model, r.trial.profile}].absorb(r);
 
   Table table({"Dataset", "Architecture", "#Params", "Acc. before (%)",
                "Random guess (%)", "Acc. after RH (%)", "#Flips RH",
@@ -70,57 +90,39 @@ int main() {
   double rh_total = 0.0, rp_total = 0.0, rp_max = 0.0;
   int rows_counted = 0;
 
-  const auto zoo = models::model_zoo();
-  // Datasets are shared across zoo entries; build each kind once.
-  data::SplitDataset vision10, vision50, speech35;
-  auto dataset_for = [&](models::DatasetKind kind) -> data::SplitDataset& {
-    switch (kind) {
-      case models::DatasetKind::kVision10:
-        if (vision10.train.size() == 0)
-          vision10 = models::make_dataset(kind);
-        return vision10;
-      case models::DatasetKind::kVision50:
-        if (vision50.train.size() == 0)
-          vision50 = models::make_dataset(kind);
-        return vision50;
-      case models::DatasetKind::kSpeech35:
-      default:
-        if (speech35.train.size() == 0)
-          speech35 = models::make_dataset(kind);
-        return speech35;
-    }
-  };
-
-  for (const auto& spec : zoo) {
-    const auto& data = dataset_for(spec.dataset);
+  // Datasets are shared across zoo entries; build each kind once (the
+  // campaign already cached the trained models, so this is load + eval).
+  std::map<models::DatasetKind, data::SplitDataset> datasets;
+  for (const auto& mspec : zoo) {
+    if (!datasets.count(mspec.dataset))
+      datasets[mspec.dataset] = models::make_dataset(mspec.dataset);
+    const auto& data = datasets[mspec.dataset];
     const auto prepared = exp::prepare_trained_model(
-        spec, data, bench::cache_dir(), /*seed=*/1, /*verbose=*/true);
-    std::printf("%-10s test acc %.2f%%%s\n", spec.name.c_str(),
+        mspec, data, bench::cache_dir(), spec.model_seed, /*verbose=*/true);
+    std::printf("%-10s test acc %.2f%%%s\n", mspec.name.c_str(),
                 100.0 * prepared.stats.test_accuracy,
                 prepared.from_cache ? " (cached)" : "");
 
-    const auto rh =
-        attack_cell(spec, prepared.state, data, profiles.rowhammer,
-                    device.geometry(), seeds);
-    const auto rp =
-        attack_cell(spec, prepared.state, data, profiles.rowpress,
-                    device.geometry(), seeds);
+    const CellResult& rh =
+        cells.at({mspec.name, runtime::AttackProfile::kRowHammer});
+    const CellResult& rp =
+        cells.at({mspec.name, runtime::AttackProfile::kRowPress});
 
     table.add_row(
-        {spec.paper_dataset, spec.name,
+        {mspec.paper_dataset, mspec.name,
          std::to_string(prepared.model->num_parameters()),
          Table::fmt(100.0 * prepared.stats.test_accuracy, 2),
-         Table::fmt(spec.paper_random_guess, 2),
-         Table::fmt(100.0 * rh.acc_after, 2) + (rh.all_reached ? "" : "*"),
-         Table::fmt(rh.flips, 1),
-         Table::fmt(100.0 * rp.acc_after, 2) + (rp.all_reached ? "" : "*"),
-         Table::fmt(rp.flips, 1),
-         std::to_string(spec.paper_flips_rowhammer) + "/" +
-             std::to_string(spec.paper_flips_rowpress)});
+         Table::fmt(mspec.paper_random_guess, 2),
+         Table::fmt(100.0 * rh.mean_acc(), 2) + (rh.all_reached ? "" : "*"),
+         Table::fmt(rh.mean_flips(), 1),
+         Table::fmt(100.0 * rp.mean_acc(), 2) + (rp.all_reached ? "" : "*"),
+         Table::fmt(rp.mean_flips(), 1),
+         std::to_string(mspec.paper_flips_rowhammer) + "/" +
+             std::to_string(mspec.paper_flips_rowpress)});
 
-    rh_total += rh.flips;
-    rp_total += rp.flips;
-    rp_max = std::max(rp_max, rp.flips);
+    rh_total += rh.mean_flips();
+    rp_total += rp.mean_flips();
+    rp_max = std::max(rp_max, rp.mean_flips());
     ++rows_counted;
   }
 

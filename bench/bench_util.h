@@ -24,4 +24,17 @@ inline std::string cache_dir() {
   return "artifacts";
 }
 
+/// Campaign worker count (override: RP_WORKERS).  0 lets the runtime use
+/// one worker per hardware thread.
+inline int num_workers() {
+  if (const char* s = std::getenv("RP_WORKERS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 0;
+}
+
+/// Campaign journal directory for the paper-reproduction benches.
+inline std::string journal_dir() { return cache_dir() + "/campaigns"; }
+
 }  // namespace rowpress::bench

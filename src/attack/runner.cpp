@@ -1,6 +1,7 @@
 #include "attack/runner.h"
 
 #include "attack/mapping.h"
+#include "common/check.h"
 #include "nn/quant/qmodel.h"
 
 namespace rowpress::attack {
@@ -11,6 +12,10 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
                                 const profile::BitFlipProfile& prof,
                                 const dram::Geometry& geom,
                                 const AttackRunSetup& setup) {
+  RP_REQUIRE(prof.max_linear_bit() < geom.total_bits(),
+             "profile '" + prof.mechanism_name() +
+                 "' addresses cells beyond the device geometry — it was "
+                 "built for a different chip");
   Rng rng(setup.seed);
   Rng init_rng = rng.fork();
   auto model = spec.factory(init_rng);

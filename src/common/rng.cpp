@@ -89,4 +89,11 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::uint64_t Rng::derive_stream(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64 pre-increments by the golden ratio, so this mixes
+  // seed + (stream + 1) * golden — the (stream + 1)-th splitmix state.
+  std::uint64_t x = seed + stream * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(x);
+}
+
 }  // namespace rowpress

@@ -48,6 +48,12 @@ class Rng {
   /// Fork an independent stream (for per-subsystem seeding).
   Rng fork();
 
+  /// Stateless stream derivation: the seed for stream `stream` of a master
+  /// `seed`, via one splitmix64 step.  Used by the campaign runtime so each
+  /// trial's RNG depends only on (campaign seed, trial index) — never on
+  /// worker count or completion order.
+  static std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t stream);
+
   /// Fisher–Yates shuffle of an index vector.
   template <typename T>
   void shuffle(std::vector<T>& v) {

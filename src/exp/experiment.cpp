@@ -1,9 +1,14 @@
 #include "exp/experiment.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "nn/loss.h"
@@ -11,6 +16,36 @@
 #include "profile/profiler.h"
 
 namespace rowpress::exp {
+
+namespace {
+
+// Cache-fill serialization for concurrent campaign workers: one mutex per
+// artifact path, so two workers asking for the same model train it once
+// (double-checked locking: load, lock, load again, then train+save) while
+// different models fill in parallel.
+std::mutex& cache_path_mutex(const std::string& path) {
+  static std::mutex registry_mutex;
+  static std::unordered_map<std::string, std::unique_ptr<std::mutex>>
+      registry;
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto& slot = registry[path];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
+// Scratch path for write-then-rename publication, so a reader never sees a
+// half-written cache file (and a crash leaves only a stale .tmp behind).
+std::string tmp_path_for(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+void publish_file(const std::string& tmp, const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  RP_ASSERT(!ec, "cannot publish cache file " + path + ": " + ec.message());
+}
+
+}  // namespace
 
 TrainStats train_classifier(nn::Module& model, const data::SplitDataset& data,
                             const models::TrainRecipe& recipe, Rng& rng,
@@ -76,20 +111,34 @@ PreparedModel prepare_trained_model(const models::ModelSpec& spec,
 
   const std::string path =
       cache_dir + "/" + spec.name + "_seed" + std::to_string(seed) + ".rpms";
-  nn::ModelState cached;
-  if (!cache_dir.empty() && nn::load_state(cached, path)) {
+  const auto try_load = [&]() -> bool {
+    nn::ModelState cached;
+    if (cache_dir.empty() || !nn::load_state(cached, path)) return false;
     nn::restore_state(*out.model, cached);
     out.model->set_training(false);
     out.state = std::move(cached);
     out.stats.test_accuracy = evaluate_accuracy(*out.model, data.test);
     out.from_cache = true;
+    return true;
+  };
+  if (try_load()) return out;
+
+  const auto train = [&] {
+    if (verbose) std::printf("training %s ...\n", spec.name.c_str());
+    out.stats = train_classifier(*out.model, data, spec.recipe, rng, verbose);
+    out.state = nn::snapshot_state(*out.model);
+  };
+  if (cache_dir.empty()) {
+    train();
     return out;
   }
 
-  if (verbose) std::printf("training %s ...\n", spec.name.c_str());
-  out.stats = train_classifier(*out.model, data, spec.recipe, rng, verbose);
-  out.state = nn::snapshot_state(*out.model);
-  if (!cache_dir.empty()) nn::save_state(out.state, path);
+  std::lock_guard<std::mutex> lock(cache_path_mutex(path));
+  if (try_load()) return out;  // another worker filled it while we waited
+  train();
+  const std::string tmp = tmp_path_for(path);
+  nn::save_state(out.state, tmp);
+  publish_file(tmp, path);
   return out;
 }
 
@@ -102,26 +151,41 @@ ProfilePair build_or_load_profiles(dram::Device& device,
   const std::string rh_path = cache_dir + "/profile_rh_" + tag + ".txt";
   const std::string rp_path = cache_dir + "/profile_rp_" + tag + ".txt";
 
-  if (!cache_dir.empty()) {
+  const auto try_load = [&]() -> bool {
+    if (cache_dir.empty()) return false;
     std::ifstream rh(rh_path), rp(rp_path);
-    if (rh.good() && rp.good()) {
-      out.rowhammer = profile::BitFlipProfile::load(rh, "RowHammer");
-      out.rowpress = profile::BitFlipProfile::load(rp, "RowPress");
-      if (!out.rowhammer.empty() && !out.rowpress.empty()) return out;
-    }
+    if (!rh.good() || !rp.good()) return false;
+    out.rowhammer = profile::BitFlipProfile::load(rh, "RowHammer");
+    out.rowpress = profile::BitFlipProfile::load(rp, "RowPress");
+    return !out.rowhammer.empty() && !out.rowpress.empty();
+  };
+  if (try_load()) return out;
+
+  const auto profile_chip = [&] {
+    if (verbose)
+      std::printf("profiling chip under RowHammer & RowPress ...\n");
+    profile::Profiler profiler;
+    out.rowhammer = profiler.profile_rowhammer(device);
+    out.rowpress = profiler.profile_rowpress(device);
+  };
+  if (cache_dir.empty()) {
+    profile_chip();
+    return out;
   }
 
-  if (verbose) std::printf("profiling chip under RowHammer & RowPress ...\n");
-  profile::Profiler profiler;
-  out.rowhammer = profiler.profile_rowhammer(device);
-  out.rowpress = profiler.profile_rowpress(device);
-
-  if (!cache_dir.empty()) {
-    std::filesystem::create_directories(cache_dir);
-    std::ofstream rh(rh_path), rp(rp_path);
+  std::lock_guard<std::mutex> lock(cache_path_mutex(rh_path));
+  if (try_load()) return out;  // another worker profiled while we waited
+  profile_chip();
+  std::filesystem::create_directories(cache_dir);
+  const std::string rh_tmp = tmp_path_for(rh_path);
+  const std::string rp_tmp = tmp_path_for(rp_path);
+  {
+    std::ofstream rh(rh_tmp), rp(rp_tmp);
     out.rowhammer.save(rh);
     out.rowpress.save(rp);
   }
+  publish_file(rp_tmp, rp_path);
+  publish_file(rh_tmp, rh_path);
   return out;
 }
 

@@ -20,6 +20,12 @@ std::optional<dram::FlipDirection> BitFlipProfile::lookup(
   return it->second;
 }
 
+std::int64_t BitFlipProfile::max_linear_bit() const {
+  std::int64_t max_bit = -1;
+  for (const auto& [addr, dir] : bits_) max_bit = std::max(max_bit, addr);
+  return max_bit;
+}
+
 std::vector<VulnerableBit> BitFlipProfile::sorted_bits() const {
   std::vector<VulnerableBit> out;
   out.reserve(bits_.size());

@@ -42,6 +42,11 @@ class BitFlipProfile {
   std::size_t size() const { return bits_.size(); }
   bool empty() const { return bits_.empty(); }
 
+  /// Largest linear bit address in the profile, or -1 when empty.  Lets
+  /// consumers check that a profile fits a device geometry (a profile built
+  /// for a bigger chip would silently map weights to nonexistent cells).
+  std::int64_t max_linear_bit() const;
+
   /// All entries, sorted by linear bit address.
   std::vector<VulnerableBit> sorted_bits() const;
 

@@ -1,0 +1,246 @@
+#include "runtime/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "attack/runner.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "exp/experiment.h"
+#include "runtime/journal.h"
+#include "runtime/progress.h"
+#include "runtime/thread_pool.h"
+
+namespace rowpress::runtime {
+
+namespace {
+
+// Lazily-built, mutex-guarded cache shared by all workers: each key is
+// filled exactly once even under concurrent first access (std::call_once on
+// a per-key flag; a filler that throws leaves the flag unset so the next
+// caller retries).
+template <typename Key, typename Value>
+class OnceCache {
+ public:
+  template <typename Filler>
+  const Value& get(const Key& key, Filler&& fill) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& slot = entries_[key];
+      if (!slot) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::call_once(entry->flag, [&] { entry->value = fill(); });
+    return entry->value;
+  }
+
+ private:
+  struct Entry {
+    std::once_flag flag;
+    Value value;
+  };
+  std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace
+
+const char* profile_name(AttackProfile p) {
+  switch (p) {
+    case AttackProfile::kRowHammer: return "rowhammer";
+    case AttackProfile::kRowPress: return "rowpress";
+    case AttackProfile::kUnconstrained: return "unconstrained";
+  }
+  return "?";
+}
+
+std::optional<AttackProfile> profile_from_name(const std::string& name) {
+  if (name == "rowhammer" || name == "rh") return AttackProfile::kRowHammer;
+  if (name == "rowpress" || name == "rp") return AttackProfile::kRowPress;
+  if (name == "unconstrained" || name == "uncon")
+    return AttackProfile::kUnconstrained;
+  return std::nullopt;
+}
+
+std::string Trial::id() const {
+  return model + "/" + profile_name(profile) + "/s" +
+         std::to_string(seed_index);
+}
+
+std::uint64_t trial_seed(std::uint64_t campaign_seed, int trial_index) {
+  return Rng::derive_stream(campaign_seed,
+                            static_cast<std::uint64_t>(trial_index));
+}
+
+std::vector<Trial> expand_trials(const CampaignSpec& spec) {
+  RP_REQUIRE(!spec.models.empty(), "campaign needs at least one model");
+  RP_REQUIRE(!spec.profiles.empty(), "campaign needs at least one profile");
+  RP_REQUIRE(spec.seeds_per_cell > 0, "campaign needs seeds_per_cell > 0");
+  std::vector<Trial> trials;
+  trials.reserve(spec.models.size() * spec.profiles.size() *
+                 static_cast<std::size_t>(spec.seeds_per_cell));
+  int index = 0;
+  for (const auto& model : spec.models)
+    for (const auto profile : spec.profiles)
+      for (int s = 0; s < spec.seeds_per_cell; ++s) {
+        Trial t;
+        t.index = index;
+        t.model = model;
+        t.profile = profile;
+        t.seed_index = s;
+        t.seed = trial_seed(spec.campaign_seed, index);
+        trials.push_back(std::move(t));
+        ++index;
+      }
+  return trials;
+}
+
+std::string journal_path(const CampaignSpec& spec) {
+  return spec.journal_dir + "/" + spec.name + ".jsonl";
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  const std::vector<models::ModelSpec> zoo =
+      spec.zoo.empty() ? models::model_zoo() : spec.zoo;
+  // Validate model names up front so a typo fails before any work starts.
+  for (const auto& name : spec.models) models::find_model(zoo, name);
+
+  const std::vector<Trial> trials = expand_trials(spec);
+  Journal journal(journal_path(spec));
+
+  CampaignResult out;
+  out.journal = journal.path();
+  out.results.resize(trials.size());
+
+  std::vector<const Trial*> pending;
+  for (const auto& t : trials) {
+    if (journal.contains(t.index)) {
+      const TrialResult& rec = journal.completed().at(t.index);
+      RP_REQUIRE(rec.trial.id() == t.id(),
+                 "journal '" + journal.path() + "' holds trial " +
+                     rec.trial.id() + " at index " +
+                     std::to_string(t.index) + " but the spec expects " +
+                     t.id() + " — stale journal for a different campaign?");
+      out.results[static_cast<std::size_t>(t.index)] = rec;
+      ++out.skipped;
+    } else {
+      pending.push_back(&t);
+    }
+  }
+
+  // Shared read-only inputs, built once under concurrency: datasets by
+  // kind, trained models by name, and the chip profiles.
+  const auto dataset_factory = spec.dataset_factory
+                                   ? spec.dataset_factory
+                                   : [](models::DatasetKind k) {
+                                       return models::make_dataset(k);
+                                     };
+  OnceCache<int, data::SplitDataset> datasets;
+  OnceCache<std::string, exp::PreparedModel> prepared;
+  const bool needs_profiles = std::any_of(
+      spec.profiles.begin(), spec.profiles.end(), [](AttackProfile p) {
+        return p != AttackProfile::kUnconstrained;
+      });
+  dram::Device device(spec.device);
+  exp::ProfilePair profiles;
+  if (needs_profiles && !pending.empty())
+    profiles = exp::build_or_load_profiles(device, spec.cache_dir,
+                                           spec.verbose);
+
+  Progress progress(static_cast<int>(trials.size()),
+                    spec.progress_interval_s);
+  progress.note_skipped(out.skipped);
+  progress.start();
+
+  const int workers =
+      spec.workers > 0
+          ? spec.workers
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  auto run_trial = [&](const Trial& t) {
+    progress.begin_trial(ThreadPool::worker_index(), t.id());
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const auto& mspec = models::find_model(zoo, t.model);
+    const auto& data = datasets.get(static_cast<int>(mspec.dataset), [&] {
+      return dataset_factory(mspec.dataset);
+    });
+    const auto& model = prepared.get(t.model, [&] {
+      return exp::prepare_trained_model(mspec, data, spec.cache_dir,
+                                        spec.model_seed, spec.verbose);
+    });
+
+    attack::AttackRunSetup setup;
+    setup.bfa = spec.bfa;
+    setup.seed = t.seed;
+    attack::AttackResult r;
+    switch (t.profile) {
+      case AttackProfile::kRowHammer:
+        r = attack::run_profile_attack(mspec, model.state, data,
+                                       profiles.rowhammer, device.geometry(),
+                                       setup);
+        break;
+      case AttackProfile::kRowPress:
+        r = attack::run_profile_attack(mspec, model.state, data,
+                                       profiles.rowpress, device.geometry(),
+                                       setup);
+        break;
+      case AttackProfile::kUnconstrained:
+        r = attack::run_unconstrained_attack(mspec, model.state, data, setup);
+        break;
+    }
+
+    TrialResult result;
+    result.trial = t;
+    result.objective_reached = r.objective_reached;
+    result.accuracy_before = r.accuracy_before;
+    result.accuracy_after = r.accuracy_after;
+    result.flips = r.num_flips();
+    result.candidate_pool_size = r.candidate_pool_size;
+    result.accuracy_curve.reserve(r.flips.size());
+    for (const auto& f : r.flips)
+      result.accuracy_curve.push_back(f.accuracy_after);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const int flips = result.flips;
+    journal.append(result);
+    out.results[static_cast<std::size_t>(t.index)] = std::move(result);
+    progress.end_trial(ThreadPool::worker_index(), flips);
+  };
+
+  {
+    const std::size_t pool_size = std::min(
+        static_cast<std::size_t>(workers),
+        std::max<std::size_t>(1, pending.size()));
+    ThreadPool pool(static_cast<int>(pool_size));
+    std::vector<std::future<void>> futures;
+    futures.reserve(pending.size());
+    for (const Trial* t : pending)
+      futures.push_back(pool.submit([&, t] { run_trial(*t); }));
+    // Propagate the first failure, but only after every task has settled so
+    // the journal stays consistent with what actually ran.
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    progress.finish();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  out.executed = static_cast<int>(pending.size());
+  return out;
+}
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,106 @@
+// Campaign runtime: expands a model × attack-profile × seed grid into
+// deterministic trials and executes them on a worker pool with journaled,
+// resumable progress.
+//
+// The paper's headline numbers (Table I, Fig. 6, Fig. 7) are averages over
+// many independent attack runs — "random attack initialization" varies the
+// attack batch and the OS placement of the weight image.  A Trial is one
+// such run; its RNG stream is derived by a splitmix64 hash of the campaign
+// seed and the trial's grid index, so results are bit-identical regardless
+// of worker count or completion order, and a resumed campaign produces the
+// same numbers as an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/bfa.h"
+#include "data/dataset.h"
+#include "dram/device.h"
+#include "models/zoo.h"
+
+namespace rowpress::runtime {
+
+enum class AttackProfile { kRowHammer, kRowPress, kUnconstrained };
+
+/// Canonical journal name: "rowhammer" / "rowpress" / "unconstrained".
+const char* profile_name(AttackProfile p);
+
+/// Parses a profile name; accepts the canonical names plus the short forms
+/// "rh", "rp", and "uncon".
+std::optional<AttackProfile> profile_from_name(const std::string& name);
+
+/// One cell-instance of the campaign grid.
+struct Trial {
+  int index = 0;  ///< position in the expanded grid (journal key)
+  std::string model;
+  AttackProfile profile = AttackProfile::kRowHammer;
+  int seed_index = 0;        ///< which repetition of the cell
+  std::uint64_t seed = 0;    ///< derived attack seed (see trial_seed)
+
+  /// Human-readable id, e.g. "ResNet-20/rowpress/s1".
+  std::string id() const;
+};
+
+struct TrialResult {
+  Trial trial;
+  bool objective_reached = false;
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  int flips = 0;
+  std::int64_t candidate_pool_size = 0;
+  /// Eval accuracy after flip k (k = 1..flips) — the Fig. 7 curve.
+  std::vector<double> accuracy_curve;
+  double wall_seconds = 0.0;       ///< not part of the deterministic output
+  bool from_journal = false;       ///< loaded from a previous run
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";   ///< journal file stem
+  std::vector<std::string> models; ///< zoo names; must be non-empty
+  std::vector<AttackProfile> profiles = {AttackProfile::kRowHammer,
+                                         AttackProfile::kRowPress};
+  int seeds_per_cell = 3;          ///< the paper's 3-run averaging protocol
+  std::uint64_t campaign_seed = 1; ///< master seed for all trial streams
+  std::uint64_t model_seed = 1;    ///< training seed (shared across trials)
+  attack::BfaConfig bfa;
+  dram::DeviceConfig device;       ///< simulated chip to profile/attack
+  std::string cache_dir = "artifacts";
+  std::string journal_dir = "artifacts/campaigns";
+  int workers = 0;                 ///< 0 => std::thread::hardware_concurrency
+  double progress_interval_s = 0.0;  ///< <= 0 disables the reporter
+  bool verbose = false;
+
+  /// Override the model zoo (default: models::model_zoo()).  Lets tests run
+  /// the runtime on tiny architectures.
+  std::vector<models::ModelSpec> zoo;
+  /// Override dataset construction (default: models::make_dataset).
+  std::function<data::SplitDataset(models::DatasetKind)> dataset_factory;
+};
+
+/// Deterministic per-trial seed: splitmix64 of (campaign_seed, trial index).
+std::uint64_t trial_seed(std::uint64_t campaign_seed, int trial_index);
+
+/// Expands the grid in model-major order (model, then profile, then seed);
+/// trial indices are positions in this order.
+std::vector<Trial> expand_trials(const CampaignSpec& spec);
+
+/// Journal file for a spec: <journal_dir>/<name>.jsonl
+std::string journal_path(const CampaignSpec& spec);
+
+struct CampaignResult {
+  std::vector<TrialResult> results;  ///< all trials, ordered by grid index
+  int executed = 0;                  ///< trials run by this invocation
+  int skipped = 0;                   ///< trials restored from the journal
+  std::string journal;               ///< journal path used
+};
+
+/// Runs (or resumes) the campaign.  Already-journaled trials are not re-run;
+/// their results are loaded and merged.  Throws if a journaled trial id does
+/// not match the spec's grid (journal name collision).
+CampaignResult run_campaign(const CampaignSpec& spec);
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,110 @@
+#include "runtime/journal.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.h"
+#include "runtime/jsonl.h"
+
+namespace rowpress::runtime {
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  const std::filesystem::path p(path_);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  // Everything after the last newline is a torn tail from a crash mid-write:
+  // truncate it so the resumed run's appends never concatenate onto garbage.
+  // Complete-but-unparseable lines are left in place and their trials re-run.
+  const std::size_t last_nl = content.rfind('\n');
+  const std::size_t good_end = last_nl == std::string::npos ? 0 : last_nl + 1;
+  for (std::size_t start = 0; start < good_end;) {
+    const std::size_t nl = content.find('\n', start);
+    const std::string line = content.substr(start, nl - start);
+    if (auto rec = parse(line)) completed_[rec->trial.index] = std::move(*rec);
+    start = nl + 1;
+  }
+  if (content.size() > good_end) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, good_end, ec);
+    RP_REQUIRE(!ec, "cannot truncate torn journal tail: " + path_);
+  }
+
+  out_.open(path_, std::ios::binary | std::ios::app);
+  RP_REQUIRE(out_.good(), "cannot open journal for append: " + path_);
+}
+
+void Journal::append(const TrialResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << serialize(result) << '\n';
+  out_.flush();
+  RP_ASSERT(out_.good(), "journal write failed: " + path_);
+  ++appended_;
+}
+
+std::size_t Journal::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_.size() + appended_;
+}
+
+std::string Journal::serialize(const TrialResult& r) {
+  JsonWriter w;
+  w.field("trial", static_cast<std::int64_t>(r.trial.index))
+      .field("id", r.trial.id())
+      .field("model", r.trial.model)
+      .field("profile", std::string(profile_name(r.trial.profile)))
+      .field("seed_index", static_cast<std::int64_t>(r.trial.seed_index))
+      .field_u64("seed", r.trial.seed)
+      .field("objective_reached", r.objective_reached)
+      .field("acc_before", r.accuracy_before)
+      .field("acc_after", r.accuracy_after)
+      .field("flips", static_cast<std::int64_t>(r.flips))
+      .field("pool", r.candidate_pool_size)
+      .field("curve", r.accuracy_curve)
+      .field("wall_s", r.wall_seconds);
+  return w.str();
+}
+
+std::optional<TrialResult> Journal::parse(const std::string& line) {
+  const auto index = json_get_int(line, "trial");
+  const auto model = json_get_string(line, "model");
+  const auto profile_str = json_get_string(line, "profile");
+  const auto seed_index = json_get_int(line, "seed_index");
+  const auto seed = json_get_u64(line, "seed");
+  const auto objective = json_get_bool(line, "objective_reached");
+  const auto acc_before = json_get_double(line, "acc_before");
+  const auto acc_after = json_get_double(line, "acc_after");
+  const auto flips = json_get_int(line, "flips");
+  const auto pool = json_get_int(line, "pool");
+  const auto curve = json_get_double_array(line, "curve");
+  const auto wall = json_get_double(line, "wall_s");
+  if (!index || !model || !profile_str || !seed_index || !seed || !objective ||
+      !acc_before || !acc_after || !flips || !pool || !curve || !wall)
+    return std::nullopt;
+  const auto profile = profile_from_name(*profile_str);
+  if (!profile) return std::nullopt;
+
+  TrialResult r;
+  r.trial.index = static_cast<int>(*index);
+  r.trial.model = *model;
+  r.trial.profile = *profile;
+  r.trial.seed_index = static_cast<int>(*seed_index);
+  r.trial.seed = *seed;
+  r.objective_reached = *objective;
+  r.accuracy_before = *acc_before;
+  r.accuracy_after = *acc_after;
+  r.flips = static_cast<int>(*flips);
+  r.candidate_pool_size = *pool;
+  r.accuracy_curve = *curve;
+  r.wall_seconds = *wall;
+  r.from_journal = true;
+  return r;
+}
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,57 @@
+// Crash-safe campaign journal: one JSON line per completed trial, appended
+// and flushed as each trial finishes.  On open, existing complete lines are
+// loaded (these trials are skipped on resume) and a torn tail — the partial
+// line left by a crash mid-write — is truncated away so appends never
+// concatenate onto garbage.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/campaign.h"
+
+namespace rowpress::runtime {
+
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path`, loading previously
+  /// completed trials.  Unparseable lines are dropped; a trailing partial
+  /// line is physically truncated from the file.
+  explicit Journal(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Trials already completed in a previous run, keyed by grid index.
+  const std::unordered_map<int, TrialResult>& completed() const {
+    return completed_;
+  }
+  bool contains(int trial_index) const {
+    return completed_.count(trial_index) != 0;
+  }
+
+  /// Appends one record and flushes (write-then-flush crash safety).
+  /// Thread-safe.
+  void append(const TrialResult& result);
+
+  /// Complete lines currently in the file (completed() size after open,
+  /// plus appends since).
+  std::size_t lines_written() const;
+
+  /// (De)serialization of one journal record.  parse() returns nullopt on
+  /// any malformed or truncated line.
+  static std::string serialize(const TrialResult& result);
+  static std::optional<TrialResult> parse(const std::string& line);
+
+ private:
+  std::string path_;
+  std::unordered_map<int, TrialResult> completed_;
+  std::size_t appended_ = 0;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace rowpress::runtime

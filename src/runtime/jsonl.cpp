@@ -1,0 +1,217 @@
+#include "runtime/jsonl.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rowpress::runtime {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Position just past `"key":`, or npos.  Keys in the journal schema never
+// contain escapes, so a literal quoted-key search is exact.
+std::size_t value_pos(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+// Parses one JSON number starting at `i`; nullopt if none is there.
+std::optional<double> parse_number(const std::string& s, std::size_t i,
+                                   std::size_t* end = nullptr) {
+  if (i >= s.size()) return std::nullopt;
+  const char* start = s.c_str() + i;
+  char* stop = nullptr;
+  const double v = std::strtod(start, &stop);
+  if (stop == start) return std::nullopt;
+  if (end) *end = i + static_cast<std::size_t>(stop - start);
+  return v;
+}
+
+}  // namespace
+
+void JsonWriter::begin_field(const std::string& key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t v) {
+  begin_field(key);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_u64(const std::string& key, std::uint64_t v) {
+  begin_field(key);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double v) {
+  begin_field(key);
+  body_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool v) {
+  begin_field(key);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& v) {
+  begin_field(key);
+  body_ += '"';
+  body_ += json_escape(v);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key,
+                              const std::vector<double>& v) {
+  begin_field(key);
+  body_ += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) body_ += ',';
+    body_ += format_double(v[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> json_get_int(const std::string& obj,
+                                         const std::string& key) {
+  const std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  const std::size_t at = skip_ws(obj, i);
+  const char* start = obj.c_str() + at;
+  char* stop = nullptr;
+  const long long v = std::strtoll(start, &stop, 10);
+  if (stop == start) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t> json_get_u64(const std::string& obj,
+                                          const std::string& key) {
+  const std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  const std::size_t at = skip_ws(obj, i);
+  const char* start = obj.c_str() + at;
+  char* stop = nullptr;
+  const unsigned long long v = std::strtoull(start, &stop, 10);
+  if (stop == start) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> json_get_double(const std::string& obj,
+                                      const std::string& key) {
+  const std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  return parse_number(obj, skip_ws(obj, i));
+}
+
+std::optional<bool> json_get_bool(const std::string& obj,
+                                  const std::string& key) {
+  const std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  const std::size_t at = skip_ws(obj, i);
+  if (obj.compare(at, 4, "true") == 0) return true;
+  if (obj.compare(at, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+std::optional<std::string> json_get_string(const std::string& obj,
+                                           const std::string& key) {
+  std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  i = skip_ws(obj, i);
+  if (i >= obj.size() || obj[i] != '"') return std::nullopt;
+  std::string out;
+  for (++i; i < obj.size(); ++i) {
+    const char c = obj[i];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (++i >= obj.size()) return std::nullopt;
+      switch (obj[i]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 4 >= obj.size()) return std::nullopt;
+          const int code = std::strtol(obj.substr(i + 1, 4).c_str(), nullptr, 16);
+          out += static_cast<char>(code);
+          i += 4;
+          break;
+        }
+        default: return std::nullopt;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // unterminated string (truncated line)
+}
+
+std::optional<std::vector<double>> json_get_double_array(
+    const std::string& obj, const std::string& key) {
+  std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  i = skip_ws(obj, i);
+  if (i >= obj.size() || obj[i] != '[') return std::nullopt;
+  std::vector<double> out;
+  i = skip_ws(obj, i + 1);
+  if (i < obj.size() && obj[i] == ']') return out;
+  for (;;) {
+    std::size_t end = 0;
+    const auto v = parse_number(obj, i, &end);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+    i = skip_ws(obj, end);
+    if (i >= obj.size()) return std::nullopt;  // truncated
+    if (obj[i] == ']') return out;
+    if (obj[i] != ',') return std::nullopt;
+    i = skip_ws(obj, i + 1);
+  }
+}
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,55 @@
+// Minimal JSON-lines plumbing for the campaign journal.
+//
+// Deliberately not a general JSON library: the journal is the only producer
+// and consumer, the schema is flat (one object per line, scalar fields plus
+// one numeric array), and doubles must round-trip bit-exactly so resumed
+// campaigns compare equal to uninterrupted ones.  Emission uses %.17g;
+// parsing is a forgiving scanner that returns nullopt on any malformed or
+// missing field (a truncated crash tail parses as "not a record" rather
+// than throwing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rowpress::runtime {
+
+/// Builds one JSON object, field by field, in insertion order.
+class JsonWriter {
+ public:
+  JsonWriter& field(const std::string& key, std::int64_t v);
+  JsonWriter& field_u64(const std::string& key, std::uint64_t v);
+  JsonWriter& field(const std::string& key, double v);
+  JsonWriter& field(const std::string& key, bool v);
+  JsonWriter& field(const std::string& key, const std::string& v);
+  JsonWriter& field(const std::string& key, const std::vector<double>& v);
+
+  /// The complete object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void begin_field(const std::string& key);
+  std::string body_;
+};
+
+/// Escapes a string for inclusion in a JSON document (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Field extractors over one serialized object.  All return nullopt when
+/// the key is absent or the value is malformed / of the wrong type.
+std::optional<std::int64_t> json_get_int(const std::string& obj,
+                                         const std::string& key);
+std::optional<std::uint64_t> json_get_u64(const std::string& obj,
+                                          const std::string& key);
+std::optional<double> json_get_double(const std::string& obj,
+                                      const std::string& key);
+std::optional<bool> json_get_bool(const std::string& obj,
+                                  const std::string& key);
+std::optional<std::string> json_get_string(const std::string& obj,
+                                           const std::string& key);
+std::optional<std::vector<double>> json_get_double_array(
+    const std::string& obj, const std::string& key);
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,117 @@
+#include "runtime/progress.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rowpress::runtime {
+
+namespace {
+
+std::string format_duration(double seconds) {
+  if (seconds < 0.0) return "?";
+  const int s = static_cast<int>(seconds + 0.5);
+  char buf[32];
+  if (s >= 3600)
+    std::snprintf(buf, sizeof(buf), "%dh%02dm", s / 3600, (s % 3600) / 60);
+  else if (s >= 60)
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", s / 60, s % 60);
+  else
+    std::snprintf(buf, sizeof(buf), "%ds", s);
+  return buf;
+}
+
+}  // namespace
+
+Progress::Progress(int total_trials, double interval_seconds)
+    : total_(total_trials),
+      interval_s_(interval_seconds),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+Progress::~Progress() { finish(); }
+
+void Progress::start() {
+  if (interval_s_ <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  reporter_ = std::thread([this] { reporter_loop(); });
+}
+
+void Progress::note_skipped(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  skipped_ += n;
+  done_ += n;
+}
+
+void Progress::begin_trial(int worker, const std::string& trial_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_state_[worker] = trial_id;
+}
+
+void Progress::end_trial(int worker, int flips) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_state_[worker] = "idle";
+  ++done_;
+  flips_ += flips;
+}
+
+void Progress::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (reporter_.joinable()) reporter_.join();
+  if (interval_s_ > 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::printf("%s\n", status_line().c_str());
+    std::fflush(stdout);
+  }
+}
+
+int Progress::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+std::int64_t Progress::total_flips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flips_;
+}
+
+void Progress::reporter_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::duration<double>(interval_s_);
+  while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+    std::printf("%s\n", status_line().c_str());
+    std::fflush(stdout);
+  }
+}
+
+std::string Progress::status_line() const {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const int executed = done_ - skipped_;
+  // ETA from the mean time of trials executed this run (journal restores
+  // are instantaneous and would skew it).
+  double eta = -1.0;
+  if (executed > 0 && done_ < total_)
+    eta = elapsed / executed * (total_ - done_);
+
+  std::ostringstream os;
+  os << "[campaign] " << done_ << "/" << total_ << " trials";
+  if (skipped_ > 0) os << " (" << skipped_ << " resumed)";
+  os << ", " << flips_ << " flips, elapsed " << format_duration(elapsed)
+     << ", eta " << format_duration(eta);
+  if (!worker_state_.empty()) {
+    os << " |";
+    for (const auto& [w, id] : worker_state_) os << " w" << w << ":" << id;
+  }
+  return os.str();
+}
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,60 @@
+// Periodic campaign progress reporter: trials done/total, cumulative
+// flips, ETA from the running mean trial time, and what each pool worker
+// is currently attacking.  A dedicated thread prints on an interval;
+// interval <= 0 keeps the bookkeeping but never prints (tests, quiet runs).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rowpress::runtime {
+
+class Progress {
+ public:
+  Progress(int total_trials, double interval_seconds);
+  ~Progress();
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Starts the reporter thread (no-op when the interval is <= 0).
+  void start();
+
+  /// Records trials restored from the journal (count toward done/total).
+  void note_skipped(int n);
+
+  /// Worker lifecycle hooks; `worker` is ThreadPool::worker_index().
+  void begin_trial(int worker, const std::string& trial_id);
+  void end_trial(int worker, int flips);
+
+  /// Stops the reporter and prints a final summary line (if enabled).
+  void finish();
+
+  int done() const;
+  std::int64_t total_flips() const;
+
+ private:
+  void reporter_loop();
+  std::string status_line() const;  // caller holds mutex_
+
+  const int total_;
+  const double interval_s_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  int done_ = 0;
+  int skipped_ = 0;
+  std::int64_t flips_ = 0;
+  std::map<int, std::string> worker_state_;  ///< worker -> current trial id
+  std::thread reporter_;
+};
+
+}  // namespace rowpress::runtime

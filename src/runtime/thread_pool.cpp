@@ -1,0 +1,58 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rowpress::runtime {
+
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RP_REQUIRE(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+int ThreadPool::worker_index() { return t_worker_index; }
+
+void ThreadPool::worker_loop(int index) {
+  t_worker_index = index;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+}  // namespace rowpress::runtime

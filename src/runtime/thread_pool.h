@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the campaign runtime.
+//
+// A plain std::thread + condition-variable work queue: tasks are submitted
+// as std::function<void()> and executed FIFO by the first free worker.
+// Each submission returns a std::future<void> so callers can join on
+// completion and observe exceptions — a task that throws stores the
+// exception in its future instead of tearing down the pool.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rowpress::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  The returned future completes when the task has run
+  /// and rethrows anything the task threw.  Throws std::logic_error if the
+  /// pool is already shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Index of the calling pool worker in [0, size()), or -1 when called
+  /// from a thread that does not belong to a pool.  Used by the progress
+  /// reporter to attribute per-worker state.
+  static int worker_index();
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace rowpress::runtime

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -136,6 +138,61 @@ TEST(Experiment, PrepareTrainedModelUsesCache) {
   const PreparedModel third =
       prepare_trained_model(quick, data, tmp.path.string(), 8);
   EXPECT_FALSE(third.from_cache);
+}
+
+TEST(Experiment, ConcurrentPrepareTrainsOnceAndAgrees) {
+  TempDir tmp;
+  const auto zoo = models::model_zoo();
+  models::ModelSpec quick = models::find_model(zoo, "ResNet-20");
+  quick.recipe.epochs = 1;
+  const auto data = models::make_dataset(quick.dataset);
+
+  // Four workers race on the same cache path: exactly one trains, the
+  // rest block on the per-path mutex and then load what it published.
+  constexpr int kThreads = 4;
+  std::vector<PreparedModel> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] =
+          prepare_trained_model(quick, data, tmp.path.string(), 7);
+    });
+  for (auto& t : threads) t.join();
+
+  int trained = 0;
+  for (const auto& r : results)
+    if (!r.from_cache) ++trained;
+  EXPECT_EQ(trained, 1);
+  for (const auto& r : results)
+    EXPECT_EQ(r.stats.test_accuracy, results[0].stats.test_accuracy);
+  // No half-written scratch files left behind.
+  for (const auto& e : std::filesystem::directory_iterator(tmp.path))
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+        << e.path();
+}
+
+TEST(Experiment, ConcurrentProfileBuildIsIdempotent) {
+  TempDir tmp;
+  constexpr int kThreads = 4;
+  std::vector<ProfilePair> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      dram::Device dev(testutil::dense_device_config(61));
+      results[static_cast<std::size_t>(i)] =
+          build_or_load_profiles(dev, tmp.path.string());
+    });
+  for (auto& t : threads) t.join();
+
+  ASSERT_GT(results[0].rowhammer.size(), 0u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.rowhammer.size(), results[0].rowhammer.size());
+    EXPECT_EQ(r.rowpress.size(), results[0].rowpress.size());
+    EXPECT_EQ(r.rowpress.overlap(results[0].rowpress), r.rowpress.size());
+  }
+  for (const auto& e : std::filesystem::directory_iterator(tmp.path))
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+        << e.path();
 }
 
 TEST(Experiment, ProfileCacheRoundtrip) {

@@ -1,0 +1,365 @@
+// Campaign runtime tests: thread-pool draining and exception propagation,
+// journal round-trip and torn-tail recovery, and the two core campaign
+// guarantees — worker-count-independent (bit-identical) trial results and
+// resume-without-rerun after an interrupted run.
+#include "runtime/campaign.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/vision_synth.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "runtime/journal.h"
+#include "runtime/jsonl.h"
+#include "runtime/thread_pool.h"
+#include "test_util.h"
+
+namespace rowpress::runtime {
+namespace {
+
+struct TempDir {
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("rp_runtime_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+// --- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, DrainsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto after = pool.submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPool, WorkerIndexIsSetInsideAndUnsetOutside) {
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+  ThreadPool pool(3);
+  auto f = pool.submit([] {
+    const int w = ThreadPool::worker_index();
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 3);
+  });
+  f.get();
+}
+
+// --- JSON helpers -------------------------------------------------------
+
+TEST(Jsonl, WriterAndParsersRoundTrip) {
+  JsonWriter w;
+  w.field("i", static_cast<std::int64_t>(-42))
+      .field_u64("u", 18446744073709551615ULL)
+      .field("d", 0.1 + 0.2)
+      .field("b", true)
+      .field("s", std::string("a \"quoted\"\nline"))
+      .field("arr", std::vector<double>{1.5, -2.25, 1.0 / 3.0});
+  const std::string obj = w.str();
+
+  EXPECT_EQ(json_get_int(obj, "i"), -42);
+  EXPECT_EQ(json_get_u64(obj, "u"), 18446744073709551615ULL);
+  EXPECT_EQ(json_get_double(obj, "d"), 0.1 + 0.2);  // %.17g is bit-exact
+  EXPECT_EQ(json_get_bool(obj, "b"), true);
+  EXPECT_EQ(json_get_string(obj, "s"), "a \"quoted\"\nline");
+  const auto arr = json_get_double_array(obj, "arr");
+  ASSERT_TRUE(arr.has_value());
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_EQ((*arr)[2], 1.0 / 3.0);
+  EXPECT_FALSE(json_get_int(obj, "missing").has_value());
+}
+
+TEST(Jsonl, TruncatedValuesParseAsAbsent) {
+  const std::string torn = "{\"s\":\"unterminat";
+  EXPECT_FALSE(json_get_string(torn, "s").has_value());
+  const std::string torn_arr = "{\"arr\":[1.0,2.0";
+  EXPECT_FALSE(json_get_double_array(torn_arr, "arr").has_value());
+}
+
+// --- Journal ------------------------------------------------------------
+
+TrialResult sample_result(int index) {
+  TrialResult r;
+  r.trial.index = index;
+  r.trial.model = "TinyMLP";
+  r.trial.profile = AttackProfile::kRowPress;
+  r.trial.seed_index = index % 2;
+  r.trial.seed = trial_seed(7, index);
+  r.objective_reached = index % 2 == 0;
+  r.accuracy_before = 0.875;
+  r.accuracy_after = 0.25 + index * 0.001;
+  r.flips = 3;
+  r.candidate_pool_size = 99;
+  r.accuracy_curve = {0.5, 0.375, 0.25};
+  r.wall_seconds = 0.125;
+  return r;
+}
+
+TEST(Journal, SerializeParseRoundTrip) {
+  const TrialResult r = sample_result(5);
+  const auto parsed = Journal::parse(Journal::serialize(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trial.index, r.trial.index);
+  EXPECT_EQ(parsed->trial.id(), r.trial.id());
+  EXPECT_EQ(parsed->trial.seed, r.trial.seed);
+  EXPECT_EQ(parsed->objective_reached, r.objective_reached);
+  EXPECT_EQ(parsed->accuracy_before, r.accuracy_before);
+  EXPECT_EQ(parsed->accuracy_after, r.accuracy_after);
+  EXPECT_EQ(parsed->flips, r.flips);
+  EXPECT_EQ(parsed->candidate_pool_size, r.candidate_pool_size);
+  EXPECT_EQ(parsed->accuracy_curve, r.accuracy_curve);
+  EXPECT_TRUE(parsed->from_journal);
+}
+
+TEST(Journal, TornTailIsTruncatedAndCompleteLinesSurvive) {
+  TempDir tmp;
+  const std::string path = (tmp.path / "j.jsonl").string();
+  {
+    Journal j(path);
+    j.append(sample_result(0));
+    j.append(sample_result(1));
+    j.append(sample_result(2));
+    EXPECT_EQ(j.lines_written(), 3u);
+  }
+  // Simulate a crash mid-write: keep two lines plus half of the third.
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  std::size_t second_nl = content.find('\n', content.find('\n') + 1);
+  const std::string torn = content.substr(0, second_nl + 1 + 20);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+
+  Journal resumed(path);
+  EXPECT_EQ(resumed.completed().size(), 2u);
+  EXPECT_TRUE(resumed.contains(0));
+  EXPECT_TRUE(resumed.contains(1));
+  EXPECT_FALSE(resumed.contains(2));
+  resumed.append(sample_result(2));
+
+  // The torn fragment is gone: every line in the file now parses.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(Journal::parse(line).has_value()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+// --- Trial grid ---------------------------------------------------------
+
+TEST(Campaign, TrialSeedsAreDeterministicAndDistinct) {
+  EXPECT_EQ(trial_seed(7, 3), trial_seed(7, 3));
+  EXPECT_NE(trial_seed(7, 3), trial_seed(7, 4));
+  EXPECT_NE(trial_seed(7, 3), trial_seed(8, 3));
+  EXPECT_EQ(trial_seed(7, 3), Rng::derive_stream(7, 3));
+}
+
+TEST(Campaign, ExpandTrialsCoversTheGridInOrder) {
+  CampaignSpec spec;
+  spec.models = {"A", "B"};
+  spec.profiles = {AttackProfile::kRowHammer, AttackProfile::kRowPress};
+  spec.seeds_per_cell = 3;
+  spec.campaign_seed = 11;
+  const auto trials = expand_trials(spec);
+  ASSERT_EQ(trials.size(), 12u);
+  EXPECT_EQ(trials[0].id(), "A/rowhammer/s0");
+  EXPECT_EQ(trials[5].id(), "A/rowpress/s2");
+  EXPECT_EQ(trials[11].id(), "B/rowpress/s2");
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, static_cast<int>(i));
+    EXPECT_EQ(trials[i].seed, trial_seed(11, static_cast<int>(i)));
+  }
+}
+
+// --- End-to-end campaigns on a tiny zoo ---------------------------------
+
+data::SplitDataset tiny_vision() {
+  data::VisionSynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 40;
+  cfg.test_per_class = 25;
+  return data::make_vision_dataset(cfg);
+}
+
+models::ModelSpec tiny_spec() {
+  models::ModelSpec s;
+  s.name = "TinyMLP";
+  s.paper_dataset = "synthetic";
+  s.dataset = models::DatasetKind::kVision10;
+  s.factory = [](Rng& rng) -> std::unique_ptr<nn::Module> {
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(144, 16, rng, true, "fc1");
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Linear>(16, 4, rng, true, "fc2");
+    return net;
+  };
+  s.recipe = models::TrainRecipe{.epochs = 1, .batch_size = 32, .lr = 2e-3,
+                                 .weight_decay = 1e-4};
+  return s;
+}
+
+CampaignSpec tiny_campaign(const TempDir& tmp, const std::string& name,
+                           int workers) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.models = {"TinyMLP"};
+  spec.profiles = {AttackProfile::kRowHammer, AttackProfile::kRowPress};
+  spec.seeds_per_cell = 2;
+  spec.campaign_seed = 7;
+  spec.model_seed = 5;
+  spec.bfa.max_flips = 3;
+  spec.bfa.attack_batch_size = 16;
+  spec.bfa.eval_samples = 64;
+  spec.bfa.max_layer_trials = 2;
+  spec.device = testutil::dense_device_config(61);
+  spec.cache_dir = (tmp.path / "cache").string();
+  spec.journal_dir = (tmp.path / "journals").string();
+  spec.workers = workers;
+  spec.zoo = {tiny_spec()};
+  spec.dataset_factory = [](models::DatasetKind) { return tiny_vision(); };
+  return spec;
+}
+
+void expect_identical(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.trial.index, b.trial.index);
+  EXPECT_EQ(a.trial.id(), b.trial.id());
+  EXPECT_EQ(a.trial.seed, b.trial.seed);
+  EXPECT_EQ(a.objective_reached, b.objective_reached);
+  EXPECT_EQ(a.accuracy_before, b.accuracy_before);  // bit-exact
+  EXPECT_EQ(a.accuracy_after, b.accuracy_after);
+  EXPECT_EQ(a.flips, b.flips);
+  EXPECT_EQ(a.candidate_pool_size, b.candidate_pool_size);
+  EXPECT_EQ(a.accuracy_curve, b.accuracy_curve);
+}
+
+TEST(Campaign, ResultsAreBitIdenticalAcrossWorkerCounts) {
+  TempDir tmp;
+  const auto serial = run_campaign(tiny_campaign(tmp, "serial", 1));
+  const auto parallel = run_campaign(tiny_campaign(tmp, "parallel", 4));
+  ASSERT_EQ(serial.results.size(), 4u);
+  ASSERT_EQ(parallel.results.size(), 4u);
+  EXPECT_EQ(serial.executed, 4);
+  EXPECT_EQ(parallel.executed, 4);
+  for (std::size_t i = 0; i < serial.results.size(); ++i)
+    expect_identical(serial.results[i], parallel.results[i]);
+}
+
+TEST(Campaign, ResumeSkipsJournaledTrialsAndRerunsTheTornOne) {
+  TempDir tmp;
+  const auto spec = tiny_campaign(tmp, "resume", 2);
+  const auto full = run_campaign(spec);
+  ASSERT_EQ(full.results.size(), 4u);
+  EXPECT_EQ(full.executed, 4);
+  EXPECT_EQ(full.skipped, 0);
+
+  // Simulate being killed while writing the third record: keep two
+  // complete lines plus a fragment of the third.
+  const std::string jpath = journal_path(spec);
+  std::string content;
+  {
+    std::ifstream in(jpath, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  const std::size_t second_nl =
+      content.find('\n', content.find('\n') + 1);
+  const std::string torn = content.substr(0, second_nl + 1 + 25);
+  {
+    std::ofstream out(jpath, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+  // Journal lines are in completion order (not grid order — workers race),
+  // so read back which two trials survived the truncation.
+  std::set<int> kept;
+  {
+    std::istringstream in(torn);
+    std::string line;
+    while (std::getline(in, line))
+      if (const auto rec = Journal::parse(line)) kept.insert(rec->trial.index);
+  }
+  ASSERT_EQ(kept.size(), 2u);
+
+  const auto resumed = run_campaign(spec);
+  EXPECT_EQ(resumed.skipped, 2);
+  EXPECT_EQ(resumed.executed, 2);
+  ASSERT_EQ(resumed.results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_identical(resumed.results[i], full.results[i]);
+    EXPECT_EQ(resumed.results[i].from_journal,
+              kept.count(static_cast<int>(i)) != 0);
+  }
+
+  // Journal now holds exactly one complete line per trial (no re-runs of
+  // the finished ones, no leftover fragment).
+  std::ifstream in(jpath);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(Journal::parse(line).has_value()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+
+  // A third invocation is a no-op.
+  const auto again = run_campaign(spec);
+  EXPECT_EQ(again.skipped, 4);
+  EXPECT_EQ(again.executed, 0);
+}
+
+TEST(Campaign, RejectsAJournalFromADifferentGrid) {
+  TempDir tmp;
+  auto spec = tiny_campaign(tmp, "clash", 1);
+  run_campaign(spec);
+  // Same journal name, different grid: trial 0 now means something else.
+  spec.profiles = {AttackProfile::kUnconstrained};
+  EXPECT_THROW(run_campaign(spec), std::logic_error);
+}
+
+TEST(Campaign, UnknownModelFailsBeforeAnyWork) {
+  TempDir tmp;
+  auto spec = tiny_campaign(tmp, "typo", 1);
+  spec.models = {"NoSuchModel"};
+  EXPECT_THROW(run_campaign(spec), std::exception);
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(spec.journal_dir) / "typo.jsonl"));
+}
+
+}  // namespace
+}  // namespace rowpress::runtime

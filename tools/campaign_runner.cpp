@@ -1,0 +1,212 @@
+// campaign_runner: run a model × profile × seed attack-trial grid on the
+// campaign runtime — N-way parallel, journaled to
+// <journal-dir>/<name>.jsonl, and resumable (re-running the same command
+// after an interruption skips every journaled trial).
+//
+//   campaign_runner --models ResNet-20,DeiT-T --profiles rh,rp --seeds 3
+//   campaign_runner --models all --workers 8 --name table1
+//   campaign_runner --list-models
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "exp/experiment.h"
+#include "models/zoo.h"
+#include "runtime/campaign.h"
+
+using namespace rowpress;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: campaign_runner [options]\n"
+      "\n"
+      "  --name <s>               campaign name / journal stem (default: "
+      "campaign)\n"
+      "  --models <csv|all>       zoo models to attack (default: all)\n"
+      "  --profiles <csv|all>     rowhammer|rh, rowpress|rp, "
+      "unconstrained|uncon\n"
+      "                           (default: rh,rp)\n"
+      "  --seeds <n>              trials per (model, profile) cell "
+      "(default: 3)\n"
+      "  --campaign-seed <u64>    master seed for trial RNG streams "
+      "(default: 1)\n"
+      "  --workers <n>            parallel workers (default: hardware "
+      "threads)\n"
+      "  --max-flips <n>          BFA flip budget per trial (default: 300)\n"
+      "  --cache-dir <dir>        trained-model/profile cache (default: "
+      "artifacts)\n"
+      "  --journal-dir <dir>      journal directory (default: "
+      "artifacts/campaigns)\n"
+      "  --progress-interval <s>  progress report period in seconds "
+      "(default: 10)\n"
+      "  --fresh                  delete the existing journal and start "
+      "over\n"
+      "  --list-models            print the model zoo and exit\n"
+      "  --help                   this text\n"
+      "\n"
+      "Resume semantics: each completed trial is appended to the journal "
+      "and\nflushed before the next one starts; re-running the same "
+      "command skips\nevery journaled trial, so an interrupted campaign "
+      "finishes where it\nleft off.  A torn last line (crash mid-write) is "
+      "truncated on open.\n");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "campaign_runner: %s (try --help)\n", msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv);
+
+// Anything past flag parsing (model lookup, journal validation, the
+// campaign itself) reports failure through exceptions; turn those into a
+// clean message + exit 1 instead of std::terminate.
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_cli(int argc, char** argv) {
+  runtime::CampaignSpec spec;
+  spec.name = "campaign";
+  spec.progress_interval_s = 10.0;
+  spec.verbose = true;
+  bool fresh = false;
+  std::string models_arg = "all";
+  std::string profiles_arg = "rh,rp";
+
+  const auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--list-models") {
+      for (const auto& m : models::model_zoo())
+        std::printf("%-12s (%s)\n", m.name.c_str(), m.paper_dataset.c_str());
+      return 0;
+    } else if (arg == "--name") {
+      spec.name = need_value(i++, "--name");
+    } else if (arg == "--models") {
+      models_arg = need_value(i++, "--models");
+    } else if (arg == "--profiles") {
+      profiles_arg = need_value(i++, "--profiles");
+    } else if (arg == "--seeds") {
+      spec.seeds_per_cell = std::atoi(need_value(i++, "--seeds").c_str());
+    } else if (arg == "--campaign-seed") {
+      spec.campaign_seed =
+          std::strtoull(need_value(i++, "--campaign-seed").c_str(), nullptr, 10);
+    } else if (arg == "--workers") {
+      spec.workers = std::atoi(need_value(i++, "--workers").c_str());
+    } else if (arg == "--max-flips") {
+      spec.bfa.max_flips = std::atoi(need_value(i++, "--max-flips").c_str());
+    } else if (arg == "--cache-dir") {
+      spec.cache_dir = need_value(i++, "--cache-dir");
+    } else if (arg == "--journal-dir") {
+      spec.journal_dir = need_value(i++, "--journal-dir");
+    } else if (arg == "--progress-interval") {
+      spec.progress_interval_s =
+          std::atof(need_value(i++, "--progress-interval").c_str());
+    } else if (arg == "--fresh") {
+      fresh = true;
+    } else {
+      die("unknown option " + arg);
+    }
+  }
+
+  const auto zoo = models::model_zoo();
+  if (models_arg == "all") {
+    for (const auto& m : zoo) spec.models.push_back(m.name);
+  } else {
+    spec.models = split_csv(models_arg);
+    for (const auto& name : spec.models) models::find_model(zoo, name);
+  }
+
+  spec.profiles.clear();
+  if (profiles_arg == "all") profiles_arg = "rh,rp,uncon";
+  for (const auto& p : split_csv(profiles_arg)) {
+    const auto parsed = runtime::profile_from_name(p);
+    if (!parsed) die("unknown profile '" + p + "'");
+    spec.profiles.push_back(*parsed);
+  }
+  if (spec.seeds_per_cell <= 0) die("--seeds must be positive");
+
+  spec.device = exp::default_chip_config();
+  if (fresh) std::filesystem::remove(runtime::journal_path(spec));
+
+  const auto trials = runtime::expand_trials(spec);
+  std::printf(
+      "campaign '%s': %zu models x %zu profiles x %d seeds = %zu trials\n"
+      "journal: %s\n\n",
+      spec.name.c_str(), spec.models.size(), spec.profiles.size(),
+      spec.seeds_per_cell, trials.size(),
+      runtime::journal_path(spec).c_str());
+
+  const auto res = runtime::run_campaign(spec);
+  std::printf("\n%d trial(s) executed, %d resumed from journal.\n\n",
+              res.executed, res.skipped);
+
+  // Per-cell aggregation (the Table-I view of the grid).
+  struct Cell {
+    double acc_before = 0.0, acc_after = 0.0, flips = 0.0;
+    int n = 0;
+    bool all_reached = true;
+  };
+  std::map<std::pair<std::string, std::string>, Cell> cells;
+  std::vector<std::pair<std::string, std::string>> order;
+  for (const auto& r : res.results) {
+    const auto key = std::make_pair(r.trial.model,
+                                    std::string(runtime::profile_name(
+                                        r.trial.profile)));
+    if (!cells.count(key)) order.push_back(key);
+    Cell& c = cells[key];
+    c.acc_before += r.accuracy_before;
+    c.acc_after += r.accuracy_after;
+    c.flips += r.flips;
+    c.all_reached = c.all_reached && r.objective_reached;
+    ++c.n;
+  }
+
+  Table table({"Model", "Profile", "Acc. before (%)", "Acc. after (%)",
+               "#Flips (mean)", "Objective"});
+  for (const auto& key : order) {
+    const Cell& c = cells[key];
+    table.add_row({key.first, key.second,
+                   Table::fmt(100.0 * c.acc_before / c.n, 2),
+                   Table::fmt(100.0 * c.acc_after / c.n, 2),
+                   Table::fmt(c.flips / c.n, 1),
+                   c.all_reached ? "reached" : "budget*"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n(* = flip budget exhausted before random-guess level on >=1 "
+      "seed)\n");
+  return 0;
+}
