@@ -18,6 +18,7 @@
 #include "dram/fault/rowhammer.h"
 #include "dram/fault/rowpress.h"
 #include "exp/experiment.h"
+#include "telemetry/telemetry.h"
 
 using namespace rowpress;
 
@@ -49,43 +50,57 @@ struct Row {
   std::int64_t rp_nrrs = 0;
 };
 
+// Sums every defense.<slug>.<field> counter in the snapshot (at most one
+// defense is attached per leg, so this is just slug-agnostic lookup).
+std::int64_t defense_counter(const telemetry::Snapshot& snap,
+                             const std::string& field) {
+  std::int64_t total = 0;
+  for (const auto& [name, v] : snap.counters)
+    if (name.starts_with("defense.") && name.ends_with("." + field))
+      total += v;
+  return total;
+}
+
 template <typename MakeDefense>
 Row evaluate(const std::string& name, MakeDefense make) {
   Row row;
   row.defense = name;
   constexpr std::int64_t kHammers = 120000;
-  {
+  // One defense instance serves both legs — reset() between attacks puts
+  // its tables and stats back to power-on state, which is exactly the
+  // reuse pattern the campaign runtime needs.
+  auto defense = make();
+
+  const auto leg = [&](bool rowpress, std::size_t& flips,
+                       std::int64_t& alarms, std::int64_t& nrrs) {
+    telemetry::MetricsRegistry reg;
     dram::Device dev(bench_chip());
     dram::MemoryController ctrl(dev);
-    auto defense = make();
-    if (defense) ctrl.attach_defense(defense.get());
-    dram::RowHammerAttacker attacker({.hammer_count = kHammers});
-    row.rh_flips = attacker.run(ctrl, 0, 20).flip_count();
     if (defense) {
-      row.rh_alarms = defense->stats().alarms;
-      row.rh_nrrs = defense->stats().nrrs_issued;
+      defense->reset();
+      defense->bind_metrics(reg);
+      ctrl.attach_defense(defense.get());
     }
-  }
-  {
-    dram::Device dev(bench_chip());
-    dram::MemoryController ctrl(dev);
-    auto defense = make();
-    if (defense) ctrl.attach_defense(defense.get());
-    dram::RowPressAttacker attacker({.open_ns = 64.0e6});
-    row.rp_flips = attacker.run(ctrl, 0, 20).flip_count();
-    if (defense) {
-      row.rp_alarms = defense->stats().alarms;
-      row.rp_nrrs = defense->stats().nrrs_issued;
+    if (rowpress) {
+      dram::RowPressAttacker attacker({.open_ns = 64.0e6});
+      attacker.bind_metrics(reg, "attack");
+      attacker.run(ctrl, 0, 20);
+    } else {
+      dram::RowHammerAttacker attacker({.hammer_count = kHammers});
+      attacker.bind_metrics(reg, "attack");
+      attacker.run(ctrl, 0, 20);
     }
-  }
+    // The table is read entirely from the telemetry snapshot.
+    const telemetry::Snapshot snap = reg.snapshot();
+    flips = static_cast<std::size_t>(snap.counter_or("attack.flips"));
+    alarms = defense_counter(snap, "alarms");
+    nrrs = defense_counter(snap, "nrrs_issued");
+  };
+
+  leg(/*rowpress=*/false, row.rh_flips, row.rh_alarms, row.rh_nrrs);
+  leg(/*rowpress=*/true, row.rp_flips, row.rp_alarms, row.rp_nrrs);
   return row;
 }
-
-// A thin adapter so evaluate() can also run the no-defense baseline.
-struct StatsOnly {
-  defense::DefenseStats s;
-  const defense::DefenseStats& stats() const { return s; }
-};
 
 }  // namespace
 

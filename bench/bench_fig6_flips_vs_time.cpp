@@ -12,6 +12,7 @@
 #include "dram/fault/rowhammer.h"
 #include "dram/fault/rowpress.h"
 #include "exp/experiment.h"
+#include "telemetry/telemetry.h"
 
 using namespace rowpress;
 
@@ -35,20 +36,32 @@ int main() {
     const auto hc = static_cast<std::int64_t>(
         timing.equivalent_hammer_count(budget_ns));
 
-    // Fresh devices per point so each budget is an independent experiment.
+    // Fresh devices and a fresh registry per point so each budget is an
+    // independent experiment; both attackers report into the registry and
+    // the table columns are read back from its snapshot.
+    telemetry::MetricsRegistry reg;
     dram::Device dev_rh(cfg), dev_rp(cfg);
-    std::size_t rh_flips = 0, rp_flips = 0;
+    int victims = 0;
     for (int victim = 4; victim < cfg.geometry.rows_per_bank - 4;
          victim += 4) {
       dram::RowHammerAttacker rh({.hammer_count = hc / 2});
-      rh_flips += rh.run_fast(dev_rh, 0, victim).flip_count();
+      rh.bind_metrics(reg, "rh");
+      rh.run_fast(dev_rh, 0, victim);
       dram::RowPressAttacker rp({.open_ns = budget_ns});
-      rp_flips += rp.run_fast(dev_rp, 0, victim).flip_count();
+      rp.bind_metrics(reg, "rp");
+      rp.run_fast(dev_rp, 0, victim);
+      ++victims;
     }
+    const telemetry::Snapshot snap = reg.snapshot();
+    const std::int64_t rh_flips = snap.counter_or("rh.flips");
+    const std::int64_t rp_flips = snap.counter_or("rp.flips");
+    // Measured per-victim press duration (sim time), not the requested
+    // budget — the telemetry gauge is the source of the time axis.
+    const double press_ms = snap.gauge_or("rp.time_ns") / victims / 1e6;
     const double ratio =
         rh_flips > 0 ? static_cast<double>(rp_flips) / rh_flips : 0.0;
     if (rh_flips > 0) final_ratio = ratio;
-    table.add_row({Table::fmt(budget_ns / 1e6, 1),
+    table.add_row({Table::fmt(press_ms, 1),
                    Table::fmt(timing.ns_to_cycles(budget_ns) / 1e6, 0),
                    Table::fmt(static_cast<double>(hc) / 1e3, 0),
                    std::to_string(rh_flips), std::to_string(rp_flips),

@@ -11,20 +11,24 @@ namespace {
 
 /// Loss of the model on a fixed batch (forward only).
 double batch_loss(nn::Module& model, const nn::Tensor& inputs,
-                  const std::vector<int>& labels) {
+                  const std::vector<int>& labels,
+                  telemetry::Counter* forward_passes) {
   nn::CrossEntropyLoss ce;
+  if (forward_passes) forward_passes->add();
   return ce.forward(model.forward(inputs), labels);
 }
 
 /// Accuracy over a sample subset, batched.
 double subset_accuracy(nn::Module& model, const data::Dataset& ds,
-                       const std::vector<int>& indices) {
+                       const std::vector<int>& indices,
+                       telemetry::Counter* forward_passes) {
   constexpr int kBatch = 128;
   int correct_total = 0;
   for (std::size_t off = 0; off < indices.size(); off += kBatch) {
     const std::size_t end = std::min(indices.size(), off + kBatch);
     const std::vector<int> chunk(indices.begin() + static_cast<std::ptrdiff_t>(off),
                                  indices.begin() + static_cast<std::ptrdiff_t>(end));
+    if (forward_passes) forward_passes->add();
     const nn::Tensor logits = model.forward(data::gather_inputs(ds, chunk));
     const auto labels = data::gather_labels(ds, chunk);
     correct_total += static_cast<int>(
@@ -45,6 +49,21 @@ bool direction_allows(bool current_bit, dram::FlipDirection dir) {
 
 }  // namespace
 
+void ProgressiveBitFlipAttack::bind_telemetry(
+    telemetry::MetricsRegistry* metrics, telemetry::TraceCollector* trace) {
+  if (metrics) {
+    tel_.iterations = &metrics->counter("attack.iterations");
+    tel_.forward_passes = &metrics->counter("attack.forward_passes");
+    tel_.bits_evaluated = &metrics->counter("attack.bits_evaluated");
+    tel_.layer_trials = &metrics->counter("attack.layer_trials");
+    tel_.flips = &metrics->counter("attack.flips");
+    tel_.candidate_pool = &metrics->gauge("attack.candidate_pool");
+  } else {
+    tel_ = Telemetry{};
+  }
+  trace_ = trace;
+}
+
 std::vector<std::optional<ProgressiveBitFlipAttack::Candidate>>
 ProgressiveBitFlipAttack::intra_layer_search(
     const nn::QuantizedModel& qmodel,
@@ -52,6 +71,10 @@ ProgressiveBitFlipAttack::intra_layer_search(
     const std::vector<bool>* feasible_used) const {
   const auto& qparams = qmodel.qparams();
   std::vector<std::optional<Candidate>> best(qparams.size());
+
+  // Bits scored this pass; accumulated locally so telemetry costs one
+  // atomic add per search, not one per bit.
+  std::int64_t bits_evaluated = 0;
 
   if (feasible == nullptr) {
     // Unconstrained BFA: consider every bit of every attackable weight.
@@ -63,6 +86,7 @@ ProgressiveBitFlipAttack::intra_layer_search(
         const float g = qp.param->grad[i];
         if (g == 0.0f) continue;
         const std::int8_t code = qp.qr.q[static_cast<std::size_t>(i)];
+        bits_evaluated += 8;
         for (int b = 0; b < 8; ++b) {
           const double score =
               static_cast<double>(g) * flip_delta(code, b, qp.qr.scale);
@@ -74,6 +98,7 @@ ProgressiveBitFlipAttack::intra_layer_search(
       }
       if (cand.score > 0.0) best[l] = cand;
     }
+    if (tel_.bits_evaluated) tel_.bits_evaluated->add(bits_evaluated);
     return best;
   }
 
@@ -81,6 +106,7 @@ ProgressiveBitFlipAttack::intra_layer_search(
   // current bit value (Algorithm 3 step 2 + directionality constraint).
   for (std::size_t fi = 0; fi < feasible->size(); ++fi) {
     if ((*feasible_used)[fi]) continue;
+    ++bits_evaluated;
     const FeasibleBit& fb = (*feasible)[fi];
     const auto& qp = qparams[static_cast<std::size_t>(fb.ref.param_index)];
     const std::int8_t code =
@@ -98,6 +124,7 @@ ProgressiveBitFlipAttack::intra_layer_search(
       slot = cand;
     }
   }
+  if (tel_.bits_evaluated) tel_.bits_evaluated->add(bits_evaluated);
   return best;
 }
 
@@ -145,7 +172,11 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
   result.candidate_pool_size =
       feasible ? static_cast<std::int64_t>(feasible->size())
                : qmodel.total_weight_bytes() * 8;
-  result.accuracy_before = subset_accuracy(model, eval_data, eval_idx);
+  if (tel_.candidate_pool)
+    tel_.candidate_pool->set(
+        static_cast<double>(result.candidate_pool_size));
+  result.accuracy_before =
+      subset_accuracy(model, eval_data, eval_idx, tel_.forward_passes);
   result.accuracy_after = result.accuracy_before;
 
   const double target = eval_data.random_guess_accuracy() +
@@ -160,6 +191,9 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
 
   int barren_rounds = 0;
   while (static_cast<int>(result.flips.size()) < config_.max_flips) {
+    if (tel_.iterations) tel_.iterations->add();
+    telemetry::Span iter_span(trace_, "bfa.iteration", "bfa");
+
     const auto batch_idx = draw_batch();
     const nn::Tensor batch_inputs =
         data::gather_inputs(attack_data, batch_idx);
@@ -168,6 +202,7 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
 
     // Gradients of the attack objective w.r.t. the quantized weights.
     model.zero_grad();
+    if (tel_.forward_passes) tel_.forward_passes->add();
     const nn::Tensor logits = model.forward(batch_inputs);
     ce.forward(logits, batch_labels);
     model.backward(ce.backward());
@@ -192,6 +227,8 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
     });
     if (static_cast<int>(order.size()) > config_.max_layer_trials)
       order.resize(static_cast<std::size_t>(config_.max_layer_trials));
+    if (tel_.layer_trials)
+      tel_.layer_trials->add(static_cast<std::int64_t>(order.size()));
 
     // Inter-layer search: try each layer's candidate, keep the max loss.
     double best_loss = -1.0;
@@ -199,7 +236,8 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
     for (const int l : order) {
       const auto& cand = *candidates[static_cast<std::size_t>(l)];
       qmodel.apply_bit_flip(cand.ref);
-      const double loss = batch_loss(model, batch_inputs, batch_labels);
+      const double loss =
+          batch_loss(model, batch_inputs, batch_labels, tel_.forward_passes);
       qmodel.apply_bit_flip(cand.ref);  // restore (XOR is self-inverse)
       if (loss > best_loss) {
         best_loss = loss;
@@ -222,9 +260,15 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
         }
       }
     }
-    rec.accuracy_after = subset_accuracy(model, eval_data, eval_idx);
+    rec.accuracy_after =
+        subset_accuracy(model, eval_data, eval_idx, tel_.forward_passes);
     result.accuracy_after = rec.accuracy_after;
     result.flips.push_back(rec);
+    if (tel_.flips) tel_.flips->add();
+    iter_span.note("loss", best_loss);
+    iter_span.note("accuracy", rec.accuracy_after);
+    iter_span.note("flips", static_cast<double>(result.flips.size()));
+    iter_span.finish();
 
     if (rec.accuracy_after <= target) {
       result.objective_reached = true;

@@ -27,6 +27,8 @@
 #include "data/dataset.h"
 #include "nn/loss.h"
 #include "nn/quant/qmodel.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace rowpress::attack {
 
@@ -67,6 +69,14 @@ class ProgressiveBitFlipAttack {
   ProgressiveBitFlipAttack(BfaConfig config, Rng& rng)
       : config_(config), rng_(&rng) {}
 
+  /// Attaches search-cost telemetry (either pointer may be null):
+  /// counters attack.iterations / forward_passes / bits_evaluated /
+  /// layer_trials / flips, gauge attack.candidate_pool, and one
+  /// "bfa.iteration" trace span per search iteration carrying loss /
+  /// accuracy / flip-count args.
+  void bind_telemetry(telemetry::MetricsRegistry* metrics,
+                      telemetry::TraceCollector* trace);
+
   /// Unconstrained BFA: any bit of any attackable weight may flip.
   AttackResult run_unconstrained(nn::QuantizedModel& qmodel,
                                  const data::Dataset& attack_data,
@@ -98,6 +108,17 @@ class ProgressiveBitFlipAttack {
 
   BfaConfig config_;
   Rng* rng_;
+
+  struct Telemetry {
+    telemetry::Counter* iterations = nullptr;
+    telemetry::Counter* forward_passes = nullptr;
+    telemetry::Counter* bits_evaluated = nullptr;
+    telemetry::Counter* layer_trials = nullptr;
+    telemetry::Counter* flips = nullptr;
+    telemetry::Gauge* candidate_pool = nullptr;
+  };
+  Telemetry tel_;
+  telemetry::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace rowpress::attack

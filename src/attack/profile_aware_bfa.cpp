@@ -95,6 +95,9 @@ PhysicalFlipOutcome PhysicalBitFlipper::run_attack(std::int64_t linear_bit,
     if (r == target.row && outcome.target_flipped) --diffs;
     outcome.collateral_flips += static_cast<int>(diffs);
   }
+  if (attempts_m_) attempts_m_->add();
+  if (flips_m_ && outcome.target_flipped) flips_m_->add();
+  if (collateral_m_) collateral_m_->add(outcome.collateral_flips);
   return outcome;
 }
 

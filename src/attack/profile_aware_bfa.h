@@ -16,6 +16,7 @@
 
 #include "attack/mapping.h"
 #include "dram/controller.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::attack {
 
@@ -30,6 +31,14 @@ class PhysicalBitFlipper {
  public:
   explicit PhysicalBitFlipper(dram::MemoryController& controller)
       : controller_(&controller) {}
+
+  /// Records every injection attempt into attack.physical_attempts /
+  /// physical_flips / collateral_flips.
+  void bind_metrics(telemetry::MetricsRegistry& registry) {
+    attempts_m_ = &registry.counter("attack.physical_attempts");
+    flips_m_ = &registry.counter("attack.physical_flips");
+    collateral_m_ = &registry.counter("attack.collateral_flips");
+  }
 
   /// Double-sided RowHammer on the rows adjacent to the target cell.
   /// `hammer_count` is per aggressor row.
@@ -47,6 +56,9 @@ class PhysicalBitFlipper {
                                  std::int64_t hammer_count, double press_ns);
 
   dram::MemoryController* controller_;
+  telemetry::Counter* attempts_m_ = nullptr;
+  telemetry::Counter* flips_m_ = nullptr;
+  telemetry::Counter* collateral_m_ = nullptr;
 };
 
 }  // namespace rowpress::attack

@@ -26,6 +26,7 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
   auto feasible = mapping.feasible_bits(qmodel, prof);
 
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
+  bfa.bind_telemetry(setup.metrics, setup.trace);
   return bfa.run_profile_aware(qmodel, std::move(feasible), data.test,
                                data.test);
 }
@@ -41,6 +42,7 @@ AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
 
   nn::QuantizedModel qmodel(*model);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
+  bfa.bind_telemetry(setup.metrics, setup.trace);
   return bfa.run_unconstrained(qmodel, data.test, data.test);
 }
 

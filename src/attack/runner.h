@@ -19,6 +19,10 @@ namespace rowpress::attack {
 struct AttackRunSetup {
   BfaConfig bfa;
   std::uint64_t seed = 1;
+  /// Optional telemetry (see ProgressiveBitFlipAttack::bind_telemetry);
+  /// both may be null.  Not owned; must outlive the run.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceCollector* trace = nullptr;
 };
 
 /// DRAM-profile-aware attack (Algorithm 3) with the given profile.

@@ -2,16 +2,58 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dram/controller.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::defense {
 
+/// Per-defense counters.  Fields stay public for readers; defenses mutate
+/// them through record_*() so a bound MetricsRegistry sees every event as
+/// defense.<name>.observed_acts / .alarms / .nrrs_issued.
 struct DefenseStats {
   std::int64_t observed_acts = 0;
   std::int64_t alarms = 0;        ///< times the trigger condition fired
   std::int64_t nrrs_issued = 0;   ///< victim-row refreshes requested
+
+  /// Mirrors subsequent record_*() calls into `registry` under
+  /// "defense.<defense_name>.*".  `defense_name` must be a valid metric
+  /// segment (lowercase/digits/underscores); registry must outlive this.
+  void bind(telemetry::MetricsRegistry& registry,
+            const std::string& defense_name) {
+    const std::string prefix = "defense." + defense_name + ".";
+    acts_m_ = &registry.counter(prefix + "observed_acts");
+    alarms_m_ = &registry.counter(prefix + "alarms");
+    nrrs_m_ = &registry.counter(prefix + "nrrs_issued");
+  }
+
+  void record_act() {
+    ++observed_acts;
+    if (acts_m_) acts_m_->add();
+  }
+  void record_alarm() {
+    ++alarms;
+    if (alarms_m_) alarms_m_->add();
+  }
+  void record_nrrs(std::int64_t n) {
+    nrrs_issued += n;
+    if (nrrs_m_) nrrs_m_->add(n);
+  }
+
+  /// Zeroes the local fields (bound registry series are left alone — the
+  /// registry owns cross-trial aggregation).
+  void reset() {
+    observed_acts = 0;
+    alarms = 0;
+    nrrs_issued = 0;
+  }
+
+ private:
+  telemetry::Counter* acts_m_ = nullptr;
+  telemetry::Counter* alarms_m_ = nullptr;
+  telemetry::Counter* nrrs_m_ = nullptr;
 };
 
 /// Neighbour rows of `row` within a bank of `rows_per_bank` rows — the

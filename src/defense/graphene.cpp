@@ -17,7 +17,7 @@ GrapheneDefense::GrapheneDefense(int num_counters, std::int64_t threshold,
 
 std::vector<dram::NrrRequest> GrapheneDefense::on_activate(int bank, int row,
                                                            double time_ns) {
-  ++stats_.observed_acts;
+  stats_.record_act();
   if (static_cast<std::size_t>(bank) >= banks_.size())
     banks_.resize(static_cast<std::size_t>(bank) + 1);
   BankState& st = banks_[static_cast<std::size_t>(bank)];
@@ -49,9 +49,9 @@ std::vector<dram::NrrRequest> GrapheneDefense::on_activate(int bank, int row,
 
   if (it->second >= threshold_) {
     it->second = st.spillover;  // reset to baseline after mitigation
-    ++stats_.alarms;
+    stats_.record_alarm();
     auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
-    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    stats_.record_nrrs(static_cast<std::int64_t>(nrrs.size()));
     return nrrs;
   }
   return {};
@@ -63,5 +63,10 @@ std::vector<dram::NrrRequest> GrapheneDefense::on_precharge(int, int, double,
 }
 
 void GrapheneDefense::on_refresh(int, int) {}
+
+void GrapheneDefense::reset() {
+  banks_.clear();
+  stats_.reset();
+}
 
 }  // namespace rowpress::defense

@@ -32,6 +32,10 @@ class GrapheneDefense final : public dram::DefenseObserver {
                                              double open_ns,
                                              double time_ns) override;
   void on_refresh(int bank, int row) override;
+  void reset() override;
+  void bind_metrics(telemetry::MetricsRegistry& registry) override {
+    stats_.bind(registry, "graphene");
+  }
 
   const DefenseStats& stats() const { return stats_; }
 

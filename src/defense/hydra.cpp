@@ -16,7 +16,7 @@ HydraDefense::HydraDefense(int rows_per_group, double group_fraction,
 
 std::vector<dram::NrrRequest> HydraDefense::on_activate(int bank, int row,
                                                         double) {
-  ++stats_.observed_acts;
+  stats_.record_act();
   const std::int64_t gkey = group_key(bank, row);
   const std::int64_t rkey = row_key(bank, row);
 
@@ -42,9 +42,9 @@ std::vector<dram::NrrRequest> HydraDefense::on_activate(int bank, int row,
   std::int64_t& c = promoted->second[rkey];
   if (++c >= threshold_) {
     c = 0;
-    ++stats_.alarms;
+    stats_.record_alarm();
     auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
-    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    stats_.record_nrrs(static_cast<std::int64_t>(nrrs.size()));
     return nrrs;
   }
   return {};
@@ -56,5 +56,11 @@ std::vector<dram::NrrRequest> HydraDefense::on_precharge(int, int, double,
 }
 
 void HydraDefense::on_refresh(int, int) {}
+
+void HydraDefense::reset() {
+  group_counters_.clear();
+  row_counters_.clear();
+  stats_.reset();
+}
 
 }  // namespace rowpress::defense

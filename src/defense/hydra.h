@@ -37,6 +37,10 @@ class HydraDefense final : public dram::DefenseObserver {
                                              double open_ns,
                                              double time_ns) override;
   void on_refresh(int bank, int row) override;
+  void reset() override;
+  void bind_metrics(telemetry::MetricsRegistry& registry) override {
+    stats_.bind(registry, "hydra");
+  }
 
   const DefenseStats& stats() const { return stats_; }
   /// Number of groups currently promoted to per-row tracking (for the

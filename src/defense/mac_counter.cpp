@@ -13,16 +13,21 @@ MacCounterDefense::MacCounterDefense(std::int64_t t_mac, int rows_per_bank)
 std::vector<dram::NrrRequest> MacCounterDefense::on_activate(int bank,
                                                              int row,
                                                              double) {
-  ++stats_.observed_acts;
+  stats_.record_act();
   std::int64_t& c = counts_[key(bank, row)];
   if (++c >= t_mac_) {
     c = 0;
-    ++stats_.alarms;
+    stats_.record_alarm();
     auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
-    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    stats_.record_nrrs(static_cast<std::int64_t>(nrrs.size()));
     return nrrs;
   }
   return {};
+}
+
+void MacCounterDefense::reset() {
+  counts_.clear();
+  stats_.reset();
 }
 
 std::vector<dram::NrrRequest> MacCounterDefense::on_precharge(int, int,

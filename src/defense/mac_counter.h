@@ -31,6 +31,10 @@ class MacCounterDefense final : public dram::DefenseObserver {
                                              double open_ns,
                                              double time_ns) override;
   void on_refresh(int bank, int row) override;
+  void reset() override;
+  void bind_metrics(telemetry::MetricsRegistry& registry) override {
+    stats_.bind(registry, "mac");
+  }
 
   const DefenseStats& stats() const { return stats_; }
   std::int64_t count(int bank, int row) const;

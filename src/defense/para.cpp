@@ -6,21 +6,22 @@ namespace rowpress::defense {
 
 ParaDefense::ParaDefense(double probability, int rows_per_bank,
                          std::uint64_t seed)
-    : probability_(probability), rows_per_bank_(rows_per_bank), rng_(seed) {
+    : probability_(probability), rows_per_bank_(rows_per_bank), seed_(seed),
+      rng_(seed) {
   RP_REQUIRE(probability >= 0.0 && probability <= 1.0,
              "PARA probability in [0,1]");
 }
 
 std::vector<dram::NrrRequest> ParaDefense::on_activate(int bank, int row,
                                                        double) {
-  ++stats_.observed_acts;
+  stats_.record_act();
   std::vector<dram::NrrRequest> out;
   for (const auto& nrr : neighbor_nrrs(bank, row, rows_per_bank_)) {
     if (rng_.bernoulli(probability_)) out.push_back(nrr);
   }
   if (!out.empty()) {
-    ++stats_.alarms;
-    stats_.nrrs_issued += static_cast<std::int64_t>(out.size());
+    stats_.record_alarm();
+    stats_.record_nrrs(static_cast<std::int64_t>(out.size()));
   }
   return out;
 }
@@ -31,5 +32,10 @@ std::vector<dram::NrrRequest> ParaDefense::on_precharge(int, int, double,
 }
 
 void ParaDefense::on_refresh(int, int) {}
+
+void ParaDefense::reset() {
+  rng_ = Rng(seed_);
+  stats_.reset();
+}
 
 }  // namespace rowpress::defense

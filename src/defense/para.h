@@ -26,12 +26,17 @@ class ParaDefense final : public dram::DefenseObserver {
                                              double open_ns,
                                              double time_ns) override;
   void on_refresh(int bank, int row) override;
+  void reset() override;
+  void bind_metrics(telemetry::MetricsRegistry& registry) override {
+    stats_.bind(registry, "para");
+  }
 
   const DefenseStats& stats() const { return stats_; }
 
  private:
   double probability_;
   int rows_per_bank_;
+  std::uint64_t seed_;  // kept so reset() restarts the identical RNG stream
   Rng rng_;
   DefenseStats stats_;
 };

@@ -16,7 +16,7 @@ TrrDefense::TrrDefense(int table_size, std::int64_t act_threshold,
 
 std::vector<dram::NrrRequest> TrrDefense::on_activate(int bank, int row,
                                                       double) {
-  ++stats_.observed_acts;
+  stats_.record_act();
   if (static_cast<std::size_t>(bank) >= tables_.size())
     tables_.resize(static_cast<std::size_t>(bank) + 1);
   auto& table = tables_[static_cast<std::size_t>(bank)].entries;
@@ -41,9 +41,9 @@ std::vector<dram::NrrRequest> TrrDefense::on_activate(int bank, int row,
   }
   if (++it->count >= act_threshold_) {
     it->count = 0;
-    ++stats_.alarms;
+    stats_.record_alarm();
     auto nrrs = neighbor_nrrs(bank, row, rows_per_bank_);
-    stats_.nrrs_issued += static_cast<std::int64_t>(nrrs.size());
+    stats_.record_nrrs(static_cast<std::int64_t>(nrrs.size()));
     return nrrs;
   }
   return {};
@@ -55,5 +55,10 @@ std::vector<dram::NrrRequest> TrrDefense::on_precharge(int, int, double,
 }
 
 void TrrDefense::on_refresh(int, int) {}
+
+void TrrDefense::reset() {
+  tables_.clear();
+  stats_.reset();
+}
 
 }  // namespace rowpress::defense

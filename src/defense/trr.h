@@ -28,6 +28,10 @@ class TrrDefense final : public dram::DefenseObserver {
                                              double open_ns,
                                              double time_ns) override;
   void on_refresh(int bank, int row) override;
+  void reset() override;
+  void bind_metrics(telemetry::MetricsRegistry& registry) override {
+    stats_.bind(registry, "trr");
+  }
 
   const DefenseStats& stats() const { return stats_; }
 

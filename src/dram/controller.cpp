@@ -16,6 +16,27 @@ MemoryController::MemoryController(Device& device, bool refresh_enabled)
   next_refresh_ns_ = device_.timing().trefw_ns / g.rows_per_bank;
 }
 
+const std::vector<double>& MemoryController::row_open_bounds_ns() {
+  // tRAS-scale (~35 ns) through the paper's 64 ms window, roughly
+  // log-spaced; anything longer lands in the overflow bucket.
+  static const std::vector<double> bounds = {1e2,   1e3,   1e4,    1e5,
+                                             1e6,   1e7,   3.2e7,  6.4e7,
+                                             1.28e8};
+  return bounds;
+}
+
+void MemoryController::bind_metrics(telemetry::MetricsRegistry& registry) {
+  metrics_.acts = &registry.counter("dram.act_count");
+  metrics_.pres = &registry.counter("dram.pre_count");
+  metrics_.reads = &registry.counter("dram.read_count");
+  metrics_.writes = &registry.counter("dram.write_count");
+  metrics_.refs = &registry.counter("dram.ref_count");
+  metrics_.nrrs = &registry.counter("dram.nrr_count");
+  metrics_.defense_nrrs = &registry.counter("dram.defense_nrr_count");
+  metrics_.row_open_ns =
+      &registry.histogram("dram.row_open_ns", row_open_bounds_ns());
+}
+
 void MemoryController::attach_defense(DefenseObserver* defense) {
   RP_REQUIRE(defense != nullptr, "defense must not be null");
   defenses_.push_back(defense);
@@ -39,6 +60,7 @@ void MemoryController::maybe_refresh() {
       for (auto* d : defenses_) d->on_refresh(b, row);
     }
     ++stats_.refs;
+    if (metrics_.refs) metrics_.refs->add();
     refresh_cursor_ = (refresh_cursor_ + 1) % g.rows_per_bank;
     next_refresh_ns_ += per_row_interval;
   }
@@ -50,6 +72,8 @@ void MemoryController::run_nrrs(const std::vector<NrrRequest>& requests) {
     for (auto* d : defenses_) d->on_refresh(r.bank, r.row);
     ++stats_.nrrs;
     ++stats_.defense_nrrs;
+    if (metrics_.nrrs) metrics_.nrrs->add();
+    if (metrics_.defense_nrrs) metrics_.defense_nrrs->add();
     time_ns_ += kNrrCostNs;
   }
 }
@@ -57,6 +81,7 @@ void MemoryController::run_nrrs(const std::vector<NrrRequest>& requests) {
 void MemoryController::do_activate(int bank, int row) {
   device_.bank(bank).activate(row, time_ns_);
   ++stats_.acts;
+  if (metrics_.acts) metrics_.acts->add();
   for (auto* d : defenses_) run_nrrs(d->on_activate(bank, row, time_ns_));
 }
 
@@ -69,6 +94,8 @@ void MemoryController::do_precharge(int bank) {
   if (time_ns_ < min_close) advance_time(min_close - time_ns_);
   const double open_ns = b.precharge(time_ns_);
   ++stats_.pres;
+  if (metrics_.pres) metrics_.pres->add();
+  if (metrics_.row_open_ns) metrics_.row_open_ns->record(open_ns);
   advance_time(device_.timing().trp_ns());
   for (auto* d : defenses_)
     run_nrrs(d->on_precharge(bank, row, open_ns, time_ns_));
@@ -89,6 +116,7 @@ void MemoryController::execute(const Command& c) {
         do_activate(c.bank, c.row);
       }
       ++stats_.reads;
+      if (metrics_.reads) metrics_.reads->add();
       advance_time(kReadWriteOverheadCk * device_.timing().tck_ns);
       break;
     }
@@ -100,6 +128,7 @@ void MemoryController::execute(const Command& c) {
       }
       b.fill_row(c.row, c.fill);
       ++stats_.writes;
+      if (metrics_.writes) metrics_.writes->add();
       advance_time(kReadWriteOverheadCk * device_.timing().tck_ns);
       break;
     }
@@ -113,12 +142,14 @@ void MemoryController::execute(const Command& c) {
           for (int r = 0; r < device_.geometry().rows_per_bank; ++r)
             d->on_refresh(b, r);
       ++stats_.refs;
+      if (metrics_.refs) metrics_.refs->add();
       advance_time(350.0);
       break;
     case CommandKind::kNrr:
       device_.bank(c.bank).refresh_row(c.row);
       for (auto* d : defenses_) d->on_refresh(c.bank, c.row);
       ++stats_.nrrs;
+      if (metrics_.nrrs) metrics_.nrrs->add();
       advance_time(kNrrCostNs);
       break;
   }

@@ -10,6 +10,7 @@
 
 #include "dram/command_trace.h"
 #include "dram/device.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::dram {
 
@@ -40,6 +41,16 @@ class DefenseObserver {
   /// Called when a row (or the whole device) is refreshed, so trackers can
   /// reset their per-row state.
   virtual void on_refresh(int bank, int row) = 0;
+
+  /// Returns the defense to its just-constructed state (tracker tables,
+  /// stats, RNG streams) so one instance can serve back-to-back trials.
+  virtual void reset() {}
+
+  /// Mirrors the defense's counters into `registry` (implementations use
+  /// "defense.<slug>.*" series).  Default: no telemetry.
+  virtual void bind_metrics(telemetry::MetricsRegistry& registry) {
+    (void)registry;
+  }
 };
 
 struct ControllerStats {
@@ -61,6 +72,16 @@ class MemoryController {
 
   double now_ns() const { return time_ns_; }
   const ControllerStats& stats() const { return stats_; }
+
+  /// Mirrors every stats_ increment into dram.* series on `registry`
+  /// (dram.act_count, dram.pre_count, ..., plus the dram.row_open_ns
+  /// histogram — the RowPress axis).  Call before issuing commands;
+  /// `registry` must outlive the controller.
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+  /// Bucket bounds used for dram.row_open_ns (ns): tRAS-scale holds up to
+  /// the paper's full 64 ms press window and beyond.
+  static const std::vector<double>& row_open_bounds_ns();
 
   /// Periodic refresh emulation: when enabled, rows are refreshed
   /// round-robin such that every row is refreshed once per tREFW.  The
@@ -105,6 +126,20 @@ class MemoryController {
   int refresh_cursor_ = 0;
   std::vector<DefenseObserver*> defenses_;
   ControllerStats stats_;
+
+  // Optional telemetry mirror; null pointers when unbound (the common
+  // case), so the hot path pays one predictable branch per command.
+  struct Metrics {
+    telemetry::Counter* acts = nullptr;
+    telemetry::Counter* pres = nullptr;
+    telemetry::Counter* reads = nullptr;
+    telemetry::Counter* writes = nullptr;
+    telemetry::Counter* refs = nullptr;
+    telemetry::Counter* nrrs = nullptr;
+    telemetry::Counter* defense_nrrs = nullptr;
+    telemetry::Histogram* row_open_ns = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace rowpress::dram

@@ -51,6 +51,7 @@ FaultInjectionResult RowHammerAttacker::run(MemoryController& controller,
   FaultInjectionResult result = detect(device, bank, victim);
   result.elapsed_ns = elapsed;
   result.activations = acts;
+  metrics_.record(result);
   return result;
 }
 
@@ -72,6 +73,7 @@ FaultInjectionResult RowHammerAttacker::run_fast(Device& device, int bank,
       (device.timing().tras_ns() + device.timing().trp_ns());
   result.activations =
       config_.hammer_count * static_cast<std::int64_t>(aggressors.size());
+  metrics_.record(result);
   return result;
 }
 

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dram/controller.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::dram {
 
@@ -29,6 +31,27 @@ struct FaultInjectionResult {
   std::size_t flip_count() const { return flips.size(); }
 };
 
+/// Shared attacker-side telemetry: every run()/run_fast() outcome feeds
+/// <prefix>.flips / <prefix>.activations / <prefix>.time_ns.  Unbound
+/// instances record nothing.
+struct FaultMetrics {
+  void bind(telemetry::MetricsRegistry& registry, const std::string& prefix) {
+    flips = &registry.counter(prefix + ".flips");
+    activations = &registry.counter(prefix + ".activations");
+    time_ns = &registry.gauge(prefix + ".time_ns");
+  }
+
+  void record(const FaultInjectionResult& result) const {
+    if (flips) flips->add(static_cast<std::int64_t>(result.flips.size()));
+    if (activations) activations->add(result.activations);
+    if (time_ns) time_ns->add(result.elapsed_ns);
+  }
+
+  telemetry::Counter* flips = nullptr;
+  telemetry::Counter* activations = nullptr;
+  telemetry::Gauge* time_ns = nullptr;
+};
+
 struct RowHammerConfig {
   std::uint8_t aggressor_pattern = 0xFF;
   std::uint8_t victim_pattern = 0x00;
@@ -44,6 +67,12 @@ class RowHammerAttacker {
       : config_(config) {}
 
   const RowHammerConfig& config() const { return config_; }
+
+  /// Records every subsequent run()/run_fast() outcome under <prefix>.*.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const std::string& prefix = "attack") {
+    metrics_.bind(registry, prefix);
+  }
 
   /// Full command-path attack on victim row `victim` of `bank` (aggressors
   /// are victim±1).  Goes through the controller, so any attached defense
@@ -61,6 +90,7 @@ class RowHammerAttacker {
   FaultInjectionResult detect(Device& device, int bank, int victim) const;
 
   RowHammerConfig config_;
+  FaultMetrics metrics_;
 };
 
 }  // namespace rowpress::dram

@@ -55,6 +55,7 @@ FaultInjectionResult RowPressAttacker::run(MemoryController& controller,
   FaultInjectionResult result = detect(device, bank, target);
   result.elapsed_ns = elapsed;
   result.activations = acts;
+  metrics_.record(result);
   return result;
 }
 
@@ -73,6 +74,7 @@ FaultInjectionResult RowPressAttacker::run_fast(Device& device, int bank,
   result.elapsed_ns = static_cast<double>(config_.press_count) *
                       (config_.open_ns + device.timing().trp_ns());
   result.activations = config_.press_count;
+  metrics_.record(result);
   return result;
 }
 

@@ -30,6 +30,12 @@ class RowPressAttacker {
 
   const RowPressConfig& config() const { return config_; }
 
+  /// Records every subsequent run()/run_fast() outcome under <prefix>.*.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    const std::string& prefix = "attack") {
+    metrics_.bind(registry, prefix);
+  }
+
   /// Full command-path attack pressing row `target`; flips are detected in
   /// the pattern rows target±1.
   FaultInjectionResult run(MemoryController& controller, int bank,
@@ -42,6 +48,7 @@ class RowPressAttacker {
   FaultInjectionResult detect(Device& device, int bank, int target) const;
 
   RowPressConfig config_;
+  FaultMetrics metrics_;
 };
 
 }  // namespace rowpress::dram

@@ -144,7 +144,8 @@ PreparedModel prepare_trained_model(const models::ModelSpec& spec,
 
 ProfilePair build_or_load_profiles(dram::Device& device,
                                    const std::string& cache_dir,
-                                   bool verbose) {
+                                   bool verbose,
+                                   telemetry::MetricsRegistry* metrics) {
   ProfilePair out;
   const std::string tag = std::to_string(device.geometry().num_banks) + "x" +
                           std::to_string(device.geometry().rows_per_bank);
@@ -165,6 +166,7 @@ ProfilePair build_or_load_profiles(dram::Device& device,
     if (verbose)
       std::printf("profiling chip under RowHammer & RowPress ...\n");
     profile::Profiler profiler;
+    if (metrics) profiler.bind_metrics(*metrics);
     out.rowhammer = profiler.profile_rowhammer(device);
     out.rowpress = profiler.profile_rowpress(device);
   };

@@ -12,6 +12,7 @@
 #include "nn/module.h"
 #include "nn/serialize.h"
 #include "profile/bitflip_profile.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::exp {
 
@@ -50,9 +51,14 @@ struct ProfilePair {
   profile::BitFlipProfile rowhammer;
   profile::BitFlipProfile rowpress;
 };
+/// `metrics` (optional) receives the profiling sweep's series
+/// (profile.* plus dram.act_count) when the profiles are actually built;
+/// a cache hit records nothing.
 ProfilePair build_or_load_profiles(dram::Device& device,
                                    const std::string& cache_dir,
-                                   bool verbose = false);
+                                   bool verbose = false,
+                                   telemetry::MetricsRegistry* metrics =
+                                       nullptr);
 
 /// The standard simulated chip used across benches/examples.
 dram::DeviceConfig default_chip_config();

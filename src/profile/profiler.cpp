@@ -20,6 +20,21 @@ void reset_neighborhood(dram::Device& device, int bank, int row) {
 
 }  // namespace
 
+void Profiler::bind_metrics(telemetry::MetricsRegistry& registry) {
+  flips_m_ = &registry.counter("profile.flips");
+  activations_m_ = &registry.counter("profile.activations");
+  time_ns_m_ = &registry.gauge("profile.time_ns");
+  dram_acts_m_ = &registry.counter("dram.act_count");
+}
+
+void Profiler::record_result(std::size_t flips, std::int64_t activations,
+                             double elapsed_ns) const {
+  if (flips_m_) flips_m_->add(static_cast<std::int64_t>(flips));
+  if (activations_m_) activations_m_->add(activations);
+  if (time_ns_m_) time_ns_m_->add(elapsed_ns);
+  if (dram_acts_m_) dram_acts_m_->add(activations);
+}
+
 std::pair<int, int> Profiler::row_range(const dram::Device& device) const {
   const int last_valid = device.geometry().rows_per_bank - 2;
   int first = config_.first_row < 0 ? 1 : std::max(1, config_.first_row);
@@ -60,6 +75,8 @@ BitFlipProfile Profiler::profile_rowhammer(dram::Device& device) {
                                   : dram::FlipDirection::kOneToZero);
         }
         time_ns += result.elapsed_ns;
+        record_result(result.flips.size(), result.activations,
+                      result.elapsed_ns);
         reset_neighborhood(device, bank, victim);
       }
     }
@@ -97,6 +114,8 @@ BitFlipProfile Profiler::profile_rowpress(dram::Device& device) {
                                   : dram::FlipDirection::kOneToZero);
         }
         time_ns += result.elapsed_ns;
+        record_result(result.flips.size(), result.activations,
+                      result.elapsed_ns);
         reset_neighborhood(device, bank, target);
       }
     }

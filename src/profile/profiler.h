@@ -8,6 +8,7 @@
 
 #include "dram/device.h"
 #include "profile/bitflip_profile.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::profile {
 
@@ -41,6 +42,11 @@ class Profiler {
   const ProfilerConfig& config() const { return config_; }
   const ProfileRunInfo& last_run_info() const { return info_; }
 
+  /// Records every profiled victim into profile.flips / .activations /
+  /// .time_ns, and feeds dram.act_count (the sweep's activations are real
+  /// ACTs even though run_fast bypasses the command path).
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
   /// Profiles the device under double-sided RowHammer (Algorithm 1 with
   /// both data-pattern polarities).  Leaves the device with cleared
   /// disturbance accumulators and cleared flip logs.
@@ -51,9 +57,16 @@ class Profiler {
 
  private:
   std::pair<int, int> row_range(const dram::Device& device) const;
+  void record_result(std::size_t flips, std::int64_t activations,
+                     double elapsed_ns) const;
 
   ProfilerConfig config_;
   ProfileRunInfo info_;
+
+  telemetry::Counter* flips_m_ = nullptr;
+  telemetry::Counter* activations_m_ = nullptr;
+  telemetry::Gauge* time_ns_m_ = nullptr;
+  telemetry::Counter* dram_acts_m_ = nullptr;
 };
 
 }  // namespace rowpress::profile

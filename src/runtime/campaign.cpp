@@ -128,6 +128,9 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
                      std::to_string(t.index) + " but the spec expects " +
                      t.id() + " — stale journal for a different campaign?");
       out.results[static_cast<std::size_t>(t.index)] = rec;
+      // Resumed trials contribute their journaled counters so campaign
+      // totals match an uninterrupted run.
+      if (spec.metrics) spec.metrics->accumulate_counters(rec.metrics);
       ++out.skipped;
     } else {
       pending.push_back(&t);
@@ -151,10 +154,10 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   exp::ProfilePair profiles;
   if (needs_profiles && !pending.empty())
     profiles = exp::build_or_load_profiles(device, spec.cache_dir,
-                                           spec.verbose);
+                                           spec.verbose, spec.metrics);
 
   Progress progress(static_cast<int>(trials.size()),
-                    spec.progress_interval_s);
+                    spec.progress_interval_s, spec.progress_sink);
   progress.note_skipped(out.skipped);
   progress.start();
 
@@ -166,6 +169,11 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   auto run_trial = [&](const Trial& t) {
     progress.begin_trial(ThreadPool::worker_index(), t.id());
     const auto t0 = std::chrono::steady_clock::now();
+    // Each trial gets a private registry so its counters are exactly its
+    // own work regardless of which worker ran it or what ran concurrently;
+    // the campaign-wide aggregate is built by summing trial snapshots.
+    telemetry::MetricsRegistry trial_metrics;
+    telemetry::Span trial_span(spec.trace, t.id(), "trial");
 
     const auto& mspec = models::find_model(zoo, t.model);
     const auto& data = datasets.get(static_cast<int>(mspec.dataset), [&] {
@@ -179,6 +187,8 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     attack::AttackRunSetup setup;
     setup.bfa = spec.bfa;
     setup.seed = t.seed;
+    setup.metrics = &trial_metrics;
+    setup.trace = spec.trace;
     attack::AttackResult r;
     switch (t.profile) {
       case AttackProfile::kRowHammer:
@@ -209,6 +219,14 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    // Only the counters go into the journal: they are deterministic work
+    // measures, unlike gauges/histograms which may carry wall-clock time.
+    result.metrics = trial_metrics.snapshot().counters;
+    if (spec.metrics) spec.metrics->accumulate_counters(result.metrics);
+
+    trial_span.note("flips", static_cast<double>(result.flips));
+    trial_span.note("acc_after", result.accuracy_after);
+    trial_span.finish();
 
     const int flips = result.flips;
     journal.append(result);

@@ -15,12 +15,16 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/bfa.h"
 #include "data/dataset.h"
 #include "dram/device.h"
 #include "models/zoo.h"
+#include "runtime/progress.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace rowpress::runtime {
 
@@ -56,6 +60,11 @@ struct TrialResult {
   std::vector<double> accuracy_curve;
   double wall_seconds = 0.0;       ///< not part of the deterministic output
   bool from_journal = false;       ///< loaded from a previous run
+  /// Deterministic telemetry counters for this trial (sorted by name):
+  /// attack.* work counters plus, for physical profiles, dram.* command
+  /// counts and defense.* observations.  Timing series are excluded so a
+  /// journaled trial equals a re-executed one bit-for-bit.
+  std::vector<std::pair<std::string, std::int64_t>> metrics;
 };
 
 struct CampaignSpec {
@@ -73,6 +82,16 @@ struct CampaignSpec {
   int workers = 0;                 ///< 0 => std::thread::hardware_concurrency
   double progress_interval_s = 0.0;  ///< <= 0 disables the reporter
   bool verbose = false;
+
+  /// Optional campaign-wide metrics aggregate.  When set, every trial's
+  /// counters (executed *and* journal-resumed) are accumulated into it, so
+  /// totals are invariant under resume and worker count.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Optional trace collector: each trial emits one complete-event span
+  /// (name = trial id, cat = "trial"); BFA iteration spans nest inside it.
+  telemetry::TraceCollector* trace = nullptr;
+  /// Optional progress sink (default: stderr).  See Progress::Sink.
+  Progress::Sink progress_sink;
 
   /// Override the model zoo (default: models::model_zoo()).  Lets tests run
   /// the runtime on tiny architectures.

@@ -68,6 +68,9 @@ std::string Journal::serialize(const TrialResult& r) {
       .field("pool", r.candidate_pool_size)
       .field("curve", r.accuracy_curve)
       .field("wall_s", r.wall_seconds);
+  // Telemetry counters last: dotted metric names cannot collide with the
+  // scalar keys above, and old journals without the field stay parseable.
+  w.field_object("metrics", r.metrics);
   return w.str();
 }
 
@@ -103,6 +106,9 @@ std::optional<TrialResult> Journal::parse(const std::string& line) {
   r.candidate_pool_size = *pool;
   r.accuracy_curve = *curve;
   r.wall_seconds = *wall;
+  // Optional (absent in pre-telemetry journals — treated as empty).
+  if (auto metrics = json_get_int_map(line, "metrics"))
+    r.metrics = std::move(*metrics);
   r.from_journal = true;
   return r;
 }

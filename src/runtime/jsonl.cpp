@@ -94,6 +94,22 @@ JsonWriter& JsonWriter::field(const std::string& key,
   return *this;
 }
 
+JsonWriter& JsonWriter::field_object(
+    const std::string& key,
+    const std::vector<std::pair<std::string, std::int64_t>>& v) {
+  begin_field(key);
+  body_ += '{';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) body_ += ',';
+    body_ += '"';
+    body_ += json_escape(v[i].first);
+    body_ += "\":";
+    body_ += std::to_string(v[i].second);
+  }
+  body_ += '}';
+  return *this;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -209,6 +225,39 @@ std::optional<std::vector<double>> json_get_double_array(
     i = skip_ws(obj, end);
     if (i >= obj.size()) return std::nullopt;  // truncated
     if (obj[i] == ']') return out;
+    if (obj[i] != ',') return std::nullopt;
+    i = skip_ws(obj, i + 1);
+  }
+}
+
+std::optional<std::vector<std::pair<std::string, std::int64_t>>>
+json_get_int_map(const std::string& obj, const std::string& key) {
+  std::size_t i = value_pos(obj, key);
+  if (i == std::string::npos) return std::nullopt;
+  i = skip_ws(obj, i);
+  if (i >= obj.size() || obj[i] != '{') return std::nullopt;
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  i = skip_ws(obj, i + 1);
+  if (i < obj.size() && obj[i] == '}') return out;
+  for (;;) {
+    // Key (metric names never contain escapes, but reject rather than
+    // mis-parse if one appears).
+    if (i >= obj.size() || obj[i] != '"') return std::nullopt;
+    const std::size_t key_end = obj.find('"', i + 1);
+    if (key_end == std::string::npos) return std::nullopt;
+    std::string k = obj.substr(i + 1, key_end - i - 1);
+    if (k.find('\\') != std::string::npos) return std::nullopt;
+    i = skip_ws(obj, key_end + 1);
+    if (i >= obj.size() || obj[i] != ':') return std::nullopt;
+    i = skip_ws(obj, i + 1);
+    const char* start = obj.c_str() + i;
+    char* stop = nullptr;
+    const long long v = std::strtoll(start, &stop, 10);
+    if (stop == start) return std::nullopt;
+    out.emplace_back(std::move(k), static_cast<std::int64_t>(v));
+    i = skip_ws(obj, i + static_cast<std::size_t>(stop - start));
+    if (i >= obj.size()) return std::nullopt;  // truncated
+    if (obj[i] == '}') return out;
     if (obj[i] != ',') return std::nullopt;
     i = skip_ws(obj, i + 1);
   }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rowpress::runtime {
@@ -25,6 +26,11 @@ class JsonWriter {
   JsonWriter& field(const std::string& key, bool v);
   JsonWriter& field(const std::string& key, const std::string& v);
   JsonWriter& field(const std::string& key, const std::vector<double>& v);
+  /// Nested flat object of integer fields ({"k":1,...}) — the journal's
+  /// embedded telemetry-counter map.
+  JsonWriter& field_object(
+      const std::string& key,
+      const std::vector<std::pair<std::string, std::int64_t>>& v);
 
   /// The complete object, e.g. {"a":1,"b":"x"}.
   std::string str() const { return "{" + body_ + "}"; }
@@ -51,5 +57,9 @@ std::optional<std::string> json_get_string(const std::string& obj,
                                            const std::string& key);
 std::optional<std::vector<double>> json_get_double_array(
     const std::string& obj, const std::string& key);
+/// Flat string->integer object (the embedded metrics map); insertion order
+/// of the serialized object is preserved.
+std::optional<std::vector<std::pair<std::string, std::int64_t>>>
+json_get_int_map(const std::string& obj, const std::string& key);
 
 }  // namespace rowpress::runtime

@@ -22,10 +22,20 @@ std::string format_duration(double seconds) {
 
 }  // namespace
 
-Progress::Progress(int total_trials, double interval_seconds)
+Progress::Progress(int total_trials, double interval_seconds, Sink sink)
     : total_(total_trials),
       interval_s_(interval_seconds),
+      sink_(std::move(sink)),
       start_time_(std::chrono::steady_clock::now()) {}
+
+void Progress::emit(const std::string& line) {
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+  }
+}
 
 Progress::~Progress() { finish(); }
 
@@ -65,9 +75,12 @@ void Progress::finish() {
   cv_.notify_all();
   if (reporter_.joinable()) reporter_.join();
   if (interval_s_ > 0.0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::printf("%s\n", status_line().c_str());
-    std::fflush(stdout);
+    std::string line;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      line = status_line();
+    }
+    emit(line);
   }
 }
 
@@ -85,8 +98,10 @@ void Progress::reporter_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto interval = std::chrono::duration<double>(interval_s_);
   while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
-    std::printf("%s\n", status_line().c_str());
-    std::fflush(stdout);
+    const std::string line = status_line();
+    lock.unlock();  // sink may be slow; don't hold up workers
+    emit(line);
+    lock.lock();
   }
 }
 

@@ -1,12 +1,16 @@
 // Periodic campaign progress reporter: trials done/total, cumulative
 // flips, ETA from the running mean trial time, and what each pool worker
-// is currently attacking.  A dedicated thread prints on an interval;
-// interval <= 0 keeps the bookkeeping but never prints (tests, quiet runs).
+// is currently attacking.  A dedicated thread emits on an interval;
+// interval <= 0 keeps the bookkeeping but never emits (tests, quiet runs).
+//
+// Output goes through a pluggable sink — by default stderr, so progress
+// lines never interleave with piped stdout payloads (JSONL, tables).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -16,7 +20,11 @@ namespace rowpress::runtime {
 
 class Progress {
  public:
-  Progress(int total_trials, double interval_seconds);
+  /// Receives one complete status line (no trailing newline) per report.
+  using Sink = std::function<void(const std::string&)>;
+
+  /// `sink` == nullptr emits to stderr.
+  Progress(int total_trials, double interval_seconds, Sink sink = nullptr);
   ~Progress();
 
   Progress(const Progress&) = delete;
@@ -40,10 +48,12 @@ class Progress {
 
  private:
   void reporter_loop();
+  void emit(const std::string& line);
   std::string status_line() const;  // caller holds mutex_
 
   const int total_;
   const double interval_s_;
+  const Sink sink_;
   std::chrono::steady_clock::time_point start_time_;
 
   mutable std::mutex mutex_;

@@ -1,0 +1,101 @@
+#include "telemetry/json_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rowpress::telemetry {
+
+namespace {
+
+// Metric names are validated to [a-z0-9_.], so escaping is technically a
+// no-op today; kept for robustness if the charset ever widens.
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+// Compact bound label for bucket keys: le_100, le_1000000, le_0.5.
+std::string bound_label(double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", b);
+  return std::string("le_") + buf;
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  os << '{';
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& [name, v] : snap.counters) {
+    sep();
+    write_escaped(os, name);
+    os << ':' << v;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    sep();
+    write_escaped(os, name);
+    os << ':';
+    write_double(os, v);
+  }
+  for (const auto& h : snap.histograms) {
+    sep();
+    write_escaped(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum\":";
+    write_double(os, h.sum);
+    os << ",\"buckets\":{";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i) os << ',';
+      const std::string key = i < h.upper_bounds.size()
+                                  ? bound_label(h.upper_bounds[i])
+                                  : std::string("overflow");
+      write_escaped(os, key);
+      os << ':' << h.bucket_counts[i];
+    }
+    os << "}}";
+  }
+  os << '}';
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream ss;
+  write_json(ss, snap);
+  return ss.str();
+}
+
+void write_json_file(const std::string& path, const Snapshot& snap) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open metrics file: " + path);
+  write_json(out, snap);
+  out << '\n';
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing metrics file: " + path);
+}
+
+}  // namespace rowpress::telemetry

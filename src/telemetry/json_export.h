@@ -1,0 +1,21 @@
+// JSON snapshot exporter: one flat object, metric name -> value.
+// Counters serialize as integers, gauges as shortest-round-trip doubles,
+// histograms as nested {"count","sum","buckets":{"le_<bound>":n,...,
+// "overflow":n}} objects.  Keys appear in sorted order (snapshot order),
+// so exports of identical state are byte-identical.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/snapshot.h"
+
+namespace rowpress::telemetry {
+
+std::string to_json(const Snapshot& snap);
+void write_json(std::ostream& os, const Snapshot& snap);
+
+/// Writes to_json() + trailing newline to `path` (throws on I/O failure).
+void write_json_file(const std::string& path, const Snapshot& snap);
+
+}  // namespace rowpress::telemetry

@@ -1,0 +1,114 @@
+// Metric primitives: lock-free counters, gauges, and fixed-bucket
+// histograms.  Increments on simulator hot paths (one per DRAM command)
+// must stay cheap, so every mutation is a relaxed atomic operation — no
+// locks, no allocation, no syscalls.  Exactness under concurrency is still
+// guaranteed: relaxed ordering weakens only inter-thread visibility
+// ordering, never the atomicity of the read-modify-write itself.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rowpress::telemetry {
+
+/// Monotonically increasing event count (ACTs issued, flips committed...).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-written (or accumulated) floating-point value — pool sizes,
+/// simulated attack time in ns, accuracies.  add() uses a CAS loop because
+/// std::atomic<double>::fetch_add codegen is not guaranteed pre-C++20 ABI.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples v <= upper_bounds[i]
+/// (first matching bound); one trailing overflow bucket takes the rest.
+/// Bounds are fixed at construction so recording never allocates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)),
+        buckets_(bounds_.size() + 1) {
+    RP_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+    RP_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+  }
+
+  void record(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds_.begin());  // == size: overflow
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Per-bucket counts; the final entry is the overflow bucket.
+  std::vector<std::int64_t> bucket_counts() const {
+    std::vector<std::int64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Merges a previously captured distribution (bucket-wise addition).
+  void accumulate(const std::vector<std::int64_t>& bucket_counts,
+                  std::int64_t count, double sum) {
+    RP_REQUIRE(bucket_counts.size() == buckets_.size(),
+               "histogram accumulate: bucket layout mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+    count_.fetch_add(count, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + sum,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace rowpress::telemetry

@@ -1,0 +1,123 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace rowpress::telemetry {
+
+namespace {
+
+// "<subsystem>.<metric>": lowercase/digit/underscore segments joined by
+// single dots, at least two segments.
+bool valid_metric_name(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool saw_dot = false;
+  char prev = '.';
+  for (char c : name) {
+    if (c == '.') {
+      if (prev == '.') return false;  // empty segment
+      saw_dot = true;
+    } else if (!(std::islower(static_cast<unsigned char>(c)) ||
+                 std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+    prev = c;
+  }
+  return saw_dot;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  RP_REQUIRE(valid_metric_name(name),
+             "metric name must be dotted lowercase ('subsystem.metric'): " +
+                 name);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.counter) {
+    RP_REQUIRE(!e.gauge && !e.histogram,
+               "metric '" + name + "' already registered with another type");
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  RP_REQUIRE(valid_metric_name(name),
+             "metric name must be dotted lowercase ('subsystem.metric'): " +
+                 name);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.gauge) {
+    RP_REQUIRE(!e.counter && !e.histogram,
+               "metric '" + name + "' already registered with another type");
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds) {
+  RP_REQUIRE(valid_metric_name(name),
+             "metric name must be dotted lowercase ('subsystem.metric'): " +
+                 name);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.histogram) {
+    RP_REQUIRE(!e.counter && !e.gauge,
+               "metric '" + name + "' already registered with another type");
+    e.histogram = std::make_unique<Histogram>(upper_bounds);
+  } else {
+    RP_REQUIRE(e.histogram->upper_bounds() == upper_bounds,
+               "histogram '" + name + "' re-registered with different bounds");
+  }
+  return *e.histogram;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, e] : entries_) {  // map order => sorted by name
+    if (e.counter) {
+      snap.counters.emplace_back(name, e.counter->value());
+    } else if (e.gauge) {
+      snap.gauges.emplace_back(name, e.gauge->value());
+    } else if (e.histogram) {
+      HistogramSnapshot h;
+      h.name = name;
+      h.upper_bounds = e.histogram->upper_bounds();
+      h.bucket_counts = e.histogram->bucket_counts();
+      h.count = e.histogram->count();
+      h.sum = e.histogram->sum();
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::accumulate(const Snapshot& snap) {
+  for (const auto& [name, v] : snap.counters) counter(name).add(v);
+  for (const auto& [name, v] : snap.gauges) gauge(name).add(v);
+  for (const auto& h : snap.histograms)
+    histogram(h.name, h.upper_bounds)
+        .accumulate(h.bucket_counts, h.count, h.sum);
+}
+
+void MetricsRegistry::accumulate_counters(
+    const std::vector<std::pair<std::string, std::int64_t>>& counters) {
+  for (const auto& [name, v] : counters) counter(name).add(v);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace rowpress::telemetry

@@ -1,0 +1,72 @@
+// MetricsRegistry: the process/trial-scoped home of every metric series.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and is
+// expected once per series at bind time; the returned reference is stable
+// for the registry's lifetime, so hot paths hold a plain pointer and pay
+// only a relaxed atomic op per event.
+//
+// Naming convention (enforced): dotted lowercase paths,
+// "<subsystem>.<metric>" — e.g. dram.act_count, defense.trr.alarms,
+// attack.flips.  Dotted names keep journal-embedded metric keys disjoint
+// from the top-level JSONL keys the forgiving scanner greps for.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metric.h"
+#include "telemetry/snapshot.h"
+
+namespace rowpress::telemetry {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent: a second call with the same name returns the same object.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-registration must pass identical bounds (or none via the overload
+  /// below once registered).
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds);
+
+  /// Consistent point-in-time view, sorted by name within each kind.
+  Snapshot snapshot() const;
+
+  /// Adds every series of `snap` into this registry, creating series that
+  /// do not exist yet.  Counter/histogram values add; gauges add too (a
+  /// campaign-level gauge aggregates trial totals).  Histogram bucket
+  /// layouts must match when the series already exists.
+  void accumulate(const Snapshot& snap);
+
+  /// Adds a flat counter map (the journal-embedded form) into this
+  /// registry — used when resuming trials whose full snapshot was never
+  /// persisted.
+  void accumulate_counters(
+      const std::vector<std::pair<std::string, std::int64_t>>& counters);
+
+  /// Zeroes every registered series (registrations stay).
+  void reset();
+
+ private:
+  struct Entry {
+    // Exactly one of these is set; unique_ptr keeps addresses stable
+    // across map rehash/insert.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rowpress::telemetry

@@ -1,0 +1,41 @@
+// ScopedTimer: RAII wall-clock timer feeding a Histogram (distribution of
+// durations) and/or a Gauge (accumulated total ns).  Null-safe on both
+// targets so instrumented code needs no "is telemetry on" branches.
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metric.h"
+
+namespace rowpress::telemetry {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, Gauge* total_ns = nullptr)
+      : hist_(hist), total_ns_(total_ns) {
+    if (hist_ || total_ns_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Records now (idempotent; the destructor becomes a no-op).
+  void stop() {
+    if (!hist_ && !total_ns_) return;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (hist_) hist_->record(ns);
+    if (total_ns_) total_ns_->add(ns);
+    hist_ = nullptr;
+    total_ns_ = nullptr;
+  }
+
+ private:
+  Histogram* hist_;
+  Gauge* total_ns_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace rowpress::telemetry

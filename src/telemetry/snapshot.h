@@ -1,0 +1,47 @@
+// Point-in-time capture of a MetricsRegistry — plain data, safe to copy
+// across threads, serialize into a journal line, or diff between trials.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rowpress::telemetry {
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::int64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
+  std::int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// All series sorted by name (std::map iteration order in the registry),
+/// so two snapshots of identical state compare equal field-by-field.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  std::int64_t counter_or(const std::string& name,
+                          std::int64_t fallback = 0) const {
+    for (const auto& [n, v] : counters)
+      if (n == name) return v;
+    return fallback;
+  }
+
+  double gauge_or(const std::string& name, double fallback = 0.0) const {
+    for (const auto& [n, v] : gauges)
+      if (n == name) return v;
+    return fallback;
+  }
+
+  const HistogramSnapshot* histogram(const std::string& name) const {
+    for (const auto& h : histograms)
+      if (h.name == name) return &h;
+    return nullptr;
+  }
+};
+
+}  // namespace rowpress::telemetry

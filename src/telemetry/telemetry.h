@@ -1,0 +1,27 @@
+// Umbrella header for the telemetry subsystem.
+//
+// Naming convention: dotted lowercase paths, "<subsystem>.<metric>".
+// Series currently emitted across the stack:
+//
+//   dram.act_count / pre_count / read_count / write_count / ref_count
+//   dram.nrr_count / defense_nrr_count       controller command counts
+//   dram.row_open_ns                         histogram, the RowPress axis
+//   defense.<name>.observed_acts / alarms / nrrs_issued
+//   attack.flips / iterations / forward_passes / bits_evaluated
+//   attack.layer_trials                      inter-layer flip trials
+//   attack.candidate_pool                    gauge, feasible-bit pool size
+//   attack.physical_attempts / physical_flips / collateral_flips
+//   profile.flips / activations / time_ns    profiling sweeps (run_fast)
+//   <prefix>.flips / activations / time_ns   fault attackers (bind prefix)
+//
+// Dotted names are enforced at registration: they keep journal-embedded
+// metric keys disjoint from top-level JSONL keys (the forgiving scanner's
+// `"key":` needle cannot match inside `"attack.flips":`).
+#pragma once
+
+#include "telemetry/json_export.h"   // IWYU pragma: export
+#include "telemetry/metric.h"        // IWYU pragma: export
+#include "telemetry/registry.h"      // IWYU pragma: export
+#include "telemetry/scoped_timer.h"  // IWYU pragma: export
+#include "telemetry/snapshot.h"      // IWYU pragma: export
+#include "telemetry/trace.h"         // IWYU pragma: export

@@ -1,0 +1,136 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace rowpress::telemetry {
+
+namespace {
+
+std::uint64_t next_collector_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : id_(next_collector_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t TraceCollector::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::buffer_for_this_thread() {
+  // Collector-id-keyed cache (not address-keyed: a freed collector's
+  // address can be reused, its id cannot).  One entry per collector this
+  // thread has ever written to — a handful in practice.
+  struct CacheEntry {
+    std::uint64_t id;
+    ThreadBuffer* buf;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache)
+    if (e.id == id_) return *e.buf;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buf = *buffers_.back();
+  buf.tid = static_cast<int>(buffers_.size()) - 1;
+  cache.push_back({id_, &buf});
+  return buf;
+}
+
+void TraceCollector::add_complete_event(
+    std::string name, std::string cat, std::int64_t ts_ns, std::int64_t dur_ns,
+    std::vector<std::pair<std::string, double>> args) {
+  ThreadBuffer& buf = buffer_for_this_thread();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.tid = buf.tid;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const auto& ev : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    write_escaped(out, ev.name);
+    out << ",\"cat\":";
+    write_escaped(out, ev.cat.empty() ? std::string("default") : ev.cat);
+    out << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ev.ts_ns) / 1000.0);
+    out << ",\"ts\":" << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ev.dur_ns) / 1000.0);
+    out << ",\"dur\":" << buf;
+    if (!ev.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) out << ',';
+        write_escaped(out, ev.args[i].first);
+        std::snprintf(buf, sizeof(buf), "%.17g", ev.args[i].second);
+        out << ':' << buf;
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+}  // namespace rowpress::telemetry

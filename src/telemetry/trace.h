@@ -1,0 +1,104 @@
+// Chrome trace_event collection: Span RAII markers feed per-thread event
+// buffers; write_chrome_trace() emits a JSON file loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Hot-path cost: a Span constructed against a live collector takes one
+// steady_clock read at open and (clock read + per-thread-buffer mutex +
+// vector push) at close — no cross-thread contention while the trial
+// runs, because every thread appends to its own buffer.  A Span holding a
+// null collector is a complete no-op.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rowpress::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int tid = 0;                // collector-assigned, dense from 0
+  std::int64_t ts_ns = 0;     // since collector construction
+  std::int64_t dur_ns = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class TraceCollector {
+ public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Records a complete ("ph":"X") event on the calling thread's buffer.
+  void add_complete_event(std::string name, std::string cat,
+                          std::int64_t ts_ns, std::int64_t dur_ns,
+                          std::vector<std::pair<std::string, double>> args);
+
+  /// Nanoseconds since this collector was constructed (the trace epoch).
+  std::int64_t now_ns() const;
+
+  /// All events from all thread buffers, sorted by (ts, longer-first) so
+  /// enclosing spans precede their children.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+  };
+
+  ThreadBuffer& buffer_for_this_thread();
+
+  const std::uint64_t id_;  // globally unique; keys the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;   // guards buffers_ (list growth only)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Writes the Chrome trace_event JSON ({"traceEvents":[...]}); ts/dur in
+/// (fractional) microseconds as the format requires.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// RAII complete-event marker.  Null-safe: `Span s(nullptr, ...)` costs
+/// nothing.  note() attaches numeric args (loss, accuracy, flips...)
+/// surfaced in the Perfetto event detail pane.
+class Span {
+ public:
+  Span(TraceCollector* collector, std::string name, std::string cat)
+      : collector_(collector), name_(std::move(name)), cat_(std::move(cat)) {
+    if (collector_) start_ns_ = collector_->now_ns();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  void note(std::string key, double value) {
+    if (collector_) args_.emplace_back(std::move(key), value);
+  }
+
+  /// Emits the event now (idempotent; the destructor becomes a no-op).
+  void finish() {
+    if (!collector_) return;
+    const std::int64_t end_ns = collector_->now_ns();
+    collector_->add_complete_event(std::move(name_), std::move(cat_),
+                                   start_ns_, end_ns - start_ns_,
+                                   std::move(args_));
+    collector_ = nullptr;
+  }
+
+ private:
+  TraceCollector* collector_;
+  std::string name_;
+  std::string cat_;
+  std::int64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, double>> args_;
+};
+
+}  // namespace rowpress::telemetry

@@ -187,5 +187,44 @@ TEST(DefenseStats, NeighborNrrsAtEdges) {
   EXPECT_EQ(neighbor_nrrs(0, 5, kRows).size(), 2u);
 }
 
+// Regression: a defense instance reused across trials must report the same
+// alarm counts on every trial.  Before reset() existed, tracking tables
+// and DefenseStats carried over, so the second run saw inflated counters
+// (and, for table-based defenses, pre-warmed state).
+template <typename Defense, typename... Args>
+void expect_reset_makes_trials_identical(Args&&... args) {
+  Defense defense(std::forward<Args>(args)...);
+  const auto run_once = [&] {
+    defense.reset();
+    hammer_flips_under(defense, /*seed=*/31);
+    return defense.stats();
+  };
+  const DefenseStats first = run_once();
+  EXPECT_GT(first.observed_acts, 0);
+  const DefenseStats second = run_once();
+  EXPECT_EQ(second.observed_acts, first.observed_acts);
+  EXPECT_EQ(second.alarms, first.alarms);
+  EXPECT_EQ(second.nrrs_issued, first.nrrs_issued);
+}
+
+TEST(DefenseReset, BackToBackTrialsReportIdenticalStats) {
+  expect_reset_makes_trials_identical<MacCounterDefense>(256, kRows);
+  expect_reset_makes_trials_identical<TrrDefense>(16, 256, kRows);
+  expect_reset_makes_trials_identical<GrapheneDefense>(16, 256, 64.0e6,
+                                                       kRows);
+  expect_reset_makes_trials_identical<ParaDefense>(0.01, kRows);
+  expect_reset_makes_trials_identical<HydraDefense>(16, 0.5, 256, kRows);
+}
+
+TEST(DefenseReset, WithoutResetStatsAccumulate) {
+  // The counterpart that documents why reset() matters: two runs without a
+  // reset in between double the observation count.
+  MacCounterDefense defense(256, kRows);
+  hammer_flips_under(defense, 31);
+  const std::int64_t once = defense.stats().observed_acts;
+  hammer_flips_under(defense, 31);
+  EXPECT_EQ(defense.stats().observed_acts, 2 * once);
+}
+
 }  // namespace
 }  // namespace rowpress::defense

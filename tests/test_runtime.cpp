@@ -9,6 +9,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -118,6 +119,9 @@ TrialResult sample_result(int index) {
   r.candidate_pool_size = 99;
   r.accuracy_curve = {0.5, 0.375, 0.25};
   r.wall_seconds = 0.125;
+  r.metrics = {{"attack.bits_evaluated", 4096 + index},
+               {"attack.flips", 3},
+               {"attack.forward_passes", 17}};
   return r;
 }
 
@@ -134,7 +138,24 @@ TEST(Journal, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed->flips, r.flips);
   EXPECT_EQ(parsed->candidate_pool_size, r.candidate_pool_size);
   EXPECT_EQ(parsed->accuracy_curve, r.accuracy_curve);
+  EXPECT_EQ(parsed->metrics, r.metrics);
   EXPECT_TRUE(parsed->from_journal);
+}
+
+TEST(Journal, PreTelemetryLinesParseWithEmptyMetrics) {
+  // A line written before the "metrics" field existed must still load (its
+  // counters are simply unknown).
+  TrialResult r = sample_result(1);
+  r.metrics.clear();
+  const std::string line = Journal::serialize(r);
+  const std::string field = ",\"metrics\":{}";
+  ASSERT_NE(line.find(field), std::string::npos);
+  std::string legacy = line;
+  legacy.erase(legacy.find(field), field.size());
+  const auto parsed = Journal::parse(legacy);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->metrics.empty());
+  EXPECT_EQ(parsed->flips, r.flips);
 }
 
 TEST(Journal, TornTailIsTruncatedAndCompleteLinesSurvive) {
@@ -178,6 +199,42 @@ TEST(Journal, TornTailIsTruncatedAndCompleteLinesSurvive) {
     ++lines;
   }
   EXPECT_EQ(lines, 3);
+}
+
+// --- Progress sink ------------------------------------------------------
+
+TEST(ProgressSink, LinesGoToTheSinkNotStderr) {
+  std::vector<std::string> lines;
+  std::mutex mu;
+  {
+    Progress p(4, /*interval_seconds=*/0.01,
+               [&](const std::string& line) {
+                 std::lock_guard<std::mutex> lock(mu);
+                 lines.push_back(line);
+               });
+    p.start();
+    p.begin_trial(0, "m/rowpress/s0");
+    p.end_trial(0, 5);
+    p.note_skipped(1);
+    p.finish();
+  }
+  ASSERT_FALSE(lines.empty());  // at least the finish() summary
+  const std::string& last = lines.back();
+  EXPECT_NE(last.find("2/4 trials"), std::string::npos);
+  EXPECT_NE(last.find("(1 resumed)"), std::string::npos);
+  EXPECT_NE(last.find("5 flips"), std::string::npos);
+}
+
+TEST(ProgressSink, ZeroIntervalNeverEmits) {
+  int calls = 0;
+  Progress p(2, 0.0, [&](const std::string&) { ++calls; });
+  p.start();
+  p.begin_trial(0, "x");
+  p.end_trial(0, 1);
+  p.finish();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(p.done(), 1);
+  EXPECT_EQ(p.total_flips(), 1);
 }
 
 // --- Trial grid ---------------------------------------------------------
@@ -266,23 +323,66 @@ void expect_identical(const TrialResult& a, const TrialResult& b) {
   EXPECT_EQ(a.flips, b.flips);
   EXPECT_EQ(a.candidate_pool_size, b.candidate_pool_size);
   EXPECT_EQ(a.accuracy_curve, b.accuracy_curve);
+  EXPECT_EQ(a.metrics, b.metrics);  // telemetry counters are deterministic
+}
+
+// The attack.* counters are pure per-trial work measures; dram.*/profile.*
+// series depend on whether the profile cache was warm, so campaign-level
+// comparisons restrict to the attack namespace.
+std::vector<std::pair<std::string, std::int64_t>> attack_counters(
+    const telemetry::Snapshot& snap) {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& kv : snap.counters)
+    if (kv.first.starts_with("attack.")) out.push_back(kv);
+  return out;
+}
+
+std::int64_t trial_counter(const TrialResult& r, const std::string& name) {
+  for (const auto& [n, v] : r.metrics)
+    if (n == name) return v;
+  return 0;
 }
 
 TEST(Campaign, ResultsAreBitIdenticalAcrossWorkerCounts) {
   TempDir tmp;
-  const auto serial = run_campaign(tiny_campaign(tmp, "serial", 1));
-  const auto parallel = run_campaign(tiny_campaign(tmp, "parallel", 4));
+  telemetry::MetricsRegistry serial_reg, parallel_reg;
+  auto serial_spec = tiny_campaign(tmp, "serial", 1);
+  serial_spec.metrics = &serial_reg;
+  auto parallel_spec = tiny_campaign(tmp, "parallel", 4);
+  parallel_spec.metrics = &parallel_reg;
+  const auto serial = run_campaign(serial_spec);
+  const auto parallel = run_campaign(parallel_spec);
   ASSERT_EQ(serial.results.size(), 4u);
   ASSERT_EQ(parallel.results.size(), 4u);
   EXPECT_EQ(serial.executed, 4);
   EXPECT_EQ(parallel.executed, 4);
   for (std::size_t i = 0; i < serial.results.size(); ++i)
     expect_identical(serial.results[i], parallel.results[i]);
+
+  // The aggregate registry equals the sum of the per-trial counter maps,
+  // independent of worker count.
+  const auto serial_snap = serial_reg.snapshot();
+  EXPECT_EQ(attack_counters(serial_snap),
+            attack_counters(parallel_reg.snapshot()));
+  std::int64_t flips = 0, passes = 0;
+  for (const auto& r : serial.results) {
+    flips += trial_counter(r, "attack.flips");
+    passes += trial_counter(r, "attack.forward_passes");
+  }
+  EXPECT_GT(passes, 0);
+  EXPECT_EQ(serial_snap.counter_or("attack.flips"), flips);
+  EXPECT_EQ(serial_snap.counter_or("attack.forward_passes"), passes);
+  // The journaled flip count and the telemetry counter agree.
+  std::int64_t result_flips = 0;
+  for (const auto& r : serial.results) result_flips += r.flips;
+  EXPECT_EQ(flips, result_flips);
 }
 
 TEST(Campaign, ResumeSkipsJournaledTrialsAndRerunsTheTornOne) {
   TempDir tmp;
-  const auto spec = tiny_campaign(tmp, "resume", 2);
+  auto spec = tiny_campaign(tmp, "resume", 2);
+  telemetry::MetricsRegistry full_reg;
+  spec.metrics = &full_reg;
   const auto full = run_campaign(spec);
   ASSERT_EQ(full.results.size(), 4u);
   EXPECT_EQ(full.executed, 4);
@@ -316,10 +416,16 @@ TEST(Campaign, ResumeSkipsJournaledTrialsAndRerunsTheTornOne) {
   }
   ASSERT_EQ(kept.size(), 2u);
 
+  telemetry::MetricsRegistry resumed_reg;
+  spec.metrics = &resumed_reg;
   const auto resumed = run_campaign(spec);
   EXPECT_EQ(resumed.skipped, 2);
   EXPECT_EQ(resumed.executed, 2);
   ASSERT_EQ(resumed.results.size(), 4u);
+  // Journal-restored trials contribute their persisted counters, so the
+  // aggregate is invariant under interruption.
+  EXPECT_EQ(attack_counters(resumed_reg.snapshot()),
+            attack_counters(full_reg.snapshot()));
   for (std::size_t i = 0; i < 4; ++i) {
     expect_identical(resumed.results[i], full.results[i]);
     EXPECT_EQ(resumed.results[i].from_journal,

@@ -1,0 +1,296 @@
+// Telemetry subsystem: metric semantics, registry registration rules,
+// concurrent-increment exactness, snapshot/JSON export, and Chrome-trace
+// well-formedness (the runtime label's TSan pass covers the concurrency
+// tests with instrumentation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+using namespace rowpress;
+using namespace rowpress::telemetry;
+
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundariesAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);     // bucket le_1
+  h.record(1.0);     // boundary value belongs to its own bucket
+  h.record(5.0);     // le_10
+  h.record(100.0);   // le_100
+  h.record(1000.0);  // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1000.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::exception);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::exception);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::exception);
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("test.hits");
+  Counter& b = reg.counter("test.hits");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+
+  Histogram& h1 = reg.histogram("test.lat", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("test.lat", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, RejectsKindConflictsAndBadNames) {
+  MetricsRegistry reg;
+  reg.counter("test.series");
+  EXPECT_THROW(reg.gauge("test.series"), std::exception);
+  EXPECT_THROW(reg.histogram("test.series", {1.0}), std::exception);
+  // Histogram re-registration must keep the bucket layout.
+  reg.histogram("test.lat", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("test.lat", {1.0, 3.0}), std::exception);
+
+  EXPECT_THROW(reg.counter("nodots"), std::exception);
+  EXPECT_THROW(reg.counter("Upper.case"), std::exception);
+  EXPECT_THROW(reg.counter("trailing."), std::exception);
+  EXPECT_THROW(reg.counter(".leading"), std::exception);
+  EXPECT_THROW(reg.counter("sp ace.x"), std::exception);
+  EXPECT_NO_THROW(reg.counter("ok.name_2.deep"));
+}
+
+TEST(Registry, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.concurrent");
+  Histogram& h = reg.histogram("test.concurrent_lat", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<double>((t + i) % 200));
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  std::int64_t bucket_total = 0;
+  for (const auto n : h.bucket_counts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Registry, SnapshotSortedAndAccumulates) {
+  MetricsRegistry reg;
+  reg.counter("b.two").add(2);
+  reg.counter("a.one").add(1);
+  reg.gauge("c.g").set(0.5);
+  reg.histogram("d.h", {1.0}).record(3.0);
+
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.one");   // sorted by name
+  EXPECT_EQ(snap.counters[1].first, "b.two");
+  EXPECT_EQ(snap.counter_or("b.two"), 2);
+  EXPECT_EQ(snap.counter_or("missing.name", -7), -7);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("c.g"), 0.5);
+
+  MetricsRegistry agg;
+  agg.accumulate(snap);
+  agg.accumulate(snap);
+  const Snapshot twice = agg.snapshot();
+  EXPECT_EQ(twice.counter_or("a.one"), 2);
+  EXPECT_EQ(twice.counter_or("b.two"), 4);
+  EXPECT_DOUBLE_EQ(twice.gauge_or("c.g"), 1.0);
+  const HistogramSnapshot* h = twice.histogram("d.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_DOUBLE_EQ(h->sum, 6.0);
+
+  agg.reset();
+  EXPECT_EQ(agg.snapshot().counter_or("b.two"), 0);  // registration kept
+}
+
+TEST(Registry, AccumulateCountersFlatMap) {
+  MetricsRegistry agg;
+  agg.accumulate_counters({{"x.a", 5}, {"x.b", 1}});
+  agg.accumulate_counters({{"x.a", 2}});
+  const Snapshot snap = agg.snapshot();
+  EXPECT_EQ(snap.counter_or("x.a"), 7);
+  EXPECT_EQ(snap.counter_or("x.b"), 1);
+}
+
+// Minimal structural JSON checks (no parser in tree): balanced braces,
+// expected key/value fragments, byte-identical re-export.
+TEST(JsonExport, SnapshotRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("dram.act_count").add(12);
+  reg.gauge("attack.time_ns").set(1.5);
+  Histogram& h = reg.histogram("dram.row_open_ns", {10.0, 100.0});
+  h.record(5.0);
+  h.record(1e6);
+
+  const Snapshot snap = reg.snapshot();
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"dram.act_count\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"attack.time_ns\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dram.row_open_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  // Identical state => byte-identical export.
+  EXPECT_EQ(json, to_json(reg.snapshot()));
+
+  // The export must survive the runtime's own forgiving scanner: feed the
+  // counter back through the journal-style flat-map parser.
+  std::ostringstream line;
+  line << "{\"metrics\":" << json << "}";
+  // (json contains nested objects for histograms, so only counter-first
+  // prefixes are scannable — emit a counters-only snapshot for that.)
+  Snapshot counters_only;
+  counters_only.counters = snap.counters;
+  const std::string flat = to_json(counters_only);
+  EXPECT_EQ(flat, "{\"dram.act_count\":12}");
+}
+
+TEST(Trace, EventsAreWellFormedAndNest) {
+  TraceCollector trace;
+  {
+    Span outer(&trace, "trial", "trial");
+    // Make the child strictly inside the parent on a coarse clock.
+    Span inner(&trace, "iteration", "bfa");
+    inner.note("loss", 0.25);
+    inner.finish();
+    inner.finish();  // idempotent
+    outer.note("flips", 3.0);
+  }
+  Span noop(nullptr, "ignored", "x");
+  noop.note("k", 1.0);
+  noop.finish();
+
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted ts-ascending, longer-first on ties: the enclosing span first.
+  EXPECT_EQ(events[0].name, "trial");
+  EXPECT_EQ(events[1].name, "iteration");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_GE(events[0].ts_ns + events[0].dur_ns,
+            events[1].ts_ns + events[1].dur_ns);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "flips");
+  EXPECT_DOUBLE_EQ(events[0].args[0].second, 3.0);
+}
+
+TEST(Trace, ChromeTraceFileIsLoadableJson) {
+  TraceCollector trace;
+  {
+    Span s(&trace, "attack \"quoted\"", "trial");
+    s.note("loss", 0.5);
+  }
+  const std::string path = ::testing::TempDir() + "rp_trace_test.json";
+  write_chrome_trace(path, trace.events());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"attack \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  std::int64_t braces = 0, brackets = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_str) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_str = false;
+    } else if (ch == '"') {
+      in_str = true;
+    } else {
+      braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+      brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, PerThreadBuffersMergeAllEvents) {
+  TraceCollector trace;
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSpans; ++i)
+        Span s(&trace, "work", "bench");
+    });
+  for (auto& th : threads) th.join();
+  const auto events = trace.events();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kSpans);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);  // globally sorted
+}
+
+TEST(ScopedTimerTest, RecordsIntoHistogramAndGauge) {
+  Histogram h({1e9});  // everything lands in the first bucket
+  Gauge total;
+  {
+    ScopedTimer t1(&h, &total);
+    ScopedTimer t2(&h);
+    t2.stop();
+    t2.stop();  // idempotent
+  }
+  ScopedTimer noop(nullptr);  // null-safe
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GT(total.value(), 0.0);
+  EXPECT_GE(h.sum(), total.value());
+}
+
+}  // namespace

@@ -20,6 +20,7 @@
 #include "exp/experiment.h"
 #include "models/zoo.h"
 #include "runtime/campaign.h"
+#include "telemetry/telemetry.h"
 
 using namespace rowpress;
 
@@ -48,6 +49,17 @@ void print_usage() {
       "artifacts/campaigns)\n"
       "  --progress-interval <s>  progress report period in seconds "
       "(default: 10)\n"
+      "  --metrics-out <path>     write the campaign's aggregate telemetry\n"
+      "                           snapshot as JSON (counters include "
+      "resumed\n"
+      "                           trials, so totals survive interruption)\n"
+      "  --trace-out <path>       write a Chrome trace_event file "
+      "(open in\n"
+      "                           chrome://tracing or ui.perfetto.dev); "
+      "one\n"
+      "                           span per trial, BFA iterations nested\n"
+      "  --quiet                  suppress banner, progress, and table "
+      "output\n"
       "  --fresh                  delete the existing journal and start "
       "over\n"
       "  --list-models            print the model zoo and exit\n"
@@ -96,8 +108,11 @@ int run_cli(int argc, char** argv) {
   spec.progress_interval_s = 10.0;
   spec.verbose = true;
   bool fresh = false;
+  bool quiet = false;
   std::string models_arg = "all";
   std::string profiles_arg = "rh,rp";
+  std::string metrics_out;
+  std::string trace_out;
 
   const auto need_value = [&](int i, const char* flag) -> std::string {
     if (i + 1 >= argc) die(std::string("missing value for ") + flag);
@@ -134,6 +149,12 @@ int run_cli(int argc, char** argv) {
     } else if (arg == "--progress-interval") {
       spec.progress_interval_s =
           std::atof(need_value(i++, "--progress-interval").c_str());
+    } else if (arg == "--metrics-out") {
+      metrics_out = need_value(i++, "--metrics-out");
+    } else if (arg == "--trace-out") {
+      trace_out = need_value(i++, "--trace-out");
+    } else if (arg == "--quiet") {
+      quiet = true;
     } else if (arg == "--fresh") {
       fresh = true;
     } else {
@@ -160,18 +181,32 @@ int run_cli(int argc, char** argv) {
 
   spec.device = exp::default_chip_config();
   if (fresh) std::filesystem::remove(runtime::journal_path(spec));
+  if (quiet) {
+    spec.progress_interval_s = 0.0;
+    spec.verbose = false;
+  }
+
+  // The aggregate registry is always on (counters are a few relaxed atomic
+  // adds per trial); the trace collector buffers every span, so it only
+  // runs when an output path asks for it.
+  telemetry::MetricsRegistry metrics;
+  telemetry::TraceCollector trace;
+  spec.metrics = &metrics;
+  if (!trace_out.empty()) spec.trace = &trace;
 
   const auto trials = runtime::expand_trials(spec);
-  std::printf(
-      "campaign '%s': %zu models x %zu profiles x %d seeds = %zu trials\n"
-      "journal: %s\n\n",
-      spec.name.c_str(), spec.models.size(), spec.profiles.size(),
-      spec.seeds_per_cell, trials.size(),
-      runtime::journal_path(spec).c_str());
+  if (!quiet)
+    std::printf(
+        "campaign '%s': %zu models x %zu profiles x %d seeds = %zu trials\n"
+        "journal: %s\n\n",
+        spec.name.c_str(), spec.models.size(), spec.profiles.size(),
+        spec.seeds_per_cell, trials.size(),
+        runtime::journal_path(spec).c_str());
 
   const auto res = runtime::run_campaign(spec);
-  std::printf("\n%d trial(s) executed, %d resumed from journal.\n\n",
-              res.executed, res.skipped);
+  if (!quiet)
+    std::printf("\n%d trial(s) executed, %d resumed from journal.\n\n",
+                res.executed, res.skipped);
 
   // Per-cell aggregation (the Table-I view of the grid).
   struct Cell {
@@ -194,19 +229,40 @@ int run_cli(int argc, char** argv) {
     ++c.n;
   }
 
-  Table table({"Model", "Profile", "Acc. before (%)", "Acc. after (%)",
-               "#Flips (mean)", "Objective"});
-  for (const auto& key : order) {
-    const Cell& c = cells[key];
-    table.add_row({key.first, key.second,
-                   Table::fmt(100.0 * c.acc_before / c.n, 2),
-                   Table::fmt(100.0 * c.acc_after / c.n, 2),
-                   Table::fmt(c.flips / c.n, 1),
-                   c.all_reached ? "reached" : "budget*"});
+  const telemetry::Snapshot snap = metrics.snapshot();
+  if (!quiet) {
+    Table table({"Model", "Profile", "Acc. before (%)", "Acc. after (%)",
+                 "#Flips (mean)", "Objective"});
+    for (const auto& key : order) {
+      const Cell& c = cells[key];
+      table.add_row({key.first, key.second,
+                     Table::fmt(100.0 * c.acc_before / c.n, 2),
+                     Table::fmt(100.0 * c.acc_after / c.n, 2),
+                     Table::fmt(c.flips / c.n, 1),
+                     c.all_reached ? "reached" : "budget*"});
+    }
+    table.print(std::cout);
+    std::printf(
+        "\n(* = flip budget exhausted before random-guess level on >=1 "
+        "seed)\n");
+    // Totals read from the same registry --metrics-out exports, so the
+    // console and the JSON can never disagree.
+    std::printf(
+        "\ntelemetry: attack.flips=%lld forward_passes=%lld "
+        "bits_evaluated=%lld dram.act_count=%lld\n",
+        static_cast<long long>(snap.counter_or("attack.flips")),
+        static_cast<long long>(snap.counter_or("attack.forward_passes")),
+        static_cast<long long>(snap.counter_or("attack.bits_evaluated")),
+        static_cast<long long>(snap.counter_or("dram.act_count")));
   }
-  table.print(std::cout);
-  std::printf(
-      "\n(* = flip budget exhausted before random-guess level on >=1 "
-      "seed)\n");
+
+  if (!metrics_out.empty()) {
+    telemetry::write_json_file(metrics_out, snap);
+    if (!quiet) std::printf("metrics snapshot: %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    telemetry::write_chrome_trace(trace_out, trace.events());
+    if (!quiet) std::printf("chrome trace: %s\n", trace_out.c_str());
+  }
   return 0;
 }
