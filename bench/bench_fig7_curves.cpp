@@ -79,9 +79,16 @@ int main() {
     const runtime::TrialResult* rh = nullptr;
     const runtime::TrialResult* rp = nullptr;
     for (const auto& r : campaign.results) {
-      if (r.trial.model != name) continue;
+      if (r.trial.model != name || !r.succeeded()) continue;
       if (r.trial.profile == runtime::AttackProfile::kRowHammer) rh = &r;
       if (r.trial.profile == runtime::AttackProfile::kRowPress) rp = &r;
+    }
+    if (!rh || !rp) {
+      std::fprintf(stderr,
+                   "warning: skipping %s — its trial(s) failed or timed "
+                   "out, no curves to plot\n",
+                   name.c_str());
+      continue;
     }
 
     const int span = std::max(rh->flips, rp->flips);

@@ -78,10 +78,26 @@ int main() {
               campaign.executed, campaign.skipped,
               campaign.journal.c_str());
 
-  // Aggregate the grid back into Table-I cells.
+  // Aggregate the grid back into Table-I cells.  Non-succeeded trials
+  // carry no attack numbers and would drag the averages toward zero, so
+  // they are excluded (and warned about) rather than absorbed.
+  int excluded = 0;
   std::map<std::pair<std::string, runtime::AttackProfile>, CellResult> cells;
-  for (const auto& r : campaign.results)
+  for (const auto& r : campaign.results) {
+    if (!r.succeeded()) {
+      std::fprintf(stderr,
+                   "warning: excluding trial %s (%s: %s) from Table-I "
+                   "aggregates\n",
+                   r.trial.id().c_str(), r.error_category.c_str(),
+                   r.error_message.c_str());
+      ++excluded;
+      continue;
+    }
     cells[{r.trial.model, r.trial.profile}].absorb(r);
+  }
+  if (excluded > 0)
+    std::fprintf(stderr, "warning: %d trial(s) excluded from aggregates\n",
+                 excluded);
 
   Table table({"Dataset", "Architecture", "#Params", "Acc. before (%)",
                "Random guess (%)", "Acc. after RH (%)", "#Flips RH",

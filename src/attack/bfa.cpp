@@ -168,6 +168,8 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
         static_cast<int>(static_cast<std::int64_t>(i) * eval_data.size() /
                          n_eval);
 
+  if (cancel_) cancel_->check("bfa.start");
+
   AttackResult result;
   result.candidate_pool_size =
       feasible ? static_cast<std::int64_t>(feasible->size())
@@ -191,6 +193,10 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
 
   int barren_rounds = 0;
   while (static_cast<int>(result.flips.size()) < config_.max_flips) {
+    // Cooperative deadline/cancel poll, once per search iteration: at this
+    // point every previous flip is committed and no tentative flip is
+    // applied, so aborting here leaves the model in a consistent state.
+    if (cancel_) cancel_->check("bfa.iteration");
     if (tel_.iterations) tel_.iterations->add();
     telemetry::Span iter_span(trace_, "bfa.iteration", "bfa");
 

@@ -27,6 +27,7 @@
 #include "data/dataset.h"
 #include "nn/loss.h"
 #include "nn/quant/qmodel.h"
+#include "runtime/cancel.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -77,6 +78,13 @@ class ProgressiveBitFlipAttack {
   void bind_telemetry(telemetry::MetricsRegistry* metrics,
                       telemetry::TraceCollector* trace);
 
+  /// Attaches a cooperative cancellation token (may be null).  The search
+  /// polls it at each iteration boundary — between flips, never inside the
+  /// tentative apply/restore of the inter-layer search — and throws the
+  /// token's TrialError (kTimeout / kCancelled), so a cancelled attack
+  /// stops within one iteration with only committed flips applied.
+  void bind_cancel(const runtime::CancelToken* cancel) { cancel_ = cancel; }
+
   /// Unconstrained BFA: any bit of any attackable weight may flip.
   AttackResult run_unconstrained(nn::QuantizedModel& qmodel,
                                  const data::Dataset& attack_data,
@@ -119,6 +127,7 @@ class ProgressiveBitFlipAttack {
   };
   Telemetry tel_;
   telemetry::TraceCollector* trace_ = nullptr;
+  const runtime::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace rowpress::attack

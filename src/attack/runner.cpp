@@ -27,6 +27,7 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
 
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);
+  bfa.bind_cancel(setup.cancel);
   return bfa.run_profile_aware(qmodel, std::move(feasible), data.test,
                                data.test);
 }
@@ -43,6 +44,7 @@ AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
   nn::QuantizedModel qmodel(*model);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);
+  bfa.bind_cancel(setup.cancel);
   return bfa.run_unconstrained(qmodel, data.test, data.test);
 }
 

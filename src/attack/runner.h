@@ -23,6 +23,9 @@ struct AttackRunSetup {
   /// both may be null.  Not owned; must outlive the run.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::TraceCollector* trace = nullptr;
+  /// Optional cooperative cancellation/deadline token, polled once per BFA
+  /// iteration (see ProgressiveBitFlipAttack::bind_cancel).  May be null.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// DRAM-profile-aware attack (Algorithm 3) with the given profile.

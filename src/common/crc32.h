@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) used to checksum
+// serialized artifacts (model states, bit-flip profiles) so truncation and
+// corruption are detected at load time instead of surfacing as garbage
+// results deep inside an attack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rowpress {
+
+/// CRC of `len` bytes.  `seed` chains partial computations:
+/// crc32(b, n) == crc32(b + k, n - k, crc32(b, k)).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::string& s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace rowpress

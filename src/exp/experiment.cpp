@@ -152,12 +152,17 @@ ProfilePair build_or_load_profiles(dram::Device& device,
   const std::string rh_path = cache_dir + "/profile_rh_" + tag + ".txt";
   const std::string rp_path = cache_dir + "/profile_rp_" + tag + ".txt";
 
+  // A missing cache file is a miss (profile the chip); an existing but
+  // corrupt/truncated one throws a typed TrialError from load_file — the
+  // campaign runtime quarantines the trials that need it instead of
+  // silently attacking with a damaged vulnerability map.
   const auto try_load = [&]() -> bool {
     if (cache_dir.empty()) return false;
-    std::ifstream rh(rh_path), rp(rp_path);
-    if (!rh.good() || !rp.good()) return false;
-    out.rowhammer = profile::BitFlipProfile::load(rh, "RowHammer");
-    out.rowpress = profile::BitFlipProfile::load(rp, "RowPress");
+    if (!std::filesystem::exists(rh_path) ||
+        !std::filesystem::exists(rp_path))
+      return false;
+    out.rowhammer = profile::BitFlipProfile::load_file(rh_path, "RowHammer");
+    out.rowpress = profile::BitFlipProfile::load_file(rp_path, "RowPress");
     return !out.rowhammer.empty() && !out.rowpress.empty();
   };
   if (try_load()) return out;
@@ -181,11 +186,8 @@ ProfilePair build_or_load_profiles(dram::Device& device,
   std::filesystem::create_directories(cache_dir);
   const std::string rh_tmp = tmp_path_for(rh_path);
   const std::string rp_tmp = tmp_path_for(rp_path);
-  {
-    std::ofstream rh(rh_tmp), rp(rp_tmp);
-    out.rowhammer.save(rh);
-    out.rowpress.save(rp);
-  }
+  out.rowhammer.save_file(rh_tmp);
+  out.rowpress.save_file(rp_tmp);
   publish_file(rp_tmp, rp_path);
   publish_file(rh_tmp, rh_path);
   return out;

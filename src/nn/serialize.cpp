@@ -1,14 +1,69 @@
 #include "nn/serialize.h"
 
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/crc32.h"
+#include "runtime/error.h"
+#include "runtime/fault_inject.h"
 
 namespace rowpress::nn {
 namespace {
 
-void write_tensor(std::ofstream& os, const Tensor& t) {
+using runtime::ErrorCategory;
+using runtime::TrialError;
+
+constexpr std::uint32_t kStateMagicV1 = 0x52504d53;  // "RPMS" (pre-checksum)
+constexpr std::uint32_t kStateMagicV2 = 0x52504d32;  // "RPM2"
+constexpr std::uint32_t kStateVersion = 2;
+
+[[noreturn]] void corrupt_at(const std::string& path, std::size_t offset,
+                             const std::string& what) {
+  throw TrialError(ErrorCategory::kCorrupt,
+                   "corrupt model state file " + path + ": " + what +
+                       " at byte offset " + std::to_string(offset),
+                   path);
+}
+
+// Bounds-checked reader over an in-memory image of the file; every failure
+// reports the absolute byte offset it happened at.
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos;           ///< absolute offset into the file
+  const std::string& path;
+
+  void read_raw(void* out, std::size_t n, const char* what) {
+    if (pos + n > size)
+      corrupt_at(path, pos,
+                 std::string("truncated while reading ") + what + " (need " +
+                     std::to_string(n) + " bytes, have " +
+                     std::to_string(size - pos) + ")");
+    std::memcpy(out, data + pos, n);
+    pos += n;
+  }
+  std::uint32_t read_u32(const char* what) {
+    std::uint32_t v = 0;
+    read_raw(&v, sizeof(v), what);
+    return v;
+  }
+  std::int32_t read_i32(const char* what) {
+    std::int32_t v = 0;
+    read_raw(&v, sizeof(v), what);
+    return v;
+  }
+  std::uint64_t read_u64(const char* what) {
+    std::uint64_t v = 0;
+    read_raw(&v, sizeof(v), what);
+    return v;
+  }
+};
+
+void write_tensor(std::ostream& os, const Tensor& t) {
   const std::int32_t ndim = t.ndim();
   os.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
   for (int i = 0; i < ndim; ++i) {
@@ -19,24 +74,54 @@ void write_tensor(std::ofstream& os, const Tensor& t) {
            static_cast<std::streamsize>(t.numel() * sizeof(float)));
 }
 
-bool read_tensor(std::ifstream& is, Tensor& t) {
-  std::int32_t ndim = 0;
-  if (!is.read(reinterpret_cast<char*>(&ndim), sizeof(ndim))) return false;
-  if (ndim <= 0 || ndim > 8) return false;
+Tensor read_tensor(Cursor& c) {
+  const std::size_t at = c.pos;
+  const std::int32_t ndim = c.read_i32("tensor rank");
+  if (ndim <= 0 || ndim > 8)
+    corrupt_at(c.path, at,
+               "tensor rank " + std::to_string(ndim) + " out of range [1, 8]");
   std::vector<int> shape(static_cast<std::size_t>(ndim));
   for (auto& d : shape) {
-    std::int32_t v = 0;
-    if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) return false;
-    if (v <= 0) return false;
+    const std::size_t dim_at = c.pos;
+    const std::int32_t v = c.read_i32("tensor dimension");
+    if (v <= 0)
+      corrupt_at(c.path, dim_at,
+                 "non-positive tensor dimension " + std::to_string(v));
     d = v;
   }
-  t = Tensor(shape);
-  return static_cast<bool>(
-      is.read(reinterpret_cast<char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float))));
+  // Validate the claimed element count against the bytes actually left
+  // before allocating: a fuzzed shape like [2^30, 2^30] must be a typed
+  // corruption error, not a giant allocation.  Overflow-safe: checked one
+  // multiply at a time.
+  const std::uint64_t max_numel = (c.size - c.pos) / sizeof(float);
+  std::uint64_t numel = 1;
+  for (const int d : shape) {
+    const std::uint64_t dim = static_cast<std::uint64_t>(d);
+    if (numel > max_numel / dim)
+      corrupt_at(c.path, at,
+                 "tensor data would exceed the " +
+                     std::to_string(c.size - c.pos) +
+                     " bytes remaining in the file");
+    numel *= dim;
+  }
+  Tensor t(shape);
+  c.read_raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float),
+             "tensor data");
+  return t;
 }
 
-constexpr std::uint32_t kStateMagic = 0x52504d53;  // "RPMS"
+ModelState parse_payload(Cursor& c) {
+  ModelState state;
+  const std::uint32_t np = c.read_u32("parameter count");
+  const std::uint32_t nb = c.read_u32("buffer count");
+  state.params.reserve(np);
+  state.buffers.reserve(nb);
+  for (std::uint32_t i = 0; i < np; ++i)
+    state.params.push_back(read_tensor(c));
+  for (std::uint32_t i = 0; i < nb; ++i)
+    state.buffers.push_back(read_tensor(c));
+  return state;
+}
 
 }  // namespace
 
@@ -67,34 +152,110 @@ void restore_state(Module& model, const ModelState& state) {
 }
 
 void save_state(const ModelState& state, const std::string& path) {
+  runtime::fault::hit("model_save");
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
-  std::ofstream os(path, std::ios::binary);
-  RP_REQUIRE(os.good(), "cannot open state file for writing: " + path);
-  os.write(reinterpret_cast<const char*>(&kStateMagic), sizeof(kStateMagic));
+
+  // Build the payload in memory so the header can carry its exact length
+  // and CRC — that is what lets the loader reject truncation and bit-rot
+  // before interpreting a single tensor.
+  std::ostringstream payload_os;
   const std::uint32_t np = static_cast<std::uint32_t>(state.params.size());
   const std::uint32_t nb = static_cast<std::uint32_t>(state.buffers.size());
-  os.write(reinterpret_cast<const char*>(&np), sizeof(np));
-  os.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
-  for (const auto& t : state.params) write_tensor(os, t);
-  for (const auto& t : state.buffers) write_tensor(os, t);
+  payload_os.write(reinterpret_cast<const char*>(&np), sizeof(np));
+  payload_os.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
+  for (const auto& t : state.params) write_tensor(payload_os, t);
+  for (const auto& t : state.buffers) write_tensor(payload_os, t);
+  const std::string payload = payload_os.str();
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good())
+    throw TrialError(ErrorCategory::kIo,
+                     "cannot open model state file for writing: " + path,
+                     path);
+  const std::uint64_t payload_len = payload.size();
+  const std::uint32_t payload_crc = crc32(payload);
+  os.write(reinterpret_cast<const char*>(&kStateMagicV2),
+           sizeof(kStateMagicV2));
+  os.write(reinterpret_cast<const char*>(&kStateVersion),
+           sizeof(kStateVersion));
+  os.write(reinterpret_cast<const char*>(&payload_len), sizeof(payload_len));
+  os.write(reinterpret_cast<const char*>(&payload_crc), sizeof(payload_crc));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.flush();
+  if (!os.good())
+    throw TrialError(ErrorCategory::kIo,
+                     "short write to model state file: " + path, path);
 }
 
 bool load_state(ModelState& state, const std::string& path) {
+  runtime::fault::hit("model_load");
   std::ifstream is(path, std::ios::binary);
-  if (!is.good()) return false;
-  std::uint32_t magic = 0, np = 0, nb = 0;
-  if (!is.read(reinterpret_cast<char*>(&magic), sizeof(magic)) ||
-      magic != kStateMagic)
-    return false;
-  if (!is.read(reinterpret_cast<char*>(&np), sizeof(np))) return false;
-  if (!is.read(reinterpret_cast<char*>(&nb), sizeof(nb))) return false;
-  state.params.assign(np, Tensor());
-  state.buffers.assign(nb, Tensor());
-  for (auto& t : state.params)
-    if (!read_tensor(is, t)) return false;
-  for (auto& t : state.buffers)
-    if (!read_tensor(is, t)) return false;
+  if (!is.good()) {
+    if (!std::filesystem::exists(path)) return false;  // cache miss
+    throw TrialError(ErrorCategory::kIo,
+                     "cannot open model state file: " + path, path);
+  }
+  std::string image;
+  {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    image = ss.str();
+  }
+  if (is.bad())
+    throw TrialError(ErrorCategory::kIo,
+                     "read error on model state file: " + path, path);
+
+  Cursor c{image.data(), image.size(), 0, path};
+  const std::size_t magic_at = c.pos;
+  const std::uint32_t magic = c.read_u32("magic");
+  if (magic == kStateMagicV1) {
+    // Pre-checksum format: no length/CRC to validate against, so parse the
+    // remainder directly (structural errors still come back typed).
+    std::fprintf(stderr,
+                 "warning: %s: unversioned model state file (pre-checksum "
+                 "format); loading without integrity validation\n",
+                 path.c_str());
+    state = parse_payload(c);
+    return true;
+  }
+  if (magic != kStateMagicV2) {
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "%08x", magic);
+    corrupt_at(path, magic_at, std::string("unrecognized magic 0x") + hex);
+  }
+
+  const std::size_t version_at = c.pos;
+  const std::uint32_t version = c.read_u32("version");
+  if (version != kStateVersion)
+    throw TrialError(ErrorCategory::kVersion,
+                     "model state file " + path + " has format version " +
+                         std::to_string(version) + " (supported: " +
+                         std::to_string(kStateVersion) + ") at byte offset " +
+                         std::to_string(version_at),
+                     path);
+
+  const std::uint64_t payload_len = c.read_u64("payload length");
+  const std::uint32_t expected_crc = c.read_u32("payload checksum");
+  const std::size_t payload_at = c.pos;
+  if (payload_at + payload_len != image.size())
+    corrupt_at(path, image.size(),
+               "payload length mismatch (header says " +
+                   std::to_string(payload_len) + " bytes, file has " +
+                   std::to_string(image.size() - payload_at) + ")");
+  const std::uint32_t actual_crc =
+      crc32(image.data() + payload_at, payload_len);
+  if (actual_crc != expected_crc)
+    corrupt_at(path, payload_at,
+               "payload checksum mismatch (stored " +
+                   std::to_string(expected_crc) + ", computed " +
+                   std::to_string(actual_crc) + ")");
+
+  state = parse_payload(c);
+  if (c.pos != image.size())
+    corrupt_at(path, c.pos,
+               std::to_string(image.size() - c.pos) +
+                   " trailing bytes after the last tensor");
   return true;
 }
 

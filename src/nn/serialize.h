@@ -2,6 +2,14 @@
 // carries parameter values plus persistent buffers (BatchNorm running
 // statistics) — everything needed to rebuild a trained model from its
 // factory.
+//
+// On-disk format (v2): a versioned header {magic "RPM2", version, payload
+// length, CRC-32 of the payload} followed by the payload (tensor counts +
+// tensors).  The loader validates length and checksum before touching the
+// contents and reports truncation / corruption / unknown versions as typed
+// runtime::TrialError values carrying the file path and byte offset.
+// Files written by the pre-checksum format (magic "RPMS") still load, with
+// a warning on stderr.
 #pragma once
 
 #include <string>
@@ -19,9 +27,16 @@ struct ModelState {
 ModelState snapshot_state(Module& model);
 void restore_state(Module& model, const ModelState& state);
 
-/// Binary serialization.  save_state creates parent directories.
+/// Binary serialization (v2 header + CRC).  save_state creates parent
+/// directories.  Injection point: "model_save".
 void save_state(const ModelState& state, const std::string& path);
-/// Returns false (leaving `state` unspecified) on missing/corrupt files.
+
+/// Returns false (leaving `state` unspecified) when the file does not
+/// exist — a cache miss, not an error.  An existing file that cannot be
+/// read or does not validate throws runtime::TrialError (kIo for an
+/// unreadable file, kCorrupt for truncation / checksum / structure
+/// failures, kVersion for an unknown format version), with the path and
+/// offending byte offset in the message.  Injection point: "model_load".
 bool load_state(ModelState& state, const std::string& path);
 
 }  // namespace rowpress::nn

@@ -1,12 +1,73 @@
 #include "profile/bitflip_profile.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
-#include "common/check.h"
+#include "common/crc32.h"
+#include "runtime/error.h"
+#include "runtime/fault_inject.h"
 
 namespace rowpress::profile {
+namespace {
+
+using runtime::ErrorCategory;
+using runtime::TrialError;
+
+// Header grammar: "#rpbp v<version> n=<entries> crc=<8 hex digits>\n".
+constexpr int kProfileVersion = 2;
+
+[[noreturn]] void corrupt_at(const std::string& source, std::size_t offset,
+                             const std::string& what) {
+  throw TrialError(ErrorCategory::kCorrupt,
+                   "corrupt bit-flip profile " + source + ": " + what +
+                       " at byte offset " + std::to_string(offset),
+                   source);
+}
+
+// Serializes the entry lines (everything the checksum covers).
+std::string body_text(const BitFlipProfile& p) {
+  std::ostringstream os;
+  for (const auto& vb : p.sorted_bits()) {
+    os << vb.linear_bit << ' '
+       << (vb.direction == dram::FlipDirection::kOneToZero ? "1to0" : "0to1")
+       << '\n';
+  }
+  return os.str();
+}
+
+// Parses entry lines into `p`; `base_offset` is where the body starts in
+// the original stream, so error offsets are absolute.
+void parse_body(BitFlipProfile& p, const std::string& body,
+                std::size_t base_offset, const std::string& source) {
+  std::size_t line_start = 0;
+  while (line_start < body.size()) {
+    std::size_t line_end = body.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = body.size();
+    const std::string line = body.substr(line_start, line_end - line_start);
+    if (!line.empty()) {
+      std::istringstream ls(line);
+      std::int64_t addr = 0;
+      std::string dir;
+      if (!(ls >> addr >> dir) || (dir != "1to0" && dir != "0to1"))
+        corrupt_at(source, base_offset + line_start,
+                   "malformed entry line '" + line + "'");
+      std::string extra;
+      if (ls >> extra)
+        corrupt_at(source, base_offset + line_start,
+                   "trailing token '" + extra + "' on entry line");
+      p.add(addr, dir == "1to0" ? dram::FlipDirection::kOneToZero
+                                : dram::FlipDirection::kZeroToOne);
+    }
+    line_start = line_end + 1;
+  }
+}
+
+}  // namespace
 
 void BitFlipProfile::add(std::int64_t linear_bit,
                          dram::FlipDirection direction) {
@@ -73,25 +134,95 @@ std::size_t BitFlipProfile::overlap(const BitFlipProfile& other) const {
 }
 
 void BitFlipProfile::save(std::ostream& os) const {
-  for (const auto& vb : sorted_bits()) {
-    os << vb.linear_bit << ' '
-       << (vb.direction == dram::FlipDirection::kOneToZero ? "1to0" : "0to1")
-       << '\n';
-  }
+  const std::string body = body_text(*this);
+  char header[64];
+  std::snprintf(header, sizeof(header), "#rpbp v%d n=%zu crc=%08x\n",
+                kProfileVersion, bits_.size(), crc32(body));
+  os << header << body;
 }
 
 BitFlipProfile BitFlipProfile::load(std::istream& is,
-                                    std::string mechanism_name) {
-  BitFlipProfile p(std::move(mechanism_name));
-  std::int64_t addr = 0;
-  std::string dir;
-  while (is >> addr >> dir) {
-    RP_REQUIRE(dir == "1to0" || dir == "0to1",
-               "profile stream has an invalid direction token");
-    p.add(addr, dir == "1to0" ? dram::FlipDirection::kOneToZero
-                              : dram::FlipDirection::kZeroToOne);
+                                    std::string mechanism_name,
+                                    const std::string& source) {
+  std::string content;
+  {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    content = ss.str();
   }
+  if (is.bad())
+    throw TrialError(ErrorCategory::kIo,
+                     "read error on bit-flip profile " + source, source);
+
+  BitFlipProfile p(std::move(mechanism_name));
+  if (content.empty() || content[0] != '#') {
+    // Pre-checksum format: bare entry lines with nothing to validate
+    // against (structural errors still come back typed).
+    std::fprintf(stderr,
+                 "warning: %s: headerless bit-flip profile (pre-checksum "
+                 "format); loading without integrity validation\n",
+                 source.c_str());
+    parse_body(p, content, 0, source);
+    return p;
+  }
+
+  std::size_t header_end = content.find('\n');
+  if (header_end == std::string::npos)
+    corrupt_at(source, content.size(), "truncated header line");
+  const std::string header = content.substr(0, header_end);
+  int version = 0;
+  std::size_t n = 0;
+  unsigned expected_crc = 0;
+  if (std::sscanf(header.c_str(), "#rpbp v%d n=%zu crc=%08x", &version, &n,
+                  &expected_crc) != 3)
+    corrupt_at(source, 0, "malformed header '" + header + "'");
+  if (version != kProfileVersion)
+    throw TrialError(ErrorCategory::kVersion,
+                     "bit-flip profile " + source + " has format version " +
+                         std::to_string(version) + " (supported: " +
+                         std::to_string(kProfileVersion) + ")",
+                     source);
+
+  const std::size_t body_at = header_end + 1;
+  const std::string body = content.substr(body_at);
+  const std::uint32_t actual_crc = crc32(body);
+  if (actual_crc != expected_crc)
+    corrupt_at(source, body_at,
+               "body checksum mismatch (stored " +
+                   std::to_string(expected_crc) + ", computed " +
+                   std::to_string(actual_crc) + ")");
+  parse_body(p, body, body_at, source);
+  if (p.size() != n)
+    corrupt_at(source, body_at,
+               "entry count mismatch (header says " + std::to_string(n) +
+                   ", body has " + std::to_string(p.size()) + ")");
   return p;
+}
+
+void BitFlipProfile::save_file(const std::string& path) const {
+  runtime::fault::hit("profile_save");
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good())
+    throw TrialError(ErrorCategory::kIo,
+                     "cannot open bit-flip profile for writing: " + path,
+                     path);
+  save(os);
+  os.flush();
+  if (!os.good())
+    throw TrialError(ErrorCategory::kIo,
+                     "short write to bit-flip profile: " + path, path);
+}
+
+BitFlipProfile BitFlipProfile::load_file(const std::string& path,
+                                         std::string mechanism_name) {
+  runtime::fault::hit("profile_load");
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good())
+    throw TrialError(ErrorCategory::kIo,
+                     "cannot open bit-flip profile: " + path, path);
+  return load(is, std::move(mechanism_name), path);
 }
 
 }  // namespace rowpress::profile

@@ -63,9 +63,23 @@ class BitFlipProfile {
   /// Number of addresses present in both profiles (Fig. 4 overlap).
   std::size_t overlap(const BitFlipProfile& other) const;
 
-  /// Text (de)serialization: one "linear_bit direction" pair per line.
+  /// Text (de)serialization: a versioned header line
+  /// "#rpbp v2 n=<entries> crc=<crc32-of-body-hex>" followed by one
+  /// "linear_bit direction" pair per line.  load() validates entry count
+  /// and checksum and throws runtime::TrialError (kCorrupt / kVersion)
+  /// with `source` (e.g. the file path) and the offending byte offset on
+  /// any mismatch; headerless streams from the pre-checksum format still
+  /// load, with a warning on stderr.
   void save(std::ostream& os) const;
-  static BitFlipProfile load(std::istream& is, std::string mechanism_name);
+  static BitFlipProfile load(std::istream& is, std::string mechanism_name,
+                             const std::string& source = "<stream>");
+
+  /// File convenience wrappers.  load_file throws TrialError(kIo) when the
+  /// file cannot be opened.  Injection points: "profile_save" /
+  /// "profile_load".
+  void save_file(const std::string& path) const;
+  static BitFlipProfile load_file(const std::string& path,
+                                  std::string mechanism_name);
 
  private:
   std::string mechanism_name_;

@@ -65,6 +65,10 @@ BitFlipProfile Profiler::profile_rowhammer(dram::Device& device) {
 
   for (int bank = 0; bank < device.num_banks(); ++bank) {
     for (int victim = first; victim <= last; ++victim) {
+      // One cancellation poll per victim row: the previous row's
+      // neighbourhood has been reset, so aborting here leaves the device
+      // consistent.
+      if (cancel_) cancel_->check("profiler.rowhammer_sweep");
       for (const auto& cfg : passes) {
         const dram::RowHammerAttacker attacker(cfg);
         const auto result = attacker.run_fast(device, bank, victim);
@@ -104,6 +108,7 @@ BitFlipProfile Profiler::profile_rowpress(dram::Device& device) {
 
   for (int bank = 0; bank < device.num_banks(); ++bank) {
     for (int target = first; target <= last; ++target) {
+      if (cancel_) cancel_->check("profiler.rowpress_sweep");
       for (const auto& cfg : passes) {
         const dram::RowPressAttacker attacker(cfg);
         const auto result = attacker.run_fast(device, bank, target);

@@ -8,6 +8,7 @@
 
 #include "dram/device.h"
 #include "profile/bitflip_profile.h"
+#include "runtime/cancel.h"
 #include "telemetry/registry.h"
 
 namespace rowpress::profile {
@@ -47,6 +48,12 @@ class Profiler {
   /// ACTs even though run_fast bypasses the command path).
   void bind_metrics(telemetry::MetricsRegistry& registry);
 
+  /// Attaches a cooperative cancellation token (may be null), polled once
+  /// per victim row in the activation sweeps: a cancelled/expired token
+  /// aborts profiling within one row via the token's TrialError, leaving
+  /// the device's disturbance state for that row already reset.
+  void bind_cancel(const runtime::CancelToken* cancel) { cancel_ = cancel; }
+
   /// Profiles the device under double-sided RowHammer (Algorithm 1 with
   /// both data-pattern polarities).  Leaves the device with cleared
   /// disturbance accumulators and cleared flip logs.
@@ -67,6 +74,7 @@ class Profiler {
   telemetry::Counter* activations_m_ = nullptr;
   telemetry::Gauge* time_ns_m_ = nullptr;
   telemetry::Counter* dram_acts_m_ = nullptr;
+  const runtime::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace rowpress::profile

@@ -1,7 +1,9 @@
 #include "runtime/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -12,6 +14,9 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "exp/experiment.h"
+#include "runtime/cancel.h"
+#include "runtime/error.h"
+#include "runtime/fault_inject.h"
 #include "runtime/journal.h"
 #include "runtime/progress.h"
 #include "runtime/thread_pool.h"
@@ -21,9 +26,12 @@ namespace rowpress::runtime {
 namespace {
 
 // Lazily-built, mutex-guarded cache shared by all workers: each key is
-// filled exactly once even under concurrent first access (std::call_once on
-// a per-key flag; a filler that throws leaves the flag unset so the next
-// caller retries).
+// filled exactly once even under concurrent first access, and a filler
+// that throws leaves the entry empty so the next caller retries.  This is
+// std::call_once semantics, hand-rolled: TSan's pthread_once interceptor
+// does not unwind the in-progress flag when the callable throws, so the
+// retry-after-exception path (a transient load fault) would deadlock
+// under -DROWPRESS_SANITIZE=thread with the standard primitive.
 template <typename Key, typename Value>
 class OnceCache {
  public:
@@ -36,20 +44,75 @@ class OnceCache {
       if (!slot) slot = std::make_shared<Entry>();
       entry = slot;
     }
-    std::call_once(entry->flag, [&] { entry->value = fill(); });
-    return entry->value;
+    std::unique_lock<std::mutex> lock(entry->m);
+    for (;;) {
+      if (entry->state == Entry::kReady) return entry->value;
+      if (entry->state == Entry::kFilling) {
+        entry->cv.wait(lock);  // another worker is filling this key
+        continue;
+      }
+      entry->state = Entry::kFilling;
+      lock.unlock();
+      try {
+        Value filled = fill();
+        lock.lock();
+        entry->value = std::move(filled);
+        entry->state = Entry::kReady;
+        entry->cv.notify_all();
+        return entry->value;
+      } catch (...) {
+        lock.lock();
+        entry->state = Entry::kEmpty;
+        entry->cv.notify_all();
+        throw;
+      }
+    }
   }
 
  private:
   struct Entry {
-    std::once_flag flag;
+    std::mutex m;
+    std::condition_variable cv;
+    enum State { kEmpty, kFilling, kReady };
+    State state = kEmpty;
     Value value;
   };
   std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<Entry>> entries_;
 };
 
+// Deterministic retry backoff: exponential in the retry ordinal (capped at
+// 32x base), jittered into [50%, 100%] by an RNG stream derived from the
+// trial seed and the attempt number — never from the wall clock, so a
+// replayed campaign sleeps the same schedule.
+std::int64_t retry_backoff_delay_ms(std::int64_t base_ms, std::uint64_t seed,
+                                    int retry_k) {
+  if (base_ms <= 0) return 0;
+  const int exponent = std::min(retry_k - 1, 5);
+  const std::int64_t full = base_ms << exponent;
+  Rng rng(Rng::derive_stream(seed, 0xb0ff0000u + static_cast<unsigned>(retry_k)));
+  return full / 2 + rng.uniform_int(0, full - full / 2);
+}
+
 }  // namespace
+
+const char* trial_status_name(TrialStatus s) {
+  switch (s) {
+    case TrialStatus::kSucceeded: return "ok";
+    case TrialStatus::kFailed: return "failed";
+    case TrialStatus::kTimedOut: return "timed_out";
+    case TrialStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::optional<TrialStatus> trial_status_from_name(const std::string& name) {
+  if (name == "ok") return TrialStatus::kSucceeded;
+  if (name == "failed") return TrialStatus::kFailed;
+  if (name == "timed_out") return TrialStatus::kTimedOut;
+  if (name == "cancelled") return TrialStatus::kCancelled;
+  return std::nullopt;
+}
 
 const char* profile_name(AttackProfile p) {
   switch (p) {
@@ -127,18 +190,25 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
                      rec.trial.id() + " at index " +
                      std::to_string(t.index) + " but the spec expects " +
                      t.id() + " — stale journal for a different campaign?");
-      out.results[static_cast<std::size_t>(t.index)] = rec;
-      // Resumed trials contribute their journaled counters so campaign
-      // totals match an uninterrupted run.
-      if (spec.metrics) spec.metrics->accumulate_counters(rec.metrics);
-      ++out.skipped;
-    } else {
-      pending.push_back(&t);
+      // Only succeeded records count as done; a trial journaled "failed" or
+      // "timed_out" re-executes and its new record supersedes the old one
+      // (last record wins on the next open).
+      if (rec.succeeded()) {
+        out.results[static_cast<std::size_t>(t.index)] = rec;
+        // Resumed trials contribute their journaled counters so campaign
+        // totals match an uninterrupted run.
+        if (spec.metrics) spec.metrics->accumulate_counters(rec.metrics);
+        ++out.skipped;
+        continue;
+      }
     }
+    pending.push_back(&t);
   }
 
   // Shared read-only inputs, built once under concurrency: datasets by
-  // kind, trained models by name, and the chip profiles.
+  // kind, trained models by name, and the chip profiles.  All are filled
+  // lazily *inside* trials so that a corrupt cache artifact surfaces as a
+  // typed failure of the trials that need it, not a campaign crash.
   const auto dataset_factory = spec.dataset_factory
                                    ? spec.dataset_factory
                                    : [](models::DatasetKind k) {
@@ -146,15 +216,8 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
                                      };
   OnceCache<int, data::SplitDataset> datasets;
   OnceCache<std::string, exp::PreparedModel> prepared;
-  const bool needs_profiles = std::any_of(
-      spec.profiles.begin(), spec.profiles.end(), [](AttackProfile p) {
-        return p != AttackProfile::kUnconstrained;
-      });
+  OnceCache<int, exp::ProfilePair> profile_cache;
   dram::Device device(spec.device);
-  exp::ProfilePair profiles;
-  if (needs_profiles && !pending.empty())
-    profiles = exp::build_or_load_profiles(device, spec.cache_dir,
-                                           spec.verbose, spec.metrics);
 
   Progress progress(static_cast<int>(trials.size()),
                     spec.progress_interval_s, spec.progress_sink);
@@ -166,9 +229,17 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           ? spec.workers
           : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 
-  auto run_trial = [&](const Trial& t) {
-    progress.begin_trial(ThreadPool::worker_index(), t.id());
-    const auto t0 = std::chrono::steady_clock::now();
+  // Campaign-wide cancellation root: cancelled on the first permanent
+  // failure when fail_fast is set.  Per-attempt tokens chain to it.
+  CancelToken campaign_cancel;
+  std::atomic<int> n_failed{0}, n_timed_out{0}, n_cancelled{0}, n_retried{0},
+      n_succeeded_now{0}, n_executed{0};
+
+  // One attempt of one trial.  Throws TrialError (or anything else) on
+  // failure; the containment loop below classifies and handles it.
+  auto run_attempt = [&](const Trial& t, const CancelToken& cancel,
+                         const std::chrono::steady_clock::time_point t0) {
+    fault::hit("trial_run");
     // Each trial gets a private registry so its counters are exactly its
     // own work regardless of which worker ran it or what ran concurrently;
     // the campaign-wide aggregate is built by summing trial snapshots.
@@ -183,22 +254,38 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       return exp::prepare_trained_model(mspec, data, spec.cache_dir,
                                         spec.model_seed, spec.verbose);
     });
+    const exp::ProfilePair* profiles = nullptr;
+    if (t.profile != AttackProfile::kUnconstrained)
+      profiles = &profile_cache.get(0, [&] {
+        return exp::build_or_load_profiles(device, spec.cache_dir,
+                                           spec.verbose, spec.metrics);
+      });
+
+    // The deadline bounds the attack search, not the shared warm-up above
+    // (training a model or profiling the chip once per campaign must not
+    // expire every trial that happens to arrive first).
+    CancelToken attempt_cancel;
+    attempt_cancel.set_parent(&cancel);
+    if (spec.trial_deadline_ms > 0)
+      attempt_cancel.set_deadline_after(
+          std::chrono::milliseconds(spec.trial_deadline_ms));
 
     attack::AttackRunSetup setup;
     setup.bfa = spec.bfa;
     setup.seed = t.seed;
     setup.metrics = &trial_metrics;
     setup.trace = spec.trace;
+    setup.cancel = &attempt_cancel;
     attack::AttackResult r;
     switch (t.profile) {
       case AttackProfile::kRowHammer:
         r = attack::run_profile_attack(mspec, model.state, data,
-                                       profiles.rowhammer, device.geometry(),
+                                       profiles->rowhammer, device.geometry(),
                                        setup);
         break;
       case AttackProfile::kRowPress:
         r = attack::run_profile_attack(mspec, model.state, data,
-                                       profiles.rowpress, device.geometry(),
+                                       profiles->rowpress, device.geometry(),
                                        setup);
         break;
       case AttackProfile::kUnconstrained:
@@ -222,14 +309,89 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     // Only the counters go into the journal: they are deterministic work
     // measures, unlike gauges/histograms which may carry wall-clock time.
     result.metrics = trial_metrics.snapshot().counters;
-    if (spec.metrics) spec.metrics->accumulate_counters(result.metrics);
 
     trial_span.note("flips", static_cast<double>(result.flips));
     trial_span.note("acc_after", result.accuracy_after);
     trial_span.finish();
+    return result;
+  };
 
+  // Worker-boundary fault containment: every exception a trial throws is
+  // converted into a terminal TrialResult here — transient errors retry
+  // with the *same seed* (bounded, backed off), permanent ones quarantine.
+  // Nothing a trial does can take the campaign down.
+  auto run_trial = [&](const Trial& t) {
+    if (campaign_cancel.cancelled()) {
+      // Fail-fast already tripped: record as cancelled, do not journal, so
+      // a resumed campaign re-executes this trial.
+      TrialResult result;
+      result.trial = t;
+      result.status = TrialStatus::kCancelled;
+      result.error_category = error_category_name(ErrorCategory::kCancelled);
+      result.error_message = "skipped by fail-fast";
+      result.attempts = 0;
+      n_cancelled.fetch_add(1, std::memory_order_relaxed);
+      out.results[static_cast<std::size_t>(t.index)] = std::move(result);
+      return;
+    }
+    progress.begin_trial(ThreadPool::worker_index(), t.id());
+    n_executed.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    TrialResult result;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        result = run_attempt(t, campaign_cancel, t0);
+        result.attempts = attempt;
+        n_succeeded_now.fetch_add(1, std::memory_order_relaxed);
+        break;
+      } catch (const std::exception& e) {
+        const auto* te = dynamic_cast<const TrialError*>(&e);
+        const ErrorCategory cat =
+            te ? te->category() : ErrorCategory::kInternal;
+        if (cat != ErrorCategory::kCancelled && is_transient(cat) &&
+            attempt <= spec.max_retries) {
+          n_retried.fetch_add(1, std::memory_order_relaxed);
+          const std::int64_t delay_ms =
+              retry_backoff_delay_ms(spec.retry_backoff_ms, t.seed, attempt);
+          if (delay_ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+          continue;  // same seed: the attempt re-derives Rng(t.seed)
+        }
+        result = TrialResult{};
+        result.trial = t;
+        result.attempts = attempt;
+        result.error_category = error_category_name(cat);
+        result.error_message = e.what();
+        switch (cat) {
+          case ErrorCategory::kTimeout:
+            result.status = TrialStatus::kTimedOut;
+            n_timed_out.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ErrorCategory::kCancelled:
+            result.status = TrialStatus::kCancelled;
+            n_cancelled.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            result.status = TrialStatus::kFailed;
+            n_failed.fetch_add(1, std::memory_order_relaxed);
+            if (spec.fail_fast) campaign_cancel.cancel();
+            break;
+        }
+        result.wall_seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+        break;
+      }
+    }
+
+    if (result.succeeded() && spec.metrics)
+      spec.metrics->accumulate_counters(result.metrics);
+    // Cancelled trials are deliberately not journaled: they carry no
+    // verdict about the trial itself, only about the campaign's abort, and
+    // must re-run on resume.
+    if (result.status != TrialStatus::kCancelled) journal.append(result);
     const int flips = result.flips;
-    journal.append(result);
     out.results[static_cast<std::size_t>(t.index)] = std::move(result);
     progress.end_trial(ThreadPool::worker_index(), flips);
   };
@@ -243,8 +405,10 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     futures.reserve(pending.size());
     for (const Trial* t : pending)
       futures.push_back(pool.submit([&, t] { run_trial(*t); }));
-    // Propagate the first failure, but only after every task has settled so
-    // the journal stays consistent with what actually ran.
+    // Trial-level faults are contained inside run_trial; anything that still
+    // escapes (journal write failure, campaign-level invariant) propagates,
+    // but only after every task has settled so the journal stays consistent
+    // with what actually ran.
     std::exception_ptr first_error;
     for (auto& f : futures) {
       try {
@@ -257,7 +421,19 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  out.executed = static_cast<int>(pending.size());
+  out.executed = n_executed.load();
+  out.failed = n_failed.load();
+  out.timed_out = n_timed_out.load();
+  out.cancelled = n_cancelled.load();
+  out.retried = n_retried.load();
+  out.succeeded = out.skipped + n_succeeded_now.load();
+  if (spec.metrics) {
+    spec.metrics->counter("campaign.trials_succeeded").add(out.succeeded);
+    spec.metrics->counter("campaign.trials_failed").add(out.failed);
+    spec.metrics->counter("campaign.trials_timed_out").add(out.timed_out);
+    spec.metrics->counter("campaign.trials_cancelled").add(out.cancelled);
+    spec.metrics->counter("campaign.trials_retried").add(out.retried);
+  }
   return out;
 }
 

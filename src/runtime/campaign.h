@@ -37,6 +37,17 @@ const char* profile_name(AttackProfile p);
 /// "rh", "rp", and "uncon".
 std::optional<AttackProfile> profile_from_name(const std::string& name);
 
+/// Terminal state of one trial execution.  kSucceeded is the only state
+/// resume treats as done — failed and timed-out trials are re-executed by
+/// the next run (their journal record is superseded, last record wins).
+/// kCancelled (fail-fast / shutdown before or during the trial) is never
+/// journaled, so cancelled trials also re-run on resume.
+enum class TrialStatus { kSucceeded, kFailed, kTimedOut, kCancelled };
+
+/// Journal name: "ok" / "failed" / "timed_out" / "cancelled".
+const char* trial_status_name(TrialStatus s);
+std::optional<TrialStatus> trial_status_from_name(const std::string& name);
+
 /// One cell-instance of the campaign grid.
 struct Trial {
   int index = 0;  ///< position in the expanded grid (journal key)
@@ -65,6 +76,15 @@ struct TrialResult {
   /// counts and defense.* observations.  Timing series are excluded so a
   /// journaled trial equals a re-executed one bit-for-bit.
   std::vector<std::pair<std::string, std::int64_t>> metrics;
+
+  /// Fault containment: how the trial ended.  For non-succeeded trials the
+  /// numeric fields above are unspecified and excluded from aggregates.
+  TrialStatus status = TrialStatus::kSucceeded;
+  std::string error_category;  ///< error_category_name(); "" when ok
+  std::string error_message;   ///< final error's what(); "" when ok
+  int attempts = 1;            ///< executions, counting transient retries
+
+  bool succeeded() const { return status == TrialStatus::kSucceeded; }
 };
 
 struct CampaignSpec {
@@ -82,6 +102,25 @@ struct CampaignSpec {
   int workers = 0;                 ///< 0 => std::thread::hardware_concurrency
   double progress_interval_s = 0.0;  ///< <= 0 disables the reporter
   bool verbose = false;
+
+  // --- Resilience policy ---------------------------------------------
+  /// Transient-classified trial errors (is_transient()) re-execute with
+  /// the same seed up to this many extra attempts; permanent errors and
+  /// exhausted retries are journaled as "failed" (quarantined).
+  int max_retries = 2;
+  /// Backoff before retry k (1-based): retry_backoff_ms * 2^(k-1), capped
+  /// at 32x, jittered to [50%, 100%] by the trial's seeded RNG stream —
+  /// no wall-clock randomness, so schedules are reproducible.
+  std::int64_t retry_backoff_ms = 100;
+  /// Per-trial deadline on the attack search (armed after the shared
+  /// model/profile warm-up), enforced by a CancelToken polled every BFA
+  /// iteration; an expired trial is journaled "timed_out" and not
+  /// retried.  <= 0 disables.
+  std::int64_t trial_deadline_ms = 0;
+  /// Stop scheduling (and cooperatively cancel running) trials after the
+  /// first permanent failure.  Cancelled trials are not journaled and so
+  /// re-run on resume.
+  bool fail_fast = false;
 
   /// Optional campaign-wide metrics aggregate.  When set, every trial's
   /// counters (executed *and* journal-resumed) are accumulated into it, so
@@ -115,11 +154,30 @@ struct CampaignResult {
   int executed = 0;                  ///< trials run by this invocation
   int skipped = 0;                   ///< trials restored from the journal
   std::string journal;               ///< journal path used
+
+  // Fault-containment summary (also published on spec.metrics as
+  // campaign.trials_succeeded / _failed / _timed_out / _retried /
+  // _cancelled).  succeeded includes journal-restored trials; retried
+  // counts re-executions performed by this invocation.
+  int succeeded = 0;
+  int failed = 0;     ///< permanently failed (quarantined) this run
+  int timed_out = 0;
+  int cancelled = 0;  ///< skipped/aborted by fail-fast, will re-run on resume
+  int retried = 0;
+
+  bool all_succeeded() const {
+    return succeeded == static_cast<int>(results.size());
+  }
 };
 
-/// Runs (or resumes) the campaign.  Already-journaled trials are not re-run;
-/// their results are loaded and merged.  Throws if a journaled trial id does
-/// not match the spec's grid (journal name collision).
+/// Runs (or resumes) the campaign.  Trials journaled as succeeded are not
+/// re-run (their results are loaded and merged); failed / timed-out /
+/// never-journaled trials re-execute.  A trial that throws is contained at
+/// the worker boundary: transient errors retry with the same seed, then
+/// the trial is journaled "failed" or "timed_out" — the campaign itself
+/// completes.  Throws only for campaign-level problems: an unknown model,
+/// a journaled trial id that does not match the spec's grid (journal name
+/// collision), or an unwritable journal.
 CampaignResult run_campaign(const CampaignSpec& spec);
 
 }  // namespace rowpress::runtime

@@ -1,0 +1,89 @@
+// Cooperative cancellation / deadline token.
+//
+// The long loops of the pipeline (BFA search iterations, the profiler's
+// per-row activation sweep) poll a CancelToken once per iteration; the
+// campaign runtime arms one per trial attempt with the per-trial deadline,
+// and fail-fast chains every trial token to a campaign-wide parent.  A
+// tripped check() throws a TrialError (kTimeout past the deadline,
+// kCancelled otherwise) at a loop boundary, so the search stops within one
+// iteration with no tentative state left applied.
+//
+// Header-only and built on atomics: safe to poll from worker threads while
+// another thread cancels (TSan-clean, no locks on the hot path).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "runtime/error.h"
+
+namespace rowpress::runtime {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation (idempotent, thread-safe).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms a deadline `budget` from now; <= 0 disarms.  Call before the
+  /// token is shared with the working thread.
+  void set_deadline_after(std::chrono::milliseconds budget) {
+    deadline_ns_.store(
+        budget.count() > 0
+            ? now_ns() + budget.count() * 1'000'000
+            : 0,
+        std::memory_order_release);
+  }
+
+  /// Chains to a parent token (e.g. the campaign-wide fail-fast token);
+  /// this token reports cancelled when the parent does.  Set before
+  /// sharing, not concurrently with polling.
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+  bool deadline_expired() const {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != 0 && now_ns() >= d;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire) || deadline_expired() ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+  /// Why cancelled() is (or would be) true: an expired deadline reports
+  /// kTimeout, anything else kCancelled.
+  ErrorCategory reason() const {
+    return deadline_expired() ? ErrorCategory::kTimeout
+                              : ErrorCategory::kCancelled;
+  }
+
+  /// Polls the token; throws a TrialError naming `where` (the loop being
+  /// interrupted) when cancellation was requested or the deadline passed.
+  void check(const char* where) const {
+    if (!cancelled()) return;
+    const ErrorCategory cat = reason();
+    throw TrialError(cat,
+                     cat == ErrorCategory::kTimeout
+                         ? std::string("deadline exceeded in ") + where
+                         : std::string("cancelled in ") + where,
+                     where);
+  }
+
+ private:
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< 0 = no deadline
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace rowpress::runtime

@@ -1,0 +1,33 @@
+#include "runtime/error.h"
+
+namespace rowpress::runtime {
+
+const char* error_category_name(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kIo: return "io";
+    case ErrorCategory::kCorrupt: return "corrupt";
+    case ErrorCategory::kVersion: return "version";
+    case ErrorCategory::kTimeout: return "timeout";
+    case ErrorCategory::kCancelled: return "cancelled";
+    case ErrorCategory::kInjected: return "injected";
+    case ErrorCategory::kInternal: return "internal";
+  }
+  return "?";
+}
+
+bool is_transient(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kIo:
+    case ErrorCategory::kInjected:
+      return true;
+    case ErrorCategory::kCorrupt:
+    case ErrorCategory::kVersion:
+    case ErrorCategory::kTimeout:
+    case ErrorCategory::kCancelled:
+    case ErrorCategory::kInternal:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace rowpress::runtime

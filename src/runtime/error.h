@@ -1,0 +1,53 @@
+// Typed trial errors: every contained failure inside the campaign runtime
+// carries a category that decides its fate — transient categories are
+// retried with the same seed (bounded exponential backoff), permanent ones
+// go straight to a quarantined "failed" journal record, and
+// timeout/cancellation end the trial as "timed_out" without retry.
+//
+// Lives under runtime/ but is compiled into rp_common so the low layers
+// (nn/serialize, profile loaders) can throw typed errors without a
+// dependency cycle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rowpress::runtime {
+
+enum class ErrorCategory {
+  kIo,         ///< file unreadable / vanished mid-read — transient
+  kCorrupt,    ///< checksum or structural mismatch in an artifact — permanent
+  kVersion,    ///< artifact written by an unknown format version — permanent
+  kTimeout,    ///< per-trial deadline exceeded (cooperative cancel)
+  kCancelled,  ///< externally cancelled (fail-fast, shutdown)
+  kInjected,   ///< armed fault-injection point fired — transient
+  kInternal,   ///< unexpected exception at the worker boundary — permanent
+};
+
+/// Journal name of a category: "io", "corrupt", "version", "timeout",
+/// "cancelled", "injected", "internal".
+const char* error_category_name(ErrorCategory c);
+
+/// True for categories worth re-executing with the same seed (a flaky read
+/// or an injected transient); false for deterministic failures where a
+/// retry would fail identically.
+bool is_transient(ErrorCategory c);
+
+class TrialError : public std::runtime_error {
+ public:
+  /// `context` names the offending resource (file path, injection point).
+  TrialError(ErrorCategory category, const std::string& message,
+             std::string context = "")
+      : std::runtime_error(message),
+        category_(category),
+        context_(std::move(context)) {}
+
+  ErrorCategory category() const { return category_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  ErrorCategory category_;
+  std::string context_;
+};
+
+}  // namespace rowpress::runtime

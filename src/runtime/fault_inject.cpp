@@ -1,0 +1,109 @@
+#include "runtime/fault_inject.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "runtime/error.h"
+
+namespace rowpress::runtime::fault {
+namespace {
+
+struct Point {
+  int nth = 0;      ///< 1-based hit to fail on; 0 = disarmed
+  int count = 0;    ///< hits since arm
+  bool fired = false;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, Point>& registry() {
+  static std::unordered_map<std::string, Point> r;
+  return r;
+}
+
+// Hot-path gate: hit() is called on every artifact load in production, so
+// the common (nothing armed) case must not take the registry mutex.
+std::atomic<int> armed_count{0};
+
+}  // namespace
+
+void arm(const std::string& point, int nth) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& p = registry()[point];
+  const bool was_armed = p.nth > 0 && !p.fired;
+  p = Point{};
+  p.nth = nth > 0 ? nth : 0;
+  const bool now_armed = p.nth > 0;
+  if (now_armed && !was_armed) armed_count.fetch_add(1);
+  if (!now_armed && was_armed) armed_count.fetch_sub(1);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  armed_count.store(0);
+}
+
+bool any_armed() { return armed_count.load(std::memory_order_relaxed) > 0; }
+
+void hit(const std::string& point) {
+  if (!any_armed()) return;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(point);
+    if (it == registry().end()) return;
+    Point& p = it->second;
+    ++p.count;
+    if (p.nth > 0 && !p.fired && p.count == p.nth) {
+      p.fired = true;
+      armed_count.fetch_sub(1);
+      fire = true;
+    }
+  }
+  if (fire)
+    throw TrialError(ErrorCategory::kInjected,
+                     "injected fault at point '" + point + "' (hit " +
+                         std::to_string(hits(point)) + ")",
+                     point);
+}
+
+int hits(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.count;
+}
+
+std::vector<std::pair<std::string, int>> parse_spec(const std::string& spec) {
+  std::vector<std::pair<std::string, int>> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t colon = item.rfind(':');
+    std::size_t parsed = 0;
+    int nth = 0;
+    if (colon != std::string::npos && colon > 0) {
+      try {
+        nth = std::stoi(item.substr(colon + 1), &parsed);
+      } catch (...) {
+        parsed = 0;
+      }
+    }
+    if (colon == std::string::npos || colon == 0 || nth <= 0 ||
+        parsed != item.size() - colon - 1)
+      throw TrialError(ErrorCategory::kInternal,
+                       "malformed --inject token '" + item +
+                           "' (expected point:N with N >= 1)",
+                       item);
+    out.emplace_back(item.substr(0, colon), nth);
+  }
+  return out;
+}
+
+}  // namespace rowpress::runtime::fault

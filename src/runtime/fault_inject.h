@@ -1,0 +1,46 @@
+// Deterministic fault-injection harness.
+//
+// Named injection points sit at I/O, loader, and task boundaries
+// (fault::hit("model_load") at the top of nn::load_state, "profile_load" in
+// the profile loader, "trial_run" at each trial execution attempt, ...).
+// Production runs pay one relaxed atomic load per hit; tests and
+// `campaign_runner --inject point:N` arm a point to fail exactly its Nth
+// hit (1-based) with a transient TrialError (kInjected), which is how the
+// retry / containment / resume paths are exercised end-to-end without
+// depending on real disk or scheduler misbehaviour.
+//
+// Lives under runtime/ but is compiled into rp_common so every layer can
+// place hit() calls without a dependency cycle.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rowpress::runtime::fault {
+
+/// Arms `point` to throw on its Nth future hit (1-based; resets the
+/// point's hit counter).  Single-shot: only that one hit throws, later
+/// hits pass — an armed fault models a transient.  nth <= 0 disarms.
+void arm(const std::string& point, int nth);
+
+/// Disarms every point and clears all hit counters.
+void disarm_all();
+
+/// True when at least one point is armed (the hot-path gate).
+bool any_armed();
+
+/// Marks one passage through `point`.  Throws TrialError(kInjected) when
+/// this is the armed Nth hit; otherwise a near-free no-op (one relaxed
+/// atomic load when nothing is armed anywhere).
+void hit(const std::string& point);
+
+/// Hits observed at `point` since it was last armed / cleared (counting
+/// starts at the first arm — unarmed points are not tracked).
+int hits(const std::string& point);
+
+/// Parses "point:N[,point:N...]" (the --inject grammar).  Throws a
+/// TrialError(kInternal) naming the offending token on malformed input.
+std::vector<std::pair<std::string, int>> parse_spec(const std::string& spec);
+
+}  // namespace rowpress::runtime::fault

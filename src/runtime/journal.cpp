@@ -1,5 +1,6 @@
 #include "runtime/journal.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <sstream>
 
@@ -8,7 +9,11 @@
 
 namespace rowpress::runtime {
 
-Journal::Journal(std::string path) : path_(std::move(path)) {
+Journal::Journal(std::string path, WarnSink warn) : path_(std::move(path)) {
+  if (!warn)
+    warn = [](const std::string& msg) {
+      std::fprintf(stderr, "warning: %s\n", msg.c_str());
+    };
   const std::filesystem::path p(path_);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
 
@@ -27,10 +32,20 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
   for (std::size_t start = 0; start < good_end;) {
     const std::size_t nl = content.find('\n', start);
     const std::string line = content.substr(start, nl - start);
-    if (auto rec = parse(line)) completed_[rec->trial.index] = std::move(*rec);
+    if (auto rec = parse(line)) {
+      completed_[rec->trial.index] = std::move(*rec);
+    } else if (!line.empty()) {
+      ++dropped_lines_;
+      warn("journal " + path_ + ": dropping unparseable record at byte " +
+           std::to_string(start) + " (trial will re-run)");
+    }
     start = nl + 1;
   }
   if (content.size() > good_end) {
+    torn_bytes_ = content.size() - good_end;
+    warn("journal " + path_ + ": truncating torn final line (" +
+         std::to_string(torn_bytes_) + " bytes at offset " +
+         std::to_string(good_end) + ") left by an interrupted write");
     std::error_code ec;
     std::filesystem::resize_file(path_, good_end, ec);
     RP_REQUIRE(!ec, "cannot truncate torn journal tail: " + path_);
@@ -67,7 +82,13 @@ std::string Journal::serialize(const TrialResult& r) {
       .field("flips", static_cast<std::int64_t>(r.flips))
       .field("pool", r.candidate_pool_size)
       .field("curve", r.accuracy_curve)
-      .field("wall_s", r.wall_seconds);
+      .field("wall_s", r.wall_seconds)
+      .field("status", std::string(trial_status_name(r.status)))
+      .field("attempts", static_cast<std::int64_t>(r.attempts));
+  if (r.status != TrialStatus::kSucceeded) {
+    w.field("error_cat", r.error_category);
+    w.field("error", r.error_message);
+  }
   // Telemetry counters last: dotted metric names cannot collide with the
   // scalar keys above, and old journals without the field stay parseable.
   w.field_object("metrics", r.metrics);
@@ -109,6 +130,19 @@ std::optional<TrialResult> Journal::parse(const std::string& line) {
   // Optional (absent in pre-telemetry journals — treated as empty).
   if (auto metrics = json_get_int_map(line, "metrics"))
     r.metrics = std::move(*metrics);
+  // Optional resilience fields: a pre-resilience record could only have
+  // been appended by a trial that completed, so absence means succeeded.
+  if (auto status_str = json_get_string(line, "status")) {
+    const auto status = trial_status_from_name(*status_str);
+    if (!status) return std::nullopt;
+    r.status = *status;
+  }
+  if (auto attempts = json_get_int(line, "attempts"))
+    r.attempts = static_cast<int>(*attempts);
+  if (auto cat = json_get_string(line, "error_cat"))
+    r.error_category = std::move(*cat);
+  if (auto err = json_get_string(line, "error"))
+    r.error_message = std::move(*err);
   r.from_journal = true;
   return r;
 }

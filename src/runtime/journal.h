@@ -6,6 +6,7 @@
 #pragma once
 
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -18,10 +19,17 @@ namespace rowpress::runtime {
 
 class Journal {
  public:
+  /// Receives one human-readable line per recovery action taken while
+  /// opening an existing journal (torn tail truncated, unparseable line
+  /// dropped).  The default sink writes to stderr.
+  using WarnSink = std::function<void(const std::string&)>;
+
   /// Opens (creating if absent) the journal at `path`, loading previously
-  /// completed trials.  Unparseable lines are dropped; a trailing partial
-  /// line is physically truncated from the file.
-  explicit Journal(std::string path);
+  /// completed trials.  Unparseable lines are dropped (warned, trial will
+  /// re-run); a trailing partial line — the torn tail a crash mid-append
+  /// leaves behind — is warned about and physically truncated from the
+  /// file so later appends never concatenate onto garbage.
+  explicit Journal(std::string path, WarnSink warn = nullptr);
 
   const std::string& path() const { return path_; }
 
@@ -41,8 +49,14 @@ class Journal {
   /// plus appends since).
   std::size_t lines_written() const;
 
+  /// Recovery statistics from open: bytes of torn tail truncated away, and
+  /// complete-but-unparseable lines dropped.
+  std::size_t torn_bytes_truncated() const { return torn_bytes_; }
+  std::size_t dropped_lines() const { return dropped_lines_; }
+
   /// (De)serialization of one journal record.  parse() returns nullopt on
-  /// any malformed or truncated line.
+  /// any malformed or truncated line.  Records without a "status" field
+  /// (pre-resilience journals) parse as succeeded with attempts = 1.
   static std::string serialize(const TrialResult& result);
   static std::optional<TrialResult> parse(const std::string& line);
 
@@ -50,6 +64,8 @@ class Journal {
   std::string path_;
   std::unordered_map<int, TrialResult> completed_;
   std::size_t appended_ = 0;
+  std::size_t torn_bytes_ = 0;
+  std::size_t dropped_lines_ = 0;
   std::ofstream out_;
   mutable std::mutex mutex_;
 };

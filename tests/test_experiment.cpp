@@ -12,6 +12,7 @@
 #include "nn/activation.h"
 #include "nn/linear.h"
 #include "nn/norm.h"
+#include "runtime/error.h"
 #include "test_util.h"
 
 namespace rowpress::exp {
@@ -109,12 +110,14 @@ TEST(Experiment, SaveLoadStateFileRoundtrip) {
     for (std::int64_t j = 0; j < st.params[i].numel(); ++j)
       EXPECT_EQ(loaded.params[i][j], st.params[i][j]);
   }
-  // Missing and corrupt files are rejected, not crashed on.
+  // A missing file is a cache miss (false); a corrupt one is a typed,
+  // path-bearing error, never silently treated as a miss.
   EXPECT_FALSE(nn::load_state(loaded, (tmp.path / "nope.rpms").string()));
   std::ofstream bad(tmp.path / "bad.rpms", std::ios::binary);
   bad << "not a model";
   bad.close();
-  EXPECT_FALSE(nn::load_state(loaded, (tmp.path / "bad.rpms").string()));
+  EXPECT_THROW(nn::load_state(loaded, (tmp.path / "bad.rpms").string()),
+               runtime::TrialError);
 }
 
 TEST(Experiment, PrepareTrainedModelUsesCache) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/error.h"
 #include "test_util.h"
 
 namespace rowpress::profile {
@@ -66,7 +67,7 @@ TEST(BitFlipProfile, SaveLoadRoundtrip) {
 
 TEST(BitFlipProfile, LoadRejectsGarbage) {
   std::stringstream ss("12 sideways\n");
-  EXPECT_THROW(BitFlipProfile::load(ss, "x"), std::logic_error);
+  EXPECT_THROW(BitFlipProfile::load(ss, "x"), rowpress::runtime::TrialError);
 }
 
 class ProfilerTest : public ::testing::Test {

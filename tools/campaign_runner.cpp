@@ -20,6 +20,8 @@
 #include "exp/experiment.h"
 #include "models/zoo.h"
 #include "runtime/campaign.h"
+#include "runtime/error.h"
+#include "runtime/fault_inject.h"
 #include "telemetry/telemetry.h"
 
 using namespace rowpress;
@@ -58,6 +60,19 @@ void print_usage() {
       "                           chrome://tracing or ui.perfetto.dev); "
       "one\n"
       "                           span per trial, BFA iterations nested\n"
+      "  --trial-deadline <ms>    per-trial deadline on the attack search;\n"
+      "                           an expired trial is journaled timed_out\n"
+      "                           (default: 0 = unlimited)\n"
+      "  --max-retries <n>        extra attempts for transiently-failed\n"
+      "                           trials, same seed, exponential backoff\n"
+      "                           (default: 2)\n"
+      "  --fail-fast              cancel remaining trials after the first\n"
+      "                           permanent failure (cancelled trials are\n"
+      "                           not journaled and re-run on resume)\n"
+      "  --inject <pt:N[,...]>    deterministic fault injection: fail the\n"
+      "                           Nth hit of a named point (model_load,\n"
+      "                           model_save, profile_load, profile_save,\n"
+      "                           trial_run) — for testing resilience\n"
       "  --quiet                  suppress banner, progress, and table "
       "output\n"
       "  --fresh                  delete the existing journal and start "
@@ -67,9 +82,21 @@ void print_usage() {
       "\n"
       "Resume semantics: each completed trial is appended to the journal "
       "and\nflushed before the next one starts; re-running the same "
-      "command skips\nevery journaled trial, so an interrupted campaign "
-      "finishes where it\nleft off.  A torn last line (crash mid-write) is "
-      "truncated on open.\n");
+      "command skips\nevery trial journaled as succeeded, so an "
+      "interrupted campaign finishes\nwhere it left off.  A torn last line "
+      "(crash mid-write) is truncated on\nopen.  Failed and timed-out "
+      "trials are re-executed on resume.\n"
+      "\n"
+      "Failure handling: a trial that throws is contained at the worker\n"
+      "boundary and journaled with a typed error; transient errors (I/O,\n"
+      "injected faults) retry with the same seed up to --max-retries, "
+      "while\npermanent errors (corrupt artifacts, validation failures) "
+      "quarantine\nimmediately.  Failed/timed-out trials are excluded from "
+      "the Table-I\ncell aggregation.\n"
+      "\n"
+      "Exit codes: 0 = all trials succeeded; 1 = internal error;\n"
+      "2 = campaign completed but some trials permanently failed;\n"
+      "3 = invalid arguments or campaign spec.\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -83,7 +110,7 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "campaign_runner: %s (try --help)\n", msg.c_str());
-  std::exit(2);
+  std::exit(3);
 }
 
 }  // namespace
@@ -92,10 +119,15 @@ int run_cli(int argc, char** argv);
 
 // Anything past flag parsing (model lookup, journal validation, the
 // campaign itself) reports failure through exceptions; turn those into a
-// clean message + exit 1 instead of std::terminate.
+// clean message + a distinct exit code instead of std::terminate:
+// spec/invariant violations (logic_error, e.g. an unknown model or a stale
+// journal) exit 3, everything else exits 1.
 int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
+  } catch (const std::logic_error& e) {
+    std::fprintf(stderr, "campaign_runner: invalid spec: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_runner: error: %s\n", e.what());
     return 1;
@@ -113,6 +145,7 @@ int run_cli(int argc, char** argv) {
   std::string profiles_arg = "rh,rp";
   std::string metrics_out;
   std::string trace_out;
+  std::string inject_arg;
 
   const auto need_value = [&](int i, const char* flag) -> std::string {
     if (i + 1 >= argc) die(std::string("missing value for ") + flag);
@@ -153,6 +186,15 @@ int run_cli(int argc, char** argv) {
       metrics_out = need_value(i++, "--metrics-out");
     } else if (arg == "--trace-out") {
       trace_out = need_value(i++, "--trace-out");
+    } else if (arg == "--trial-deadline") {
+      spec.trial_deadline_ms =
+          std::atoll(need_value(i++, "--trial-deadline").c_str());
+    } else if (arg == "--max-retries") {
+      spec.max_retries = std::atoi(need_value(i++, "--max-retries").c_str());
+    } else if (arg == "--fail-fast") {
+      spec.fail_fast = true;
+    } else if (arg == "--inject") {
+      inject_arg = need_value(i++, "--inject");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--fresh") {
@@ -178,6 +220,17 @@ int run_cli(int argc, char** argv) {
     spec.profiles.push_back(*parsed);
   }
   if (spec.seeds_per_cell <= 0) die("--seeds must be positive");
+  if (spec.max_retries < 0) die("--max-retries must be >= 0");
+
+  if (!inject_arg.empty()) {
+    try {
+      const auto injections = runtime::fault::parse_spec(inject_arg);
+      for (const auto& [point, nth] : injections)
+        runtime::fault::arm(point, nth);
+    } catch (const std::exception& e) {
+      die(std::string("bad --inject spec: ") + e.what());
+    }
+  }
 
   spec.device = exp::default_chip_config();
   if (fresh) std::filesystem::remove(runtime::journal_path(spec));
@@ -204,14 +257,22 @@ int run_cli(int argc, char** argv) {
         runtime::journal_path(spec).c_str());
 
   const auto res = runtime::run_campaign(spec);
-  if (!quiet)
-    std::printf("\n%d trial(s) executed, %d resumed from journal.\n\n",
+  if (!quiet) {
+    std::printf("\n%d trial(s) executed, %d resumed from journal.\n",
                 res.executed, res.skipped);
+    std::printf(
+        "%d succeeded, %d failed, %d timed out, %d cancelled; %d "
+        "retried.\n\n",
+        res.succeeded, res.failed, res.timed_out, res.cancelled, res.retried);
+  }
 
-  // Per-cell aggregation (the Table-I view of the grid).
+  // Per-cell aggregation (the Table-I view of the grid).  Only succeeded
+  // trials enter the averages: a failed or timed-out trial carries no
+  // attack numbers, and silently averaging zeros would corrupt the table.
   struct Cell {
     double acc_before = 0.0, acc_after = 0.0, flips = 0.0;
     int n = 0;
+    int excluded = 0;
     bool all_reached = true;
   };
   std::map<std::pair<std::string, std::string>, Cell> cells;
@@ -222,6 +283,10 @@ int run_cli(int argc, char** argv) {
                                         r.trial.profile)));
     if (!cells.count(key)) order.push_back(key);
     Cell& c = cells[key];
+    if (!r.succeeded()) {
+      ++c.excluded;
+      continue;
+    }
     c.acc_before += r.accuracy_before;
     c.acc_after += r.accuracy_after;
     c.flips += r.flips;
@@ -235,16 +300,24 @@ int run_cli(int argc, char** argv) {
                  "#Flips (mean)", "Objective"});
     for (const auto& key : order) {
       const Cell& c = cells[key];
+      if (c.n == 0) {
+        table.add_row({key.first, key.second, "-", "-", "-",
+                       "excluded(" + std::to_string(c.excluded) + ")"});
+        continue;
+      }
+      std::string objective = c.all_reached ? "reached" : "budget*";
+      if (c.excluded > 0)
+        objective += " excluded(" + std::to_string(c.excluded) + ")";
       table.add_row({key.first, key.second,
                      Table::fmt(100.0 * c.acc_before / c.n, 2),
                      Table::fmt(100.0 * c.acc_after / c.n, 2),
-                     Table::fmt(c.flips / c.n, 1),
-                     c.all_reached ? "reached" : "budget*"});
+                     Table::fmt(c.flips / c.n, 1), objective});
     }
     table.print(std::cout);
     std::printf(
         "\n(* = flip budget exhausted before random-guess level on >=1 "
-        "seed)\n");
+        "seed;\n excluded(n) = n failed/timed-out trials omitted from the "
+        "averages)\n");
     // Totals read from the same registry --metrics-out exports, so the
     // console and the JSON can never disagree.
     std::printf(
@@ -263,6 +336,16 @@ int run_cli(int argc, char** argv) {
   if (!trace_out.empty()) {
     telemetry::write_chrome_trace(trace_out, trace.events());
     if (!quiet) std::printf("chrome trace: %s\n", trace_out.c_str());
+  }
+  // Exit 2 when any trial permanently failed (quarantined): the campaign
+  // completed, but the grid has holes a resume won't fill without
+  // intervention.  Timed-out and cancelled trials re-run on resume and do
+  // not trip this.
+  if (res.failed > 0) {
+    if (!quiet)
+      std::printf("\n%d trial(s) permanently failed — see journal %s\n",
+                  res.failed, res.journal.c_str());
+    return 2;
   }
   return 0;
 }
