@@ -5,6 +5,7 @@
 
 #include "common/bitutil.h"
 #include "common/check.h"
+#include "nn/module.h"
 
 namespace rowpress::attack {
 namespace {
@@ -24,10 +25,12 @@ double subset_accuracy(nn::Module& model, const data::Dataset& ds,
                        telemetry::Counter* forward_passes) {
   constexpr int kBatch = 128;
   int correct_total = 0;
+  std::vector<int> chunk;
+  chunk.reserve(kBatch);
   for (std::size_t off = 0; off < indices.size(); off += kBatch) {
     const std::size_t end = std::min(indices.size(), off + kBatch);
-    const std::vector<int> chunk(indices.begin() + static_cast<std::ptrdiff_t>(off),
-                                 indices.begin() + static_cast<std::ptrdiff_t>(end));
+    chunk.assign(indices.begin() + static_cast<std::ptrdiff_t>(off),
+                 indices.begin() + static_cast<std::ptrdiff_t>(end));
     if (forward_passes) forward_passes->add();
     const nn::Tensor logits = model.forward(data::gather_inputs(ds, chunk));
     const auto labels = data::gather_labels(ds, chunk);
@@ -47,6 +50,28 @@ bool direction_allows(bool current_bit, dram::FlipDirection dir) {
   return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
 }
 
+/// Maps each attackable qparam to the top-level Sequential child owning it
+/// (by Param identity), so the inter-layer search can re-run only the
+/// children a tentative flip can affect.  Empty result = model is not a
+/// flat Sequential (or a param is owned elsewhere); caller falls back to
+/// full forward passes.
+std::vector<int> map_qparams_to_children(nn::Module& model,
+                                         const nn::QuantizedModel& qmodel) {
+  auto* seq = dynamic_cast<nn::Sequential*>(&model);
+  if (seq == nullptr) return {};
+  const auto& qparams = qmodel.qparams();
+  std::vector<int> child_of(qparams.size(), -1);
+  for (std::size_t c = 0; c < seq->size(); ++c) {
+    for (const nn::Param* p : seq->child(c).parameters()) {
+      for (std::size_t l = 0; l < qparams.size(); ++l)
+        if (qparams[l].param == p) child_of[l] = static_cast<int>(c);
+    }
+  }
+  for (const int c : child_of)
+    if (c < 0) return {};
+  return child_of;
+}
+
 }  // namespace
 
 void ProgressiveBitFlipAttack::bind_telemetry(
@@ -57,6 +82,8 @@ void ProgressiveBitFlipAttack::bind_telemetry(
     tel_.bits_evaluated = &metrics->counter("attack.bits_evaluated");
     tel_.layer_trials = &metrics->counter("attack.layer_trials");
     tel_.flips = &metrics->counter("attack.flips");
+    tel_.suffix_forward_passes =
+        &metrics->counter("attack.suffix_forward_passes");
     tel_.candidate_pool = &metrics->gauge("attack.candidate_pool");
   } else {
     tel_ = Telemetry{};
@@ -191,6 +218,14 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
   std::vector<bool> used(feasible ? feasible->size() : 0, false);
   nn::CrossEntropyLoss ce;
 
+  // Incremental candidate evaluation (see BfaConfig::incremental_eval).
+  nn::Sequential* seq = nullptr;
+  std::vector<int> child_of;
+  if (config_.incremental_eval) {
+    child_of = map_qparams_to_children(model, qmodel);
+    if (!child_of.empty()) seq = dynamic_cast<nn::Sequential*>(&model);
+  }
+
   int barren_rounds = 0;
   while (static_cast<int>(result.flips.size()) < config_.max_flips) {
     // Cooperative deadline/cancel poll, once per search iteration: at this
@@ -206,8 +241,11 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
     const std::vector<int> batch_labels =
         data::gather_labels(attack_data, batch_idx);
 
-    // Gradients of the attack objective w.r.t. the quantized weights.
+    // Gradients of the attack objective w.r.t. the quantized weights.  With
+    // incremental evaluation on, this forward also records each child's
+    // input for the suffix replays below.
     model.zero_grad();
+    if (seq) seq->set_capture_activations(true);
     if (tel_.forward_passes) tel_.forward_passes->add();
     const nn::Tensor logits = model.forward(batch_inputs);
     ce.forward(logits, batch_labels);
@@ -223,6 +261,7 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
     if (order.empty()) {
       // No loss-increasing candidate on this batch; a few redraws may
       // still find one before we declare the pool exhausted.
+      if (seq) seq->set_capture_activations(false);
       if (++barren_rounds >= 3) break;
       continue;
     }
@@ -237,13 +276,25 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
       tel_.layer_trials->add(static_cast<std::int64_t>(order.size()));
 
     // Inter-layer search: try each layer's candidate, keep the max loss.
+    // With captures available, a tentative flip in layer l only needs the
+    // children from l's Sequential child onward re-run.
     double best_loss = -1.0;
     int best_layer = -1;
     for (const int l : order) {
       const auto& cand = *candidates[static_cast<std::size_t>(l)];
       qmodel.apply_bit_flip(cand.ref);
-      const double loss =
-          batch_loss(model, batch_inputs, batch_labels, tel_.forward_passes);
+      double loss;
+      if (seq) {
+        if (tel_.forward_passes) tel_.forward_passes->add();
+        if (tel_.suffix_forward_passes) tel_.suffix_forward_passes->add();
+        loss = ce.forward(
+            seq->forward_from(static_cast<std::size_t>(
+                child_of[static_cast<std::size_t>(l)])),
+            batch_labels);
+      } else {
+        loss = batch_loss(model, batch_inputs, batch_labels,
+                          tel_.forward_passes);
+      }
       qmodel.apply_bit_flip(cand.ref);  // restore (XOR is self-inverse)
       if (loss > best_loss) {
         best_loss = loss;
@@ -251,6 +302,8 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
       }
     }
     RP_ASSERT(best_layer >= 0, "inter-layer search found no layer");
+    // Accuracy checks below must run full (non-replayed) forwards.
+    if (seq) seq->set_capture_activations(false);
 
     // Commit the elected flip; physically the cell can flip only once.
     const auto& cand = *candidates[static_cast<std::size_t>(best_layer)];

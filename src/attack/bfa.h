@@ -46,6 +46,14 @@ struct BfaConfig {
   /// Samples used for the per-iteration accuracy check (strided over the
   /// eval set so class-ordered datasets stay stratified).
   int eval_samples = 256;
+  /// Evaluate inter-layer candidates incrementally: the gradient-pass
+  /// forward records every top-level child's input (copy-on-write shares),
+  /// and each tentative flip re-runs only the children from the flipped
+  /// layer onward.  Bitwise identical to full forward passes — a flip in
+  /// layer l cannot change the activations feeding l — so journals and
+  /// flip sequences are unaffected.  Applies when the model is a flat
+  /// Sequential; other models silently fall back to full passes.
+  bool incremental_eval = true;
 };
 
 struct FlipRecord {
@@ -123,6 +131,9 @@ class ProgressiveBitFlipAttack {
     telemetry::Counter* bits_evaluated = nullptr;
     telemetry::Counter* layer_trials = nullptr;
     telemetry::Counter* flips = nullptr;
+    /// Subset of forward_passes served by Sequential::forward_from (suffix
+    /// replay) instead of a full forward.
+    telemetry::Counter* suffix_forward_passes = nullptr;
     telemetry::Gauge* candidate_pool = nullptr;
   };
   Telemetry tel_;

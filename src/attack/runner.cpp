@@ -2,6 +2,7 @@
 
 #include "attack/mapping.h"
 #include "common/check.h"
+#include "nn/kernels/kernels.h"
 #include "nn/quant/qmodel.h"
 
 namespace rowpress::attack {
@@ -25,6 +26,7 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
   WeightDramMapping mapping(geom, qmodel.total_weight_bytes(), rng);
   auto feasible = mapping.feasible_bits(qmodel, prof);
 
+  nn::kernels::bind_metrics(setup.metrics);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);
   bfa.bind_cancel(setup.cancel);
@@ -42,6 +44,7 @@ AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
   nn::restore_state(*model, trained);
 
   nn::QuantizedModel qmodel(*model);
+  nn::kernels::bind_metrics(setup.metrics);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);
   bfa.bind_cancel(setup.cancel);

@@ -1,8 +1,10 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/activation.h"
+#include "nn/kernels/kernels.h"
 #include "nn/norm.h"
 
 namespace rowpress::nn {
@@ -51,18 +53,25 @@ Tensor PositionalEmbedding::forward(const Tensor& x) {
              "positional embedding shape mismatch");
   Tensor y = x;
   const int n = x.dim(0), t = x.dim(1), d = x.dim(2);
-  for (int b = 0; b < n; ++b)
-    for (int tt = 0; tt < t; ++tt)
-      for (int j = 0; j < d; ++j) y.at3(b, tt, j) += embed_.value.at2(tt, j);
+  float* yp = y.data();
+  const float* ep = embed_.value.cdata();
+  const std::size_t plane = static_cast<std::size_t>(t) * d;
+  for (int b = 0; b < n; ++b) {
+    float* yb = yp + static_cast<std::size_t>(b) * plane;
+    for (std::size_t i = 0; i < plane; ++i) yb[i] += ep[i];
+  }
   return y;
 }
 
 Tensor PositionalEmbedding::backward(const Tensor& grad_out) {
   const int n = grad_out.dim(0), t = grad_out.dim(1), d = grad_out.dim(2);
-  for (int b = 0; b < n; ++b)
-    for (int tt = 0; tt < t; ++tt)
-      for (int j = 0; j < d; ++j)
-        embed_.grad.at2(tt, j) += grad_out.at3(b, tt, j);
+  float* eg = embed_.grad.data();
+  const float* gp = grad_out.cdata();
+  const std::size_t plane = static_cast<std::size_t>(t) * d;
+  for (int b = 0; b < n; ++b) {
+    const float* gb = gp + static_cast<std::size_t>(b) * plane;
+    for (std::size_t i = 0; i < plane; ++i) eg[i] += gb[i];
+  }
   return grad_out;
 }
 
@@ -97,37 +106,48 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   cached_attn_ = Tensor({n, heads_, t, t});
-  for (int b = 0; b < n; ++b) {
-    for (int h = 0; h < heads_; ++h) {
-      float* scores = cached_attn_.data() +
-                      ((static_cast<std::int64_t>(b) * heads_ + h) * t) * t;
-      const float* q = cached_q_.data() +
-                       ((static_cast<std::int64_t>(b) * heads_ + h) * t) *
-                           head_dim_;
-      const float* k = cached_k_.data() +
-                       ((static_cast<std::int64_t>(b) * heads_ + h) * t) *
-                           head_dim_;
-      matmul_bt_accumulate(q, k, scores, t, head_dim_, t);
-      for (int i = 0; i < t * t; ++i) scores[i] *= scale;
+  {
+    float* attn_p = cached_attn_.data();
+    const float* q_p = cached_q_.cdata();
+    const float* k_p = cached_k_.cdata();
+    for (int b = 0; b < n; ++b) {
+      for (int h = 0; h < heads_; ++h) {
+        const std::int64_t mat_off =
+            (static_cast<std::int64_t>(b) * heads_ + h) * t;
+        float* scores = attn_p + mat_off * t;
+        const float* q = q_p + mat_off * head_dim_;
+        const float* k = k_p + mat_off * head_dim_;
+        kernels::gemm_nt(q, k, scores, t, head_dim_, t);
+        for (int i = 0; i < t * t; ++i) scores[i] *= scale;
+      }
     }
   }
   softmax_lastdim(cached_attn_);
 
   Tensor merged({n, t, dim_});
-  for (int b = 0; b < n; ++b) {
-    for (int h = 0; h < heads_; ++h) {
-      const float* attn = cached_attn_.data() +
-                          ((static_cast<std::int64_t>(b) * heads_ + h) * t) * t;
-      const float* v = cached_v_.data() +
-                       ((static_cast<std::int64_t>(b) * heads_ + h) * t) *
-                           head_dim_;
-      // out[t, dh] = attn[t,t] * v[t,dh], written into the head's slice.
-      std::vector<float> out(static_cast<std::size_t>(t) * head_dim_, 0.0f);
-      matmul_accumulate(attn, v, out.data(), t, t, head_dim_);
-      for (int tt = 0; tt < t; ++tt)
-        for (int e = 0; e < head_dim_; ++e)
-          merged.at3(b, tt, h * head_dim_ + e) =
-              out[static_cast<std::size_t>(tt) * head_dim_ + e];
+  const std::size_t head_size = static_cast<std::size_t>(t) * head_dim_;
+  if (out_.size() < head_size) out_.resize(head_size);
+  {
+    float* merged_p = merged.data();
+    const float* attn_p = cached_attn_.cdata();
+    const float* v_p = cached_v_.cdata();
+    for (int b = 0; b < n; ++b) {
+      for (int h = 0; h < heads_; ++h) {
+        const std::int64_t mat_off =
+            (static_cast<std::int64_t>(b) * heads_ + h) * t;
+        const float* attn = attn_p + mat_off * t;
+        const float* v = v_p + mat_off * head_dim_;
+        // out[t, dh] = attn[t,t] * v[t,dh], written into the head's slice.
+        std::fill_n(out_.data(), head_size, 0.0f);
+        kernels::gemm_nn(attn, v, out_.data(), t, t, head_dim_);
+        for (int tt = 0; tt < t; ++tt) {
+          float* mrow = merged_p +
+                        (static_cast<std::size_t>(b) * t + tt) * dim_ +
+                        static_cast<std::size_t>(h) * head_dim_;
+          std::copy_n(out_.data() + static_cast<std::size_t>(tt) * head_dim_,
+                      head_dim_, mrow);
+        }
+      }
     }
   }
   return proj_.forward(merged);
@@ -140,56 +160,71 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
   Tensor g_qkv({n, t, 3 * dim_});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
+  const std::size_t head_size = static_cast<std::size_t>(t) * head_dim_;
+  const std::size_t attn_size = static_cast<std::size_t>(t) * t;
+  if (g_out_.size() < head_size) g_out_.resize(head_size);
+  if (g_v_.size() < head_size) g_v_.resize(head_size);
+  if (g_q_.size() < head_size) g_q_.resize(head_size);
+  if (g_k_.size() < head_size) g_k_.resize(head_size);
+  if (g_attn_.size() < attn_size) g_attn_.resize(attn_size);
+  if (g_scores_.size() < attn_size) g_scores_.resize(attn_size);
+
+  float* g_qkv_p = g_qkv.data();
+  const float* attn_p = cached_attn_.cdata();
+  const float* q_p = cached_q_.cdata();
+  const float* k_p = cached_k_.cdata();
+  const float* v_p = cached_v_.cdata();
+  const float* gm_p = g_merged.cdata();
   for (int b = 0; b < n; ++b) {
     for (int h = 0; h < heads_; ++h) {
       const std::int64_t mat_off =
           (static_cast<std::int64_t>(b) * heads_ + h) * t;
-      const float* attn = cached_attn_.data() + mat_off * t;
-      const float* q = cached_q_.data() + mat_off * head_dim_;
-      const float* k = cached_k_.data() + mat_off * head_dim_;
-      const float* v = cached_v_.data() + mat_off * head_dim_;
+      const float* attn = attn_p + mat_off * t;
+      const float* q = q_p + mat_off * head_dim_;
+      const float* k = k_p + mat_off * head_dim_;
+      const float* v = v_p + mat_off * head_dim_;
 
       // Slice dOut for this head: [t, dh].
-      std::vector<float> g_out(static_cast<std::size_t>(t) * head_dim_);
       for (int tt = 0; tt < t; ++tt)
-        for (int e = 0; e < head_dim_; ++e)
-          g_out[static_cast<std::size_t>(tt) * head_dim_ + e] =
-              g_merged.at3(b, tt, h * head_dim_ + e);
+        std::copy_n(gm_p + (static_cast<std::size_t>(b) * t + tt) * dim_ +
+                        static_cast<std::size_t>(h) * head_dim_,
+                    head_dim_,
+                    g_out_.data() + static_cast<std::size_t>(tt) * head_dim_);
 
       // dV = attn^T * dOut
-      std::vector<float> g_v(static_cast<std::size_t>(t) * head_dim_, 0.0f);
-      matmul_at_accumulate(attn, g_out.data(), g_v.data(), t, t, head_dim_);
+      std::fill_n(g_v_.data(), head_size, 0.0f);
+      kernels::gemm_tn(attn, g_out_.data(), g_v_.data(), t, t, head_dim_);
 
       // dAttn = dOut * V^T
-      std::vector<float> g_attn(static_cast<std::size_t>(t) * t, 0.0f);
-      matmul_bt_accumulate(g_out.data(), v, g_attn.data(), t, head_dim_, t);
+      std::fill_n(g_attn_.data(), attn_size, 0.0f);
+      kernels::gemm_nt(g_out_.data(), v, g_attn_.data(), t, head_dim_, t);
 
       // Softmax backward per row: dS = P .* (dP - sum(dP .* P)).
-      std::vector<float> g_scores(static_cast<std::size_t>(t) * t);
       for (int i = 0; i < t; ++i) {
         const float* prow = attn + static_cast<std::size_t>(i) * t;
-        const float* gprow = g_attn.data() + static_cast<std::size_t>(i) * t;
+        const float* gprow = g_attn_.data() + static_cast<std::size_t>(i) * t;
         float dot = 0.0f;
         for (int j = 0; j < t; ++j) dot += prow[j] * gprow[j];
-        float* gsrow = g_scores.data() + static_cast<std::size_t>(i) * t;
+        float* gsrow = g_scores_.data() + static_cast<std::size_t>(i) * t;
         for (int j = 0; j < t; ++j)
           gsrow[j] = prow[j] * (gprow[j] - dot) * scale;
       }
 
       // dQ = dScores * K ;  dK = dScores^T * Q
-      std::vector<float> g_q(static_cast<std::size_t>(t) * head_dim_, 0.0f);
-      std::vector<float> g_k(static_cast<std::size_t>(t) * head_dim_, 0.0f);
-      matmul_accumulate(g_scores.data(), k, g_q.data(), t, t, head_dim_);
-      matmul_at_accumulate(g_scores.data(), q, g_k.data(), t, t, head_dim_);
+      std::fill_n(g_q_.data(), head_size, 0.0f);
+      std::fill_n(g_k_.data(), head_size, 0.0f);
+      kernels::gemm_nn(g_scores_.data(), k, g_q_.data(), t, t, head_dim_);
+      kernels::gemm_tn(g_scores_.data(), q, g_k_.data(), t, t, head_dim_);
 
-      for (int tt = 0; tt < t; ++tt)
-        for (int e = 0; e < head_dim_; ++e) {
-          const int base = h * head_dim_ + e;
-          const std::size_t i = static_cast<std::size_t>(tt) * head_dim_ + e;
-          g_qkv.at3(b, tt, base) = g_q[i];
-          g_qkv.at3(b, tt, dim_ + base) = g_k[i];
-          g_qkv.at3(b, tt, 2 * dim_ + base) = g_v[i];
-        }
+      for (int tt = 0; tt < t; ++tt) {
+        float* grow = g_qkv_p +
+                      (static_cast<std::size_t>(b) * t + tt) * (3 * dim_) +
+                      static_cast<std::size_t>(h) * head_dim_;
+        const std::size_t i = static_cast<std::size_t>(tt) * head_dim_;
+        std::copy_n(g_q_.data() + i, head_dim_, grow);
+        std::copy_n(g_k_.data() + i, head_dim_, grow + dim_);
+        std::copy_n(g_v_.data() + i, head_dim_, grow + 2 * dim_);
+      }
     }
   }
   return qkv_.backward(g_qkv);

@@ -64,6 +64,14 @@ class MultiHeadSelfAttention final : public Module {
   Tensor cached_q_, cached_k_, cached_v_;  ///< [N,H,T,dh] each
   Tensor cached_attn_;                     ///< [N,H,T,T] post-softmax
   int cached_n_ = 0, cached_t_ = 0;
+  // per-head scratch, reused across heads and calls (grown on demand)
+  std::vector<float> out_;       ///< [t, dh] head output
+  std::vector<float> g_out_;     ///< [t, dh]
+  std::vector<float> g_v_;       ///< [t, dh]
+  std::vector<float> g_attn_;    ///< [t, t]
+  std::vector<float> g_scores_;  ///< [t, t]
+  std::vector<float> g_q_;       ///< [t, dh]
+  std::vector<float> g_k_;       ///< [t, dh]
 };
 
 /// Builds one pre-norm transformer encoder block:

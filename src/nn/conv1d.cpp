@@ -1,6 +1,9 @@
 #include "nn/conv1d.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels/kernels.h"
 
 namespace rowpress::nn {
 namespace {
@@ -63,18 +66,21 @@ Tensor Conv1d::forward(const Tensor& x) {
   const int patch = cin_ * k_;
 
   Tensor y({n, cout_, ol});
-  std::vector<float> col(static_cast<std::size_t>(patch) * ol);
+  float* yp = y.data();
+  const float* xp = x.cdata();
+  const float* wp = weight_.value.cdata();
+  const std::size_t col_size = static_cast<std::size_t>(patch) * ol;
+  if (col_.size() < col_size) col_.resize(col_size);
   for (int b = 0; b < n; ++b) {
-    im2col1d(x.data() + static_cast<std::size_t>(b) * cin_ * len, cin_, len,
-             k_, stride_, pad_, ol, col.data());
-    float* out = y.data() + static_cast<std::size_t>(b) * cout_ * ol;
+    im2col1d(xp + static_cast<std::size_t>(b) * cin_ * len, cin_, len, k_,
+             stride_, pad_, ol, col_.data());
+    float* out = yp + static_cast<std::size_t>(b) * cout_ * ol;
     if (has_bias_) {
+      const float* bp = bias_.value.cdata();
       for (int co = 0; co < cout_; ++co)
-        for (int i = 0; i < ol; ++i)
-          out[static_cast<std::size_t>(co) * ol + i] = bias_.value[co];
+        std::fill_n(out + static_cast<std::size_t>(co) * ol, ol, bp[co]);
     }
-    matmul_accumulate(weight_.value.data(), col.data(), out, cout_, patch,
-                      ol);
+    kernels::gemm_nn(wp, col_.data(), out, cout_, patch, ol);
   }
   return y;
 }
@@ -86,30 +92,34 @@ Tensor Conv1d::backward(const Tensor& grad_out) {
   const int patch = cin_ * k_;
 
   Tensor grad_in(x.shape());
-  std::vector<float> col(static_cast<std::size_t>(patch) * ol);
-  std::vector<float> gcol(static_cast<std::size_t>(patch) * ol);
+  float* gip = grad_in.data();
+  const float* xp = x.cdata();
+  const float* gp = grad_out.cdata();
+  const float* wp = weight_.value.cdata();
+  float* wg = weight_.grad.data();
+  const std::size_t col_size = static_cast<std::size_t>(patch) * ol;
+  if (col_.size() < col_size) col_.resize(col_size);
+  if (gcol_.size() < col_size) gcol_.resize(col_size);
   for (int b = 0; b < n; ++b) {
-    const float* g =
-        grad_out.data() + static_cast<std::size_t>(b) * cout_ * ol;
-    im2col1d(x.data() + static_cast<std::size_t>(b) * cin_ * len, cin_, len,
-             k_, stride_, pad_, ol, col.data());
+    const float* g = gp + static_cast<std::size_t>(b) * cout_ * ol;
+    im2col1d(xp + static_cast<std::size_t>(b) * cin_ * len, cin_, len, k_,
+             stride_, pad_, ol, col_.data());
     // dW[cout, patch] += g[cout, ol] * col^T
-    matmul_bt_accumulate(g, col.data(), weight_.grad.data(), cout_, ol,
-                         patch);
+    kernels::gemm_nt(g, col_.data(), wg, cout_, ol, patch);
     if (has_bias_) {
+      float* bg = bias_.grad.data();
       for (int co = 0; co < cout_; ++co) {
         float acc = 0.0f;
         for (int i = 0; i < ol; ++i)
           acc += g[static_cast<std::size_t>(co) * ol + i];
-        bias_.grad[co] += acc;
+        bg[co] += acc;
       }
     }
     // dcol = W^T * g
-    std::fill(gcol.begin(), gcol.end(), 0.0f);
-    matmul_at_accumulate(weight_.value.data(), g, gcol.data(), cout_, patch,
-                         ol);
-    col2im1d(gcol.data(), cin_, len, k_, stride_, pad_, ol,
-             grad_in.data() + static_cast<std::size_t>(b) * cin_ * len);
+    std::fill_n(gcol_.data(), col_size, 0.0f);
+    kernels::gemm_tn(wp, g, gcol_.data(), cout_, patch, ol);
+    col2im1d(gcol_.data(), cin_, len, k_, stride_, pad_, ol,
+             gip + static_cast<std::size_t>(b) * cin_ * len);
   }
   return grad_in;
 }

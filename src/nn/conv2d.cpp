@@ -1,6 +1,9 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels/kernels.h"
 
 namespace rowpress::nn {
 namespace {
@@ -83,19 +86,23 @@ Tensor Conv2d::forward(const Tensor& x) {
   const int spatial = oh * ow;
 
   Tensor y({n, cout_, oh, ow});
-  std::vector<float> col(static_cast<std::size_t>(patch) * spatial);
+  float* yp = y.data();
+  const float* xp = x.cdata();
+  const float* wp = weight_.value.cdata();
+  const std::size_t col_size = static_cast<std::size_t>(patch) * spatial;
+  if (col_.size() < col_size) col_.resize(col_size);
   for (int b = 0; b < n; ++b) {
-    im2col(x.data() + static_cast<std::size_t>(b) * cin_ * h * w, cin_, h, w,
-           k_, stride_, pad_, oh, ow, col.data());
-    float* out = y.data() + static_cast<std::size_t>(b) * cout_ * spatial;
+    im2col(xp + static_cast<std::size_t>(b) * cin_ * h * w, cin_, h, w, k_,
+           stride_, pad_, oh, ow, col_.data());
+    float* out = yp + static_cast<std::size_t>(b) * cout_ * spatial;
     if (has_bias_) {
+      const float* bp = bias_.value.cdata();
       for (int co = 0; co < cout_; ++co)
-        for (int s = 0; s < spatial; ++s)
-          out[static_cast<std::size_t>(co) * spatial + s] = bias_.value[co];
+        std::fill_n(out + static_cast<std::size_t>(co) * spatial, spatial,
+                    bp[co]);
     }
     // y[cout, spatial] += W[cout, patch] * col[patch, spatial]
-    matmul_accumulate(weight_.value.data(), col.data(), out, cout_, patch,
-                      spatial);
+    kernels::gemm_nn(wp, col_.data(), out, cout_, patch, spatial);
   }
   return y;
 }
@@ -108,30 +115,34 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int spatial = oh * ow;
 
   Tensor grad_in(x.shape());
-  std::vector<float> col(static_cast<std::size_t>(patch) * spatial);
-  std::vector<float> gcol(static_cast<std::size_t>(patch) * spatial);
+  float* gip = grad_in.data();
+  const float* xp = x.cdata();
+  const float* gp = grad_out.cdata();
+  const float* wp = weight_.value.cdata();
+  float* wg = weight_.grad.data();
+  const std::size_t col_size = static_cast<std::size_t>(patch) * spatial;
+  if (col_.size() < col_size) col_.resize(col_size);
+  if (gcol_.size() < col_size) gcol_.resize(col_size);
   for (int b = 0; b < n; ++b) {
-    const float* g =
-        grad_out.data() + static_cast<std::size_t>(b) * cout_ * spatial;
+    const float* g = gp + static_cast<std::size_t>(b) * cout_ * spatial;
     // dW[cout, patch] += g[cout, spatial] * col^T (col as [patch, spatial]).
-    im2col(x.data() + static_cast<std::size_t>(b) * cin_ * h * w, cin_, h, w,
-           k_, stride_, pad_, oh, ow, col.data());
-    matmul_bt_accumulate(g, col.data(), weight_.grad.data(), cout_, spatial,
-                         patch);
+    im2col(xp + static_cast<std::size_t>(b) * cin_ * h * w, cin_, h, w, k_,
+           stride_, pad_, oh, ow, col_.data());
+    kernels::gemm_nt(g, col_.data(), wg, cout_, spatial, patch);
     if (has_bias_) {
+      float* bg = bias_.grad.data();
       for (int co = 0; co < cout_; ++co) {
         float acc = 0.0f;
         for (int s = 0; s < spatial; ++s)
           acc += g[static_cast<std::size_t>(co) * spatial + s];
-        bias_.grad[co] += acc;
+        bg[co] += acc;
       }
     }
     // dcol[patch, spatial] = W^T[patch, cout] * g[cout, spatial]
-    std::fill(gcol.begin(), gcol.end(), 0.0f);
-    matmul_at_accumulate(weight_.value.data(), g, gcol.data(), cout_, patch,
-                         spatial);
-    col2im(gcol.data(), cin_, h, w, k_, stride_, pad_, oh, ow,
-           grad_in.data() + static_cast<std::size_t>(b) * cin_ * h * w);
+    std::fill_n(gcol_.data(), col_size, 0.0f);
+    kernels::gemm_tn(wp, g, gcol_.data(), cout_, patch, spatial);
+    col2im(gcol_.data(), cin_, h, w, k_, stride_, pad_, oh, ow,
+           gip + static_cast<std::size_t>(b) * cin_ * h * w);
   }
   return grad_in;
 }

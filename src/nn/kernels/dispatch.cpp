@@ -1,0 +1,159 @@
+// Runtime backend selection + per-thread telemetry for the GEMM layer.
+#include "nn/kernels/kernels.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "nn/kernels/gemm.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace rowpress::nn::kernels {
+namespace {
+
+// -1 = not resolved yet.  Lazy so ROWPRESS_KERNEL set by a test harness
+// before first use is honored; a racing first resolve computes the same
+// value on every thread, so the relaxed store is benign.
+std::atomic<int> g_backend{-1};
+
+Backend resolve_default() {
+  if (const char* env = std::getenv("ROWPRESS_KERNEL")) {
+    Backend b;
+    if (std::strcmp(env, "naive") == 0) {
+      b = Backend::kNaive;
+    } else if (std::strcmp(env, "portable") == 0) {
+      b = Backend::kPortable;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      b = Backend::kAvx2;
+    } else {
+      RP_REQUIRE(false, std::string("ROWPRESS_KERNEL must be naive|portable|"
+                                    "avx2, got: ") +
+                            env);
+    }
+    RP_REQUIRE(backend_available(b),
+               std::string("ROWPRESS_KERNEL backend not available here: ") +
+                   env);
+    return b;
+  }
+  return detail::avx2_runtime_supported() ? Backend::kAvx2
+                                          : Backend::kPortable;
+}
+
+thread_local telemetry::Histogram* t_gemm_hist = nullptr;
+
+// Timed dispatch: clock reads only happen on threads that bound a registry.
+template <typename F>
+inline void run_timed(F&& f) {
+  if (t_gemm_hist == nullptr) {
+    f();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  t_gemm_hist->record(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+}
+
+}  // namespace
+
+Backend active_backend() {
+  const int cur = g_backend.load(std::memory_order_relaxed);
+  if (cur >= 0) return static_cast<Backend>(cur);
+  const Backend resolved = resolve_default();
+  g_backend.store(static_cast<int>(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+void set_backend(Backend b) {
+  RP_REQUIRE(backend_available(b),
+             std::string("backend not available on this machine: ") +
+                 backend_name(b));
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+bool backend_available(Backend b) {
+  switch (b) {
+    case Backend::kNaive:
+    case Backend::kPortable:
+      return true;
+    case Backend::kAvx2:
+      return detail::kAvx2Compiled && detail::avx2_runtime_supported();
+  }
+  return false;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kNaive:
+      return "naive";
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void bind_metrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    t_gemm_hist = nullptr;
+    return;
+  }
+  static const std::vector<double> kBounds{
+      1e3, 4e3, 16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6};
+  t_gemm_hist = &metrics->histogram("kernels.gemm_ns", kBounds);
+}
+
+void gemm_nn(const float* a, const float* b, float* c, int m, int k, int n) {
+  run_timed([&] {
+    switch (active_backend()) {
+      case Backend::kNaive:
+        ref::gemm_nn(a, b, c, m, k, n);
+        break;
+      case Backend::kPortable:
+        detail::portable_gemm_nn(a, b, c, m, k, n);
+        break;
+      case Backend::kAvx2:
+        detail::avx2_gemm_nn(a, b, c, m, k, n);
+        break;
+    }
+  });
+}
+
+void gemm_nt(const float* a, const float* b, float* c, int m, int k, int n) {
+  run_timed([&] {
+    switch (active_backend()) {
+      case Backend::kNaive:
+        ref::gemm_nt(a, b, c, m, k, n);
+        break;
+      case Backend::kPortable:
+        detail::portable_gemm_nt(a, b, c, m, k, n);
+        break;
+      case Backend::kAvx2:
+        detail::avx2_gemm_nt(a, b, c, m, k, n);
+        break;
+    }
+  });
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int m, int k, int n) {
+  run_timed([&] {
+    switch (active_backend()) {
+      case Backend::kNaive:
+        ref::gemm_tn(a, b, c, m, k, n);
+        break;
+      case Backend::kPortable:
+        detail::portable_gemm_tn(a, b, c, m, k, n);
+        break;
+      case Backend::kAvx2:
+        detail::avx2_gemm_tn(a, b, c, m, k, n);
+        break;
+    }
+  });
+}
+
+}  // namespace rowpress::nn::kernels

@@ -1,0 +1,615 @@
+// GEMM backend implementations.
+//
+// This translation unit is compiled with -ffp-contract=off (see
+// src/CMakeLists.txt): every multiply/add written out below rounds
+// separately, and fused multiply-adds happen exactly where __builtin_fmaf /
+// _mm256_fmadd_ps is spelled.  That is what pins the per-element operation
+// sequences documented in kernels.h — the compiler may still vectorize
+// loops, but it cannot re-fuse or reassociate them.
+//
+// Layout note shared by all three ops: A rows are the reduction stream for
+// gemm_nn/gemm_tn (reduction index ascending, zero terms of A skipped);
+// gemm_nt accumulates each dot product from zero with the mul+add /
+// FMA-tail split at (k & ~7), then adds once into C.
+#include "nn/kernels/gemm.h"
+
+#include <cstddef>
+#include <vector>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace rowpress::nn::kernels {
+
+// ---------------------------------------------------------------------------
+// Naive reference: the per-element contract written as plainly as possible.
+// Deliberately scalar (element-order loops, serial reduction chains) — the
+// golden oracle for the blocked paths and the baseline side of
+// bench_kernels.
+// ---------------------------------------------------------------------------
+namespace ref {
+
+void gemm_nn(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      float acc = crow[j];
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        acc = __builtin_fmaf(av, b[static_cast<std::size_t>(kk) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_nt(const float* a, const float* b, float* c, int m, int k, int n) {
+  const int kv = k & ~7;  // mul+add region; FMA for the k%8 tail
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < kv; ++kk) {
+        const float p = arow[kk] * brow[kk];
+        acc = acc + p;
+      }
+      for (int kk = kv; kk < k; ++kk)
+        acc = __builtin_fmaf(arow[kk], brow[kk], acc);
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    float* crow = c + static_cast<std::size_t>(kk) * n;
+    for (int j = 0; j < n; ++j) {
+      float acc = crow[j];
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + kk];
+        if (av == 0.0f) continue;
+        acc = __builtin_fmaf(av, b[static_cast<std::size_t>(i) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace ref
+
+namespace detail {
+namespace {
+
+/// Thread-local transpose scratch for the NT path (B is [N,K]; the
+/// lane-parallel kernel wants it [K,N]).  Thread-local so concurrent attack
+/// trials never share it; capacity persists across calls.
+std::vector<float>& nt_scratch() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+void transpose_to(const float* b, int rows, int cols, float* out) {
+  // b: [rows, cols] -> out: [cols, rows].  Blocked 16x16 to keep both
+  // streams cache-friendly for the larger linear-layer shapes.
+  constexpr int kB = 16;
+  for (int r0 = 0; r0 < rows; r0 += kB) {
+    const int r1 = r0 + kB < rows ? r0 + kB : rows;
+    for (int c0 = 0; c0 < cols; c0 += kB) {
+      const int c1 = c0 + kB < cols ? c0 + kB : cols;
+      for (int r = r0; r < r1; ++r)
+        for (int cc = c0; cc < c1; ++cc)
+          out[static_cast<std::size_t>(cc) * rows + r] =
+              b[static_cast<std::size_t>(r) * cols + cc];
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Portable blocked backend: same loops the original tensor.cpp kernels used
+// (reduction-outer, contiguous inner row updates — the layout GCC
+// auto-vectorizes), with the FP ops spelled explicitly and the NT path
+// rebuilt lane-parallel over a transposed B so its inner loop vectorizes
+// too instead of serializing on the dot-product chain.
+// ---------------------------------------------------------------------------
+
+void portable_gemm_nn(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j)
+        crow[j] = __builtin_fmaf(av, brow[j], crow[j]);
+    }
+  }
+}
+
+void portable_gemm_nt(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+  std::vector<float>& scratch = nt_scratch();
+  const std::size_t bt_size = static_cast<std::size_t>(k) * n;
+  // Scratch holds B^T [K,N] followed by one accumulator row [N].
+  if (scratch.size() < bt_size + static_cast<std::size_t>(n))
+    scratch.resize(bt_size + static_cast<std::size_t>(n));
+  float* bt = scratch.data();
+  float* accrow = scratch.data() + bt_size;
+  transpose_to(b, n, k, bt);
+
+  const int kv = k & ~7;
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) accrow[j] = 0.0f;
+    for (int kk = 0; kk < kv; ++kk) {
+      const float av = arow[kk];
+      const float* btrow = bt + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        const float p = av * btrow[j];
+        accrow[j] = accrow[j] + p;
+      }
+    }
+    for (int kk = kv; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* btrow = bt + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j)
+        accrow[j] = __builtin_fmaf(av, btrow[j], accrow[j]);
+    }
+    for (int j = 0; j < n; ++j) crow[j] += accrow[j];
+  }
+}
+
+void portable_gemm_tn(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    const float* brow = b + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j)
+        crow[j] = __builtin_fmaf(av, brow[j], crow[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA backend: register-tiled micro-kernels, MR=4 rows x NR=16 columns
+// (eight 8-lane accumulators held across the whole reduction).  C tiles are
+// loaded once and stored once, so the reduction streams only A and B.
+// Lanes are output elements: vectorization is across columns, never across
+// the reduction index, which is what keeps every element's operation
+// sequence identical to the reference.
+// ---------------------------------------------------------------------------
+#if defined(__AVX2__) && defined(__FMA__)
+
+bool avx2_runtime_supported() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+namespace {
+
+// One row tail (j >= n8) of the NN/TN update: scalar FMA chain with the
+// zero-skip, identical to the vector lanes.
+inline void nn_row_scalar_tail(const float* arow, const float* b, float* crow,
+                               int k, int n, int j0) {
+  for (int j = j0; j < n; ++j) {
+    float acc = crow[j];
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      acc = __builtin_fmaf(av, b[static_cast<std::size_t>(kk) * n + j], acc);
+    }
+    crow[j] = acc;
+  }
+}
+
+// Single-row NN micro-kernel (row tails of the MR=4 loop).
+inline void avx2_nn_row(const float* arow, const float* b, float* crow, int k,
+                        int n) {
+  const int n16 = n & ~15;
+  const int n8 = n & ~7;
+  for (int j = 0; j < n16; j += 16) {
+    __m256 acc0 = _mm256_loadu_ps(crow + j);
+    __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+    const float* bp = b + j;
+    for (int kk = 0; kk < k; ++kk, bp += n) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const __m256 avv = _mm256_set1_ps(av);
+      acc0 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(bp), acc0);
+      acc1 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(bp + 8), acc1);
+    }
+    _mm256_storeu_ps(crow + j, acc0);
+    _mm256_storeu_ps(crow + j + 8, acc1);
+  }
+  if (n8 > n16) {
+    __m256 acc0 = _mm256_loadu_ps(crow + n16);
+    const float* bp = b + n16;
+    for (int kk = 0; kk < k; ++kk, bp += n) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(av), _mm256_loadu_ps(bp), acc0);
+    }
+    _mm256_storeu_ps(crow + n16, acc0);
+  }
+  nn_row_scalar_tail(arow, b, crow, k, n, n8);
+}
+
+}  // namespace
+
+void avx2_gemm_nn(const float* a, const float* b, float* c, int m, int k,
+                  int n) {
+  const int n16 = n & ~15;
+  const int n8 = n & ~7;
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + static_cast<std::size_t>(i) * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    for (int j = 0; j < n16; j += 16) {
+      __m256 r00 = _mm256_loadu_ps(c0 + j), r01 = _mm256_loadu_ps(c0 + j + 8);
+      __m256 r10 = _mm256_loadu_ps(c1 + j), r11 = _mm256_loadu_ps(c1 + j + 8);
+      __m256 r20 = _mm256_loadu_ps(c2 + j), r21 = _mm256_loadu_ps(c2 + j + 8);
+      __m256 r30 = _mm256_loadu_ps(c3 + j), r31 = _mm256_loadu_ps(c3 + j + 8);
+      const float* bp = b + j;
+      for (int kk = 0; kk < k; ++kk, bp += n) {
+        const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+        if ((av0 == 0.0f) & (av1 == 0.0f) & (av2 == 0.0f) & (av3 == 0.0f))
+          continue;
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        if (av0 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av0);
+          r00 = _mm256_fmadd_ps(avv, b0, r00);
+          r01 = _mm256_fmadd_ps(avv, b1, r01);
+        }
+        if (av1 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av1);
+          r10 = _mm256_fmadd_ps(avv, b0, r10);
+          r11 = _mm256_fmadd_ps(avv, b1, r11);
+        }
+        if (av2 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av2);
+          r20 = _mm256_fmadd_ps(avv, b0, r20);
+          r21 = _mm256_fmadd_ps(avv, b1, r21);
+        }
+        if (av3 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av3);
+          r30 = _mm256_fmadd_ps(avv, b0, r30);
+          r31 = _mm256_fmadd_ps(avv, b1, r31);
+        }
+      }
+      _mm256_storeu_ps(c0 + j, r00);
+      _mm256_storeu_ps(c0 + j + 8, r01);
+      _mm256_storeu_ps(c1 + j, r10);
+      _mm256_storeu_ps(c1 + j + 8, r11);
+      _mm256_storeu_ps(c2 + j, r20);
+      _mm256_storeu_ps(c2 + j + 8, r21);
+      _mm256_storeu_ps(c3 + j, r30);
+      _mm256_storeu_ps(c3 + j + 8, r31);
+    }
+    if (n8 > n16) {
+      __m256 r0 = _mm256_loadu_ps(c0 + n16);
+      __m256 r1 = _mm256_loadu_ps(c1 + n16);
+      __m256 r2 = _mm256_loadu_ps(c2 + n16);
+      __m256 r3 = _mm256_loadu_ps(c3 + n16);
+      const float* bp = b + n16;
+      for (int kk = 0; kk < k; ++kk, bp += n) {
+        const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+        if ((av0 == 0.0f) & (av1 == 0.0f) & (av2 == 0.0f) & (av3 == 0.0f))
+          continue;
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        if (av0 != 0.0f) r0 = _mm256_fmadd_ps(_mm256_set1_ps(av0), b0, r0);
+        if (av1 != 0.0f) r1 = _mm256_fmadd_ps(_mm256_set1_ps(av1), b0, r1);
+        if (av2 != 0.0f) r2 = _mm256_fmadd_ps(_mm256_set1_ps(av2), b0, r2);
+        if (av3 != 0.0f) r3 = _mm256_fmadd_ps(_mm256_set1_ps(av3), b0, r3);
+      }
+      _mm256_storeu_ps(c0 + n16, r0);
+      _mm256_storeu_ps(c1 + n16, r1);
+      _mm256_storeu_ps(c2 + n16, r2);
+      _mm256_storeu_ps(c3 + n16, r3);
+    }
+    nn_row_scalar_tail(a0, b, c0, k, n, n8);
+    nn_row_scalar_tail(a1, b, c1, k, n, n8);
+    nn_row_scalar_tail(a2, b, c2, k, n, n8);
+    nn_row_scalar_tail(a3, b, c3, k, n, n8);
+  }
+  for (; i < m; ++i)
+    avx2_nn_row(a + static_cast<std::size_t>(i) * k, b,
+                c + static_cast<std::size_t>(i) * n, k, n);
+}
+
+namespace {
+
+// Single-row NT micro-kernel over the transposed B; acc starts at zero,
+// mul+add for kk < kv, FMA for the tail, then one add into C.
+inline void avx2_nt_row(const float* arow, const float* bt, float* crow,
+                        int k, int n, int kv) {
+  const int n16 = n & ~15;
+  const int n8 = n & ~7;
+  for (int j = 0; j < n16; j += 16) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    const float* bp = bt + j;
+    int kk = 0;
+    for (; kk < kv; ++kk, bp += n) {
+      const __m256 avv = _mm256_set1_ps(arow[kk]);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(avv, _mm256_loadu_ps(bp)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(avv, _mm256_loadu_ps(bp + 8)));
+    }
+    for (; kk < k; ++kk, bp += n) {
+      const __m256 avv = _mm256_set1_ps(arow[kk]);
+      acc0 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(bp), acc0);
+      acc1 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(bp + 8), acc1);
+    }
+    _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j), acc0));
+    _mm256_storeu_ps(crow + j + 8,
+                     _mm256_add_ps(_mm256_loadu_ps(crow + j + 8), acc1));
+  }
+  if (n8 > n16) {
+    __m256 acc0 = _mm256_setzero_ps();
+    const float* bp = bt + n16;
+    int kk = 0;
+    for (; kk < kv; ++kk, bp += n)
+      acc0 = _mm256_add_ps(acc0,
+                           _mm256_mul_ps(_mm256_set1_ps(arow[kk]),
+                                         _mm256_loadu_ps(bp)));
+    for (; kk < k; ++kk, bp += n)
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]), _mm256_loadu_ps(bp),
+                             acc0);
+    _mm256_storeu_ps(crow + n16,
+                     _mm256_add_ps(_mm256_loadu_ps(crow + n16), acc0));
+  }
+  for (int j = n8; j < n; ++j) {
+    float acc = 0.0f;
+    int kk = 0;
+    for (; kk < kv; ++kk) {
+      const float p = arow[kk] * bt[static_cast<std::size_t>(kk) * n + j];
+      acc = acc + p;
+    }
+    for (; kk < k; ++kk)
+      acc = __builtin_fmaf(arow[kk], bt[static_cast<std::size_t>(kk) * n + j],
+                           acc);
+    crow[j] += acc;
+  }
+}
+
+// Columns [j0, n) of one NT row: one 8-wide block if it fits, scalar rest.
+inline void avx2_nt_row_tail_cols(const float* arow, const float* bt,
+                                  float* crow, int k, int n, int kv, int j0) {
+  int j = j0;
+  if (j + 8 <= n) {
+    __m256 acc0 = _mm256_setzero_ps();
+    const float* bp = bt + j;
+    int kk = 0;
+    for (; kk < kv; ++kk, bp += n)
+      acc0 = _mm256_add_ps(acc0,
+                           _mm256_mul_ps(_mm256_set1_ps(arow[kk]),
+                                         _mm256_loadu_ps(bp)));
+    for (; kk < k; ++kk, bp += n)
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]), _mm256_loadu_ps(bp),
+                             acc0);
+    _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j), acc0));
+    j += 8;
+  }
+  for (; j < n; ++j) {
+    float acc = 0.0f;
+    int kk = 0;
+    for (; kk < kv; ++kk) {
+      const float p = arow[kk] * bt[static_cast<std::size_t>(kk) * n + j];
+      acc = acc + p;
+    }
+    for (; kk < k; ++kk)
+      acc = __builtin_fmaf(arow[kk], bt[static_cast<std::size_t>(kk) * n + j],
+                           acc);
+    crow[j] += acc;
+  }
+}
+
+}  // namespace
+
+void avx2_gemm_nt(const float* a, const float* b, float* c, int m, int k,
+                  int n) {
+  std::vector<float>& scratch = nt_scratch();
+  const std::size_t bt_size = static_cast<std::size_t>(k) * n;
+  if (scratch.size() < bt_size) scratch.resize(bt_size);
+  float* bt = scratch.data();
+  transpose_to(b, n, k, bt);
+
+  const int kv = k & ~7;
+  const int n16 = n & ~15;
+  int i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    const float* a1 = a0 + k;
+    float* c0 = c + static_cast<std::size_t>(i) * n;
+    float* c1 = c0 + n;
+    for (int j = 0; j < n16; j += 16) {
+      __m256 r00 = _mm256_setzero_ps(), r01 = _mm256_setzero_ps();
+      __m256 r10 = _mm256_setzero_ps(), r11 = _mm256_setzero_ps();
+      const float* bp = bt + j;
+      int kk = 0;
+      for (; kk < kv; ++kk, bp += n) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        const __m256 av0 = _mm256_set1_ps(a0[kk]);
+        const __m256 av1 = _mm256_set1_ps(a1[kk]);
+        r00 = _mm256_add_ps(r00, _mm256_mul_ps(av0, b0));
+        r01 = _mm256_add_ps(r01, _mm256_mul_ps(av0, b1));
+        r10 = _mm256_add_ps(r10, _mm256_mul_ps(av1, b0));
+        r11 = _mm256_add_ps(r11, _mm256_mul_ps(av1, b1));
+      }
+      for (; kk < k; ++kk, bp += n) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        const __m256 av0 = _mm256_set1_ps(a0[kk]);
+        const __m256 av1 = _mm256_set1_ps(a1[kk]);
+        r00 = _mm256_fmadd_ps(av0, b0, r00);
+        r01 = _mm256_fmadd_ps(av0, b1, r01);
+        r10 = _mm256_fmadd_ps(av1, b0, r10);
+        r11 = _mm256_fmadd_ps(av1, b1, r11);
+      }
+      _mm256_storeu_ps(c0 + j, _mm256_add_ps(_mm256_loadu_ps(c0 + j), r00));
+      _mm256_storeu_ps(c0 + j + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(c0 + j + 8), r01));
+      _mm256_storeu_ps(c1 + j, _mm256_add_ps(_mm256_loadu_ps(c1 + j), r10));
+      _mm256_storeu_ps(c1 + j + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(c1 + j + 8), r11));
+    }
+    if (n16 < n) {
+      // Column tail: reuse the single-row kernel from the tail offset by
+      // pointing it at the remaining columns (Bt rows stay n wide).
+      avx2_nt_row_tail_cols(a0, bt, c0, k, n, kv, n16);
+      avx2_nt_row_tail_cols(a1, bt, c1, k, n, kv, n16);
+    }
+  }
+  for (; i < m; ++i)
+    avx2_nt_row(a + static_cast<std::size_t>(i) * k, bt,
+                c + static_cast<std::size_t>(i) * n, k, n, kv);
+}
+
+void avx2_gemm_tn(const float* a, const float* b, float* c, int m, int k,
+                  int n) {
+  const int n16 = n & ~15;
+  const int n8 = n & ~7;
+  int kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    float* c0 = c + static_cast<std::size_t>(kk) * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    for (int j = 0; j < n16; j += 16) {
+      __m256 r00 = _mm256_loadu_ps(c0 + j), r01 = _mm256_loadu_ps(c0 + j + 8);
+      __m256 r10 = _mm256_loadu_ps(c1 + j), r11 = _mm256_loadu_ps(c1 + j + 8);
+      __m256 r20 = _mm256_loadu_ps(c2 + j), r21 = _mm256_loadu_ps(c2 + j + 8);
+      __m256 r30 = _mm256_loadu_ps(c3 + j), r31 = _mm256_loadu_ps(c3 + j + 8);
+      for (int i = 0; i < m; ++i) {
+        const float* ap = a + static_cast<std::size_t>(i) * k + kk;
+        const float av0 = ap[0], av1 = ap[1], av2 = ap[2], av3 = ap[3];
+        if ((av0 == 0.0f) & (av1 == 0.0f) & (av2 == 0.0f) & (av3 == 0.0f))
+          continue;
+        const float* bp = b + static_cast<std::size_t>(i) * n + j;
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        if (av0 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av0);
+          r00 = _mm256_fmadd_ps(avv, b0, r00);
+          r01 = _mm256_fmadd_ps(avv, b1, r01);
+        }
+        if (av1 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av1);
+          r10 = _mm256_fmadd_ps(avv, b0, r10);
+          r11 = _mm256_fmadd_ps(avv, b1, r11);
+        }
+        if (av2 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av2);
+          r20 = _mm256_fmadd_ps(avv, b0, r20);
+          r21 = _mm256_fmadd_ps(avv, b1, r21);
+        }
+        if (av3 != 0.0f) {
+          const __m256 avv = _mm256_set1_ps(av3);
+          r30 = _mm256_fmadd_ps(avv, b0, r30);
+          r31 = _mm256_fmadd_ps(avv, b1, r31);
+        }
+      }
+      _mm256_storeu_ps(c0 + j, r00);
+      _mm256_storeu_ps(c0 + j + 8, r01);
+      _mm256_storeu_ps(c1 + j, r10);
+      _mm256_storeu_ps(c1 + j + 8, r11);
+      _mm256_storeu_ps(c2 + j, r20);
+      _mm256_storeu_ps(c2 + j + 8, r21);
+      _mm256_storeu_ps(c3 + j, r30);
+      _mm256_storeu_ps(c3 + j + 8, r31);
+    }
+    if (n8 > n16) {
+      __m256 r0 = _mm256_loadu_ps(c0 + n16);
+      __m256 r1 = _mm256_loadu_ps(c1 + n16);
+      __m256 r2 = _mm256_loadu_ps(c2 + n16);
+      __m256 r3 = _mm256_loadu_ps(c3 + n16);
+      for (int i = 0; i < m; ++i) {
+        const float* ap = a + static_cast<std::size_t>(i) * k + kk;
+        const float av0 = ap[0], av1 = ap[1], av2 = ap[2], av3 = ap[3];
+        if ((av0 == 0.0f) & (av1 == 0.0f) & (av2 == 0.0f) & (av3 == 0.0f))
+          continue;
+        const __m256 b0 =
+            _mm256_loadu_ps(b + static_cast<std::size_t>(i) * n + n16);
+        if (av0 != 0.0f) r0 = _mm256_fmadd_ps(_mm256_set1_ps(av0), b0, r0);
+        if (av1 != 0.0f) r1 = _mm256_fmadd_ps(_mm256_set1_ps(av1), b0, r1);
+        if (av2 != 0.0f) r2 = _mm256_fmadd_ps(_mm256_set1_ps(av2), b0, r2);
+        if (av3 != 0.0f) r3 = _mm256_fmadd_ps(_mm256_set1_ps(av3), b0, r3);
+      }
+      _mm256_storeu_ps(c0 + n16, r0);
+      _mm256_storeu_ps(c1 + n16, r1);
+      _mm256_storeu_ps(c2 + n16, r2);
+      _mm256_storeu_ps(c3 + n16, r3);
+    }
+    for (int j = n8; j < n; ++j) {
+      float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+      for (int i = 0; i < m; ++i) {
+        const float* ap = a + static_cast<std::size_t>(i) * k + kk;
+        const float bv = b[static_cast<std::size_t>(i) * n + j];
+        if (ap[0] != 0.0f) s0 = __builtin_fmaf(ap[0], bv, s0);
+        if (ap[1] != 0.0f) s1 = __builtin_fmaf(ap[1], bv, s1);
+        if (ap[2] != 0.0f) s2 = __builtin_fmaf(ap[2], bv, s2);
+        if (ap[3] != 0.0f) s3 = __builtin_fmaf(ap[3], bv, s3);
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; kk < k; ++kk) {
+    float* crow = c + static_cast<std::size_t>(kk) * n;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 r0 = _mm256_loadu_ps(crow + j);
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + kk];
+        if (av == 0.0f) continue;
+        r0 = _mm256_fmadd_ps(
+            _mm256_set1_ps(av),
+            _mm256_loadu_ps(b + static_cast<std::size_t>(i) * n + j), r0);
+      }
+      _mm256_storeu_ps(crow + j, r0);
+    }
+    for (; j < n; ++j) {
+      float acc = crow[j];
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + kk];
+        if (av == 0.0f) continue;
+        acc = __builtin_fmaf(av, b[static_cast<std::size_t>(i) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+#else  // !(__AVX2__ && __FMA__)
+
+bool avx2_runtime_supported() { return false; }
+
+void avx2_gemm_nn(const float*, const float*, float*, int, int, int) {}
+void avx2_gemm_nt(const float*, const float*, float*, int, int, int) {}
+void avx2_gemm_tn(const float*, const float*, float*, int, int, int) {}
+
+#endif
+
+}  // namespace detail
+}  // namespace rowpress::nn::kernels

@@ -1,0 +1,34 @@
+// Internal backend entry points for the GEMM layer.  dispatch.cpp routes
+// the public kernels.h API here; gemm.cpp implements them.  That TU is
+// compiled with -ffp-contract=off so the explicitly written multiply/add
+// sequences (the bit-exactness contract in kernels.h) cannot be re-fused
+// by the compiler.
+#pragma once
+
+namespace rowpress::nn::kernels::detail {
+
+#if defined(__AVX2__) && defined(__FMA__)
+inline constexpr bool kAvx2Compiled = true;
+#else
+inline constexpr bool kAvx2Compiled = false;
+#endif
+
+/// True when the AVX2 path is compiled in and this CPU executes it.
+bool avx2_runtime_supported();
+
+void portable_gemm_nn(const float* a, const float* b, float* c, int m, int k,
+                      int n);
+void portable_gemm_nt(const float* a, const float* b, float* c, int m, int k,
+                      int n);
+void portable_gemm_tn(const float* a, const float* b, float* c, int m, int k,
+                      int n);
+
+// Compiled only when kAvx2Compiled; dispatch never routes here otherwise.
+void avx2_gemm_nn(const float* a, const float* b, float* c, int m, int k,
+                  int n);
+void avx2_gemm_nt(const float* a, const float* b, float* c, int m, int k,
+                  int n);
+void avx2_gemm_tn(const float* a, const float* b, float* c, int m, int k,
+                  int n);
+
+}  // namespace rowpress::nn::kernels::detail

@@ -1,0 +1,81 @@
+// Fast GEMM kernel layer: the three accumulate ops every layer builds on
+// (conv via im2col, linear, attention), runtime-dispatched over backends.
+//
+// Bit-exactness contract
+// ----------------------
+// Every backend — including the retained naive reference — computes the
+// SAME per-element floating-point operation sequence, so results are
+// bitwise identical across backends and identical to the pre-kernel-layer
+// scalar loops as compiled by GCC -O3 (verified instruction-by-instruction
+// and by golden tests):
+//
+//   gemm_nn / gemm_tn:  each output element is an FMA chain over the
+//     reduction index in ascending order; reduction terms whose A operand
+//     equals 0.0f are skipped entirely (the historical sparsity shortcut —
+//     it also changes Inf/NaN propagation, so it is part of the contract).
+//
+//   gemm_nt:  each output element is a dot product accumulated from zero —
+//     separately-rounded multiply-then-add for the first (k & ~7) terms,
+//     FMA for the remaining k % 8 terms — followed by one plain add into C.
+//     (This mirrors the in-order vector reduction + FMA tail GCC emitted
+//     for the original scalar loop, which the committed attack trajectories
+//     were produced with.)
+//
+// The blocked/SIMD paths may reorder loops, tile, pack, or keep partial
+// sums in registers, but never change any element's operation sequence.
+#pragma once
+
+#include <cstdint>
+
+namespace rowpress::telemetry {
+class MetricsRegistry;
+}
+
+namespace rowpress::nn::kernels {
+
+enum class Backend {
+  kNaive = 0,     ///< retained scalar reference (always available)
+  kPortable = 1,  ///< cache-blocked, auto-vectorizable C++ (always available)
+  kAvx2 = 2,      ///< AVX2+FMA register-tiled micro-kernels (when compiled in)
+};
+
+/// C[M,N] += A[M,K] * B[K,N].
+void gemm_nn(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[M,N] += A[M,K] * B^T where B is [N,K].
+void gemm_nt(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[K,N] += A^T * B where A is [M,K], B is [M,N].
+void gemm_tn(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// Backend used by the gemm_* entry points.  Resolved once, lazily: the
+/// ROWPRESS_KERNEL environment variable ("naive" | "portable" | "avx2")
+/// when set, otherwise the fastest backend this CPU supports.
+Backend active_backend();
+
+/// Overrides the active backend (tests/benchmarks).  Requires the backend
+/// to be available on this machine.
+void set_backend(Backend b);
+
+/// True when the backend can run here (compiled in + CPU support).
+bool backend_available(Backend b);
+
+const char* backend_name(Backend b);
+
+/// Binds the calling thread's kernel telemetry to `metrics` (idempotently
+/// registering the "kernels.gemm_ns" histogram there) — or detaches it when
+/// null.  Thread-local: each attack worker binds its own registry, so
+/// recording needs no synchronization beyond the histogram's own atomics.
+/// Unbound threads skip the clock reads entirely.
+void bind_metrics(telemetry::MetricsRegistry* metrics);
+
+/// Reference implementations of the exact per-element operation sequences
+/// (see the contract above).  Slow by design; golden oracle for tests and
+/// the baseline side of bench_kernels.
+namespace ref {
+void gemm_nn(const float* a, const float* b, float* c, int m, int k, int n);
+void gemm_nt(const float* a, const float* b, float* c, int m, int k, int n);
+void gemm_tn(const float* a, const float* b, float* c, int m, int k, int n);
+}  // namespace ref
+
+}  // namespace rowpress::nn::kernels

@@ -1,6 +1,9 @@
 #include "nn/linear.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels/kernels.h"
 
 namespace rowpress::nn {
 
@@ -22,18 +25,20 @@ Tensor Linear::forward(const Tensor& x) {
   RP_REQUIRE(x.dim(x.ndim() - 1) == in_,
              "linear input feature dim mismatch");
   const int rows = static_cast<int>(x.numel() / in_);
-  cached_input_ = x.reshaped({rows, in_});
+  cached_input_ = x.reshaped({rows, in_});  // zero-copy view
   cached_out_shape_ = x.shape();
   cached_out_shape_.back() = out_;
 
   Tensor y({rows, out_});
+  float* yp = y.data();
   if (has_bias_) {
+    const float* bp = bias_.value.cdata();
     for (int i = 0; i < rows; ++i)
-      for (int j = 0; j < out_; ++j) y.at2(i, j) = bias_.value[j];
+      std::copy_n(bp, out_, yp + static_cast<std::size_t>(i) * out_);
   }
   // y[rows,out] += x[rows,in] * W^T  (W: [out,in])
-  matmul_bt_accumulate(cached_input_.data(), weight_.value.data(), y.data(),
-                       rows, in_, out_);
+  kernels::gemm_nt(cached_input_.cdata(), weight_.value.cdata(), yp, rows,
+                   in_, out_);
   return y.reshaped(cached_out_shape_);
 }
 
@@ -42,17 +47,21 @@ Tensor Linear::backward(const Tensor& grad_out) {
   const Tensor g = grad_out.reshaped({rows, out_});
 
   // dW[out,in] += g^T[out,rows] * x[rows,in]
-  matmul_at_accumulate(g.data(), cached_input_.data(), weight_.grad.data(),
-                       rows, out_, in_);
+  kernels::gemm_tn(g.cdata(), cached_input_.cdata(), weight_.grad.data(),
+                   rows, out_, in_);
   if (has_bias_) {
-    for (int i = 0; i < rows; ++i)
-      for (int j = 0; j < out_; ++j) bias_.grad[j] += g.at2(i, j);
+    float* bg = bias_.grad.data();
+    const float* gp = g.cdata();
+    for (int i = 0; i < rows; ++i) {
+      const float* grow = gp + static_cast<std::size_t>(i) * out_;
+      for (int j = 0; j < out_; ++j) bg[j] += grow[j];
+    }
   }
 
   // dx[rows,in] = g[rows,out] * W[out,in]
   Tensor grad_in({rows, in_});
-  matmul_accumulate(g.data(), weight_.value.data(), grad_in.data(), rows,
-                    out_, in_);
+  kernels::gemm_nn(g.cdata(), weight_.value.cdata(), grad_in.data(), rows,
+                   out_, in_);
   std::vector<int> in_shape = cached_out_shape_;
   in_shape.back() = in_;
   return grad_in.reshaped(in_shape);

@@ -68,13 +68,13 @@ Tensor BatchNorm::forward(const Tensor& x) {
       running_var_[c] = static_cast<float>(
           (1.0 - momentum_) * running_var_[c] + momentum_ * var);
     } else {
-      mean = running_mean_[c];
-      var = running_var_[c];
+      mean = running_mean_.cdata()[c];
+      var = running_var_.cdata()[c];
     }
     const double istd = 1.0 / std::sqrt(var + eps_);
     cached_mean_[static_cast<std::size_t>(c)] = mean;
     cached_istd_[static_cast<std::size_t>(c)] = istd;
-    const float g = gamma_.value[c], bta = beta_.value[c];
+    const float g = gamma_.value.cdata()[c], bta = beta_.value.cdata()[c];
     for (int b = 0; b < f.n; ++b) {
       for (int s = 0; s < f.inner; ++s) {
         const std::size_t i = cidx(f, b, c, s);
@@ -94,7 +94,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
 
   for (int c = 0; c < channels_; ++c) {
     const double istd = cached_istd_[static_cast<std::size_t>(c)];
-    const float g = gamma_.value[c];
+    const float g = gamma_.value.cdata()[c];
     double sum_g = 0.0, sum_gn = 0.0;
     for (int b = 0; b < f.n; ++b) {
       for (int s = 0; s < f.inner; ++s) {
@@ -152,6 +152,8 @@ Tensor LayerNorm::forward(const Tensor& x) {
   cached_istd_.assign(static_cast<std::size_t>(rows), 0.0);
 
   Tensor y({rows, dim_});
+  const float* gp = gamma_.value.cdata();
+  const float* bp = beta_.value.cdata();
   for (int r = 0; r < rows; ++r) {
     double mean = 0.0;
     for (int j = 0; j < dim_; ++j) mean += xf.at2(r, j);
@@ -167,7 +169,7 @@ Tensor LayerNorm::forward(const Tensor& x) {
     for (int j = 0; j < dim_; ++j) {
       const float norm = static_cast<float>((xf.at2(r, j) - mean) * istd);
       cached_norm_.at2(r, j) = norm;
-      y.at2(r, j) = gamma_.value[j] * norm + beta_.value[j];
+      y.at2(r, j) = gp[j] * norm + bp[j];
     }
   }
   return y.reshaped(cached_shape_);
@@ -178,17 +180,20 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
   const Tensor g = grad_out.reshaped({rows, dim_});
   Tensor grad_in({rows, dim_});
 
+  const float* gp = gamma_.value.cdata();
   for (int r = 0; r < rows; ++r) {
     const double istd = cached_istd_[static_cast<std::size_t>(r)];
     double sum_g = 0.0, sum_gn = 0.0;
     for (int j = 0; j < dim_; ++j) {
-      const double gj = g.at2(r, j) * gamma_.value[j];
+      const double gj = g.at2(r, j) * gp[j];
       sum_g += gj;
       sum_gn += gj * cached_norm_.at2(r, j);
     }
     for (int j = 0; j < dim_; ++j) {
-      const double gj = g.at2(r, j) * gamma_.value[j];
-      gamma_.grad[j] += g.at2(r, j) * cached_norm_.at2(r, j);
+      const double gj = g.at2(r, j) * gp[j];
+      // Pinned FP sequence: the grad product fuses into the accumulate.
+      gamma_.grad[j] =
+          __builtin_fmaf(g.at2(r, j), cached_norm_.at2(r, j), gamma_.grad[j]);
       beta_.grad[j] += g.at2(r, j);
       grad_in.at2(r, j) = static_cast<float>(
           istd * (gj - sum_g / dim_ - cached_norm_.at2(r, j) * sum_gn / dim_));

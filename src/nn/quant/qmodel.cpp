@@ -41,12 +41,14 @@ float QuantizedModel::apply_bit_flip(const WeightBitRef& ref) {
   RP_REQUIRE(ref.weight_index >= 0 && ref.weight_index < qp.num_weights(),
              "weight index out of range");
   std::int8_t& code = qp.qr.q[static_cast<std::size_t>(ref.weight_index)];
-  const float before = static_cast<float>(code) * qp.qr.scale;
+  const float old_code = static_cast<float>(code);
   code = int8_flip_bit(code, ref.bit);
   const float after = static_cast<float>(code) * qp.qr.scale;
   qp.param->value[ref.weight_index] = after;
   ++flips_applied_;
-  return after - before;
+  // Pinned FP sequence: the pre-flip dequant product fuses into the
+  // subtraction (delta = after - old_code*scale in one rounding).
+  return __builtin_fmaf(-old_code, qp.qr.scale, after);
 }
 
 std::int64_t QuantizedModel::image_bit_offset(const WeightBitRef& ref) const {

@@ -28,12 +28,15 @@ Tensor SelectiveScan::forward(const Tensor& x) {
   cached_g_raw_ = gate_proj_.forward(x);
   cached_h_ = Tensor({n, t, dim_});
 
+  const float* ap = a_logit_.value.cdata();
   for (int b = 0; b < n; ++b) {
     for (int j = 0; j < dim_; ++j) {
-      const float a = sigmoidf(a_logit_.value[j]);
+      const float a = sigmoidf(ap[j]);
       float h = 0.0f;
       for (int tt = 0; tt < t; ++tt) {
-        h = a * h + (1.0f - a) * cached_u_.at3(b, tt, j);
+        // Pinned FP sequence: a*h fused into the add, (1-a)*u rounded
+        // separately.  Committed attack artifacts depend on these bits.
+        h = __builtin_fmaf(a, h, (1.0f - a) * cached_u_.at3(b, tt, j));
         cached_h_.at3(b, tt, j) = h;
       }
     }
@@ -59,9 +62,10 @@ Tensor SelectiveScan::backward(const Tensor& grad_out) {
   // Reverse scan: dh_t += a * dh_{t+1};  du_t = (1-a) * dh_t;
   // da accumulates dh_t * (h_{t-1} - u_t).
   Tensor g_u({n, t, dim_});
+  const float* ap = a_logit_.value.cdata();
   for (int b = 0; b < n; ++b) {
     for (int j = 0; j < dim_; ++j) {
-      const float al = a_logit_.value[j];
+      const float al = ap[j];
       const float a = sigmoidf(al);
       const float da_dlogit = a * (1.0f - a);
       float carry = 0.0f;

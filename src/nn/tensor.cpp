@@ -1,6 +1,6 @@
 #include "nn/tensor.h"
 
-#include <numeric>
+#include <algorithm>
 #include <sstream>
 
 namespace rowpress::nn {
@@ -17,17 +17,88 @@ std::int64_t shape_numel(const std::vector<int>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+void Tensor::alloc(float fill_value) {
+  numel_ = shape_numel(shape_);
+  store_ = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(numel_), fill_value);
+  rptr_ = store_->data();
+  wptr_.store(rptr_, std::memory_order_relaxed);
+}
 
-Tensor::Tensor(std::vector<int> shape, float fill)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  alloc(0.0f);
+}
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  alloc(fill);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      store_(other.store_),
+      rptr_(other.rptr_),
+      numel_(other.numel_) {
+  // Both handles now reference one buffer: neither may write in place.
+  other.wptr_.store(nullptr, std::memory_order_relaxed);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  store_ = other.store_;
+  rptr_ = other.rptr_;
+  numel_ = other.numel_;
+  wptr_.store(nullptr, std::memory_order_relaxed);
+  other.wptr_.store(nullptr, std::memory_order_relaxed);
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      store_(std::move(other.store_)),
+      rptr_(other.rptr_),
+      numel_(other.numel_) {
+  wptr_.store(other.wptr_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  other.shape_.clear();
+  other.rptr_ = nullptr;
+  other.numel_ = 0;
+  other.wptr_.store(nullptr, std::memory_order_relaxed);
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  store_ = std::move(other.store_);
+  rptr_ = other.rptr_;
+  numel_ = other.numel_;
+  wptr_.store(other.wptr_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  other.shape_.clear();
+  other.rptr_ = nullptr;
+  other.numel_ = 0;
+  other.wptr_.store(nullptr, std::memory_order_relaxed);
+  return *this;
+}
+
+float* Tensor::ensure_unique() {
+  if (store_ == nullptr) return nullptr;  // empty tensor, nothing to write
+  if (store_.use_count() == 1) {
+    // The other handles are gone; this one owns the buffer again.
+    wptr_.store(rptr_, std::memory_order_relaxed);
+    return rptr_;
+  }
+  store_ = std::make_shared<std::vector<float>>(*store_);
+  rptr_ = store_->data();
+  wptr_.store(rptr_, std::memory_order_relaxed);
+  return rptr_;
+}
 
 Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel_; ++i)
+    p[i] = static_cast<float>(rng.normal(0.0, stddev));
   return t;
 }
 
@@ -36,25 +107,38 @@ int Tensor::dim(int i) const {
   return shape_[static_cast<std::size_t>(i)];
 }
 
-void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::fill(float v) {
+  if (numel_ == 0) return;
+  float* p = mutable_data();
+  std::fill(p, p + numel_, v);
+}
 
 Tensor Tensor::reshaped(std::vector<int> new_shape) const {
   RP_REQUIRE(shape_numel(new_shape) == numel(),
              "reshape must preserve element count");
   Tensor t;
   t.shape_ = std::move(new_shape);
-  t.data_ = data_;
+  t.store_ = store_;
+  t.rptr_ = rptr_;
+  t.numel_ = numel_;
+  // Two handles on one buffer: both fall back to copy-on-write.
+  wptr_.store(nullptr, std::memory_order_relaxed);
   return t;
 }
 
 void Tensor::add_(const Tensor& other, float alpha) {
   RP_REQUIRE(numel() == other.numel(), "add_ needs matching element counts");
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += alpha * other.data_[i];
+  if (numel_ == 0) return;
+  float* p = mutable_data();
+  const float* q = other.rptr_;
+  for (std::int64_t i = 0; i < numel_; ++i)
+    p[i] += alpha * q[i];
 }
 
 void Tensor::scale_(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  if (numel_ == 0) return;
+  float* p = mutable_data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] *= alpha;
 }
 
 std::string Tensor::shape_string() const {
@@ -66,48 +150,6 @@ std::string Tensor::shape_string() const {
   }
   os << ']';
   return os.str();
-}
-
-void matmul_accumulate(const float* a, const float* b, float* c, int m, int k,
-                       int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-void matmul_bt_accumulate(const float* a, const float* b, float* c, int m,
-                          int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
-}
-
-void matmul_at_accumulate(const float* a, const float* b, float* c, int m,
-                          int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    const float* brow = b + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
 }
 
 }  // namespace rowpress::nn

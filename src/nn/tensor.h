@@ -3,10 +3,24 @@
 // Deliberately minimal: row-major contiguous storage, explicit shapes, and
 // the handful of indexing helpers the layer kernels need.  All layers treat
 // dimension 0 as the batch dimension.
+//
+// Storage is copy-on-write: copies and reshaped() views share one buffer
+// and the first mutation of a shared handle clones it.  Value semantics are
+// unchanged — only the copy cost moved from copy time to first-write time.
+// The uniqueness flag is an atomic so that concurrent copies FROM the same
+// const tensor (e.g. attack workers restoring from one shared ModelState)
+// are race-free; mutating a tensor concurrently with any other access to it
+// remains a caller-level race, exactly as before.
+//
+// Pointer discipline: data() (non-const) unshares first, so grab raw
+// pointers AFTER all copies/shares of the tensor are made, and use cdata()
+// for read-only access to avoid an accidental clone.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +35,12 @@ class Tensor {
   explicit Tensor(std::vector<int> shape);
   Tensor(std::vector<int> shape, float fill);
 
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
+
   static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
   static Tensor full(std::vector<int> shape, float v) {
     return Tensor(std::move(shape), v);
@@ -31,30 +51,43 @@ class Tensor {
   const std::vector<int>& shape() const { return shape_; }
   int dim(int i) const;
   int ndim() const { return static_cast<int>(shape_.size()); }
-  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  std::int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  /// Mutable pointer; clones the buffer first if it is shared.
+  float* data() { return mutable_data(); }
+  const float* data() const { return rptr_; }
+  /// Read-only pointer that never clones, even on a non-const tensor.
+  const float* cdata() const { return rptr_; }
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float& operator[](std::int64_t i) {
+    return mutable_data()[static_cast<std::size_t>(i)];
+  }
   float operator[](std::int64_t i) const {
-    return data_[static_cast<std::size_t>(i)];
+    return rptr_[static_cast<std::size_t>(i)];
   }
 
   // Multi-dim accessors (checked in debug via RP_ASSERT-free fast path).
-  float& at2(int i, int j) { return data_[idx2(i, j)]; }
-  float at2(int i, int j) const { return data_[idx2(i, j)]; }
-  float& at3(int i, int j, int k) { return data_[idx3(i, j, k)]; }
-  float at3(int i, int j, int k) const { return data_[idx3(i, j, k)]; }
-  float& at4(int n, int c, int h, int w) { return data_[idx4(n, c, h, w)]; }
-  float at4(int n, int c, int h, int w) const { return data_[idx4(n, c, h, w)]; }
+  float& at2(int i, int j) { return mutable_data()[idx2(i, j)]; }
+  float at2(int i, int j) const { return rptr_[idx2(i, j)]; }
+  float& at3(int i, int j, int k) { return mutable_data()[idx3(i, j, k)]; }
+  float at3(int i, int j, int k) const { return rptr_[idx3(i, j, k)]; }
+  float& at4(int n, int c, int h, int w) { return mutable_data()[idx4(n, c, h, w)]; }
+  float at4(int n, int c, int h, int w) const { return rptr_[idx4(n, c, h, w)]; }
 
   void fill(float v);
   void zero() { fill(0.0f); }
 
-  /// Reinterprets the buffer with a new shape of equal element count.
+  /// Zero-copy view of the same buffer with a new shape of equal element
+  /// count.  Both handles turn copy-on-write; neither is cloned until one
+  /// of them is written.
   Tensor reshaped(std::vector<int> new_shape) const;
+
+  /// True when this tensor currently shares its buffer with another handle
+  /// (diagnostics/tests).
+  bool shares_storage_with(const Tensor& other) const {
+    return store_ != nullptr && store_ == other.store_;
+  }
 
   /// Elementwise helpers used by optimizers / residual adds.
   void add_(const Tensor& other, float alpha = 1.0f);
@@ -85,21 +118,26 @@ class Tensor {
            static_cast<std::size_t>(w);
   }
 
+  /// Fast path: one relaxed load + branch when already unique.
+  float* mutable_data() {
+    float* w = wptr_.load(std::memory_order_relaxed);
+    if (w != nullptr) return w;
+    return ensure_unique();
+  }
+  float* ensure_unique();
+  void alloc(float fill_value);
+
   std::vector<int> shape_;
-  std::vector<float> data_;
+  /// Shared buffer; null only for the default-constructed empty tensor.
+  std::shared_ptr<std::vector<float>> store_;
+  /// Cached store_->data() — valid for reads regardless of sharing.
+  float* rptr_ = nullptr;
+  /// Equals rptr_ while this handle is the buffer's sole owner, null once
+  /// the buffer may be shared.  Atomic (relaxed) because copying from a
+  /// const tensor clears the SOURCE's flag, and several threads may copy
+  /// from the same const tensor at once.
+  mutable std::atomic<float*> wptr_{nullptr};
+  std::int64_t numel_ = 0;
 };
-
-/// C[M,N] += A[M,K] * B[K,N].  The single shared GEMM kernel (i-k-j order,
-/// auto-vectorizable inner loop) that conv/linear/attention build on.
-void matmul_accumulate(const float* a, const float* b, float* c, int m, int k,
-                       int n);
-
-/// C[M,N] += A[M,K] * B^T where B is [N,K].
-void matmul_bt_accumulate(const float* a, const float* b, float* c, int m,
-                          int k, int n);
-
-/// C[K,N] += A^T * B where A is [M,K], B is [M,N].
-void matmul_at_accumulate(const float* a, const float* b, float* c, int m,
-                          int k, int n);
 
 }  // namespace rowpress::nn

@@ -8,6 +8,7 @@
 #include "data/vision_synth.h"
 #include "exp/experiment.h"
 #include "models/resnet.h"
+#include "nn/kernels/kernels.h"
 #include "profile/profiler.h"
 #include "test_util.h"
 
@@ -55,11 +56,13 @@ class DeterminismTest : public ::testing::Test {
     data_ = nullptr;
   }
 
-  static attack::AttackResult run_once(std::uint64_t seed) {
+  static attack::AttackResult run_once(std::uint64_t seed,
+                                       bool incremental = true) {
     attack::AttackRunSetup setup;
     setup.seed = seed;
     setup.bfa.max_flips = 10;
     setup.bfa.eval_samples = 100;
+    setup.bfa.incremental_eval = incremental;
     data::SplitDataset split;
     split.train = data_->train;
     split.test = data_->test;
@@ -92,6 +95,39 @@ TEST_F(DeterminismTest, SameSeedReplaysTheExactFlipSequence) {
     EXPECT_FLOAT_EQ(a.flips[i].weight_delta, b.flips[i].weight_delta);
     EXPECT_DOUBLE_EQ(a.flips[i].accuracy_after, b.flips[i].accuracy_after);
   }
+}
+
+// The GEMM backends and the incremental candidate evaluation are part of
+// the reproducibility contract: switching either must not change a single
+// flip, loss, or accuracy bit (committed campaign artifacts depend on it).
+TEST_F(DeterminismTest, KernelBackendsAndIncrementalEvalAreBitIdentical) {
+  namespace k = nn::kernels;
+  const auto base = run_once(42);
+  auto expect_same = [&](const attack::AttackResult& r, const char* what) {
+    ASSERT_EQ(r.flips.size(), base.flips.size()) << what;
+    EXPECT_EQ(r.candidate_pool_size, base.candidate_pool_size) << what;
+    EXPECT_EQ(r.accuracy_before, base.accuracy_before) << what;
+    EXPECT_EQ(r.accuracy_after, base.accuracy_after) << what;
+    for (std::size_t i = 0; i < base.flips.size(); ++i) {
+      EXPECT_EQ(r.flips[i].ref, base.flips[i].ref) << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].weight_delta, base.flips[i].weight_delta)
+          << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].loss_after, base.flips[i].loss_after)
+          << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].accuracy_after, base.flips[i].accuracy_after)
+          << what << " flip " << i;
+    }
+  };
+
+  const k::Backend saved = k::active_backend();
+  for (const k::Backend b :
+       {k::Backend::kNaive, k::Backend::kPortable, k::Backend::kAvx2}) {
+    if (!k::backend_available(b)) continue;
+    k::set_backend(b);
+    expect_same(run_once(42), k::backend_name(b));
+  }
+  k::set_backend(saved);
+  expect_same(run_once(42, /*incremental=*/false), "full-forward eval");
 }
 
 TEST_F(DeterminismTest, DifferentSeedsChangeTheMappingOrBatches) {

@@ -1,0 +1,234 @@
+// GEMM kernel layer: every backend must be bitwise identical to the
+// retained naive reference (ref::) — the committed attack artifacts depend
+// on the exact FP operation sequence, so these are equality tests, not
+// tolerance tests.  Also covers the incremental-evaluation machinery the
+// kernels enable: Sequential::forward_from suffix replay and the
+// copy-on-write aliasing rules behind zero-copy reshapes.
+#include "nn/kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace rowpress::nn::kernels {
+namespace {
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::kNaive, Backend::kPortable, Backend::kAvx2})
+    if (backend_available(b)) out.push_back(b);
+  return out;
+}
+
+/// Runs one op on one backend and on the reference, expecting exact bits.
+template <typename Gemm, typename RefGemm>
+void expect_exact(Gemm gemm, RefGemm ref_gemm, const std::vector<float>& a,
+                  const std::vector<float>& b, std::vector<float> c_init,
+                  int m, int k, int n, Backend backend, const char* op) {
+  std::vector<float> want = c_init;
+  ref_gemm(a.data(), b.data(), want.data(), m, k, n);
+
+  const Backend saved = active_backend();
+  set_backend(backend);
+  std::vector<float> got = std::move(c_init);
+  gemm(a.data(), b.data(), got.data(), m, k, n);
+  set_backend(saved);
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    // Compare as bits so -0.0 vs 0.0 and NaN payload changes fail too.
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(float)), 0)
+        << op << " backend=" << backend_name(backend) << " m=" << m
+        << " k=" << k << " n=" << n << " i=" << i << " got=" << got[i]
+        << " want=" << want[i];
+  }
+}
+
+class GemmGolden : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(GemmGolden, MatchesNaiveBitwiseAcrossShapes) {
+  const Backend backend = GetParam();
+  Rng rng(11);
+  const int sizes[] = {1, 3, 17, 64, 257};
+  for (const int m : sizes) {
+    for (const int k : sizes) {
+      for (const int n : sizes) {
+        std::vector<float> a(static_cast<std::size_t>(m) * k);
+        std::vector<float> b(static_cast<std::size_t>(k) * n);
+        for (auto& v : a) v = static_cast<float>(rng.normal());
+        for (auto& v : b) v = static_cast<float>(rng.normal());
+        // Exercise the zero-skip contract: exact zeros of both signs in A.
+        for (std::size_t i = 0; i < a.size(); i += 7)
+          a[i] = (i % 14 == 0) ? 0.0f : -0.0f;
+
+        // Accumulate semantics: C starts non-zero (alpha-style reuse).
+        std::vector<float> c(static_cast<std::size_t>(m) * n);
+        for (auto& v : c) v = static_cast<float>(rng.normal());
+
+        expect_exact(gemm_nn, ref::gemm_nn, a, b, c, m, k, n, backend, "nn");
+        expect_exact(gemm_tn, ref::gemm_tn, a, b, c, k, m, n, backend, "tn");
+        // NT reads B as [n, k].
+        expect_exact(gemm_nt, ref::gemm_nt, a, b, c, m, k, n, backend, "nt");
+      }
+    }
+  }
+}
+
+TEST_P(GemmGolden, KZeroLeavesCUntouched) {
+  const Backend backend = GetParam();
+  const Backend saved = active_backend();
+  set_backend(backend);
+  std::vector<float> a, b;
+  std::vector<float> c = {1.5f, -2.0f, 0.25f, 3.0f, -0.5f, 7.0f};
+  const std::vector<float> before = c;
+  gemm_nn(a.data(), b.data(), c.data(), 2, 0, 3);
+  gemm_nt(a.data(), b.data(), c.data(), 2, 0, 3);
+  gemm_tn(a.data(), b.data(), c.data(), 0, 2, 3);
+  set_backend(saved);
+  EXPECT_EQ(c, before);
+}
+
+TEST_P(GemmGolden, ZeroSkipShieldsNonFiniteRhs) {
+  const Backend backend = GetParam();
+  // A row of exact zeros in A must skip the matching B row entirely in the
+  // nn/tn kernels (the documented contract), so an Inf there never
+  // propagates.  The reference defines the semantics; backends must agree.
+  const int m = 5, k = 9, n = 33;
+  Rng rng(13);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (int i = 0; i < m; ++i) a[static_cast<std::size_t>(i) * k + 4] = 0.0f;
+  for (int j = 0; j < n; ++j)
+    b[static_cast<std::size_t>(4) * n + j] = INFINITY;
+
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  expect_exact(gemm_nn, ref::gemm_nn, a, b, c, m, k, n, backend, "nn-inf");
+
+  const Backend saved = active_backend();
+  set_backend(backend);
+  std::vector<float> got(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm_nn(a.data(), b.data(), got.data(), m, k, n);
+  set_backend(saved);
+  for (const float v : got) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GemmGolden,
+                         ::testing::ValuesIn(available_backends()),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+TEST(KernelDispatch, BackendManagement) {
+  EXPECT_TRUE(backend_available(Backend::kNaive));
+  EXPECT_TRUE(backend_available(Backend::kPortable));
+  const Backend saved = active_backend();
+  for (const Backend b : available_backends()) {
+    set_backend(b);
+    EXPECT_EQ(active_backend(), b);
+    EXPECT_NE(backend_name(b), nullptr);
+  }
+  set_backend(saved);
+  EXPECT_FALSE(backend_available(static_cast<Backend>(99)));
+  EXPECT_THROW(set_backend(static_cast<Backend>(99)), std::logic_error);
+}
+
+// forward_from must reproduce a full forward bitwise on every model family
+// in the zoo, including after a weight change in the replayed suffix —
+// exactly the situation the incremental BFA search depends on.
+class SuffixReplay : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuffixReplay, MatchesFullForwardBitwise) {
+  const auto zoo = models::model_zoo();
+  const models::ModelSpec& spec = models::find_model(zoo, GetParam());
+  Rng rng(5);
+  auto model = spec.factory(rng);
+  auto* seq = dynamic_cast<Sequential*>(model.get());
+  ASSERT_NE(seq, nullptr) << spec.name << " is not a flat Sequential";
+  model->set_training(false);
+
+  const auto ds = models::make_dataset(spec.dataset);
+  const Tensor batch = data::gather_inputs(ds.test, {0, 1, 2});
+
+  seq->set_capture_activations(true);
+  const Tensor y_full = seq->forward(batch);
+  ASSERT_TRUE(seq->has_captured_activations());
+
+  // Replay from the start and from every child: unchanged weights must
+  // reproduce the captured run exactly.
+  for (const std::size_t start : {std::size_t{0}, seq->size() / 2}) {
+    const Tensor y_replay = seq->forward_from(start);
+    ASSERT_EQ(y_replay.numel(), y_full.numel());
+    for (std::int64_t i = 0; i < y_full.numel(); ++i)
+      ASSERT_EQ(y_replay[i], y_full[i]) << spec.name << " start=" << start;
+  }
+
+  // Perturb a weight owned by a suffix child, then suffix replay must equal
+  // a fresh full forward.
+  std::size_t child = 0;
+  Param* victim = nullptr;
+  for (std::size_t c = 0; c < seq->size(); ++c) {
+    for (Param* p : seq->child(c).parameters())
+      if (p->attackable) {
+        child = c;
+        victim = p;
+      }
+  }
+  ASSERT_NE(victim, nullptr);
+  victim->value[0] += 0.25f;
+  const Tensor y_suffix = seq->forward_from(child);
+  seq->set_capture_activations(false);
+  const Tensor y_again = seq->forward(batch);
+  ASSERT_EQ(y_suffix.numel(), y_again.numel());
+  for (std::int64_t i = 0; i < y_again.numel(); ++i)
+    ASSERT_EQ(y_suffix[i], y_again[i]) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ZooFamilies, SuffixReplay,
+                         ::testing::Values("ResNet-20", "DeiT-T", "VMamba-T",
+                                           "M11"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& ch : s)
+                             if (ch == '-') ch = '_';
+                           return s;
+                         });
+
+// Zero-copy reshapes share storage; a later write to the source must not
+// leak into a layer's cached activation (regression for the COW tensor).
+TEST(ReshapeAliasing, CachedInputSurvivesCallerMutation) {
+  Rng rng_a(21);
+  Linear lin_a(4, 3, rng_a, /*bias=*/true, "a");
+  Rng rng_b(21);
+  Linear lin_b(4, 3, rng_b, /*bias=*/true, "b");
+
+  Rng data_rng(22);
+  Tensor x = Tensor::randn({2, 4}, data_rng);
+  Tensor x_pristine = x;
+  x_pristine[0] = x_pristine[0];  // force a private copy now
+
+  (void)lin_a.forward(x);
+  x[0] = 1e6f;  // mutate AFTER forward; cached input must be unaffected
+  (void)lin_b.forward(x_pristine);
+
+  Tensor g({2, 3}, 0.5f);
+  (void)lin_a.backward(g);
+  (void)lin_b.backward(g);
+  const auto pa = lin_a.parameters();
+  const auto pb = lin_b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->grad.numel(); ++j)
+      ASSERT_EQ(pa[i]->grad[j], pb[i]->grad[j]);
+}
+
+}  // namespace
+}  // namespace rowpress::nn::kernels

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/kernels/kernels.h"
+
 namespace rowpress::nn {
 namespace {
 
@@ -50,6 +52,33 @@ TEST(Tensor, ReshapePreservesData) {
   EXPECT_THROW(t.reshaped({5, 5}), std::logic_error);
 }
 
+TEST(Tensor, CopyOnWriteKeepsValueSemantics) {
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  Tensor u = t;
+  EXPECT_TRUE(u.shares_storage_with(t));  // no copy yet
+  u[0] = 100.0f;                          // first write unshares
+  EXPECT_FALSE(u.shares_storage_with(t));
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(u[0], 100.0f);
+
+  // Reshape is zero-copy until a write, and writes never leak across.
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_TRUE(r.shares_storage_with(t));
+  r[5] = -1.0f;
+  EXPECT_FALSE(r.shares_storage_with(t));
+  EXPECT_EQ(t[5], 5.0f);
+
+  // Once the other handle dies, a write reclaims the buffer in place.
+  const float* before = t.data();
+  {
+    Tensor v = t;
+    EXPECT_TRUE(v.shares_storage_with(t));
+  }
+  t[1] = 9.0f;
+  EXPECT_EQ(t.data(), before);
+}
+
 TEST(Tensor, RandnStatistics) {
   Rng rng(1);
   const Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
@@ -89,7 +118,7 @@ TEST_P(MatmulTest, AllThreeKernelsMatchNaive) {
     }
 
   std::vector<float> c1(ref.size(), 0.0f);
-  matmul_accumulate(a.data(), b.data(), c1.data(), m, k, n);
+  kernels::gemm_nn(a.data(), b.data(), c1.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c1[i], ref[i], 1e-4);
 
   // B^T variant: build bt as [n, k].
@@ -99,7 +128,7 @@ TEST_P(MatmulTest, AllThreeKernelsMatchNaive) {
       bt[static_cast<std::size_t>(j) * k + kk] =
           b[static_cast<std::size_t>(kk) * n + j];
   std::vector<float> c2(ref.size(), 0.0f);
-  matmul_bt_accumulate(a.data(), bt.data(), c2.data(), m, k, n);
+  kernels::gemm_nt(a.data(), bt.data(), c2.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c2[i], ref[i], 1e-4);
 
   // A^T variant: C[k,n] = A^T[k,m] * B'[m,n]; reuse a as [m,k], use random
@@ -116,7 +145,7 @@ TEST_P(MatmulTest, AllThreeKernelsMatchNaive) {
       ref3[static_cast<std::size_t>(kk) * n + j] = acc;
     }
   std::vector<float> c3(ref3.size(), 0.0f);
-  matmul_at_accumulate(a.data(), rhs.data(), c3.data(), m, k, n);
+  kernels::gemm_tn(a.data(), rhs.data(), c3.data(), m, k, n);
   for (std::size_t i = 0; i < ref3.size(); ++i)
     EXPECT_NEAR(c3[i], ref3[i], 1e-4);
 }
