@@ -53,8 +53,9 @@ bool direction_allows(bool current_bit, dram::FlipDirection dir) {
 /// Maps each attackable qparam to the top-level Sequential child owning it
 /// (by Param identity), so the inter-layer search can re-run only the
 /// children a tentative flip can affect.  Empty result = model is not a
-/// flat Sequential (or a param is owned elsewhere); caller falls back to
-/// full forward passes.
+/// flat Sequential, a param is owned elsewhere, or a param is shared by
+/// more than one child (weight tying — replaying from any single child
+/// would skip the other owners); caller falls back to full forward passes.
 std::vector<int> map_qparams_to_children(nn::Module& model,
                                          const nn::QuantizedModel& qmodel) {
   auto* seq = dynamic_cast<nn::Sequential*>(&model);
@@ -63,8 +64,11 @@ std::vector<int> map_qparams_to_children(nn::Module& model,
   std::vector<int> child_of(qparams.size(), -1);
   for (std::size_t c = 0; c < seq->size(); ++c) {
     for (const nn::Param* p : seq->child(c).parameters()) {
-      for (std::size_t l = 0; l < qparams.size(); ++l)
-        if (qparams[l].param == p) child_of[l] = static_cast<int>(c);
+      for (std::size_t l = 0; l < qparams.size(); ++l) {
+        if (qparams[l].param != p) continue;
+        if (child_of[l] >= 0 && child_of[l] != static_cast<int>(c)) return {};
+        child_of[l] = static_cast<int>(c);
+      }
     }
   }
   for (const int c : child_of)

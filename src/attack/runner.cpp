@@ -26,7 +26,10 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
   WeightDramMapping mapping(geom, qmodel.total_weight_bytes(), rng);
   auto feasible = mapping.feasible_bits(qmodel, prof);
 
-  nn::kernels::bind_metrics(setup.metrics);
+  // Scoped: setup.metrics is typically a per-trial registry owned by the
+  // caller; the thread-local binding must not outlive this call (the same
+  // pooled worker thread runs training GEMMs for later trials).
+  nn::kernels::ScopedBindMetrics kernel_metrics(setup.metrics);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);
   bfa.bind_cancel(setup.cancel);
@@ -44,7 +47,7 @@ AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
   nn::restore_state(*model, trained);
 
   nn::QuantizedModel qmodel(*model);
-  nn::kernels::bind_metrics(setup.metrics);
+  nn::kernels::ScopedBindMetrics kernel_metrics(setup.metrics);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);
   bfa.bind_cancel(setup.cancel);

@@ -5,9 +5,18 @@
 // ----------------------
 // Every backend — including the retained naive reference — computes the
 // SAME per-element floating-point operation sequence, so results are
-// bitwise identical across backends and identical to the pre-kernel-layer
-// scalar loops as compiled by GCC -O3 (verified instruction-by-instruction
-// and by golden tests):
+// bitwise identical across backends.  The sequences below are pinned by
+// committed CRC goldens in tests/test_kernels.cpp (GemmGolden.
+// MatchesCommittedSequenceGoldens); on the reference build environment
+// (GCC 12.2, x86-64 AVX2, Release `-O3 -DNDEBUG -march=native`) they were
+// additionally verified bitwise against the pre-kernel-layer scalar loops
+// in tensor.cpp, compiled as their own TU with those exact flags, across
+// 390 shapes including all k%8 tails.  A pre-PR binary built by a
+// different compiler or for a different ISA may have rounded the NT
+// reduction differently; there the guarantee is determinism across the
+// new backends, not pre/post-PR identity.
+//
+// The per-element sequences:
 //
 //   gemm_nn / gemm_tn:  each output element is an FMA chain over the
 //     reduction index in ascending order; reduction terms whose A operand
@@ -17,9 +26,10 @@
 //   gemm_nt:  each output element is a dot product accumulated from zero —
 //     separately-rounded multiply-then-add for the first (k & ~7) terms,
 //     FMA for the remaining k % 8 terms — followed by one plain add into C.
-//     (This mirrors the in-order vector reduction + FMA tail GCC emitted
-//     for the original scalar loop, which the committed attack trajectories
-//     were produced with.)
+//     (GCC's codegen for the original serial scalar loop: it vectorized
+//     the multiplies but kept the adds in order — legal without
+//     -fassociative-math — and fused only the tail.  Confirmed bitwise
+//     against that TU on the reference build environment, see above.)
 //
 // The blocked/SIMD paths may reorder loops, tile, pack, or keep partial
 // sums in registers, but never change any element's operation sequence.
@@ -68,6 +78,22 @@ const char* backend_name(Backend b);
 /// recording needs no synchronization beyond the histogram's own atomics.
 /// Unbound threads skip the clock reads entirely.
 void bind_metrics(telemetry::MetricsRegistry* metrics);
+
+/// RAII wrapper around bind_metrics(): binds on construction, detaches on
+/// destruction.  The binding is a raw pointer into `metrics` held in a
+/// thread-local, so every binding MUST be scoped to the registry's
+/// lifetime — pooled worker threads outlive per-trial registries, and an
+/// orphaned binding would make the next trial's GEMMs record into freed
+/// memory.  Exception-safe (attacks abort by throwing on cancellation).
+class ScopedBindMetrics {
+ public:
+  explicit ScopedBindMetrics(telemetry::MetricsRegistry* metrics) {
+    bind_metrics(metrics);
+  }
+  ~ScopedBindMetrics() { bind_metrics(nullptr); }
+  ScopedBindMetrics(const ScopedBindMetrics&) = delete;
+  ScopedBindMetrics& operator=(const ScopedBindMetrics&) = delete;
+};
 
 /// Reference implementations of the exact per-element operation sequences
 /// (see the contract above).  Slow by design; golden oracle for tests and

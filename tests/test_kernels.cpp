@@ -13,10 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "models/zoo.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/tensor.h"
+#include "telemetry/registry.h"
 
 namespace rowpress::nn::kernels {
 namespace {
@@ -81,6 +83,69 @@ TEST_P(GemmGolden, MatchesNaiveBitwiseAcrossShapes) {
   }
 }
 
+// Self-contained xorshift32 input stream for the committed goldens below:
+// the constants must stay reproducible even if the repo Rng ever changes.
+// Values in [-1, 1) with exact zeros sprinkled in (~1/256) so the
+// zero-skip branch is part of the pinned sequence.
+struct GoldenStream {
+  std::uint32_t s = 0x9E3779B9u;
+  float next() {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    if ((s & 0xFFu) == 0) return 0.0f;
+    return static_cast<float>(s >> 8) / 8388608.0f - 1.0f;
+  }
+  void fill(std::vector<float>& v) {
+    for (auto& x : v) x = next();
+  }
+};
+
+// Pins the exact per-element FP operation sequences to committed CRC32
+// constants, so a refactor cannot silently change the contract and
+// invalidate committed attack artifacts.  The constants were generated
+// from ref:: on the reference build environment, where ref::gemm_nt was
+// verified bitwise against the pre-kernel-layer matmul_bt_accumulate TU
+// compiled with the original Release flags (see kernels.h).  IEEE-754
+// single precision with explicit fmaf rounding is platform-independent,
+// so these must hold on every conforming host.
+TEST_P(GemmGolden, MatchesCommittedSequenceGoldens) {
+  const Backend backend = GetParam();
+  const Backend saved = active_backend();
+  set_backend(backend);
+  const int shapes[][3] = {
+      {1, 1, 1}, {3, 17, 5}, {5, 8, 33}, {4, 64, 9}, {2, 257, 6}};
+  GoldenStream gs;
+  std::uint32_t crc_nn = 0, crc_nt = 0, crc_tn = 0;
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    std::vector<float> b(static_cast<std::size_t>(k) * n);
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    gs.fill(a);
+    gs.fill(b);
+    gs.fill(c);
+    std::vector<float> out = c;
+    gemm_nn(a.data(), b.data(), out.data(), m, k, n);
+    crc_nn = crc32(out.data(), out.size() * sizeof(float), crc_nn);
+    out = c;  // NT reads the same buffer as B[n, k]
+    gemm_nt(a.data(), b.data(), out.data(), m, k, n);
+    crc_nt = crc32(out.data(), out.size() * sizeof(float), crc_nt);
+    // TN: A[m, k], B[m, n], C[k, n].
+    std::vector<float> ct(static_cast<std::size_t>(k) * n);
+    std::vector<float> bt(static_cast<std::size_t>(m) * n);
+    gs.fill(ct);
+    gs.fill(bt);
+    std::vector<float> outt = ct;
+    gemm_tn(a.data(), bt.data(), outt.data(), m, k, n);
+    crc_tn = crc32(outt.data(), outt.size() * sizeof(float), crc_tn);
+  }
+  set_backend(saved);
+  EXPECT_EQ(crc_nn, 0x930D84CCu) << backend_name(backend);
+  EXPECT_EQ(crc_nt, 0x05A8A002u) << backend_name(backend);
+  EXPECT_EQ(crc_tn, 0xADA28492u) << backend_name(backend);
+}
+
 TEST_P(GemmGolden, KZeroLeavesCUntouched) {
   const Backend backend = GetParam();
   const Backend saved = active_backend();
@@ -126,6 +191,27 @@ INSTANTIATE_TEST_SUITE_P(Backends, GemmGolden,
                          [](const auto& info) {
                            return std::string(backend_name(info.param));
                          });
+
+// The telemetry binding is a raw pointer into a caller-owned registry held
+// in a thread-local; ScopedBindMetrics must detach it on scope exit, or a
+// pooled worker's next GEMM records into a destroyed per-trial registry.
+TEST(KernelDispatch, ScopedBindMetricsDetachesOnScopeExit) {
+  telemetry::MetricsRegistry reg;
+  const std::vector<float> a = {1.0f, 2.0f}, b = {3.0f, 4.0f};
+  std::vector<float> c = {0.0f};
+  {
+    ScopedBindMetrics bound(&reg);
+    gemm_nn(a.data(), b.data(), c.data(), 1, 2, 1);
+  }
+  // Bounds must match bind_metrics' registration exactly (re-registering a
+  // histogram with different bounds throws).
+  const auto& hist = reg.histogram(
+      "kernels.gemm_ns", {1e3, 4e3, 16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6});
+  const std::int64_t recorded_in_scope = hist.count();
+  EXPECT_EQ(recorded_in_scope, 1);
+  gemm_nn(a.data(), b.data(), c.data(), 1, 2, 1);  // unbound: no recording
+  EXPECT_EQ(hist.count(), recorded_in_scope);
+}
 
 TEST(KernelDispatch, BackendManagement) {
   EXPECT_TRUE(backend_available(Backend::kNaive));
