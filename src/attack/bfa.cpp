@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "attack/eval.h"
 #include "common/bitutil.h"
 #include "common/check.h"
 #include "nn/module.h"
@@ -10,35 +11,9 @@
 namespace rowpress::attack {
 namespace {
 
-/// Loss of the model on a fixed batch (forward only).
-double batch_loss(nn::Module& model, const nn::Tensor& inputs,
-                  const std::vector<int>& labels,
-                  telemetry::Counter* forward_passes) {
-  nn::CrossEntropyLoss ce;
-  if (forward_passes) forward_passes->add();
-  return ce.forward(model.forward(inputs), labels);
-}
-
-/// Accuracy over a sample subset, batched.
-double subset_accuracy(nn::Module& model, const data::Dataset& ds,
-                       const std::vector<int>& indices,
-                       telemetry::Counter* forward_passes) {
-  constexpr int kBatch = 128;
-  int correct_total = 0;
-  std::vector<int> chunk;
-  chunk.reserve(kBatch);
-  for (std::size_t off = 0; off < indices.size(); off += kBatch) {
-    const std::size_t end = std::min(indices.size(), off + kBatch);
-    chunk.assign(indices.begin() + static_cast<std::ptrdiff_t>(off),
-                 indices.begin() + static_cast<std::ptrdiff_t>(end));
-    if (forward_passes) forward_passes->add();
-    const nn::Tensor logits = model.forward(data::gather_inputs(ds, chunk));
-    const auto labels = data::gather_labels(ds, chunk);
-    correct_total += static_cast<int>(
-        nn::accuracy(logits, labels) * static_cast<double>(chunk.size()) + 0.5);
-  }
-  return static_cast<double>(correct_total) / static_cast<double>(indices.size());
-}
+// batch_loss / subset_accuracy live in attack/eval.h — shared with the
+// ECC-aware attack and the serving layer (whose served-accuracy claim
+// depends on matching this exact evaluation).
 
 /// Signed dequantized-weight change from flipping bit `b` of code `w`.
 float flip_delta(std::int8_t w, int b, float scale) {
@@ -192,12 +167,8 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
 
   // Fixed, class-balanced evaluation subset for the per-flip accuracy
   // trace (strided so ordered-by-class datasets stay stratified).
-  const int n_eval = std::min(config_.eval_samples, eval_data.size());
-  std::vector<int> eval_idx(static_cast<std::size_t>(n_eval));
-  for (int i = 0; i < n_eval; ++i)
-    eval_idx[static_cast<std::size_t>(i)] =
-        static_cast<int>(static_cast<std::int64_t>(i) * eval_data.size() /
-                         n_eval);
+  const std::vector<int> eval_idx =
+      strided_eval_indices(config_.eval_samples, eval_data.size());
 
   if (cancel_) cancel_->check("bfa.start");
 

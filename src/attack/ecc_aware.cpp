@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "attack/eval.h"
 #include "common/bitutil.h"
 #include "common/check.h"
 #include "nn/loss.h"
@@ -15,30 +16,7 @@ bool direction_allows(bool current_bit, dram::FlipDirection dir) {
   return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
 }
 
-double batch_loss(nn::Module& model, const nn::Tensor& inputs,
-                  const std::vector<int>& labels) {
-  nn::CrossEntropyLoss ce;
-  return ce.forward(model.forward(inputs), labels);
-}
-
-double subset_accuracy(nn::Module& model, const data::Dataset& ds,
-                       const std::vector<int>& indices) {
-  constexpr int kBatch = 128;
-  int correct = 0;
-  for (std::size_t off = 0; off < indices.size(); off += kBatch) {
-    const std::size_t end = std::min(indices.size(), off + kBatch);
-    const std::vector<int> chunk(
-        indices.begin() + static_cast<std::ptrdiff_t>(off),
-        indices.begin() + static_cast<std::ptrdiff_t>(end));
-    const nn::Tensor logits = model.forward(data::gather_inputs(ds, chunk));
-    correct += static_cast<int>(
-        nn::accuracy(logits, data::gather_labels(ds, chunk)) *
-            static_cast<double>(chunk.size()) +
-        0.5);
-  }
-  return static_cast<double>(correct) /
-         static_cast<double>(indices.size());
-}
+// batch_loss / subset_accuracy shared via attack/eval.h.
 
 }  // namespace
 
@@ -65,11 +43,8 @@ EccAttackResult EccAwareAttack::run(nn::QuantizedModel& qmodel,
   EccAttackResult result;
   result.exploitable_words = static_cast<std::int64_t>(words.size());
 
-  const int n_eval = std::min(config_.eval_samples, eval_data.size());
-  std::vector<int> eval_idx(static_cast<std::size_t>(n_eval));
-  for (int i = 0; i < n_eval; ++i)
-    eval_idx[static_cast<std::size_t>(i)] = static_cast<int>(
-        static_cast<std::int64_t>(i) * eval_data.size() / n_eval);
+  const std::vector<int> eval_idx =
+      strided_eval_indices(config_.eval_samples, eval_data.size());
 
   result.accuracy_before = subset_accuracy(model, eval_data, eval_idx);
   result.accuracy_after = result.accuracy_before;

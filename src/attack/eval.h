@@ -1,0 +1,41 @@
+// Forward-only evaluation helpers shared by the attack searches and the
+// live serving layer.
+//
+// subset_accuracy is the *offline reference* the served-traffic accuracy
+// is compared against: per-row GEMM FP sequences are independent of batch
+// composition (each output row accumulates only its own input row, in a
+// fixed order), and argmax_row uses the same first-max-wins tie rule as
+// nn::accuracy — so identical weights and identical sample indices yield a
+// bit-identical accuracy double regardless of how requests were batched.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "telemetry/metric.h"
+
+namespace rowpress::attack {
+
+/// Loss of the model on a fixed batch (forward only).
+double batch_loss(nn::Module& model, const nn::Tensor& inputs,
+                  const std::vector<int>& labels,
+                  telemetry::Counter* forward_passes = nullptr);
+
+/// Top-1 accuracy over the samples at `indices`, evaluated in chunks of
+/// 128.  Bit-identical to any other batching of the same indices (see
+/// file comment).
+double subset_accuracy(nn::Module& model, const data::Dataset& ds,
+                       const std::vector<int>& indices,
+                       telemetry::Counter* forward_passes = nullptr);
+
+/// Predicted class of row `row` of a [N, C] logits tensor — strict-greater
+/// comparison keeps the earliest maximum, matching nn::accuracy.
+int argmax_row(const nn::Tensor& logits, int row);
+
+/// The fixed evaluation subset used for per-flip accuracy traces: n_eval
+/// indices strided over [0, dataset_size) so class-ordered datasets stay
+/// stratified.  n_eval is clamped to dataset_size.
+std::vector<int> strided_eval_indices(int n_eval, int dataset_size);
+
+}  // namespace rowpress::attack

@@ -7,6 +7,16 @@
 
 namespace rowpress::attack {
 
+QuantizedReplica make_quantized_replica(const models::ModelSpec& spec,
+                                        const nn::ModelState& trained,
+                                        Rng& init_rng) {
+  QuantizedReplica r;
+  r.model = spec.factory(init_rng);
+  nn::restore_state(*r.model, trained);
+  r.qmodel = std::make_unique<nn::QuantizedModel>(*r.model);
+  return r;
+}
+
 AttackResult run_profile_attack(const models::ModelSpec& spec,
                                 const nn::ModelState& trained,
                                 const data::SplitDataset& data,
@@ -19,10 +29,8 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
                  "built for a different chip");
   Rng rng(setup.seed);
   Rng init_rng = rng.fork();
-  auto model = spec.factory(init_rng);
-  nn::restore_state(*model, trained);
-
-  nn::QuantizedModel qmodel(*model);
+  QuantizedReplica replica = make_quantized_replica(spec, trained, init_rng);
+  nn::QuantizedModel& qmodel = *replica.qmodel;
   WeightDramMapping mapping(geom, qmodel.total_weight_bytes(), rng);
   auto feasible = mapping.feasible_bits(qmodel, prof);
 
@@ -43,10 +51,8 @@ AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
                                       const AttackRunSetup& setup) {
   Rng rng(setup.seed);
   Rng init_rng = rng.fork();
-  auto model = spec.factory(init_rng);
-  nn::restore_state(*model, trained);
-
-  nn::QuantizedModel qmodel(*model);
+  QuantizedReplica replica = make_quantized_replica(spec, trained, init_rng);
+  nn::QuantizedModel& qmodel = *replica.qmodel;
   nn::kernels::ScopedBindMetrics kernel_metrics(setup.metrics);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);

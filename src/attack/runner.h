@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "attack/bfa.h"
 #include "data/dataset.h"
@@ -15,6 +16,24 @@
 #include "profile/bitflip_profile.h"
 
 namespace rowpress::attack {
+
+/// A private instantiation of a trained model plus its int8 quantization —
+/// the unit of model state an attack run owns exclusively.  The serving
+/// layer's SharedModel builds its master copy through the same helper, so
+/// an offline search replica and the deployed (served) model carry
+/// identical codes and identical dequantized weights: symmetric
+/// quantization is deterministic in the trained state, which is what makes
+/// an offline-planned flip chain land meaningfully on the live service.
+struct QuantizedReplica {
+  std::unique_ptr<nn::Module> model;
+  std::unique_ptr<nn::QuantizedModel> qmodel;
+};
+
+/// Builds the model from its zoo factory (consuming `init_rng` exactly as
+/// the attack runners do), restores `trained`, and quantizes in place.
+QuantizedReplica make_quantized_replica(const models::ModelSpec& spec,
+                                        const nn::ModelState& trained,
+                                        Rng& init_rng);
 
 struct AttackRunSetup {
   BfaConfig bfa;

@@ -32,6 +32,14 @@ std::int8_t QuantizedModel::weight_code(int param_index,
   return qp.qr.q[static_cast<std::size_t>(weight_index)];
 }
 
+const std::string& QuantizedModel::param_name(int param_index) const {
+  return qparam(param_index).param->name;
+}
+
+float QuantizedModel::scale(int param_index) const {
+  return qparam(param_index).qr.scale;
+}
+
 bool QuantizedModel::get_bit(const WeightBitRef& ref) const {
   return int8_bit(weight_code(ref.param_index, ref.weight_index), ref.bit);
 }

@@ -6,6 +6,14 @@
 // are kept here.  Bit flips are applied to the codes and immediately
 // reflected in the float view, mirroring how a DRAM flip corrupts the
 // weight the next time it is read.
+//
+// Versioned-state contract (the seam serve::SharedModel builds on): the
+// float view is written through Tensor's copy-on-write storage, so a
+// snapshot_state() taken *before* apply_bit_flip keeps its bits — the flip
+// clones exactly the mutated layer's buffer and leaves every previously
+// captured handle reading the old one.  Snapshot-then-flip-then-snapshot
+// is therefore an RCU-style publish: old readers keep the pinned version,
+// new snapshots see the corrupted weights.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +63,14 @@ class QuantizedModel {
 
   /// Current int8 code of a weight.
   std::int8_t weight_code(int param_index, std::int64_t weight_index) const;
+
+  /// Name of the Param backing qparam `param_index` (layer attribution in
+  /// serve traces and flip journals).
+  const std::string& param_name(int param_index) const;
+
+  /// Symmetric quantization scale of qparam `param_index` (dequantized
+  /// value = code * scale).
+  float scale(int param_index) const;
 
   /// Current value of one bit of one weight.
   bool get_bit(const WeightBitRef& ref) const;

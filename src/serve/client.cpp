@@ -1,0 +1,50 @@
+#include "serve/client.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace rowpress::serve {
+
+OpenLoopClient::OpenLoopClient(InferenceServer& server, ClientConfig cfg)
+    : server_(server), cfg_(cfg) {
+  RP_REQUIRE(cfg_.rate_rps > 0.0, "client rate must be positive");
+}
+
+OpenLoopClient::~OpenLoopClient() { stop(); }
+
+void OpenLoopClient::start() {
+  RP_REQUIRE(!thread_.joinable(), "client already started");
+  thread_ = std::thread([this] { run(); });
+}
+
+void OpenLoopClient::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void OpenLoopClient::run() {
+  using clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / cfg_.rate_rps));
+  // Absolute schedule (start + k*interval) so a late wakeup is followed by
+  // immediate catch-up sends instead of permanently skewing the rate.
+  const auto start = clock::now();
+  std::int64_t k = 0;
+  int sample = cfg_.start_index;
+  const int dataset_size = server_.dataset_size();
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (cfg_.max_requests > 0 && k >= cfg_.max_requests) break;
+    std::this_thread::sleep_until(start + interval * k);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    if (server_.try_submit(sample))
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    sample = (sample + 1) % dataset_size;
+    ++k;
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace rowpress::serve

@@ -1,0 +1,59 @@
+// Synthetic open-loop client: fixed-rate request generator.
+//
+// Open-loop means arrivals follow the configured rate regardless of how
+// the server keeps up — the client never waits for responses, so overload
+// shows up as queue growth and shed requests instead of silently throttled
+// load (the closed-loop artifact).  Requests walk the serving dataset
+// round-robin, which keeps the offered traffic's class mix identical to
+// the offline evaluation subset.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace rowpress::serve {
+
+struct ClientConfig {
+  double rate_rps = 1000.0;      ///< offered load, requests per second
+  int start_index = 0;           ///< first dataset sample to request
+  std::int64_t max_requests = 0; ///< 0 = unbounded (until stop())
+};
+
+class OpenLoopClient {
+ public:
+  /// `server` must outlive the client.  The client submits with
+  /// try_submit, so a full queue sheds rather than blocks.
+  OpenLoopClient(InferenceServer& server, ClientConfig cfg);
+  ~OpenLoopClient();  ///< stop()s if still running
+
+  OpenLoopClient(const OpenLoopClient&) = delete;
+  OpenLoopClient& operator=(const OpenLoopClient&) = delete;
+
+  void start();
+  void stop();  ///< joins the generator thread; idempotent
+
+  std::int64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  std::int64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  void run();
+
+  InferenceServer& server_;
+  const ClientConfig cfg_;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<std::int64_t> offered_{0};
+  std::atomic<std::int64_t> accepted_{0};
+};
+
+}  // namespace rowpress::serve

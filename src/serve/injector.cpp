@@ -1,0 +1,69 @@
+#include "serve/injector.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace rowpress::serve {
+
+FlipInjector::FlipInjector(SharedModel& model,
+                           std::vector<nn::WeightBitRef> flips,
+                           InjectorConfig cfg, ServeMonitor* monitor,
+                           telemetry::MetricsRegistry* metrics)
+    : model_(model), flips_(std::move(flips)), cfg_(cfg), monitor_(monitor) {
+  if (metrics != nullptr)
+    flips_landed_ = &metrics->counter("serve.flips_landed");
+}
+
+FlipInjector::~FlipInjector() { stop(); }
+
+void FlipInjector::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RP_REQUIRE(!started_, "injector already started");
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void FlipInjector::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void FlipInjector::wait_done() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return done_.load(std::memory_order_acquire) || stopping_;
+  });
+}
+
+void FlipInjector::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto interruptible_sleep = [&](std::chrono::milliseconds d) {
+    return !cv_.wait_for(lock, d, [this] { return stopping_; });
+  };
+  if (cfg_.initial_delay.count() > 0 &&
+      !interruptible_sleep(cfg_.initial_delay)) {
+    return;
+  }
+  for (std::size_t i = 0; i < flips_.size(); ++i) {
+    if (stopping_) return;
+    // The flip itself runs unlocked: apply_bit_flip takes the model's own
+    // mutex and record_flip the monitor's — holding ours too would order
+    // them under wait_done()'s lock for no benefit.
+    lock.unlock();
+    const FlipOutcome out = model_.apply_bit_flip(flips_[i]);
+    landed_.fetch_add(1, std::memory_order_release);
+    if (flips_landed_) flips_landed_->add();
+    if (monitor_) monitor_->record_flip(out, static_cast<std::int64_t>(i));
+    lock.lock();
+    if (i + 1 < flips_.size() && !interruptible_sleep(cfg_.interval)) return;
+  }
+  done_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+}  // namespace rowpress::serve

@@ -1,0 +1,75 @@
+// FlipInjector: replays a planned bit-flip chain against the live model.
+//
+// The attack is planned OFFLINE (attack::run_profile_attack on a private
+// replica — the attacker profiles the victim's weights, not the serving
+// traffic), producing an ordered WeightBitRef chain.  The injector is the
+// ONLINE half: it lands one flip every `interval` against the SharedModel
+// while the server keeps answering requests, which is exactly the
+// RowPress deployment model — hammering proceeds on wall-clock cadence,
+// oblivious to inference scheduling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/quant/qmodel.h"
+#include "serve/monitor.h"
+#include "serve/shared_model.h"
+#include "telemetry/registry.h"
+
+namespace rowpress::serve {
+
+struct InjectorConfig {
+  std::chrono::milliseconds initial_delay{0};  ///< pre-attack warm-up
+  std::chrono::milliseconds interval{100};     ///< cadence between flips
+};
+
+class FlipInjector {
+ public:
+  /// `model` (and `monitor`/`metrics` when non-null) must outlive the
+  /// injector.  Each landed flip is journaled through monitor->record_flip
+  /// and counted on serve.flips_landed.
+  FlipInjector(SharedModel& model, std::vector<nn::WeightBitRef> flips,
+               InjectorConfig cfg, ServeMonitor* monitor = nullptr,
+               telemetry::MetricsRegistry* metrics = nullptr);
+  ~FlipInjector();  ///< stop()s if still running
+
+  FlipInjector(const FlipInjector&) = delete;
+  FlipInjector& operator=(const FlipInjector&) = delete;
+
+  void start();
+  void stop();  ///< joins without waiting for the remaining flips
+
+  /// Blocks until every planned flip has landed (tests, bench phases).
+  void wait_done();
+
+  std::int64_t landed() const {
+    return landed_.load(std::memory_order_acquire);
+  }
+  bool done() const { return done_.load(std::memory_order_acquire); }
+  std::size_t planned() const { return flips_.size(); }
+
+ private:
+  void run();
+
+  SharedModel& model_;
+  const std::vector<nn::WeightBitRef> flips_;
+  const InjectorConfig cfg_;
+  ServeMonitor* monitor_;
+  telemetry::Counter* flips_landed_ = nullptr;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::atomic<std::int64_t> landed_{0};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace rowpress::serve

@@ -1,0 +1,128 @@
+#include "serve/monitor.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/jsonl.h"
+
+namespace rowpress::serve {
+
+ServeMonitor::ServeMonitor(const InferenceServer& server,
+                           const telemetry::MetricsRegistry* metrics,
+                           const std::string& path,
+                           std::chrono::milliseconds interval)
+    : server_(server),
+      metrics_(metrics),
+      start_time_(std::chrono::steady_clock::now()),
+      interval_(interval) {
+  RP_REQUIRE(interval_.count() > 0, "monitor interval must be positive");
+  out_.open(path, std::ios::out | std::ios::trunc);
+  RP_REQUIRE(out_.is_open(), "cannot open serve trace file: " + path);
+}
+
+ServeMonitor::~ServeMonitor() { stop(); }
+
+double ServeMonitor::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void ServeMonitor::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RP_REQUIRE(!started_, "monitor already started");
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ServeMonitor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final tick covers the tail window between the last periodic tick and
+  // the moment serving stopped.
+  std::lock_guard<std::mutex> lock(mu_);
+  emit_tick_locked();
+  out_.flush();
+}
+
+void ServeMonitor::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    emit_tick_locked();
+  }
+}
+
+void ServeMonitor::emit_tick_locked() {
+  const ServeStats s = server_.stats();
+
+  // Window = everything completed since the previous tick.
+  const std::int64_t w_served = s.served - prev_served_;
+  const std::int64_t w_correct = s.correct - prev_correct_;
+  const double w_accuracy =
+      w_served > 0
+          ? static_cast<double>(w_correct) / static_cast<double>(w_served)
+          : 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  if (metrics_ != nullptr) {
+    const telemetry::Snapshot snap = metrics_->snapshot();
+    if (const auto* h = snap.histogram("serve.latency_ms")) {
+      telemetry::HistogramSnapshot window = *h;
+      if (!prev_latency_.upper_bounds.empty())
+        window = telemetry::histogram_delta(*h, prev_latency_);
+      p50 = window.quantile(0.50);
+      p95 = window.quantile(0.95);
+      p99 = window.quantile(0.99);
+      prev_latency_ = *h;
+    }
+  }
+  prev_served_ = s.served;
+  prev_correct_ = s.correct;
+  ++ticks_;
+
+  runtime::JsonWriter w;
+  w.field("kind", std::string("tick"))
+      .field("t_ms", elapsed_ms())
+      .field("version", s.last_version)
+      .field("served", s.served)
+      .field("accuracy", s.accuracy())
+      .field("window_served", w_served)
+      .field("window_accuracy", w_accuracy)
+      .field("window_p50_ms", p50)
+      .field("window_p95_ms", p95)
+      .field("window_p99_ms", p99)
+      .field("queue_depth", static_cast<std::int64_t>(server_.queue_depth()))
+      .field("shed", s.shed)
+      .field("slo_violations", s.slo_violations);
+  out_ << w.str() << "\n";
+  out_.flush();
+}
+
+void ServeMonitor::record_flip(const FlipOutcome& outcome,
+                               std::int64_t flip_ordinal) {
+  const ServeStats s = server_.stats();
+  runtime::JsonWriter w;
+  w.field("kind", std::string("flip"))
+      .field("t_ms", elapsed_ms())
+      .field("flip", flip_ordinal)
+      .field("version", outcome.version)
+      .field("param", outcome.param_name)
+      .field("weight_delta", static_cast<double>(outcome.weight_delta))
+      .field("served_before", s.served)
+      .field("accuracy_before", s.accuracy());
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << w.str() << "\n";
+  out_.flush();
+}
+
+std::int64_t ServeMonitor::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+}  // namespace rowpress::serve

@@ -1,0 +1,82 @@
+// ServeMonitor: the serve trace — a JSONL time series correlating landed
+// bit flips with the served accuracy / latency trajectory.
+//
+// Two record kinds share one stream, distinguished by "kind":
+//
+//   {"kind":"tick","t_ms":...,"version":...,"served":...,"accuracy":...,
+//    "window_served":...,"window_accuracy":...,"window_p50_ms":...,
+//    "window_p95_ms":...,"window_p99_ms":...,"queue_depth":...,
+//    "shed":...,"slo_violations":...}
+//
+//   {"kind":"flip","t_ms":...,"flip":...,"version":...,"param":...,
+//    "weight_delta":...,"served_before":...,"accuracy_before":...}
+//
+// Ticks are emitted by a background thread every `interval`; flip lines
+// are written synchronously by the injector thread through record_flip.
+// The "window_*" fields cover only the requests completed since the last
+// tick (cumulative-histogram delta), so a flip's latency/accuracy impact
+// is visible immediately instead of being averaged into the whole run.
+// The shared time axis `t_ms` counts from monitor start.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "serve/shared_model.h"
+#include "telemetry/snapshot.h"
+
+namespace rowpress::serve {
+
+class ServeMonitor {
+ public:
+  /// `server` must outlive the monitor.  Throws when `path` cannot be
+  /// opened.  The latency window delta needs the serve.latency_ms series,
+  /// so the server must have been built with a metrics registry when
+  /// windowed quantiles are wanted (they degrade to 0 otherwise).
+  ServeMonitor(const InferenceServer& server,
+               const telemetry::MetricsRegistry* metrics,
+               const std::string& path, std::chrono::milliseconds interval);
+  ~ServeMonitor();  ///< stop()s if still running
+
+  ServeMonitor(const ServeMonitor&) = delete;
+  ServeMonitor& operator=(const ServeMonitor&) = delete;
+
+  void start();
+  void stop();  ///< emits one final tick, then joins; idempotent
+
+  /// Called by the flip injector right after a flip publishes.  Thread-safe
+  /// against the tick thread.
+  void record_flip(const FlipOutcome& outcome, std::int64_t flip_ordinal);
+
+  std::int64_t ticks() const;
+
+ private:
+  void run();
+  void emit_tick_locked();
+  double elapsed_ms() const;
+
+  const InferenceServer& server_;
+  const telemetry::MetricsRegistry* metrics_;
+  const std::chrono::steady_clock::time_point start_time_;
+  const std::chrono::milliseconds interval_;
+
+  mutable std::mutex mu_;  ///< guards the stream and the window baselines
+  std::ofstream out_;
+  telemetry::HistogramSnapshot prev_latency_;
+  std::int64_t prev_served_ = 0;
+  std::int64_t prev_correct_ = 0;
+  std::int64_t ticks_ = 0;
+
+  std::thread thread_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace rowpress::serve

@@ -1,0 +1,75 @@
+#include "serve/request_queue.h"
+
+#include "common/check.h"
+
+namespace rowpress::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  RP_REQUIRE(capacity > 0, "request queue capacity must be positive");
+}
+
+bool RequestQueue::try_push(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(r);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::push(Request r) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(r);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::vector<Request> RequestQueue::pop_batch(int max_batch,
+                                             std::chrono::microseconds max_wait) {
+  RP_REQUIRE(max_batch > 0, "max_batch must be positive");
+  std::vector<Request> out;
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
+  if (q_.empty()) return out;  // closed and drained
+  const auto deadline = std::chrono::steady_clock::now() + max_wait;
+  for (;;) {
+    while (!q_.empty() && static_cast<int>(out.size()) < max_batch) {
+      out.push_back(q_.front());
+      q_.pop_front();
+      not_full_.notify_one();
+    }
+    if (static_cast<int>(out.size()) >= max_batch || closed_) break;
+    // Window still open and batch not full: wait for more arrivals until
+    // the deadline.  The predicate form returns false exactly on timeout.
+    if (!not_empty_.wait_until(lock, deadline,
+                               [this] { return !q_.empty() || closed_; }))
+      break;
+  }
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace rowpress::serve

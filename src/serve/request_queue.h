@@ -1,0 +1,68 @@
+// Bounded MPMC request queue with a batching window.
+//
+// Producers are the open-loop client threads (and tests); consumers are
+// the serving threads.  The queue is bounded so overload is visible as
+// shed requests (try_push fails) and queue depth, not as unbounded memory
+// growth — the failure mode a real service exposes to its SLO.
+//
+// pop_batch implements the batching window: block until at least one
+// request is available, then keep gathering until either `max_batch`
+// requests are in hand or `max_wait` has elapsed — the classic
+// latency/throughput trade every batching inference server makes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace rowpress::serve {
+
+/// One inference request: a sample of the serving workload's dataset.
+struct Request {
+  std::int64_t id = 0;
+  int sample_index = 0;
+  std::chrono::steady_clock::time_point enqueue_time{};
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Non-blocking enqueue; false when the queue is full or closed (the
+  /// request is shed — the open-loop client's overload signal).
+  bool try_push(Request r);
+
+  /// Blocking enqueue (tests and the drain-everything bench phases);
+  /// false once the queue is closed.
+  bool push(Request r);
+
+  /// Batching window (see file comment).  `max_wait` counts from the
+  /// moment the first request of this batch is dequeued.  An empty result
+  /// means the queue is closed AND drained — the consumer should exit.
+  std::vector<Request> pop_batch(int max_batch,
+                                 std::chrono::microseconds max_wait);
+
+  /// Closes the queue: producers fail fast, consumers drain what is left
+  /// and then receive empty batches.
+  void close();
+
+  std::size_t depth() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> q_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace rowpress::serve

@@ -1,0 +1,140 @@
+// In-process batching inference server — the victim of the
+// attack-under-load scenario.
+//
+// N serving threads pull batches from a bounded RequestQueue through a
+// batching window (max batch size + max wait) and run them on per-thread
+// ModelReplicas, pinning one SharedModel version per batch.  Requests
+// reference samples of a fixed evaluation dataset, so every completion has
+// ground truth and served-traffic accuracy is measurable online — the
+// quantity the fault campaign is trying to deplete.
+//
+// Telemetry (optional registry):
+//   serve.submitted / shed / served / correct / batches / slo_violations
+//   serve.queue_depth (gauge), serve.version (gauge, last pinned)
+//   serve.latency_ms   per-request enqueue->completion histogram
+//   serve.batch_size   batch occupancy histogram
+//   serve.forward_ms   per-batch forward-pass histogram
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/request_queue.h"
+#include "serve/shared_model.h"
+#include "telemetry/registry.h"
+
+namespace rowpress::serve {
+
+struct ServerConfig {
+  int threads = 2;
+  int max_batch = 16;
+  std::int64_t batch_wait_us = 2000;   ///< batching window
+  std::size_t queue_capacity = 1024;
+  double slo_ms = 50.0;                ///< per-request latency objective
+  std::uint64_t replica_seed = 0xC0FFEEull;  ///< replica factory init seed
+};
+
+/// Cumulative totals (atomically maintained; any snapshot is consistent
+/// enough for dashboards — exact totals once the server is drained).
+struct ServeStats {
+  std::int64_t submitted = 0;       ///< accepted into the queue
+  std::int64_t shed = 0;            ///< rejected: queue full (overload)
+  std::int64_t served = 0;          ///< completed requests
+  std::int64_t correct = 0;         ///< completions matching ground truth
+  std::int64_t batches = 0;
+  std::int64_t slo_violations = 0;  ///< completions with latency > slo_ms
+  std::int64_t last_version = 0;    ///< version pinned by the latest batch
+
+  /// Served-traffic accuracy so far.  Computed as correct/served in double
+  /// precision — bit-identical to attack::subset_accuracy over the same
+  /// sample set (same counts, same final division).
+  double accuracy() const {
+    return served > 0
+               ? static_cast<double>(correct) / static_cast<double>(served)
+               : 0.0;
+  }
+};
+
+class InferenceServer {
+ public:
+  /// `model` and `data` must outlive the server.  `metrics` may be null.
+  InferenceServer(SharedModel& model, const data::Dataset& data,
+                  ServerConfig cfg,
+                  telemetry::MetricsRegistry* metrics = nullptr);
+  ~InferenceServer();  ///< stop()s if still running
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  void start();
+  /// Closes the queue, lets the workers drain every accepted request, then
+  /// joins them.  Idempotent.
+  void stop();
+
+  /// Open-loop submission: false = shed (queue full or server stopped).
+  bool try_submit(int sample_index);
+  /// Blocking submission; false once the server is stopping.
+  bool submit(int sample_index);
+
+  /// Blocks until every accepted request has completed.  Callers must
+  /// stop submitting first (bench phase barriers, tests).
+  void drain() const;
+
+  ServeStats stats() const;
+  const ServerConfig& config() const { return cfg_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  int dataset_size() const { return data_.size(); }
+
+ private:
+  void serve_loop(int worker);
+  Request make_request(int sample_index);
+  void note_submitted();
+
+  SharedModel& model_;
+  const data::Dataset& data_;
+  const ServerConfig cfg_;
+  RequestQueue queue_;
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::int64_t> next_id_{0};
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> served_{0};
+  std::atomic<std::int64_t> correct_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> slo_violations_{0};
+  std::atomic<std::int64_t> last_version_{0};
+
+  /// drain(): completion signal (served_ catches up with submitted_).
+  mutable std::mutex done_mu_;
+  mutable std::condition_variable done_cv_;
+
+  struct Telemetry {
+    telemetry::Counter* submitted = nullptr;
+    telemetry::Counter* shed = nullptr;
+    telemetry::Counter* served = nullptr;
+    telemetry::Counter* correct = nullptr;
+    telemetry::Counter* batches = nullptr;
+    telemetry::Counter* slo_violations = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Gauge* version = nullptr;
+    telemetry::Histogram* latency_ms = nullptr;
+    telemetry::Histogram* batch_size = nullptr;
+    telemetry::Histogram* forward_ms = nullptr;
+  };
+  Telemetry tel_;
+};
+
+/// Bucket layout of serve.latency_ms / serve.forward_ms (exposed so tests
+/// and dashboards can re-register the series consistently).
+const std::vector<double>& latency_ms_bounds();
+
+}  // namespace rowpress::serve

@@ -1,0 +1,74 @@
+#include "serve/shared_model.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace rowpress::serve {
+
+SharedModel::SharedModel(const models::ModelSpec& spec,
+                         const nn::ModelState& trained, std::uint64_t seed)
+    : spec_(spec) {
+  Rng init_rng(seed);
+  master_ = attack::make_quantized_replica(spec_, trained, init_rng);
+  master_.model->set_training(false);
+  auto v0 = std::make_shared<ModelVersion>();
+  v0->id = 0;
+  v0->flips = 0;
+  v0->state = nn::snapshot_state(*master_.model);
+  head_ = std::move(v0);
+}
+
+std::shared_ptr<const ModelVersion> SharedModel::pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+FlipOutcome SharedModel::apply_bit_flip(const nn::WeightBitRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlipOutcome out;
+  // The write goes through the float view's copy-on-write storage: the
+  // head version holds a share of the target layer's buffer, so the flip
+  // clones it and the published snapshots keep their bits.
+  out.weight_delta = master_.qmodel->apply_bit_flip(ref);
+  out.param_name = master_.qmodel->param_name(ref.param_index);
+  auto v = std::make_shared<ModelVersion>();
+  v->id = head_->id + 1;
+  v->flips = head_->flips + 1;
+  v->state = nn::snapshot_state(*master_.model);
+  out.version = v->id;
+  head_ = std::move(v);
+  return out;
+}
+
+std::int64_t SharedModel::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->id;
+}
+
+std::int64_t SharedModel::flips_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->flips;
+}
+
+std::int64_t SharedModel::total_weight_bytes() const {
+  return master_.qmodel->total_weight_bytes();
+}
+
+ModelReplica::ModelReplica(const models::ModelSpec& spec, std::uint64_t seed) {
+  Rng init_rng(seed);
+  module_ = spec.factory(init_rng);
+  RP_REQUIRE(module_ != nullptr, "model factory returned null");
+  module_->set_training(false);
+}
+
+nn::Module& ModelReplica::at(const ModelVersion& v) {
+  if (version_ != v.id) {
+    nn::restore_state(*module_, v.state);
+    module_->set_training(false);
+    version_ = v.id;
+  }
+  return *module_;
+}
+
+}  // namespace rowpress::serve

@@ -1,0 +1,108 @@
+// SharedModel: the serving layer's shared, versioned model state.
+//
+// The campaign runtime owns one model instance per trial; a live inference
+// service cannot — N serving threads read the weights while the DRAM fault
+// campaign corrupts them.  SharedModel separates the two roles RCU-style:
+//
+//   * readers pin() the current ModelVersion — a shared_ptr to an
+//     immutable snapshot of every parameter/buffer tensor — and run whole
+//     batches against it.  A pinned version never changes underneath a
+//     reader, no matter how many flips land mid-batch;
+//   * the single writer applies bit flips to the master int8 codes and
+//     publishes one NEW version per flip.  Tensor's copy-on-write storage
+//     makes the publish cheap: the flip clones exactly the mutated layer's
+//     buffer, every other tensor is shared by handle across versions.
+//
+// Readers observe flips only at batch boundaries (pin is per batch), which
+// mirrors the deployment reality: an inference worker keeps computing on
+// the weights it has already fetched until its next read of DRAM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "attack/runner.h"
+#include "models/zoo.h"
+#include "nn/quant/qmodel.h"
+#include "nn/serialize.h"
+
+namespace rowpress::serve {
+
+/// One immutable snapshot of the model.  `state`'s tensors are shared
+/// copy-on-write handles; by contract nothing writes through them.
+struct ModelVersion {
+  std::int64_t id = 0;     ///< 0 = pristine (pre-attack) weights
+  std::int64_t flips = 0;  ///< cumulative bit flips baked into this state
+  nn::ModelState state;
+};
+
+/// What a published flip did (feeds the serve trace / flip journal).
+struct FlipOutcome {
+  std::int64_t version = 0;    ///< id of the version this flip published
+  float weight_delta = 0.0f;   ///< signed change of the dequantized weight
+  std::string param_name;      ///< layer attribution, e.g. "fc1.weight"
+};
+
+class SharedModel {
+ public:
+  /// Builds the master replica (same construction path as an attack run:
+  /// factory + restore + quantize, see attack::make_quantized_replica) and
+  /// publishes version 0.  `seed` feeds only the factory's throwaway init.
+  SharedModel(const models::ModelSpec& spec, const nn::ModelState& trained,
+              std::uint64_t seed = 1);
+
+  SharedModel(const SharedModel&) = delete;
+  SharedModel& operator=(const SharedModel&) = delete;
+
+  /// Current head version.  The returned snapshot stays valid (and
+  /// bit-stable) for as long as the caller holds the pointer.
+  std::shared_ptr<const ModelVersion> pin() const;
+
+  /// Flips one bit of the master int8 codes and atomically publishes the
+  /// corrupted weights as a new head version.  Thread-safe against pin()
+  /// and against concurrent reader forwards on previously pinned versions;
+  /// concurrent apply_bit_flip calls serialize on the internal mutex.
+  FlipOutcome apply_bit_flip(const nn::WeightBitRef& ref);
+
+  /// Head version id (0 until the first flip lands).
+  std::int64_t version() const;
+  /// Total flips published.
+  std::int64_t flips_applied() const;
+
+  /// Size of the packed int8 weight image (attack planning / placement).
+  std::int64_t total_weight_bytes() const;
+
+  const models::ModelSpec& spec() const { return spec_; }
+
+ private:
+  models::ModelSpec spec_;
+  attack::QuantizedReplica master_;  ///< writer-owned; readers never touch it
+
+  mutable std::mutex mu_;  ///< guards head_ swap and the writer sequence
+  std::shared_ptr<const ModelVersion> head_;
+};
+
+/// A serving thread's private module instance, (re)materialized from
+/// pinned versions.  restore_state copies tensor handles only (COW), so
+/// re-materializing after a flip moves no weight data — the clone already
+/// happened on the writer side, for just the flipped layer.
+class ModelReplica {
+ public:
+  explicit ModelReplica(const models::ModelSpec& spec,
+                        std::uint64_t seed = 0x5E12EEDull);
+
+  /// The module loaded with `v`'s weights (restores only when the version
+  /// id differs from the last materialized one).  The reference stays
+  /// valid until the next at() call; eval mode is always on.
+  nn::Module& at(const ModelVersion& v);
+
+  std::int64_t materialized_version() const { return version_; }
+
+ private:
+  std::unique_ptr<nn::Module> module_;
+  std::int64_t version_ = -1;
+};
+
+}  // namespace rowpress::serve

@@ -1,10 +1,12 @@
 #include "telemetry/json_export.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace rowpress::telemetry {
 
@@ -69,6 +71,15 @@ void write_json(std::ostream& os, const Snapshot& snap) {
     write_escaped(os, h.name);
     os << ":{\"count\":" << h.count << ",\"sum\":";
     write_double(os, h.sum);
+    // Dashboard-ready tail estimates (interpolated; see
+    // HistogramSnapshot::quantile) — the serve monitor and campaign
+    // dashboards read these instead of re-deriving them from buckets.
+    os << ",\"p50\":";
+    write_double(os, h.quantile(0.50));
+    os << ",\"p95\":";
+    write_double(os, h.quantile(0.95));
+    os << ",\"p99\":";
+    write_double(os, h.quantile(0.99));
     os << ",\"buckets\":{";
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i) os << ',';
@@ -96,6 +107,18 @@ void write_json_file(const std::string& path, const Snapshot& snap) {
   out << '\n';
   out.flush();
   if (!out) throw std::runtime_error("failed writing metrics file: " + path);
+}
+
+void write_json_file_atomic(const std::string& path, const Snapshot& snap) {
+  const std::string tmp = path + ".tmp";
+  write_json_file(tmp, snap);
+  // Same-directory rename is atomic on POSIX: a concurrent reader sees
+  // either the previous complete snapshot or the new one, never a torn mix.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("cannot publish metrics file " + path + ": " +
+                             ec.message());
 }
 
 }  // namespace rowpress::telemetry

@@ -18,4 +18,8 @@ void write_json(std::ostream& os, const Snapshot& snap);
 /// Writes to_json() + trailing newline to `path` (throws on I/O failure).
 void write_json_file(const std::string& path, const Snapshot& snap);
 
+/// write_json_file via `path`.tmp + rename, so a concurrent reader (a
+/// dashboard tailing a live campaign) never observes a torn file.
+void write_json_file_atomic(const std::string& path, const Snapshot& snap);
+
 }  // namespace rowpress::telemetry

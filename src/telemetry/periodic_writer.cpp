@@ -1,0 +1,65 @@
+#include "telemetry/periodic_writer.h"
+
+#include <algorithm>
+
+#include "telemetry/json_export.h"
+
+namespace rowpress::telemetry {
+
+PeriodicSnapshotWriter::PeriodicSnapshotWriter(const MetricsRegistry& registry,
+                                               std::string path,
+                                               std::chrono::milliseconds interval)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_(std::max(interval, std::chrono::milliseconds(1))) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+PeriodicSnapshotWriter::~PeriodicSnapshotWriter() { stop(); }
+
+void PeriodicSnapshotWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicSnapshotWriter::write_now() {
+  write_json_file_atomic(path_, registry_.snapshot());
+}
+
+int PeriodicSnapshotWriter::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+int PeriodicSnapshotWriter::failed_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void PeriodicSnapshotWriter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    // Snapshot + write without the lock: the registry has its own locking
+    // and the write may block on I/O.
+    lock.unlock();
+    bool ok = true;
+    try {
+      write_json_file_atomic(path_, registry_.snapshot());
+    } catch (const std::exception&) {
+      ok = false;  // transient I/O failure: keep flushing next tick
+    }
+    lock.lock();
+    if (ok)
+      ++writes_;
+    else
+      ++failed_;
+  }
+}
+
+}  // namespace rowpress::telemetry

@@ -1,0 +1,60 @@
+// PeriodicSnapshotWriter: a background thread that publishes a registry's
+// JSON snapshot to a file every interval, via atomic tmp+rename — the live
+// feed for monitoring a long campaign or a running inference service
+// without waiting for process exit.  A reader tailing the path always sees
+// a complete snapshot (never a torn write).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/registry.h"
+
+namespace rowpress::telemetry {
+
+class PeriodicSnapshotWriter {
+ public:
+  /// Starts the flusher thread immediately.  `registry` must outlive this
+  /// object (or its stop()).  Intervals <= 0 are clamped to 1 ms.
+  PeriodicSnapshotWriter(const MetricsRegistry& registry, std::string path,
+                         std::chrono::milliseconds interval);
+
+  /// Stops the thread (without a final write — call write_now() for that).
+  ~PeriodicSnapshotWriter();
+
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// Joins the flusher thread; idempotent.  I/O errors during periodic
+  /// flushes are swallowed (a full disk must not kill the campaign) but
+  /// counted; write_now() after stop() still throws on failure so final
+  /// exports stay loud.
+  void stop();
+
+  /// One immediate atomic snapshot write (also usable after stop()).
+  void write_now();
+
+  /// Completed periodic writes (diagnostics/tests).
+  int writes() const;
+  /// Periodic writes that failed and were swallowed.
+  int failed_writes() const;
+
+ private:
+  void loop();
+
+  const MetricsRegistry& registry_;
+  const std::string path_;
+  const std::chrono::milliseconds interval_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  int writes_ = 0;
+  int failed_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace rowpress::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/snapshot.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rowpress::telemetry {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::int64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(in_bucket) >= rank) {
+      if (i >= upper_bounds.size())  // overflow bucket: clamp
+        return upper_bounds.back();
+      const double hi = upper_bounds[i];
+      const double lo = i == 0 ? std::min(0.0, hi) : upper_bounds[i - 1];
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return upper_bounds.back();
+}
+
+HistogramSnapshot histogram_delta(const HistogramSnapshot& cur,
+                                  const HistogramSnapshot& prev) {
+  RP_REQUIRE(cur.upper_bounds == prev.upper_bounds &&
+                 cur.bucket_counts.size() == prev.bucket_counts.size(),
+             "histogram_delta: bucket layout mismatch");
+  HistogramSnapshot out;
+  out.name = cur.name;
+  out.upper_bounds = cur.upper_bounds;
+  out.bucket_counts.resize(cur.bucket_counts.size());
+  for (std::size_t i = 0; i < cur.bucket_counts.size(); ++i)
+    out.bucket_counts[i] = cur.bucket_counts[i] - prev.bucket_counts[i];
+  out.count = cur.count - prev.count;
+  out.sum = cur.sum - prev.sum;
+  return out;
+}
+
+}  // namespace rowpress::telemetry

@@ -15,7 +15,25 @@ struct HistogramSnapshot {
   std::vector<std::int64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
   std::int64_t count = 0;
   double sum = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// containing bucket (Prometheus histogram_quantile semantics; the first
+  /// bucket interpolates from 0 when its bound is positive).  The overflow
+  /// bucket has no upper edge, so a quantile landing there clamps to the
+  /// highest finite bound.  Returns 0.0 for an empty histogram.
+  double quantile(double q) const;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
 };
+
+/// Bucket-wise difference `cur - prev` of two snapshots of the same series
+/// (`prev` captured earlier): the distribution of only the samples recorded
+/// between the two captures.  Used by windowed dashboards (the serve
+/// monitor's per-tick p99).  Layouts must match.
+HistogramSnapshot histogram_delta(const HistogramSnapshot& cur,
+                                  const HistogramSnapshot& prev);
 
 /// All series sorted by name (std::map iteration order in the registry),
 /// so two snapshots of identical state compare equal field-by-field.

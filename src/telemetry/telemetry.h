@@ -19,9 +19,10 @@
 // `"key":` needle cannot match inside `"attack.flips":`).
 #pragma once
 
-#include "telemetry/json_export.h"   // IWYU pragma: export
-#include "telemetry/metric.h"        // IWYU pragma: export
-#include "telemetry/registry.h"      // IWYU pragma: export
+#include "telemetry/json_export.h"     // IWYU pragma: export
+#include "telemetry/metric.h"          // IWYU pragma: export
+#include "telemetry/periodic_writer.h" // IWYU pragma: export
+#include "telemetry/registry.h"        // IWYU pragma: export
 #include "telemetry/scoped_timer.h"  // IWYU pragma: export
 #include "telemetry/snapshot.h"      // IWYU pragma: export
 #include "telemetry/trace.h"         // IWYU pragma: export

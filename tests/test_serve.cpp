@@ -1,0 +1,484 @@
+// Serving-layer tests: request queue semantics, RCU-style shared model
+// versioning (including the pin-mid-batch bit-identity guarantee under a
+// concurrent fault campaign — run these under ROWPRESS_SANITIZE=thread),
+// server end-to-end accuracy equivalence with the offline evaluator, and
+// the flip injector / trace monitor plumbing.
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/eval.h"
+#include "attack/runner.h"
+#include "data/vision_synth.h"
+#include "exp/experiment.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "runtime/jsonl.h"
+#include "serve/client.h"
+#include "serve/injector.h"
+#include "serve/monitor.h"
+#include "test_util.h"
+
+namespace rowpress::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+Request req(int sample, std::int64_t id = 0) {
+  Request r;
+  r.id = id;
+  r.sample_index = sample;
+  r.enqueue_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+// --- RequestQueue -------------------------------------------------------
+
+TEST(RequestQueue, TryPushShedsWhenFull) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.try_push(req(0)));
+  EXPECT_TRUE(q.try_push(req(1)));
+  EXPECT_FALSE(q.try_push(req(2)));  // full: shed
+  EXPECT_EQ(q.depth(), 2u);
+  const auto batch = q.pop_batch(8, 0us);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].sample_index, 0);
+  EXPECT_EQ(batch[1].sample_index, 1);
+}
+
+TEST(RequestQueue, PopBatchRespectsMaxBatch) {
+  RequestQueue q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(req(i)));
+  EXPECT_EQ(q.pop_batch(4, 0us).size(), 4u);
+  EXPECT_EQ(q.pop_batch(4, 0us).size(), 4u);
+  EXPECT_EQ(q.pop_batch(4, 0us).size(), 2u);
+}
+
+TEST(RequestQueue, BatchingWindowGathersLateArrivals) {
+  RequestQueue q(16);
+  ASSERT_TRUE(q.try_push(req(0)));
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(20ms);
+    q.try_push(req(1));
+  });
+  // Window long enough to see the second request arrive.
+  const auto batch = q.pop_batch(2, std::chrono::microseconds(2'000'000));
+  producer.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(RequestQueue, CloseDrainsThenSignalsShutdown) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.try_push(req(0)));
+  q.close();
+  EXPECT_FALSE(q.try_push(req(1)));  // producers fail fast
+  EXPECT_EQ(q.pop_batch(8, 0us).size(), 1u);  // drains the remainder
+  EXPECT_TRUE(q.pop_batch(8, 0us).empty());   // then: shutdown
+}
+
+TEST(RequestQueue, MpmcStressLosesNothing) {
+  RequestQueue q(64);
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  std::atomic<std::int64_t> pushed{0}, popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, &pushed] {
+      for (int i = 0; i < kPerProducer; ++i)
+        if (q.push(req(i))) pushed.fetch_add(1);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&q, &popped] {
+      for (;;) {
+        const auto batch = q.pop_batch(7, std::chrono::microseconds(200));
+        if (batch.empty()) return;
+        popped.fetch_add(static_cast<std::int64_t>(batch.size()));
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  EXPECT_EQ(pushed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), pushed.load());
+}
+
+// --- Shared fixture: a small trained model ------------------------------
+
+data::SplitDataset tiny_vision() {
+  data::VisionSynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 40;
+  cfg.test_per_class = 25;
+  return data::make_vision_dataset(cfg);
+}
+
+models::ModelSpec tiny_spec() {
+  models::ModelSpec s;
+  s.name = "TinyMLP";
+  s.paper_dataset = "synthetic";
+  s.dataset = models::DatasetKind::kVision10;
+  s.factory = [](Rng& rng) -> std::unique_ptr<nn::Module> {
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(144, 16, rng, true, "fc1");
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Linear>(16, 4, rng, true, "fc2");
+    return net;
+  };
+  s.recipe = models::TrainRecipe{.epochs = 8, .batch_size = 32, .lr = 2e-3,
+                                 .weight_decay = 1e-4};
+  return s;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new data::SplitDataset(tiny_vision());
+    spec_ = new models::ModelSpec(tiny_spec());
+    Rng rng(11);
+    auto model = spec_->factory(rng);
+    exp::train_classifier(*model, *data_, spec_->recipe, rng);
+    trained_ = new nn::ModelState(nn::snapshot_state(*model));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    delete spec_;
+    delete data_;
+    trained_ = nullptr;
+    spec_ = nullptr;
+    data_ = nullptr;
+  }
+
+  /// The offline twin of a SharedModel(seed): same construction path, so
+  /// its weights are bit-identical to served version 0.
+  static attack::QuantizedReplica offline_replica(std::uint64_t seed = 1) {
+    Rng rng(seed);
+    auto rep = attack::make_quantized_replica(*spec_, *trained_, rng);
+    rep.model->set_training(false);
+    return rep;
+  }
+
+  static std::vector<int> all_test_indices() {
+    std::vector<int> idx(static_cast<std::size_t>(data_->test.size()));
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+    return idx;
+  }
+
+  static data::SplitDataset* data_;
+  static models::ModelSpec* spec_;
+  static nn::ModelState* trained_;
+};
+
+data::SplitDataset* ServeTest::data_ = nullptr;
+models::ModelSpec* ServeTest::spec_ = nullptr;
+nn::ModelState* ServeTest::trained_ = nullptr;
+
+/// n distinct high-bit flips in fc1.weight ([16, 144] = 2304 codes),
+/// spread across every output row so enough of them wreck the features.
+std::vector<nn::WeightBitRef> msb_flips(int n) {
+  std::vector<nn::WeightBitRef> flips;
+  for (int i = 0; i < n; ++i)
+    flips.push_back(nn::WeightBitRef{0, (i % 16) * 144 + i, 6});
+  return flips;
+}
+
+// --- SharedModel --------------------------------------------------------
+
+TEST_F(ServeTest, VersionZeroIsPristine) {
+  SharedModel sm(*spec_, *trained_);
+  EXPECT_EQ(sm.version(), 0);
+  EXPECT_EQ(sm.flips_applied(), 0);
+  const auto v0 = sm.pin();
+  EXPECT_EQ(v0->id, 0);
+  EXPECT_EQ(v0->flips, 0);
+  EXPECT_GT(sm.total_weight_bytes(), 0);
+}
+
+TEST_F(ServeTest, FlipsPublishNewVersionsAndOldPinsKeepTheirBits) {
+  SharedModel sm(*spec_, *trained_);
+  const auto v0 = sm.pin();
+
+  const auto idx = all_test_indices();
+  ModelReplica before(*spec_);
+  const double acc0 =
+      attack::subset_accuracy(before.at(*v0), data_->test, idx);
+
+  const FlipOutcome out = sm.apply_bit_flip(nn::WeightBitRef{0, 3, 6});
+  EXPECT_EQ(out.version, 1);
+  EXPECT_EQ(out.param_name, "fc1.weight");
+  EXPECT_NE(out.weight_delta, 0.0f);
+  EXPECT_EQ(sm.version(), 1);
+  EXPECT_EQ(sm.flips_applied(), 1);
+  EXPECT_EQ(sm.pin()->id, 1);
+
+  // The pre-flip pin still evaluates to exactly the pre-flip accuracy.
+  ModelReplica after(*spec_);
+  EXPECT_EQ(attack::subset_accuracy(after.at(*v0), data_->test, idx), acc0);
+}
+
+// Satellite regression (TSan target): pin a version, let the fault
+// campaign flip bits mid-"batch", and require the reader's output to be
+// bit-identical to a post-hoc forward on the same pinned version.
+TEST_F(ServeTest, PinnedVersionForwardIsBitIdenticalUnderConcurrentFlips) {
+  SharedModel sm(*spec_, *trained_);
+  const auto idx = all_test_indices();
+  const nn::Tensor batch = data::gather_inputs(data_->test, idx);
+
+  const auto pinned = sm.pin();
+  nn::Tensor during;  // forward result computed while flips land
+  std::thread reader([&] {
+    ModelReplica replica(*spec_);
+    nn::Module& m = replica.at(*pinned);
+    for (int round = 0; round < 5; ++round) during = m.forward(batch);
+  });
+  std::thread writer([&] {
+    for (const auto& f : msb_flips(8))
+      sm.apply_bit_flip(f);
+  });
+  reader.join();
+  writer.join();
+  ASSERT_EQ(sm.flips_applied(), 8);
+
+  ModelReplica quiet(*spec_);
+  const nn::Tensor reference = quiet.at(*pinned).forward(batch);
+  ASSERT_EQ(during.numel(), reference.numel());
+  EXPECT_EQ(std::memcmp(during.data(), reference.data(),
+                        sizeof(float) * static_cast<std::size_t>(
+                                            reference.numel())),
+            0);
+}
+
+TEST_F(ServeTest, ManyReadersManyFlipsStress) {
+  SharedModel sm(*spec_, *trained_);
+  const auto idx = all_test_indices();
+  const nn::Tensor batch = data::gather_inputs(data_->test, idx);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      ModelReplica replica(*spec_, 100 + static_cast<std::uint64_t>(r));
+      std::int64_t last = -1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = sm.pin();
+        EXPECT_GE(v->id, last);  // versions are monotone
+        last = v->id;
+        (void)replica.at(*v).forward(batch);
+      }
+    });
+  }
+  for (const auto& f : msb_flips(16)) {
+    sm.apply_bit_flip(f);
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(sm.version(), 16);
+}
+
+// --- InferenceServer ----------------------------------------------------
+
+// The tentpole acceptance check: before any flip, served-traffic accuracy
+// is bit-identical to the offline evaluator on the same sample set, no
+// matter how the requests were batched across threads.
+TEST_F(ServeTest, ServedAccuracyMatchesOfflineEvaluatorBitwise) {
+  SharedModel sm(*spec_, *trained_);
+  ServerConfig cfg;
+  cfg.threads = 3;
+  cfg.max_batch = 8;
+  cfg.batch_wait_us = 200;
+  InferenceServer server(sm, data_->test, cfg);
+  server.start();
+  const auto idx = all_test_indices();
+  for (int i : idx) ASSERT_TRUE(server.submit(i));
+  server.drain();
+  server.stop();
+
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::int64_t>(idx.size()));
+  EXPECT_EQ(s.served, s.submitted);
+  EXPECT_EQ(s.shed, 0);
+  EXPECT_EQ(s.last_version, 0);
+  EXPECT_GT(s.batches, 0);
+
+  auto offline = offline_replica();
+  const double offline_acc =
+      attack::subset_accuracy(*offline.model, data_->test, idx);
+  EXPECT_EQ(s.accuracy(), offline_acc);  // bit-identical doubles
+}
+
+TEST_F(ServeTest, StopDrainsEveryAcceptedRequest) {
+  SharedModel sm(*spec_, *trained_);
+  ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.max_batch = 4;
+  InferenceServer server(sm, data_->test, cfg);
+  server.start();
+  for (int i = 0; i < 37; ++i)
+    ASSERT_TRUE(server.submit(i % data_->test.size()));
+  server.stop();  // close + drain + join
+  EXPECT_EQ(server.stats().served, 37);
+}
+
+TEST_F(ServeTest, OverloadShedsInsteadOfBlocking) {
+  SharedModel sm(*spec_, *trained_);
+  ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 4;
+  InferenceServer server(sm, data_->test, cfg);
+  // Server not started: the queue can only fill.  try_submit must shed
+  // instead of blocking once capacity is reached.
+  int accepted = 0, shed = 0;
+  for (int i = 0; i < 10; ++i)
+    (server.try_submit(i % data_->test.size()) ? accepted : shed)++;
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(shed, 6);
+  EXPECT_EQ(server.stats().shed, 6);
+  server.start();
+  server.drain();
+  server.stop();
+  EXPECT_EQ(server.stats().served, 4);
+}
+
+TEST_F(ServeTest, TelemetrySeriesAreMaintained) {
+  telemetry::MetricsRegistry metrics;
+  SharedModel sm(*spec_, *trained_);
+  ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.slo_ms = 0.0;  // every completion violates: deterministic counter
+  InferenceServer server(sm, data_->test, cfg, &metrics);
+  server.start();
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(server.submit(i % data_->test.size()));
+  server.drain();
+  server.stop();
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counter_or("serve.submitted"), 20);
+  EXPECT_EQ(snap.counter_or("serve.served"), 20);
+  EXPECT_EQ(snap.counter_or("serve.slo_violations"), 20);
+  EXPECT_EQ(snap.counter_or("serve.correct"), server.stats().correct);
+  const auto* lat = snap.histogram("serve.latency_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 20);
+  EXPECT_GT(lat->quantile(0.99), 0.0);
+}
+
+// --- Attack under load: injector + monitor + client ---------------------
+
+TEST_F(ServeTest, InjectorLandsPlannedFlipsAtCadence) {
+  SharedModel sm(*spec_, *trained_);
+  telemetry::MetricsRegistry metrics;
+  const auto flips = msb_flips(5);
+  InjectorConfig icfg;
+  icfg.initial_delay = 5ms;
+  icfg.interval = 2ms;
+  FlipInjector injector(sm, flips, icfg, nullptr, &metrics);
+  injector.start();
+  injector.wait_done();
+  EXPECT_TRUE(injector.done());
+  EXPECT_EQ(injector.landed(), 5);
+  EXPECT_EQ(sm.version(), 5);
+  EXPECT_EQ(metrics.snapshot().counter_or("serve.flips_landed"), 5);
+  injector.stop();
+}
+
+TEST_F(ServeTest, MonitorEmitsWellFormedTickAndFlipRecords) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("rp_serve_trace_" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  telemetry::MetricsRegistry metrics;
+  SharedModel sm(*spec_, *trained_);
+  ServerConfig cfg;
+  cfg.threads = 2;
+  InferenceServer server(sm, data_->test, cfg, &metrics);
+  server.start();
+  {
+    ServeMonitor monitor(server, &metrics, path, 10ms);
+    monitor.start();
+
+    ClientConfig ccfg;
+    ccfg.rate_rps = 2000.0;
+    ccfg.max_requests = 200;
+    OpenLoopClient client(server, ccfg);
+    client.start();
+
+    FlipInjector injector(sm, msb_flips(3),
+                          InjectorConfig{10ms, 15ms}, &monitor, &metrics);
+    injector.start();
+    injector.wait_done();
+    while (!client.done()) std::this_thread::sleep_for(1ms);
+    client.stop();
+    server.drain();
+    monitor.stop();
+    EXPECT_GE(monitor.ticks(), 1);
+    EXPECT_EQ(client.offered(), 200);
+  }
+  server.stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int ticks = 0, flips = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto kind = runtime::json_get_string(line, "kind");
+    ASSERT_TRUE(kind.has_value()) << line;
+    ASSERT_TRUE(runtime::json_get_double(line, "t_ms").has_value()) << line;
+    if (*kind == "tick") {
+      ++ticks;
+      EXPECT_TRUE(runtime::json_get_double(line, "accuracy").has_value());
+      EXPECT_TRUE(
+          runtime::json_get_double(line, "window_p99_ms").has_value());
+      EXPECT_TRUE(runtime::json_get_int(line, "queue_depth").has_value());
+    } else if (*kind == "flip") {
+      ++flips;
+      EXPECT_TRUE(runtime::json_get_string(line, "param").has_value());
+      EXPECT_TRUE(
+          runtime::json_get_double(line, "accuracy_before").has_value());
+    } else {
+      FAIL() << "unknown record kind: " << *kind;
+    }
+  }
+  EXPECT_GE(ticks, 1);
+  EXPECT_EQ(flips, 3);
+  std::filesystem::remove(path);
+}
+
+// End-to-end attack-under-load: enough MSB flips through the live model
+// must depress served accuracy below the pristine baseline.
+TEST_F(ServeTest, SustainedFlipsDegradeServedAccuracy) {
+  auto offline = offline_replica();
+  const auto idx = all_test_indices();
+  const double clean_acc =
+      attack::subset_accuracy(*offline.model, data_->test, idx);
+  ASSERT_GT(clean_acc, 0.5);  // the tiny MLP must have learned something
+
+  SharedModel sm(*spec_, *trained_);
+  // Land a dense barrage of sign-adjacent MSB flips first...
+  for (const auto& f : msb_flips(64)) sm.apply_bit_flip(f);
+  // ...then serve the full test set against the corrupted head.
+  ServerConfig cfg;
+  cfg.threads = 2;
+  InferenceServer server(sm, data_->test, cfg);
+  server.start();
+  for (int i : idx) ASSERT_TRUE(server.submit(i));
+  server.drain();
+  server.stop();
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.last_version, 64);
+  EXPECT_LT(s.accuracy(), clean_acc);
+}
+
+}  // namespace
+}  // namespace rowpress::serve

@@ -4,7 +4,11 @@
 // tests with instrumentation).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -291,6 +295,145 @@ TEST(ScopedTimerTest, RecordsIntoHistogramAndGauge) {
   EXPECT_EQ(h.count(), 2);
   EXPECT_GT(total.value(), 0.0);
   EXPECT_GE(h.sum(), total.value());
+}
+
+// --- Quantile estimation ------------------------------------------------
+
+HistogramSnapshot snap_of(Histogram& h, const std::string& name = "t.h") {
+  HistogramSnapshot s;
+  s.name = name;
+  s.upper_bounds = h.upper_bounds();
+  s.bucket_counts = h.bucket_counts();
+  s.count = h.count();
+  s.sum = h.sum();
+  return s;
+}
+
+TEST(HistogramQuantile, InterpolatesInsideBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) h.record(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 100; ++i) h.record(15.0);   // bucket (10, 20]
+  const auto s = snap_of(h);
+  // Prometheus semantics: rank 0.5*200=100 sits exactly at the first
+  // bucket's upper edge; rank 150 is halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 15.0);
+  // First bucket interpolates from 0.
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+}
+
+TEST(HistogramQuantile, OverflowClampsToHighestFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.record(100.0);
+  h.record(200.0);
+  const auto s = snap_of(h);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 2.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(snap_of(h).quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(snap_of(h).mean(), 0.0);
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  Histogram h({0.5, 1.0, 5.0, 10.0, 50.0});
+  for (int i = 1; i <= 1000; ++i) h.record(0.06 * i);
+  const auto s = snap_of(h);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramDelta, IsolatesTheWindow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);
+  h.record(5.0);
+  const auto before = snap_of(h);
+  h.record(50.0);
+  h.record(60.0);
+  h.record(70.0);
+  const auto after = snap_of(h);
+  const auto window = histogram_delta(after, before);
+  EXPECT_EQ(window.count, 3);
+  EXPECT_DOUBLE_EQ(window.sum, 180.0);
+  EXPECT_EQ(window.bucket_counts[0], 0);
+  EXPECT_EQ(window.bucket_counts[1], 0);
+  EXPECT_EQ(window.bucket_counts[2], 3);
+  // All three window samples sit in (10, 100]; p50 interpolates there.
+  EXPECT_GT(window.quantile(0.5), 10.0);
+  EXPECT_LE(window.quantile(0.5), 100.0);
+}
+
+TEST(HistogramDelta, RejectsLayoutMismatch) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(histogram_delta(snap_of(a), snap_of(b)), std::logic_error);
+}
+
+TEST(JsonExport, HistogramsCarryQuantileFields) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("serve.latency_ms", {1.0, 10.0});
+  for (int i = 0; i < 100; ++i) h.record(0.5);
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+// --- Atomic file export and the periodic writer -------------------------
+
+struct TempMetricsFile {
+  TempMetricsFile() {
+    path = (std::filesystem::temp_directory_path() /
+            ("rp_telemetry_test_" + std::to_string(::getpid()) + ".json"))
+               .string();
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+  }
+  ~TempMetricsFile() {
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+  }
+  std::string path;
+};
+
+TEST(JsonExport, AtomicWritePublishesViaRename) {
+  TempMetricsFile tmp;
+  MetricsRegistry reg;
+  reg.counter("dram.act_count").add(7);
+  write_json_file_atomic(tmp.path, reg.snapshot());
+  EXPECT_FALSE(std::filesystem::exists(tmp.path + ".tmp"));
+  std::ifstream in(tmp.path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_json(reg.snapshot()) + "\n");
+}
+
+TEST(PeriodicWriter, FlushesOnScheduleAndOnDemand) {
+  TempMetricsFile tmp;
+  MetricsRegistry reg;
+  Counter& c = reg.counter("dram.act_count");
+  c.add(1);
+  PeriodicSnapshotWriter writer(reg, tmp.path,
+                                std::chrono::milliseconds(10));
+  writer.write_now();  // on-demand flush is immediate
+  EXPECT_TRUE(std::filesystem::exists(tmp.path));
+  // Wait until at least one periodic flush lands too.
+  for (int i = 0; i < 400 && writer.writes() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  writer.stop();
+  EXPECT_GE(writer.writes(), 1);
+  EXPECT_EQ(writer.failed_writes(), 0);
+  std::ifstream in(tmp.path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"dram.act_count\":1"), std::string::npos);
 }
 
 }  // namespace

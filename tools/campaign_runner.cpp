@@ -6,12 +6,14 @@
 //   campaign_runner --models ResNet-20,DeiT-T --profiles rh,rp --seeds 3
 //   campaign_runner --models all --workers 8 --name table1
 //   campaign_runner --list-models
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +57,11 @@ void print_usage() {
       "                           snapshot as JSON (counters include "
       "resumed\n"
       "                           trials, so totals survive interruption)\n"
+      "  --metrics-interval <s>   also flush --metrics-out every s seconds\n"
+      "                           while the campaign runs (atomic\n"
+      "                           tmp+rename, safe to tail from a "
+      "dashboard;\n"
+      "                           default: 0 = final write only)\n"
       "  --trace-out <path>       write a Chrome trace_event file "
       "(open in\n"
       "                           chrome://tracing or ui.perfetto.dev); "
@@ -144,6 +151,7 @@ int run_cli(int argc, char** argv) {
   std::string models_arg = "all";
   std::string profiles_arg = "rh,rp";
   std::string metrics_out;
+  double metrics_interval_s = 0.0;
   std::string trace_out;
   std::string inject_arg;
 
@@ -184,6 +192,9 @@ int run_cli(int argc, char** argv) {
           std::atof(need_value(i++, "--progress-interval").c_str());
     } else if (arg == "--metrics-out") {
       metrics_out = need_value(i++, "--metrics-out");
+    } else if (arg == "--metrics-interval") {
+      metrics_interval_s =
+          std::atof(need_value(i++, "--metrics-interval").c_str());
     } else if (arg == "--trace-out") {
       trace_out = need_value(i++, "--trace-out");
     } else if (arg == "--trial-deadline") {
@@ -256,7 +267,17 @@ int run_cli(int argc, char** argv) {
         spec.seeds_per_cell, trials.size(),
         runtime::journal_path(spec).c_str());
 
+  // Live metrics feed: while trials run, the snapshot is republished every
+  // interval via atomic tmp+rename, so a dashboard tailing the file always
+  // reads a complete JSON object.
+  std::optional<telemetry::PeriodicSnapshotWriter> live_metrics;
+  if (!metrics_out.empty() && metrics_interval_s > 0.0)
+    live_metrics.emplace(metrics, metrics_out,
+                         std::chrono::milliseconds(static_cast<std::int64_t>(
+                             metrics_interval_s * 1000.0)));
+
   const auto res = runtime::run_campaign(spec);
+  if (live_metrics) live_metrics->stop();
   if (!quiet) {
     std::printf("\n%d trial(s) executed, %d resumed from journal.\n",
                 res.executed, res.skipped);
@@ -330,7 +351,7 @@ int run_cli(int argc, char** argv) {
   }
 
   if (!metrics_out.empty()) {
-    telemetry::write_json_file(metrics_out, snap);
+    telemetry::write_json_file_atomic(metrics_out, snap);
     if (!quiet) std::printf("metrics snapshot: %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {

@@ -1,0 +1,275 @@
+// serve_attack: run the attack-under-load scenario end to end.
+//
+// Plans a (profile-constrained) bit-flip attack OFFLINE against a trained
+// model, then starts a live batching inference server on the same weights,
+// offers fixed-rate open-loop traffic, and replays the planned flip chain
+// against the shared model at a wall-clock cadence — while a monitor
+// journals a JSONL time series ("tick" records with served accuracy and
+// windowed latency quantiles, "flip" records marking each landed flip).
+//
+//   serve_attack --model ResNet-20 --profile rp --rate 500 --duration-s 10
+//   serve_attack --model M11 --threads 4 --slo-ms 20 \
+//       --trace-out serve.jsonl --metrics-out serve_metrics.json
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/runner.h"
+#include "dram/device.h"
+#include "exp/experiment.h"
+#include "models/zoo.h"
+#include "runtime/campaign.h"
+#include "serve/client.h"
+#include "serve/injector.h"
+#include "serve/monitor.h"
+#include "serve/server.h"
+#include "telemetry/telemetry.h"
+
+using namespace rowpress;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: serve_attack [options]\n"
+      "\n"
+      "  --model <name>           zoo model to serve (default: ResNet-20)\n"
+      "  --profile <p>            flip-planning constraint: rowhammer|rh,\n"
+      "                           rowpress|rp, unconstrained|uncon\n"
+      "                           (default: rp)\n"
+      "  --rate <rps>             open-loop request rate (default: 500)\n"
+      "  --duration-s <s>         serving time (default: 10)\n"
+      "  --threads <n>            serving threads (default: 2)\n"
+      "  --max-batch <n>          batching window size cap (default: 16)\n"
+      "  --batch-wait-us <us>     batching window wait (default: 2000)\n"
+      "  --queue-cap <n>          request queue bound (default: 1024)\n"
+      "  --slo-ms <ms>            per-request latency SLO (default: 50)\n"
+      "  --attack-delay-ms <ms>   clean warm-up before the first flip\n"
+      "                           (default: 2000)\n"
+      "  --attack-interval-ms <ms> cadence between flips (default: 250)\n"
+      "  --max-flips <n>          flip budget for the offline plan\n"
+      "                           (default: 50)\n"
+      "  --seed <u64>             train/plan seed (default: 1)\n"
+      "  --cache-dir <dir>        trained-model/profile cache (default:\n"
+      "                           artifacts)\n"
+      "  --trace-out <path>       JSONL time series (tick + flip records;\n"
+      "                           default: serve_trace.jsonl)\n"
+      "  --tick-ms <ms>           trace tick period (default: 500)\n"
+      "  --metrics-out <path>     final telemetry snapshot as JSON\n"
+      "                           (atomic tmp+rename)\n"
+      "  --metrics-interval <s>   also flush --metrics-out every s seconds\n"
+      "                           while serving (default: 0 = final only)\n"
+      "  --quiet                  suppress progress output\n"
+      "  --help                   this text\n");
+}
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "serve_attack: %s (try --help)\n", msg.c_str());
+  std::exit(3);
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::logic_error& e) {
+    std::fprintf(stderr, "serve_attack: invalid spec: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_attack: error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_cli(int argc, char** argv) {
+  std::string model_name = "ResNet-20";
+  std::string profile_arg = "rp";
+  double rate = 500.0;
+  double duration_s = 10.0;
+  serve::ServerConfig scfg;
+  std::int64_t attack_delay_ms = 2000;
+  std::int64_t attack_interval_ms = 250;
+  int max_flips = 50;
+  std::uint64_t seed = 1;
+  std::string cache_dir = "artifacts";
+  std::string trace_out = "serve_trace.jsonl";
+  std::int64_t tick_ms = 500;
+  std::string metrics_out;
+  double metrics_interval_s = 0.0;
+  bool quiet = false;
+
+  const auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--model") {
+      model_name = need_value(i++, "--model");
+    } else if (arg == "--profile") {
+      profile_arg = need_value(i++, "--profile");
+    } else if (arg == "--rate") {
+      rate = std::atof(need_value(i++, "--rate").c_str());
+    } else if (arg == "--duration-s") {
+      duration_s = std::atof(need_value(i++, "--duration-s").c_str());
+    } else if (arg == "--threads") {
+      scfg.threads = std::atoi(need_value(i++, "--threads").c_str());
+    } else if (arg == "--max-batch") {
+      scfg.max_batch = std::atoi(need_value(i++, "--max-batch").c_str());
+    } else if (arg == "--batch-wait-us") {
+      scfg.batch_wait_us =
+          std::atoll(need_value(i++, "--batch-wait-us").c_str());
+    } else if (arg == "--queue-cap") {
+      scfg.queue_capacity = static_cast<std::size_t>(
+          std::atoll(need_value(i++, "--queue-cap").c_str()));
+    } else if (arg == "--slo-ms") {
+      scfg.slo_ms = std::atof(need_value(i++, "--slo-ms").c_str());
+    } else if (arg == "--attack-delay-ms") {
+      attack_delay_ms =
+          std::atoll(need_value(i++, "--attack-delay-ms").c_str());
+    } else if (arg == "--attack-interval-ms") {
+      attack_interval_ms =
+          std::atoll(need_value(i++, "--attack-interval-ms").c_str());
+    } else if (arg == "--max-flips") {
+      max_flips = std::atoi(need_value(i++, "--max-flips").c_str());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(need_value(i++, "--seed").c_str(), nullptr, 10);
+    } else if (arg == "--cache-dir") {
+      cache_dir = need_value(i++, "--cache-dir");
+    } else if (arg == "--trace-out") {
+      trace_out = need_value(i++, "--trace-out");
+    } else if (arg == "--tick-ms") {
+      tick_ms = std::atoll(need_value(i++, "--tick-ms").c_str());
+    } else if (arg == "--metrics-out") {
+      metrics_out = need_value(i++, "--metrics-out");
+    } else if (arg == "--metrics-interval") {
+      metrics_interval_s =
+          std::atof(need_value(i++, "--metrics-interval").c_str());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      die("unknown option " + arg);
+    }
+  }
+  if (rate <= 0.0) die("--rate must be positive");
+  if (duration_s <= 0.0) die("--duration-s must be positive");
+  const auto profile = runtime::profile_from_name(profile_arg);
+  if (!profile) die("unknown profile '" + profile_arg + "'");
+
+  const auto zoo = models::model_zoo();
+  const models::ModelSpec& spec = models::find_model(zoo, model_name);
+  const data::SplitDataset data = models::make_dataset(spec.dataset);
+
+  // --- Phase 1: trained weights + offline attack plan -------------------
+  if (!quiet)
+    std::printf("preparing %s (cache: %s)...\n", spec.name.c_str(),
+                cache_dir.c_str());
+  const exp::PreparedModel prepared =
+      exp::prepare_trained_model(spec, data, cache_dir, seed, !quiet);
+
+  attack::AttackRunSetup setup;
+  setup.seed = seed;
+  setup.bfa.max_flips = max_flips;
+  if (!quiet)
+    std::printf("planning attack offline (profile %s, budget %d)...\n",
+                runtime::profile_name(*profile), max_flips);
+  attack::AttackResult plan;
+  if (*profile == runtime::AttackProfile::kUnconstrained) {
+    plan = attack::run_unconstrained_attack(spec, prepared.state, data, setup);
+  } else {
+    dram::Device device(exp::default_chip_config());
+    const exp::ProfilePair profiles =
+        exp::build_or_load_profiles(device, cache_dir, !quiet);
+    const profile::BitFlipProfile& prof =
+        *profile == runtime::AttackProfile::kRowHammer ? profiles.rowhammer
+                                                       : profiles.rowpress;
+    plan = attack::run_profile_attack(spec, prepared.state, data, prof,
+                                      device.geometry(), setup);
+  }
+  std::vector<nn::WeightBitRef> chain;
+  for (const auto& f : plan.flips) chain.push_back(f.ref);
+  if (!quiet)
+    std::printf(
+        "plan: %zu flips (offline accuracy %.4f -> %.4f, objective %s)\n",
+        chain.size(), plan.accuracy_before, plan.accuracy_after,
+        plan.objective_reached ? "reached" : "budget");
+
+  // --- Phase 2: serve under attack ---------------------------------------
+  telemetry::MetricsRegistry metrics;
+  serve::SharedModel shared(spec, prepared.state);
+  serve::InferenceServer server(shared, data.test, scfg, &metrics);
+  serve::ServeMonitor monitor(server, &metrics, trace_out,
+                              std::chrono::milliseconds(tick_ms));
+  serve::ClientConfig ccfg;
+  ccfg.rate_rps = rate;
+  serve::OpenLoopClient client(server, ccfg);
+  serve::InjectorConfig icfg;
+  icfg.initial_delay = std::chrono::milliseconds(attack_delay_ms);
+  icfg.interval = std::chrono::milliseconds(attack_interval_ms);
+  serve::FlipInjector injector(shared, chain, icfg, &monitor, &metrics);
+
+  std::optional<telemetry::PeriodicSnapshotWriter> live_metrics;
+  if (!metrics_out.empty() && metrics_interval_s > 0.0)
+    live_metrics.emplace(metrics, metrics_out,
+                         std::chrono::milliseconds(static_cast<std::int64_t>(
+                             metrics_interval_s * 1000.0)));
+
+  if (!quiet)
+    std::printf(
+        "serving %s: %d threads, %.0f rps for %.1f s "
+        "(attack after %lld ms, every %lld ms)\n",
+        spec.name.c_str(), scfg.threads, rate, duration_s,
+        static_cast<long long>(attack_delay_ms),
+        static_cast<long long>(attack_interval_ms));
+  server.start();
+  monitor.start();
+  client.start();
+  injector.start();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<std::int64_t>(duration_s * 1e3)));
+  client.stop();
+  injector.stop();
+  server.drain();
+  monitor.stop();
+  server.stop();
+  if (live_metrics) live_metrics->stop();
+
+  // --- Summary -----------------------------------------------------------
+  const serve::ServeStats stats = server.stats();
+  const telemetry::Snapshot snap = metrics.snapshot();
+  const auto* lat = snap.histogram("serve.latency_ms");
+  if (!quiet) {
+    std::printf("\nserved %lld / offered %lld (shed %lld), %lld batches\n",
+                static_cast<long long>(stats.served),
+                static_cast<long long>(client.offered()),
+                static_cast<long long>(stats.shed),
+                static_cast<long long>(stats.batches));
+    std::printf("flips landed: %lld / %zu planned (model version %lld)\n",
+                static_cast<long long>(injector.landed()), chain.size(),
+                static_cast<long long>(shared.version()));
+    std::printf("served accuracy (whole run): %.4f\n", stats.accuracy());
+    if (lat != nullptr)
+      std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f (SLO %.1f ms, "
+                  "%lld violations)\n",
+                  lat->quantile(0.50), lat->quantile(0.95),
+                  lat->quantile(0.99), scfg.slo_ms,
+                  static_cast<long long>(stats.slo_violations));
+    std::printf("trace: %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    telemetry::write_json_file_atomic(metrics_out, snap);
+    if (!quiet) std::printf("metrics snapshot: %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
