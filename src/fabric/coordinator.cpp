@@ -1,0 +1,679 @@
+#include "fabric/coordinator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "exp/experiment.h"
+#include "fabric/shard.h"
+#include "fabric/status_server.h"
+#include "fabric/wire.h"
+#include "runtime/cancel.h"
+#include "runtime/journal.h"
+#include "runtime/jsonl.h"
+#include "telemetry/snapshot.h"
+
+namespace rowpress::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using runtime::CampaignResult;
+using runtime::CampaignSpec;
+using runtime::CancelToken;
+using runtime::Journal;
+using runtime::JsonWriter;
+using runtime::Trial;
+using runtime::TrialResult;
+using runtime::TrialStatus;
+
+/// Coordinator-side state of one worker process.  Non-copyable (owns fds
+/// and a CancelToken), held by unique_ptr.
+struct WorkerSlot {
+  int id = -1;
+  pid_t pid = -1;
+  int to_fd = -1;    ///< coordinator -> worker (assign / shutdown)
+  int from_fd = -1;  ///< worker -> coordinator (hello / progress / ...)
+  std::unique_ptr<LineReader> reader;
+  /// Liveness watchdog: re-armed with heartbeat_timeout on every inbound
+  /// message; an expired deadline means the worker stalled.
+  CancelToken liveness;
+  bool alive = false;
+  bool shutdown_sent = false;
+  int current_shard = -1;  ///< -1 = idle
+
+  // Live-status bookkeeping, fed by progress heartbeats.
+  std::int64_t done = 0, failed = 0, retried = 0;
+  std::vector<std::pair<std::string, std::int64_t>> last_counters;
+  /// (time, done) samples for windowed throughput.
+  std::deque<std::pair<Clock::time_point, std::int64_t>> done_window;
+
+  double throughput_tps(Clock::time_point now) {
+    while (!done_window.empty() &&
+           now - done_window.front().first > std::chrono::seconds(30))
+      done_window.pop_front();
+    if (done_window.size() < 2) return 0.0;
+    const auto& [t0, d0] = done_window.front();
+    const auto& [t1, d1] = done_window.back();
+    const double dt = std::chrono::duration<double>(t1 - t0).count();
+    return dt > 0.0 ? static_cast<double>(d1 - d0) / dt : 0.0;
+  }
+};
+
+void set_nonblocking_fd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
+  RP_REQUIRE(cfg.workers > 0, "fabric needs at least one worker");
+  RP_REQUIRE(cfg.shards_per_worker > 0, "fabric needs shards_per_worker > 0");
+  RP_REQUIRE(cfg.heartbeat_timeout_ms > cfg.heartbeat_interval_ms,
+             "heartbeat timeout must exceed the heartbeat interval");
+
+  const auto log = [&](const std::string& line) {
+    if (cfg.log)
+      cfg.log(line);
+    else
+      std::fprintf(stderr, "%s\n", line.c_str());
+  };
+  const auto info = [&](const std::string& line) {
+    if (cfg.verbose) log(line);
+  };
+  const auto emit_event = [&](const FleetEvent& ev) {
+    if (cfg.on_event) cfg.on_event(ev);
+  };
+  const auto warn = [&](const std::string& msg) {
+    log("[fabric] warning: " + msg);
+  };
+
+  // Validate model names up front, exactly like run_campaign.
+  const std::vector<models::ModelSpec> zoo =
+      spec.zoo.empty() ? models::model_zoo() : spec.zoo;
+  for (const auto& name : spec.models) models::find_model(zoo, name);
+
+  const std::vector<Trial> trials = runtime::expand_trials(spec);
+  const int num_shards = std::clamp(
+      cfg.workers * cfg.shards_per_worker, 1, static_cast<int>(trials.size()));
+  const ShardPlan plan = plan_shards(trials, num_shards);
+  const std::string ledger = runtime::journal_path(spec);
+  std::filesystem::create_directories(spec.journal_dir);
+
+  FabricResult out;
+  out.ledger = ledger;
+  out.shards_total = num_shards;
+
+  // ---- Startup fold: absorb the ledger and any shard journals a previous
+  // (possibly crashed) fleet left behind, so only unfinished work runs.
+  {
+    std::vector<std::string> inputs;
+    if (std::filesystem::exists(ledger)) inputs.push_back(ledger);
+    auto stale = list_shard_journals(spec);
+    inputs.insert(inputs.end(), stale.begin(), stale.end());
+    if (!inputs.empty()) {
+      merge_journals(inputs, ledger, warn);
+      for (const auto& p : stale) std::filesystem::remove(p);
+      if (!stale.empty())
+        log("[fabric] folded " + std::to_string(stale.size()) +
+            " leftover shard journal(s) into " + ledger);
+    }
+  }
+  std::unordered_map<int, TrialResult> known;
+  if (std::filesystem::exists(ledger)) Journal::load_file(ledger, known, warn);
+
+  // ---- Pending shards: a shard is scheduled iff any of its trials lacks
+  // a succeeded ledger record.
+  std::deque<int> shard_queue;
+  std::vector<int> shard_attempts(static_cast<std::size_t>(num_shards), 0);
+  for (int s = 0; s < num_shards; ++s) {
+    bool pending = false;
+    for (const int idx : plan.trials[static_cast<std::size_t>(s)]) {
+      const auto it = known.find(idx);
+      if (it == known.end() || !it->second.succeeded()) {
+        pending = true;
+        break;
+      }
+    }
+    if (pending) shard_queue.push_back(s);
+  }
+  out.shards_pending = static_cast<int>(shard_queue.size());
+  std::int64_t done_at_start = 0;
+  for (const auto& [idx, rec] : known)
+    if (rec.succeeded()) ++done_at_start;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+  StatusServer status;
+
+  // RAII fleet teardown: whatever path exits this function, no child
+  // outlives the coordinator.
+  struct FleetGuard {
+    std::vector<std::unique_ptr<WorkerSlot>>* slots;
+    ~FleetGuard() {
+      for (auto& s : *slots) {
+        if (s->pid > 0) {
+          ::kill(s->pid, SIGKILL);
+          ::waitpid(s->pid, nullptr, 0);
+          s->pid = -1;
+        }
+        close_fd(s->to_fd);
+        close_fd(s->from_fd);
+      }
+    }
+  } guard{&slots};
+
+  int remaining = out.shards_pending;
+  std::int64_t banked_done = 0, banked_failed = 0, banked_retried = 0;
+  std::int64_t sum_executed = 0, sum_skipped = 0, sum_shard_failed = 0,
+               sum_shard_retried = 0;
+
+  if (remaining > 0) {
+    // ---- Pre-warm shared artifacts while still single-threaded and
+    // single-process: every worker then loads models/profiles from cache
+    // instead of training the same network N times.  Failures are warned,
+    // not fatal — the owning trials will fail with a typed error instead.
+    {
+      std::set<std::string> pending_models;
+      bool needs_profiles = false;
+      for (const int s : shard_queue)
+        for (const int idx : plan.trials[static_cast<std::size_t>(s)]) {
+          const auto it = known.find(idx);
+          if (it != known.end() && it->second.succeeded()) continue;
+          const Trial& t = trials[static_cast<std::size_t>(idx)];
+          pending_models.insert(t.model);
+          needs_profiles |=
+              t.profile != runtime::AttackProfile::kUnconstrained;
+        }
+      const auto dataset_factory =
+          spec.dataset_factory ? spec.dataset_factory
+                               : [](models::DatasetKind k) {
+                                   return models::make_dataset(k);
+                                 };
+      std::map<int, data::SplitDataset> datasets;
+      for (const auto& name : pending_models) {
+        try {
+          const auto& mspec = models::find_model(zoo, name);
+          const int dk = static_cast<int>(mspec.dataset);
+          if (!datasets.count(dk)) datasets.emplace(dk, dataset_factory(mspec.dataset));
+          exp::prepare_trained_model(mspec, datasets.at(dk), spec.cache_dir,
+                                     spec.model_seed, spec.verbose);
+          info("[fabric] pre-warmed model " + name);
+        } catch (const std::exception& e) {
+          warn("pre-warming model " + name + " failed (" + e.what() +
+               "); its trials will surface the error");
+        }
+      }
+      if (needs_profiles) {
+        try {
+          dram::Device device(spec.device);
+          // spec.metrics receives the profiling sweep's counters on a cold
+          // cache — same series a single-process run records.
+          exp::build_or_load_profiles(device, spec.cache_dir, spec.verbose,
+                                      spec.metrics);
+          info("[fabric] pre-warmed DRAM profiles");
+        } catch (const std::exception& e) {
+          warn(std::string("pre-warming DRAM profiles failed (") + e.what() +
+               "); trials will surface the error");
+        }
+      }
+    }
+
+    // A dead worker must surface as a failed write, never a signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    const FabricConfig::Launcher launch =
+        cfg.launcher ? cfg.launcher
+                     : FabricConfig::Launcher(spawn_forked_worker);
+
+    auto spawn_worker = [&]() -> WorkerSlot* {
+      int to_pipe[2] = {-1, -1}, from_pipe[2] = {-1, -1};
+      if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0) {
+        close_fd(to_pipe[0]);
+        close_fd(to_pipe[1]);
+        warn(std::string("pipe() failed: ") + std::strerror(errno));
+        return nullptr;
+      }
+      auto slot = std::make_unique<WorkerSlot>();
+      slot->id = out.workers_spawned;
+      WorkerOptions opt;
+      opt.worker_id = slot->id;
+      opt.num_shards = num_shards;
+      opt.threads = cfg.threads_per_worker;
+      opt.heartbeat_interval_ms = cfg.heartbeat_interval_ms;
+      opt.ledger_path = ledger;
+      const pid_t pid = launch(spec, opt, to_pipe[0], from_pipe[1]);
+      // Child ends close in the parent regardless of outcome.
+      close_fd(to_pipe[0]);
+      close_fd(from_pipe[1]);
+      if (pid <= 0) {
+        close_fd(to_pipe[1]);
+        close_fd(from_pipe[0]);
+        warn(std::string("spawning worker failed: ") + std::strerror(errno));
+        return nullptr;
+      }
+      slot->pid = pid;
+      slot->to_fd = to_pipe[1];
+      slot->from_fd = from_pipe[0];
+      set_nonblocking_fd(slot->from_fd);
+      slot->reader = std::make_unique<LineReader>(slot->from_fd);
+      slot->alive = true;
+      slot->liveness.set_deadline_after(
+          std::chrono::milliseconds(cfg.heartbeat_timeout_ms));
+      ++out.workers_spawned;
+      info("[fabric] spawned worker " + std::to_string(slot->id) + " (pid " +
+           std::to_string(pid) + ")");
+      slots.push_back(std::move(slot));
+      return slots.back().get();
+    };
+
+    // Spawn the whole fleet NOW, while this process has exactly one
+    // thread (the fork/TSan contract described in the header).
+    const int fleet =
+        std::min(cfg.workers, std::max(1, static_cast<int>(shard_queue.size())));
+    for (int i = 0; i < fleet; ++i) spawn_worker();
+    RP_REQUIRE(!slots.empty(), "fabric could not spawn any worker");
+    // One replacement fleet's worth of respawns, used only when every
+    // worker is gone — survivors steal work instead.
+    int respawn_budget = cfg.workers;
+
+    if (cfg.status_port >= 0) {
+      status.start(cfg.status_port);
+      log("[fabric] status endpoint on http://127.0.0.1:" +
+          std::to_string(status.port()) + " (/status, /stream)");
+      if (cfg.on_status_port) cfg.on_status_port(status.port());
+    }
+
+    // ---- Bookkeeping helpers shared by the loop.
+    auto requeue_shard = [&](WorkerSlot& s, const char* why) {
+      const int shard = s.current_shard;
+      s.current_shard = -1;
+      if (shard < 0) return;
+      ++shard_attempts[static_cast<std::size_t>(shard)];
+      if (shard_attempts[static_cast<std::size_t>(shard)] >=
+          cfg.max_shard_attempts) {
+        ++out.shards_abandoned;
+        --remaining;
+        log("[fabric] shard " + std::to_string(shard) + " abandoned after " +
+            std::to_string(shard_attempts[static_cast<std::size_t>(shard)]) +
+            " attempts (" + why + ")");
+        return;
+      }
+      ++out.shards_stolen;
+      shard_queue.push_back(shard);
+      log("[fabric] shard " + std::to_string(shard) + " re-queued (" + why +
+          " on worker " + std::to_string(s.id) + ")");
+      emit_event({FleetEvent::Kind::kSteal, s.id, s.pid, shard, s.done, why});
+    };
+
+    auto mark_dead = [&](WorkerSlot& s, const char* why, bool requested) {
+      if (!s.alive) return;
+      s.alive = false;
+      // Journaled work survives the worker; keep its tallies for the
+      // status display but drop its counter snapshot — the thief will
+      // re-read the same shard journal and re-accumulate.
+      banked_done += s.done;
+      banked_failed += s.failed;
+      banked_retried += s.retried;
+      s.last_counters.clear();
+      close_fd(s.to_fd);
+      if (!requested) {
+        ++out.workers_died;
+        log("[fabric] worker " + std::to_string(s.id) + " (pid " +
+            std::to_string(s.pid) + ") " + why);
+        emit_event({FleetEvent::Kind::kWorkerDeath, s.id, s.pid,
+                    s.current_shard, s.done, why});
+        requeue_shard(s, why);
+      }
+    };
+
+    auto handle_message = [&](WorkerSlot& s, const Message& m) {
+      s.liveness.set_deadline_after(
+          std::chrono::milliseconds(cfg.heartbeat_timeout_ms));
+      switch (m.type) {
+        case Message::Type::kHello:
+          emit_event({FleetEvent::Kind::kHello, s.id, s.pid, -1, 0, ""});
+          break;
+        case Message::Type::kProgress:
+          s.done = m.done;
+          s.failed = m.failed;
+          s.retried = m.retried;
+          s.last_counters = m.counters;
+          s.done_window.emplace_back(Clock::now(), m.done);
+          emit_event(
+              {FleetEvent::Kind::kProgress, s.id, s.pid, m.shard, m.done, ""});
+          break;
+        case Message::Type::kShardDone:
+          if (m.shard == s.current_shard && m.shard >= 0) {
+            s.current_shard = -1;
+            ++out.shards_completed;
+            --remaining;
+            sum_executed += m.executed;
+            sum_skipped += m.skipped;
+            sum_shard_failed += m.failed;
+            sum_shard_retried += m.retried;
+            info("[fabric] shard " + std::to_string(m.shard) +
+                 " done on worker " + std::to_string(s.id) + " (executed " +
+                 std::to_string(m.executed) + ", resumed " +
+                 std::to_string(m.skipped) + ")");
+            emit_event({FleetEvent::Kind::kShardDone, s.id, s.pid, m.shard,
+                        s.done, ""});
+          }
+          break;
+        case Message::Type::kShardError:
+          if (m.shard == s.current_shard && m.shard >= 0) {
+            log("[fabric] shard " + std::to_string(m.shard) + " failed on "
+                "worker " + std::to_string(s.id) + ": " + m.error);
+            emit_event({FleetEvent::Kind::kShardError, s.id, s.pid, m.shard,
+                        s.done, m.error});
+            requeue_shard(s, "shard error");
+          }
+          break;
+        case Message::Type::kBye:
+          break;  // clean exit follows; reaping handles the rest
+        default:
+          break;  // coordinator-bound types only
+      }
+    };
+
+    auto alive_count = [&] {
+      int n = 0;
+      for (const auto& s : slots) n += s->alive ? 1 : 0;
+      return n;
+    };
+
+    auto status_json = [&]() -> std::string {
+      const auto now = Clock::now();
+      std::int64_t live_done = 0, live_failed = 0, live_retried = 0;
+      double tps = 0.0;
+      std::vector<telemetry::Snapshot> parts;
+      std::string workers_json = "[";
+      bool first = true;
+      for (const auto& s : slots) {
+        if (s->alive) {
+          live_done += s->done;
+          live_failed += s->failed;
+          live_retried += s->retried;
+          telemetry::Snapshot part;
+          part.counters = s->last_counters;
+          parts.push_back(std::move(part));
+        }
+        const double wtps = s->alive ? s->throughput_tps(now) : 0.0;
+        tps += wtps;
+        JsonWriter ww;
+        ww.field("id", static_cast<std::int64_t>(s->id))
+            .field("pid", static_cast<std::int64_t>(s->pid))
+            .field("state", std::string(!s->alive ? "dead"
+                                        : s->current_shard >= 0 ? "running"
+                                                                : "idle"))
+            .field("shard", static_cast<std::int64_t>(s->current_shard))
+            .field("done", s->done)
+            .field("tps", wtps);
+        if (!first) workers_json += ",";
+        workers_json += ww.str();
+        first = false;
+      }
+      workers_json += "]";
+      const telemetry::Snapshot counters = telemetry::merge_snapshots(parts);
+      const std::int64_t total = static_cast<std::int64_t>(trials.size());
+      const std::int64_t done = done_at_start + banked_done + live_done;
+      const double eta =
+          tps > 0.0 ? static_cast<double>(std::max<std::int64_t>(
+                          0, total - done)) / tps
+                    : -1.0;
+      JsonWriter w;
+      w.field("campaign", spec.name)
+          .field("trials_total", total)
+          .field("trials_done", done)
+          .field("trials_failed", banked_failed + live_failed)
+          .field("trials_retried", banked_retried + live_retried)
+          .field("shards", static_cast<std::int64_t>(num_shards))
+          .field("shards_pending", static_cast<std::int64_t>(out.shards_pending))
+          .field("shards_completed",
+                 static_cast<std::int64_t>(out.shards_completed))
+          .field("shards_stolen", static_cast<std::int64_t>(out.shards_stolen))
+          .field("workers_alive", static_cast<std::int64_t>(alive_count()))
+          .field("workers_died", static_cast<std::int64_t>(out.workers_died))
+          .field("throughput_tps", tps)
+          .field("eta_s", eta);
+      w.field_object("counters", counters.counters);
+      w.field_raw("workers", workers_json);
+      return w.str();
+    };
+
+    // ---- The event loop: single thread, poll + WNOHANG.
+    while (remaining > 0) {
+      // 1) Pump worker pipes.
+      std::vector<pollfd> pfds;
+      std::vector<WorkerSlot*> pfd_slots;
+      for (auto& s : slots)
+        if (s->alive && s->from_fd >= 0) {
+          pfds.push_back({s->from_fd, POLLIN, 0});
+          pfd_slots.push_back(s.get());
+        }
+      if (!pfds.empty()) {
+        const int rc = ::poll(pfds.data(), pfds.size(), 50);
+        if (rc > 0) {
+          for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            WorkerSlot& s = *pfd_slots[i];
+            s.reader->fill();
+            while (const auto line = s.reader->next_line())
+              if (const auto m = parse_message(*line)) handle_message(s, *m);
+          }
+        }
+      }
+
+      // 2) Reap exited children; their in-flight shard is stolen.
+      for (auto& s : slots) {
+        if (!s->alive || s->pid <= 0) continue;
+        int wstatus = 0;
+        if (::waitpid(s->pid, &wstatus, WNOHANG) == s->pid) {
+          // Drain any final lines the worker flushed before exiting.
+          s->reader->fill();
+          while (const auto line = s->reader->next_line())
+            if (const auto m = parse_message(*line)) handle_message(*s, *m);
+          s->pid = -1;
+          mark_dead(*s, WIFSIGNALED(wstatus) ? "killed" : "exited", false);
+          close_fd(s->from_fd);
+        }
+      }
+
+      // 3) Stall detection: silent past the heartbeat deadline => SIGKILL.
+      for (auto& s : slots) {
+        if (!s->alive || s->pid <= 0) continue;
+        if (!s->liveness.deadline_expired()) continue;
+        log("[fabric] worker " + std::to_string(s->id) + " (pid " +
+            std::to_string(s->pid) + ") stalled (no heartbeat for " +
+            std::to_string(cfg.heartbeat_timeout_ms) + "ms); killing");
+        emit_event({FleetEvent::Kind::kStall, s->id, s->pid, s->current_shard,
+                    s->done, "heartbeat deadline expired"});
+        ::kill(s->pid, SIGKILL);
+        ::waitpid(s->pid, nullptr, 0);  // SIGKILL is prompt
+        s->pid = -1;
+        mark_dead(*s, "stalled", false);
+        close_fd(s->from_fd);
+      }
+
+      // 4) Hand shards to idle workers.
+      for (auto& s : slots) {
+        if (shard_queue.empty()) break;
+        if (!s->alive || s->current_shard >= 0) continue;
+        const int shard = shard_queue.front();
+        Message m;
+        m.type = Message::Type::kAssign;
+        m.shard = shard;
+        if (!write_line(s->to_fd, serialize_message(m))) {
+          // Pipe is dead; the reap pass will harvest the corpse.
+          continue;
+        }
+        shard_queue.pop_front();
+        s->current_shard = shard;
+        info("[fabric] shard " + std::to_string(shard) + " -> worker " +
+             std::to_string(s->id));
+        emit_event({FleetEvent::Kind::kAssign, s->id, s->pid, shard, s->done,
+                    ""});
+      }
+
+      // 5) Fleet extinction: respawn (budgeted) or abandon what's left.
+      if (remaining > 0 && alive_count() == 0) {
+        if (respawn_budget > 0 && !shard_queue.empty()) {
+          --respawn_budget;
+          log("[fabric] all workers gone; respawning (budget " +
+              std::to_string(respawn_budget) + " left)");
+          // Forking with no live children and no threads of our own: the
+          // single-threaded contract still holds (worker threads belong
+          // to worker processes, never this one).
+          spawn_worker();
+        } else if (shard_queue.empty()) {
+          // Nothing queued and nothing running: the unfinished shards all
+          // hit the attempt cap; remaining hits 0 via abandonment.
+        } else {
+          out.shards_abandoned += static_cast<int>(shard_queue.size());
+          remaining -= static_cast<int>(shard_queue.size());
+          log("[fabric] no workers left and respawn budget exhausted; "
+              "abandoning " + std::to_string(shard_queue.size()) +
+              " shard(s)");
+          shard_queue.clear();
+        }
+      }
+
+      // 6) Status endpoint.
+      if (status.listening()) status.tick(status_json, false);
+    }
+
+    // One last status line for /stream clients while the fleet's tallies
+    // are still live, then close the endpoint.
+    if (status.listening()) {
+      status.tick(status_json, true);
+      status.stop();
+    }
+
+    // ---- Drain: ask everyone to exit, give them a grace window, then
+    // make sure.
+    for (auto& s : slots) {
+      if (!s->alive || s->shutdown_sent) continue;
+      Message m;
+      m.type = Message::Type::kShutdown;
+      write_line(s->to_fd, serialize_message(m));
+      s->shutdown_sent = true;
+    }
+    const auto grace_end = Clock::now() + std::chrono::seconds(5);
+    for (auto& s : slots) {
+      if (s->pid <= 0) continue;
+      for (;;) {
+        if (::waitpid(s->pid, nullptr, WNOHANG) == s->pid) {
+          s->pid = -1;
+          s->alive = false;
+          break;
+        }
+        if (Clock::now() >= grace_end) {
+          ::kill(s->pid, SIGKILL);
+          ::waitpid(s->pid, nullptr, 0);
+          s->pid = -1;
+          s->alive = false;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      close_fd(s->to_fd);
+      close_fd(s->from_fd);
+    }
+  }
+
+  // ---- Final fold: shard journals + previous ledger -> one ledger.
+  {
+    std::vector<std::string> inputs;
+    if (std::filesystem::exists(ledger)) inputs.push_back(ledger);
+    const auto shard_files = list_shard_journals(spec);
+    inputs.insert(inputs.end(), shard_files.begin(), shard_files.end());
+    if (!inputs.empty()) {
+      out.merge = merge_journals(inputs, ledger, warn);
+      for (const auto& p : shard_files) std::filesystem::remove(p);
+    }
+  }
+
+  // ---- Restore the CampaignResult from the merged ledger — the same
+  // records a single-process run would hold, so aggregates match
+  // bit-for-bit.
+  std::unordered_map<int, TrialResult> final_records;
+  if (std::filesystem::exists(ledger))
+    Journal::load_file(ledger, final_records, warn);
+
+  CampaignResult& c = out.campaign;
+  c.journal = ledger;
+  c.results.resize(trials.size());
+  c.in_scope = static_cast<int>(trials.size());
+  for (const Trial& t : trials) {
+    TrialResult& r = c.results[static_cast<std::size_t>(t.index)];
+    const auto it = final_records.find(t.index);
+    if (it == final_records.end()) {
+      r.trial = t;
+      r.status = TrialStatus::kNotRun;
+      r.attempts = 0;
+      continue;
+    }
+    RP_REQUIRE(it->second.trial.id() == t.id(),
+               "ledger '" + ledger + "' holds trial " + it->second.trial.id() +
+                   " at index " + std::to_string(t.index) +
+                   " but the spec expects " + t.id() +
+                   " — stale ledger for a different campaign?");
+    r = it->second;
+    r.from_journal = true;
+    switch (r.status) {
+      case TrialStatus::kSucceeded:
+        ++c.succeeded;
+        if (spec.metrics) spec.metrics->accumulate_counters(r.metrics);
+        break;
+      case TrialStatus::kFailed:
+        ++c.failed;
+        break;
+      case TrialStatus::kTimedOut:
+        ++c.timed_out;
+        break;
+      default:
+        break;  // cancelled / not_run are never journaled
+    }
+  }
+  // executed counts executions scheduled by this fleet (a stolen shard's
+  // re-resumed trials count under the thief's skipped, not here); skipped
+  // counts trials already settled in the ledger when the fleet started —
+  // the fabric-level notion of "restored from the journal".
+  c.executed = static_cast<int>(sum_executed);
+  c.skipped = static_cast<int>(done_at_start);
+  c.retried = static_cast<int>(sum_shard_retried);
+  if (spec.metrics) {
+    spec.metrics->counter("campaign.trials_succeeded").add(c.succeeded);
+    spec.metrics->counter("campaign.trials_failed").add(c.failed);
+    spec.metrics->counter("campaign.trials_timed_out").add(c.timed_out);
+    spec.metrics->counter("campaign.trials_cancelled").add(c.cancelled);
+    spec.metrics->counter("campaign.trials_retried").add(c.retried);
+  }
+  (void)sum_shard_failed;
+  (void)sum_skipped;
+  return out;
+}
+
+}  // namespace rowpress::fabric

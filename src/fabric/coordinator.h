@@ -1,0 +1,118 @@
+// Fabric coordinator: shards a campaign across worker processes with work
+// stealing, journal merging, and an optional live status endpoint.
+//
+// run_fabric is the multi-process analogue of runtime::run_campaign and
+// produces the same CampaignResult bit-for-bit: trials are partitioned by
+// a stable hash into shards (the unit of assignment *and* recovery), each
+// worker process runs the single-process campaign runtime over its shard
+// with a crash-safe per-shard journal, and the coordinator merges every
+// shard journal into one resumable ledger at the end.  A worker that dies
+// or stops heartbeating is SIGKILLed, reaped, and its shard re-queued for
+// the surviving workers (work stealing); the thief resumes the same shard
+// journal and skips every already-succeeded trial, so a stolen shard costs
+// at most the one in-flight trial.
+//
+// The coordinator itself is strictly single-threaded: one poll-based loop
+// owns the worker pipes, the per-worker heartbeat deadlines (CancelToken),
+// child reaping, and the status server's fd pump.  Workers are forked
+// before any of this starts, while the process has exactly one thread —
+// which is what keeps the whole fabric TSan-clean.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <sys/types.h>
+
+#include "fabric/journal_merge.h"
+#include "fabric/worker.h"
+#include "runtime/campaign.h"
+#include "runtime/progress.h"
+
+namespace rowpress::fabric {
+
+/// Everything notable the coordinator observes, surfaced synchronously
+/// from its event loop.  Tests use this as a fault-injection seam (e.g.
+/// SIGKILL a worker's pid on its first progress report).
+struct FleetEvent {
+  enum class Kind {
+    kHello,       ///< worker announced itself
+    kAssign,      ///< shard handed to a worker
+    kProgress,    ///< heartbeat received
+    kShardDone,   ///< shard completed
+    kShardError,  ///< worker reported a campaign-level error on the shard
+    kWorkerDeath, ///< worker process exited (reaped)
+    kStall,       ///< heartbeat deadline expired; worker killed
+    kSteal,       ///< a dead/stalled worker's shard was re-queued
+  };
+  Kind kind;
+  int worker = -1;
+  pid_t pid = -1;
+  int shard = -1;
+  std::int64_t done = 0;  ///< worker's cumulative trial tally (progress)
+  std::string detail;     ///< error text / human-readable note
+};
+
+struct FabricConfig {
+  int workers = 4;
+  /// Shards = workers * shards_per_worker (clamped to the trial count):
+  /// more shards than workers is what makes stealing fine-grained.
+  int shards_per_worker = 4;
+  /// ThreadPool width inside each worker process.
+  int threads_per_worker = 1;
+  std::int64_t heartbeat_interval_ms = 200;
+  /// A worker silent for this long is declared stalled, SIGKILLed, and its
+  /// shard stolen.  Must comfortably exceed heartbeat_interval_ms.
+  std::int64_t heartbeat_timeout_ms = 15000;
+  /// A shard is re-queued (after shard_error, death, or stall) at most
+  /// this many times before being abandoned; abandoned shards surface as
+  /// kNotRun trials in the final result.
+  int max_shard_attempts = 5;
+  /// Live status endpoint: -1 disables, 0 binds an ephemeral port
+  /// (reported via on_status_port), otherwise the given port.
+  int status_port = -1;
+  bool verbose = false;
+  /// Coordinator log lines (assign/steal/death/...); nullptr -> stderr.
+  runtime::Progress::Sink log;
+
+  /// Spawns one worker process wired to the given pipe fds (child reads
+  /// in_fd, writes out_fd) and returns its pid.  Default:
+  /// spawn_forked_worker.  campaign_runner substitutes a fork+exec
+  /// launcher re-invoking itself with --worker.
+  using Launcher = std::function<pid_t(
+      const runtime::CampaignSpec&, const WorkerOptions&, int in_fd,
+      int out_fd)>;
+  Launcher launcher;
+
+  /// Called once with the status server's bound port (useful with
+  /// status_port = 0).
+  std::function<void(int)> on_status_port;
+  /// Observability / test seam; called from the coordinator thread.
+  std::function<void(const FleetEvent&)> on_event;
+};
+
+struct FabricResult {
+  /// Identical in content to a single-process run_campaign of the same
+  /// spec (restored from the merged ledger).
+  runtime::CampaignResult campaign;
+  MergeStats merge;         ///< final shard-journal merge forensics
+  std::string ledger;       ///< merged ledger path (== campaign.journal)
+  int shards_total = 0;     ///< shards in the plan
+  int shards_pending = 0;   ///< shards that had unfinished trials at start
+  int shards_completed = 0;
+  int shards_stolen = 0;    ///< re-queues after a death or stall
+  int shards_abandoned = 0; ///< gave up after max_shard_attempts
+  int workers_spawned = 0;
+  int workers_died = 0;     ///< exits the coordinator did not request
+};
+
+/// Runs (or resumes) the campaign across a fleet of worker processes.
+/// Pre-existing shard journals and the merged ledger are folded in first,
+/// so only unfinished work is scheduled.  Throws for campaign-level
+/// problems (unknown model, unwritable ledger, no worker could be
+/// spawned); worker/trial failures are contained and reported in the
+/// result, exactly like run_campaign.
+FabricResult run_fabric(const runtime::CampaignSpec& spec,
+                        const FabricConfig& cfg);
+
+}  // namespace rowpress::fabric

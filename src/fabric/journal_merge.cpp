@@ -1,0 +1,72 @@
+#include "fabric/journal_merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace rowpress::fabric {
+
+using runtime::Journal;
+using runtime::TrialResult;
+
+MergeStats merge_journals(const std::vector<std::string>& inputs,
+                          const std::string& out_path,
+                          Journal::WarnSink warn) {
+  if (!warn)
+    warn = [](const std::string& msg) {
+      std::fprintf(stderr, "warning: %s\n", msg.c_str());
+    };
+
+  MergeStats stats;
+  std::unordered_map<int, TrialResult> merged;
+  for (const auto& path : inputs) {
+    if (!std::filesystem::exists(path)) {
+      ++stats.missing_files;
+      Journal::FileStats fs;
+      fs.path = path;
+      stats.files.push_back(std::move(fs));
+      warn("journal " + path + ": missing (shard never started, or its "
+           "journal was already merged)");
+      continue;
+    }
+    Journal::FileStats fs = Journal::load_file(path, merged, warn);
+    stats.records += fs.records;
+    stats.duplicates_resolved += fs.superseded;
+    stats.dropped_lines += fs.dropped_lines;
+    stats.torn_bytes += fs.torn_bytes;
+    stats.files.push_back(std::move(fs));
+  }
+  stats.unique_trials = merged.size();
+
+  // Ledger ordering is by trial index (journals are completion-ordered):
+  // deterministic output for identical fleets, and resumable by Journal
+  // like any other campaign journal.
+  std::map<int, const TrialResult*> ordered;
+  for (const auto& [index, rec] : merged) ordered[index] = &rec;
+
+  const std::filesystem::path out(out_path);
+  if (out.has_parent_path())
+    std::filesystem::create_directories(out.parent_path());
+  const std::string tmp = out_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    RP_REQUIRE(os.good(), "cannot write merged ledger: " + tmp);
+    for (const auto& [index, rec] : ordered)
+      os << Journal::serialize(*rec) << '\n';
+    os.flush();
+    RP_REQUIRE(os.good(), "short write building merged ledger: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, out_path, ec);
+  RP_REQUIRE(!ec, "cannot publish merged ledger " + out_path + ": " +
+                      ec.message());
+  return stats;
+}
+
+}  // namespace rowpress::fabric

@@ -1,0 +1,40 @@
+// Merges per-shard campaign journals into one resumable ledger.
+//
+// Inputs are read in the given order with last-write-wins deduplication on
+// the trial key: a record in a later file supersedes one for the same
+// trial in an earlier file, and within a file later lines win (the
+// Journal's own semantics).  Torn tails and unparseable lines in the
+// inputs are skipped — the inputs are never modified — and everything
+// recovered is reported in MergeStats, so a merge over the journals of a
+// partially dead fleet doubles as a forensics pass.  The output ledger is
+// written sorted by trial index via tmp + rename, so a crash mid-merge
+// leaves the previous ledger intact; the output path may itself be one of
+// the inputs (re-merging shard deltas into an existing ledger).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/journal.h"
+
+namespace rowpress::fabric {
+
+struct MergeStats {
+  /// Per-input recovery detail, in read order.  Missing input files are
+  /// recorded with `records == 0` and counted in `missing_files`.
+  std::vector<runtime::Journal::FileStats> files;
+  std::size_t missing_files = 0;
+  std::size_t records = 0;              ///< parsed records across all inputs
+  std::size_t unique_trials = 0;        ///< records in the merged ledger
+  std::size_t duplicates_resolved = 0;  ///< records superseded by a later one
+  std::size_t dropped_lines = 0;        ///< unparseable complete lines
+  std::size_t torn_bytes = 0;           ///< torn tail bytes ignored
+};
+
+/// Merges `inputs` (in order) into the ledger at `out_path`.  Throws on an
+/// unwritable output; missing inputs are tolerated (warned, counted).
+MergeStats merge_journals(const std::vector<std::string>& inputs,
+                          const std::string& out_path,
+                          runtime::Journal::WarnSink warn = nullptr);
+
+}  // namespace rowpress::fabric

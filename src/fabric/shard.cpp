@@ -1,0 +1,65 @@
+#include "fabric/shard.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace rowpress::fabric {
+
+int shard_of_trial(const runtime::Trial& t, int num_shards) {
+  RP_REQUIRE(num_shards > 0, "shard_of_trial: num_shards must be positive");
+  return static_cast<int>(crc32(t.id()) % static_cast<unsigned>(num_shards));
+}
+
+ShardPlan plan_shards(const std::vector<runtime::Trial>& trials,
+                      int num_shards) {
+  RP_REQUIRE(num_shards > 0, "plan_shards: num_shards must be positive");
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.trials.resize(static_cast<std::size_t>(num_shards));
+  for (const auto& t : trials)
+    plan.trials[static_cast<std::size_t>(shard_of_trial(t, num_shards))]
+        .push_back(t.index);
+  return plan;
+}
+
+std::string shard_journal_stem(const std::string& campaign_name, int shard) {
+  return campaign_name + ".shard" + std::to_string(shard);
+}
+
+std::string shard_journal_path(const runtime::CampaignSpec& spec, int shard) {
+  return spec.journal_dir + "/" + shard_journal_stem(spec.name, shard) +
+         ".jsonl";
+}
+
+std::vector<std::string> list_shard_journals(
+    const runtime::CampaignSpec& spec) {
+  const std::string prefix = spec.name + ".shard";
+  const std::string suffix = ".jsonl";
+  std::map<int, std::string> by_shard;  // numeric order, not lexicographic
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(spec.journal_dir, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.size() <= prefix.size() + suffix.size()) continue;
+    if (fname.compare(0, prefix.size(), prefix) != 0) continue;
+    if (fname.compare(fname.size() - suffix.size(), suffix.size(), suffix) !=
+        0)
+      continue;
+    const std::string middle = fname.substr(
+        prefix.size(), fname.size() - prefix.size() - suffix.size());
+    if (middle.empty() ||
+        middle.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    by_shard[std::stoi(middle)] = entry.path().string();
+  }
+  std::vector<std::string> out;
+  out.reserve(by_shard.size());
+  for (const auto& [shard, path] : by_shard) out.push_back(path);
+  return out;
+}
+
+}  // namespace rowpress::fabric

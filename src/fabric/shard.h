@@ -1,0 +1,58 @@
+// Shard plan: the deterministic partition of a campaign grid across the
+// fabric's worker processes.
+//
+// A shard is the unit of assignment and of crash recovery — each shard has
+// its own crash-safe JSONL journal, so when a worker dies mid-shard the
+// coordinator can hand the *same* shard (and journal) to another worker,
+// which resumes it and skips every already-succeeded trial.  Assignment is
+// a pure hash of the trial's stable identity ("model/profile/sN", via
+// CRC-32) modulo the shard count: independent of worker count, completion
+// order, and which trials already succeeded, so a resumed fleet — even one
+// resumed with a different number of workers but the same shard count —
+// reopens exactly the journals its predecessors wrote.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.h"
+
+namespace rowpress::fabric {
+
+/// The shard a trial belongs to under an `num_shards`-way partition:
+/// crc32(trial.id()) % num_shards.  Pure and stable across processes.
+int shard_of_trial(const runtime::Trial& t, int num_shards);
+
+struct ShardPlan {
+  int num_shards = 1;
+  /// Grid indices per shard, ascending.  Shards may be empty (the hash is
+  /// not balanced on tiny grids); empty shards complete trivially.
+  std::vector<std::vector<int>> trials;
+
+  std::size_t total_trials() const {
+    std::size_t n = 0;
+    for (const auto& s : trials) n += s.size();
+    return n;
+  }
+};
+
+/// Buckets the expanded grid into `num_shards` shards.
+ShardPlan plan_shards(const std::vector<runtime::Trial>& trials,
+                      int num_shards);
+
+/// Journal file a worker writes while executing shard `shard`:
+/// <journal_dir>/<name>.shard<k>.jsonl — sibling of the merged ledger
+/// (<journal_dir>/<name>.jsonl).
+std::string shard_journal_path(const runtime::CampaignSpec& spec, int shard);
+
+/// Journal stem for shard `shard` ("<name>.shard<k>"), the spec.name a
+/// worker substitutes so runtime::journal_path lands on the shard journal.
+std::string shard_journal_stem(const std::string& campaign_name, int shard);
+
+/// Every existing shard journal for the campaign, ordered by shard index —
+/// the merge input set.  Matches "<name>.shard<k>.jsonl" exactly, so
+/// sibling campaigns in the same journal_dir are never swept in.
+std::vector<std::string> list_shard_journals(
+    const runtime::CampaignSpec& spec);
+
+}  // namespace rowpress::fabric

@@ -1,0 +1,175 @@
+#include "fabric/status_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rowpress::fabric {
+
+namespace {
+
+constexpr auto kStreamInterval = std::chrono::milliseconds(500);
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string http_response(const char* content_type, const std::string& body) {
+  std::string r = "HTTP/1.0 200 OK\r\nContent-Type: ";
+  r += content_type;
+  r += "\r\nConnection: close\r\n\r\n";
+  r += body;
+  return r;
+}
+
+}  // namespace
+
+StatusServer::~StatusServer() { stop(); }
+
+void StatusServer::start(int port) {
+  stop();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("status server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("status server: cannot listen on "
+                                         "127.0.0.1:") +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+}
+
+void StatusServer::stop() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (auto& c : conns_)
+    if (c.fd >= 0) ::close(c.fd);
+  conns_.clear();
+}
+
+void StatusServer::flush(Conn& c) {
+  while (!c.out.empty()) {
+    const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+      return;  // kernel buffer full; retry next tick
+    // Peer hung up (or hard error): drop the connection.
+    ::close(c.fd);
+    c.fd = -1;
+    return;
+  }
+  if (c.close_after_flush) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+}
+
+void StatusServer::pump_conn(Conn& c,
+                             const std::function<std::string()>& status_json,
+                             const std::string*& cached, bool done) {
+  // Lazily evaluate the status JSON at most once per tick, shared by every
+  // connection that needs a line this round.
+  static thread_local std::string cache_storage;
+  auto status_line = [&]() -> const std::string& {
+    if (!cached) {
+      cache_storage = status_json();
+      cached = &cache_storage;
+    }
+    return *cached;
+  };
+
+  if (!c.routed) {
+    char chunk[2048];
+    const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) c.in.append(chunk, static_cast<std::size_t>(n));
+    else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                        errno != EINTR)) {
+      ::close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    const std::size_t eol = c.in.find("\r\n");
+    if (eol == std::string::npos) {
+      if (c.in.size() > 8192) {  // not an HTTP request line; drop it
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      return;
+    }
+    const std::string request_line = c.in.substr(0, eol);
+    c.routed = true;
+    c.in.clear();
+    if (request_line.rfind("GET /status", 0) == 0 ||
+        request_line == "GET /") {
+      c.out = http_response("application/json", status_line() + "\n");
+      c.close_after_flush = true;
+    } else if (request_line.rfind("GET /stream", 0) == 0) {
+      c.stream = true;
+      c.out = http_response("application/x-ndjson", status_line() + "\n");
+      c.last_emit = std::chrono::steady_clock::now();
+    } else {
+      c.out = "HTTP/1.0 404 Not Found\r\nConnection: close\r\n\r\n";
+      c.close_after_flush = true;
+    }
+  }
+
+  if (c.stream && !c.close_after_flush) {
+    const auto now = std::chrono::steady_clock::now();
+    if (done || now - c.last_emit >= kStreamInterval) {
+      c.out += status_line() + "\n";
+      c.last_emit = now;
+      if (done) c.close_after_flush = true;
+    }
+  }
+
+  flush(c);
+}
+
+void StatusServer::tick(const std::function<std::string()>& status_json,
+                        bool done) {
+  if (listen_fd_ < 0) return;
+
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    set_nonblocking(fd);
+    Conn c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+  }
+
+  const std::string* cached = nullptr;  // one status_json() eval per tick
+  for (auto& c : conns_)
+    if (c.fd >= 0) pump_conn(c, status_json, cached, done);
+
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const Conn& c) { return c.fd < 0; }),
+               conns_.end());
+}
+
+}  // namespace rowpress::fabric

@@ -1,0 +1,67 @@
+// Minimal live-status endpoint for the fabric coordinator.
+//
+// A tiny fd-based HTTP/1.0 server bound to 127.0.0.1 — no threads, no
+// blocking calls: the coordinator's poll loop calls tick() every ~100ms
+// and the server accepts, reads, and writes whatever is ready.  Two
+// routes:
+//
+//   GET /status  -> one JSON object (trials done/failed/retried, per-worker
+//                   throughput, ETA), connection closed.  curl-able.
+//   GET /stream  -> application/x-ndjson: the same object re-emitted every
+//                   ~500ms until the campaign finishes.
+//
+// The JSON itself comes from a callback, so the server knows nothing about
+// campaigns; everything is best-effort — a slow or dead client is dropped,
+// never waited on.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rowpress::fabric {
+
+class StatusServer {
+ public:
+  StatusServer() = default;
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
+  /// port()).  Throws std::runtime_error if the socket can't be set up.
+  void start(int port);
+  bool listening() const { return listen_fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// One pump of the event loop: accept ready connections, answer /status
+  /// requests, emit due /stream lines.  `status_json` is called at most
+  /// once per tick, only when some client needs a fresh line.  When `done`
+  /// is true every stream gets one final line and is closed.
+  void tick(const std::function<std::string()>& status_json, bool done);
+
+  /// Closes the listener and every connection (idempotent).
+  void stop();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;    ///< request bytes until the route is known
+    std::string out;   ///< pending response bytes
+    bool stream = false;
+    bool routed = false;
+    bool close_after_flush = false;
+    std::chrono::steady_clock::time_point last_emit{};
+  };
+
+  void pump_conn(Conn& c, const std::function<std::string()>& status_json,
+                 const std::string*& cached, bool done);
+  static void flush(Conn& c);
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::vector<Conn> conns_;
+};
+
+}  // namespace rowpress::fabric

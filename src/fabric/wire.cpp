@@ -1,0 +1,136 @@
+#include "fabric/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "runtime/jsonl.h"
+
+namespace rowpress::fabric {
+
+using runtime::JsonWriter;
+using runtime::json_get_int;
+using runtime::json_get_int_map;
+using runtime::json_get_string;
+
+const char* message_type_name(Message::Type t) {
+  switch (t) {
+    case Message::Type::kHello: return "hello";
+    case Message::Type::kProgress: return "progress";
+    case Message::Type::kShardDone: return "shard_done";
+    case Message::Type::kShardError: return "shard_error";
+    case Message::Type::kBye: return "bye";
+    case Message::Type::kAssign: return "assign";
+    case Message::Type::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<Message::Type> type_from_name(const std::string& name) {
+  if (name == "hello") return Message::Type::kHello;
+  if (name == "progress") return Message::Type::kProgress;
+  if (name == "shard_done") return Message::Type::kShardDone;
+  if (name == "shard_error") return Message::Type::kShardError;
+  if (name == "bye") return Message::Type::kBye;
+  if (name == "assign") return Message::Type::kAssign;
+  if (name == "shutdown") return Message::Type::kShutdown;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string serialize_message(const Message& m) {
+  JsonWriter w;
+  w.field("type", std::string(message_type_name(m.type)));
+  w.field("worker", static_cast<std::int64_t>(m.worker));
+  w.field("pid", m.pid);
+  w.field("shard", static_cast<std::int64_t>(m.shard));
+  switch (m.type) {
+    case Message::Type::kProgress:
+      w.field("done", m.done)
+          .field("failed", m.failed)
+          .field("retried", m.retried);
+      w.field_object("counters", m.counters);
+      break;
+    case Message::Type::kShardDone:
+      w.field("executed", m.executed)
+          .field("skipped", m.skipped)
+          .field("failed", m.failed)
+          .field("retried", m.retried);
+      break;
+    case Message::Type::kShardError:
+      w.field("error", m.error);
+      break;
+    default:
+      break;
+  }
+  return w.str();
+}
+
+std::optional<Message> parse_message(const std::string& line) {
+  const auto type_str = json_get_string(line, "type");
+  if (!type_str) return std::nullopt;
+  const auto type = type_from_name(*type_str);
+  if (!type) return std::nullopt;
+
+  Message m;
+  m.type = *type;
+  if (const auto v = json_get_int(line, "worker"))
+    m.worker = static_cast<int>(*v);
+  if (const auto v = json_get_int(line, "pid")) m.pid = *v;
+  if (const auto v = json_get_int(line, "shard"))
+    m.shard = static_cast<int>(*v);
+  if (const auto v = json_get_int(line, "done")) m.done = *v;
+  if (const auto v = json_get_int(line, "failed")) m.failed = *v;
+  if (const auto v = json_get_int(line, "retried")) m.retried = *v;
+  if (const auto v = json_get_int(line, "executed")) m.executed = *v;
+  if (const auto v = json_get_int(line, "skipped")) m.skipped = *v;
+  if (auto v = json_get_string(line, "error")) m.error = std::move(*v);
+  if (auto v = json_get_int_map(line, "counters"))
+    m.counters = std::move(*v);
+  return m;
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE and friends: the peer is gone
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::fill() {
+  if (eof_) return false;
+  char chunk[16384];
+  const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+  if (n > 0) {
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+  if (n == 0) {
+    eof_ = true;
+    return false;
+  }
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return true;
+  eof_ = true;
+  return false;
+}
+
+std::optional<std::string> LineReader::next_line() {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::string line = buf_.substr(0, nl);
+  buf_.erase(0, nl + 1);
+  return line;
+}
+
+}  // namespace rowpress::fabric

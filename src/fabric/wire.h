@@ -1,0 +1,78 @@
+// Fabric wire protocol: newline-delimited JSON messages over the two
+// pipes connecting the coordinator to each worker process.
+//
+// Worker -> coordinator: hello (once, after spawn), progress (periodic
+// heartbeat carrying live counters — also the liveness signal the
+// coordinator's stall detector watches), shard_done / shard_error (one per
+// assignment), bye (clean shutdown).  Coordinator -> worker: assign (one
+// shard), shutdown.  The schema is flat and reuses the journal's JSONL
+// plumbing; parse() returns nullopt on any malformed line, so a worker
+// killed mid-write leaves at worst one ignorable torn line in the pipe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rowpress::fabric {
+
+struct Message {
+  enum class Type {
+    kHello,       ///< worker is up (worker, pid)
+    kProgress,    ///< heartbeat: shard, done/failed/retried, counters
+    kShardDone,   ///< shard completed (shard, executed, skipped, failed)
+    kShardError,  ///< campaign-level error running the shard (shard, error)
+    kBye,         ///< worker is exiting cleanly
+    kAssign,      ///< coordinator -> worker: run `shard`
+    kShutdown,    ///< coordinator -> worker: drain and exit
+  };
+
+  Type type = Type::kHello;
+  int worker = -1;
+  std::int64_t pid = 0;
+  int shard = -1;
+  // Cumulative per-worker trial tallies (progress) / per-shard tallies
+  // (shard_done).
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+  std::int64_t retried = 0;
+  std::int64_t executed = 0;
+  std::int64_t skipped = 0;
+  std::string error;  ///< shard_error only
+  /// Cumulative counter snapshot of the worker's registry (progress only).
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+};
+
+/// Wire name of a message type ("hello", "progress", ...).
+const char* message_type_name(Message::Type t);
+
+std::string serialize_message(const Message& m);
+std::optional<Message> parse_message(const std::string& line);
+
+/// Writes `line` + '\n' to `fd`, retrying partial writes and EINTR.
+/// Returns false on EPIPE/any error (the peer died) — callers must have
+/// SIGPIPE ignored, which worker_main and run_fabric both arrange.
+bool write_line(int fd, const std::string& line);
+
+/// Incremental line framing over a pipe fd.  fill() performs one read()
+/// (blocking or not, per the fd) and returns false on EOF; next_line()
+/// pops the next complete line if one is buffered.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// One read() into the buffer.  Returns false on EOF or unrecoverable
+  /// error, true otherwise (including EAGAIN on a nonblocking fd).
+  bool fill();
+  std::optional<std::string> next_line();
+  bool eof() const { return eof_; }
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace rowpress::fabric

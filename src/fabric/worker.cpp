@@ -1,0 +1,175 @@
+#include "fabric/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+#include "fabric/shard.h"
+#include "fabric/wire.h"
+#include "telemetry/registry.h"
+
+namespace rowpress::fabric {
+
+namespace {
+
+/// Live trial tallies the heartbeat thread samples while run_campaign is
+/// executing on the pool threads.
+struct HeartbeatState {
+  std::atomic<std::int64_t> done{0};
+  std::atomic<std::int64_t> failed{0};
+  std::atomic<std::int64_t> retried{0};
+  std::atomic<int> cur_shard{-1};
+};
+
+}  // namespace
+
+int worker_main(runtime::CampaignSpec spec, const WorkerOptions& opt,
+                int in_fd, int out_fd) {
+  // A dying coordinator must surface as a failed write, not a process
+  // signal, so the in-flight trial still reaches the shard journal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  telemetry::MetricsRegistry registry;
+  HeartbeatState hb;
+
+  std::mutex write_mu;  // heartbeat thread vs. protocol loop
+  auto send = [&](const Message& m) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    return write_line(out_fd, serialize_message(m));
+  };
+  auto base_msg = [&](Message::Type t) {
+    Message m;
+    m.type = t;
+    m.worker = opt.worker_id;
+    m.pid = static_cast<std::int64_t>(::getpid());
+    return m;
+  };
+
+  if (!send(base_msg(Message::Type::kHello))) return 1;
+
+  std::atomic<bool> stop{false};
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  std::thread heartbeat([&] {
+    const auto interval =
+        std::chrono::milliseconds(opt.heartbeat_interval_ms > 0
+                                      ? opt.heartbeat_interval_ms
+                                      : 200);
+    std::unique_lock<std::mutex> lock(hb_mu);
+    while (!stop.load()) {
+      hb_cv.wait_for(lock, interval, [&] { return stop.load(); });
+      if (stop.load()) break;
+      Message m = base_msg(Message::Type::kProgress);
+      m.shard = hb.cur_shard.load();
+      m.done = hb.done.load();
+      m.failed = hb.failed.load();
+      m.retried = hb.retried.load();
+      m.counters = registry.snapshot().counters;
+      if (!send(m)) break;  // coordinator is gone; trials keep journaling
+    }
+  });
+
+  auto run_shard = [&](int shard) {
+    hb.cur_shard.store(shard);
+    runtime::CampaignSpec ss = spec;
+    ss.name = shard_journal_stem(spec.name, shard);
+    ss.trial_filter = [shard, n = opt.num_shards](const runtime::Trial& t) {
+      return shard_of_trial(t, n) == shard;
+    };
+    if (!opt.ledger_path.empty() &&
+        std::filesystem::exists(opt.ledger_path))
+      ss.resume_from = {opt.ledger_path};
+    ss.workers = opt.threads > 0 ? opt.threads : 1;
+    ss.metrics = &registry;
+    ss.trace = nullptr;
+    ss.progress_interval_s = 0.0;
+    ss.progress_sink = nullptr;
+    ss.verbose = false;
+    ss.on_trial_complete = [&hb](const runtime::TrialResult& r) {
+      if (r.status != runtime::TrialStatus::kSucceeded)
+        hb.failed.fetch_add(1);
+      hb.retried.fetch_add(r.attempts - 1);
+      hb.done.fetch_add(1);
+    };
+
+    Message reply;
+    try {
+      const runtime::CampaignResult res = runtime::run_campaign(ss);
+      reply = base_msg(Message::Type::kShardDone);
+      reply.shard = shard;
+      reply.executed = res.executed;
+      reply.skipped = res.skipped;
+      reply.failed = res.failed + res.timed_out;
+      reply.retried = res.retried;
+    } catch (const std::exception& e) {
+      reply = base_msg(Message::Type::kShardError);
+      reply.shard = shard;
+      reply.error = e.what();
+    }
+    hb.cur_shard.store(-1);
+    return send(reply);
+  };
+
+  int exit_code = 0;
+  LineReader reader(in_fd);
+  bool running = true;
+  while (running) {
+    const auto line = reader.next_line();
+    if (!line) {
+      if (!reader.fill() && reader.eof()) {
+        // Coordinator closed our pipe (or died): finish quietly.  Every
+        // completed trial is already in the shard journal.
+        exit_code = 0;
+        break;
+      }
+      continue;
+    }
+    const auto msg = parse_message(*line);
+    if (!msg) continue;  // torn line; the next one re-syncs
+    switch (msg->type) {
+      case Message::Type::kAssign:
+        if (!run_shard(msg->shard)) {
+          running = false;  // coordinator gone mid-reply
+          exit_code = 1;
+        }
+        break;
+      case Message::Type::kShutdown:
+        running = false;
+        break;
+      default:
+        break;  // coordinator-bound types are never valid inbound
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(hb_mu);
+    stop.store(true);
+  }
+  hb_cv.notify_all();
+  heartbeat.join();
+  send(base_msg(Message::Type::kBye));
+  return exit_code;
+}
+
+pid_t spawn_forked_worker(const runtime::CampaignSpec& spec,
+                          const WorkerOptions& opt, int in_fd, int out_fd) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork error, -1)
+  int code = 1;
+  try {
+    code = worker_main(spec, opt, in_fd, out_fd);
+  } catch (...) {
+    code = 1;
+  }
+  // _Exit: no atexit / static destructors — the child shares the parent's
+  // registered state and must not tear it down.
+  std::_Exit(code);
+}
+
+}  // namespace rowpress::fabric

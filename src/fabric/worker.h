@@ -1,0 +1,54 @@
+// Fabric worker: one process of the sharded campaign fleet.
+//
+// worker_main speaks the wire protocol on two inherited pipe fds: it
+// announces itself (hello), then loops — receive an assign, run the
+// existing single-process campaign runtime over exactly that shard's
+// trials (own crash-safe shard journal, resume_from the merged ledger so
+// already-succeeded trials are never re-executed), report shard_done, and
+// wait for the next assignment or shutdown.  A dedicated heartbeat thread
+// streams progress messages (live trial tallies + the worker registry's
+// cumulative counters) on a fixed interval even mid-trial, which is what
+// the coordinator's stall detector and the status endpoint feed on.
+//
+// The worker is disposable by design: SIGKILL at any point loses at most
+// the in-flight trial, because every finished trial was already appended
+// and flushed to the shard journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+#include "runtime/campaign.h"
+
+namespace rowpress::fabric {
+
+struct WorkerOptions {
+  int worker_id = 0;
+  /// Shard count of the coordinator's plan — must match, it defines the
+  /// trial -> shard hash this worker filters by.
+  int num_shards = 1;
+  /// ThreadPool width of each shard's run_campaign.
+  int threads = 1;
+  std::int64_t heartbeat_interval_ms = 200;
+  /// Merged ledger from previous fleet runs, consulted read-only; may not
+  /// exist ("" or missing file disables).
+  std::string ledger_path;
+};
+
+/// Runs the worker protocol until shutdown / EOF on `in_fd`.  Takes the
+/// spec by value: the shard stem, filter, metrics registry, and thread
+/// count are overridden per assignment.  Returns a process exit code
+/// (0 = clean shutdown).  Ignores SIGPIPE process-wide.
+int worker_main(runtime::CampaignSpec spec, const WorkerOptions& opt,
+                int in_fd, int out_fd);
+
+/// Default launcher: fork (no exec) a child that runs worker_main over an
+/// in-memory copy of `spec` — zoo/dataset-factory overrides included,
+/// which an exec'd worker could not inherit.  The caller must be
+/// single-threaded when this runs (run_fabric is).  Returns the child pid,
+/// or -1 with errno set.
+pid_t spawn_forked_worker(const runtime::CampaignSpec& spec,
+                          const WorkerOptions& opt, int in_fd, int out_fd);
+
+}  // namespace rowpress::fabric

@@ -102,6 +102,7 @@ const char* trial_status_name(TrialStatus s) {
     case TrialStatus::kFailed: return "failed";
     case TrialStatus::kTimedOut: return "timed_out";
     case TrialStatus::kCancelled: return "cancelled";
+    case TrialStatus::kNotRun: return "not_run";
   }
   return "?";
 }
@@ -111,6 +112,7 @@ std::optional<TrialStatus> trial_status_from_name(const std::string& name) {
   if (name == "failed") return TrialStatus::kFailed;
   if (name == "timed_out") return TrialStatus::kTimedOut;
   if (name == "cancelled") return TrialStatus::kCancelled;
+  if (name == "not_run") return TrialStatus::kNotRun;
   return std::nullopt;
 }
 
@@ -175,7 +177,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   for (const auto& name : spec.models) models::find_model(zoo, name);
 
   const std::vector<Trial> trials = expand_trials(spec);
-  Journal journal(journal_path(spec));
+  Journal journal(journal_path(spec), spec.resume_from);
 
   CampaignResult out;
   out.journal = journal.path();
@@ -183,6 +185,18 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
 
   std::vector<const Trial*> pending;
   for (const auto& t : trials) {
+    // Out-of-scope trials (another shard's work in a fabric run) are
+    // neither executed nor restored — even when a resume_from ledger holds
+    // their result — so a shard journal only ever accumulates records this
+    // worker produced.
+    if (spec.trial_filter && !spec.trial_filter(t)) {
+      TrialResult& r = out.results[static_cast<std::size_t>(t.index)];
+      r.trial = t;
+      r.status = TrialStatus::kNotRun;
+      r.attempts = 0;
+      continue;
+    }
+    ++out.in_scope;
     if (journal.contains(t.index)) {
       const TrialResult& rec = journal.completed().at(t.index);
       RP_REQUIRE(rec.trial.id() == t.id(),
@@ -219,8 +233,8 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   OnceCache<int, exp::ProfilePair> profile_cache;
   dram::Device device(spec.device);
 
-  Progress progress(static_cast<int>(trials.size()),
-                    spec.progress_interval_s, spec.progress_sink);
+  Progress progress(out.in_scope, spec.progress_interval_s,
+                    spec.progress_sink);
   progress.note_skipped(out.skipped);
   progress.start();
 
@@ -391,6 +405,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     // verdict about the trial itself, only about the campaign's abort, and
     // must re-run on resume.
     if (result.status != TrialStatus::kCancelled) journal.append(result);
+    if (spec.on_trial_complete) spec.on_trial_complete(result);
     const int flips = result.flips;
     out.results[static_cast<std::size_t>(t.index)] = std::move(result);
     progress.end_trial(ThreadPool::worker_index(), flips);

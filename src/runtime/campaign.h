@@ -41,10 +41,12 @@ std::optional<AttackProfile> profile_from_name(const std::string& name);
 /// resume treats as done — failed and timed-out trials are re-executed by
 /// the next run (their journal record is superseded, last record wins).
 /// kCancelled (fail-fast / shutdown before or during the trial) is never
-/// journaled, so cancelled trials also re-run on resume.
-enum class TrialStatus { kSucceeded, kFailed, kTimedOut, kCancelled };
+/// journaled, so cancelled trials also re-run on resume.  kNotRun marks a
+/// trial outside this invocation's scope (filtered out of a sharded run,
+/// or missing from a merged ledger) — never journaled, never counted.
+enum class TrialStatus { kSucceeded, kFailed, kTimedOut, kCancelled, kNotRun };
 
-/// Journal name: "ok" / "failed" / "timed_out" / "cancelled".
+/// Journal name: "ok" / "failed" / "timed_out" / "cancelled" / "not_run".
 const char* trial_status_name(TrialStatus s);
 std::optional<TrialStatus> trial_status_from_name(const std::string& name);
 
@@ -137,6 +139,25 @@ struct CampaignSpec {
   std::vector<models::ModelSpec> zoo;
   /// Override dataset construction (default: models::make_dataset).
   std::function<data::SplitDataset(models::DatasetKind)> dataset_factory;
+
+  // --- Sharded / fabric execution --------------------------------------
+  /// When set, only trials the predicate accepts are in scope: the rest
+  /// are reported kNotRun — not executed, not journaled, not counted in
+  /// any aggregate.  A fabric worker sets this to its shard membership
+  /// test; trial indices and seeds are unchanged, so a filtered run's
+  /// results are bit-identical to the same trials of an unfiltered run.
+  std::function<bool(const Trial&)> trial_filter;
+  /// Additional journals consulted read-only on resume (e.g. the merged
+  /// campaign ledger, from a fabric worker's point of view).  Trials
+  /// journaled as succeeded in any of them are skipped exactly like
+  /// records in the primary journal; on a repeated trial key the later
+  /// file wins, and the primary journal wins over all of them.
+  std::vector<std::string> resume_from;
+  /// Called after each executed trial settles (journaled, counters
+  /// accumulated) — from worker threads, so the callback must be
+  /// thread-safe.  Journal-resumed trials do not fire it.  The fabric
+  /// worker uses this to feed live heartbeat counters.
+  std::function<void(const TrialResult&)> on_trial_complete;
 };
 
 /// Deterministic per-trial seed: splitmix64 of (campaign_seed, trial index).
@@ -153,6 +174,8 @@ struct CampaignResult {
   std::vector<TrialResult> results;  ///< all trials, ordered by grid index
   int executed = 0;                  ///< trials run by this invocation
   int skipped = 0;                   ///< trials restored from the journal
+  int in_scope = 0;                  ///< trials accepted by trial_filter
+                                     ///< (== results.size() without one)
   std::string journal;               ///< journal path used
 
   // Fault-containment summary (also published on spec.metrics as
@@ -165,9 +188,9 @@ struct CampaignResult {
   int cancelled = 0;  ///< skipped/aborted by fail-fast, will re-run on resume
   int retried = 0;
 
-  bool all_succeeded() const {
-    return succeeded == static_cast<int>(results.size());
-  }
+  /// Every in-scope trial succeeded (out-of-scope kNotRun trials of a
+  /// sharded run don't count against a worker's shard).
+  bool all_succeeded() const { return succeeded == in_scope; }
 };
 
 /// Runs (or resumes) the campaign.  Trials journaled as succeeded are not

@@ -1,8 +1,10 @@
 #include "runtime/fault_inject.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "runtime/error.h"
@@ -11,10 +13,16 @@ namespace rowpress::runtime::fault {
 namespace {
 
 struct Point {
-  int nth = 0;      ///< 1-based hit to fail on; 0 = disarmed
-  int count = 0;    ///< hits since arm
+  int nth = 0;       ///< 1-based hit to fail on; 0 = disarmed
+  int count = 0;     ///< hits since arm
   bool fired = false;
+  int delay_ms = 0;  ///< sleep applied to every hit; 0 = no delay
 };
+
+/// Whether the point keeps the hot-path gate open.
+bool contributes(const Point& p) {
+  return (p.nth > 0 && !p.fired) || p.delay_ms > 0;
+}
 
 std::mutex& registry_mutex() {
   static std::mutex m;
@@ -35,10 +43,21 @@ std::atomic<int> armed_count{0};
 void arm(const std::string& point, int nth) {
   std::lock_guard<std::mutex> lock(registry_mutex());
   auto& p = registry()[point];
-  const bool was_armed = p.nth > 0 && !p.fired;
-  p = Point{};
+  const bool was_armed = contributes(p);
   p.nth = nth > 0 ? nth : 0;
-  const bool now_armed = p.nth > 0;
+  p.count = 0;
+  p.fired = false;
+  const bool now_armed = contributes(p);
+  if (now_armed && !was_armed) armed_count.fetch_add(1);
+  if (!now_armed && was_armed) armed_count.fetch_sub(1);
+}
+
+void arm_delay(const std::string& point, int delay_ms) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& p = registry()[point];
+  const bool was_armed = contributes(p);
+  p.delay_ms = delay_ms > 0 ? delay_ms : 0;
+  const bool now_armed = contributes(p);
   if (now_armed && !was_armed) armed_count.fetch_add(1);
   if (!now_armed && was_armed) armed_count.fetch_sub(1);
 }
@@ -54,18 +73,22 @@ bool any_armed() { return armed_count.load(std::memory_order_relaxed) > 0; }
 void hit(const std::string& point) {
   if (!any_armed()) return;
   bool fire = false;
+  int delay_ms = 0;
   {
     std::lock_guard<std::mutex> lock(registry_mutex());
     const auto it = registry().find(point);
     if (it == registry().end()) return;
     Point& p = it->second;
     ++p.count;
+    delay_ms = p.delay_ms;
     if (p.nth > 0 && !p.fired && p.count == p.nth) {
       p.fired = true;
-      armed_count.fetch_sub(1);
       fire = true;
+      if (!contributes(p)) armed_count.fetch_sub(1);
     }
   }
+  if (delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   if (fire)
     throw TrialError(ErrorCategory::kInjected,
                      "injected fault at point '" + point + "' (hit " +

@@ -22,7 +22,16 @@ namespace rowpress::runtime::fault {
 /// Arms `point` to throw on its Nth future hit (1-based; resets the
 /// point's hit counter).  Single-shot: only that one hit throws, later
 /// hits pass — an armed fault models a transient.  nth <= 0 disarms.
+/// Orthogonal to arm_delay: arming a throw preserves an armed delay.
 void arm(const std::string& point, int nth);
+
+/// Arms `point` to sleep `delay_ms` on *every* future hit until disarmed
+/// (delay_ms <= 0, or disarm_all) — models slow I/O or long-running trials
+/// without changing any result: tests use it to pin a floor under trial
+/// duration so timing-sensitive paths (heartbeats, stall detection, work
+/// stealing) become deterministic.  Orthogonal to arm(): a point can both
+/// delay every hit and throw on its Nth.
+void arm_delay(const std::string& point, int delay_ms);
 
 /// Disarms every point and clears all hit counters.
 void disarm_all();

@@ -9,41 +9,97 @@
 
 namespace rowpress::runtime {
 
-Journal::Journal(std::string path, WarnSink warn) : path_(std::move(path)) {
-  if (!warn)
-    warn = [](const std::string& msg) {
-      std::fprintf(stderr, "warning: %s\n", msg.c_str());
-    };
+namespace {
+
+Journal::WarnSink warn_or_stderr(Journal::WarnSink warn) {
+  if (warn) return warn;
+  return [](const std::string& msg) {
+    std::fprintf(stderr, "warning: %s\n", msg.c_str());
+  };
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Parses every complete line of `content` before `good_end` into `into`
+// (later lines win on a repeated trial key), reporting drops through
+// `warn`.  The torn-tail policy — truncate vs. ignore — stays with the
+// caller, which knows whether it owns the file.
+Journal::FileStats scan_lines(const std::string& path,
+                              const std::string& content, std::size_t good_end,
+                              std::unordered_map<int, TrialResult>& into,
+                              const Journal::WarnSink& warn) {
+  Journal::FileStats stats;
+  stats.path = path;
+  for (std::size_t start = 0; start < good_end;) {
+    const std::size_t nl = content.find('\n', start);
+    const std::string line = content.substr(start, nl - start);
+    if (auto rec = Journal::parse(line)) {
+      ++stats.records;
+      if (into.count(rec->trial.index)) ++stats.superseded;
+      into[rec->trial.index] = std::move(*rec);
+    } else if (!line.empty()) {
+      ++stats.dropped_lines;
+      warn("journal " + path + ": dropping unparseable record at byte " +
+           std::to_string(start) + " (trial will re-run)");
+    }
+    start = nl + 1;
+  }
+  stats.torn_bytes = content.size() - good_end;
+  return stats;
+}
+
+}  // namespace
+
+Journal::FileStats Journal::load_file(const std::string& path,
+                                      std::unordered_map<int, TrialResult>& into,
+                                      const WarnSink& warn) {
+  const WarnSink sink = warn_or_stderr(warn);
+  const std::string content = read_all(path);
+  const std::size_t last_nl = content.rfind('\n');
+  const std::size_t good_end = last_nl == std::string::npos ? 0 : last_nl + 1;
+  FileStats stats = scan_lines(path, content, good_end, into, sink);
+  if (stats.torn_bytes > 0)
+    sink("journal " + path + ": ignoring torn final line (" +
+         std::to_string(stats.torn_bytes) + " bytes) left by an interrupted "
+         "write");
+  return stats;
+}
+
+Journal::Journal(std::string path, WarnSink warn)
+    : Journal(std::move(path), {}, std::move(warn)) {}
+
+Journal::Journal(std::string path, const std::vector<std::string>& resume_from,
+                 WarnSink warn)
+    : path_(std::move(path)) {
+  const WarnSink sink = warn_or_stderr(std::move(warn));
   const std::filesystem::path p(path_);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
 
-  std::string content;
-  {
-    std::ifstream in(path_, std::ios::binary);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    content = ss.str();
+  // Extra inputs first, in order: a later file's record for the same trial
+  // supersedes an earlier one, and the journal's own file — loaded below,
+  // the only file this run appends to — wins over all of them.
+  for (const auto& extra : resume_from) {
+    if (extra == path_) continue;  // own file is loaded (and healed) below
+    if (!std::filesystem::exists(extra)) continue;
+    load_file(extra, completed_, sink);
   }
+
+  const std::string content = read_all(path_);
   // Everything after the last newline is a torn tail from a crash mid-write:
   // truncate it so the resumed run's appends never concatenate onto garbage.
   // Complete-but-unparseable lines are left in place and their trials re-run.
   const std::size_t last_nl = content.rfind('\n');
   const std::size_t good_end = last_nl == std::string::npos ? 0 : last_nl + 1;
-  for (std::size_t start = 0; start < good_end;) {
-    const std::size_t nl = content.find('\n', start);
-    const std::string line = content.substr(start, nl - start);
-    if (auto rec = parse(line)) {
-      completed_[rec->trial.index] = std::move(*rec);
-    } else if (!line.empty()) {
-      ++dropped_lines_;
-      warn("journal " + path_ + ": dropping unparseable record at byte " +
-           std::to_string(start) + " (trial will re-run)");
-    }
-    start = nl + 1;
-  }
+  const FileStats own = scan_lines(path_, content, good_end, completed_, sink);
+  dropped_lines_ = own.dropped_lines;
   if (content.size() > good_end) {
     torn_bytes_ = content.size() - good_end;
-    warn("journal " + path_ + ": truncating torn final line (" +
+    sink("journal " + path_ + ": truncating torn final line (" +
          std::to_string(torn_bytes_) + " bytes at offset " +
          std::to_string(good_end) + ") left by an interrupted write");
     std::error_code ec;

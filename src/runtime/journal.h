@@ -24,12 +24,41 @@ class Journal {
   /// dropped).  The default sink writes to stderr.
   using WarnSink = std::function<void(const std::string&)>;
 
+  /// Per-file recovery statistics from a read-only load (see load_file).
+  struct FileStats {
+    std::string path;
+    std::size_t records = 0;        ///< lines that parsed as trial records
+    std::size_t dropped_lines = 0;  ///< complete but unparseable lines
+    std::size_t torn_bytes = 0;     ///< trailing partial line (ignored)
+    std::size_t superseded = 0;     ///< records that overwrote an earlier
+                                    ///< record for the same trial key
+  };
+
   /// Opens (creating if absent) the journal at `path`, loading previously
   /// completed trials.  Unparseable lines are dropped (warned, trial will
   /// re-run); a trailing partial line — the torn tail a crash mid-append
   /// leaves behind — is warned about and physically truncated from the
   /// file so later appends never concatenate onto garbage.
   explicit Journal(std::string path, WarnSink warn = nullptr);
+
+  /// Multi-file resume: loads `resume_from` journals read-only and in
+  /// order *before* the journal's own file, deduplicating on trial key
+  /// with last-write-wins semantics across files and lines — a record in
+  /// a later file supersedes one for the same trial in an earlier file,
+  /// and the journal's own file (loaded last, the only one appended to)
+  /// wins over all of them.  Missing resume_from files are skipped
+  /// silently (a shard journal that was never started); their torn tails
+  /// are ignored, never truncated — the files are not modified.
+  Journal(std::string path, const std::vector<std::string>& resume_from,
+          WarnSink warn = nullptr);
+
+  /// Read-only scan of one journal file: parses complete lines into
+  /// `into` (last record per trial key wins), ignores a torn tail, never
+  /// modifies the file.  Shared by multi-file resume, the journal-merge
+  /// tool, and the fabric coordinator.  The file must exist.
+  static FileStats load_file(const std::string& path,
+                             std::unordered_map<int, TrialResult>& into,
+                             const WarnSink& warn = nullptr);
 
   const std::string& path() const { return path_; }
 

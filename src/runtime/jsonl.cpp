@@ -74,6 +74,13 @@ JsonWriter& JsonWriter::field(const std::string& key, bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::field_raw(const std::string& key,
+                                  const std::string& raw) {
+  begin_field(key);
+  body_ += raw;
+  return *this;
+}
+
 JsonWriter& JsonWriter::field(const std::string& key, const std::string& v) {
   begin_field(key);
   body_ += '"';

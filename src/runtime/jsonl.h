@@ -31,6 +31,10 @@ class JsonWriter {
   JsonWriter& field_object(
       const std::string& key,
       const std::vector<std::pair<std::string, std::int64_t>>& v);
+  /// Pre-serialized JSON value spliced in verbatim (nested arrays/objects
+  /// built with another JsonWriter — the status endpoint's worker list).
+  /// The caller vouches that `raw` is well-formed JSON.
+  JsonWriter& field_raw(const std::string& key, const std::string& raw);
 
   /// The complete object, e.g. {"a":1,"b":"x"}.
   std::string str() const { return "{" + body_ + "}"; }

@@ -1,6 +1,7 @@
 #include "telemetry/snapshot.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 
@@ -41,6 +42,37 @@ HistogramSnapshot histogram_delta(const HistogramSnapshot& cur,
     out.bucket_counts[i] = cur.bucket_counts[i] - prev.bucket_counts[i];
   out.count = cur.count - prev.count;
   out.sum = cur.sum - prev.sum;
+  return out;
+}
+
+Snapshot merge_snapshots(const std::vector<Snapshot>& parts) {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (const auto& part : parts) {
+    for (const auto& [name, v] : part.counters) counters[name] += v;
+    for (const auto& [name, v] : part.gauges) gauges[name] += v;
+    for (const auto& h : part.histograms) {
+      auto it = histograms.find(h.name);
+      if (it == histograms.end()) {
+        histograms.emplace(h.name, h);
+        continue;
+      }
+      HistogramSnapshot& acc = it->second;
+      RP_REQUIRE(acc.upper_bounds == h.upper_bounds &&
+                     acc.bucket_counts.size() == h.bucket_counts.size(),
+                 "merge_snapshots: bucket layout mismatch for " + h.name);
+      for (std::size_t i = 0; i < acc.bucket_counts.size(); ++i)
+        acc.bucket_counts[i] += h.bucket_counts[i];
+      acc.count += h.count;
+      acc.sum += h.sum;
+    }
+  }
+  Snapshot out;
+  out.counters.assign(counters.begin(), counters.end());
+  out.gauges.assign(gauges.begin(), gauges.end());
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, h] : histograms) out.histograms.push_back(std::move(h));
   return out;
 }
 

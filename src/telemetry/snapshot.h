@@ -35,6 +35,16 @@ struct HistogramSnapshot {
 HistogramSnapshot histogram_delta(const HistogramSnapshot& cur,
                                   const HistogramSnapshot& prev);
 
+struct Snapshot;
+
+/// Series-wise sum over the union of all parts' series: counters and
+/// gauges add, histograms add bucket-wise (layouts of a shared series must
+/// match).  Output is sorted by name like a registry snapshot, so merging
+/// per-worker snapshots of identical fleets is deterministic.  The fabric
+/// coordinator uses this to fold worker heartbeat snapshots into the live
+/// campaign aggregate.
+Snapshot merge_snapshots(const std::vector<Snapshot>& parts);
+
 /// All series sorted by name (std::map iteration order in the registry),
 /// so two snapshots of identical state compare equal field-by-field.
 struct Snapshot {

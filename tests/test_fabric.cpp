@@ -1,0 +1,723 @@
+// Fabric tests: shard-plan determinism, the pipe wire protocol, journal
+// merging (last-write-wins across shard journals), multi-input journal
+// resume, and the headline guarantees of the multi-process coordinator —
+// a forked fleet produces results bit-identical to a single-process run,
+// including after a worker is SIGKILLed mid-shard (work stealing) or
+// stops heartbeating (stall detection), with a live status endpoint.
+#include "fabric/coordinator.h"
+
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/vision_synth.h"
+#include "fabric/journal_merge.h"
+#include "fabric/shard.h"
+#include "fabric/status_server.h"
+#include "fabric/wire.h"
+#include "fabric/worker.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "runtime/campaign.h"
+#include "runtime/fault_inject.h"
+#include "runtime/journal.h"
+#include "test_util.h"
+
+namespace rowpress::fabric {
+namespace {
+
+using runtime::AttackProfile;
+using runtime::CampaignSpec;
+using runtime::Journal;
+using runtime::Trial;
+using runtime::TrialResult;
+using runtime::TrialStatus;
+
+struct TempDir {
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("rp_fabric_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+// Tiny campaign mirroring tests/test_runtime.cpp: a 4-class synthetic
+// vision set and a 2-layer MLP, so a full grid runs in seconds.
+data::SplitDataset tiny_vision() {
+  data::VisionSynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 40;
+  cfg.test_per_class = 25;
+  return data::make_vision_dataset(cfg);
+}
+
+models::ModelSpec tiny_spec() {
+  models::ModelSpec s;
+  s.name = "TinyMLP";
+  s.paper_dataset = "synthetic";
+  s.dataset = models::DatasetKind::kVision10;
+  s.factory = [](Rng& rng) -> std::unique_ptr<nn::Module> {
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(144, 16, rng, true, "fc1");
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::Linear>(16, 4, rng, true, "fc2");
+    return net;
+  };
+  s.recipe = models::TrainRecipe{.epochs = 1, .batch_size = 32, .lr = 2e-3,
+                                 .weight_decay = 1e-4};
+  return s;
+}
+
+CampaignSpec tiny_campaign(const TempDir& tmp, const std::string& name,
+                           int workers, int seeds_per_cell = 2) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.models = {"TinyMLP"};
+  spec.profiles = {AttackProfile::kRowHammer, AttackProfile::kRowPress};
+  spec.seeds_per_cell = seeds_per_cell;
+  spec.campaign_seed = 7;
+  spec.model_seed = 5;
+  spec.bfa.max_flips = 3;
+  spec.bfa.attack_batch_size = 16;
+  spec.bfa.eval_samples = 64;
+  spec.bfa.max_layer_trials = 2;
+  spec.device = testutil::dense_device_config(61);
+  spec.cache_dir = (tmp.path / "cache").string();
+  spec.journal_dir = (tmp.path / "journals").string();
+  spec.workers = workers;
+  spec.zoo = {tiny_spec()};
+  spec.dataset_factory = [](models::DatasetKind) { return tiny_vision(); };
+  return spec;
+}
+
+void expect_identical(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.trial.index, b.trial.index);
+  EXPECT_EQ(a.trial.id(), b.trial.id());
+  EXPECT_EQ(a.trial.seed, b.trial.seed);
+  EXPECT_EQ(a.objective_reached, b.objective_reached);
+  EXPECT_EQ(a.accuracy_before, b.accuracy_before);  // bit-exact
+  EXPECT_EQ(a.accuracy_after, b.accuracy_after);
+  EXPECT_EQ(a.flips, b.flips);
+  EXPECT_EQ(a.candidate_pool_size, b.candidate_pool_size);
+  EXPECT_EQ(a.accuracy_curve, b.accuracy_curve);
+  EXPECT_EQ(a.metrics, b.metrics);  // telemetry counters are deterministic
+}
+
+// attack.* counters are pure per-trial work measures; dram.*/profile.*
+// depend on profile-cache warmth, so cross-run comparisons restrict to the
+// attack namespace (same convention as test_runtime.cpp).
+std::vector<std::pair<std::string, std::int64_t>> attack_counters(
+    const telemetry::Snapshot& snap) {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& kv : snap.counters)
+    if (kv.first.starts_with("attack.")) out.push_back(kv);
+  return out;
+}
+
+TrialResult sample_result(int index, TrialStatus status = TrialStatus::kSucceeded,
+                          int flips = 3) {
+  TrialResult r;
+  r.trial.index = index;
+  r.trial.model = "TinyMLP";
+  r.trial.profile = AttackProfile::kRowPress;
+  r.trial.seed_index = index % 2;
+  r.trial.seed = runtime::trial_seed(7, index);
+  r.status = status;
+  r.accuracy_before = 0.875;
+  r.accuracy_after = 0.25;
+  r.flips = flips;
+  r.metrics = {{"attack.flips", flips}};
+  if (status != TrialStatus::kSucceeded) {
+    r.error_category = "internal";
+    r.error_message = "synthetic";
+  }
+  return r;
+}
+
+void write_journal(const std::string& path,
+                   const std::vector<TrialResult>& records) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  for (const auto& r : records) os << Journal::serialize(r) << "\n";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- Shard plan ---------------------------------------------------------
+
+TEST(ShardPlan, PartitionsEveryTrialExactlyOnceAndIsStable) {
+  TempDir tmp;
+  const auto spec = tiny_campaign(tmp, "plan", 1, 5);  // 10 trials
+  const auto trials = runtime::expand_trials(spec);
+  const ShardPlan plan = plan_shards(trials, 4);
+  ASSERT_EQ(plan.num_shards, 4);
+  EXPECT_EQ(plan.total_trials(), trials.size());
+
+  std::set<int> seen;
+  for (int s = 0; s < plan.num_shards; ++s)
+    for (const int idx : plan.trials[static_cast<std::size_t>(s)]) {
+      EXPECT_TRUE(seen.insert(idx).second) << "trial in two shards: " << idx;
+      // Membership is the pure hash — the worker-side filter agrees with
+      // the coordinator's plan.
+      EXPECT_EQ(shard_of_trial(trials[static_cast<std::size_t>(idx)], 4), s);
+    }
+  EXPECT_EQ(seen.size(), trials.size());
+
+  // Stable across re-expansion (resume with a different worker count but
+  // the same shard count reopens the same journals).
+  const auto again = plan_shards(runtime::expand_trials(spec), 4);
+  EXPECT_EQ(again.trials, plan.trials);
+}
+
+TEST(ShardPlan, JournalPathsAreSiblingsOfTheLedger) {
+  TempDir tmp;
+  const auto spec = tiny_campaign(tmp, "paths", 1);
+  EXPECT_EQ(shard_journal_path(spec, 3),
+            (tmp.path / "journals" / "paths.shard3.jsonl").string());
+  EXPECT_TRUE(list_shard_journals(spec).empty());
+
+  std::filesystem::create_directories(spec.journal_dir);
+  write_journal(shard_journal_path(spec, 2), {sample_result(0)});
+  write_journal(shard_journal_path(spec, 0), {sample_result(1)});
+  // A sibling campaign's shard journal and the ledger itself are not
+  // swept in.
+  write_journal((tmp.path / "journals" / "paths2.shard0.jsonl").string(),
+                {sample_result(2)});
+  write_journal(runtime::journal_path(spec), {sample_result(3)});
+  const auto found = list_shard_journals(spec);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0], shard_journal_path(spec, 0));  // numeric order
+  EXPECT_EQ(found[1], shard_journal_path(spec, 2));
+}
+
+// --- Wire protocol ------------------------------------------------------
+
+TEST(Wire, MessagesRoundTripOverAPipe) {
+  Message progress;
+  progress.type = Message::Type::kProgress;
+  progress.worker = 3;
+  progress.pid = 4242;
+  progress.shard = 7;
+  progress.done = 11;
+  progress.failed = 1;
+  progress.retried = 2;
+  progress.counters = {{"attack.flips", 33}, {"attack.forward_passes", 170}};
+
+  Message error;
+  error.type = Message::Type::kShardError;
+  error.worker = 1;
+  error.shard = 5;
+  error.error = "journal \"broke\"\nbadly";
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(write_line(fds[1], serialize_message(progress)));
+  ASSERT_TRUE(write_line(fds[1], serialize_message(error)));
+  ASSERT_TRUE(write_line(fds[1], "{\"type\":\"nonsense\"}"));
+  ASSERT_TRUE(write_line(fds[1], "not json at all"));
+  ::close(fds[1]);
+
+  LineReader reader(fds[0]);
+  std::vector<std::string> lines;
+  while (reader.fill() || !reader.eof()) {
+    while (const auto line = reader.next_line()) lines.push_back(*line);
+    if (reader.eof()) break;
+  }
+  while (const auto line = reader.next_line()) lines.push_back(*line);
+  ::close(fds[0]);
+  ASSERT_EQ(lines.size(), 4u);
+
+  const auto p = parse_message(lines[0]);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->type, Message::Type::kProgress);
+  EXPECT_EQ(p->worker, 3);
+  EXPECT_EQ(p->pid, 4242);
+  EXPECT_EQ(p->shard, 7);
+  EXPECT_EQ(p->done, 11);
+  EXPECT_EQ(p->failed, 1);
+  EXPECT_EQ(p->retried, 2);
+  EXPECT_EQ(p->counters, progress.counters);
+
+  const auto e = parse_message(lines[1]);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->type, Message::Type::kShardError);
+  EXPECT_EQ(e->shard, 5);
+  EXPECT_EQ(e->error, error.error);
+
+  EXPECT_FALSE(parse_message(lines[2]).has_value());  // unknown type
+  EXPECT_FALSE(parse_message(lines[3]).has_value());  // not JSON
+}
+
+// --- Journal merging ----------------------------------------------------
+
+// Satellite regression: the same trial succeeding in two shard journals
+// (possible after a steal) must appear exactly once in the merged ledger,
+// with the later file winning.
+TEST(JournalMerge, DedupesAcrossFilesLastWriteWins) {
+  TempDir tmp;
+  const std::string a = (tmp.path / "a.jsonl").string();
+  const std::string b = (tmp.path / "b.jsonl").string();
+  const std::string out = (tmp.path / "ledger.jsonl").string();
+
+  // Trial 0 succeeds in both files with different flip counts; trial 1
+  // fails in a, succeeds in b; trial 2 only in a.  Within-file supersede:
+  // trial 3 failed then succeeded in b.
+  write_journal(a, {sample_result(0, TrialStatus::kSucceeded, 3),
+                    sample_result(1, TrialStatus::kFailed),
+                    sample_result(2)});
+  write_journal(b, {sample_result(0, TrialStatus::kSucceeded, 7),
+                    sample_result(1, TrialStatus::kSucceeded),
+                    sample_result(3, TrialStatus::kFailed),
+                    sample_result(3, TrialStatus::kSucceeded)});
+
+  const MergeStats stats = merge_journals({a, b, (tmp.path / "missing.jsonl").string()}, out);
+  EXPECT_EQ(stats.records, 7u);
+  EXPECT_EQ(stats.unique_trials, 4u);
+  EXPECT_EQ(stats.duplicates_resolved, 3u);  // 0 and 1 across files, 3 within
+  EXPECT_EQ(stats.missing_files, 1u);
+  EXPECT_EQ(stats.files.size(), 3u);
+
+  std::unordered_map<int, TrialResult> merged;
+  Journal::load_file(out, merged);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.at(0).flips, 7);  // later file won
+  EXPECT_EQ(merged.at(1).status, TrialStatus::kSucceeded);
+  EXPECT_EQ(merged.at(2).status, TrialStatus::kSucceeded);
+  EXPECT_EQ(merged.at(3).status, TrialStatus::kSucceeded);
+
+  // The ledger is sorted by trial index and each line parses.
+  std::ifstream in(out);
+  std::string line;
+  int prev = -1, count = 0;
+  while (std::getline(in, line)) {
+    const auto rec = Journal::parse(line);
+    ASSERT_TRUE(rec.has_value()) << line;
+    EXPECT_GT(rec->trial.index, prev);
+    prev = rec->trial.index;
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(JournalMerge, TornTailsAreIgnoredAndInputsUntouched) {
+  TempDir tmp;
+  const std::string a = (tmp.path / "a.jsonl").string();
+  const std::string out = (tmp.path / "ledger.jsonl").string();
+  write_journal(a, {sample_result(0), sample_result(1)});
+  {
+    std::ofstream os(a, std::ios::binary | std::ios::app);
+    os << "{\"trial\":\"torn mid-wri";  // crash tail, no newline
+  }
+  const std::string before = read_file(a);
+
+  const MergeStats stats = merge_journals({a}, out);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.unique_trials, 2u);
+  EXPECT_GT(stats.torn_bytes, 0u);
+  EXPECT_EQ(read_file(a), before);  // inputs are read-only
+
+  // The output may be one of the inputs (re-merge into the ledger).
+  const MergeStats again = merge_journals({out, a}, out);
+  EXPECT_EQ(again.unique_trials, 2u);
+}
+
+// --- Multi-input journal resume (CampaignSpec::resume_from) -------------
+
+TEST(Journal, ResumeFromExtraJournalsLastFileWinsPrimaryWinsOverAll) {
+  TempDir tmp;
+  const std::string extra1 = (tmp.path / "e1.jsonl").string();
+  const std::string extra2 = (tmp.path / "e2.jsonl").string();
+  const std::string primary = (tmp.path / "p.jsonl").string();
+  write_journal(extra1, {sample_result(0, TrialStatus::kSucceeded, 3),
+                         sample_result(1)});
+  write_journal(extra2, {sample_result(0, TrialStatus::kFailed)});
+
+  {
+    Journal j(primary, {extra1, extra2, (tmp.path / "nope.jsonl").string()});
+    ASSERT_TRUE(j.contains(0));
+    EXPECT_EQ(j.completed().at(0).status, TrialStatus::kFailed);  // e2 wins
+    EXPECT_TRUE(j.contains(1));
+    j.append(sample_result(0, TrialStatus::kSucceeded, 9));
+  }
+  // The primary journal's own record wins over every resume_from input,
+  // and resume_from never writes: the primary holds only the append.
+  Journal j2(primary, {extra1, extra2});
+  EXPECT_EQ(j2.completed().at(0).flips, 9);
+  std::unordered_map<int, TrialResult> own;
+  Journal::load_file(primary, own);
+  EXPECT_EQ(own.size(), 1u);
+}
+
+// --- Campaign trial_filter (the worker's shard scope) -------------------
+
+TEST(Campaign, ComplementaryFiltersComposeToTheFullRun) {
+  TempDir tmp;
+  telemetry::MetricsRegistry full_reg, c_reg;
+  auto full_spec = tiny_campaign(tmp, "full", 2);
+  full_spec.metrics = &full_reg;
+  const auto full = runtime::run_campaign(full_spec);
+  ASSERT_EQ(full.results.size(), 4u);
+
+  auto a_spec = tiny_campaign(tmp, "halves", 2);
+  a_spec.trial_filter = [](const Trial& t) { return t.index % 2 == 0; };
+  const auto a = runtime::run_campaign(a_spec);
+  EXPECT_EQ(a.in_scope, 2);
+  EXPECT_EQ(a.executed, 2);
+  EXPECT_TRUE(a.all_succeeded());
+  EXPECT_EQ(a.results[1].status, TrialStatus::kNotRun);
+  EXPECT_EQ(a.results[1].attempts, 0);
+
+  auto b_spec = tiny_campaign(tmp, "halves", 2);
+  b_spec.trial_filter = [](const Trial& t) { return t.index % 2 == 1; };
+  const auto b = runtime::run_campaign(b_spec);
+  EXPECT_EQ(b.executed, 2);
+  EXPECT_EQ(b.skipped, 0);  // the even records in the journal are out of scope
+
+  // Unfiltered re-run over the accumulated journal: everything resumes.
+  auto c_spec = tiny_campaign(tmp, "halves", 2);
+  c_spec.metrics = &c_reg;
+  const auto c = runtime::run_campaign(c_spec);
+  EXPECT_EQ(c.executed, 0);
+  EXPECT_EQ(c.skipped, 4);
+  for (std::size_t i = 0; i < full.results.size(); ++i)
+    expect_identical(c.results[i], full.results[i]);
+  EXPECT_EQ(attack_counters(c_reg.snapshot()),
+            attack_counters(full_reg.snapshot()));
+}
+
+TEST(Campaign, OnTrialCompleteFiresPerExecutedTrial) {
+  TempDir tmp;
+  auto spec = tiny_campaign(tmp, "hook", 2);
+  std::atomic<int> fired{0};
+  spec.on_trial_complete = [&](const TrialResult& r) {
+    EXPECT_EQ(r.status, TrialStatus::kSucceeded);
+    fired.fetch_add(1);
+  };
+  const auto res = runtime::run_campaign(spec);
+  EXPECT_EQ(fired.load(), 4);
+  // Journal-resumed trials do not re-fire the hook.
+  const auto resumed = runtime::run_campaign(spec);
+  EXPECT_EQ(resumed.skipped, 4);
+  EXPECT_EQ(fired.load(), 4);
+}
+
+// --- The fabric ---------------------------------------------------------
+
+TEST(Fabric, ForkedFleetIsBitIdenticalToSingleProcess) {
+  TempDir tmp;
+  telemetry::MetricsRegistry single_reg, fabric_reg;
+  auto single_spec = tiny_campaign(tmp, "single", 2);
+  single_spec.metrics = &single_reg;
+  const auto single = runtime::run_campaign(single_spec);
+  ASSERT_EQ(single.results.size(), 4u);
+  ASSERT_TRUE(single.all_succeeded());
+
+  auto fspec = tiny_campaign(tmp, "fabric", 1);
+  fspec.metrics = &fabric_reg;
+  FabricConfig cfg;
+  cfg.workers = 2;
+  cfg.shards_per_worker = 2;
+  cfg.threads_per_worker = 2;
+  cfg.heartbeat_interval_ms = 50;
+  cfg.log = [](const std::string&) {};
+  const FabricResult res = run_fabric(fspec, cfg);
+
+  EXPECT_EQ(res.workers_spawned, 2);
+  EXPECT_EQ(res.workers_died, 0);
+  EXPECT_EQ(res.shards_completed, res.shards_pending);
+  EXPECT_EQ(res.shards_abandoned, 0);
+  ASSERT_EQ(res.campaign.results.size(), single.results.size());
+  EXPECT_TRUE(res.campaign.all_succeeded());
+  for (std::size_t i = 0; i < single.results.size(); ++i)
+    expect_identical(res.campaign.results[i], single.results[i]);
+  EXPECT_EQ(attack_counters(fabric_reg.snapshot()),
+            attack_counters(single_reg.snapshot()));
+
+  // Shard journals were folded into the ledger and removed.
+  EXPECT_TRUE(list_shard_journals(fspec).empty());
+  EXPECT_TRUE(std::filesystem::exists(res.ledger));
+}
+
+TEST(Fabric, ResumesASingleProcessJournalWithoutRerunning) {
+  TempDir tmp;
+  telemetry::MetricsRegistry first_reg, resumed_reg;
+  auto spec = tiny_campaign(tmp, "crossmode", 2);
+  spec.metrics = &first_reg;
+  const auto first = runtime::run_campaign(spec);
+  ASSERT_TRUE(first.all_succeeded());
+
+  auto fspec = tiny_campaign(tmp, "crossmode", 1);
+  fspec.metrics = &resumed_reg;
+  FabricConfig cfg;
+  cfg.workers = 2;
+  cfg.log = [](const std::string&) {};
+  const FabricResult res = run_fabric(fspec, cfg);
+  EXPECT_EQ(res.shards_pending, 0);    // everything was already done
+  EXPECT_EQ(res.workers_spawned, 0);   // no fleet needed
+  EXPECT_EQ(res.campaign.executed, 0);
+  EXPECT_EQ(res.campaign.skipped, 4);
+  EXPECT_TRUE(res.campaign.all_succeeded());
+  for (std::size_t i = 0; i < first.results.size(); ++i)
+    expect_identical(res.campaign.results[i], first.results[i]);
+  EXPECT_EQ(attack_counters(resumed_reg.snapshot()),
+            attack_counters(first_reg.snapshot()));
+}
+
+// The acceptance test: SIGKILL a worker mid-shard and the fleet still
+// produces the single-process result — the dead worker's shard is stolen,
+// its journal resumed, and the merged ledger holds every trial exactly
+// once.
+TEST(Fabric, KilledWorkerShardIsStolenAndResultsStayBitIdentical) {
+  TempDir tmp;
+  // 16 trials across 4 single-shard workers, so the hash deterministically
+  // gives some shard >= 3 trials (pigeonhole: the largest has >= 4).
+  const int seeds = 8;
+  telemetry::MetricsRegistry single_reg, fabric_reg;
+  auto single_spec = tiny_campaign(tmp, "kill-single", 2, seeds);
+  single_spec.metrics = &single_reg;
+  const auto single = runtime::run_campaign(single_spec);
+  ASSERT_EQ(single.results.size(), 16u);
+  ASSERT_TRUE(single.all_succeeded());
+
+  // Pin a 30ms floor under every trial (forked workers inherit the armed
+  // delay): heartbeats at 10ms land mid-trial, so a qualifying progress
+  // report always arrives, and once the victim is chosen its >= 2
+  // remaining trials (>= 60ms) dwarf the microseconds until the SIGKILL —
+  // the steal below is deterministic, not a race against the victim
+  // finishing.  The delay changes no result.
+  runtime::fault::arm_delay("trial_run", 30);
+  struct DisarmGuard {
+    ~DisarmGuard() { runtime::fault::disarm_all(); }
+  } disarm_guard;
+
+  auto fspec = tiny_campaign(tmp, "kill-fabric", 1, seeds);
+  fspec.metrics = &fabric_reg;
+  FabricConfig cfg;
+  cfg.workers = 4;
+  cfg.shards_per_worker = 1;  // 4 shards, one per worker
+  cfg.threads_per_worker = 1;
+  cfg.heartbeat_interval_ms = 10;
+  cfg.log = [](const std::string&) {};
+
+  // Pick a victim that is provably mid-shard with >= 2 trials still to
+  // run at the time of its heartbeat.
+  const auto trials = runtime::expand_trials(fspec);
+  const ShardPlan plan = plan_shards(trials, 4);
+  std::atomic<bool> killed{false};
+  std::atomic<int> steals{0};
+  cfg.on_event = [&](const FleetEvent& ev) {
+    if (ev.kind == FleetEvent::Kind::kSteal) steals.fetch_add(1);
+    if (killed.load() || ev.kind != FleetEvent::Kind::kProgress) return;
+    if (ev.shard < 0 || ev.done < 1) return;
+    const auto shard_size = static_cast<std::int64_t>(
+        plan.trials[static_cast<std::size_t>(ev.shard)].size());
+    if (ev.done > shard_size - 2) return;  // nearly complete: too late
+    killed.store(true);
+    ASSERT_EQ(::kill(static_cast<pid_t>(ev.pid), SIGKILL), 0);
+  };
+
+  const FabricResult res = run_fabric(fspec, cfg);
+  EXPECT_TRUE(killed.load()) << "no worker was ever observed mid-shard";
+  EXPECT_GE(res.workers_died, 1);
+  EXPECT_GE(res.shards_stolen, 1);
+  EXPECT_GE(steals.load(), 1);
+  EXPECT_EQ(res.shards_abandoned, 0);
+  EXPECT_TRUE(res.campaign.all_succeeded());
+
+  // Merged ledger: every trial exactly once, even though the stolen
+  // shard's journal holds work from two workers.
+  std::ifstream in(res.ledger);
+  std::string line;
+  std::set<int> indices;
+  while (std::getline(in, line)) {
+    const auto rec = Journal::parse(line);
+    ASSERT_TRUE(rec.has_value()) << line;
+    EXPECT_TRUE(indices.insert(rec->trial.index).second)
+        << "duplicate ledger record for trial " << rec->trial.index;
+  }
+  EXPECT_EQ(indices.size(), 16u);
+
+  // And the aggregates are bit-identical to the single-process run.
+  ASSERT_EQ(res.campaign.results.size(), single.results.size());
+  for (std::size_t i = 0; i < single.results.size(); ++i)
+    expect_identical(res.campaign.results[i], single.results[i]);
+  EXPECT_EQ(attack_counters(fabric_reg.snapshot()),
+            attack_counters(single_reg.snapshot()));
+}
+
+// A worker that stops heartbeating (here: a fake that says hello and then
+// hangs forever) is killed after heartbeat_timeout and its shard stolen.
+TEST(Fabric, StalledWorkerIsKilledAndItsShardStolen) {
+  TempDir tmp;
+  telemetry::MetricsRegistry single_reg, fabric_reg;
+  auto single_spec = tiny_campaign(tmp, "stall-single", 2);
+  single_spec.metrics = &single_reg;
+  const auto single = runtime::run_campaign(single_spec);
+
+  auto fspec = tiny_campaign(tmp, "stall-fabric", 1);
+  fspec.metrics = &fabric_reg;
+  FabricConfig cfg;
+  cfg.workers = 2;
+  cfg.shards_per_worker = 1;
+  cfg.heartbeat_interval_ms = 100;
+  cfg.heartbeat_timeout_ms = 1500;
+  cfg.log = [](const std::string&) {};
+  std::atomic<int> stalls{0};
+  cfg.on_event = [&](const FleetEvent& ev) {
+    if (ev.kind == FleetEvent::Kind::kStall) stalls.fetch_add(1);
+  };
+  // Worker 0 is an impostor: it announces itself, accepts its assignment
+  // silently, and never makes progress.
+  cfg.launcher = [](const CampaignSpec& spec, const WorkerOptions& opt,
+                    int in_fd, int out_fd) -> pid_t {
+    if (opt.worker_id != 0) return spawn_forked_worker(spec, opt, in_fd, out_fd);
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    Message hello;
+    hello.type = Message::Type::kHello;
+    hello.worker = opt.worker_id;
+    hello.pid = static_cast<std::int64_t>(::getpid());
+    write_line(out_fd, serialize_message(hello));
+    for (;;) ::pause();
+  };
+
+  const FabricResult res = run_fabric(fspec, cfg);
+  EXPECT_GE(stalls.load(), 1);
+  EXPECT_GE(res.workers_died, 1);
+  EXPECT_TRUE(res.campaign.all_succeeded());
+  ASSERT_EQ(res.campaign.results.size(), single.results.size());
+  for (std::size_t i = 0; i < single.results.size(); ++i)
+    expect_identical(res.campaign.results[i], single.results[i]);
+  EXPECT_EQ(attack_counters(fabric_reg.snapshot()),
+            attack_counters(single_reg.snapshot()));
+}
+
+// --- Status endpoint ----------------------------------------------------
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(StatusServer, ServesStatusAndStream) {
+  StatusServer server;
+  server.start(0);
+  ASSERT_TRUE(server.listening());
+  ASSERT_GT(server.port(), 0);
+
+  std::atomic<bool> stop{false};
+  std::string status_response, stream_response;
+  std::thread client([&] {
+    status_response = http_get(server.port(), "/status");
+    stream_response = http_get(server.port(), "/stream");
+    stop.store(true);
+  });
+  int ticks = 0;
+  while (!stop.load() && ticks < 4000) {
+    // done=true after a while so the /stream connection is closed.
+    server.tick([] { return std::string("{\"x\":1}"); }, ticks > 50);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++ticks;
+  }
+  client.join();
+  server.stop();
+
+  EXPECT_NE(status_response.find("200 OK"), std::string::npos);
+  EXPECT_NE(status_response.find("application/json"), std::string::npos);
+  EXPECT_NE(status_response.find("{\"x\":1}"), std::string::npos);
+  EXPECT_NE(stream_response.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(stream_response.find("{\"x\":1}"), std::string::npos);
+
+  // Unknown routes 404 instead of hanging.
+  server.start(0);
+  std::atomic<bool> done2{false};
+  std::string not_found;
+  std::thread client2([&] {
+    not_found = http_get(server.port(), "/nope");
+    done2.store(true);
+  });
+  ticks = 0;
+  while (!done2.load() && ticks++ < 4000) {
+    server.tick([] { return std::string("{}"); }, false);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  client2.join();
+  EXPECT_NE(not_found.find("404"), std::string::npos);
+}
+
+TEST(Fabric, StatusEndpointReportsTheFleet) {
+  TempDir tmp;
+  auto fspec = tiny_campaign(tmp, "served", 1);
+  FabricConfig cfg;
+  cfg.workers = 2;
+  cfg.heartbeat_interval_ms = 50;
+  cfg.status_port = 0;  // ephemeral
+  cfg.log = [](const std::string&) {};
+  std::thread poller;
+  std::string body;
+  std::atomic<bool> got{false};
+  // The port callback fires after the fleet is forked, so starting a
+  // thread here cannot interleave a fork with a live thread.
+  cfg.on_status_port = [&](int port) {
+    poller = std::thread([&, port] {
+      while (!got.load()) {
+        const std::string r = http_get(port, "/status");
+        if (r.find("\"campaign\":\"served\"") != std::string::npos) {
+          body = r;
+          got.store(true);
+          return;
+        }
+        if (r.empty()) return;  // server already closed
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  };
+  const FabricResult res = run_fabric(fspec, cfg);
+  if (poller.joinable()) poller.join();
+  EXPECT_TRUE(res.campaign.all_succeeded());
+  ASSERT_TRUE(got.load()) << "never managed to fetch /status";
+  EXPECT_NE(body.find("\"trials_total\":4"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"workers\":["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"shards\":"), std::string::npos) << body;
+}
+
+}  // namespace
+}  // namespace rowpress::fabric

@@ -121,6 +121,32 @@ TEST_F(FaultInjectTest, FiresExactlyTheNthHitThenPasses) {
   EXPECT_EQ(fault::hits("other_point"), 0);
 }
 
+TEST_F(FaultInjectTest, ArmDelaySleepsEveryHitWithoutThrowing) {
+  fault::arm_delay("slow_point", 20);
+  EXPECT_TRUE(fault::any_armed());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(fault::hit("slow_point"));
+  EXPECT_NO_THROW(fault::hit("slow_point"));  // every hit, not single-shot
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 30);
+
+  // Orthogonal to arm(): the Nth hit still fires after its sleep, and the
+  // delay stays armed afterwards.
+  fault::arm("slow_point", 1);
+  EXPECT_THROW(fault::hit("slow_point"), TrialError);
+  EXPECT_TRUE(fault::any_armed());
+
+  fault::arm_delay("slow_point", 0);  // disarm just the delay
+  EXPECT_FALSE(fault::any_armed());
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(fault::hit("slow_point"));
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t1)
+                .count(),
+            20);
+}
+
 TEST_F(FaultInjectTest, DisarmAllClearsEverything) {
   fault::arm("a", 1);
   fault::arm("b", 2);

@@ -376,6 +376,49 @@ TEST(HistogramDelta, RejectsLayoutMismatch) {
   EXPECT_THROW(histogram_delta(snap_of(a), snap_of(b)), std::logic_error);
 }
 
+// --- Merging per-worker snapshots (the fabric's live aggregate) ---------
+
+TEST(MergeSnapshots, SumsOverTheUnionOfSeriesSorted) {
+  Snapshot a, b;
+  a.counters = {{"attack.flips", 3}, {"attack.passes", 10}};
+  a.gauges = {{"worker.load", 0.5}};
+  b.counters = {{"attack.passes", 7}, {"dram.acts", 100}};
+  b.gauges = {{"worker.load", 0.25}, {"worker.rss", 2.0}};
+  Histogram ha({1.0, 10.0}), hb({1.0, 10.0});
+  ha.record(0.5);
+  hb.record(5.0);
+  hb.record(5.0);
+  a.histograms = {snap_of(ha, "trial.ms")};
+  b.histograms = {snap_of(hb, "trial.ms")};
+
+  const Snapshot merged = merge_snapshots({a, b});
+  ASSERT_EQ(merged.counters.size(), 3u);  // union, sorted by name
+  EXPECT_EQ(merged.counters[0].first, "attack.flips");
+  EXPECT_EQ(merged.counter_or("attack.flips"), 3);
+  EXPECT_EQ(merged.counter_or("attack.passes"), 17);
+  EXPECT_EQ(merged.counter_or("dram.acts"), 100);
+  EXPECT_DOUBLE_EQ(merged.gauge_or("worker.load"), 0.75);
+  EXPECT_DOUBLE_EQ(merged.gauge_or("worker.rss"), 2.0);
+  const HistogramSnapshot* h = merged.histogram("trial.ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3);
+  EXPECT_DOUBLE_EQ(h->sum, 10.5);
+  EXPECT_EQ(h->bucket_counts[0], 1);
+  EXPECT_EQ(h->bucket_counts[1], 2);
+
+  EXPECT_TRUE(merge_snapshots({}).counters.empty());
+  const Snapshot solo = merge_snapshots({a});
+  EXPECT_EQ(solo.counter_or("attack.flips"), 3);
+}
+
+TEST(MergeSnapshots, RejectsHistogramLayoutMismatch) {
+  Snapshot a, b;
+  Histogram ha({1.0, 2.0}), hb({1.0, 3.0});
+  a.histograms = {snap_of(ha, "x")};
+  b.histograms = {snap_of(hb, "x")};
+  EXPECT_THROW(merge_snapshots({a, b}), std::logic_error);
+}
+
 TEST(JsonExport, HistogramsCarryQuantileFields) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("serve.latency_ms", {1.0, 10.0});

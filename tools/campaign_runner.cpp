@@ -5,8 +5,17 @@
 //
 //   campaign_runner --models ResNet-20,DeiT-T --profiles rh,rp --seeds 3
 //   campaign_runner --models all --workers 8 --name table1
+//   campaign_runner --fabric --workers 4 --serve 8080 --name table1
 //   campaign_runner --list-models
+//
+// With --fabric (or --serve) the grid is sharded across worker *processes*:
+// this binary re-invokes itself with the hidden --worker flag, the
+// coordinator assigns shards over pipes, heartbeats the fleet, steals
+// shards from dead or stalled workers, and merges the per-shard journals
+// into the same <name>.jsonl ledger a single-process run would write.
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,8 +27,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/table.h"
 #include "exp/experiment.h"
+#include "fabric/coordinator.h"
+#include "fabric/shard.h"
+#include "fabric/worker.h"
 #include "models/zoo.h"
 #include "runtime/campaign.h"
 #include "runtime/error.h"
@@ -44,8 +58,11 @@ void print_usage() {
       "(default: 3)\n"
       "  --campaign-seed <u64>    master seed for trial RNG streams "
       "(default: 1)\n"
-      "  --workers <n>            parallel workers (default: hardware "
-      "threads)\n"
+      "  --workers <n>            parallel workers: threads (default: "
+      "hardware\n"
+      "                           threads), or worker processes with "
+      "--fabric\n"
+      "                           (default: 4)\n"
       "  --max-flips <n>          BFA flip budget per trial (default: 300)\n"
       "  --cache-dir <dir>        trained-model/profile cache (default: "
       "artifacts)\n"
@@ -61,7 +78,8 @@ void print_usage() {
       "                           while the campaign runs (atomic\n"
       "                           tmp+rename, safe to tail from a "
       "dashboard;\n"
-      "                           default: 0 = final write only)\n"
+      "                           default: 0 = final write only;\n"
+      "                           single-process mode only)\n"
       "  --trace-out <path>       write a Chrome trace_event file "
       "(open in\n"
       "                           chrome://tracing or ui.perfetto.dev); "
@@ -82,17 +100,37 @@ void print_usage() {
       "                           trial_run) — for testing resilience\n"
       "  --quiet                  suppress banner, progress, and table "
       "output\n"
-      "  --fresh                  delete the existing journal and start "
-      "over\n"
+      "  --fresh                  delete the existing journal (and shard\n"
+      "                           journals) and start over\n"
       "  --list-models            print the model zoo and exit\n"
       "  --help                   this text\n"
+      "\n"
+      "Distributed campaigns (multi-process):\n"
+      "  --fabric                 shard the grid across --workers worker\n"
+      "                           processes with work stealing; per-shard\n"
+      "                           journals merge into <journal-dir>/\n"
+      "                           <name>.jsonl, bit-identical to a\n"
+      "                           single-process run\n"
+      "  --serve <port>           live status endpoint on 127.0.0.1:<port>\n"
+      "                           (0 = ephemeral, printed on stderr):\n"
+      "                           GET /status one JSON object, GET /stream\n"
+      "                           newline-delimited updates.  Implies "
+      "--fabric\n"
+      "  --shards-per-worker <n>  shards = workers x this (default: 4);\n"
+      "                           more shards = finer-grained stealing\n"
+      "  --worker-threads <n>     threads inside each worker process\n"
+      "                           (default: 1)\n"
+      "  --heartbeat-timeout <ms> kill + steal from a worker silent this "
+      "long\n"
+      "                           (default: 15000)\n"
       "\n"
       "Resume semantics: each completed trial is appended to the journal "
       "and\nflushed before the next one starts; re-running the same "
       "command skips\nevery trial journaled as succeeded, so an "
       "interrupted campaign finishes\nwhere it left off.  A torn last line "
       "(crash mid-write) is truncated on\nopen.  Failed and timed-out "
-      "trials are re-executed on resume.\n"
+      "trials are re-executed on resume.  This\nholds across modes: a "
+      "--fabric run resumes a single-process journal and\nvice versa.\n"
       "\n"
       "Failure handling: a trial that throws is contained at the worker\n"
       "boundary and journaled with a typed error; transient errors (I/O,\n"
@@ -102,8 +140,8 @@ void print_usage() {
       "the Table-I\ncell aggregation.\n"
       "\n"
       "Exit codes: 0 = all trials succeeded; 1 = internal error;\n"
-      "2 = campaign completed but some trials permanently failed;\n"
-      "3 = invalid arguments or campaign spec.\n");
+      "2 = invalid arguments or campaign spec (nothing was run);\n"
+      "3 = campaign completed but some trials permanently failed.\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -115,9 +153,60 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-[[noreturn]] void die(const std::string& msg) {
+std::string join_csv(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += ",";
+    out += s;
+  }
+  return out;
+}
+
+/// Usage errors exit 2 before any model/profile loading happens: a typo'd
+/// flag must fail in milliseconds, not after minutes of training.
+[[noreturn]] void usage_die(const std::string& msg) {
   std::fprintf(stderr, "campaign_runner: %s (try --help)\n", msg.c_str());
-  std::exit(3);
+  std::exit(2);
+}
+
+// Strict numeric parsing: the whole token must consume, no silent
+// atoi-style "banana" -> 0.  All of these call usage_die on garbage.
+long long parse_ll(const std::string& v, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0')
+    usage_die(std::string(flag) + " expects an integer, got '" + v + "'");
+  return x;
+}
+
+int parse_int(const std::string& v, const char* flag) {
+  const long long x = parse_ll(v, flag);
+  if (x < INT_MIN || x > INT_MAX)
+    usage_die(std::string(flag) + " value out of range: '" + v + "'");
+  return static_cast<int>(x);
+}
+
+std::uint64_t parse_u64(const std::string& v, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  if (!v.empty() && v[0] == '-')
+    usage_die(std::string(flag) + " expects an unsigned integer, got '" + v +
+              "'");
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0')
+    usage_die(std::string(flag) + " expects an unsigned integer, got '" + v +
+              "'");
+  return static_cast<std::uint64_t>(x);
+}
+
+double parse_double(const std::string& v, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end == v.c_str() || *end != '\0')
+    usage_die(std::string(flag) + " expects a number, got '" + v + "'");
+  return x;
 }
 
 }  // namespace
@@ -128,13 +217,13 @@ int run_cli(int argc, char** argv);
 // campaign itself) reports failure through exceptions; turn those into a
 // clean message + a distinct exit code instead of std::terminate:
 // spec/invariant violations (logic_error, e.g. an unknown model or a stale
-// journal) exit 3, everything else exits 1.
+// journal) exit 2 like any other bad-input error, everything else exits 1.
 int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
   } catch (const std::logic_error& e) {
     std::fprintf(stderr, "campaign_runner: invalid spec: %s\n", e.what());
-    return 3;
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_runner: error: %s\n", e.what());
     return 1;
@@ -146,6 +235,7 @@ int run_cli(int argc, char** argv) {
   spec.name = "campaign";
   spec.progress_interval_s = 10.0;
   spec.verbose = true;
+  spec.workers = 0;
   bool fresh = false;
   bool quiet = false;
   std::string models_arg = "all";
@@ -154,9 +244,20 @@ int run_cli(int argc, char** argv) {
   double metrics_interval_s = 0.0;
   std::string trace_out;
   std::string inject_arg;
+  std::vector<std::pair<std::string, int>> injections;
+
+  // Fabric / worker mode.
+  bool fabric_mode = false;
+  int serve_port = -1;  // -1 = no status endpoint
+  int shards_per_worker = 4;
+  int worker_threads = 1;
+  std::int64_t heartbeat_timeout_ms = 15000;
+  std::int64_t heartbeat_interval_ms = 200;
+  bool worker_mode = false;  // hidden: spawned by the coordinator
+  int worker_id = 0, num_shards = 1, in_fd = -1, out_fd = -1;
 
   const auto need_value = [&](int i, const char* flag) -> std::string {
-    if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+    if (i + 1 >= argc) usage_die(std::string("missing value for ") + flag);
     return argv[i + 1];
   };
   for (int i = 1; i < argc; ++i) {
@@ -175,45 +276,94 @@ int run_cli(int argc, char** argv) {
     } else if (arg == "--profiles") {
       profiles_arg = need_value(i++, "--profiles");
     } else if (arg == "--seeds") {
-      spec.seeds_per_cell = std::atoi(need_value(i++, "--seeds").c_str());
+      spec.seeds_per_cell = parse_int(need_value(i++, "--seeds"), "--seeds");
     } else if (arg == "--campaign-seed") {
       spec.campaign_seed =
-          std::strtoull(need_value(i++, "--campaign-seed").c_str(), nullptr, 10);
+          parse_u64(need_value(i++, "--campaign-seed"), "--campaign-seed");
     } else if (arg == "--workers") {
-      spec.workers = std::atoi(need_value(i++, "--workers").c_str());
+      spec.workers = parse_int(need_value(i++, "--workers"), "--workers");
     } else if (arg == "--max-flips") {
-      spec.bfa.max_flips = std::atoi(need_value(i++, "--max-flips").c_str());
+      spec.bfa.max_flips =
+          parse_int(need_value(i++, "--max-flips"), "--max-flips");
     } else if (arg == "--cache-dir") {
       spec.cache_dir = need_value(i++, "--cache-dir");
     } else if (arg == "--journal-dir") {
       spec.journal_dir = need_value(i++, "--journal-dir");
     } else if (arg == "--progress-interval") {
-      spec.progress_interval_s =
-          std::atof(need_value(i++, "--progress-interval").c_str());
+      spec.progress_interval_s = parse_double(
+          need_value(i++, "--progress-interval"), "--progress-interval");
     } else if (arg == "--metrics-out") {
       metrics_out = need_value(i++, "--metrics-out");
     } else if (arg == "--metrics-interval") {
-      metrics_interval_s =
-          std::atof(need_value(i++, "--metrics-interval").c_str());
+      metrics_interval_s = parse_double(need_value(i++, "--metrics-interval"),
+                                        "--metrics-interval");
     } else if (arg == "--trace-out") {
       trace_out = need_value(i++, "--trace-out");
     } else if (arg == "--trial-deadline") {
       spec.trial_deadline_ms =
-          std::atoll(need_value(i++, "--trial-deadline").c_str());
+          parse_ll(need_value(i++, "--trial-deadline"), "--trial-deadline");
     } else if (arg == "--max-retries") {
-      spec.max_retries = std::atoi(need_value(i++, "--max-retries").c_str());
+      spec.max_retries =
+          parse_int(need_value(i++, "--max-retries"), "--max-retries");
     } else if (arg == "--fail-fast") {
       spec.fail_fast = true;
     } else if (arg == "--inject") {
       inject_arg = need_value(i++, "--inject");
+      // Validate the spec NOW (exit 2), arm after parsing completes.
+      try {
+        injections = runtime::fault::parse_spec(inject_arg);
+      } catch (const std::exception& e) {
+        usage_die(std::string("bad --inject spec: ") + e.what());
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--fresh") {
       fresh = true;
+    } else if (arg == "--fabric") {
+      fabric_mode = true;
+    } else if (arg == "--serve") {
+      serve_port = parse_int(need_value(i++, "--serve"), "--serve");
+      fabric_mode = true;
+    } else if (arg == "--shards-per-worker") {
+      shards_per_worker = parse_int(need_value(i++, "--shards-per-worker"),
+                                    "--shards-per-worker");
+    } else if (arg == "--worker-threads") {
+      worker_threads =
+          parse_int(need_value(i++, "--worker-threads"), "--worker-threads");
+    } else if (arg == "--heartbeat-timeout") {
+      heartbeat_timeout_ms = parse_ll(need_value(i++, "--heartbeat-timeout"),
+                                      "--heartbeat-timeout");
+    } else if (arg == "--heartbeat-interval") {  // hidden (worker spawn)
+      heartbeat_interval_ms = parse_ll(need_value(i++, "--heartbeat-interval"),
+                                       "--heartbeat-interval");
+    } else if (arg == "--worker") {  // hidden (coordinator re-invocation)
+      worker_mode = true;
+    } else if (arg == "--worker-id") {
+      worker_id = parse_int(need_value(i++, "--worker-id"), "--worker-id");
+    } else if (arg == "--num-shards") {
+      num_shards = parse_int(need_value(i++, "--num-shards"), "--num-shards");
+    } else if (arg == "--in-fd") {
+      in_fd = parse_int(need_value(i++, "--in-fd"), "--in-fd");
+    } else if (arg == "--out-fd") {
+      out_fd = parse_int(need_value(i++, "--out-fd"), "--out-fd");
     } else {
-      die("unknown option " + arg);
+      usage_die("unknown option " + arg);
     }
   }
+
+  // Range validation, still before any model/profile work.
+  if (spec.seeds_per_cell <= 0) usage_die("--seeds must be positive");
+  if (spec.workers < 0) usage_die("--workers must be >= 0");
+  if (spec.bfa.max_flips <= 0) usage_die("--max-flips must be positive");
+  if (spec.trial_deadline_ms < 0) usage_die("--trial-deadline must be >= 0");
+  if (spec.max_retries < 0) usage_die("--max-retries must be >= 0");
+  if (serve_port != -1 && (serve_port < 0 || serve_port > 65535))
+    usage_die("--serve expects a port in [0, 65535]");
+  if (shards_per_worker <= 0) usage_die("--shards-per-worker must be positive");
+  if (worker_threads <= 0) usage_die("--worker-threads must be positive");
+  if (heartbeat_timeout_ms <= 0) usage_die("--heartbeat-timeout must be > 0");
+  if (worker_mode && (in_fd < 0 || out_fd < 0 || num_shards <= 0))
+    usage_die("--worker requires --in-fd, --out-fd, and --num-shards");
 
   const auto zoo = models::model_zoo();
   if (models_arg == "all") {
@@ -227,27 +377,36 @@ int run_cli(int argc, char** argv) {
   if (profiles_arg == "all") profiles_arg = "rh,rp,uncon";
   for (const auto& p : split_csv(profiles_arg)) {
     const auto parsed = runtime::profile_from_name(p);
-    if (!parsed) die("unknown profile '" + p + "'");
+    if (!parsed) usage_die("unknown profile '" + p + "'");
     spec.profiles.push_back(*parsed);
   }
-  if (spec.seeds_per_cell <= 0) die("--seeds must be positive");
-  if (spec.max_retries < 0) die("--max-retries must be >= 0");
 
-  if (!inject_arg.empty()) {
-    try {
-      const auto injections = runtime::fault::parse_spec(inject_arg);
-      for (const auto& [point, nth] : injections)
-        runtime::fault::arm(point, nth);
-    } catch (const std::exception& e) {
-      die(std::string("bad --inject spec: ") + e.what());
-    }
-  }
+  for (const auto& [point, nth] : injections) runtime::fault::arm(point, nth);
 
   spec.device = exp::default_chip_config();
-  if (fresh) std::filesystem::remove(runtime::journal_path(spec));
   if (quiet) {
     spec.progress_interval_s = 0.0;
     spec.verbose = false;
+  }
+
+  // ---- Hidden worker mode: speak the fabric wire protocol on the
+  // inherited pipe fds; the coordinator owns all terminal output.
+  if (worker_mode) {
+    spec.progress_interval_s = 0.0;
+    spec.verbose = false;
+    fabric::WorkerOptions opt;
+    opt.worker_id = worker_id;
+    opt.num_shards = num_shards;
+    opt.threads = worker_threads;
+    opt.heartbeat_interval_ms = heartbeat_interval_ms;
+    opt.ledger_path = runtime::journal_path(spec);
+    return fabric::worker_main(spec, opt, in_fd, out_fd);
+  }
+
+  if (fresh) {
+    std::filesystem::remove(runtime::journal_path(spec));
+    for (const auto& p : fabric::list_shard_journals(spec))
+      std::filesystem::remove(p);
   }
 
   // The aggregate registry is always on (counters are a few relaxed atomic
@@ -256,7 +415,11 @@ int run_cli(int argc, char** argv) {
   telemetry::MetricsRegistry metrics;
   telemetry::TraceCollector trace;
   spec.metrics = &metrics;
-  if (!trace_out.empty()) spec.trace = &trace;
+  if (!trace_out.empty() && !fabric_mode) spec.trace = &trace;
+  if (!trace_out.empty() && fabric_mode)
+    std::fprintf(stderr,
+                 "campaign_runner: --trace-out is ignored with --fabric "
+                 "(trials run in worker processes)\n");
 
   const auto trials = runtime::expand_trials(spec);
   if (!quiet)
@@ -269,16 +432,97 @@ int run_cli(int argc, char** argv) {
 
   // Live metrics feed: while trials run, the snapshot is republished every
   // interval via atomic tmp+rename, so a dashboard tailing the file always
-  // reads a complete JSON object.
+  // reads a complete JSON object.  Single-process only: in fabric mode the
+  // counters live in the worker processes until the final ledger restore
+  // (use --serve for live numbers instead), and the writer's thread would
+  // break the coordinator's single-threaded fork contract.
   std::optional<telemetry::PeriodicSnapshotWriter> live_metrics;
-  if (!metrics_out.empty() && metrics_interval_s > 0.0)
+  if (!metrics_out.empty() && metrics_interval_s > 0.0 && !fabric_mode)
     live_metrics.emplace(metrics, metrics_out,
                          std::chrono::milliseconds(static_cast<std::int64_t>(
                              metrics_interval_s * 1000.0)));
 
-  const auto res = runtime::run_campaign(spec);
+  runtime::CampaignResult res;
+  std::optional<fabric::FabricResult> fabric_res;
+  if (fabric_mode) {
+    fabric::FabricConfig cfg;
+    cfg.workers = spec.workers > 0 ? spec.workers : 4;
+    cfg.shards_per_worker = shards_per_worker;
+    cfg.threads_per_worker = worker_threads;
+    cfg.heartbeat_interval_ms = heartbeat_interval_ms;
+    cfg.heartbeat_timeout_ms = heartbeat_timeout_ms;
+    cfg.status_port = serve_port;
+    cfg.verbose = !quiet;
+    // Fork+exec this binary with the canonical flag set: the worker
+    // re-derives the identical spec from the command line alone.
+    const std::string self = argv[0];
+    std::string profile_names;
+    for (const auto p : spec.profiles) {
+      if (!profile_names.empty()) profile_names += ",";
+      profile_names += runtime::profile_name(p);
+    }
+    cfg.launcher = [&, self, profile_names](
+                       const runtime::CampaignSpec& wspec,
+                       const fabric::WorkerOptions& opt, int child_in,
+                       int child_out) -> pid_t {
+      std::vector<std::string> args = {
+          self, "--worker",
+          "--worker-id", std::to_string(opt.worker_id),
+          "--num-shards", std::to_string(opt.num_shards),
+          "--in-fd", std::to_string(child_in),
+          "--out-fd", std::to_string(child_out),
+          "--heartbeat-interval", std::to_string(opt.heartbeat_interval_ms),
+          "--worker-threads", std::to_string(opt.threads),
+          "--name", wspec.name,
+          "--models", join_csv(wspec.models),
+          "--profiles", profile_names,
+          "--seeds", std::to_string(wspec.seeds_per_cell),
+          "--campaign-seed", std::to_string(wspec.campaign_seed),
+          "--max-flips", std::to_string(wspec.bfa.max_flips),
+          "--cache-dir", wspec.cache_dir,
+          "--journal-dir", wspec.journal_dir,
+          "--trial-deadline", std::to_string(wspec.trial_deadline_ms),
+          "--max-retries", std::to_string(wspec.max_retries),
+          "--quiet"};
+      if (wspec.fail_fast) args.push_back("--fail-fast");
+      if (!inject_arg.empty()) {
+        args.push_back("--inject");
+        args.push_back(inject_arg);
+      }
+      const pid_t pid = ::fork();
+      if (pid != 0) return pid;
+      std::vector<char*> cargv;
+      cargv.reserve(args.size() + 1);
+      for (auto& a : args) cargv.push_back(const_cast<char*>(a.c_str()));
+      cargv.push_back(nullptr);
+      ::execv(self.c_str(), cargv.data());
+      std::fprintf(stderr, "campaign_runner: execv %s failed: %s\n",
+                   self.c_str(), std::strerror(errno));
+      std::_Exit(127);
+    };
+    if (serve_port >= 0)
+      cfg.on_status_port = [&](int port) {
+        // Always announced (even --quiet): with --serve 0 this line is the
+        // only way to learn the bound port.
+        std::fprintf(stderr, "status endpoint: http://127.0.0.1:%d/status\n",
+                     port);
+      };
+    fabric_res = fabric::run_fabric(spec, cfg);
+    res = std::move(fabric_res->campaign);
+  } else {
+    res = runtime::run_campaign(spec);
+  }
   if (live_metrics) live_metrics->stop();
+
   if (!quiet) {
+    if (fabric_res)
+      std::printf(
+          "\nfabric: %d worker(s) spawned, %d died; %d/%d shard(s) "
+          "completed, %d stolen, %d abandoned.\nledger: %s\n",
+          fabric_res->workers_spawned, fabric_res->workers_died,
+          fabric_res->shards_completed, fabric_res->shards_pending,
+          fabric_res->shards_stolen, fabric_res->shards_abandoned,
+          fabric_res->ledger.c_str());
     std::printf("\n%d trial(s) executed, %d resumed from journal.\n",
                 res.executed, res.skipped);
     std::printf(
@@ -354,11 +598,11 @@ int run_cli(int argc, char** argv) {
     telemetry::write_json_file_atomic(metrics_out, snap);
     if (!quiet) std::printf("metrics snapshot: %s\n", metrics_out.c_str());
   }
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() && spec.trace) {
     telemetry::write_chrome_trace(trace_out, trace.events());
     if (!quiet) std::printf("chrome trace: %s\n", trace_out.c_str());
   }
-  // Exit 2 when any trial permanently failed (quarantined): the campaign
+  // Exit 3 when any trial permanently failed (quarantined): the campaign
   // completed, but the grid has holes a resume won't fill without
   // intervention.  Timed-out and cancelled trials re-run on resume and do
   // not trip this.
@@ -366,7 +610,15 @@ int run_cli(int argc, char** argv) {
     if (!quiet)
       std::printf("\n%d trial(s) permanently failed — see journal %s\n",
                   res.failed, res.journal.c_str());
-    return 2;
+    return 3;
+  }
+  // Abandoned shards / unfinished trials (fabric gave up after repeated
+  // worker deaths) are an operational problem, not a trial verdict.
+  if (!res.all_succeeded() && res.timed_out == 0 && res.cancelled == 0) {
+    if (!quiet)
+      std::printf("\n%d trial(s) did not run — re-run to resume.\n",
+                  res.in_scope - res.succeeded);
+    return 1;
   }
   return 0;
 }
