@@ -9,49 +9,11 @@
 #include "nn/module.h"
 
 namespace rowpress::attack {
-namespace {
 
-// batch_loss / subset_accuracy live in attack/eval.h — shared with the
-// ECC-aware attack and the serving layer (whose served-accuracy claim
-// depends on matching this exact evaluation).
-
-/// Signed dequantized-weight change from flipping bit `b` of code `w`.
-float flip_delta(std::int8_t w, int b, float scale) {
-  return static_cast<float>(int8_flip_delta(w, b)) * scale;
-}
-
-/// True if the physical cell direction allows flipping the current bit.
-bool direction_allows(bool current_bit, dram::FlipDirection dir) {
-  return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
-}
-
-/// Maps each attackable qparam to the top-level Sequential child owning it
-/// (by Param identity), so the inter-layer search can re-run only the
-/// children a tentative flip can affect.  Empty result = model is not a
-/// flat Sequential, a param is owned elsewhere, or a param is shared by
-/// more than one child (weight tying — replaying from any single child
-/// would skip the other owners); caller falls back to full forward passes.
-std::vector<int> map_qparams_to_children(nn::Module& model,
-                                         const nn::QuantizedModel& qmodel) {
-  auto* seq = dynamic_cast<nn::Sequential*>(&model);
-  if (seq == nullptr) return {};
-  const auto& qparams = qmodel.qparams();
-  std::vector<int> child_of(qparams.size(), -1);
-  for (std::size_t c = 0; c < seq->size(); ++c) {
-    for (const nn::Param* p : seq->child(c).parameters()) {
-      for (std::size_t l = 0; l < qparams.size(); ++l) {
-        if (qparams[l].param != p) continue;
-        if (child_of[l] >= 0 && child_of[l] != static_cast<int>(c)) return {};
-        child_of[l] = static_cast<int>(c);
-      }
-    }
-  }
-  for (const int c : child_of)
-    if (c < 0) return {};
-  return child_of;
-}
-
-}  // namespace
+// batch_loss / subset_accuracy / flip_delta / direction_allows /
+// map_qparams_to_children live in attack/eval.h — shared with the
+// ECC-aware attack, the serving layer (whose served-accuracy claim depends
+// on matching this exact evaluation), and the branch-and-bound search.
 
 void ProgressiveBitFlipAttack::bind_telemetry(
     telemetry::MetricsRegistry* metrics, telemetry::TraceCollector* trace) {

@@ -12,11 +12,7 @@
 namespace rowpress::attack {
 namespace {
 
-bool direction_allows(bool current_bit, dram::FlipDirection dir) {
-  return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
-}
-
-// batch_loss / subset_accuracy shared via attack/eval.h.
+// batch_loss / subset_accuracy / direction_allows shared via attack/eval.h.
 
 }  // namespace
 

@@ -56,4 +56,24 @@ std::vector<int> strided_eval_indices(int n_eval, int dataset_size) {
   return idx;
 }
 
+std::vector<int> map_qparams_to_children(nn::Module& model,
+                                         const nn::QuantizedModel& qmodel) {
+  auto* seq = dynamic_cast<nn::Sequential*>(&model);
+  if (seq == nullptr) return {};
+  const auto& qparams = qmodel.qparams();
+  std::vector<int> child_of(qparams.size(), -1);
+  for (std::size_t c = 0; c < seq->size(); ++c) {
+    for (const nn::Param* p : seq->child(c).parameters()) {
+      for (std::size_t l = 0; l < qparams.size(); ++l) {
+        if (qparams[l].param != p) continue;
+        if (child_of[l] >= 0 && child_of[l] != static_cast<int>(c)) return {};
+        child_of[l] = static_cast<int>(c);
+      }
+    }
+  }
+  for (const int c : child_of)
+    if (c < 0) return {};
+  return child_of;
+}
+
 }  // namespace rowpress::attack

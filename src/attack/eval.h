@@ -9,10 +9,14 @@
 // bit-identical accuracy double regardless of how requests were batched.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/bitutil.h"
 #include "data/dataset.h"
+#include "dram/cell_model.h"
 #include "nn/module.h"
+#include "nn/quant/qmodel.h"
 #include "telemetry/metric.h"
 
 namespace rowpress::attack {
@@ -37,5 +41,26 @@ int argmax_row(const nn::Tensor& logits, int row);
 /// indices strided over [0, dataset_size) so class-ordered datasets stay
 /// stratified.  n_eval is clamped to dataset_size.
 std::vector<int> strided_eval_indices(int n_eval, int dataset_size);
+
+/// Signed dequantized-weight change from flipping bit `b` of code `w` —
+/// the delta_w of the BFA candidate score |dL/dw * delta_w|.
+inline float flip_delta(std::int8_t w, int b, float scale) {
+  return static_cast<float>(int8_flip_delta(w, b)) * scale;
+}
+
+/// True if the physical cell's flip direction allows flipping the current
+/// bit value (a 0->1 cell can only raise a 0 bit, and vice versa).
+inline bool direction_allows(bool current_bit, dram::FlipDirection dir) {
+  return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
+}
+
+/// Maps each attackable qparam to the top-level Sequential child owning it
+/// (by Param identity), so incremental candidate evaluation can re-run only
+/// the children a tentative flip can affect.  Empty result = model is not a
+/// flat Sequential, a param is owned elsewhere, or a param is shared by
+/// more than one child (weight tying — replaying from any single child
+/// would skip the other owners); callers fall back to full forward passes.
+std::vector<int> map_qparams_to_children(nn::Module& model,
+                                         const nn::QuantizedModel& qmodel);
 
 }  // namespace rowpress::attack

@@ -161,6 +161,39 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
     if (pending) shard_queue.push_back(s);
   }
   out.shards_pending = static_cast<int>(shard_queue.size());
+
+  // Per-shard lifecycle mirror for the status endpoint's "shards_detail"
+  // array: pending -> running -> done, with detours through re-queues
+  // (attempts) and abandonment.  Shards fully satisfied by the ledger
+  // start (and stay) "done".
+  struct ShardStatus {
+    const char* state = "done";
+    int worker = -1;            ///< owner while running, else -1
+    std::int64_t executed = 0;  ///< trials executed, reported at ShardDone
+    int attempts = 0;           ///< re-queue tally (mirror of shard_attempts)
+  };
+  std::vector<ShardStatus> shard_status(static_cast<std::size_t>(num_shards));
+  for (const int s : shard_queue)
+    shard_status[static_cast<std::size_t>(s)].state = "pending";
+
+  // Bounded ring of the most recent fleet failures (worker deaths/stalls,
+  // shard errors, abandonments), served as "recent_failures".  Each entry
+  // is a pre-serialized JSON object; `seq` makes drops observable.
+  constexpr std::size_t kRecentFailureCap = 16;
+  std::deque<std::string> recent_failures;
+  std::int64_t failure_seq = 0;
+  auto note_failure = [&](const char* kind, int worker, int shard,
+                          const std::string& detail) {
+    JsonWriter w;
+    w.field("seq", failure_seq++)
+        .field("kind", std::string(kind))
+        .field("worker", static_cast<std::int64_t>(worker))
+        .field("shard", static_cast<std::int64_t>(shard))
+        .field("detail", detail);
+    recent_failures.push_back(w.str());
+    if (recent_failures.size() > kRecentFailureCap)
+      recent_failures.pop_front();
+  };
   std::int64_t done_at_start = 0;
   for (const auto& [idx, rec] : known)
     if (rec.succeeded()) ++done_at_start;
@@ -312,16 +345,22 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
       s.current_shard = -1;
       if (shard < 0) return;
       ++shard_attempts[static_cast<std::size_t>(shard)];
+      ShardStatus& st = shard_status[static_cast<std::size_t>(shard)];
+      st.worker = -1;
+      st.attempts = shard_attempts[static_cast<std::size_t>(shard)];
       if (shard_attempts[static_cast<std::size_t>(shard)] >=
           cfg.max_shard_attempts) {
         ++out.shards_abandoned;
         --remaining;
+        st.state = "abandoned";
+        note_failure("shard_abandoned", s.id, shard, why);
         log("[fabric] shard " + std::to_string(shard) + " abandoned after " +
             std::to_string(shard_attempts[static_cast<std::size_t>(shard)]) +
             " attempts (" + why + ")");
         return;
       }
       ++out.shards_stolen;
+      st.state = "pending";
       shard_queue.push_back(shard);
       log("[fabric] shard " + std::to_string(shard) + " re-queued (" + why +
           " on worker " + std::to_string(s.id) + ")");
@@ -341,6 +380,7 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
       close_fd(s.to_fd);
       if (!requested) {
         ++out.workers_died;
+        note_failure("worker_death", s.id, s.current_shard, why);
         log("[fabric] worker " + std::to_string(s.id) + " (pid " +
             std::to_string(s.pid) + ") " + why);
         emit_event({FleetEvent::Kind::kWorkerDeath, s.id, s.pid,
@@ -370,6 +410,12 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
             s.current_shard = -1;
             ++out.shards_completed;
             --remaining;
+            {
+              ShardStatus& st = shard_status[static_cast<std::size_t>(m.shard)];
+              st.state = "done";
+              st.worker = -1;
+              st.executed = m.executed;
+            }
             sum_executed += m.executed;
             sum_skipped += m.skipped;
             sum_shard_failed += m.failed;
@@ -384,6 +430,7 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
           break;
         case Message::Type::kShardError:
           if (m.shard == s.current_shard && m.shard >= 0) {
+            note_failure("shard_error", s.id, m.shard, m.error);
             log("[fabric] shard " + std::to_string(m.shard) + " failed on "
                 "worker " + std::to_string(s.id) + ": " + m.error);
             emit_event({FleetEvent::Kind::kShardError, s.id, s.pid, m.shard,
@@ -460,6 +507,32 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
           .field("eta_s", eta);
       w.field_object("counters", counters.counters);
       w.field_raw("workers", workers_json);
+      std::string shards_json = "[";
+      for (int sh = 0; sh < num_shards; ++sh) {
+        const ShardStatus& st = shard_status[static_cast<std::size_t>(sh)];
+        JsonWriter sw;
+        sw.field("shard", static_cast<std::int64_t>(sh))
+            .field("state", std::string(st.state))
+            .field("worker", static_cast<std::int64_t>(st.worker))
+            .field("trials",
+                   static_cast<std::int64_t>(
+                       plan.trials[static_cast<std::size_t>(sh)].size()))
+            .field("executed", st.executed)
+            .field("attempts", static_cast<std::int64_t>(st.attempts));
+        if (sh > 0) shards_json += ",";
+        shards_json += sw.str();
+      }
+      shards_json += "]";
+      w.field_raw("shards_detail", shards_json);
+      std::string failures_json = "[";
+      bool ffirst = true;
+      for (const auto& f : recent_failures) {
+        if (!ffirst) failures_json += ",";
+        failures_json += f;
+        ffirst = false;
+      }
+      failures_json += "]";
+      w.field_raw("recent_failures", failures_json);
       return w.str();
     };
 
@@ -531,6 +604,8 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
         }
         shard_queue.pop_front();
         s->current_shard = shard;
+        shard_status[static_cast<std::size_t>(shard)].state = "running";
+        shard_status[static_cast<std::size_t>(shard)].worker = s->id;
         info("[fabric] shard " + std::to_string(shard) + " -> worker " +
              std::to_string(s->id));
         emit_event({FleetEvent::Kind::kAssign, s->id, s->pid, shard, s->done,
@@ -553,6 +628,11 @@ FabricResult run_fabric(const CampaignSpec& spec, const FabricConfig& cfg) {
         } else {
           out.shards_abandoned += static_cast<int>(shard_queue.size());
           remaining -= static_cast<int>(shard_queue.size());
+          for (const int sh : shard_queue) {
+            shard_status[static_cast<std::size_t>(sh)].state = "abandoned";
+            note_failure("shard_abandoned", -1, sh,
+                         "respawn budget exhausted");
+          }
           log("[fabric] no workers left and respawn budget exhausted; "
               "abandoning " + std::to_string(shard_queue.size()) +
               " shard(s)");

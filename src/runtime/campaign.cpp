@@ -20,6 +20,7 @@
 #include "runtime/journal.h"
 #include "runtime/progress.h"
 #include "runtime/thread_pool.h"
+#include "search/runner.h"
 
 namespace rowpress::runtime {
 
@@ -284,26 +285,27 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       attempt_cancel.set_deadline_after(
           std::chrono::milliseconds(spec.trial_deadline_ms));
 
-    attack::AttackRunSetup setup;
-    setup.bfa = spec.bfa;
-    setup.seed = t.seed;
-    setup.metrics = &trial_metrics;
-    setup.trace = spec.trace;
-    setup.cancel = &attempt_cancel;
+    search::SearchRunSetup setup;
+    setup.base.bfa = spec.bfa;
+    setup.base.seed = t.seed;
+    setup.base.metrics = &trial_metrics;
+    setup.base.trace = spec.trace;
+    setup.base.cancel = &attempt_cancel;
+    setup.config = spec.search;
     attack::AttackResult r;
     switch (t.profile) {
       case AttackProfile::kRowHammer:
-        r = attack::run_profile_attack(mspec, model.state, data,
+        r = search::run_profile_attack(mspec, model.state, data,
                                        profiles->rowhammer, device.geometry(),
                                        setup);
         break;
       case AttackProfile::kRowPress:
-        r = attack::run_profile_attack(mspec, model.state, data,
+        r = search::run_profile_attack(mspec, model.state, data,
                                        profiles->rowpress, device.geometry(),
                                        setup);
         break;
       case AttackProfile::kUnconstrained:
-        r = attack::run_unconstrained_attack(mspec, model.state, data, setup);
+        r = search::run_unconstrained_attack(mspec, model.state, data, setup);
         break;
     }
 

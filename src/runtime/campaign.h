@@ -23,6 +23,7 @@
 #include "dram/device.h"
 #include "models/zoo.h"
 #include "runtime/progress.h"
+#include "search/bnb.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -98,6 +99,11 @@ struct CampaignSpec {
   std::uint64_t campaign_seed = 1; ///< master seed for all trial streams
   std::uint64_t model_seed = 1;    ///< training seed (shared across trials)
   attack::BfaConfig bfa;
+  /// Search engine for every trial (`--search greedy|bnb` plus budgets).
+  /// kGreedy dispatches to the progressive BFA unchanged — byte-identical
+  /// journals; kBranchAndBound runs the src/search/ engine seeded with the
+  /// greedy chain as its incumbent (see search/runner.h).
+  search::SearchConfig search;
   dram::DeviceConfig device;       ///< simulated chip to profile/attack
   std::string cache_dir = "artifacts";
   std::string journal_dir = "artifacts/campaigns";

@@ -1,0 +1,151 @@
+// Best-first branch-and-bound search over partial flip chains.
+//
+// The greedy progressive BFA commits the locally best flip every round and
+// can overshoot the minimal chain; this engine searches the chain space for
+// the *shortest* chain reaching the objective (the headline "fewest flips
+// to depletion" metric):
+//
+//   - Frontier of SearchNode{committed flips, pinned loss/accuracy, bound}
+//     expanded best-first (search/frontier.h); each expansion evaluates the
+//     top-`branch` candidate flips by the BFA gradient rule and pins their
+//     realized loss (incremental suffix replay) and eval accuracy.
+//   - Branch-and-bound pruning against the incumbent (by default the greedy
+//     chain, searched first): a node needs at least
+//     ceil(remaining / max_observed_single_flip_drop) more flips, so any
+//     node whose depth + that estimate cannot strictly beat the incumbent
+//     is cut.  The estimate divides by the largest single-flip damage seen
+//     anywhere in the search, relaxed by `bound_relax` — admissible under
+//     the assumption that no future flip outdamages the best observed one
+//     by more than that factor.
+//   - Transposition cache on the canonicalized (sorted) flip-set key, so
+//     permutations of one chain — which XOR to identical weights — are
+//     expanded once.
+//   - Parallel frontier expansion on runtime::ThreadPool: each round pops a
+//     deterministic batch of best nodes, expands them concurrently on
+//     per-worker model replicas, then merges children in pop order with
+//     total-order tie-breaking — results are bit-identical across thread
+//     counts.
+//
+// Budgets: `max_nodes` caps expansions; `time_budget_ms` arms an internal
+// CancelToken deadline polled every round.  Exhausting either is a normal
+// outcome — the engine returns the incumbent.  The *external* cancel token
+// (trial deadline, fail-fast) still aborts by throwing, exactly like the
+// greedy search.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "attack/bfa.h"
+#include "attack/runner.h"
+#include "data/dataset.h"
+#include "runtime/cancel.h"
+#include "search/objective.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace rowpress::search {
+
+enum class SearchKind { kGreedy, kBranchAndBound };
+
+/// Canonical CLI / journal name: "greedy" / "bnb".
+const char* search_kind_name(SearchKind k);
+std::optional<SearchKind> search_kind_from_name(const std::string& name);
+
+struct SearchConfig {
+  SearchKind kind = SearchKind::kGreedy;
+  /// Candidate flips evaluated per node expansion (the branching factor).
+  int branch = 6;
+  /// Node-expansion budget; <= 0 = unlimited.
+  std::int64_t max_nodes = 512;
+  /// Wall-clock budget for the bnb phase, via an internal CancelToken
+  /// deadline; <= 0 = unlimited.
+  std::int64_t time_budget_ms = 0;
+  /// Frontier-expansion worker threads (per-worker model replicas).
+  /// Affects wall-clock only — never the result (see expand_batch).
+  int threads = 1;
+  /// Nodes popped per synchronous expansion round.  Fixed independently of
+  /// `threads`: each round's batch is chosen before any parallel work and
+  /// merged in pop order afterwards, so the explored set — and hence the
+  /// returned chain — is bit-identical across thread counts.
+  int expand_batch = 8;
+  /// Frontier capacity; the worst open node is evicted on overflow.
+  std::size_t frontier_cap = 4096;
+  /// Run the greedy BFA first and use its chain as the incumbent — the
+  /// search then only explores strictly shorter chains, and the result is
+  /// never worse than greedy.
+  bool seed_with_greedy = true;
+  /// Relaxation factor on the observed max single-flip damage used by the
+  /// pruning bound (larger = more conservative = less pruning).
+  double bound_relax = 2.0;
+};
+
+struct SearchStats {
+  std::int64_t nodes_expanded = 0;
+  std::int64_t nodes_pruned = 0;   ///< bound cuts + frontier evictions
+  std::int64_t cache_hits = 0;     ///< transposition-cache dedups
+  std::int64_t goal_nodes = 0;     ///< chains reaching the objective
+  std::int64_t rounds = 0;         ///< parallel expansion rounds
+  bool improved = false;           ///< beat the seeded incumbent
+  bool budget_exhausted = false;   ///< stopped on node/time budget
+};
+
+class BranchAndBoundSearch {
+ public:
+  /// Builds one private, identical QuantizedReplica per worker.
+  using ReplicaFactory = std::function<attack::QuantizedReplica()>;
+
+  BranchAndBoundSearch(SearchConfig config, attack::BfaConfig bfa)
+      : config_(config), bfa_(bfa) {}
+
+  /// Attaches search telemetry (either pointer may be null): counters
+  /// search.nodes_expanded / nodes_pruned / cache_hits / goal_nodes /
+  /// rounds plus the attack.forward_passes-family work counters, and one
+  /// "search.expand" trace span per node expansion.
+  void bind_telemetry(telemetry::MetricsRegistry* metrics,
+                      telemetry::TraceCollector* trace);
+
+  /// External cancellation (trial deadline / fail-fast): polled every
+  /// round, aborts by throwing the token's TrialError.  May be null.
+  void bind_cancel(const runtime::CancelToken* cancel) { cancel_ = cancel; }
+
+  /// Runs the search.  `feasible` restricts candidates to the profile-aware
+  /// set (null = unconstrained); `incumbent` is an optional already-found
+  /// chain to beat (the greedy probe) — returned unchanged if the search
+  /// finds nothing strictly shorter.  `seed` derives the per-node attack
+  /// batches.  Deterministic in (arguments, config) — thread count
+  /// included only as far as it never changes the result.
+  attack::AttackResult run(const ReplicaFactory& make_replica,
+                           const std::vector<attack::FeasibleBit>* feasible,
+                           const data::Dataset& attack_data,
+                           const data::Dataset& eval_data,
+                           const Objective& objective, std::uint64_t seed,
+                           const attack::AttackResult* incumbent);
+
+  /// Stats of the last run().
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  SearchConfig config_;
+  attack::BfaConfig bfa_;
+  SearchStats stats_;
+
+  struct Telemetry {
+    telemetry::Counter* nodes_expanded = nullptr;
+    telemetry::Counter* nodes_pruned = nullptr;
+    telemetry::Counter* cache_hits = nullptr;
+    telemetry::Counter* goal_nodes = nullptr;
+    telemetry::Counter* rounds = nullptr;
+    telemetry::Counter* forward_passes = nullptr;
+    telemetry::Counter* suffix_forward_passes = nullptr;
+    telemetry::Counter* bits_evaluated = nullptr;
+  };
+  Telemetry tel_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::TraceCollector* trace_ = nullptr;
+  const runtime::CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace rowpress::search

@@ -1,0 +1,80 @@
+// Frontier + transposition cache of the branch-and-bound search.
+//
+// The frontier is a totally ordered set of open nodes: best-first by
+// (bound asc, objective score desc, depth asc, canonical key asc).  The
+// final key comparison makes the order *unique* — the transposition cache
+// guarantees no two frontier nodes share a canonical flip set — which is
+// what makes "pop the k best" deterministic regardless of insertion order
+// and hence of worker count.  Capacity-bounded: inserting into a full
+// frontier evicts the worst node (beam-style; evictions are reported so
+// the engine can count them as pruned).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "search/node.h"
+
+namespace rowpress::search {
+
+struct NodeOrder {
+  bool operator()(const NodePtr& a, const NodePtr& b) const {
+    if (a->bound != b->bound) return a->bound < b->bound;
+    if (a->score != b->score) return a->score > b->score;
+    if (a->depth != b->depth) return a->depth < b->depth;
+    return a->key < b->key;
+  }
+};
+
+class Frontier {
+ public:
+  explicit Frontier(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts `n`; on overflow evicts the worst node (possibly `n` itself).
+  /// Returns the number of nodes evicted (0 or 1).
+  std::size_t insert(NodePtr n) {
+    set_.insert(std::move(n));
+    if (set_.size() <= capacity_) return 0;
+    set_.erase(std::prev(set_.end()));
+    return 1;
+  }
+
+  /// Removes and returns the best open node.  Requires !empty().
+  NodePtr pop_best() {
+    NodePtr n = *set_.begin();
+    set_.erase(set_.begin());
+    return n;
+  }
+
+  bool empty() const { return set_.empty(); }
+  std::size_t size() const { return set_.size(); }
+  void clear() { set_.clear(); }
+
+ private:
+  std::set<NodePtr, NodeOrder> set_;
+  std::size_t capacity_;
+};
+
+/// Seen canonical flip sets.  Exact (stores the sorted keys, not just their
+/// hashes): a hash collision here would silently drop a distinct chain.
+class TranspositionCache {
+ public:
+  /// True if `key` was new (and is now cached); false on a hit.
+  bool insert(const std::vector<std::int64_t>& key) {
+    return seen_.insert(key).second;
+  }
+
+  std::size_t size() const { return seen_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::int64_t>& k) const {
+      return static_cast<std::size_t>(hash_key(k));
+    }
+  };
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> seen_;
+};
+
+}  // namespace rowpress::search

@@ -1,0 +1,76 @@
+// Pluggable search objectives: what the flip-chain search is trying to
+// reach, scored independently of *how* the chain space is explored.
+//
+// The branch-and-bound engine (search/bnb.h) is objective-agnostic: it
+// orders its frontier by `score()` (higher = closer to the goal), detects
+// terminal chains with `is_goal()`, and prunes with an admissible
+// flips-to-go estimate derived from `remaining()` — the distance still to
+// cover, in the same units a single flip's observed damage is measured in.
+// DepletionObjective reproduces the paper's eqn-1/2 stopping rule (eval
+// accuracy down to random guess + margin); targeted-misclassification and
+// backdoor objectives from the roadmap plug in here without touching the
+// engine.
+#pragma once
+
+#include <algorithm>
+
+namespace rowpress::search {
+
+/// Everything an objective may judge a partial chain by.  All values are
+/// pinned (measured once, deterministically) when the chain's node is
+/// created, so objective decisions are bit-identical across thread counts.
+struct EvalState {
+  double loss = 0.0;             ///< attack-batch loss after the chain
+  double accuracy = 0.0;         ///< eval-subset accuracy after the chain
+  int depth = 0;                 ///< flips committed so far
+  double accuracy_before = 0.0;  ///< clean-model eval accuracy
+  double random_guess = 0.0;     ///< dataset random-guess accuracy
+};
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  virtual const char* name() const = 0;
+
+  /// True when the chain satisfies the attack goal (terminal node).
+  virtual bool is_goal(const EvalState& s) const = 0;
+
+  /// Frontier ordering key: higher = closer to the goal.  Ties are broken
+  /// deterministically by the engine (depth, then canonical chain).
+  virtual double score(const EvalState& s) const = 0;
+
+  /// Distance still to cover, >= 0, in units comparable across nodes (the
+  /// engine divides it by the largest observed single-flip reduction to
+  /// bound the number of flips any extension still needs).  Must be 0
+  /// exactly when is_goal().
+  virtual double remaining(const EvalState& s) const = 0;
+};
+
+/// The paper's accuracy-depletion goal (eqn. 1/2): drive eval accuracy to
+/// random-guess level + margin — the same stopping rule as the greedy BFA
+/// (BfaConfig::accuracy_margin), so greedy and bnb chains are comparable.
+class DepletionObjective final : public Objective {
+ public:
+  explicit DepletionObjective(double accuracy_margin = 0.005)
+      : margin_(accuracy_margin) {}
+
+  const char* name() const override { return "depletion"; }
+
+  double target(const EvalState& s) const { return s.random_guess + margin_; }
+
+  bool is_goal(const EvalState& s) const override {
+    return s.accuracy <= target(s);
+  }
+
+  double score(const EvalState& s) const override { return -s.accuracy; }
+
+  double remaining(const EvalState& s) const override {
+    return std::max(0.0, s.accuracy - target(s));
+  }
+
+ private:
+  double margin_;
+};
+
+}  // namespace rowpress::search

@@ -1,0 +1,103 @@
+#include "search/runner.h"
+
+#include <utility>
+
+#include "attack/mapping.h"
+#include "common/check.h"
+#include "nn/kernels/kernels.h"
+#include "nn/quant/qmodel.h"
+#include "search/objective.h"
+
+namespace rowpress::search {
+namespace {
+
+/// Replica factory reproducing exactly the replica the greedy runner
+/// builds: a fresh Rng(seed), fork for init, quantize.  Every call yields
+/// bit-identical weights and codes.
+BranchAndBoundSearch::ReplicaFactory replica_factory(
+    const models::ModelSpec& spec, const nn::ModelState& trained,
+    std::uint64_t seed) {
+  return [&spec, &trained, seed] {
+    Rng rng(seed);
+    Rng init_rng = rng.fork();
+    return attack::make_quantized_replica(spec, trained, init_rng);
+  };
+}
+
+attack::AttackResult run_bnb(const models::ModelSpec& spec,
+                             const nn::ModelState& trained,
+                             const data::SplitDataset& data,
+                             const std::vector<attack::FeasibleBit>* feasible,
+                             const SearchRunSetup& setup,
+                             const attack::AttackResult* incumbent,
+                             SearchStats* stats) {
+  const attack::AttackRunSetup& base = setup.base;
+  nn::kernels::ScopedBindMetrics kernel_metrics(base.metrics);
+  BranchAndBoundSearch engine(setup.config, base.bfa);
+  engine.bind_telemetry(base.metrics, base.trace);
+  engine.bind_cancel(base.cancel);
+  DepletionObjective objective(base.bfa.accuracy_margin);
+  attack::AttackResult r =
+      engine.run(replica_factory(spec, trained, base.seed), feasible,
+                 data.test, data.test, objective, base.seed, incumbent);
+  if (stats) *stats = engine.stats();
+  return r;
+}
+
+}  // namespace
+
+attack::AttackResult run_profile_attack(const models::ModelSpec& spec,
+                                        const nn::ModelState& trained,
+                                        const data::SplitDataset& data,
+                                        const profile::BitFlipProfile& prof,
+                                        const dram::Geometry& geom,
+                                        const SearchRunSetup& setup,
+                                        SearchStats* stats) {
+  if (setup.config.kind == SearchKind::kGreedy)
+    return attack::run_profile_attack(spec, trained, data, prof, geom,
+                                      setup.base);
+
+  // Greedy probe first: the baseline chain the engine must strictly beat
+  // (and falls back to).  A full independent run — identical to what
+  // `--search greedy` would journal for this trial.
+  attack::AttackResult greedy;
+  if (setup.config.seed_with_greedy)
+    greedy = attack::run_profile_attack(spec, trained, data, prof, geom,
+                                        setup.base);
+
+  // Re-derive the placement the greedy runner saw: same Rng(seed), same
+  // fork for quantization, same mapping draw — the search attacks the same
+  // physical weight->cell layout.
+  RP_REQUIRE(prof.max_linear_bit() < geom.total_bits(),
+             "profile '" + prof.mechanism_name() +
+                 "' addresses cells beyond the device geometry — it was "
+                 "built for a different chip");
+  Rng rng(setup.base.seed);
+  Rng init_rng = rng.fork();
+  attack::QuantizedReplica replica =
+      attack::make_quantized_replica(spec, trained, init_rng);
+  attack::WeightDramMapping mapping(geom, replica.qmodel->total_weight_bytes(),
+                                    rng);
+  const auto feasible = mapping.feasible_bits(*replica.qmodel, prof);
+
+  return run_bnb(spec, trained, data, &feasible, setup,
+                 setup.config.seed_with_greedy ? &greedy : nullptr, stats);
+}
+
+attack::AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
+                                              const nn::ModelState& trained,
+                                              const data::SplitDataset& data,
+                                              const SearchRunSetup& setup,
+                                              SearchStats* stats) {
+  if (setup.config.kind == SearchKind::kGreedy)
+    return attack::run_unconstrained_attack(spec, trained, data, setup.base);
+
+  attack::AttackResult greedy;
+  if (setup.config.seed_with_greedy)
+    greedy = attack::run_unconstrained_attack(spec, trained, data, setup.base);
+
+  return run_bnb(spec, trained, data, /*feasible=*/nullptr, setup,
+                 setup.config.seed_with_greedy ? &greedy : nullptr, stats);
+}
+
+}  // namespace rowpress::search

@@ -10,6 +10,7 @@
 #include "models/resnet.h"
 #include "nn/kernels/kernels.h"
 #include "profile/profiler.h"
+#include "search/runner.h"
 #include "test_util.h"
 
 namespace rowpress {
@@ -30,7 +31,10 @@ class DeterminismTest : public ::testing::Test {
     spec_->factory = [](Rng& rng) {
       return models::make_resnet_cifar(20, 1, 4, 4, rng);
     };
-    spec_->recipe = {.epochs = 1, .batch_size = 32, .lr = 2e-3,
+    // 6 epochs: the quantized 1-epoch model sits ~1 flip above random
+    // guess, which would make the bnb determinism check below vacuous
+    // (the search prunes everything against a 1-flip incumbent).
+    spec_->recipe = {.epochs = 6, .batch_size = 32, .lr = 2e-3,
                      .weight_decay = 1e-4};
 
     Rng rng(3);
@@ -68,6 +72,23 @@ class DeterminismTest : public ::testing::Test {
     split.test = data_->test;
     return attack::run_profile_attack(*spec_, *state_, split, *profile_,
                                       device_->geometry(), setup);
+  }
+
+  static attack::AttackResult run_bnb(std::uint64_t seed, int threads,
+                                      bool incremental,
+                                      search::SearchStats* stats = nullptr) {
+    search::SearchRunSetup setup;
+    setup.base.seed = seed;
+    setup.base.bfa.max_flips = 10;
+    setup.base.bfa.eval_samples = 100;
+    setup.base.bfa.incremental_eval = incremental;
+    setup.config.kind = search::SearchKind::kBranchAndBound;
+    setup.config.threads = threads;
+    setup.config.max_nodes = 32;
+    setup.config.branch = 4;
+    setup.config.expand_batch = 4;
+    return search::run_profile_attack(*spec_, *state_, *data_, *profile_,
+                                      device_->geometry(), setup, stats);
   }
 
   static data::SplitDataset* data_;
@@ -128,6 +149,50 @@ TEST_F(DeterminismTest, KernelBackendsAndIncrementalEvalAreBitIdentical) {
   }
   k::set_backend(saved);
   expect_same(run_once(42, /*incremental=*/false), "full-forward eval");
+}
+
+// The branch-and-bound search extends the same contract: worker threads
+// parallelize frontier expansion but may never change a single bit of the
+// result, and neither may switching the candidate evaluator between
+// incremental suffix replay and full forward passes.
+TEST_F(DeterminismTest, BnbSearchIsBitIdenticalAcrossThreadsAndEvalModes) {
+  search::SearchStats base_stats;
+  const auto base = run_bnb(42, /*threads=*/1, /*incremental=*/true,
+                            &base_stats);
+  EXPECT_GT(base_stats.nodes_expanded, 0);  // the search actually explored
+
+  auto expect_same = [&](const attack::AttackResult& r, const char* what) {
+    ASSERT_EQ(r.flips.size(), base.flips.size()) << what;
+    EXPECT_EQ(r.objective_reached, base.objective_reached) << what;
+    EXPECT_EQ(r.accuracy_before, base.accuracy_before) << what;
+    EXPECT_EQ(r.accuracy_after, base.accuracy_after) << what;
+    for (std::size_t i = 0; i < base.flips.size(); ++i) {
+      EXPECT_EQ(r.flips[i].ref, base.flips[i].ref) << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].weight_delta, base.flips[i].weight_delta)
+          << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].loss_after, base.flips[i].loss_after)
+          << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].accuracy_after, base.flips[i].accuracy_after)
+          << what << " flip " << i;
+    }
+  };
+
+  for (const int threads : {2, 8}) {
+    search::SearchStats s;
+    expect_same(run_bnb(42, threads, /*incremental=*/true, &s),
+                threads == 2 ? "2 threads" : "8 threads");
+    // The explored set itself — not just the final chain — is invariant.
+    EXPECT_EQ(s.nodes_expanded, base_stats.nodes_expanded) << threads;
+    EXPECT_EQ(s.nodes_pruned, base_stats.nodes_pruned) << threads;
+    EXPECT_EQ(s.cache_hits, base_stats.cache_hits) << threads;
+    EXPECT_EQ(s.rounds, base_stats.rounds) << threads;
+    EXPECT_EQ(s.improved, base_stats.improved) << threads;
+  }
+
+  search::SearchStats full_stats;
+  expect_same(run_bnb(42, /*threads=*/1, /*incremental=*/false, &full_stats),
+              "full-forward eval");
+  EXPECT_EQ(full_stats.nodes_expanded, base_stats.nodes_expanded);
 }
 
 TEST_F(DeterminismTest, DifferentSeedsChangeTheMappingOrBatches) {

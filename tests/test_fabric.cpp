@@ -342,6 +342,74 @@ TEST(JournalMerge, TornTailsAreIgnoredAndInputsUntouched) {
   EXPECT_EQ(again.unique_trials, 2u);
 }
 
+// --- journal_merge CLI (end-to-end against the real binary) -------------
+
+std::pair<int, std::string> run_cli(const std::string& cmd) {
+  FILE* p = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (!p) return {-1, "popen failed"};
+  std::string output;
+  char buf[512];
+  while (std::size_t n = std::fread(buf, 1, sizeof(buf), p))
+    output.append(buf, n);
+  const int rc = ::pclose(p);
+  return {WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, output};
+}
+
+// Satellite regression: invoking the installed tool on two shard journals
+// (one left with a crash's torn tail) produces a deduplicated ledger and
+// prints recovery statistics that match what Journal::load_file reports
+// for the same inputs.
+TEST(JournalMergeCli, MergesShardJournalsAndPrintsRecoveryStats) {
+  TempDir tmp;
+  const std::string a = (tmp.path / "shard0.jsonl").string();
+  const std::string b = (tmp.path / "shard1.jsonl").string();
+  const std::string out = (tmp.path / "ledger.jsonl").string();
+  write_journal(a, {sample_result(0, TrialStatus::kSucceeded, 3),
+                    sample_result(1, TrialStatus::kFailed)});
+  write_journal(b, {sample_result(0, TrialStatus::kSucceeded, 7),
+                    sample_result(1, TrialStatus::kSucceeded)});
+  {
+    std::ofstream os(b, std::ios::binary | std::ios::app);
+    os << "{\"trial\":\"torn mid-wri";  // crash tail, no newline
+  }
+
+  const auto [code, text] = run_cli(std::string(RP_JOURNAL_MERGE_BIN) +
+                                    " --out " + out + " " + a + " " + b);
+  ASSERT_EQ(code, 0) << text;
+
+  // Last-write-wins dedup across files: the later shard journal supersedes
+  // the earlier one for both trials.
+  std::unordered_map<int, TrialResult> merged;
+  Journal::load_file(out, merged);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.at(0).flips, 7);
+  EXPECT_EQ(merged.at(1).status, TrialStatus::kSucceeded);
+
+  // The printed stats agree with an independent read-only load.
+  std::unordered_map<int, TrialResult> scratch;
+  const Journal::FileStats sa = Journal::load_file(a, scratch);
+  scratch.clear();
+  const Journal::FileStats sb = Journal::load_file(b, scratch);
+  EXPECT_EQ(sa.records, 2u);
+  EXPECT_EQ(sb.records, 2u);
+  EXPECT_GT(sb.torn_bytes, 0u);
+  EXPECT_NE(text.find(std::to_string(sb.torn_bytes) +
+                      " torn tail byte(s) ignored"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("merged " + std::to_string(sa.records + sb.records) +
+                      " record(s) from 2 file(s) (0 missing)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("2 unique trial(s), 2 duplicate(s) resolved "
+                      "last-write-wins"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(std::to_string(sb.torn_bytes) + " torn byte(s) ignored"),
+            std::string::npos)
+      << text;
+}
+
 // --- Multi-input journal resume (CampaignSpec::resume_from) -------------
 
 TEST(Journal, ResumeFromExtraJournalsLastFileWinsPrimaryWinsOverAll) {
@@ -717,6 +785,14 @@ TEST(Fabric, StatusEndpointReportsTheFleet) {
   EXPECT_NE(body.find("\"trials_total\":4"), std::string::npos) << body;
   EXPECT_NE(body.find("\"workers\":["), std::string::npos) << body;
   EXPECT_NE(body.find("\"shards\":"), std::string::npos) << body;
+  // Per-shard lifecycle detail: one entry per shard, each with a state,
+  // owner, trial count, and attempt tally.
+  EXPECT_NE(body.find("\"shards_detail\":[{\"shard\":0,\"state\":\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"attempts\":"), std::string::npos) << body;
+  // The failure ring is present (and empty on a healthy fleet).
+  EXPECT_NE(body.find("\"recent_failures\":["), std::string::npos) << body;
 }
 
 }  // namespace

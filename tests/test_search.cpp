@@ -1,0 +1,366 @@
+// Branch-and-bound flip-chain search: data-structure invariants (canonical
+// node identity, frontier total order, transposition dedup), the objective
+// contract, and the engine's end-to-end guarantees — never worse than the
+// greedy incumbent, graceful budget exhaustion, throwing external
+// cancellation, and pluggable objectives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/runner.h"
+#include "data/vision_synth.h"
+#include "exp/experiment.h"
+#include "models/resnet.h"
+#include "profile/profiler.h"
+#include "runtime/cancel.h"
+#include "search/frontier.h"
+#include "search/node.h"
+#include "search/objective.h"
+#include "search/runner.h"
+#include "telemetry/registry.h"
+#include "test_util.h"
+
+namespace rowpress {
+namespace {
+
+using search::EvalState;
+
+// ---------------------------------------------------------------------
+// Objective contract
+// ---------------------------------------------------------------------
+
+EvalState state_with_accuracy(double acc) {
+  EvalState s;
+  s.accuracy = acc;
+  s.accuracy_before = 0.9;
+  s.random_guess = 0.25;
+  return s;
+}
+
+TEST(DepletionObjective, GoalIsRandomGuessPlusMargin) {
+  search::DepletionObjective obj(/*accuracy_margin=*/0.01);
+  EXPECT_FALSE(obj.is_goal(state_with_accuracy(0.5)));
+  EXPECT_FALSE(obj.is_goal(state_with_accuracy(0.2601)));
+  EXPECT_TRUE(obj.is_goal(state_with_accuracy(0.26)));
+  EXPECT_TRUE(obj.is_goal(state_with_accuracy(0.1)));
+}
+
+TEST(DepletionObjective, RemainingIsZeroExactlyAtGoal) {
+  search::DepletionObjective obj(0.01);
+  EXPECT_DOUBLE_EQ(obj.remaining(state_with_accuracy(0.5)), 0.5 - 0.26);
+  EXPECT_DOUBLE_EQ(obj.remaining(state_with_accuracy(0.26)), 0.0);
+  EXPECT_DOUBLE_EQ(obj.remaining(state_with_accuracy(0.05)), 0.0);
+}
+
+TEST(DepletionObjective, ScoreRanksLowerAccuracyCloserToGoal) {
+  search::DepletionObjective obj;
+  EXPECT_GT(obj.score(state_with_accuracy(0.3)),
+            obj.score(state_with_accuracy(0.8)));
+}
+
+// ---------------------------------------------------------------------
+// Canonical node identity
+// ---------------------------------------------------------------------
+
+nn::WeightBitRef ref(int param, std::int64_t weight, int bit) {
+  nn::WeightBitRef r;
+  r.param_index = param;
+  r.weight_index = weight;
+  r.bit = bit;
+  return r;
+}
+
+TEST(SearchNode, PackRefRoundTripsAndOrdersLexicographically) {
+  const nn::WeightBitRef a = ref(0, 7, 3);
+  const nn::WeightBitRef b = ref(0, 8, 0);
+  const nn::WeightBitRef c = ref(2, 0, 7);
+  for (const auto& r : {a, b, c}) {
+    const nn::WeightBitRef back = search::unpack_ref(search::pack_ref(r));
+    EXPECT_EQ(back.param_index, r.param_index);
+    EXPECT_EQ(back.weight_index, r.weight_index);
+    EXPECT_EQ(back.bit, r.bit);
+  }
+  EXPECT_LT(search::pack_ref(a), search::pack_ref(b));
+  EXPECT_LT(search::pack_ref(b), search::pack_ref(c));
+}
+
+TEST(SearchNode, PermutationsOfAChainShareTheCanonicalKey) {
+  const std::int64_t x = search::pack_ref(ref(1, 5, 2));
+  const std::int64_t y = search::pack_ref(ref(0, 9, 6));
+  const std::int64_t z = search::pack_ref(ref(1, 5, 0));
+
+  auto key_xyz = search::extend_key(
+      search::extend_key(search::extend_key({}, x), y), z);
+  auto key_zyx = search::extend_key(
+      search::extend_key(search::extend_key({}, z), y), x);
+  EXPECT_EQ(key_xyz, key_zyx);
+  EXPECT_TRUE(std::is_sorted(key_xyz.begin(), key_xyz.end()));
+  EXPECT_EQ(search::hash_key(key_xyz), search::hash_key(key_zyx));
+
+  search::TranspositionCache cache;
+  EXPECT_TRUE(cache.insert(key_xyz));
+  EXPECT_FALSE(cache.insert(key_zyx));  // dedup across orderings
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Frontier total order + capacity
+// ---------------------------------------------------------------------
+
+search::NodePtr make_node(double bound, double score, int depth,
+                          std::vector<std::int64_t> key) {
+  auto n = std::make_shared<search::SearchNode>();
+  n->bound = bound;
+  n->score = score;
+  n->depth = depth;
+  n->key = std::move(key);
+  return n;
+}
+
+TEST(Frontier, PopsByBoundThenScoreThenDepthThenKey)
+{
+  search::Frontier f(/*capacity=*/16);
+  auto worst_bound = make_node(5.0, 9.0, 1, {1});
+  auto low_score = make_node(2.0, -0.5, 1, {2});
+  auto high_score = make_node(2.0, -0.3, 1, {3});
+  auto deeper = make_node(2.0, -0.3, 2, {4});
+  auto tie_key = make_node(2.0, -0.3, 1, {9});
+  f.insert(worst_bound);
+  f.insert(deeper);
+  f.insert(tie_key);
+  f.insert(low_score);
+  f.insert(high_score);
+
+  EXPECT_EQ(f.pop_best(), high_score);  // best bound, best score, shallow
+  EXPECT_EQ(f.pop_best(), tie_key);     // key {3} < {9} broke the tie above
+  EXPECT_EQ(f.pop_best(), deeper);
+  EXPECT_EQ(f.pop_best(), low_score);
+  EXPECT_EQ(f.pop_best(), worst_bound);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Frontier, EvictsTheWorstNodeAtCapacity) {
+  search::Frontier f(/*capacity=*/2);
+  EXPECT_EQ(f.insert(make_node(1.0, 0.0, 1, {1})), 0u);
+  EXPECT_EQ(f.insert(make_node(3.0, 0.0, 1, {2})), 0u);
+  EXPECT_EQ(f.insert(make_node(2.0, 0.0, 1, {3})), 1u);  // evicts bound 3
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.pop_best()->bound, 1.0);
+  EXPECT_DOUBLE_EQ(f.pop_best()->bound, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Engine end-to-end (mini model, fast profile)
+// ---------------------------------------------------------------------
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::VisionSynthConfig cfg;
+    cfg.num_classes = 4;
+    cfg.train_per_class = 50;
+    cfg.test_per_class = 25;
+    data_ = new data::SplitDataset(data::make_vision_dataset(cfg));
+
+    spec_ = new models::ModelSpec();
+    spec_->name = "resnet20-mini-search";
+    spec_->dataset = models::DatasetKind::kVision10;  // unused directly
+    spec_->factory = [](Rng& rng) {
+      return models::make_resnet_cifar(20, 1, 4, 4, rng);
+    };
+    // Enough training that the quantized model sits well above random
+    // guess — a 1-epoch model starts ~1 flip from depletion, which leaves
+    // the search nothing to do.
+    spec_->recipe = {.epochs = 6, .batch_size = 32, .lr = 2e-3,
+                     .weight_decay = 1e-4};
+
+    Rng rng(3);
+    auto model = spec_->factory(rng);
+    (void)exp::train_classifier(*model, *data_, spec_->recipe, rng);
+    state_ = new nn::ModelState(nn::snapshot_state(*model));
+
+    device_ = new dram::Device(testutil::small_device_config(5));
+    profile::Profiler profiler;
+    profile_ =
+        new profile::BitFlipProfile(profiler.profile_rowpress(*device_));
+  }
+  static void TearDownTestSuite() {
+    delete profile_;
+    delete device_;
+    delete state_;
+    delete spec_;
+    delete data_;
+    profile_ = nullptr;
+    device_ = nullptr;
+    state_ = nullptr;
+    spec_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static search::SearchRunSetup bnb_setup(std::uint64_t seed) {
+    search::SearchRunSetup setup;
+    setup.base.seed = seed;
+    setup.base.bfa.max_flips = 25;
+    setup.base.bfa.eval_samples = 100;
+    setup.config.kind = search::SearchKind::kBranchAndBound;
+    setup.config.max_nodes = 96;
+    setup.config.branch = 4;
+    setup.config.expand_batch = 4;
+    return setup;
+  }
+
+  static attack::AttackResult run_greedy(std::uint64_t seed) {
+    attack::AttackRunSetup setup = bnb_setup(seed).base;
+    return attack::run_profile_attack(*spec_, *state_, *data_, *profile_,
+                                      device_->geometry(), setup);
+  }
+
+  static data::SplitDataset* data_;
+  static models::ModelSpec* spec_;
+  static nn::ModelState* state_;
+  static dram::Device* device_;
+  static profile::BitFlipProfile* profile_;
+};
+
+data::SplitDataset* SearchEngineTest::data_ = nullptr;
+models::ModelSpec* SearchEngineTest::spec_ = nullptr;
+nn::ModelState* SearchEngineTest::state_ = nullptr;
+dram::Device* SearchEngineTest::device_ = nullptr;
+profile::BitFlipProfile* SearchEngineTest::profile_ = nullptr;
+
+TEST_F(SearchEngineTest, GreedyKindDelegatesUnchanged) {
+  const attack::AttackResult direct = run_greedy(11);
+  search::SearchRunSetup setup = bnb_setup(11);
+  setup.config.kind = search::SearchKind::kGreedy;
+  const attack::AttackResult via =
+      search::run_profile_attack(*spec_, *state_, *data_, *profile_,
+                                 device_->geometry(), setup);
+  ASSERT_EQ(via.flips.size(), direct.flips.size());
+  EXPECT_EQ(via.objective_reached, direct.objective_reached);
+  EXPECT_EQ(via.candidate_pool_size, direct.candidate_pool_size);
+  EXPECT_EQ(via.accuracy_before, direct.accuracy_before);
+  EXPECT_EQ(via.accuracy_after, direct.accuracy_after);
+  for (std::size_t i = 0; i < direct.flips.size(); ++i) {
+    EXPECT_EQ(via.flips[i].ref, direct.flips[i].ref) << "flip " << i;
+    EXPECT_EQ(via.flips[i].loss_after, direct.flips[i].loss_after);
+    EXPECT_EQ(via.flips[i].accuracy_after, direct.flips[i].accuracy_after);
+  }
+}
+
+TEST_F(SearchEngineTest, BnbIsNeverWorseThanTheGreedyIncumbent) {
+  const attack::AttackResult greedy = run_greedy(11);
+
+  telemetry::MetricsRegistry metrics;
+  search::SearchRunSetup setup = bnb_setup(11);
+  setup.base.metrics = &metrics;
+  search::SearchStats stats;
+  const attack::AttackResult bnb =
+      search::run_profile_attack(*spec_, *state_, *data_, *profile_,
+                                 device_->geometry(), setup, &stats);
+
+  EXPECT_EQ(bnb.accuracy_before, greedy.accuracy_before);
+  EXPECT_EQ(bnb.candidate_pool_size, greedy.candidate_pool_size);
+  if (greedy.objective_reached) {
+    EXPECT_TRUE(bnb.objective_reached);
+    EXPECT_LE(bnb.num_flips(), greedy.num_flips());
+  }
+  if (!stats.improved) {
+    // Fell back to the incumbent: the greedy chain verbatim.
+    ASSERT_EQ(bnb.flips.size(), greedy.flips.size());
+    for (std::size_t i = 0; i < greedy.flips.size(); ++i)
+      EXPECT_EQ(bnb.flips[i].ref, greedy.flips[i].ref) << "flip " << i;
+  } else {
+    EXPECT_LT(bnb.num_flips(), greedy.num_flips());
+  }
+
+  // The engine actually searched, and published its work as telemetry.
+  EXPECT_GT(stats.nodes_expanded, 0);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_EQ(metrics.counter("search.nodes_expanded").value(),
+            stats.nodes_expanded);
+  EXPECT_EQ(metrics.counter("search.nodes_pruned").value(),
+            stats.nodes_pruned);
+  EXPECT_EQ(metrics.counter("search.cache_hits").value(), stats.cache_hits);
+  EXPECT_EQ(metrics.counter("search.rounds").value(), stats.rounds);
+  EXPECT_GT(metrics.counter("attack.forward_passes").value(), 0);
+}
+
+TEST_F(SearchEngineTest, NodeBudgetExhaustionFallsBackToTheIncumbent) {
+  const attack::AttackResult greedy = run_greedy(11);
+
+  search::SearchRunSetup setup = bnb_setup(11);
+  setup.config.max_nodes = 1;  // one expansion, then out of budget
+  search::SearchStats stats;
+  const attack::AttackResult bnb =
+      search::run_profile_attack(*spec_, *state_, *data_, *profile_,
+                                 device_->geometry(), setup, &stats);
+
+  EXPECT_LE(stats.nodes_expanded, 1);
+  if (!stats.improved) {
+    EXPECT_TRUE(stats.budget_exhausted);
+    ASSERT_EQ(bnb.flips.size(), greedy.flips.size());
+    for (std::size_t i = 0; i < greedy.flips.size(); ++i)
+      EXPECT_EQ(bnb.flips[i].ref, greedy.flips[i].ref) << "flip " << i;
+  }
+}
+
+TEST_F(SearchEngineTest, ExternalCancellationThrowsLikeTheGreedySearch) {
+  runtime::CancelToken cancel;
+  cancel.cancel();
+  search::SearchRunSetup setup = bnb_setup(11);
+  setup.base.cancel = &cancel;
+  EXPECT_THROW(search::run_profile_attack(*spec_, *state_, *data_, *profile_,
+                                          device_->geometry(), setup),
+               runtime::TrialError);
+}
+
+// A custom objective plugs into the engine without touching it: reach any
+// fixed accuracy damage instead of full depletion.
+class DamageObjective final : public search::Objective {
+ public:
+  explicit DamageObjective(double drop) : drop_(drop) {}
+  const char* name() const override { return "damage"; }
+  bool is_goal(const EvalState& s) const override {
+    return s.accuracy <= s.accuracy_before - drop_;
+  }
+  double score(const EvalState& s) const override { return -s.accuracy; }
+  double remaining(const EvalState& s) const override {
+    return std::max(0.0, s.accuracy - (s.accuracy_before - drop_));
+  }
+
+ private:
+  double drop_;
+};
+
+TEST_F(SearchEngineTest, CustomObjectivesPlugIntoTheEngine) {
+  attack::BfaConfig bfa;
+  bfa.max_flips = 25;
+  bfa.eval_samples = 100;
+  search::SearchConfig config;
+  config.kind = search::SearchKind::kBranchAndBound;
+  config.max_nodes = 64;
+  config.branch = 4;
+  config.expand_batch = 4;
+
+  search::BranchAndBoundSearch engine(config, bfa);
+  DamageObjective objective(/*drop=*/0.05);
+  const std::uint64_t seed = 11;
+  const attack::AttackResult r = engine.run(
+      [&] {
+        Rng rng(seed);
+        Rng init_rng = rng.fork();
+        return attack::make_quantized_replica(*spec_, *state_, init_rng);
+      },
+      /*feasible=*/nullptr, data_->test, data_->test, objective, seed,
+      /*incumbent=*/nullptr);
+
+  ASSERT_TRUE(r.objective_reached);
+  EXPECT_FALSE(r.flips.empty());
+  EXPECT_LE(r.accuracy_after, r.accuracy_before - 0.05);
+  // Flip records carry the per-flip pinned evaluations in chain order.
+  EXPECT_EQ(r.flips.back().accuracy_after, r.accuracy_after);
+}
+
+}  // namespace
+}  // namespace rowpress

@@ -64,6 +64,20 @@ void print_usage() {
       "--fabric\n"
       "                           (default: 4)\n"
       "  --max-flips <n>          BFA flip budget per trial (default: 300)\n"
+      "  --search <greedy|bnb>    chain search engine (default: greedy).\n"
+      "                           bnb = best-first branch-and-bound seeded\n"
+      "                           with the greedy chain as incumbent; finds\n"
+      "                           depletion chains with <= greedy's flips\n"
+      "  --search-nodes <n>       bnb node-expansion budget (default: 512;\n"
+      "                           0 = unlimited)\n"
+      "  --search-branch <n>      bnb branching factor: candidate flips\n"
+      "                           evaluated per node (default: 6)\n"
+      "  --search-time <ms>       bnb wall-clock budget per trial, via the\n"
+      "                           CancelToken deadline machinery; on expiry\n"
+      "                           the incumbent (greedy) chain is returned\n"
+      "                           (default: 0 = unlimited)\n"
+      "  --search-threads <n>     bnb frontier-expansion threads per trial\n"
+      "                           (default: 1; never changes the chain)\n"
       "  --cache-dir <dir>        trained-model/profile cache (default: "
       "artifacts)\n"
       "  --journal-dir <dir>      journal directory (default: "
@@ -285,6 +299,23 @@ int run_cli(int argc, char** argv) {
     } else if (arg == "--max-flips") {
       spec.bfa.max_flips =
           parse_int(need_value(i++, "--max-flips"), "--max-flips");
+    } else if (arg == "--search") {
+      const std::string v = need_value(i++, "--search");
+      const auto kind = search::search_kind_from_name(v);
+      if (!kind) usage_die("--search expects greedy or bnb, got '" + v + "'");
+      spec.search.kind = *kind;
+    } else if (arg == "--search-nodes") {
+      spec.search.max_nodes =
+          parse_ll(need_value(i++, "--search-nodes"), "--search-nodes");
+    } else if (arg == "--search-branch") {
+      spec.search.branch =
+          parse_int(need_value(i++, "--search-branch"), "--search-branch");
+    } else if (arg == "--search-time") {
+      spec.search.time_budget_ms =
+          parse_ll(need_value(i++, "--search-time"), "--search-time");
+    } else if (arg == "--search-threads") {
+      spec.search.threads =
+          parse_int(need_value(i++, "--search-threads"), "--search-threads");
     } else if (arg == "--cache-dir") {
       spec.cache_dir = need_value(i++, "--cache-dir");
     } else if (arg == "--journal-dir") {
@@ -355,6 +386,10 @@ int run_cli(int argc, char** argv) {
   if (spec.seeds_per_cell <= 0) usage_die("--seeds must be positive");
   if (spec.workers < 0) usage_die("--workers must be >= 0");
   if (spec.bfa.max_flips <= 0) usage_die("--max-flips must be positive");
+  if (spec.search.max_nodes < 0) usage_die("--search-nodes must be >= 0");
+  if (spec.search.branch <= 0) usage_die("--search-branch must be positive");
+  if (spec.search.time_budget_ms < 0) usage_die("--search-time must be >= 0");
+  if (spec.search.threads <= 0) usage_die("--search-threads must be positive");
   if (spec.trial_deadline_ms < 0) usage_die("--trial-deadline must be >= 0");
   if (spec.max_retries < 0) usage_die("--max-retries must be >= 0");
   if (serve_port != -1 && (serve_port < 0 || serve_port > 65535))
@@ -479,6 +514,11 @@ int run_cli(int argc, char** argv) {
           "--seeds", std::to_string(wspec.seeds_per_cell),
           "--campaign-seed", std::to_string(wspec.campaign_seed),
           "--max-flips", std::to_string(wspec.bfa.max_flips),
+          "--search", search::search_kind_name(wspec.search.kind),
+          "--search-nodes", std::to_string(wspec.search.max_nodes),
+          "--search-branch", std::to_string(wspec.search.branch),
+          "--search-time", std::to_string(wspec.search.time_budget_ms),
+          "--search-threads", std::to_string(wspec.search.threads),
           "--cache-dir", wspec.cache_dir,
           "--journal-dir", wspec.journal_dir,
           "--trial-deadline", std::to_string(wspec.trial_deadline_ms),
