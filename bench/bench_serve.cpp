@@ -20,7 +20,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +35,7 @@
 #include "serve/injector.h"
 #include "serve/monitor.h"
 #include "serve/server.h"
+#include "serve/trace_reader.h"
 #include "telemetry/telemetry.h"
 
 using namespace rowpress;
@@ -192,18 +192,18 @@ int run_attack_phase(const models::ModelSpec& spec,
   monitor.stop();
   server.stop();
 
-  // Echo the journaled time series as the curve.
+  // Echo the journaled time series as the curve (read back through the
+  // torn-tail-tolerant reader — same path an interrupted run's trace
+  // takes).
   std::printf(
       "\naccuracy and p99 under attack (from %s):\n"
       "%10s %8s %12s %10s %10s %8s\n",
       trace_path.c_str(), "t_ms", "version", "win_served", "win_acc",
       "p99_ms", "slo_top");
-  std::ifstream in(trace_path);
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto kind = runtime::json_get_string(line, "kind");
-    if (!kind) continue;
-    if (*kind == "flip") {
+  serve::TraceReadStats tstats;
+  for (const auto& rec : serve::read_trace(trace_path, &tstats)) {
+    const std::string& line = rec.line;
+    if (rec.kind == "flip") {
       std::printf("%10.0f  -- flip #%lld -> version %lld (%s, served so "
                   "far: %lld, accuracy %.4f)\n",
                   runtime::json_get_double(line, "t_ms").value_or(0.0),
@@ -219,6 +219,7 @@ int run_attack_phase(const models::ModelSpec& spec,
                       .value_or(0.0));
       continue;
     }
+    if (rec.kind != "tick") continue;
     std::printf(
         "%10.0f %8lld %12lld %10.4f %10.3f %8lld\n",
         runtime::json_get_double(line, "t_ms").value_or(0.0),
@@ -231,6 +232,9 @@ int run_attack_phase(const models::ModelSpec& spec,
         static_cast<long long>(
             runtime::json_get_int(line, "slo_violations").value_or(0)));
   }
+  if (tstats.dropped_lines > 0 || tstats.torn_bytes > 0)
+    std::printf("(trace recovery: %zu dropped lines, %zu torn bytes)\n",
+                tstats.dropped_lines, tstats.torn_bytes);
 
   const serve::ServeStats stats = server.stats();
   std::printf(

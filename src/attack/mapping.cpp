@@ -4,18 +4,23 @@
 
 namespace rowpress::attack {
 
-WeightDramMapping::WeightDramMapping(const dram::Geometry& geom,
-                                     std::int64_t image_bytes, Rng& rng)
-    : geom_(geom), image_bytes_(image_bytes) {
+std::int64_t random_row_aligned_base(const dram::Geometry& geom,
+                                     std::int64_t image_bytes, Rng& rng) {
   RP_REQUIRE(image_bytes > 0, "weight image must be non-empty");
   RP_REQUIRE(image_bytes <= geom.total_bytes(),
              "weight image does not fit in the device");
   const std::int64_t max_row_start =
       (geom.total_bytes() - image_bytes) / geom.row_bytes;
-  base_byte_ = static_cast<std::int64_t>(rng.uniform_u64(
-                   static_cast<std::uint64_t>(max_row_start + 1))) *
-               geom.row_bytes;
+  return static_cast<std::int64_t>(rng.uniform_u64(
+             static_cast<std::uint64_t>(max_row_start + 1))) *
+         geom.row_bytes;
 }
+
+WeightDramMapping::WeightDramMapping(const dram::Geometry& geom,
+                                     std::int64_t image_bytes, Rng& rng)
+    : geom_(geom),
+      image_bytes_(image_bytes),
+      base_byte_(random_row_aligned_base(geom, image_bytes, rng)) {}
 
 WeightDramMapping::WeightDramMapping(const dram::Geometry& geom,
                                      std::int64_t image_bytes,

@@ -22,6 +22,13 @@ struct FeasibleBit {
   std::int64_t linear_bit = 0;  ///< DRAM linear bit address
 };
 
+/// Draws a uniformly random row-aligned base byte for an image of
+/// `image_bytes` (the placement distribution both the attacker's averaging
+/// and the victim's defensive remap sample from).  Requires the image to
+/// fit in the device.
+std::int64_t random_row_aligned_base(const dram::Geometry& geom,
+                                     std::int64_t image_bytes, Rng& rng);
+
 class WeightDramMapping {
  public:
   /// Places a weight image of `image_bytes` at a row-aligned offset chosen

@@ -1,0 +1,46 @@
+#include "defense/online/canary.h"
+
+#include "attack/eval.h"
+#include "common/check.h"
+
+namespace rowpress::defense::online {
+
+AccuracyCanary::AccuracyCanary(serve::SharedModel& model,
+                               const data::Dataset& heldout, CanaryConfig cfg)
+    : model_(model),
+      heldout_(heldout),
+      cfg_(cfg),
+      indices_(attack::strided_eval_indices(
+          cfg.batch_size, static_cast<int>(heldout.size()))),
+      replica_(model.spec(), cfg.replica_seed) {
+  RP_REQUIRE(cfg_.batch_size > 0, "canary batch size must be positive");
+  RP_REQUIRE(cfg_.alpha > 0.0 && cfg_.alpha <= 1.0,
+             "canary alpha must be in (0, 1]");
+  RP_REQUIRE(cfg_.drop_threshold > 0.0,
+             "canary drop threshold must be positive");
+  RP_REQUIRE(!indices_.empty(), "canary held-out dataset is empty");
+}
+
+AccuracyCanary::Sample AccuracyCanary::run() {
+  const auto head = model_.pin();
+  Sample s;
+  s.version = head->id;
+  s.accuracy = attack::subset_accuracy(replica_.at(*head), heldout_, indices_);
+  ++runs_;
+  if (baseline_ < 0.0) {
+    // First sample seeds the baseline; by contract the guard attaches to a
+    // pristine model, so this is the clean reference point.
+    baseline_ = s.accuracy;
+    s.baseline = baseline_;
+    return s;
+  }
+  s.baseline = baseline_;
+  s.drop = baseline_ - s.accuracy;
+  s.detected = s.drop > cfg_.drop_threshold;
+  if (!s.detected) {
+    baseline_ = (1.0 - cfg_.alpha) * baseline_ + cfg_.alpha * s.accuracy;
+  }
+  return s;
+}
+
+}  // namespace rowpress::defense::online

@@ -1,0 +1,74 @@
+// AccuracyCanary: behavioral drop detector for the served model.
+//
+// The CRC sentinel catches *structural* corruption but costs a full image
+// sweep to localize it; the canary is the complementary sensor — it runs
+// a small fixed held-out batch against the current head version and feeds
+// the accuracy into an EWMA baseline.  A sample whose accuracy falls more
+// than `drop_threshold` below the baseline is a detection, even if the
+// sentinel's round-robin cursor has not reached the corrupted page yet.
+//
+// The baseline is updated ONLY on healthy samples: once an attack starts
+// degrading accuracy the EWMA must not chase it downward, or a slow
+// chain of small drops would never cross the threshold.
+//
+// The canary batch is drawn from a HELD-OUT dataset (the train split in
+// the benches), not the served test traffic, so the attacker optimizing
+// against served accuracy does not also optimize against the detector.
+//
+// Deterministic: same model versions + same dataset + same config =>
+// identical samples, so tests pin exact detection rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/shared_model.h"
+
+namespace rowpress::defense::online {
+
+struct CanaryConfig {
+  int batch_size = 32;           ///< held-out samples per canary run
+  double alpha = 0.2;            ///< EWMA weight of the newest healthy sample
+  double drop_threshold = 0.05;  ///< baseline - accuracy that fires
+  std::uint64_t replica_seed = 0xCA11A51ull;  ///< private replica init
+};
+
+class AccuracyCanary {
+ public:
+  /// `heldout` must outlive the canary; indices are strided over it so a
+  /// class-ordered dataset stays stratified.
+  AccuracyCanary(serve::SharedModel& model, const data::Dataset& heldout,
+                 CanaryConfig cfg);
+
+  AccuracyCanary(const AccuracyCanary&) = delete;
+  AccuracyCanary& operator=(const AccuracyCanary&) = delete;
+
+  struct Sample {
+    double accuracy = 0.0;
+    double baseline = 0.0;   ///< EWMA *before* this sample folded in
+    double drop = 0.0;       ///< baseline - accuracy
+    bool detected = false;   ///< drop > drop_threshold
+    std::int64_t version = 0;  ///< model version the batch ran against
+  };
+
+  /// Pins the head, evaluates the fixed batch, updates the EWMA (healthy
+  /// samples only).  The first run seeds the baseline and never detects.
+  Sample run();
+
+  double baseline() const { return baseline_; }
+  std::int64_t runs() const { return runs_; }
+  const std::vector<int>& indices() const { return indices_; }
+  const CanaryConfig& config() const { return cfg_; }
+
+ private:
+  serve::SharedModel& model_;
+  const data::Dataset& heldout_;
+  const CanaryConfig cfg_;
+  std::vector<int> indices_;
+  serve::ModelReplica replica_;
+  double baseline_ = -1.0;  ///< -1 = not yet seeded
+  std::int64_t runs_ = 0;
+};
+
+}  // namespace rowpress::defense::online

@@ -1,0 +1,154 @@
+// IntegrityGuard: the self-healing loop that closes serving against a
+// live RowPress flip campaign.
+//
+// Composition: a CRC page sentinel (structural sensor), an accuracy
+// canary (behavioral sensor), and a DefensePolicy that maps detections to
+// actions executed against the serving stack —
+//
+//   rollback  -> SharedModel::restore_image_range (RCU publish);
+//   remap     -> VictimPlacement::remap (attacker's addresses go stale);
+//   throttle  -> InferenceServer::set_admit_one_in (fail soft);
+//   alarm     -> guard trace records + defense.online.* counters only.
+//
+// Determinism is the design center: run_round() IS the guard's clock.
+// One call = one round = one scrub slice (+ a canary run every
+// canary_every rounds).  Tests call run_round() directly and pin the
+// exact round a given flip is detected, rolled back, or recovered from;
+// production wraps the same call in a cadence thread (start()/stop())
+// whose interval adds wall-clock pacing and nothing else.
+//
+// "Recovered" contract: after any detection, the guard declares recovery
+// when a full scrub cycle wraps clean (every page re-verified against
+// golden with no new detections in between).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "defense/online/canary.h"
+#include "defense/online/policy.h"
+#include "defense/online/sentinel.h"
+#include "serve/monitor.h"
+#include "serve/placement.h"
+#include "serve/server.h"
+#include "serve/shared_model.h"
+#include "telemetry/registry.h"
+
+namespace rowpress::defense::online {
+
+struct GuardConfig {
+  /// Cadence of the background thread (start()); irrelevant to tests that
+  /// drive run_round() directly.
+  std::chrono::milliseconds interval{50};
+  int canary_every = 4;          ///< canary runs every N-th round (>=1)
+  int throttle_admit_one_in = 4; ///< degraded admission while throttled
+  int unthrottle_after_clean = 8;  ///< clean rounds before throttle release
+  SentinelConfig sentinel;
+  CanaryConfig canary;
+};
+
+struct GuardStats {
+  std::int64_t rounds = 0;
+  std::int64_t scrub_detections = 0;   ///< dirty pages found by the sentinel
+  std::int64_t canary_detections = 0;  ///< EWMA drops fired
+  std::int64_t rollbacks = 0;          ///< repair publishes (pages restored)
+  std::int64_t bits_restored = 0;
+  std::int64_t remaps = 0;
+  std::int64_t throttles = 0;          ///< throttle engagements
+  std::int64_t first_detection_round = -1;  ///< -1 = never detected
+  std::int64_t recoveries = 0;         ///< "recovered" events emitted
+};
+
+class IntegrityGuard {
+ public:
+  /// Captures golden state from `model` NOW — construct before the attack
+  /// window opens.  `canary_data` must outlive the guard.  placement /
+  /// server / monitor / metrics are each optional: a null placement makes
+  /// remap plans no-ops, a null server makes throttle plans no-ops.
+  IntegrityGuard(serve::SharedModel& model,
+                 std::unique_ptr<DefensePolicy> policy,
+                 const data::Dataset& canary_data, GuardConfig cfg,
+                 serve::VictimPlacement* placement = nullptr,
+                 serve::InferenceServer* server = nullptr,
+                 serve::ServeMonitor* monitor = nullptr,
+                 telemetry::MetricsRegistry* metrics = nullptr);
+  ~IntegrityGuard();
+
+  IntegrityGuard(const IntegrityGuard&) = delete;
+  IntegrityGuard& operator=(const IntegrityGuard&) = delete;
+
+  /// One deterministic guard round: scrub slice -> per-page detections ->
+  /// policy -> actions; canary every canary_every rounds; recovery /
+  /// throttle-release bookkeeping.  Not thread-safe against itself — the
+  /// cadence thread is the only concurrent caller, and only between
+  /// start() and stop().
+  void run_round();
+
+  /// Repeated full sweep + rollback until an entire sweep comes back
+  /// clean (bounded retries guard against a still-firing injector).
+  /// The recovery barrier benches call after the attack window closes.
+  /// Returns total bits restored.
+  std::int64_t recover_now();
+
+  /// Background cadence: run_round() every cfg.interval until stop().
+  void start();
+  void stop();
+
+  GuardStats stats() const;
+  const DefensePolicy& policy() const { return *policy_; }
+  WeightSentinel& sentinel() { return sentinel_; }
+  AccuracyCanary& canary() { return canary_; }
+  bool throttled() const { return throttled_; }
+
+ private:
+  void execute(const Detection& d, bool* remapped_this_round);
+  void do_rollback(const WeightSentinel::PageReport& page, std::int64_t round);
+  void do_remap(std::int64_t round);
+  void do_throttle(std::int64_t round);
+  void emit(const serve::GuardEvent& e);
+
+  serve::SharedModel& model_;
+  std::unique_ptr<DefensePolicy> policy_;
+  const GuardConfig cfg_;
+  WeightSentinel sentinel_;
+  AccuracyCanary canary_;
+  serve::VictimPlacement* placement_;
+  serve::InferenceServer* server_;
+  serve::ServeMonitor* monitor_;
+
+  // Telemetry (null when no registry was supplied).
+  telemetry::Counter* m_rounds_ = nullptr;
+  telemetry::Counter* m_scrub_pages_ = nullptr;
+  telemetry::Counter* m_scrub_mismatches_ = nullptr;
+  telemetry::Counter* m_detections_ = nullptr;
+  telemetry::Counter* m_canary_runs_ = nullptr;
+  telemetry::Counter* m_canary_drops_ = nullptr;
+  telemetry::Counter* m_rollbacks_ = nullptr;
+  telemetry::Counter* m_bits_restored_ = nullptr;
+  telemetry::Counter* m_remaps_ = nullptr;
+  telemetry::Counter* m_throttles_ = nullptr;
+  telemetry::Gauge* m_canary_accuracy_ = nullptr;
+  telemetry::Histogram* m_scrub_ms_ = nullptr;
+  telemetry::Histogram* m_canary_ms_ = nullptr;
+
+  mutable std::mutex stats_mu_;  ///< guards stats_ against stats() readers
+  GuardStats stats_;
+
+  bool in_incident_ = false;  ///< detection seen, recovery not yet declared
+  int clean_rounds_ = 0;      ///< consecutive rounds with no detection
+  bool throttled_ = false;
+  int prev_admit_one_in_ = 1;  ///< admission to restore on release
+
+  // Cadence thread (injector pattern: cv-interruptible sleep).
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace rowpress::defense::online

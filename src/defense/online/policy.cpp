@@ -1,0 +1,73 @@
+#include "defense/online/policy.h"
+
+#include "common/check.h"
+
+namespace rowpress::defense::online {
+
+namespace {
+
+/// All built-ins share one shape: a fixed ActionPlan per detection source.
+class FixedPolicy : public DefensePolicy {
+ public:
+  FixedPolicy(std::string name, ActionPlan on_scrub, ActionPlan on_canary)
+      : name_(std::move(name)), on_scrub_(on_scrub), on_canary_(on_canary) {}
+
+  const std::string& name() const override { return name_; }
+
+  ActionPlan decide(const Detection& d) override {
+    return d.source == Detection::Source::kScrub ? on_scrub_ : on_canary_;
+  }
+
+ private:
+  std::string name_;
+  ActionPlan on_scrub_;
+  ActionPlan on_canary_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {
+      "alarm", "rollback", "remap", "rollback+remap", "throttle"};
+  return names;
+}
+
+std::unique_ptr<DefensePolicy> make_policy(const std::string& name) {
+  const ActionPlan none;
+  if (name == "alarm")
+    return std::make_unique<FixedPolicy>(name, none, none);
+  if (name == "rollback") {
+    // A scrub hit localizes the damage: restore just that page.  A canary
+    // drop proves damage without locating it: sweep everything.
+    ActionPlan scrub;
+    scrub.rollback_page = true;
+    ActionPlan canary;
+    canary.full_scrub = true;
+    return std::make_unique<FixedPolicy>(name, scrub, canary);
+  }
+  if (name == "remap") {
+    ActionPlan both;
+    both.remap = true;
+    return std::make_unique<FixedPolicy>(name, both, both);
+  }
+  if (name == "rollback+remap") {
+    ActionPlan scrub;
+    scrub.rollback_page = true;
+    scrub.remap = true;
+    ActionPlan canary;
+    canary.full_scrub = true;
+    canary.remap = true;
+    return std::make_unique<FixedPolicy>(name, scrub, canary);
+  }
+  if (name == "throttle") {
+    ActionPlan both;
+    both.throttle = true;
+    return std::make_unique<FixedPolicy>(name, both, both);
+  }
+  RP_REQUIRE(false, "unknown defense policy '" + name +
+                        "' (expected alarm|rollback|remap|rollback+remap|"
+                        "throttle)");
+  return nullptr;  // unreachable
+}
+
+}  // namespace rowpress::defense::online

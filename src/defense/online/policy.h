@@ -1,0 +1,71 @@
+// DefensePolicy: what the integrity guard DOES about a detection.
+//
+// Detections come from two independent sensors (the CRC page sentinel and
+// the accuracy canary); a policy maps each detection to a set of actions
+// the guard then executes against the serving stack:
+//
+//   rollback   restore the corrupted page(s) from the golden image and
+//              publish a clean version through SharedModel's RCU path;
+//   remap      re-derive the weight->DRAM placement so the attacker's
+//              profiled flip addresses go stale (invalidates the rest of
+//              the chain, but does NOT undo damage already landed);
+//   throttle   degrade admission (serve fewer requests) until the guard
+//              has seen a run of clean rounds — the "fail soft" option
+//              when repair is not available;
+//   alarm      journal + count only (every policy alarms implicitly).
+//
+// Policies are deliberately small value objects so campaign grids can
+// sweep them; make_policy parses the CLI spelling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rowpress::defense::online {
+
+/// One sensor firing.
+struct Detection {
+  enum class Source { kScrub, kCanary };
+  Source source = Source::kScrub;
+  std::int64_t round = 0;  ///< guard round of the detection
+
+  // Scrub detections: which page failed its CRC.
+  std::int64_t page = -1;
+  std::int64_t byte_begin = 0;
+  std::int64_t byte_end = 0;
+
+  // Canary detections: the drop that fired the EWMA detector.
+  double canary_accuracy = -1.0;
+  double canary_baseline = -1.0;
+};
+
+/// Actions the guard should take for one detection.  `rollback_page` only
+/// makes sense for scrub detections (they localize the damage);
+/// `full_scrub` asks the guard to sweep and repair the whole image —
+/// the response to a canary drop, which proves damage without locating it.
+struct ActionPlan {
+  bool rollback_page = false;
+  bool full_scrub = false;
+  bool remap = false;
+  bool throttle = false;
+};
+
+class DefensePolicy {
+ public:
+  virtual ~DefensePolicy() = default;
+  virtual const std::string& name() const = 0;
+  virtual ActionPlan decide(const Detection& d) = 0;
+};
+
+/// Parses a policy spelling: "alarm", "rollback", "remap",
+/// "rollback+remap", "throttle".  ("off" is not a policy — the caller
+/// simply does not construct a guard.)  Throws std::logic_error on an
+/// unknown name.
+std::unique_ptr<DefensePolicy> make_policy(const std::string& name);
+
+/// The accepted spellings, for CLI help and validation.
+const std::vector<std::string>& policy_names();
+
+}  // namespace rowpress::defense::online

@@ -1,0 +1,69 @@
+#include "defense/online/sentinel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace rowpress::defense::online {
+
+WeightSentinel::WeightSentinel(serve::SharedModel& model, SentinelConfig cfg)
+    : model_(model), cfg_(cfg) {
+  RP_REQUIRE(cfg_.page_bytes > 0, "sentinel page size must be positive");
+  RP_REQUIRE(cfg_.pages_per_round > 0,
+             "sentinel must scrub at least one page per round");
+  const std::int64_t total = model_.total_weight_bytes();
+  golden_ = model_.read_image_range(0, total);
+  const std::int64_t pages =
+      (total + cfg_.page_bytes - 1) / cfg_.page_bytes;
+  page_crc_.reserve(static_cast<std::size_t>(pages));
+  for (std::int64_t p = 0; p < pages; ++p) {
+    const std::int64_t begin = p * cfg_.page_bytes;
+    const std::int64_t end = std::min(begin + cfg_.page_bytes, total);
+    page_crc_.push_back(crc32(golden_.data() + begin,
+                              static_cast<std::size_t>(end - begin)));
+  }
+}
+
+bool WeightSentinel::page_dirty(std::int64_t page, PageReport* report) const {
+  const std::int64_t total = model_.total_weight_bytes();
+  const std::int64_t begin = page * cfg_.page_bytes;
+  const std::int64_t end = std::min(begin + cfg_.page_bytes, total);
+  const std::vector<std::uint8_t> cur = model_.read_image_range(begin, end);
+  const std::uint32_t crc = crc32(cur.data(), cur.size());
+  if (crc == page_crc_[static_cast<std::size_t>(page)]) return false;
+  report->page = page;
+  report->byte_begin = begin;
+  report->byte_end = end;
+  return true;
+}
+
+std::vector<WeightSentinel::PageReport> WeightSentinel::scrub_round() {
+  std::vector<PageReport> dirty;
+  const std::int64_t n = pages();
+  const int k = std::min<std::int64_t>(cfg_.pages_per_round, n);
+  for (int i = 0; i < k; ++i) {
+    PageReport r;
+    if (page_dirty(cursor_, &r)) dirty.push_back(r);
+    cursor_ = (cursor_ + 1) % n;
+    ++pages_scrubbed_;
+  }
+  ++rounds_;
+  return dirty;
+}
+
+std::vector<WeightSentinel::PageReport> WeightSentinel::full_sweep() {
+  std::vector<PageReport> dirty;
+  for (std::int64_t p = 0; p < pages(); ++p) {
+    PageReport r;
+    if (page_dirty(p, &r)) dirty.push_back(r);
+    ++pages_scrubbed_;
+  }
+  return dirty;
+}
+
+serve::RepairOutcome WeightSentinel::rollback(const PageReport& page) {
+  return model_.restore_image_range(page.byte_begin, page.byte_end, golden_);
+}
+
+}  // namespace rowpress::defense::online

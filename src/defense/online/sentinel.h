@@ -1,0 +1,85 @@
+// WeightSentinel: CRC page scrubber over the served weight image.
+//
+// At attach time (before the attack window opens) the sentinel captures
+// the master int8 weight image as GOLDEN state: the full byte image plus
+// one CRC32 per fixed-size page.  From then on it scrubs the live image
+// page by page — `pages_per_round` pages per guard round, round-robin, so
+// the whole image is covered every ceil(pages/pages_per_round) rounds at
+// a bounded per-round cost.  A page whose CRC diverges from its golden
+// CRC has silently absorbed at least one landed flip; detection is purely
+// structural, independent of whether served accuracy has moved yet.
+//
+// This is the victim-side analogue of DNN-Defender-style in-DRAM
+// integrity protection, expressed at the layer this repo serves from: the
+// packed int8 codes that SharedModel's writer owns.
+//
+// Not internally synchronized: the guard round loop is the only caller
+// (SharedModel does its own locking underneath).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/shared_model.h"
+
+namespace rowpress::defense::online {
+
+struct SentinelConfig {
+  std::int64_t page_bytes = 512;  ///< scrub granularity
+  int pages_per_round = 4;        ///< scrub slice per guard round
+};
+
+class WeightSentinel {
+ public:
+  /// Captures the CURRENT image as golden — attach before the first flip
+  /// (the serving harness constructs the guard on pristine version 0).
+  WeightSentinel(serve::SharedModel& model, SentinelConfig cfg);
+
+  WeightSentinel(const WeightSentinel&) = delete;
+  WeightSentinel& operator=(const WeightSentinel&) = delete;
+
+  struct PageReport {
+    std::int64_t page = 0;
+    std::int64_t byte_begin = 0;
+    std::int64_t byte_end = 0;
+  };
+
+  /// Scrubs the next pages_per_round pages (round-robin cursor); returns
+  /// the pages whose CRC diverged from golden.  Detection rounds are a
+  /// pure function of the flip's page and the cursor position — tests pin
+  /// them exactly.
+  std::vector<PageReport> scrub_round();
+
+  /// True while the round-robin cursor sits on page 0 — i.e. the previous
+  /// scrub_round() completed a full pass over the image.
+  bool at_cycle_start() const { return cursor_ == 0; }
+
+  /// Scrubs every page once, ignoring the cursor.  The recovery barrier
+  /// (benches, tests) and the canary's full_scrub response.
+  std::vector<PageReport> full_sweep();
+
+  /// Restores one dirty page from the golden image through the model's
+  /// copy-on-write publish path.
+  serve::RepairOutcome rollback(const PageReport& page);
+
+  std::int64_t pages() const {
+    return static_cast<std::int64_t>(page_crc_.size());
+  }
+  std::int64_t rounds() const { return rounds_; }
+  std::int64_t pages_scrubbed() const { return pages_scrubbed_; }
+  const std::vector<std::uint8_t>& golden() const { return golden_; }
+  const SentinelConfig& config() const { return cfg_; }
+
+ private:
+  bool page_dirty(std::int64_t page, PageReport* report) const;
+
+  serve::SharedModel& model_;
+  const SentinelConfig cfg_;
+  std::vector<std::uint8_t> golden_;
+  std::vector<std::uint32_t> page_crc_;
+  std::int64_t cursor_ = 0;
+  std::int64_t rounds_ = 0;
+  std::int64_t pages_scrubbed_ = 0;
+};
+
+}  // namespace rowpress::defense::online

@@ -1,5 +1,7 @@
 #include "nn/quant/qmodel.h"
 
+#include <algorithm>
+
 namespace rowpress::nn {
 
 QuantizedModel::QuantizedModel(Module& model) : model_(model) {
@@ -96,6 +98,25 @@ std::vector<std::uint8_t> QuantizedModel::pack_weight_image() const {
           static_cast<std::uint8_t>(qp.qr.q[static_cast<std::size_t>(i)]);
   }
   return image;
+}
+
+std::vector<std::uint8_t> QuantizedModel::pack_weight_image_range(
+    std::int64_t byte_begin, std::int64_t byte_end) const {
+  RP_REQUIRE(byte_begin >= 0 && byte_begin <= byte_end &&
+                 byte_end <= total_bytes_,
+             "image byte range out of bounds");
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(byte_end -
+                                                         byte_begin));
+  for (const auto& qp : qparams_) {
+    const std::int64_t lo = std::max(byte_begin, qp.byte_offset);
+    const std::int64_t hi =
+        std::min(byte_end, qp.byte_offset + qp.num_weights());
+    for (std::int64_t b = lo; b < hi; ++b)
+      out[static_cast<std::size_t>(b - byte_begin)] =
+          static_cast<std::uint8_t>(
+              qp.qr.q[static_cast<std::size_t>(b - qp.byte_offset)]);
+  }
+  return out;
 }
 
 void QuantizedModel::load_weight_image(

@@ -90,6 +90,12 @@ class QuantizedModel {
   /// written to DRAM).
   std::vector<std::uint8_t> pack_weight_image() const;
 
+  /// Packs only the bytes in [byte_begin, byte_end) of the image — the
+  /// integrity sentinel scrubs the image page by page, and packing the
+  /// whole image per page would make the scrub cost quadratic.
+  std::vector<std::uint8_t> pack_weight_image_range(
+      std::int64_t byte_begin, std::int64_t byte_end) const;
+
   /// Overwrites codes (and the float view) from a byte image — used to pull
   /// corrupted weights back from the DRAM simulator after physical fault
   /// injection.

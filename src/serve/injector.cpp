@@ -15,6 +15,49 @@ FlipInjector::FlipInjector(SharedModel& model,
     flips_landed_ = &metrics->counter("serve.flips_landed");
 }
 
+FlipInjector::FlipInjector(SharedModel& model, std::vector<PhysicalFlip> chain,
+                           const VictimPlacement& placement,
+                           InjectorConfig cfg, ServeMonitor* monitor,
+                           telemetry::MetricsRegistry* metrics)
+    : model_(model),
+      chain_(std::move(chain)),
+      placement_(&placement),
+      cfg_(cfg),
+      monitor_(monitor) {
+  if (metrics != nullptr) {
+    flips_landed_ = &metrics->counter("serve.flips_landed");
+    flips_missed_ = &metrics->counter("serve.flips_missed");
+  }
+}
+
+void FlipInjector::land(std::size_t i) {
+  if (placement_ == nullptr) {
+    const FlipOutcome out = model_.apply_bit_flip(flips_[i]);
+    landed_.fetch_add(1, std::memory_order_release);
+    if (flips_landed_) flips_landed_->add();
+    if (monitor_) monitor_->record_flip(out, static_cast<std::int64_t>(i));
+    return;
+  }
+  // Physical mode: the hammered address is fixed; which weight bit (if
+  // any) it corrupts depends on the victim's placement NOW.
+  const auto mapping = placement_->mapping();
+  const std::int64_t lb = chain_[i].linear_bit;
+  if (!mapping->contains_linear_bit(lb)) {
+    missed_.fetch_add(1, std::memory_order_release);
+    if (flips_missed_) flips_missed_->add();
+    if (monitor_)
+      monitor_->record_missed_flip(static_cast<std::int64_t>(i), lb,
+                                   placement_->epoch());
+    return;
+  }
+  const nn::WeightBitRef ref =
+      model_.bit_ref_from_image_offset(mapping->image_bit_for(lb));
+  const FlipOutcome out = model_.apply_bit_flip(ref);
+  landed_.fetch_add(1, std::memory_order_release);
+  if (flips_landed_) flips_landed_->add();
+  if (monitor_) monitor_->record_flip(out, static_cast<std::int64_t>(i));
+}
+
 FlipInjector::~FlipInjector() { stop(); }
 
 void FlipInjector::start() {
@@ -49,18 +92,16 @@ void FlipInjector::run() {
       !interruptible_sleep(cfg_.initial_delay)) {
     return;
   }
-  for (std::size_t i = 0; i < flips_.size(); ++i) {
+  const std::size_t n = planned();
+  for (std::size_t i = 0; i < n; ++i) {
     if (stopping_) return;
     // The flip itself runs unlocked: apply_bit_flip takes the model's own
     // mutex and record_flip the monitor's — holding ours too would order
     // them under wait_done()'s lock for no benefit.
     lock.unlock();
-    const FlipOutcome out = model_.apply_bit_flip(flips_[i]);
-    landed_.fetch_add(1, std::memory_order_release);
-    if (flips_landed_) flips_landed_->add();
-    if (monitor_) monitor_->record_flip(out, static_cast<std::int64_t>(i));
+    land(i);
     lock.lock();
-    if (i + 1 < flips_.size() && !interruptible_sleep(cfg_.interval)) return;
+    if (i + 1 < n && !interruptible_sleep(cfg_.interval)) return;
   }
   done_.store(true, std::memory_order_release);
   cv_.notify_all();

@@ -7,6 +7,18 @@
 // while the server keeps answering requests, which is exactly the
 // RowPress deployment model — hammering proceeds on wall-clock cadence,
 // oblivious to inference scheduling.
+//
+// Two injection modes:
+//   * direct: the chain is WeightBitRefs, each applied verbatim (the PR-6
+//     behavior — the attacker's profiled placement is assumed to stay
+//     valid for the whole run);
+//   * physical: the chain is DRAM linear-bit addresses (the refs the plan
+//     targeted, converted through the placement current at planning
+//     time).  Each flip is re-resolved through the victim's LIVE
+//     placement when it lands: after a defensive remap the address may
+//     fall outside the image (a miss, journaled as such) or corrupt a
+//     different weight than planned — exactly what hammering a stale
+//     profile does to real hardware.
 #pragma once
 
 #include <atomic>
@@ -19,6 +31,7 @@
 
 #include "nn/quant/qmodel.h"
 #include "serve/monitor.h"
+#include "serve/placement.h"
 #include "serve/shared_model.h"
 #include "telemetry/registry.h"
 
@@ -29,6 +42,11 @@ struct InjectorConfig {
   std::chrono::milliseconds interval{100};     ///< cadence between flips
 };
 
+/// One entry of a physically-addressed flip chain.
+struct PhysicalFlip {
+  std::int64_t linear_bit = 0;  ///< DRAM address the attacker hammers
+};
+
 class FlipInjector {
  public:
   /// `model` (and `monitor`/`metrics` when non-null) must outlive the
@@ -36,6 +54,15 @@ class FlipInjector {
   /// and counted on serve.flips_landed.
   FlipInjector(SharedModel& model, std::vector<nn::WeightBitRef> flips,
                InjectorConfig cfg, ServeMonitor* monitor = nullptr,
+               telemetry::MetricsRegistry* metrics = nullptr);
+
+  /// Physical mode: the chain is DRAM addresses resolved through
+  /// `placement` (which must outlive the injector) at land time.  Flips
+  /// whose address falls outside the image are counted on missed() and
+  /// serve.flips_missed instead of mutating the model.
+  FlipInjector(SharedModel& model, std::vector<PhysicalFlip> chain,
+               const VictimPlacement& placement, InjectorConfig cfg,
+               ServeMonitor* monitor = nullptr,
                telemetry::MetricsRegistry* metrics = nullptr);
   ~FlipInjector();  ///< stop()s if still running
 
@@ -51,17 +78,27 @@ class FlipInjector {
   std::int64_t landed() const {
     return landed_.load(std::memory_order_acquire);
   }
+  /// Physical-mode flips whose stale address missed the weight image.
+  std::int64_t missed() const {
+    return missed_.load(std::memory_order_acquire);
+  }
   bool done() const { return done_.load(std::memory_order_acquire); }
-  std::size_t planned() const { return flips_.size(); }
+  std::size_t planned() const {
+    return placement_ ? chain_.size() : flips_.size();
+  }
 
  private:
   void run();
+  void land(std::size_t i);
 
   SharedModel& model_;
   const std::vector<nn::WeightBitRef> flips_;
+  const std::vector<PhysicalFlip> chain_;        ///< physical mode only
+  const VictimPlacement* placement_ = nullptr;   ///< null = direct mode
   const InjectorConfig cfg_;
   ServeMonitor* monitor_;
   telemetry::Counter* flips_landed_ = nullptr;
+  telemetry::Counter* flips_missed_ = nullptr;
 
   std::thread thread_;
   std::mutex mu_;
@@ -69,6 +106,7 @@ class FlipInjector {
   bool stopping_ = false;
   bool started_ = false;
   std::atomic<std::int64_t> landed_{0};
+  std::atomic<std::int64_t> missed_{0};
   std::atomic<bool> done_{false};
 };
 

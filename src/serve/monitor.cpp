@@ -120,9 +120,47 @@ void ServeMonitor::record_flip(const FlipOutcome& outcome,
   out_.flush();
 }
 
+void ServeMonitor::record_missed_flip(std::int64_t flip_ordinal,
+                                      std::int64_t linear_bit,
+                                      std::int64_t placement_epoch) {
+  runtime::JsonWriter w;
+  w.field("kind", std::string("flip"))
+      .field("t_ms", elapsed_ms())
+      .field("flip", flip_ordinal)
+      .field("hit", false)
+      .field("linear_bit", linear_bit)
+      .field("epoch", placement_epoch);
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << w.str() << "\n";
+  out_.flush();
+}
+
+void ServeMonitor::record_guard(const GuardEvent& e) {
+  runtime::JsonWriter w;
+  w.field("kind", std::string("guard"))
+      .field("t_ms", elapsed_ms())
+      .field("event", e.event)
+      .field("round", e.round)
+      .field("version", e.version)
+      .field("page", e.page)
+      .field("bits", e.bits)
+      .field("canary_accuracy", e.canary_accuracy)
+      .field("canary_baseline", e.canary_baseline)
+      .field("policy", e.policy);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++guard_events_;
+  out_ << w.str() << "\n";
+  out_.flush();
+}
+
 std::int64_t ServeMonitor::ticks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ticks_;
+}
+
+std::int64_t ServeMonitor::guard_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return guard_events_;
 }
 
 }  // namespace rowpress::serve

@@ -1,7 +1,8 @@
 // ServeMonitor: the serve trace — a JSONL time series correlating landed
-// bit flips with the served accuracy / latency trajectory.
+// bit flips (and defensive guard actions) with the served accuracy /
+// latency trajectory.
 //
-// Two record kinds share one stream, distinguished by "kind":
+// Record kinds sharing one stream, distinguished by "kind":
 //
 //   {"kind":"tick","t_ms":...,"version":...,"served":...,"accuracy":...,
 //    "window_served":...,"window_accuracy":...,"window_p50_ms":...,
@@ -11,12 +12,29 @@
 //   {"kind":"flip","t_ms":...,"flip":...,"version":...,"param":...,
 //    "weight_delta":...,"served_before":...,"accuracy_before":...}
 //
+//   {"kind":"flip","t_ms":...,"flip":...,"hit":false,"linear_bit":...,
+//    "epoch":...}                      (a hammered address that no longer
+//                                       falls inside the weight image
+//                                       after a defensive remap)
+//
+//   {"kind":"guard","t_ms":...,"event":...,"round":...,"version":...,
+//    "page":...,"bits":...,"canary_accuracy":...,"canary_baseline":...,
+//    "policy":...}                     (integrity-guard detections and
+//                                       actions, see defense/online/)
+//
 // Ticks are emitted by a background thread every `interval`; flip lines
-// are written synchronously by the injector thread through record_flip.
-// The "window_*" fields cover only the requests completed since the last
-// tick (cumulative-histogram delta), so a flip's latency/accuracy impact
-// is visible immediately instead of being averaged into the whole run.
-// The shared time axis `t_ms` counts from monitor start.
+// are written synchronously by the injector thread through record_flip,
+// guard lines by the guard thread through record_guard.  The "window_*"
+// fields cover only the requests completed since the last tick
+// (cumulative-histogram delta), so a flip's latency/accuracy impact is
+// visible immediately instead of being averaged into the whole run.  The
+// shared time axis `t_ms` counts from monitor start.
+//
+// Durability: every record is flushed as soon as it is written, so a
+// SIGKILLed run leaves at most one torn final line.  Read traces back
+// with serve::read_trace (trace_reader.h), which — like the campaign
+// Journal — ignores a torn tail and drops unparseable lines instead of
+// failing.
 #pragma once
 
 #include <chrono>
@@ -32,6 +50,22 @@
 #include "telemetry/snapshot.h"
 
 namespace rowpress::serve {
+
+/// One integrity-guard detection or action, journaled into the serve
+/// trace as a {"kind":"guard"} record.  Defined here (not in
+/// defense/online/) because the serve layer owns its trace schema; the
+/// guard depends on serve, never the reverse.
+struct GuardEvent {
+  std::string event;   ///< "scrub_mismatch","rollback","canary_drop",
+                       ///< "remap","throttle_on","throttle_off","recovered"
+  std::int64_t round = 0;        ///< guard round that produced the event
+  std::int64_t version = -1;     ///< model head after the action (-1: n/a)
+  std::int64_t page = -1;        ///< scrub page index (-1: n/a)
+  std::int64_t bits = 0;         ///< bits restored / mismatch payload
+  double canary_accuracy = -1.0; ///< canary fields (-1: n/a)
+  double canary_baseline = -1.0;
+  std::string policy;            ///< active policy name
+};
 
 class ServeMonitor {
  public:
@@ -54,7 +88,17 @@ class ServeMonitor {
   /// against the tick thread.
   void record_flip(const FlipOutcome& outcome, std::int64_t flip_ordinal);
 
+  /// A planned flip whose hammered address fell outside the weight image
+  /// (the attacker's profiled placement went stale after a remap).
+  void record_missed_flip(std::int64_t flip_ordinal, std::int64_t linear_bit,
+                          std::int64_t placement_epoch);
+
+  /// Called by the integrity guard for every detection and action.
+  /// Thread-safe against the tick and injector threads.
+  void record_guard(const GuardEvent& e);
+
   std::int64_t ticks() const;
+  std::int64_t guard_events() const;
 
  private:
   void run();
@@ -72,6 +116,7 @@ class ServeMonitor {
   std::int64_t prev_served_ = 0;
   std::int64_t prev_correct_ = 0;
   std::int64_t ticks_ = 0;
+  std::int64_t guard_events_ = 0;
 
   std::thread thread_;
   std::condition_variable cv_;

@@ -1,0 +1,35 @@
+#include "serve/placement.h"
+
+#include "common/check.h"
+
+namespace rowpress::serve {
+
+VictimPlacement::VictimPlacement(const dram::Geometry& geom,
+                                 std::int64_t image_bytes, std::uint64_t seed)
+    : geom_(geom), image_bytes_(image_bytes), rng_(seed) {
+  map_ = std::make_shared<const attack::WeightDramMapping>(
+      geom_, image_bytes_,
+      attack::random_row_aligned_base(geom_, image_bytes_, rng_));
+}
+
+std::shared_ptr<const attack::WeightDramMapping> VictimPlacement::mapping()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_;
+}
+
+std::int64_t VictimPlacement::remap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t old_base = map_->base_byte();
+  std::int64_t base = old_base;
+  // A tiny device can admit a single placement; bound the retry so remap
+  // degrades to a no-op there instead of spinning.
+  for (int attempt = 0; attempt < 64 && base == old_base; ++attempt)
+    base = attack::random_row_aligned_base(geom_, image_bytes_, rng_);
+  map_ = std::make_shared<const attack::WeightDramMapping>(geom_,
+                                                           image_bytes_, base);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return base;
+}
+
+}  // namespace rowpress::serve

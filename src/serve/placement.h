@@ -1,0 +1,66 @@
+// VictimPlacement: the victim's current weight-image -> DRAM placement,
+// shared between the attacker's online injector and the victim's defense.
+//
+// The attacker profiles the chip and plans its flip chain against the
+// placement the weights had at profiling time; what it actually hammers
+// are PHYSICAL row addresses.  The defensive "remap" action re-derives a
+// fresh random row-aligned placement (modeling the victim re-allocating /
+// migrating its weight pages), after which the attacker's profiled
+// addresses no longer coincide with the targeted weight bits — the rest
+// of the chain lands outside the image (a miss) or on an unintended
+// weight.  The placement is versioned by an epoch counter so traces can
+// attribute misses to a specific remap.
+//
+// Readers take an RCU-style snapshot (shared_ptr to an immutable
+// WeightDramMapping); remap publishes a new mapping without blocking
+// in-flight address resolutions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "attack/mapping.h"
+#include "common/rng.h"
+#include "dram/address.h"
+
+namespace rowpress::serve {
+
+class VictimPlacement {
+ public:
+  /// Initial placement drawn from `seed` (same distribution as the attack
+  /// planners' random placement).
+  VictimPlacement(const dram::Geometry& geom, std::int64_t image_bytes,
+                  std::uint64_t seed);
+
+  VictimPlacement(const VictimPlacement&) = delete;
+  VictimPlacement& operator=(const VictimPlacement&) = delete;
+
+  /// Immutable snapshot of the current mapping (valid as long as the
+  /// caller holds the pointer, even across concurrent remaps).
+  std::shared_ptr<const attack::WeightDramMapping> mapping() const;
+
+  /// Re-derives a random row-aligned placement, retrying the draw so the
+  /// base actually moves whenever the device admits more than one
+  /// placement.  Returns the new base byte and bumps epoch().
+  std::int64_t remap();
+
+  std::int64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  std::int64_t base_byte() const { return mapping()->base_byte(); }
+  std::int64_t image_bytes() const { return image_bytes_; }
+  const dram::Geometry& geometry() const { return geom_; }
+
+ private:
+  const dram::Geometry geom_;
+  const std::int64_t image_bytes_;
+
+  mutable std::mutex mu_;  ///< guards rng_ and the map_ swap
+  Rng rng_;
+  std::shared_ptr<const attack::WeightDramMapping> map_;
+  std::atomic<std::int64_t> epoch_{0};
+};
+
+}  // namespace rowpress::serve

@@ -33,6 +33,7 @@ InferenceServer::InferenceServer(SharedModel& model, const data::Dataset& data,
   if (metrics != nullptr) {
     tel_.submitted = &metrics->counter("serve.submitted");
     tel_.shed = &metrics->counter("serve.shed");
+    tel_.degraded_shed = &metrics->counter("serve.degraded_shed");
     tel_.served = &metrics->counter("serve.served");
     tel_.correct = &metrics->counter("serve.correct");
     tel_.batches = &metrics->counter("serve.batches");
@@ -83,7 +84,25 @@ void InferenceServer::note_submitted() {
     tel_.queue_depth->set(static_cast<double>(queue_.depth()));
 }
 
+void InferenceServer::set_admit_one_in(int n) {
+  RP_REQUIRE(n >= 1, "admission divisor must be >= 1");
+  admit_one_in_.store(n, std::memory_order_release);
+}
+
+bool InferenceServer::admit() {
+  const int n = admit_one_in_.load(std::memory_order_acquire);
+  if (n <= 1) return true;
+  if (admit_seq_.fetch_add(1, std::memory_order_relaxed) % n == 0)
+    return true;
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  degraded_shed_.fetch_add(1, std::memory_order_relaxed);
+  if (tel_.shed) tel_.shed->add();
+  if (tel_.degraded_shed) tel_.degraded_shed->add();
+  return false;
+}
+
 bool InferenceServer::try_submit(int sample_index) {
+  if (!admit()) return false;
   if (queue_.try_push(make_request(sample_index))) {
     note_submitted();
     return true;
@@ -94,6 +113,7 @@ bool InferenceServer::try_submit(int sample_index) {
 }
 
 bool InferenceServer::submit(int sample_index) {
+  if (!admit()) return false;
   if (queue_.push(make_request(sample_index))) {
     note_submitted();
     return true;
@@ -118,6 +138,7 @@ ServeStats InferenceServer::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.slo_violations = slo_violations_.load(std::memory_order_relaxed);
   s.last_version = last_version_.load(std::memory_order_relaxed);
+  s.degraded_shed = degraded_shed_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -49,6 +49,8 @@ struct ServeStats {
   std::int64_t batches = 0;
   std::int64_t slo_violations = 0;  ///< completions with latency > slo_ms
   std::int64_t last_version = 0;    ///< version pinned by the latest batch
+  std::int64_t degraded_shed = 0;   ///< sheds due to degraded admission
+                                    ///< (included in `shed`)
 
   /// Served-traffic accuracy so far.  Computed as correct/served in double
   /// precision — bit-identical to attack::subset_accuracy over the same
@@ -81,6 +83,15 @@ class InferenceServer {
   /// Blocking submission; false once the server is stopping.
   bool submit(int sample_index);
 
+  /// Degraded admission — the integrity guard's throttle action: accept
+  /// only one in `n` submissions (deterministic modulo counter, so tests
+  /// can pin exactly which requests shed), the rest count as shed on
+  /// serve.degraded_shed.  n = 1 restores full admission.  Thread-safe.
+  void set_admit_one_in(int n);
+  int admit_one_in() const {
+    return admit_one_in_.load(std::memory_order_acquire);
+  }
+
   /// Blocks until every accepted request has completed.  Callers must
   /// stop submitting first (bench phase barriers, tests).
   void drain() const;
@@ -94,6 +105,7 @@ class InferenceServer {
   void serve_loop(int worker);
   Request make_request(int sample_index);
   void note_submitted();
+  bool admit();  ///< degraded-admission gate shared by both submit paths
 
   SharedModel& model_;
   const data::Dataset& data_;
@@ -112,6 +124,9 @@ class InferenceServer {
   std::atomic<std::int64_t> batches_{0};
   std::atomic<std::int64_t> slo_violations_{0};
   std::atomic<std::int64_t> last_version_{0};
+  std::atomic<std::int64_t> degraded_shed_{0};
+  std::atomic<int> admit_one_in_{1};
+  std::atomic<std::int64_t> admit_seq_{0};
 
   /// drain(): completion signal (served_ catches up with submitted_).
   mutable std::mutex done_mu_;
@@ -120,6 +135,7 @@ class InferenceServer {
   struct Telemetry {
     telemetry::Counter* submitted = nullptr;
     telemetry::Counter* shed = nullptr;
+    telemetry::Counter* degraded_shed = nullptr;
     telemetry::Counter* served = nullptr;
     telemetry::Counter* correct = nullptr;
     telemetry::Counter* batches = nullptr;

@@ -1,10 +1,27 @@
 #include "serve/shared_model.h"
 
+#include <atomic>
 #include <utility>
 
 #include "common/check.h"
 
 namespace rowpress::serve {
+
+namespace {
+std::atomic<std::int64_t> g_live_versions{0};
+}  // namespace
+
+ModelVersion::ModelVersion() {
+  g_live_versions.fetch_add(1, std::memory_order_relaxed);
+}
+
+ModelVersion::~ModelVersion() {
+  g_live_versions.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::int64_t ModelVersion::live_count() {
+  return g_live_versions.load(std::memory_order_relaxed);
+}
 
 SharedModel::SharedModel(const models::ModelSpec& spec,
                          const nn::ModelState& trained, std::uint64_t seed)
@@ -35,10 +52,65 @@ FlipOutcome SharedModel::apply_bit_flip(const nn::WeightBitRef& ref) {
   auto v = std::make_shared<ModelVersion>();
   v->id = head_->id + 1;
   v->flips = head_->flips + 1;
+  v->repaired = head_->repaired;
   v->state = nn::snapshot_state(*master_.model);
   out.version = v->id;
   head_ = std::move(v);
   return out;
+}
+
+std::vector<std::uint8_t> SharedModel::read_image_range(
+    std::int64_t byte_begin, std::int64_t byte_end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_.qmodel->pack_weight_image_range(byte_begin, byte_end);
+}
+
+RepairOutcome SharedModel::restore_image_range(
+    std::int64_t byte_begin, std::int64_t byte_end,
+    const std::vector<std::uint8_t>& golden) {
+  RP_REQUIRE(static_cast<std::int64_t>(golden.size()) ==
+                 master_.qmodel->total_weight_bytes(),
+             "golden image size mismatch");
+  std::lock_guard<std::mutex> lock(mu_);
+  RepairOutcome out;
+  const std::vector<std::uint8_t> cur =
+      master_.qmodel->pack_weight_image_range(byte_begin, byte_end);
+  for (std::int64_t b = byte_begin; b < byte_end; ++b) {
+    const std::uint8_t diff =
+        cur[static_cast<std::size_t>(b - byte_begin)] ^
+        golden[static_cast<std::size_t>(b)];
+    if (diff == 0) continue;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (!((diff >> bit) & 1)) continue;
+      // Flip the corrupted bit back through the quantized write path, so
+      // the float view and the copy-on-write publish behave exactly as
+      // they do for an attacker flip.
+      master_.qmodel->apply_bit_flip(
+          master_.qmodel->bit_ref_from_image_offset(b * 8 + bit));
+      ++out.bits_restored;
+    }
+  }
+  if (out.bits_restored == 0) {
+    out.version = head_->id;
+    return out;
+  }
+  auto v = std::make_shared<ModelVersion>();
+  v->id = head_->id + 1;
+  v->flips = head_->flips;
+  v->repaired = head_->repaired + out.bits_restored;
+  v->state = nn::snapshot_state(*master_.model);
+  out.version = v->id;
+  head_ = std::move(v);
+  return out;
+}
+
+std::int64_t SharedModel::image_bit_offset(const nn::WeightBitRef& ref) const {
+  return master_.qmodel->image_bit_offset(ref);
+}
+
+nn::WeightBitRef SharedModel::bit_ref_from_image_offset(
+    std::int64_t image_bit) const {
+  return master_.qmodel->bit_ref_from_image_offset(image_bit);
 }
 
 std::int64_t SharedModel::version() const {
@@ -49,6 +121,11 @@ std::int64_t SharedModel::version() const {
 std::int64_t SharedModel::flips_applied() const {
   std::lock_guard<std::mutex> lock(mu_);
   return head_->flips;
+}
+
+std::int64_t SharedModel::bits_repaired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->repaired;
 }
 
 std::int64_t SharedModel::total_weight_bytes() const {

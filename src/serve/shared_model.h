@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "attack/runner.h"
 #include "models/zoo.h"
@@ -33,9 +34,20 @@ namespace rowpress::serve {
 /// One immutable snapshot of the model.  `state`'s tensors are shared
 /// copy-on-write handles; by contract nothing writes through them.
 struct ModelVersion {
-  std::int64_t id = 0;     ///< 0 = pristine (pre-attack) weights
-  std::int64_t flips = 0;  ///< cumulative bit flips baked into this state
+  ModelVersion();   ///< maintains live_count()
+  ~ModelVersion();
+  ModelVersion(const ModelVersion&) = delete;
+  ModelVersion& operator=(const ModelVersion&) = delete;
+
+  std::int64_t id = 0;        ///< 0 = pristine (pre-attack) weights
+  std::int64_t flips = 0;     ///< bit flips published into this lineage
+  std::int64_t repaired = 0;  ///< bits restored by the integrity guard
   nn::ModelState state;
+
+  /// Number of ModelVersion objects currently alive in the process.  The
+  /// retirement contract: at quiescence only the head and still-pinned
+  /// versions survive — hundreds of published flips must not grow this.
+  static std::int64_t live_count();
 };
 
 /// What a published flip did (feeds the serve trace / flip journal).
@@ -43,6 +55,13 @@ struct FlipOutcome {
   std::int64_t version = 0;    ///< id of the version this flip published
   float weight_delta = 0.0f;   ///< signed change of the dequantized weight
   std::string param_name;      ///< layer attribution, e.g. "fc1.weight"
+};
+
+/// What a guard-initiated restore did (feeds the guard trace).
+struct RepairOutcome {
+  std::int64_t version = 0;        ///< head version after the repair
+  std::int64_t bits_restored = 0;  ///< 0 = range was already clean (no
+                                   ///<   new version was published)
 };
 
 class SharedModel {
@@ -70,9 +89,31 @@ class SharedModel {
   std::int64_t version() const;
   /// Total flips published.
   std::int64_t flips_applied() const;
+  /// Total bits restored by restore_image_range.
+  std::int64_t bits_repaired() const;
 
   /// Size of the packed int8 weight image (attack planning / placement).
   std::int64_t total_weight_bytes() const;
+
+  /// Current bytes [byte_begin, byte_end) of the packed int8 weight image
+  /// — the integrity sentinel's page read.  Consistent: taken under the
+  /// writer lock, so a concurrent flip lands entirely before or after.
+  std::vector<std::uint8_t> read_image_range(std::int64_t byte_begin,
+                                             std::int64_t byte_end) const;
+
+  /// Restores every differing bit of image range [byte_begin, byte_end)
+  /// from `golden` (a full-size golden image) through the same
+  /// copy-on-write write path as apply_bit_flip, then publishes ONE new
+  /// head version for the whole repair.  Pinned versions keep their bits;
+  /// a clean range publishes nothing.
+  RepairOutcome restore_image_range(std::int64_t byte_begin,
+                                    std::int64_t byte_end,
+                                    const std::vector<std::uint8_t>& golden);
+
+  /// Weight-image layout queries (immutable after construction, safe
+  /// without the lock): packed-image bit offset of a weight bit and back.
+  std::int64_t image_bit_offset(const nn::WeightBitRef& ref) const;
+  nn::WeightBitRef bit_ref_from_image_offset(std::int64_t image_bit) const;
 
   const models::ModelSpec& spec() const { return spec_; }
 

@@ -1,0 +1,59 @@
+#include "serve/trace_reader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "runtime/jsonl.h"
+
+namespace rowpress::serve {
+
+std::vector<TraceRecord> read_trace(
+    const std::string& path, TraceReadStats* stats,
+    const std::function<void(const std::string&)>& warn) {
+  const auto sink = warn ? warn : [](const std::string& msg) {
+    std::fprintf(stderr, "%s\n", msg.c_str());
+  };
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  RP_REQUIRE(in.is_open(), "cannot open serve trace: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  TraceReadStats local;
+  // Everything after the last newline is the torn tail of an interrupted
+  // write: analyzable content ends at good_end.
+  const std::size_t last_nl = content.rfind('\n');
+  const std::size_t good_end = last_nl == std::string::npos ? 0 : last_nl + 1;
+  local.torn_bytes = content.size() - good_end;
+  if (local.torn_bytes > 0)
+    sink("trace " + path + ": ignoring torn final line (" +
+         std::to_string(local.torn_bytes) + " bytes) left by an interrupted "
+         "run");
+
+  std::vector<TraceRecord> out;
+  std::size_t pos = 0;
+  while (pos < good_end) {
+    const std::size_t nl = content.find('\n', pos);
+    const std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    auto kind = runtime::json_get_string(line, "kind");
+    if (!kind || !runtime::json_get_double(line, "t_ms")) {
+      ++local.dropped_lines;
+      sink("trace " + path + ": dropping unparseable line: " +
+           line.substr(0, 80));
+      continue;
+    }
+    TraceRecord r;
+    r.kind = std::move(*kind);
+    r.line = line;
+    out.push_back(std::move(r));
+    ++local.records;
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace rowpress::serve

@@ -1,0 +1,39 @@
+// Torn-tail-tolerant read-back of a ServeMonitor JSONL trace.
+//
+// A serve trace is flushed record by record, so a crashed or SIGKILLed
+// run leaves a well-formed stream plus at most one torn final line.  Like
+// the campaign Journal's recovery path, read_trace treats everything
+// after the last newline as a torn tail (counted, ignored, never an
+// error) and drops complete-but-unparseable lines with a warning instead
+// of failing — a killed run's trace is still analyzable up to the instant
+// of death.  The file itself is never modified.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rowpress::serve {
+
+/// One parsed trace line.  `line` is the raw JSON object; pull fields out
+/// with runtime::json_get_* (the schema is deliberately flat).
+struct TraceRecord {
+  std::string kind;  ///< "tick", "flip", or "guard"
+  std::string line;
+};
+
+struct TraceReadStats {
+  std::size_t records = 0;        ///< lines that parsed as trace records
+  std::size_t dropped_lines = 0;  ///< complete but unparseable lines
+  std::size_t torn_bytes = 0;     ///< trailing partial line (ignored)
+};
+
+/// Loads every complete, parseable record of the trace at `path`.
+/// `warn` (default: stderr) receives one line per recovery action.
+/// Throws only when the file cannot be opened.
+std::vector<TraceRecord> read_trace(
+    const std::string& path, TraceReadStats* stats = nullptr,
+    const std::function<void(const std::string&)>& warn = nullptr);
+
+}  // namespace rowpress::serve

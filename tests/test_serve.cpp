@@ -27,6 +27,7 @@
 #include "serve/client.h"
 #include "serve/injector.h"
 #include "serve/monitor.h"
+#include "serve/trace_reader.h"
 #include "test_util.h"
 
 namespace rowpress::serve {
@@ -478,6 +479,124 @@ TEST_F(ServeTest, SustainedFlipsDegradeServedAccuracy) {
   const ServeStats s = server.stats();
   EXPECT_EQ(s.last_version, 64);
   EXPECT_LT(s.accuracy(), clean_acc);
+}
+
+// --- Version retirement -------------------------------------------------
+
+// The RCU memory contract: a slow reader pinning version k keeps exactly
+// that snapshot alive (bit-stable) while hundreds of flips publish, and
+// every superseded, unpinned version is freed — live_count must stay
+// bounded by {pinned, head, the one version in flight}, and drop to just
+// {head} once the pin is released.  Run under ROWPRESS_SANITIZE=thread.
+TEST_F(ServeTest, RetiredVersionsAreFreedWhileSlowReaderPinsHoldBits) {
+  const std::int64_t live0 = ModelVersion::live_count();
+  SharedModel sm(*spec_, *trained_);
+  EXPECT_EQ(ModelVersion::live_count() - live0, 1);  // head (version 0)
+
+  auto pinned = sm.pin();  // the slow reader's snapshot
+  const auto idx = all_test_indices();
+  ModelReplica replica(*spec_);
+  const double acc0 =
+      attack::subset_accuracy(replica.at(*pinned), data_->test, idx);
+
+  constexpr int kFlips = 300;
+  std::atomic<std::int64_t> max_live{0};
+  std::thread writer([&] {
+    for (int r = 0; r < kFlips; ++r) {
+      sm.apply_bit_flip(nn::WeightBitRef{0, r % 144, 6});
+      const std::int64_t live = ModelVersion::live_count() - live0;
+      std::int64_t seen = max_live.load();
+      while (live > seen && !max_live.compare_exchange_weak(seen, live)) {
+      }
+    }
+  });
+  // The slow reader keeps forwarding on its pin while versions churn.
+  nn::Tensor batch = data::gather_inputs(data_->test, idx);
+  ModelReplica slow(*spec_);
+  nn::Module& m = slow.at(*pinned);
+  for (int round = 0; round < 5; ++round) (void)m.forward(batch);
+  writer.join();
+
+  // Retirement: never more than pinned + head + one transient in flight.
+  EXPECT_LE(max_live.load(), 3);
+  EXPECT_EQ(sm.version(), kFlips);
+  // Quiescent: exactly the pin and the head survive the churn.
+  EXPECT_EQ(ModelVersion::live_count() - live0, 2);
+  // The pinned bits never moved.
+  EXPECT_EQ(pinned->id, 0);
+  EXPECT_EQ(attack::subset_accuracy(replica.at(*pinned), data_->test, idx),
+            acc0);
+
+  pinned.reset();  // release the slow reader
+  EXPECT_EQ(ModelVersion::live_count() - live0, 1);  // head only
+}
+
+// --- Trace read-back (torn-tail tolerance) ------------------------------
+
+TEST(TraceReader, ToleratesTornTailAndDropsGarbageLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("rp_torn_trace_" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << R"({"kind":"tick","t_ms":1.0,"served":10})" << "\n";
+    out << "not a json line at all\n";
+    out << R"({"kind":"flip","t_ms":2.0,"flip":0,"hit":false})" << "\n";
+    out << R"({"kind":"guard","t_ms":3.0,"event":"rollback"})" << "\n";
+    out << R"({"kind":"tick","t_ms":4.0,"ser)";  // torn: no newline
+  }
+
+  serve::TraceReadStats stats;
+  std::vector<std::string> warnings;
+  const auto records = serve::read_trace(
+      path, &stats, [&](const std::string& w) { warnings.push_back(w); });
+
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, "tick");
+  EXPECT_EQ(records[1].kind, "flip");
+  EXPECT_EQ(records[2].kind, "guard");
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.dropped_lines, 1u);
+  EXPECT_GT(stats.torn_bytes, 0u);
+  EXPECT_EQ(warnings.size(), 2u);  // one drop + one torn tail
+
+  // The file itself is never modified by read-back.
+  std::error_code ec;
+  EXPECT_GT(std::filesystem::file_size(path, ec), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceReader, MissingFileThrows) {
+  EXPECT_THROW(serve::read_trace("/nonexistent/rp_trace.jsonl"),
+               std::exception);
+}
+
+// --- Degraded admission (the guard's throttle actuator) -----------------
+
+TEST_F(ServeTest, DegradedAdmissionShedsDeterministically) {
+  SharedModel sm(*spec_, *trained_);
+  ServerConfig cfg;
+  cfg.threads = 1;
+  InferenceServer server(sm, data_->test, cfg);
+  server.start();
+
+  server.set_admit_one_in(2);
+  for (int i = 0; i < 10; ++i) server.submit(i % data_->test.size());
+  server.drain();
+  ServeStats s = server.stats();
+  // Modulo counter from 0: submissions 0,2,4,6,8 admitted, odd ones shed.
+  EXPECT_EQ(s.submitted, 5);
+  EXPECT_EQ(s.degraded_shed, 5);
+  EXPECT_EQ(s.shed, 5);
+
+  server.set_admit_one_in(1);  // release: full admission again
+  for (int i = 0; i < 10; ++i) server.submit(i % data_->test.size());
+  server.drain();
+  s = server.stats();
+  EXPECT_EQ(s.submitted, 15);
+  EXPECT_EQ(s.degraded_shed, 5);
+  server.stop();
 }
 
 }  // namespace

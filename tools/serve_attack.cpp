@@ -7,19 +7,32 @@
 // journals a JSONL time series ("tick" records with served accuracy and
 // windowed latency quantiles, "flip" records marking each landed flip).
 //
+// With --defend the victim fights back: an IntegrityGuard scrubs the
+// weight image against golden CRCs, runs an accuracy canary, and executes
+// the chosen policy (rollback / remap / throttle / alarm).  Defended runs
+// inject by PHYSICAL DRAM address through the victim's live placement, so
+// a defensive remap makes the attacker's remaining chain go stale.
+//
 //   serve_attack --model ResNet-20 --profile rp --rate 500 --duration-s 10
-//   serve_attack --model M11 --threads 4 --slo-ms 20 \
+//   serve_attack --model M11 --threads 4 --slo-ms 20
 //       --trace-out serve.jsonl --metrics-out serve_metrics.json
+//   serve_attack --model ResNet-20 --defend rollback+remap
+//       --scrub-interval-ms 50 --canary-every 4
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "attack/runner.h"
+#include "defense/online/guard.h"
 #include "dram/device.h"
 #include "exp/experiment.h"
 #include "models/zoo.h"
@@ -27,6 +40,7 @@
 #include "serve/client.h"
 #include "serve/injector.h"
 #include "serve/monitor.h"
+#include "serve/placement.h"
 #include "serve/server.h"
 #include "telemetry/telemetry.h"
 
@@ -54,35 +68,115 @@ void print_usage() {
       "  --attack-interval-ms <ms> cadence between flips (default: 250)\n"
       "  --max-flips <n>          flip budget for the offline plan\n"
       "                           (default: 50)\n"
-      "  --seed <u64>             train/plan seed (default: 1)\n"
+      "  --seed <u64>             train/plan/placement seed (default: 1)\n"
       "  --cache-dir <dir>        trained-model/profile cache (default:\n"
       "                           artifacts)\n"
-      "  --trace-out <path>       JSONL time series (tick + flip records;\n"
-      "                           default: serve_trace.jsonl)\n"
+      "  --trace-out <path>       JSONL time series (tick + flip + guard\n"
+      "                           records; default: serve_trace.jsonl)\n"
       "  --tick-ms <ms>           trace tick period (default: 500)\n"
       "  --metrics-out <path>     final telemetry snapshot as JSON\n"
       "                           (atomic tmp+rename)\n"
       "  --metrics-interval <s>   also flush --metrics-out every s seconds\n"
       "                           while serving (default: 0 = final only)\n"
+      "\n"
+      "Self-healing (victim-side defense):\n"
+      "  --defend <policy>        off (default), alarm, rollback, remap,\n"
+      "                           rollback+remap, throttle.  Any policy\n"
+      "                           other than off starts the integrity\n"
+      "                           guard and switches the injector to\n"
+      "                           physical DRAM addressing\n"
+      "  --scrub-interval-ms <ms> guard round cadence (default: 50)\n"
+      "  --scrub-page-bytes <n>   CRC scrub page size (default: 512)\n"
+      "  --scrub-pages <n>        pages scrubbed per round (default: 4)\n"
+      "  --canary-every <n>       canary runs every n-th guard round\n"
+      "                           (default: 4)\n"
+      "  --canary-batch <n>       held-out samples per canary run\n"
+      "                           (default: 32)\n"
+      "  --canary-threshold <f>   EWMA accuracy drop that fires\n"
+      "                           (default: 0.05)\n"
+      "  --canary-alpha <f>       EWMA weight of new healthy samples\n"
+      "                           (default: 0.2)\n"
+      "  --throttle-one-in <n>    degraded admission while throttled\n"
+      "                           (default: 4)\n"
+      "\n"
       "  --quiet                  suppress progress output\n"
-      "  --help                   this text\n");
+      "  --help                   this text\n"
+      "\n"
+      "SIGINT/SIGTERM stop the run early but cleanly: the injector and\n"
+      "client stop, in-flight requests drain, and the trace/metrics files\n"
+      "are flushed before exit.\n"
+      "\n"
+      "Exit codes: 0 = run completed (or clean signal shutdown);\n"
+      "1 = internal error; 2 = invalid arguments (nothing was run).\n");
 }
 
-[[noreturn]] void die(const std::string& msg) {
+/// Usage errors exit 2 before any model/profile loading happens: a typo'd
+/// flag must fail in milliseconds, not after minutes of training.
+[[noreturn]] void usage_die(const std::string& msg) {
   std::fprintf(stderr, "serve_attack: %s (try --help)\n", msg.c_str());
-  std::exit(3);
+  std::exit(2);
 }
+
+// Strict numeric parsing: the whole token must consume, no silent
+// atoi-style "banana" -> 0.  All of these call usage_die on garbage.
+long long parse_ll(const std::string& v, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0')
+    usage_die(std::string(flag) + " expects an integer, got '" + v + "'");
+  return x;
+}
+
+int parse_int(const std::string& v, const char* flag) {
+  const long long x = parse_ll(v, flag);
+  if (x < INT_MIN || x > INT_MAX)
+    usage_die(std::string(flag) + " value out of range: '" + v + "'");
+  return static_cast<int>(x);
+}
+
+std::uint64_t parse_u64(const std::string& v, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  if (!v.empty() && v[0] == '-')
+    usage_die(std::string(flag) + " expects an unsigned integer, got '" + v +
+              "'");
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0')
+    usage_die(std::string(flag) + " expects an unsigned integer, got '" + v +
+              "'");
+  return static_cast<std::uint64_t>(x);
+}
+
+double parse_double(const std::string& v, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end == v.c_str() || *end != '\0')
+    usage_die(std::string(flag) + " expects a number, got '" + v + "'");
+  return x;
+}
+
+// Signal-driven early shutdown: the handler only sets a flag; the serving
+// wait loop notices it and runs the same stop/drain/flush sequence a
+// normal end-of-run does, so the trace never loses its tail.
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void on_signal(int sig) { g_signal = sig; }
 
 }  // namespace
 
 int run_cli(int argc, char** argv);
 
+// Anything past flag parsing reports failure through exceptions; turn
+// those into a clean message + distinct exit code instead of
+// std::terminate: spec/invariant violations (logic_error, e.g. an unknown
+// model) exit 2 like any other bad-input error, everything else exits 1.
 int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
   } catch (const std::logic_error& e) {
     std::fprintf(stderr, "serve_attack: invalid spec: %s\n", e.what());
-    return 3;
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_attack: error: %s\n", e.what());
     return 1;
@@ -104,10 +198,13 @@ int run_cli(int argc, char** argv) {
   std::int64_t tick_ms = 500;
   std::string metrics_out;
   double metrics_interval_s = 0.0;
+  std::string defend = "off";
+  defense::online::GuardConfig gcfg;
+  std::int64_t scrub_interval_ms = 50;
   bool quiet = false;
 
   const auto need_value = [&](int i, const char* flag) -> std::string {
-    if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+    if (i + 1 >= argc) usage_die(std::string("missing value for ") + flag);
     return argv[i + 1];
   };
   for (int i = 1; i < argc; ++i) {
@@ -120,52 +217,119 @@ int run_cli(int argc, char** argv) {
     } else if (arg == "--profile") {
       profile_arg = need_value(i++, "--profile");
     } else if (arg == "--rate") {
-      rate = std::atof(need_value(i++, "--rate").c_str());
+      rate = parse_double(need_value(i++, "--rate"), "--rate");
     } else if (arg == "--duration-s") {
-      duration_s = std::atof(need_value(i++, "--duration-s").c_str());
+      duration_s = parse_double(need_value(i++, "--duration-s"),
+                                "--duration-s");
     } else if (arg == "--threads") {
-      scfg.threads = std::atoi(need_value(i++, "--threads").c_str());
+      scfg.threads = parse_int(need_value(i++, "--threads"), "--threads");
     } else if (arg == "--max-batch") {
-      scfg.max_batch = std::atoi(need_value(i++, "--max-batch").c_str());
+      scfg.max_batch = parse_int(need_value(i++, "--max-batch"),
+                                 "--max-batch");
     } else if (arg == "--batch-wait-us") {
-      scfg.batch_wait_us =
-          std::atoll(need_value(i++, "--batch-wait-us").c_str());
+      scfg.batch_wait_us = parse_ll(need_value(i++, "--batch-wait-us"),
+                                    "--batch-wait-us");
     } else if (arg == "--queue-cap") {
-      scfg.queue_capacity = static_cast<std::size_t>(
-          std::atoll(need_value(i++, "--queue-cap").c_str()));
+      const long long cap = parse_ll(need_value(i++, "--queue-cap"),
+                                     "--queue-cap");
+      if (cap < 1) usage_die("--queue-cap must be >= 1");
+      scfg.queue_capacity = static_cast<std::size_t>(cap);
     } else if (arg == "--slo-ms") {
-      scfg.slo_ms = std::atof(need_value(i++, "--slo-ms").c_str());
+      scfg.slo_ms = parse_double(need_value(i++, "--slo-ms"), "--slo-ms");
     } else if (arg == "--attack-delay-ms") {
-      attack_delay_ms =
-          std::atoll(need_value(i++, "--attack-delay-ms").c_str());
+      attack_delay_ms = parse_ll(need_value(i++, "--attack-delay-ms"),
+                                 "--attack-delay-ms");
     } else if (arg == "--attack-interval-ms") {
-      attack_interval_ms =
-          std::atoll(need_value(i++, "--attack-interval-ms").c_str());
+      attack_interval_ms = parse_ll(need_value(i++, "--attack-interval-ms"),
+                                    "--attack-interval-ms");
     } else if (arg == "--max-flips") {
-      max_flips = std::atoi(need_value(i++, "--max-flips").c_str());
+      max_flips = parse_int(need_value(i++, "--max-flips"), "--max-flips");
     } else if (arg == "--seed") {
-      seed = std::strtoull(need_value(i++, "--seed").c_str(), nullptr, 10);
+      seed = parse_u64(need_value(i++, "--seed"), "--seed");
     } else if (arg == "--cache-dir") {
       cache_dir = need_value(i++, "--cache-dir");
     } else if (arg == "--trace-out") {
       trace_out = need_value(i++, "--trace-out");
     } else if (arg == "--tick-ms") {
-      tick_ms = std::atoll(need_value(i++, "--tick-ms").c_str());
+      tick_ms = parse_ll(need_value(i++, "--tick-ms"), "--tick-ms");
     } else if (arg == "--metrics-out") {
       metrics_out = need_value(i++, "--metrics-out");
     } else if (arg == "--metrics-interval") {
-      metrics_interval_s =
-          std::atof(need_value(i++, "--metrics-interval").c_str());
+      metrics_interval_s = parse_double(need_value(i++, "--metrics-interval"),
+                                        "--metrics-interval");
+    } else if (arg == "--defend") {
+      defend = need_value(i++, "--defend");
+    } else if (arg == "--scrub-interval-ms") {
+      scrub_interval_ms = parse_ll(need_value(i++, "--scrub-interval-ms"),
+                                   "--scrub-interval-ms");
+    } else if (arg == "--scrub-page-bytes") {
+      gcfg.sentinel.page_bytes = parse_ll(
+          need_value(i++, "--scrub-page-bytes"), "--scrub-page-bytes");
+    } else if (arg == "--scrub-pages") {
+      gcfg.sentinel.pages_per_round = parse_int(
+          need_value(i++, "--scrub-pages"), "--scrub-pages");
+    } else if (arg == "--canary-every") {
+      gcfg.canary_every = parse_int(need_value(i++, "--canary-every"),
+                                    "--canary-every");
+    } else if (arg == "--canary-batch") {
+      gcfg.canary.batch_size = parse_int(need_value(i++, "--canary-batch"),
+                                         "--canary-batch");
+    } else if (arg == "--canary-threshold") {
+      gcfg.canary.drop_threshold = parse_double(
+          need_value(i++, "--canary-threshold"), "--canary-threshold");
+    } else if (arg == "--canary-alpha") {
+      gcfg.canary.alpha = parse_double(need_value(i++, "--canary-alpha"),
+                                       "--canary-alpha");
+    } else if (arg == "--throttle-one-in") {
+      gcfg.throttle_admit_one_in = parse_int(
+          need_value(i++, "--throttle-one-in"), "--throttle-one-in");
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
-      die("unknown option " + arg);
+      usage_die("unknown option " + arg);
     }
   }
-  if (rate <= 0.0) die("--rate must be positive");
-  if (duration_s <= 0.0) die("--duration-s must be positive");
+
+  // Up-front validation: every bad value dies with exit 2 here, before
+  // any training or profiling work starts.
+  if (rate <= 0.0) usage_die("--rate must be positive");
+  if (duration_s <= 0.0) usage_die("--duration-s must be positive");
+  if (scfg.threads < 1) usage_die("--threads must be >= 1");
+  if (scfg.max_batch < 1) usage_die("--max-batch must be >= 1");
+  if (scfg.batch_wait_us < 0) usage_die("--batch-wait-us must be >= 0");
+  if (scfg.slo_ms <= 0.0) usage_die("--slo-ms must be positive");
+  if (attack_delay_ms < 0) usage_die("--attack-delay-ms must be >= 0");
+  if (attack_interval_ms < 1) usage_die("--attack-interval-ms must be >= 1");
+  if (max_flips < 1) usage_die("--max-flips must be >= 1");
+  if (tick_ms < 1) usage_die("--tick-ms must be >= 1");
+  if (metrics_interval_s < 0.0) usage_die("--metrics-interval must be >= 0");
+  const bool defended = defend != "off";
+  if (defended) {
+    const auto& names = defense::online::policy_names();
+    bool known = false;
+    for (const auto& n : names) known = known || n == defend;
+    if (!known) {
+      std::string allowed = "off";
+      for (const auto& n : names) allowed += "|" + n;
+      usage_die("--defend must be one of " + allowed + ", got '" + defend +
+                "'");
+    }
+  }
+  if (scrub_interval_ms < 1) usage_die("--scrub-interval-ms must be >= 1");
+  gcfg.interval = std::chrono::milliseconds(scrub_interval_ms);
+  if (gcfg.sentinel.page_bytes < 1)
+    usage_die("--scrub-page-bytes must be >= 1");
+  if (gcfg.sentinel.pages_per_round < 1) usage_die("--scrub-pages must be >= 1");
+  if (gcfg.canary_every < 1) usage_die("--canary-every must be >= 1");
+  if (gcfg.canary.batch_size < 1) usage_die("--canary-batch must be >= 1");
+  if (gcfg.canary.drop_threshold <= 0.0)
+    usage_die("--canary-threshold must be positive");
+  if (gcfg.canary.alpha <= 0.0 || gcfg.canary.alpha > 1.0)
+    usage_die("--canary-alpha must be in (0, 1]");
+  if (gcfg.throttle_admit_one_in < 1)
+    usage_die("--throttle-one-in must be >= 1");
   const auto profile = runtime::profile_from_name(profile_arg);
-  if (!profile) die("unknown profile '" + profile_arg + "'");
+  if (!profile) usage_die("unknown profile '" + profile_arg + "'");
 
   const auto zoo = models::model_zoo();
   const models::ModelSpec& spec = models::find_model(zoo, model_name);
@@ -217,7 +381,34 @@ int run_cli(int argc, char** argv) {
   serve::InjectorConfig icfg;
   icfg.initial_delay = std::chrono::milliseconds(attack_delay_ms);
   icfg.interval = std::chrono::milliseconds(attack_interval_ms);
-  serve::FlipInjector injector(shared, chain, icfg, &monitor, &metrics);
+
+  // Undefended runs keep the PR-6 direct-ref injection path (and trace
+  // format) untouched; defended runs place the image in (simulated) DRAM
+  // and inject by physical address so remap can strand the chain.
+  std::optional<serve::VictimPlacement> placement;
+  std::optional<serve::FlipInjector> injector;
+  std::unique_ptr<defense::online::IntegrityGuard> guard;
+  if (defended) {
+    const dram::Device device(exp::default_chip_config());
+    placement.emplace(device.geometry(), shared.total_weight_bytes(), seed);
+    const auto plan_map = placement->mapping();
+    std::vector<serve::PhysicalFlip> phys;
+    phys.reserve(chain.size());
+    for (const auto& ref : chain)
+      phys.push_back(serve::PhysicalFlip{
+          plan_map->linear_bit_for(shared.image_bit_offset(ref))});
+    injector.emplace(shared, std::move(phys), *placement, icfg, &monitor,
+                     &metrics);
+    // Guard construction captures golden CRCs and seeds the canary
+    // baseline NOW — before the injector starts, while weights are
+    // pristine.  The canary reads the train split: held out from the
+    // served (test) traffic the attack plan optimized against.
+    guard = std::make_unique<defense::online::IntegrityGuard>(
+        shared, defense::online::make_policy(defend), data.train, gcfg,
+        &*placement, &server, &monitor, &metrics);
+  } else {
+    injector.emplace(shared, chain, icfg, &monitor, &metrics);
+  }
 
   std::optional<telemetry::PeriodicSnapshotWriter> live_metrics;
   if (!metrics_out.empty() && metrics_interval_s > 0.0)
@@ -228,22 +419,44 @@ int run_cli(int argc, char** argv) {
   if (!quiet)
     std::printf(
         "serving %s: %d threads, %.0f rps for %.1f s "
-        "(attack after %lld ms, every %lld ms)\n",
+        "(attack after %lld ms, every %lld ms; defend: %s)\n",
         spec.name.c_str(), scfg.threads, rate, duration_s,
         static_cast<long long>(attack_delay_ms),
-        static_cast<long long>(attack_interval_ms));
+        static_cast<long long>(attack_interval_ms), defend.c_str());
+
+  g_signal = 0;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   server.start();
   monitor.start();
   client.start();
-  injector.start();
-  std::this_thread::sleep_for(
-      std::chrono::milliseconds(static_cast<std::int64_t>(duration_s * 1e3)));
+  injector->start();
+  if (guard) guard->start();
+
+  const auto t_end = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(
+                         static_cast<std::int64_t>(duration_s * 1e3));
+  while (std::chrono::steady_clock::now() < t_end && g_signal == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const bool interrupted = g_signal != 0;
+  if (interrupted && !quiet)
+    std::printf("\nsignal %d: stopping attack, draining server, flushing "
+                "trace...\n",
+                static_cast<int>(g_signal));
+
+  // Shutdown order: stop the attack and the traffic source first, drain
+  // what is already queued, then stop the trace (its final tick covers
+  // the drained tail), then the serving threads.
   client.stop();
-  injector.stop();
+  injector->stop();
+  if (guard) guard->stop();
   server.drain();
   monitor.stop();
   server.stop();
   if (live_metrics) live_metrics->stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 
   // --- Summary -----------------------------------------------------------
   const serve::ServeStats stats = server.stats();
@@ -255,8 +468,10 @@ int run_cli(int argc, char** argv) {
                 static_cast<long long>(client.offered()),
                 static_cast<long long>(stats.shed),
                 static_cast<long long>(stats.batches));
-    std::printf("flips landed: %lld / %zu planned (model version %lld)\n",
-                static_cast<long long>(injector.landed()), chain.size(),
+    std::printf("flips landed: %lld / %zu planned (%lld missed, model "
+                "version %lld)\n",
+                static_cast<long long>(injector->landed()), chain.size(),
+                static_cast<long long>(injector->missed()),
                 static_cast<long long>(shared.version()));
     std::printf("served accuracy (whole run): %.4f\n", stats.accuracy());
     if (lat != nullptr)
@@ -265,7 +480,24 @@ int run_cli(int argc, char** argv) {
                   lat->quantile(0.50), lat->quantile(0.95),
                   lat->quantile(0.99), scfg.slo_ms,
                   static_cast<long long>(stats.slo_violations));
-    std::printf("trace: %s\n", trace_out.c_str());
+    if (guard) {
+      const defense::online::GuardStats g = guard->stats();
+      std::printf("guard (%s): %lld rounds, %lld scrub + %lld canary "
+                  "detections (first round %lld)\n",
+                  defend.c_str(), static_cast<long long>(g.rounds),
+                  static_cast<long long>(g.scrub_detections),
+                  static_cast<long long>(g.canary_detections),
+                  static_cast<long long>(g.first_detection_round));
+      std::printf("guard actions: %lld rollbacks (%lld bits restored), "
+                  "%lld remaps, %lld throttles, %lld recoveries\n",
+                  static_cast<long long>(g.rollbacks),
+                  static_cast<long long>(g.bits_restored),
+                  static_cast<long long>(g.remaps),
+                  static_cast<long long>(g.throttles),
+                  static_cast<long long>(g.recoveries));
+    }
+    std::printf("trace: %s%s\n", trace_out.c_str(),
+                interrupted ? " (run interrupted, trace complete)" : "");
   }
   if (!metrics_out.empty()) {
     telemetry::write_json_file_atomic(metrics_out, snap);
