@@ -1,6 +1,7 @@
 #include "attack/bfa.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "attack/eval.h"
@@ -141,8 +142,28 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
   if (tel_.candidate_pool)
     tel_.candidate_pool->set(
         static_cast<double>(result.candidate_pool_size));
+
+  // Incremental candidate evaluation (see BfaConfig::incremental_eval).
+  nn::Sequential* seq = nullptr;
+  std::vector<int> child_of;
+  if (config_.incremental_eval) {
+    child_of = map_qparams_to_children(model, qmodel);
+    if (!child_of.empty()) seq = dynamic_cast<nn::Sequential*>(&model);
+  }
+
+  // The per-flip accuracy trace rides the same suffix-replay contract as
+  // the candidate search: after a committed flip in layer l, only the
+  // children from l's Sequential child onward are re-run on the eval
+  // subset.  Bit-identical to the full-forward subset_accuracy (see
+  // IncrementalEvaluator), so the flip chain and every reported accuracy
+  // are unchanged — the replay is purely a wall-time optimization.
+  std::unique_ptr<IncrementalEvaluator> inc_eval;
+  if (seq) inc_eval =
+      std::make_unique<IncrementalEvaluator>(*seq, eval_data, eval_idx);
   result.accuracy_before =
-      subset_accuracy(model, eval_data, eval_idx, tel_.forward_passes);
+      inc_eval ? inc_eval->full(tel_.forward_passes)
+               : subset_accuracy(model, eval_data, eval_idx,
+                                 tel_.forward_passes);
   result.accuracy_after = result.accuracy_before;
 
   const double target = eval_data.random_guess_accuracy() +
@@ -154,14 +175,6 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
 
   std::vector<bool> used(feasible ? feasible->size() : 0, false);
   nn::CrossEntropyLoss ce;
-
-  // Incremental candidate evaluation (see BfaConfig::incremental_eval).
-  nn::Sequential* seq = nullptr;
-  std::vector<int> child_of;
-  if (config_.incremental_eval) {
-    child_of = map_qparams_to_children(model, qmodel);
-    if (!child_of.empty()) seq = dynamic_cast<nn::Sequential*>(&model);
-  }
 
   int barren_rounds = 0;
   while (static_cast<int>(result.flips.size()) < config_.max_flips) {
@@ -257,7 +270,12 @@ AttackResult ProgressiveBitFlipAttack::run_impl(
       }
     }
     rec.accuracy_after =
-        subset_accuracy(model, eval_data, eval_idx, tel_.forward_passes);
+        inc_eval ? inc_eval->from_child(
+                       static_cast<std::size_t>(
+                           child_of[static_cast<std::size_t>(best_layer)]),
+                       tel_.forward_passes, tel_.suffix_forward_passes)
+                 : subset_accuracy(model, eval_data, eval_idx,
+                                   tel_.forward_passes);
     result.accuracy_after = rec.accuracy_after;
     result.flips.push_back(rec);
     if (tel_.flips) tel_.flips->add();

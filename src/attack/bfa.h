@@ -54,6 +54,14 @@ struct BfaConfig {
   /// flip sequences are unaffected.  Applies when the model is a flat
   /// Sequential; other models silently fall back to full passes.
   bool incremental_eval = true;
+  /// Run forward passes (gradient pass, tentative-flip replay, accuracy
+  /// evaluation) on the int8 kernel path: the attack runners enable
+  /// QuantizedModel::set_int8_execution on the replica before the attack.
+  /// Off by default — the float path is the reference oracle, and every
+  /// committed golden/journal artifact was produced on it.  Flip selection
+  /// may differ from the float path (int8 forwards round activations), but
+  /// is bit-reproducible across backends and thread counts.
+  bool int8_eval = false;
 };
 
 struct FlipRecord {

@@ -37,6 +37,51 @@ double subset_accuracy(nn::Module& model, const data::Dataset& ds,
          static_cast<double>(indices.size());
 }
 
+IncrementalEvaluator::IncrementalEvaluator(nn::Sequential& seq,
+                                           const data::Dataset& ds,
+                                           const std::vector<int>& indices)
+    : seq_(seq),
+      inputs_(data::gather_inputs(ds, indices)),
+      labels_(data::gather_labels(ds, indices)),
+      count_(indices.size()) {
+  RP_REQUIRE(!indices.empty(), "IncrementalEvaluator needs samples");
+}
+
+double IncrementalEvaluator::accuracy_of(const nn::Tensor& logits) const {
+  // Same arithmetic as subset_accuracy: nn::accuracy is correct/n exactly,
+  // so the rounded product recovers the integer correct count and the
+  // final double matches the chunked path bit-for-bit.
+  const int correct = static_cast<int>(
+      nn::accuracy(logits, labels_) * static_cast<double>(count_) + 0.5);
+  return static_cast<double>(correct) / static_cast<double>(count_);
+}
+
+double IncrementalEvaluator::full(telemetry::Counter* forward_passes) {
+  captures_.assign(seq_.size(), nn::Tensor());
+  if (forward_passes) forward_passes->add();
+  nn::Tensor cur = inputs_;
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    captures_[i] = cur;
+    cur = seq_.child(i).forward(cur);
+  }
+  return accuracy_of(cur);
+}
+
+double IncrementalEvaluator::from_child(std::size_t start,
+                                        telemetry::Counter* forward_passes,
+                                        telemetry::Counter* suffix_passes) {
+  RP_REQUIRE(!captures_.empty(), "from_child before full()");
+  RP_REQUIRE(start < seq_.size(), "from_child start out of range");
+  if (forward_passes) forward_passes->add();
+  if (suffix_passes) suffix_passes->add();
+  nn::Tensor cur = captures_[start];
+  for (std::size_t i = start; i < seq_.size(); ++i) {
+    if (i > start) captures_[i] = cur;
+    cur = seq_.child(i).forward(cur);
+  }
+  return accuracy_of(cur);
+}
+
 int argmax_row(const nn::Tensor& logits, int row) {
   RP_REQUIRE(logits.ndim() == 2, "argmax_row expects [N, C] logits");
   const int c = logits.dim(1);

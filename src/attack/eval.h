@@ -54,6 +54,45 @@ inline bool direction_allows(bool current_bit, dram::FlipDirection dir) {
   return dir == dram::FlipDirection::kZeroToOne ? !current_bit : current_bit;
 }
 
+/// Incremental top-1 accuracy over a fixed evaluation subset of `ds`.
+///
+/// full() runs every child once and records each child's input for the
+/// whole eval batch; after a weight change confined to child `c`,
+/// from_child(c) replays only children [c, size()) from the recorded
+/// input — child c's *input* is unaffected by a change to its own
+/// weights — and refreshes the downstream records it recomputes, so
+/// successive changes may land in any child in any order.  Both entries
+/// return the same double subset_accuracy produces for the same indices:
+/// per-row GEMM FP sequences are batch-independent (file comment) and the
+/// replay runs the identical per-child forward code.  Memory cost is one
+/// eval-batch activation per child; intended for the per-flip accuracy
+/// trace, where the subset is a few hundred samples.
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator(nn::Sequential& seq, const data::Dataset& ds,
+                       const std::vector<int>& indices);
+
+  /// Full forward over all children; records per-child inputs.
+  double full(telemetry::Counter* forward_passes = nullptr);
+
+  /// Replay from child `start` using the recorded inputs.  full() must
+  /// have run first.
+  double from_child(std::size_t start,
+                    telemetry::Counter* forward_passes = nullptr,
+                    telemetry::Counter* suffix_passes = nullptr);
+
+ private:
+  double accuracy_of(const nn::Tensor& logits) const;
+
+  nn::Sequential& seq_;
+  nn::Tensor inputs_;
+  std::vector<int> labels_;
+  std::size_t count_ = 0;
+  /// captures_[i] = input fed to child i on the last evaluation that ran
+  /// child i (full() or a replay passing through it).
+  std::vector<nn::Tensor> captures_;
+};
+
 /// Maps each attackable qparam to the top-level Sequential child owning it
 /// (by Param identity), so incremental candidate evaluation can re-run only
 /// the children a tentative flip can affect.  Empty result = model is not a

@@ -31,6 +31,7 @@ AttackResult run_profile_attack(const models::ModelSpec& spec,
   Rng init_rng = rng.fork();
   QuantizedReplica replica = make_quantized_replica(spec, trained, init_rng);
   nn::QuantizedModel& qmodel = *replica.qmodel;
+  if (setup.bfa.int8_eval) qmodel.set_int8_execution(true);
   WeightDramMapping mapping(geom, qmodel.total_weight_bytes(), rng);
   auto feasible = mapping.feasible_bits(qmodel, prof);
 
@@ -53,6 +54,7 @@ AttackResult run_unconstrained_attack(const models::ModelSpec& spec,
   Rng init_rng = rng.fork();
   QuantizedReplica replica = make_quantized_replica(spec, trained, init_rng);
   nn::QuantizedModel& qmodel = *replica.qmodel;
+  if (setup.bfa.int8_eval) qmodel.set_int8_execution(true);
   nn::kernels::ScopedBindMetrics kernel_metrics(setup.metrics);
   ProgressiveBitFlipAttack bfa(setup.bfa, rng);
   bfa.bind_telemetry(setup.metrics, setup.trace);

@@ -13,6 +13,7 @@ AccuracyCanary::AccuracyCanary(serve::SharedModel& model,
       indices_(attack::strided_eval_indices(
           cfg.batch_size, static_cast<int>(heldout.size()))),
       replica_(model.spec(), cfg.replica_seed) {
+  replica_.set_int8(cfg_.int8);
   RP_REQUIRE(cfg_.batch_size > 0, "canary batch size must be positive");
   RP_REQUIRE(cfg_.alpha > 0.0 && cfg_.alpha <= 1.0,
              "canary alpha must be in (0, 1]");

@@ -32,6 +32,9 @@ struct CanaryConfig {
   double alpha = 0.2;            ///< EWMA weight of the newest healthy sample
   double drop_threshold = 0.05;  ///< baseline - accuracy that fires
   std::uint64_t replica_seed = 0xCA11A51ull;  ///< private replica init
+  /// Evaluate canary batches on the int8 kernel path (should match the
+  /// serving config: the detector must watch what production executes).
+  bool int8 = false;
 };
 
 class AccuracyCanary {

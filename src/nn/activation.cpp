@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
 namespace rowpress::nn {
 namespace {
 constexpr float kSqrt2OverPi = 0.7978845608f;
@@ -10,15 +14,41 @@ constexpr float kSqrt2OverPi = 0.7978845608f;
 Tensor ReLU::forward(const Tensor& x) {
   cached_input_ = x;
   Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i)
-    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  const float* xs = x.cdata();
+  float* ys = y.data();
+  const std::int64_t n = x.numel();
+  std::int64_t i = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  // vmaxps(x, 0) returns its second operand (+0) when x is -0, +0, or
+  // NaN — exactly the cases where the scalar x > 0 test selects the 0.0f
+  // literal — so the lanes match the scalar branch bit-for-bit.
+  const __m256 zero = _mm256_setzero_ps();
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(ys + i, _mm256_max_ps(_mm256_loadu_ps(xs + i), zero));
+#endif
+  for (; i < n; ++i) ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor g(cached_input_.shape());
-  for (std::int64_t i = 0; i < g.numel(); ++i)
-    g[i] = cached_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  const float* xs = cached_input_.cdata();
+  const float* gos = grad_out.cdata();
+  float* gs = g.data();
+  const std::int64_t n = g.numel();
+  std::int64_t i = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  // Ordered greater-than compare builds the same pass-through mask the
+  // scalar branch encodes (NaN inputs compare false and gate to zero).
+  const __m256 zero = _mm256_setzero_ps();
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask =
+        _mm256_cmp_ps(_mm256_loadu_ps(xs + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(gs + i,
+                     _mm256_and_ps(mask, _mm256_loadu_ps(gos + i)));
+  }
+#endif
+  for (; i < n; ++i) gs[i] = xs[i] > 0.0f ? gos[i] : 0.0f;
   return g;
 }
 

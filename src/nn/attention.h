@@ -1,6 +1,12 @@
 // Transformer building blocks for the DeiT-style models: patch embedding,
 // learned positional embedding, and multi-head self-attention.  Blocks are
 // assembled with Sequential/Residual in src/models/deit.cpp.
+//
+// Int8 execution rides through the child Linear/Conv2d layers (qkv/proj
+// projections, patchify conv): those hold every attackable weight here, so
+// installing Param::qweight views on them covers attention's weight GEMMs.
+// The attention-specific math (scores, softmax, value mix) is
+// activation×activation and stays float by design.
 #pragma once
 
 #include <memory>

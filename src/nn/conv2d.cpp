@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "nn/kernels/kernels.h"
+#include "nn/kernels/qgemm.h"
 
 namespace rowpress::nn {
 namespace {
@@ -18,20 +20,106 @@ void im2col(const float* x, int cin, int h, int w, int k, int stride, int pad,
       for (int kj = 0; kj < k; ++kj) {
         float* crow = col + ((static_cast<std::size_t>(ci) * k + ki) * k + kj) *
                                 (static_cast<std::size_t>(oh) * ow);
+        // Interior columns for this tap: j*stride - pad + kj in [0, w).
+        // Outside them the tap is a pad zero, so each output row is a
+        // zero prefix, an unchecked contiguous/strided copy, and a zero
+        // suffix — no per-element bounds tests on the hot path.
+        int j_lo = pad - kj > 0 ? (pad - kj + stride - 1) / stride : 0;
+        if (j_lo > ow) j_lo = ow;
+        int j_hi = w - 1 - kj + pad < 0 ? 0 : (w - 1 - kj + pad) / stride + 1;
+        if (j_hi > ow) j_hi = ow;
+        if (j_hi < j_lo) j_hi = j_lo;
         for (int i = 0; i < oh; ++i) {
           const int hi = i * stride - pad + ki;
+          float* dst = crow + static_cast<std::size_t>(i) * ow;
           if (hi < 0 || hi >= h) {
-            for (int j = 0; j < ow; ++j) crow[i * ow + j] = 0.0f;
+            std::fill_n(dst, ow, 0.0f);
             continue;
           }
           const float* src = plane + static_cast<std::size_t>(hi) * w;
-          for (int j = 0; j < ow; ++j) {
-            const int wj = j * stride - pad + kj;
-            crow[i * ow + j] = (wj >= 0 && wj < w) ? src[wj] : 0.0f;
+          std::fill_n(dst, j_lo, 0.0f);
+          if (stride == 1) {
+            std::memcpy(dst + j_lo, src + (j_lo - pad + kj),
+                        static_cast<std::size_t>(j_hi - j_lo) * sizeof(float));
+          } else {
+            for (int j = j_lo; j < j_hi; ++j)
+              dst[j] = src[j * stride - pad + kj];
           }
+          std::fill_n(dst + j_hi, ow - j_hi, 0.0f);
         }
       }
     }
+  }
+}
+
+// Strip-wise transposed im2col for the int8 path: fills the patch rows
+// [ow, Cin*k*k] of ONE output row i of the [OH*OW, Cin*k*k] matrix — one
+// patch per ROW, so per-position activation quantization and the NT-style
+// int8 GEMM (contiguous reduction rows, see kernels/qgemm.h) both read
+// contiguously.  Working a strip at a time lets the caller quantize each
+// strip while it is still L1-resident, so the full float panel is never
+// materialized (or re-read).
+//
+// The j loop is split into a padded prefix, an interior run, and a padded
+// suffix so the hot interior copies k contiguous floats per position with
+// no per-element bounds checks (for kj in [0,k) the source indices
+// j*stride - pad + kj are consecutive).  The kernel width is a template
+// parameter so the compiler fully unrolls the k-wide copies — with a
+// runtime k the 1/3/5-iteration inner loops cost more than the int8 GEMM
+// they feed.  The old all-positions-checked form was slower still.
+template <int K>
+void im2col_strip_impl(const float* x, int cin, int h, int w, int k,
+                       int stride, int pad, int ow, int i, float* rows) {
+  if constexpr (K > 0) k = K;  // compile-time kernel width when dispatched
+  const int patch = cin * k * k;
+  // Interior columns: every kj tap lands inside [0, w).
+  int j_lo = (pad + stride - 1) / stride;
+  if (j_lo > ow) j_lo = ow;
+  int j_hi = w - k + pad < 0 ? 0 : (w - k + pad) / stride + 1;
+  if (j_hi > ow) j_hi = ow;
+  if (j_hi < j_lo) j_hi = j_lo;
+  for (int ci = 0; ci < cin; ++ci) {
+    const float* plane = x + static_cast<std::size_t>(ci) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      float* drow = rows + (static_cast<std::size_t>(ci) * k + ki) * k;
+      const int hi = i * stride - pad + ki;
+      if (hi < 0 || hi >= h) {
+        for (int j = 0; j < ow; ++j) {
+          float* dst = drow + static_cast<std::size_t>(j) * patch;
+          for (int kj = 0; kj < k; ++kj) dst[kj] = 0.0f;
+        }
+        continue;
+      }
+      const float* src = plane + static_cast<std::size_t>(hi) * w;
+      auto edge = [&](int j) {
+        float* dst = drow + static_cast<std::size_t>(j) * patch;
+        for (int kj = 0; kj < k; ++kj) {
+          const int wj = j * stride - pad + kj;
+          dst[kj] = (wj >= 0 && wj < w) ? src[wj] : 0.0f;
+        }
+      };
+      for (int j = 0; j < j_lo; ++j) edge(j);
+      for (int j = j_lo; j < j_hi; ++j) {
+        float* dst = drow + static_cast<std::size_t>(j) * patch;
+        const float* s = src + (j * stride - pad);
+        for (int kj = 0; kj < k; ++kj) dst[kj] = s[kj];
+      }
+      for (int j = j_hi; j < ow; ++j) edge(j);
+    }
+  }
+}
+
+void im2col_strip(const float* x, int cin, int h, int w, int k, int stride,
+                  int pad, int ow, int i, float* rows) {
+  switch (k) {
+    case 1:
+      return im2col_strip_impl<1>(x, cin, h, w, k, stride, pad, ow, i, rows);
+    case 3:
+      return im2col_strip_impl<3>(x, cin, h, w, k, stride, pad, ow, i, rows);
+    case 5:
+      return im2col_strip_impl<5>(x, cin, h, w, k, stride, pad, ow, i, rows);
+    default:
+      return im2col_strip_impl<0>(x, cin, h, w, k, stride, pad, ow, i, rows);
   }
 }
 
@@ -45,13 +133,25 @@ void col2im(const float* col, int cin, int h, int w, int k, int stride,
         const float* crow =
             col + ((static_cast<std::size_t>(ci) * k + ki) * k + kj) *
                       (static_cast<std::size_t>(oh) * ow);
+        // Same interior-column bounds as im2col; out-of-range taps have
+        // no image cell, so only the interior scatters (each target gets
+        // exactly one add per tap — element-independent, bit-exact).
+        int j_lo = pad - kj > 0 ? (pad - kj + stride - 1) / stride : 0;
+        if (j_lo > ow) j_lo = ow;
+        int j_hi = w - 1 - kj + pad < 0 ? 0 : (w - 1 - kj + pad) / stride + 1;
+        if (j_hi > ow) j_hi = ow;
+        if (j_hi < j_lo) j_hi = j_lo;
         for (int i = 0; i < oh; ++i) {
           const int hi = i * stride - pad + ki;
           if (hi < 0 || hi >= h) continue;
           float* dst = plane + static_cast<std::size_t>(hi) * w;
-          for (int j = 0; j < ow; ++j) {
-            const int wj = j * stride - pad + kj;
-            if (wj >= 0 && wj < w) dst[wj] += crow[i * ow + j];
+          const float* srow = crow + static_cast<std::size_t>(i) * ow;
+          if (stride == 1) {
+            float* d = dst + (j_lo - pad + kj);
+            for (int j = j_lo; j < j_hi; ++j) d[j - j_lo] += srow[j];
+          } else {
+            for (int j = j_lo; j < j_hi; ++j)
+              dst[j * stride - pad + kj] += srow[j];
           }
         }
       }
@@ -89,6 +189,46 @@ Tensor Conv2d::forward(const Tensor& x) {
   float* yp = y.data();
   const float* xp = x.cdata();
   const float* wp = weight_.value.cdata();
+
+  // Int8 path: transposed im2col per sample (patches as rows), per-patch
+  // activation quantization, then the WHOLE batch as one strided int8 GEMM
+  // followed by per-sample requantization.  Float path below stays the
+  // reference oracle; backward always runs float.
+  if (const QuantWeight* qw = weight_.qweight; qw != nullptr) {
+    RP_REQUIRE(qw->rows == cout_ && qw->cols == patch,
+               "conv2d int8 weight view shape mismatch");
+    const std::size_t panel = static_cast<std::size_t>(spatial) * patch;
+    const std::size_t out_panel = static_cast<std::size_t>(cout_) * spatial;
+    patch_rows_.resize(static_cast<std::size_t>(ow) * patch);
+    qact_.resize(static_cast<std::size_t>(n) * panel);
+    qscale_.resize(static_cast<std::size_t>(n) * spatial);
+    acc_.resize(static_cast<std::size_t>(n) * out_panel);
+    for (int b = 0; b < n; ++b) {
+      const float* xb = xp + static_cast<std::size_t>(b) * cin_ * h * w;
+      for (int i = 0; i < oh; ++i) {
+        const std::size_t row0 =
+            static_cast<std::size_t>(b) * spatial + static_cast<std::size_t>(i) * ow;
+        im2col_strip(xb, cin_, h, w, k_, stride_, pad_, ow, i,
+                     patch_rows_.data());
+        kernels::quantize_rows(patch_rows_.data(), qact_.data() + row0 * patch,
+                               qscale_.data() + row0, ow, patch);
+      }
+    }
+    kernels::qgemm_wgt_act_batched(
+        qw->q.data(), qact_.data(), qw->row_sums.data(), acc_.data(), cout_,
+        patch, spatial, n, static_cast<std::int64_t>(panel),
+        static_cast<std::int64_t>(out_panel), /*accumulate=*/false);
+    for (int b = 0; b < n; ++b) {
+      kernels::requantize(
+          acc_.data() + b * out_panel, qw->scales.data(),
+          qscale_.data() + static_cast<std::size_t>(b) * spatial,
+          has_bias_ ? bias_.value.cdata() : nullptr,
+          has_bias_ ? kernels::BiasAxis::kPerRow : kernels::BiasAxis::kNone,
+          yp + b * out_panel, cout_, spatial);
+    }
+    return y;
+  }
+
   const std::size_t col_size = static_cast<std::size_t>(patch) * spatial;
   if (col_.size() < col_size) col_.resize(col_size);
   for (int b = 0; b < n; ++b) {

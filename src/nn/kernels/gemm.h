@@ -5,6 +5,10 @@
 // by the compiler.
 #pragma once
 
+namespace rowpress::telemetry {
+class Histogram;
+}
+
 namespace rowpress::nn::kernels::detail {
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -13,8 +17,24 @@ inline constexpr bool kAvx2Compiled = true;
 inline constexpr bool kAvx2Compiled = false;
 #endif
 
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512VNNI__)
+inline constexpr bool kVnniCompiled = true;
+#else
+inline constexpr bool kVnniCompiled = false;
+#endif
+
 /// True when the AVX2 path is compiled in and this CPU executes it.
 bool avx2_runtime_supported();
+
+/// True when the AVX-512 VNNI path is compiled in and this CPU executes it.
+/// Implemented in qgemm.cpp (next to the kernels that need it).
+bool vnni_runtime_supported();
+
+/// The calling thread's bound "kernels.qgemm_ns" histogram, or null when
+/// kernel telemetry is unbound.  Owned by dispatch.cpp's bind_metrics
+/// thread-locals; qgemm.cpp reads it to time the int8 entry points.
+telemetry::Histogram* bound_qgemm_histogram();
 
 void portable_gemm_nn(const float* a, const float* b, float* c, int m, int k,
                       int n);

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace rowpress::telemetry {
 class MetricsRegistry;
@@ -47,6 +48,9 @@ enum class Backend {
   kNaive = 0,     ///< retained scalar reference (always available)
   kPortable = 1,  ///< cache-blocked, auto-vectorizable C++ (always available)
   kAvx2 = 2,      ///< AVX2+FMA register-tiled micro-kernels (when compiled in)
+  kVnni = 3,      ///< AVX-512 VNNI int8 dot-product kernels (when compiled in;
+                  ///<   float entry points route to the AVX2 implementations,
+                  ///<   which are bitwise identical by the contract above)
 };
 
 /// C[M,N] += A[M,K] * B[K,N].
@@ -59,8 +63,11 @@ void gemm_nt(const float* a, const float* b, float* c, int m, int k, int n);
 void gemm_tn(const float* a, const float* b, float* c, int m, int k, int n);
 
 /// Backend used by the gemm_* entry points.  Resolved once, lazily: the
-/// ROWPRESS_KERNEL environment variable ("naive" | "portable" | "avx2")
-/// when set, otherwise the fastest backend this CPU supports.
+/// ROWPRESS_KERNEL environment variable ("naive" | "portable" | "avx2" |
+/// "vnni") when set, otherwise the fastest backend this CPU supports.  An
+/// env-requested backend that is not available here falls back to the
+/// fastest available one with a warning on stderr, so a pinned CI matrix
+/// stays runnable on machines without the wider ISA.
 Backend active_backend();
 
 /// Overrides the active backend (tests/benchmarks).  Requires the backend
@@ -71,6 +78,23 @@ void set_backend(Backend b);
 bool backend_available(Backend b);
 
 const char* backend_name(Backend b);
+
+/// CPU SIMD capabilities relevant to kernel selection, as detected at
+/// runtime (compiled-in paths AND cpuid agree).  Cached after first call.
+struct CpuFeatures {
+  bool avx2 = false;  ///< AVX2+FMA float micro-kernels usable
+  bool vnni = false;  ///< AVX-512 VNNI int8 dot-product kernels usable
+};
+const CpuFeatures& cpu_features();
+
+/// Human-readable summary, e.g. "avx2+vnni", "avx2", or "baseline".
+std::string cpu_features_string();
+
+/// Records the selected backend and detected CPU features as gauges
+/// ("kernels.backend" = Backend enum value, "kernels.cpu_avx2",
+/// "kernels.cpu_vnni" = 0/1) so exported metrics and BENCH_*.json numbers
+/// are attributable to the machine/backend that produced them.
+void record_backend_gauges(telemetry::MetricsRegistry& metrics);
 
 /// Binds the calling thread's kernel telemetry to `metrics` (idempotently
 /// registering the "kernels.gemm_ns" histogram there) — or detaches it when

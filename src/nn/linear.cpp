@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/kernels/kernels.h"
+#include "nn/kernels/qgemm.h"
 
 namespace rowpress::nn {
 
@@ -31,6 +32,30 @@ Tensor Linear::forward(const Tensor& x) {
 
   Tensor y({rows, out_});
   float* yp = y.data();
+
+  // Int8 path: per-row dynamic activation quantization, int8×int8→int32
+  // GEMM on the installed weight codes, per-channel requantization with
+  // the bias folded into the fma base.  The float path below stays the
+  // reference oracle (and backward always runs float on cached_input_).
+  if (const QuantWeight* qw = weight_.qweight; qw != nullptr) {
+    RP_REQUIRE(qw->rows == out_ && qw->cols == in_,
+               "linear int8 weight view shape mismatch");
+    qact_.resize(static_cast<std::size_t>(rows) * in_);
+    qscale_.resize(static_cast<std::size_t>(rows));
+    acc_.resize(static_cast<std::size_t>(rows) * out_);
+    kernels::quantize_rows(cached_input_.cdata(), qact_.data(),
+                           qscale_.data(), rows, in_);
+    kernels::qgemm_act_wgt(qact_.data(), qw->q.data(), qw->row_sums.data(),
+                           acc_.data(), rows, in_, out_,
+                           /*accumulate=*/false);
+    kernels::requantize(acc_.data(), qscale_.data(), qw->scales.data(),
+                        has_bias_ ? bias_.value.cdata() : nullptr,
+                        has_bias_ ? kernels::BiasAxis::kPerCol
+                                  : kernels::BiasAxis::kNone,
+                        yp, rows, out_);
+    return y.reshaped(cached_out_shape_);
+  }
+
   if (has_bias_) {
     const float* bp = bias_.value.cdata();
     for (int i = 0; i < rows; ++i)

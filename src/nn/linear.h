@@ -29,6 +29,11 @@ class Linear final : public Module {
   Param bias_;    ///< [out]
   Tensor cached_input_;
   std::vector<int> cached_out_shape_;
+  // Int8-path scratch (activation codes/scales, int32 accumulators), kept
+  // across calls so steady-state eval does not reallocate.
+  std::vector<std::int8_t> qact_;
+  std::vector<float> qscale_;
+  std::vector<std::int32_t> acc_;
 };
 
 }  // namespace rowpress::nn

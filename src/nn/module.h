@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/qweight.h"
 #include "nn/tensor.h"
 
 namespace rowpress::nn {
@@ -22,6 +23,13 @@ struct Param {
   /// targets (biases and norm affine parameters are not attacked, matching
   /// the BFA literature).
   bool attackable = false;
+  /// Int8 execution view, or null for the float reference path.  Non-owning:
+  /// installed/cleared by QuantizedModel::set_int8_execution (which points it
+  /// at the master codes it keeps in sync with bit flips) or by a serving
+  /// replica (which points it at an immutable published snapshot it holds
+  /// alive).  Layers with a weight GEMM consult it in forward(); everything
+  /// else ignores it.
+  const QuantWeight* qweight = nullptr;
 
   Param() = default;
   Param(std::string n, Tensor v, bool attack)

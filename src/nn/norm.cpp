@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
 namespace rowpress::nn {
 namespace {
 
@@ -75,12 +79,42 @@ Tensor BatchNorm::forward(const Tensor& x) {
     cached_mean_[static_cast<std::size_t>(c)] = mean;
     cached_istd_[static_cast<std::size_t>(c)] = istd;
     const float g = gamma_.value.cdata()[c], bta = beta_.value.cdata()[c];
+#if defined(__AVX2__) && defined(__FMA__)
+    // Lane-exact image of the scalar sequence below (which the reference
+    // build compiles to cvtss2sd/vsubsd/vmulsd/vcvtsd2ss + vfmadd132ss):
+    // the normalization runs in double lanes and rounds back to float
+    // once, and g*norm+beta is a single-rounded fma — so the vector and
+    // scalar paths produce bit-identical activations.  This loop is the
+    // dominant non-GEMM cost of an inference forward, which is what earns
+    // it intrinsics.
+    const __m256d vmean = _mm256_set1_pd(mean);
+    const __m256d vistd = _mm256_set1_pd(istd);
+    const __m256 vg = _mm256_set1_ps(g);
+    const __m256 vb = _mm256_set1_ps(bta);
+#endif
     for (int b = 0; b < f.n; ++b) {
-      for (int s = 0; s < f.inner; ++s) {
-        const std::size_t i = cidx(f, b, c, s);
-        const float norm = static_cast<float>((x[i] - mean) * istd);
-        cached_norm_[static_cast<std::int64_t>(i)] = norm;
-        y[static_cast<std::int64_t>(i)] = g * norm + bta;
+      const std::size_t base = cidx(f, b, c, 0);
+      const float* xs = x.cdata() + base;
+      float* ns = cached_norm_.data() + base;
+      float* ys = y.data() + base;
+      int s = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+      for (; s + 8 <= f.inner; s += 8) {
+        const __m256d dlo = _mm256_cvtps_pd(_mm_loadu_ps(xs + s));
+        const __m256d dhi = _mm256_cvtps_pd(_mm_loadu_ps(xs + s + 4));
+        const __m128 nlo = _mm256_cvtpd_ps(
+            _mm256_mul_pd(_mm256_sub_pd(dlo, vmean), vistd));
+        const __m128 nhi = _mm256_cvtpd_ps(
+            _mm256_mul_pd(_mm256_sub_pd(dhi, vmean), vistd));
+        const __m256 norm = _mm256_set_m128(nhi, nlo);
+        _mm256_storeu_ps(ns + s, norm);
+        _mm256_storeu_ps(ys + s, _mm256_fmadd_ps(vg, norm, vb));
+      }
+#endif
+      for (; s < f.inner; ++s) {
+        const float norm = static_cast<float>((xs[s] - mean) * istd);
+        ns[s] = norm;
+        ys[s] = __builtin_fmaf(g, norm, bta);
       }
     }
   }
@@ -119,13 +153,31 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
         }
       }
     } else {
-      // Running statistics are constants w.r.t. the input.
+      // Running statistics are constants w.r.t. the input, so the
+      // gradient is a per-channel scaling.  g*istd pre-multiplies in
+      // double exactly as the scalar expression associates, and each
+      // element is one double multiply rounded back to float — the
+      // vector lanes reproduce that bit-for-bit.
+      const double gs = g * istd;
+#if defined(__AVX2__) && defined(__FMA__)
+      const __m256d vgs = _mm256_set1_pd(gs);
+#endif
       for (int b = 0; b < f.n; ++b) {
-        for (int s = 0; s < f.inner; ++s) {
-          const std::size_t i = cidx(f, b, c, s);
-          grad_in[static_cast<std::int64_t>(i)] = static_cast<float>(
-              g * istd * grad_out[static_cast<std::int64_t>(i)]);
+        const std::size_t base = cidx(f, b, c, 0);
+        const float* gos = grad_out.cdata() + base;
+        float* gis = grad_in.data() + base;
+        int s = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+        for (; s + 8 <= f.inner; s += 8) {
+          const __m128 lo = _mm256_cvtpd_ps(_mm256_mul_pd(
+              _mm256_cvtps_pd(_mm_loadu_ps(gos + s)), vgs));
+          const __m128 hi = _mm256_cvtpd_ps(_mm256_mul_pd(
+              _mm256_cvtps_pd(_mm_loadu_ps(gos + s + 4)), vgs));
+          _mm256_storeu_ps(gis + s, _mm256_set_m128(hi, lo));
         }
+#endif
+        for (; s < f.inner; ++s)
+          gis[s] = static_cast<float>(gs * gos[s]);
       }
     }
   }

@@ -14,10 +14,29 @@ QuantizedModel::QuantizedModel(Module& model) : model_(model) {
     qp.byte_offset = offset;
     offset += qp.num_weights();
     dequantize_into(qp.qr, p->value);
+    // Master execution view: kernel shape [out_channels, reduction], codes
+    // identical to the canonical qr.q, row sums/scales precomputed.  The
+    // scales vector is per-row layout (what the requantization path
+    // consumes) filled with the per-tensor scale, so the int8 path computes
+    // on exactly the weights the float oracle dequantized.
+    const auto& shape = p->value.shape();
+    qp.qw.rows = shape.empty() ? 1 : shape[0];
+    qp.qw.cols = static_cast<int>(qp.num_weights() / qp.qw.rows);
+    qp.qw.q = qp.qr.q;
+    qp.qw.row_sums.assign(static_cast<std::size_t>(qp.qw.rows), 0);
+    for (std::int64_t i = 0; i < qp.num_weights(); ++i) {
+      qp.qw.row_sums[static_cast<std::size_t>(i / qp.qw.cols)] +=
+          qp.qr.q[static_cast<std::size_t>(i)];
+    }
+    qp.qw.scales.assign(static_cast<std::size_t>(qp.qw.rows), qp.qr.scale);
     qparams_.push_back(std::move(qp));
   }
   total_bytes_ = offset;
   RP_REQUIRE(total_bytes_ > 0, "model has no attackable weights");
+}
+
+QuantizedModel::~QuantizedModel() {
+  if (int8_execution_) clear_views(model_);
 }
 
 const QuantizedParam& QuantizedModel::qparam(int i) const {
@@ -54,7 +73,14 @@ float QuantizedModel::apply_bit_flip(const WeightBitRef& ref) {
   const float old_code = static_cast<float>(code);
   code = int8_flip_bit(code, ref.bit);
   const float after = static_cast<float>(code) * qp.qr.scale;
+  // Patch exactly this param's views: one float element (COW clones only
+  // this param's storage) and one code + one row sum in the int8 master.
   qp.param->value[ref.weight_index] = after;
+  const std::size_t wi = static_cast<std::size_t>(ref.weight_index);
+  qp.qw.row_sums[wi / static_cast<std::size_t>(qp.qw.cols)] +=
+      static_cast<std::int32_t>(code) - static_cast<std::int32_t>(old_code);
+  qp.qw.q[wi] = code;
+  qp.published.reset();
   ++flips_applied_;
   // Pinned FP sequence: the pre-flip dequant product fuses into the
   // subtraction (delta = after - old_code*scale in one rounding).
@@ -127,11 +153,53 @@ void QuantizedModel::load_weight_image(
     for (std::int64_t i = 0; i < qp.num_weights(); ++i) {
       const auto code = static_cast<std::int8_t>(
           image[static_cast<std::size_t>(qp.byte_offset + i)]);
-      if (code != qp.qr.q[static_cast<std::size_t>(i)]) {
-        qp.qr.q[static_cast<std::size_t>(i)] = code;
+      const std::size_t wi = static_cast<std::size_t>(i);
+      if (code != qp.qr.q[wi]) {
+        qp.qw.row_sums[wi / static_cast<std::size_t>(qp.qw.cols)] +=
+            static_cast<std::int32_t>(code) -
+            static_cast<std::int32_t>(qp.qr.q[wi]);
+        qp.qr.q[wi] = code;
+        qp.qw.q[wi] = code;
+        qp.published.reset();
         qp.param->value[i] = static_cast<float>(code) * qp.qr.scale;
       }
     }
+  }
+}
+
+void QuantizedModel::set_int8_execution(bool enabled) {
+  for (auto& qp : qparams_) qp.param->qweight = enabled ? &qp.qw : nullptr;
+  int8_execution_ = enabled;
+}
+
+std::vector<std::shared_ptr<const QuantWeight>>
+QuantizedModel::quant_snapshot() {
+  std::vector<std::shared_ptr<const QuantWeight>> out;
+  out.reserve(qparams_.size());
+  for (auto& qp : qparams_) {
+    if (qp.published == nullptr) {
+      qp.published = std::make_shared<const QuantWeight>(qp.qw);
+    }
+    out.push_back(qp.published);
+  }
+  return out;
+}
+
+void QuantizedModel::install_views(
+    Module& model, const std::vector<std::shared_ptr<const QuantWeight>>& snap) {
+  std::size_t i = 0;
+  for (Param* p : model.parameters()) {
+    if (!p->attackable) continue;
+    RP_REQUIRE(i < snap.size(), "quant snapshot shorter than model");
+    p->qweight = snap[i].get();
+    ++i;
+  }
+  RP_REQUIRE(i == snap.size(), "quant snapshot longer than model");
+}
+
+void QuantizedModel::clear_views(Module& model) {
+  for (Param* p : model.parameters()) {
+    if (p->attackable) p->qweight = nullptr;
   }
 }
 

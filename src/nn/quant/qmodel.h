@@ -14,14 +14,25 @@
 // captured handle reading the old one.  Snapshot-then-flip-then-snapshot
 // is therefore an RCU-style publish: old readers keep the pinned version,
 // new snapshots see the corrupted weights.
+// Int8 execution (the qforward path): set_int8_execution(true) additionally
+// installs Param::qweight views pointing at per-param QuantWeight masters
+// kept here, so layers with a weight GEMM consume the codes directly
+// through the int8 kernels (nn/kernels/qgemm.h) instead of the dequantized
+// float view.  The masters are mutated in place by apply_bit_flip /
+// load_weight_image (codes, incremental row sums), mirroring the float
+// view; quant_snapshot() publishes immutable copies with the same
+// minimal-copy discipline as the float COW path — only layers dirtied
+// since the previous snapshot are re-copied.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitutil.h"
 #include "nn/module.h"
 #include "nn/quant/quantizer.h"
+#include "nn/qweight.h"
 
 namespace rowpress::nn {
 
@@ -31,6 +42,12 @@ struct QuantizedParam {
   /// Byte offset of this tensor inside the packed weight image (the model's
   /// contiguous layout in DRAM).
   std::int64_t byte_offset = 0;
+  /// Master execution view of the codes (mirrors qr.q in kernel layout,
+  /// plus row sums/scales); mutated in place alongside every code change.
+  QuantWeight qw;
+  /// Cached immutable copy for quant_snapshot(); reset on every mutation of
+  /// this param, so an unchanged layer is shared, not re-copied.
+  std::shared_ptr<const QuantWeight> published;
 
   std::int64_t num_weights() const {
     return static_cast<std::int64_t>(qr.q.size());
@@ -51,6 +68,13 @@ class QuantizedModel {
   /// Quantizes every attackable parameter of `model` in place.  The model
   /// must outlive this object.
   explicit QuantizedModel(Module& model);
+
+  /// Clears any Param::qweight views installed by set_int8_execution (the
+  /// model outlives this object by contract, so the views must not dangle).
+  ~QuantizedModel();
+
+  QuantizedModel(const QuantizedModel&) = delete;
+  QuantizedModel& operator=(const QuantizedModel&) = delete;
 
   Module& model() { return model_; }
   const Module& model() const { return model_; }
@@ -105,6 +129,31 @@ class QuantizedModel {
   std::int64_t flips_applied() const { return flips_applied_; }
   void reset_flip_counter() { flips_applied_ = 0; }
 
+  /// Enables/disables int8 execution on the bound model by installing (or
+  /// clearing) Param::qweight views into the masters kept here.  The float
+  /// view stays maintained either way — it is the reference oracle, and
+  /// backward still runs on it.
+  void set_int8_execution(bool enabled);
+  bool int8_execution() const { return int8_execution_; }
+
+  /// One immutable QuantWeight per qparam (parameters() order over
+  /// attackable params).  Layers untouched since the previous call share
+  /// the previously published copy, so a snapshot after a single flip
+  /// copies exactly one layer's codes (the quant analogue of the float
+  /// COW snapshot contract above).
+  std::vector<std::shared_ptr<const QuantWeight>> quant_snapshot();
+
+  /// Installs `snap` (as returned by quant_snapshot(), possibly from a
+  /// different QuantizedModel over an identically shaped model) as the
+  /// int8 execution views of `model`'s attackable params.  The caller must
+  /// keep the snapshot alive for as long as the views are installed.
+  static void install_views(
+      Module& model,
+      const std::vector<std::shared_ptr<const QuantWeight>>& snap);
+
+  /// Clears the int8 execution views of `model`'s attackable params.
+  static void clear_views(Module& model);
+
  private:
   const QuantizedParam& qparam(int i) const;
 
@@ -112,6 +161,7 @@ class QuantizedModel {
   std::vector<QuantizedParam> qparams_;
   std::int64_t total_bytes_ = 0;
   std::int64_t flips_applied_ = 0;
+  bool int8_execution_ = false;
 };
 
 }  // namespace rowpress::nn

@@ -1,0 +1,40 @@
+// QuantWeight: the execution-layout view of one attackable parameter's
+// int8 codes, consumed by the layers' qforward paths (see
+// nn/kernels/qgemm.h).
+//
+// The canonical codes — the bytes that physically sit in DRAM — live in
+// QuantizedModel's packed image (quant/qmodel.h).  A QuantWeight mirrors
+// one tensor of them in the [rows, cols] shape the int8 GEMM consumes
+// (rows = output channels, cols = reduction length), plus the two
+// side-band arrays the kernels need:
+//
+//   * row_sums — per-row code sums, kept incrementally in sync with bit
+//     flips; the VNNI backend's unsigned-activation bias compensation
+//     (see qgemm.h) reads them instead of re-reducing the weights.
+//   * scales  — per-output-channel dequantization scales.  The current
+//     quantizer is per-tensor, so every entry holds the same value; the
+//     requantization path is written against the per-channel layout so a
+//     per-channel quantizer drops in without touching the kernels.
+//
+// Ownership: QuantizedModel owns the master (mutated in place by flips);
+// serve-side snapshots hold immutable copies published copy-on-write.
+// Layers access it through Param::qweight, a non-owning pointer managed by
+// whoever installed it (QuantizedModel::set_int8_execution or a serving
+// replica) — null means "run the float reference path".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rowpress::nn {
+
+struct QuantWeight {
+  std::vector<std::int8_t> q;         ///< codes, row-major [rows, cols]
+  std::vector<std::int32_t> row_sums; ///< per-row sum of codes
+  std::vector<float> scales;          ///< per-row dequant scale
+  int rows = 0;                       ///< output channels
+  int cols = 0;                       ///< reduction length (in features /
+                                      ///<   cin*k*k patch size)
+};
+
+}  // namespace rowpress::nn

@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "exp/experiment.h"
+#include "nn/kernels/kernels.h"
 #include "runtime/cancel.h"
 #include "runtime/error.h"
 #include "runtime/fault_inject.h"
@@ -179,6 +180,13 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
 
   const std::vector<Trial> trials = expand_trials(spec);
   Journal journal(journal_path(spec), spec.resume_from);
+  // Environment header: which kernel backend (and CPU feature set) produced
+  // this journal.  Written only on a fresh file — a resume keeps the header
+  // of the original run, so a machine/backend mismatch stays discoverable.
+  journal.write_header(
+      std::string(nn::kernels::backend_name(nn::kernels::active_backend())),
+      nn::kernels::cpu_features_string());
+  if (spec.metrics) nn::kernels::record_backend_gauges(*spec.metrics);
 
   CampaignResult out;
   out.journal = journal.path();

@@ -38,6 +38,12 @@ Journal::FileStats scan_lines(const std::string& path,
   for (std::size_t start = 0; start < good_end;) {
     const std::size_t nl = content.find('\n', start);
     const std::string line = content.substr(start, nl - start);
+    if (line.rfind("{\"journal_header\"", 0) == 0) {
+      // Environment header: metadata, not a trial record.  Neither counted
+      // nor warned about, so headerless (older) journals parse identically.
+      start = nl + 1;
+      continue;
+    }
     if (auto rec = Journal::parse(line)) {
       ++stats.records;
       if (into.count(rec->trial.index)) ++stats.superseded;
@@ -90,6 +96,7 @@ Journal::Journal(std::string path, const std::vector<std::string>& resume_from,
   }
 
   const std::string content = read_all(path_);
+  empty_at_open_ = content.empty();
   // Everything after the last newline is a torn tail from a crash mid-write:
   // truncate it so the resumed run's appends never concatenate onto garbage.
   // Complete-but-unparseable lines are left in place and their trials re-run.
@@ -109,6 +116,20 @@ Journal::Journal(std::string path, const std::vector<std::string>& resume_from,
 
   out_.open(path_, std::ios::binary | std::ios::app);
   RP_REQUIRE(out_.good(), "cannot open journal for append: " + path_);
+}
+
+void Journal::write_header(const std::string& backend,
+                           const std::string& cpu_features) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!empty_at_open_ || header_written_) return;
+  JsonWriter w;
+  w.field("journal_header", std::int64_t{1})
+      .field("backend", backend)
+      .field("cpu", cpu_features);
+  out_ << w.str() << '\n';
+  out_.flush();
+  RP_ASSERT(out_.good(), "journal header write failed: " + path_);
+  header_written_ = true;
 }
 
 void Journal::append(const TrialResult& result) {

@@ -70,6 +70,17 @@ class Journal {
     return completed_.count(trial_index) != 0;
   }
 
+  /// Writes a one-line environment header (`{"journal_header":1,...}`)
+  /// recording the kernel backend and CPU features the campaign runs
+  /// with.  Written only when the file was empty at open — a resumed
+  /// journal keeps the header of the run that created it, so a backend
+  /// mismatch between the original and resuming machine stays visible
+  /// in the file.  Header lines are skipped by all readers (neither
+  /// counted as records nor as dropped lines) and do not count toward
+  /// lines_written().  Thread-safe; at most one header per file.
+  void write_header(const std::string& backend,
+                    const std::string& cpu_features);
+
   /// Appends one record and flushes (write-then-flush crash safety).
   /// Thread-safe.
   void append(const TrialResult& result);
@@ -95,6 +106,8 @@ class Journal {
   std::size_t appended_ = 0;
   std::size_t torn_bytes_ = 0;
   std::size_t dropped_lines_ = 0;
+  bool empty_at_open_ = false;
+  bool header_written_ = false;
   std::ofstream out_;
   mutable std::mutex mutex_;
 };

@@ -16,11 +16,14 @@ namespace {
 /// bit-identical weights and codes.
 BranchAndBoundSearch::ReplicaFactory replica_factory(
     const models::ModelSpec& spec, const nn::ModelState& trained,
-    std::uint64_t seed) {
-  return [&spec, &trained, seed] {
+    std::uint64_t seed, bool int8_eval) {
+  return [&spec, &trained, seed, int8_eval] {
     Rng rng(seed);
     Rng init_rng = rng.fork();
-    return attack::make_quantized_replica(spec, trained, init_rng);
+    attack::QuantizedReplica r =
+        attack::make_quantized_replica(spec, trained, init_rng);
+    if (int8_eval) r.qmodel->set_int8_execution(true);
+    return r;
   };
 }
 
@@ -37,9 +40,9 @@ attack::AttackResult run_bnb(const models::ModelSpec& spec,
   engine.bind_telemetry(base.metrics, base.trace);
   engine.bind_cancel(base.cancel);
   DepletionObjective objective(base.bfa.accuracy_margin);
-  attack::AttackResult r =
-      engine.run(replica_factory(spec, trained, base.seed), feasible,
-                 data.test, data.test, objective, base.seed, incumbent);
+  attack::AttackResult r = engine.run(
+      replica_factory(spec, trained, base.seed, base.bfa.int8_eval), feasible,
+      data.test, data.test, objective, base.seed, incumbent);
   if (stats) *stats = engine.stats();
   return r;
 }

@@ -147,6 +147,7 @@ void InferenceServer::serve_loop(int worker) {
   // forward non-reentrant, so sharing one module across threads would race.
   ModelReplica replica(model_.spec(),
                        cfg_.replica_seed + static_cast<std::uint64_t>(worker));
+  replica.set_int8(cfg_.int8);
   std::vector<int> indices;
   for (;;) {
     auto batch = queue_.pop_batch(

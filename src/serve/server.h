@@ -37,6 +37,9 @@ struct ServerConfig {
   std::size_t queue_capacity = 1024;
   double slo_ms = 50.0;                ///< per-request latency objective
   std::uint64_t replica_seed = 0xC0FFEEull;  ///< replica factory init seed
+  /// Serve on the int8 kernel path: each worker replica installs the
+  /// pinned version's code snapshots (ModelReplica::set_int8).
+  bool int8 = false;
 };
 
 /// Cumulative totals (atomically maintained; any snapshot is consistent

@@ -33,6 +33,7 @@ SharedModel::SharedModel(const models::ModelSpec& spec,
   v0->id = 0;
   v0->flips = 0;
   v0->state = nn::snapshot_state(*master_.model);
+  v0->quant = master_.qmodel->quant_snapshot();
   head_ = std::move(v0);
 }
 
@@ -54,6 +55,9 @@ FlipOutcome SharedModel::apply_bit_flip(const nn::WeightBitRef& ref) {
   v->flips = head_->flips + 1;
   v->repaired = head_->repaired;
   v->state = nn::snapshot_state(*master_.model);
+  // Same minimal-copy publish for the codes: only the flipped layer's
+  // QuantWeight is re-copied, the rest share the previous version's.
+  v->quant = master_.qmodel->quant_snapshot();
   out.version = v->id;
   head_ = std::move(v);
   return out;
@@ -99,6 +103,7 @@ RepairOutcome SharedModel::restore_image_range(
   v->flips = head_->flips;
   v->repaired = head_->repaired + out.bits_restored;
   v->state = nn::snapshot_state(*master_.model);
+  v->quant = master_.qmodel->quant_snapshot();
   out.version = v->id;
   head_ = std::move(v);
   return out;
@@ -143,9 +148,25 @@ nn::Module& ModelReplica::at(const ModelVersion& v) {
   if (version_ != v.id) {
     nn::restore_state(*module_, v.state);
     module_->set_training(false);
+    if (int8_) {
+      // Install the pinned version's code snapshots as this module's weight
+      // views, and hold them so they outlive the version itself.
+      nn::QuantizedModel::install_views(*module_, v.quant);
+      held_quant_ = v.quant;
+    }
     version_ = v.id;
   }
   return *module_;
+}
+
+void ModelReplica::set_int8(bool enabled) {
+  if (int8_ == enabled) return;
+  int8_ = enabled;
+  if (!enabled) {
+    nn::QuantizedModel::clear_views(*module_);
+    held_quant_.clear();
+  }
+  version_ = -1;  // force re-materialization (and view install) on next at()
 }
 
 }  // namespace rowpress::serve

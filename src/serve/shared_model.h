@@ -43,6 +43,11 @@ struct ModelVersion {
   std::int64_t flips = 0;     ///< bit flips published into this lineage
   std::int64_t repaired = 0;  ///< bits restored by the integrity guard
   nn::ModelState state;
+  /// Immutable int8 code snapshots, one per attackable param (the quant
+  /// analogue of `state`): a flip copies exactly the mutated layer's codes
+  /// and shares every other entry with the previous version.  Replicas
+  /// with int8 execution enabled install these as their weight views.
+  std::vector<std::shared_ptr<const nn::QuantWeight>> quant;
 
   /// Number of ModelVersion objects currently alive in the process.  The
   /// retirement contract: at quiescence only the head and still-pinned
@@ -141,9 +146,20 @@ class ModelReplica {
 
   std::int64_t materialized_version() const { return version_; }
 
+  /// Run this replica's forwards on the int8 kernel path: at() additionally
+  /// installs the pinned version's code snapshots as weight views (holding
+  /// them alive until the next at()/destruction).  Toggling invalidates the
+  /// materialized version so the next at() re-installs.
+  void set_int8(bool enabled);
+  bool int8() const { return int8_; }
+
  private:
   std::unique_ptr<nn::Module> module_;
   std::int64_t version_ = -1;
+  bool int8_ = false;
+  /// Keeps the installed snapshots alive while Param::qweight points at
+  /// them (the pinned ModelVersion may retire between batches).
+  std::vector<std::shared_ptr<const nn::QuantWeight>> held_quant_;
 };
 
 }  // namespace rowpress::serve

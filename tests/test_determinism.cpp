@@ -4,11 +4,14 @@
 // is only meaningful if runs are exactly replayable per seed.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "attack/runner.h"
 #include "data/vision_synth.h"
 #include "exp/experiment.h"
 #include "models/resnet.h"
 #include "nn/kernels/kernels.h"
+#include "nn/kernels/qgemm.h"
 #include "profile/profiler.h"
 #include "search/runner.h"
 #include "test_util.h"
@@ -61,12 +64,14 @@ class DeterminismTest : public ::testing::Test {
   }
 
   static attack::AttackResult run_once(std::uint64_t seed,
-                                       bool incremental = true) {
+                                       bool incremental = true,
+                                       bool int8_eval = false) {
     attack::AttackRunSetup setup;
     setup.seed = seed;
     setup.bfa.max_flips = 10;
     setup.bfa.eval_samples = 100;
     setup.bfa.incremental_eval = incremental;
+    setup.bfa.int8_eval = int8_eval;
     data::SplitDataset split;
     split.train = data_->train;
     split.test = data_->test;
@@ -142,13 +147,59 @@ TEST_F(DeterminismTest, KernelBackendsAndIncrementalEvalAreBitIdentical) {
 
   const k::Backend saved = k::active_backend();
   for (const k::Backend b :
-       {k::Backend::kNaive, k::Backend::kPortable, k::Backend::kAvx2}) {
+       {k::Backend::kNaive, k::Backend::kPortable, k::Backend::kAvx2,
+        k::Backend::kVnni}) {
     if (!k::backend_available(b)) continue;
     k::set_backend(b);
     expect_same(run_once(42), k::backend_name(b));
   }
   k::set_backend(saved);
   expect_same(run_once(42, /*incremental=*/false), "full-forward eval");
+}
+
+// The int8 execution path carries a STRONGER contract than the float one:
+// the kernels compute exact integer dot products, so every backend AND
+// every intra-op thread count must reproduce the identical attack — same
+// flips, same accuracy trajectory — bit for bit.  (The int8 attack may
+// legitimately differ from the float-path attack; what is pinned here is
+// that it never varies with how it is computed.)
+TEST_F(DeterminismTest, Int8EvalIsBitIdenticalAcrossBackendsAndThreads) {
+  namespace k = nn::kernels;
+  const auto base = run_once(42, /*incremental=*/true, /*int8_eval=*/true);
+  EXPECT_FALSE(base.flips.empty());
+
+  auto expect_same = [&](const attack::AttackResult& r, const char* what) {
+    ASSERT_EQ(r.flips.size(), base.flips.size()) << what;
+    EXPECT_EQ(r.candidate_pool_size, base.candidate_pool_size) << what;
+    EXPECT_EQ(r.accuracy_before, base.accuracy_before) << what;
+    EXPECT_EQ(r.accuracy_after, base.accuracy_after) << what;
+    for (std::size_t i = 0; i < base.flips.size(); ++i) {
+      EXPECT_EQ(r.flips[i].ref, base.flips[i].ref) << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].weight_delta, base.flips[i].weight_delta)
+          << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].loss_after, base.flips[i].loss_after)
+          << what << " flip " << i;
+      EXPECT_EQ(r.flips[i].accuracy_after, base.flips[i].accuracy_after)
+          << what << " flip " << i;
+    }
+  };
+
+  const k::Backend saved = k::active_backend();
+  for (const k::Backend b :
+       {k::Backend::kNaive, k::Backend::kPortable, k::Backend::kAvx2,
+        k::Backend::kVnni}) {
+    if (!k::backend_available(b)) continue;
+    for (const int threads : {1, 2, 8}) {
+      k::set_backend(b);
+      k::set_gemm_threads(threads);
+      const std::string what =
+          std::string(k::backend_name(b)) + " x" + std::to_string(threads);
+      expect_same(run_once(42, /*incremental=*/true, /*int8_eval=*/true),
+                  what.c_str());
+    }
+  }
+  k::set_gemm_threads(1);
+  k::set_backend(saved);
 }
 
 // The branch-and-bound search extends the same contract: worker threads

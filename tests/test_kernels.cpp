@@ -7,9 +7,12 @@
 #include "nn/kernels/kernels.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
+
+#include "nn/kernels/qgemm.h"
 
 #include <gtest/gtest.h>
 
@@ -25,7 +28,8 @@ namespace {
 
 std::vector<Backend> available_backends() {
   std::vector<Backend> out;
-  for (Backend b : {Backend::kNaive, Backend::kPortable, Backend::kAvx2})
+  for (Backend b : {Backend::kNaive, Backend::kPortable, Backend::kAvx2,
+                    Backend::kVnni})
     if (backend_available(b)) out.push_back(b);
   return out;
 }
@@ -191,6 +195,245 @@ INSTANTIATE_TEST_SUITE_P(Backends, GemmGolden,
                          [](const auto& info) {
                            return std::string(backend_name(info.param));
                          });
+
+// --- int8 GEMM layer ----------------------------------------------------
+//
+// The int8 kernels carry an exact-integer contract (see qgemm.h): every
+// backend computes the mathematical int32 dot product, so these goldens
+// must hold bitwise on EVERY backend and thread count, not just on the
+// reference.
+
+// Deterministic int8 code stream covering the full code range, including
+// the -128 saturation code the quantizer itself never emits but a bit
+// flip can produce (sign-bit flip of 0 → -128).  Self-contained xorshift
+// like GoldenStream so the committed CRCs below outlive any repo Rng
+// change.
+struct GoldenCodeStream {
+  std::uint32_t s = 0xDEADBEEFu;
+  std::int8_t next() {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    return static_cast<std::int8_t>(s & 0xFFu);
+  }
+  void fill(std::vector<std::int8_t>& v) {
+    for (auto& x : v) x = next();
+  }
+  std::int32_t next_i32() {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    return static_cast<std::int32_t>(s % 1997u) - 998;
+  }
+  void fill_i32(std::vector<std::int32_t>& v) {
+    for (auto& x : v) x = next_i32();
+  }
+};
+
+std::vector<std::int32_t> row_sums_of(const std::vector<std::int8_t>& w,
+                                      int rows, int k) {
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(rows), 0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < k; ++j)
+      sums[static_cast<std::size_t>(i)] +=
+          w[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(j)];
+  return sums;
+}
+
+class QgemmGolden : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    saved_ = active_backend();
+    set_backend(GetParam());
+  }
+  void TearDown() override {
+    set_gemm_threads(1);
+    set_backend(saved_);
+  }
+  Backend saved_ = Backend::kNaive;
+};
+
+TEST_P(QgemmGolden, MatchesReferenceExactlyAcrossShapesAndModes) {
+  // Odd-K tails straddle every SIMD width in play (16-lane AVX2 madd
+  // steps, 64-byte VNNI steps); both operand orientations and both
+  // accumulate modes must agree with the scalar reference bit-for-bit.
+  const int ks[] = {0, 1, 3, 17, 31, 63, 64, 65, 100, 192};
+  GoldenCodeStream gs;
+  for (const int k : ks) {
+    for (const int m : {1, 2, 5}) {
+      for (const int n : {1, 4, 7}) {
+        std::vector<std::int8_t> x(static_cast<std::size_t>(m) * k);
+        std::vector<std::int8_t> y(static_cast<std::size_t>(n) * k);
+        gs.fill(x);
+        gs.fill(y);
+        std::vector<std::int32_t> c_init(static_cast<std::size_t>(m) * n);
+        gs.fill_i32(c_init);
+        for (const bool accumulate : {false, true}) {
+          std::vector<std::int32_t> want = c_init;
+          ref::qgemm_nt(x.data(), y.data(), want.data(), m, k, n, accumulate);
+
+          // act_wgt: x is the activation, y the weight (row sums over y).
+          const auto ysums = row_sums_of(y, n, k);
+          std::vector<std::int32_t> got = c_init;
+          qgemm_act_wgt(x.data(), y.data(), ysums.data(), got.data(), m, k, n,
+                        accumulate);
+          ASSERT_EQ(got, want) << "act_wgt k=" << k << " m=" << m
+                               << " n=" << n << " acc=" << accumulate;
+
+          // wgt_act: x is the weight (row sums over x), y the activation.
+          const auto xsums = row_sums_of(x, m, k);
+          got = c_init;
+          qgemm_wgt_act(x.data(), y.data(), xsums.data(), got.data(), m, k, n,
+                        accumulate);
+          ASSERT_EQ(got, want) << "wgt_act k=" << k << " m=" << m
+                               << " n=" << n << " acc=" << accumulate;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(QgemmGolden, MinCodeSaturationExact) {
+  // All-(-128) operands maximize every intermediate (including the
+  // biased-unsigned VNNI form, where the +128 bias makes the activation 0
+  // and the whole result flows through the row-sum compensation).
+  const int m = 2, k = 65, n = 3;
+  std::vector<std::int8_t> x(static_cast<std::size_t>(m) * k, -128);
+  std::vector<std::int8_t> y(static_cast<std::size_t>(n) * k, -128);
+  const auto ysums = row_sums_of(y, n, k);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m) * n, 0);
+  qgemm_act_wgt(x.data(), y.data(), ysums.data(), c.data(), m, k, n, false);
+  for (const std::int32_t v : c) EXPECT_EQ(v, k * 128 * 128);
+}
+
+TEST_P(QgemmGolden, KZeroWritesZerosOrLeavesCUntouched) {
+  std::vector<std::int8_t> x, y;
+  const std::vector<std::int32_t> sums(4, 0);
+  std::vector<std::int32_t> c = {7, -9, 13, 21, -5, 11};
+  const std::vector<std::int32_t> before = c;
+  qgemm_act_wgt(x.data(), y.data(), sums.data(), c.data(), 2, 0, 3, true);
+  EXPECT_EQ(c, before);  // accumulate: k = 0 adds nothing
+  qgemm_wgt_act(x.data(), y.data(), sums.data(), c.data(), 2, 0, 3, false);
+  EXPECT_EQ(c, std::vector<std::int32_t>(6, 0));  // overwrite: zeros
+}
+
+// Pins the exact int8 contract — codes from GoldenCodeStream (full range,
+// -128 included), odd-K tails, k = 0, both accumulate modes, and the
+// batched entry — to committed CRC32 constants.  The SAME constants hold
+// for every backend and thread count: integer exactness means there is
+// one golden, not one per backend.
+TEST_P(QgemmGolden, MatchesCommittedSequenceGoldens) {
+  const int shapes[][3] = {{1, 1, 1},  {2, 0, 3},   {3, 17, 5}, {5, 31, 4},
+                           {4, 63, 9}, {2, 65, 6},  {1, 100, 3}, {2, 192, 2}};
+  GoldenCodeStream gs;
+  std::uint32_t crc_aw = 0, crc_wa = 0, crc_b = 0;
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    std::vector<std::int8_t> x(static_cast<std::size_t>(m) * k);
+    std::vector<std::int8_t> y(static_cast<std::size_t>(n) * k);
+    gs.fill(x);
+    gs.fill(y);
+    std::vector<std::int32_t> c_init(static_cast<std::size_t>(m) * n);
+    gs.fill_i32(c_init);
+
+    const auto ysums = row_sums_of(y, n, k);
+    std::vector<std::int32_t> c = c_init;  // overwrite mode: prefill dies
+    qgemm_act_wgt(x.data(), y.data(), ysums.data(), c.data(), m, k, n, false);
+    crc_aw = crc32(c.data(), c.size() * sizeof(std::int32_t), crc_aw);
+
+    const auto xsums = row_sums_of(x, m, k);
+    c = c_init;  // accumulate mode: prefill is part of the golden
+    qgemm_wgt_act(x.data(), y.data(), xsums.data(), c.data(), m, k, n, true);
+    crc_wa = crc32(c.data(), c.size() * sizeof(std::int32_t), crc_wa);
+
+    // Batched: 3 panels sharing x as the weight, with 8 intra-op threads —
+    // the thread partition must not show in the bits.
+    const int batch = 3;
+    std::vector<std::int8_t> act(static_cast<std::size_t>(batch) * n * k);
+    gs.fill(act);
+    std::vector<std::int32_t> cb(static_cast<std::size_t>(batch) * m * n);
+    set_gemm_threads(8);
+    qgemm_wgt_act_batched(x.data(), act.data(), xsums.data(), cb.data(), m, k,
+                          n, batch, static_cast<std::int64_t>(n) * k,
+                          static_cast<std::int64_t>(m) * n, false);
+    set_gemm_threads(1);
+    crc_b = crc32(cb.data(), cb.size() * sizeof(std::int32_t), crc_b);
+  }
+  EXPECT_EQ(crc_aw, 0x9B059986u) << backend_name(GetParam());
+  EXPECT_EQ(crc_wa, 0xCCD80FAEu) << backend_name(GetParam());
+  EXPECT_EQ(crc_b, 0x91C6A489u) << backend_name(GetParam());
+}
+
+TEST_P(QgemmGolden, ThreadCountNeverChangesTheBits) {
+  const int m = 37, k = 129, n = 23, batch = 4;
+  GoldenCodeStream gs;
+  std::vector<std::int8_t> wgt(static_cast<std::size_t>(m) * k);
+  std::vector<std::int8_t> act(static_cast<std::size_t>(batch) * n * k);
+  gs.fill(wgt);
+  gs.fill(act);
+  const auto sums = row_sums_of(wgt, m, k);
+  std::vector<std::vector<std::int32_t>> results;
+  for (const int threads : {1, 2, 8}) {
+    set_gemm_threads(threads);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(batch) * m * n, -1);
+    qgemm_wgt_act_batched(wgt.data(), act.data(), sums.data(), c.data(), m, k,
+                          n, batch, static_cast<std::int64_t>(n) * k,
+                          static_cast<std::int64_t>(m) * n, false);
+    results.push_back(std::move(c));
+  }
+  set_gemm_threads(1);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, QgemmGolden,
+                         ::testing::ValuesIn(available_backends()),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+// FP edges of the int8 path: the per-element sequences are pinned in
+// qgemm.h; these tests hold the documented edge cases in place.
+TEST(QgemmQuantize, PinnedEdgeCases) {
+  // Row 0: plain values, amax = 2.0 -> max code magnitude 127.
+  // Row 1: all zeros -> scale 0, all codes 0.
+  // Row 2: NaN maps to -127 deterministically; amax ignores the NaN.
+  const float x[] = {2.0f, -1.0f, 0.5f, 0.0f,
+                     0.0f, -0.0f, 0.0f, 0.0f,
+                     NAN,  1.0f,  -0.25f, 0.125f};
+  std::int8_t q[12];
+  float scale[3];
+  quantize_rows(x, q, scale, 3, 4);
+  EXPECT_EQ(q[0], 127);
+  EXPECT_EQ(q[1], -64);  // -1.0 * (127/2) = -63.5 -> ties-to-even -> -64
+  EXPECT_FLOAT_EQ(scale[0], 2.0f / 127.0f);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(q[4 + j], 0);
+  EXPECT_EQ(scale[1], 0.0f);
+  EXPECT_EQ(q[8], -127);  // NaN clamps through fmaxf/fminf, never UB cast
+  EXPECT_EQ(q[9], 127);   // amax of row 2 is 1.0, NaN ignored
+  EXPECT_FLOAT_EQ(scale[2], 1.0f / 127.0f);
+}
+
+TEST(QgemmQuantize, RequantizeBiasAxes) {
+  const std::int32_t acc[] = {10, 20, 30, 40, 50, 60};  // 2 x 3
+  const float row_scale[] = {0.5f, 2.0f};
+  const float col_scale[] = {1.0f, 0.5f, 0.25f};
+  const float bias2[] = {100.0f, 200.0f};
+  const float bias3[] = {1.0f, 2.0f, 3.0f};
+  float y[6];
+  requantize(acc, row_scale, col_scale, nullptr, BiasAxis::kNone, y, 2, 3);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[5], 30.0f);
+  requantize(acc, row_scale, col_scale, bias2, BiasAxis::kPerRow, y, 2, 3);
+  EXPECT_FLOAT_EQ(y[0], 105.0f);
+  EXPECT_FLOAT_EQ(y[5], 230.0f);
+  requantize(acc, row_scale, col_scale, bias3, BiasAxis::kPerCol, y, 2, 3);
+  EXPECT_FLOAT_EQ(y[2], 1.0f * 30 * 0.5f * 0.25f + 3.0f);
+  // Null scales mean 1.0 on that axis.
+  requantize(acc, nullptr, nullptr, nullptr, BiasAxis::kNone, y, 2, 3);
+  EXPECT_FLOAT_EQ(y[0], 10.0f);
+}
 
 // The telemetry binding is a raw pointer into a caller-owned registry held
 // in a thread-local; ScopedBindMetrics must detach it on scope exit, or a

@@ -4,6 +4,7 @@
 
 #include "nn/activation.h"
 #include "nn/linear.h"
+#include "nn/serialize.h"
 #include "test_util.h"
 
 namespace rowpress::nn {
@@ -134,6 +135,65 @@ TEST_F(QModelTest, QuantizedForwardStaysClose) {
                         static_cast<double>(std::abs(before[i] - after[i])));
   EXPECT_LT(max_diff, 0.15);  // 8-bit quantization noise, not corruption
   EXPECT_GT(max_diff, 0.0);
+}
+
+TEST_F(QModelTest, Int8ExecutionStaysCloseAndTogglesCleanly) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn({6, 8}, rng);
+  net_.set_training(false);
+  QuantizedModel qm(net_);
+  const Tensor f = net_.forward(x);  // float path over dequantized weights
+  qm.set_int8_execution(true);
+  const Tensor q = net_.forward(x);  // int8 codes + quantized activations
+  qm.set_int8_execution(false);
+  const Tensor f2 = net_.forward(x);
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < f.numel(); ++i) {
+    max_diff =
+        std::max(max_diff, static_cast<double>(std::abs(f[i] - q[i])));
+    // Disabling int8 restores the float reference path bit-exactly.
+    EXPECT_EQ(f2[i], f[i]);
+  }
+  EXPECT_LT(max_diff, 0.15);  // activation-quantization noise, not corruption
+}
+
+TEST_F(QModelTest, SingleFlipClonesExactlyOneParamStorage) {
+  // Copy-on-write regression guard: one bit flip must clone exactly the
+  // flipped param's float storage (so older snapshots keep their bits)
+  // and republish exactly the flipped layer's code snapshot — never a
+  // whole-model copy.
+  QuantizedModel qm(net_);
+  const ModelState snap = snapshot_state(net_);
+  // Record which snapshot slot each attackable param aliases.
+  std::vector<int> slot(qm.num_qparams(), -1);
+  for (std::size_t p = 0; p < qm.num_qparams(); ++p)
+    for (std::size_t s = 0; s < snap.params.size(); ++s)
+      if (qm.qparams()[p].param->value.shares_storage_with(snap.params[s]))
+        slot[p] = static_cast<int>(s);
+  ASSERT_NE(slot[0], -1);
+  ASSERT_NE(slot[1], -1);
+
+  const auto codes_before = qm.quant_snapshot();
+  qm.apply_bit_flip(WeightBitRef{0, 5, 6});
+
+  // The flipped param's float view cloned away from the snapshot...
+  EXPECT_FALSE(qm.qparams()[0].param->value.shares_storage_with(
+      snap.params[static_cast<std::size_t>(slot[0])]));
+  // ...while the other param still aliases it: the flip touched exactly
+  // one param's storage.
+  EXPECT_TRUE(qm.qparams()[1].param->value.shares_storage_with(
+      snap.params[static_cast<std::size_t>(slot[1])]));
+  // The snapshot itself kept the pre-flip bits.
+  EXPECT_FLOAT_EQ(snap.params[static_cast<std::size_t>(slot[0])][5],
+                  static_cast<float>(codes_before[0]->q[5]) *
+                      codes_before[0]->scales[0]);
+
+  // Same minimal-copy discipline for the published int8 codes: only the
+  // flipped layer's QuantWeight is re-materialized.
+  const auto codes_after = qm.quant_snapshot();
+  EXPECT_NE(codes_after[0].get(), codes_before[0].get());
+  EXPECT_EQ(codes_after[1].get(), codes_before[1].get());
+  EXPECT_NE(codes_after[0]->q, codes_before[0]->q);
 }
 
 TEST_F(QModelTest, RangeValidation) {

@@ -201,6 +201,40 @@ TEST(Journal, TornTailIsTruncatedAndCompleteLinesSurvive) {
   EXPECT_EQ(lines, 3);
 }
 
+TEST(Journal, EnvironmentHeaderWrittenOnceAndSkippedByReaders) {
+  TempDir tmp;
+  const std::string path = (tmp.path / "h.jsonl").string();
+  {
+    Journal j(path);
+    j.write_header("avx2", "avx2+vnni");
+    j.write_header("portable", "baseline");  // second call: no-op
+    j.append(sample_result(0));
+    EXPECT_EQ(j.lines_written(), 1u);  // the header is not a record
+  }
+  {
+    Journal resumed(path);
+    EXPECT_EQ(resumed.completed().size(), 1u);
+    EXPECT_EQ(resumed.dropped_lines(), 0u);  // header is not "unparseable"
+    // Resuming on a different machine must not overwrite the original
+    // run's header: non-empty file => no-op.
+    resumed.write_header("portable", "baseline");
+    resumed.append(sample_result(1));
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("{\"journal_header\"", 0), 0u);
+  EXPECT_NE(lines[0].find("\"backend\":\"avx2\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cpu\":\"avx2+vnni\""), std::string::npos);
+  // The read-only scanner skips the header too: two records, no drops.
+  std::unordered_map<int, TrialResult> into;
+  const auto stats = Journal::load_file(path, into, [](const std::string&) {});
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.dropped_lines, 0u);
+}
+
 // --- Progress sink ------------------------------------------------------
 
 TEST(ProgressSink, LinesGoToTheSinkNotStderr) {
@@ -388,8 +422,9 @@ TEST(Campaign, ResumeSkipsJournaledTrialsAndRerunsTheTornOne) {
   EXPECT_EQ(full.executed, 4);
   EXPECT_EQ(full.skipped, 0);
 
-  // Simulate being killed while writing the third record: keep two
-  // complete lines plus a fragment of the third.
+  // Simulate being killed while writing the third record: keep the
+  // environment header plus two complete records plus a fragment of the
+  // third.
   const std::string jpath = journal_path(spec);
   std::string content;
   {
@@ -398,8 +433,11 @@ TEST(Campaign, ResumeSkipsJournaledTrialsAndRerunsTheTornOne) {
     ss << in.rdbuf();
     content = ss.str();
   }
+  ASSERT_EQ(content.rfind("{\"journal_header\"", 0), 0u)
+      << "journal should open with the environment header line";
+  const std::size_t header_nl = content.find('\n');
   const std::size_t second_nl =
-      content.find('\n', content.find('\n') + 1);
+      content.find('\n', content.find('\n', header_nl + 1) + 1);
   const std::string torn = content.substr(0, second_nl + 1 + 25);
   {
     std::ofstream out(jpath, std::ios::binary | std::ios::trunc);
@@ -432,16 +470,23 @@ TEST(Campaign, ResumeSkipsJournaledTrialsAndRerunsTheTornOne) {
               kept.count(static_cast<int>(i)) != 0);
   }
 
-  // Journal now holds exactly one complete line per trial (no re-runs of
-  // the finished ones, no leftover fragment).
+  // Journal now holds exactly one complete record per trial (no re-runs
+  // of the finished ones, no leftover fragment) behind the single header
+  // from the original run — the resume must not write a second one.
   std::ifstream in(jpath);
   std::string line;
   int lines = 0;
+  int headers = 0;
   while (std::getline(in, line)) {
+    if (line.rfind("{\"journal_header\"", 0) == 0) {
+      ++headers;
+      continue;
+    }
     EXPECT_TRUE(Journal::parse(line).has_value()) << line;
     ++lines;
   }
   EXPECT_EQ(lines, 4);
+  EXPECT_EQ(headers, 1);
 
   // A third invocation is a no-op.
   const auto again = run_campaign(spec);

@@ -64,6 +64,9 @@ void print_usage() {
       "--fabric\n"
       "                           (default: 4)\n"
       "  --max-flips <n>          BFA flip budget per trial (default: 300)\n"
+      "  --int8                   evaluate trials on the int8 kernel path\n"
+      "                           (quantized GEMM; float stays the oracle\n"
+      "                           for quantization itself)\n"
       "  --search <greedy|bnb>    chain search engine (default: greedy).\n"
       "                           bnb = best-first branch-and-bound seeded\n"
       "                           with the greedy chain as incumbent; finds\n"
@@ -299,6 +302,8 @@ int run_cli(int argc, char** argv) {
     } else if (arg == "--max-flips") {
       spec.bfa.max_flips =
           parse_int(need_value(i++, "--max-flips"), "--max-flips");
+    } else if (arg == "--int8") {
+      spec.bfa.int8_eval = true;
     } else if (arg == "--search") {
       const std::string v = need_value(i++, "--search");
       const auto kind = search::search_kind_from_name(v);
@@ -524,6 +529,7 @@ int run_cli(int argc, char** argv) {
           "--trial-deadline", std::to_string(wspec.trial_deadline_ms),
           "--max-retries", std::to_string(wspec.max_retries),
           "--quiet"};
+      if (wspec.bfa.int8_eval) args.push_back("--int8");
       if (wspec.fail_fast) args.push_back("--fail-fast");
       if (!inject_arg.empty()) {
         args.push_back("--inject");

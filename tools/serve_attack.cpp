@@ -63,6 +63,9 @@ void print_usage() {
       "  --batch-wait-us <us>     batching window wait (default: 2000)\n"
       "  --queue-cap <n>          request queue bound (default: 1024)\n"
       "  --slo-ms <ms>            per-request latency SLO (default: 50)\n"
+      "  --int8                   serve (and canary, when defended) on the\n"
+      "                           int8 kernel path: worker replicas install\n"
+      "                           each pinned version's code snapshots\n"
       "  --attack-delay-ms <ms>   clean warm-up before the first flip\n"
       "                           (default: 2000)\n"
       "  --attack-interval-ms <ms> cadence between flips (default: 250)\n"
@@ -236,6 +239,9 @@ int run_cli(int argc, char** argv) {
       scfg.queue_capacity = static_cast<std::size_t>(cap);
     } else if (arg == "--slo-ms") {
       scfg.slo_ms = parse_double(need_value(i++, "--slo-ms"), "--slo-ms");
+    } else if (arg == "--int8") {
+      scfg.int8 = true;
+      gcfg.canary.int8 = true;  // detector watches what production executes
     } else if (arg == "--attack-delay-ms") {
       attack_delay_ms = parse_ll(need_value(i++, "--attack-delay-ms"),
                                  "--attack-delay-ms");
